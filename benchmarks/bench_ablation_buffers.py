@@ -1,0 +1,92 @@
+"""Ablation: buffer-pool size per relation.
+
+The paper pins the metric to one buffer page per user relation: "the
+number of disk accesses varies greatly depending on the number of internal
+buffers ... to eliminate such influences ... we allocated only 1 buffer
+for each user relation" (Section 5.1).  This ablation quantifies that
+choice on the join query Q10, whose fixed cost is one ISAM directory
+access per substituted tuple:
+
+* at update count 0 a second buffer keeps the directory root resident, so
+  the per-probe directory read disappears -- the fixed cost the paper's
+  metric deliberately retains;
+* after a few update passes each probe walks an overflow chain longer
+  than any small pool, evicting the root every time: extra buffers stop
+  helping.  Buffering masks fixed costs, not chain growth -- supporting
+  the paper's decision to study growth with the 1-buffer metric.
+"""
+
+import pytest
+
+from repro.bench.evolve import evolve_uniform
+from repro.bench.queries import benchmark_queries
+from repro.bench.runner import measure_query
+from repro.bench.workload import WorkloadConfig, build_database
+from repro.catalog.schema import DatabaseType
+
+BUFFER_COUNTS = (1, 2, 4, 8)
+
+
+def _measure(buffers: int, tuples: int, update_count: int):
+    config = WorkloadConfig(
+        db_type=DatabaseType.TEMPORAL,
+        loading=100,
+        tuples=tuples,
+        buffers=buffers,
+    )
+    bench = build_database(config)
+    evolve_uniform(bench, steps=update_count)
+    texts = benchmark_queries(config)
+    return {
+        query_id: measure_query(bench, texts[query_id]).input_pages
+        for query_id in ("Q01", "Q07", "Q10")
+    }
+
+
+@pytest.mark.benchmark(group="ablation-buffers")
+def test_ablation_buffer_pool_size(benchmark, scale):
+    _, (tuples, _, enh_uc, __) = scale
+    tuples = min(tuples, 256)  # the effect is scale-independent
+    grown_uc = min(enh_uc, 4)
+
+    results = benchmark.pedantic(
+        lambda: {
+            update_count: {
+                buffers: _measure(buffers, tuples, update_count)
+                for buffers in BUFFER_COUNTS
+            }
+            for update_count in (0, grown_uc)
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    for update_count, per_buffers in results.items():
+        print(
+            f"\nAblation: buffers per relation (temporal/100%, "
+            f"uc={update_count}, {tuples} tuples)"
+        )
+        print(f"{'buffers':>8} {'Q01':>8} {'Q07':>8} {'Q10':>10}")
+        for buffers in BUFFER_COUNTS:
+            row = per_buffers[buffers]
+            print(
+                f"{buffers:>8} {row['Q01']:>8} {row['Q07']:>8} "
+                f"{row['Q10']:>10}"
+            )
+
+    fresh = results[0]
+    grown = results[grown_uc]
+
+    # Single-chain keyed access and sequential scans touch each needed
+    # page once: buffer-insensitive at any update count.
+    for state in (fresh, grown):
+        assert state[8]["Q01"] == state[1]["Q01"]
+        assert state[8]["Q07"] == state[1]["Q07"]
+
+    # At update count 0 a second buffer keeps the ISAM root resident and
+    # the per-probe directory read (~one per tuple) disappears.
+    assert fresh[1]["Q10"] - fresh[2]["Q10"] >= tuples - 2
+
+    # Once overflow chains outgrow the pool, the root is evicted during
+    # every probe and extra buffers recover (almost) nothing.
+    assert grown[1]["Q10"] - grown[8]["Q10"] <= tuples * 0.1

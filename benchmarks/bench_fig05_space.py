@@ -1,0 +1,51 @@
+"""Figure 5: space requirements of the eight test databases.
+
+Regenerates the paper's space table (relation sizes at update counts 0 and
+14, growth per update, growth rate) and asserts its claims:
+
+* rollback and historical databases have identical space behaviour;
+* a temporal database grows twice as fast (two versions per replace);
+* the growth rate equals the loading factor (doubled for temporal).
+"""
+
+import pytest
+
+from repro.bench import figures
+
+
+@pytest.mark.benchmark(group="figure05")
+def test_figure5_space_requirements(benchmark, suite, scale):
+    table = benchmark.pedantic(
+        figures.figure5, args=(suite,), rounds=1, iterations=1
+    )
+    print("\n" + table)
+
+    rollback = suite["rollback/100%"]
+    historical = suite["historical/100%"]
+    temporal = suite["temporal/100%"]
+
+    # Rollback and historical have the same space requirements (Figure 5).
+    assert rollback.sizes == historical.sizes
+
+    # Temporal consumes the same space at update count 0...
+    assert temporal.sizes[0] == rollback.sizes[0]
+    # ...but grows twice as fast.
+    growth_ratio = temporal.growth_per_update("h") / (
+        rollback.growth_per_update("h")
+    )
+    assert growth_ratio == pytest.approx(2.0, rel=0.05)
+
+    # The growth rate (growth over initial size) is about the loading
+    # factor, doubled for temporal databases.
+    for label, expected in (
+        ("rollback/100%", 1.0),
+        ("rollback/50%", 0.5),
+        ("temporal/100%", 2.0),
+        ("temporal/50%", 1.0),
+    ):
+        result = suite[label]
+        rate = result.growth_per_update("i") / result.sizes[0][1]
+        assert rate == pytest.approx(expected, rel=0.1)
+
+    # Static relations never grow (they are measured once).
+    assert suite["static/100%"].max_update_count == 0

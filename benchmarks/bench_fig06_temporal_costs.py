@@ -1,0 +1,62 @@
+"""Figure 6: input costs for the temporal database with 100 % loading.
+
+Regenerates the 12-query x 16-update-count grid and asserts its structure:
+linear growth for every query, keyed accesses starting at 1-2 pages, scans
+tracking the relation size, and (at paper scale) exact agreement with the
+published numbers for the one-variable queries.
+"""
+
+import pytest
+
+from benchmarks.conftest import at_paper_scale
+from repro.bench import figures
+from repro.bench.paper_data import FIGURE6
+
+
+@pytest.mark.benchmark(group="figure06")
+def test_figure6_temporal_input_costs(benchmark, suite, scale):
+    table = benchmark.pedantic(
+        figures.figure6, args=(suite,), rounds=1, iterations=1
+    )
+    print("\n" + table)
+
+    result = suite["temporal/100%"]
+    top = result.max_update_count
+
+    # Q01/Q05 (hashed keyed access): 1 + 2n exactly.
+    for query_id in ("Q01", "Q05"):
+        series = result.input_series(query_id)
+        assert series == [1 + 2 * n for n in range(top + 1)]
+
+    # Q02/Q06 (ISAM keyed access): 2 + 2n exactly.
+    for query_id in ("Q02", "Q06"):
+        series = result.input_series(query_id)
+        assert series == [2 + 2 * n for n in range(top + 1)]
+
+    # Scans track the relation size.
+    for query_id, relation in (("Q03", 0), ("Q07", 0)):
+        series = result.input_series(query_id)
+        sizes = [result.sizes[uc][relation] for uc in sorted(result.sizes)]
+        assert series == sizes
+
+    # Q04/Q08 scan the ISAM relation minus its directory page.
+    series = result.input_series("Q04")
+    sizes = [result.sizes[uc][1] - 1 for uc in sorted(result.sizes)]
+    assert series == sizes
+
+    # Every query grows linearly: interior points sit on the line through
+    # the endpoints to within a few percent.
+    for query_id, per_uc in result.costs.items():
+        first, last = per_uc[0].input_pages, per_uc[top].input_pages
+        for uc, cost in per_uc.items():
+            expected = first + (last - first) * uc / top
+            assert cost.input_pages == pytest.approx(expected, rel=0.06)
+
+    if at_paper_scale(scale):
+        for query_id in ("Q01", "Q02", "Q03", "Q04", "Q05", "Q06", "Q07",
+                         "Q08", "Q11", "Q12"):
+            assert result.input_series(query_id) == FIGURE6[query_id]
+        for query_id in ("Q09", "Q10"):
+            measured = result.input_series(query_id)
+            for got, published in zip(measured, FIGURE6[query_id]):
+                assert got == pytest.approx(published, rel=0.03)

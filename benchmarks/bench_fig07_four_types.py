@@ -1,0 +1,72 @@
+"""Figure 7: input pages for the four database types.
+
+Regenerates the cross-type comparison and asserts the paper's reading of
+it: rollback and historical perform alike, and the temporal database is
+about twice as expensive at high update counts.
+"""
+
+import pytest
+
+from benchmarks.conftest import at_paper_scale
+from repro.bench import figures
+from repro.bench.paper_data import FIGURE7
+
+
+@pytest.mark.benchmark(group="figure07")
+def test_figure7_four_types(benchmark, suite, scale):
+    table = benchmark.pedantic(
+        figures.figure7, args=(suite,), rounds=1, iterations=1
+    )
+    print("\n" + table)
+
+    top = suite["temporal/100%"].max_update_count
+
+    # "the rollback and the historical databases exhibit similar
+    # performance"
+    for query_id in ("Q01", "Q02", "Q05", "Q06", "Q07", "Q08"):
+        rollback = suite["rollback/100%"].costs[query_id][top].input_pages
+        historical = suite["historical/100%"].costs[query_id][top].input_pages
+        assert rollback == historical
+
+    # "the temporal database is about twice more expensive than rollback
+    # and historical databases" at high update counts.
+    for query_id in ("Q01", "Q03", "Q07"):
+        temporal = suite["temporal/100%"].costs[query_id][top].input_pages
+        rollback = suite["rollback/100%"].costs[query_id][top].input_pages
+        assert temporal == pytest.approx(2 * rollback, rel=0.15)
+
+    # Lower loading halves the degradation but costs more up front for
+    # scans (the Section-6 trade-off).
+    full = suite["temporal/100%"]
+    half = suite["temporal/50%"]
+    assert half.costs["Q01"][top].input_pages < (
+        full.costs["Q01"][top].input_pages
+    )
+    assert half.costs["Q07"][0].input_pages > (
+        full.costs["Q07"][0].input_pages
+    )
+
+    if at_paper_scale(scale):
+        for label, per_query in FIGURE7.items():
+            for query_id, (uc0, uc14) in per_query.items():
+                measured = suite[label].costs[query_id]
+                tolerance = 0.04 if query_id in ("Q09", "Q10") else 0.0
+                if label.startswith("static") and query_id in (
+                    "Q01", "Q05", "Q07", "Q09", "Q10"
+                ):
+                    # The static database's hashed relation depends on the
+                    # unpublished Ingres hash function (DESIGN.md section 4):
+                    # the paper's file had overflow chains ours does not.
+                    continue
+                if tolerance:
+                    assert measured[0].input_pages == pytest.approx(
+                        uc0, rel=tolerance
+                    )
+                    if uc14 is not None:
+                        assert measured[14].input_pages == pytest.approx(
+                            uc14, rel=tolerance
+                        )
+                else:
+                    assert measured[0].input_pages == uc0
+                    if uc14 is not None:
+                        assert measured[14].input_pages == uc14

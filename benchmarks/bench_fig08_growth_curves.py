@@ -1,0 +1,52 @@
+"""Figure 8: growth curves of input cost against update count.
+
+Regenerates both panels -- (a) the temporal database at 100 % loading and
+(b) the rollback database at 50 % loading -- and asserts the features the
+paper points at: straight lines in (a), and the "jagged lines caused by the
+odd numbered updates filling the space left over by the previous updates"
+in (b).
+"""
+
+import pytest
+
+from repro.bench import figures
+
+
+@pytest.mark.benchmark(group="figure08")
+def test_figure8_growth_curves(benchmark, suite, scale):
+    table = benchmark.pedantic(
+        figures.figure8, args=(suite,), rounds=1, iterations=1
+    )
+    print("\n" + table)
+
+    # Panel (a): linearity at 100 % loading.
+    temporal = suite["temporal/100%"]
+    top = temporal.max_update_count
+    for query_id in ("Q01", "Q03", "Q11", "Q12"):
+        series = temporal.input_series(query_id)
+        increments = [b - a for a, b in zip(series, series[1:])]
+        assert max(increments) <= min(increments) * 1.15 + 1
+
+    # Panel (b): the jagged 50 % pattern -- odd updates fill leftover
+    # space, so the keyed-access cost repeats in pairs.
+    rollback_half = suite["rollback/50%"]
+    series = rollback_half.input_series("Q01")
+    pairs = list(zip(series[0::2], series[1::2]))
+    assert all(a == b for a, b in pairs)
+    # And it still climbs overall.
+    assert series[-1] > series[0]
+
+    # The two panels order as the paper draws them: a temporal update
+    # pass writes twice the versions of a rollback pass, so the absolute
+    # scan-cost slope of panel (a) is about twice that of panel (b)
+    # (evaluated at even endpoints; the 50 % curve is jagged).
+    even = top - top % 2
+    r_even = rollback_half.max_update_count - rollback_half.max_update_count % 2
+    t_slope = (
+        temporal.input_series("Q03")[even] - temporal.input_series("Q03")[0]
+    ) / even
+    r_slope = (
+        rollback_half.input_series("Q03")[r_even]
+        - rollback_half.input_series("Q03")[0]
+    ) / r_even
+    assert t_slope == pytest.approx(2 * r_slope, rel=0.1)

@@ -1,0 +1,74 @@
+"""Figure 10: the Section-6 enhancements, measured.
+
+The paper estimated these numbers; this benchmark measures them from the
+implemented two-level store, clustered history and secondary indexes, and
+asserts the improvements the paper predicts:
+
+* the two-level store restores update-count-0 cost for the static queries
+  Q05-Q10;
+* clustering collapses a version scan to a handful of pages;
+* a hashed 2-level index answers a non-key selection in ~2 pages where the
+  conventional structure reads thousands.
+"""
+
+import pytest
+
+from benchmarks.conftest import at_paper_scale
+from repro.bench import figures
+from repro.bench.paper_data import FIGURE10
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10_enhancements(benchmark, enhancements, scale):
+    table = benchmark.pedantic(
+        figures.figure10, args=(enhancements,), rounds=1, iterations=1
+    )
+    print("\n" + table)
+
+    baseline = enhancements.baseline_uc0
+    conventional = enhancements.variants["conventional"]
+    simple = enhancements.variants["twolevel_simple"]
+    clustered = enhancements.variants["twolevel_clustered"]
+
+    # Static queries return to their UC-0 cost on the two-level store.
+    for query_id in ("Q05", "Q06", "Q07", "Q08", "Q09", "Q10"):
+        assert simple[query_id] == baseline[query_id]
+        assert clustered[query_id] == baseline[query_id]
+        assert conventional[query_id] > simple[query_id]
+
+    # Clustering improves version scans (Q01/Q02) over the simple layout.
+    assert clustered["Q01"] < simple["Q01"]
+    assert clustered["Q02"] < simple["Q02"]
+
+    # Index quality ordering for the non-key selections (Q07/Q08):
+    # conventional > 1-level heap > 1-level hash > 2-level heap >= 2-level
+    # hash, exactly the ordering of the paper's columns.
+    for query_id in ("Q07", "Q08"):
+        chain = [
+            conventional[query_id],
+            enhancements.variants["index_1level_heap"][query_id],
+            enhancements.variants["index_1level_hash"][query_id],
+            enhancements.variants["index_2level_heap"][query_id],
+        ]
+        assert chain == sorted(chain, reverse=True)
+        assert (
+            enhancements.variants["index_2level_hash"][query_id]
+            <= enhancements.variants["index_2level_heap"][query_id]
+        )
+
+    if at_paper_scale(scale):
+        # The flagship numbers: Q07 via a hashed 2-level index costs 2
+        # pages ("Note the difference between 3717 pages and 2 pages for
+        # processing the same query").
+        assert enhancements.variants["index_2level_hash"]["Q07"] == 2
+        # The paper's 1-level estimates assume each fetched version costs
+        # one page; measured costs come in at or under them because
+        # versions written together share pages.
+        assert 2 < enhancements.variants["index_1level_hash"]["Q07"] <= (
+            FIGURE10["Q07"]["index_1level_hash"]
+        )
+        assert clustered["Q01"] == FIGURE10["Q01"]["twolevel_clustered"]
+        assert simple["Q07"] == FIGURE10["Q07"]["twolevel_simple"]
+        assert simple["Q09"] == pytest.approx(
+            FIGURE10["Q09"]["twolevel_simple"], rel=0.04
+        )

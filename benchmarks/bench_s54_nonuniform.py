@@ -1,0 +1,37 @@
+"""Section 5.4: the non-uniform (maximum-variance) update experiment.
+
+One tuple absorbs every update; the benchmark asserts the paper's
+conclusion that "the growth rate is independent of the distribution of
+updated tuples": the weighted-average hashed-access cost equals the
+uniform-distribution cost at every average update count.
+"""
+
+import pytest
+
+from benchmarks.conftest import at_paper_scale
+from repro.bench import figures
+
+
+@pytest.mark.benchmark(group="section54")
+def test_nonuniform_updates(benchmark, skew, scale):
+    table = benchmark.pedantic(
+        figures.nonuniform_table, args=(skew,), rounds=1, iterations=1
+    )
+    print("\n" + table)
+
+    for average_uc, weighted, uniform, chain, clean, sharing in skew.rows:
+        # The headline: weighted average == uniform-case cost.
+        assert weighted == pytest.approx(uniform, rel=0.02)
+        # Maximum variance: the hot chain explodes while clean buckets
+        # stay at one page.
+        assert clean == 1
+        assert chain > 10 * average_uc
+
+    if at_paper_scale(scale):
+        # The paper's worked example: after 1024 updates of one tuple
+        # (average update count 1), "a hashed access to any tuple sharing
+        # the same page as the changed tuple costs 257 page accesses ...
+        # the average cost becomes three page accesses".
+        average_uc, weighted, uniform, chain, clean, sharing = skew.rows[0]
+        assert chain == 257
+        assert weighted == pytest.approx(3.0, abs=0.05)

@@ -1,0 +1,61 @@
+"""End-to-end timing benchmarks of the reproduction itself.
+
+These time the machinery (not the paper's page counts): loading a test
+database, one uniform evolution pass, and a representative mix of keyed /
+scan / join queries on the temporal database.  Useful for tracking
+performance regressions in the engine.
+"""
+
+import pytest
+
+from repro.bench.evolve import evolve_uniform
+from repro.bench.queries import benchmark_queries
+from repro.bench.workload import WorkloadConfig, build_database
+from repro.catalog.schema import DatabaseType
+
+CONFIG = WorkloadConfig(db_type=DatabaseType.TEMPORAL, loading=100, tuples=256)
+
+
+@pytest.mark.benchmark(group="engine")
+def test_time_build_database(benchmark):
+    bench = benchmark.pedantic(
+        build_database, args=(CONFIG,), rounds=3, iterations=1
+    )
+    assert bench.h.row_count == 256
+
+
+@pytest.mark.benchmark(group="engine")
+def test_time_evolution_pass(benchmark):
+    bench = build_database(CONFIG)
+
+    benchmark.pedantic(
+        evolve_uniform, args=(bench,), kwargs={"steps": 1},
+        rounds=3, iterations=1,
+    )
+    assert bench.update_count >= 3
+
+
+@pytest.mark.benchmark(group="engine")
+def test_time_keyed_access(benchmark):
+    bench = build_database(CONFIG)
+    evolve_uniform(bench, steps=2)
+    text = benchmark_queries(bench.config)["Q01"]
+    result = benchmark(bench.db.execute, text)
+    assert result.input_pages == 5  # 1 + 2n at n = 2
+
+
+@pytest.mark.benchmark(group="engine")
+def test_time_sequential_scan(benchmark):
+    bench = build_database(CONFIG)
+    evolve_uniform(bench, steps=2)
+    text = benchmark_queries(bench.config)["Q07"]
+    result = benchmark(bench.db.execute, text)
+    assert result.input_pages == bench.h.page_count
+
+
+@pytest.mark.benchmark(group="engine")
+def test_time_join_with_substitution(benchmark):
+    bench = build_database(CONFIG)
+    text = benchmark_queries(bench.config)["Q09"]
+    result = benchmark(bench.db.execute, text)
+    assert result.input_pages > 256  # one probe per tuple

@@ -1,0 +1,34 @@
+"""The machine-checked scorecard: every measurable published cell.
+
+At paper scale this compares all 482 cells of Figures 5, 6, 7 and 9
+against the published tables and requires zero failures (364 exact
+matches, the rest within the documented tolerances).  At reduced scale the
+comparison is meaningless and the validator refuses to run.
+"""
+
+import pytest
+
+from benchmarks.conftest import at_paper_scale
+from repro.bench.validate import validate
+
+
+@pytest.mark.benchmark(group="validation")
+def test_cell_by_cell_validation(benchmark, suite, scale):
+    if not at_paper_scale(scale):
+        with pytest.raises(ValueError):
+            validate(suite)
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        return
+
+    report = benchmark.pedantic(
+        validate, args=(suite,), rounds=1, iterations=1
+    )
+    print("\n" + report.summary())
+    for cell in report.failures:
+        print(
+            f"  FAIL {cell.figure} {cell.label} {cell.item}: "
+            f"{cell.measured} vs {cell.published}"
+        )
+    assert not report.failures
+    assert report.exact_matches >= 350
+    assert len(report.cells) >= 480

@@ -1,0 +1,81 @@
+"""A guided miniature of the paper's experiment.
+
+Runs the Section-5 protocol at small scale (64 tuples instead of 1024) on
+one temporal database and narrates what the paper's evaluation narrates:
+the linear cost growth, the growth-rate law, and the Section-6 rescue.
+
+Run:  python examples/benchmark_tour.py
+"""
+
+from repro.bench.evolve import evolve_uniform
+from repro.bench.queries import benchmark_queries
+from repro.bench.runner import measure_query
+from repro.bench.workload import WorkloadConfig, build_database
+from repro.catalog.schema import DatabaseType
+
+
+def main() -> None:
+    config = WorkloadConfig(
+        db_type=DatabaseType.TEMPORAL, loading=100, tuples=64
+    )
+    bench = build_database(config)
+    texts = benchmark_queries(config)
+
+    print(
+        "The benchmark database: two 64-tuple temporal relations, one "
+        "hashed, one ISAM\n(the paper used 1024 tuples; everything scales)."
+    )
+    print(
+        f"  sizes: hashed {bench.h.page_count} pages, "
+        f"ISAM {bench.i.page_count} pages\n"
+    )
+
+    print("Costs (page reads) as every tuple is replaced, pass by pass:")
+    print(f"{'update count':>13} {'Q01 keyed':>10} {'Q07 scan':>9} "
+          f"{'Q09 join':>9}")
+    history = {}
+    for update_count in range(5):
+        if update_count:
+            evolve_uniform(bench, steps=1)
+        row = {
+            q: measure_query(bench, texts[q]).input_pages
+            for q in ("Q01", "Q07", "Q09")
+        }
+        history[update_count] = row
+        print(
+            f"{update_count:>13} {row['Q01']:>10} {row['Q07']:>9} "
+            f"{row['Q09']:>9}"
+        )
+
+    growth = (history[4]["Q01"] - history[0]["Q01"]) / 4
+    print(
+        f"\nThe keyed access grows {growth:.0f} pages per update pass: "
+        "the growth rate is 2 --\ntwice the loading factor, because each "
+        "temporal replace stores two versions.\n"
+    )
+
+    print("Section 6's rescue: move the relations to a two-level store")
+    print("with clustered history, and index the non-key attribute...")
+    for name, primary in ((bench.h_name, "hash"), (bench.i_name, "isam")):
+        bench.db.execute(
+            f"modify {name} to twolevel on id where "
+            f'primary = "{primary}", history = "clustered"'
+        )
+    bench.db.execute(
+        f"index on {bench.h_name} is amt_idx (amount) "
+        "where structure = hash, levels = 2"
+    )
+    enhanced_queries = benchmark_queries(config, two_level=True)
+    print(f"{'query':>13} {'before':>10} {'after':>9}")
+    for q in ("Q01", "Q07", "Q09"):
+        after = measure_query(bench, enhanced_queries[q]).input_pages
+        print(f"{q:>13} {history[4][q]:>10} {after:>9}")
+    print(
+        "\nCurrent-state queries are back to their update-count-0 cost; "
+        "the version\nscan reads a clustered handful of pages.  That is "
+        "Figure 10."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Historical database: salary history with retroactive changes.
+
+The paper's introduction motivates temporal support with "historical
+queries about the past status" and "retroactive or postactive changes".
+This example keeps a *historical* relation (valid time only) of salaries:
+
+* normal raises close the old validity period and open a new one;
+* a retroactive raise is recorded with an explicit ``valid`` clause;
+* ``when`` queries reconstruct the salary on any date, and a year-end
+  query drives a simple trend analysis.
+
+Run:  python examples/employee_history.py
+"""
+
+from repro import Clock, TemporalDatabase, parse_temporal, format_chronon
+
+
+def main() -> None:
+    clock = Clock(start=parse_temporal("1/1/82"), tick=0)
+    db = TemporalDatabase("payroll", clock=clock)
+
+    # 'interval' (without 'persistent') => a historical relation.
+    db.execute("create interval salary (name = c20, monthly = i4)")
+    db.execute("range of s is salary")
+
+    # Jane hired Jan 1982 at 2600/month.
+    db.execute('append to salary (name = "jane", monthly = 2600)')
+
+    # A normal raise on 1 June 1982.
+    clock.set(parse_temporal("6/1/82"))
+    db.execute('replace s (monthly = 2900) where s.name = "jane"')
+
+    # In November, payroll discovers the June raise should have been 3000
+    # starting 1 May -- a *retroactive* change, expressed with the valid
+    # clause rather than by patching backups (the ad-hoc practice the
+    # paper's introduction complains about).
+    clock.set(parse_temporal("11/15/82"))
+    db.execute(
+        'replace s (monthly = 3000) '
+        'valid from "5/1/82" to "forever" '
+        'where s.name = "jane"'
+    )
+
+    print("salary history for jane:")
+    result = db.execute('retrieve (s.monthly) where s.name = "jane"')
+    for monthly, valid_from, valid_to in sorted(result.rows, key=lambda r: r[1]):
+        print(
+            f"   {monthly:>5}/month   valid "
+            f"[{format_chronon(valid_from)} .. {format_chronon(valid_to)})"
+        )
+
+    print("\nwhat was jane paid on 15 May 1982?")
+    result = db.execute(
+        'retrieve (s.monthly) where s.name = "jane" when s overlap "5/15/82"'
+    )
+    print("  ", [row[0] for row in result.rows], "per month")
+    print(
+        "   (both versions overlap May: a historical relation keeps no\n"
+        "    transaction time, so a retroactive correction cannot supersede\n"
+        "    the old fact -- the temporal relation in\n"
+        "    examples/engineering_versions.py resolves exactly this)"
+    )
+
+    print("\nwho was earning more than 2800 at year end?")
+    result = db.execute(
+        "retrieve (s.name, s.monthly) "
+        'where s.monthly > 2800 when s overlap "12/31/82"'
+    )
+    for row in result.rows:
+        print("  ", row[:2])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Editable-install shim for environments without PEP 660 support
+(the offline test machines lack the wheel package)."""
+
+from setuptools import setup
+
+setup()

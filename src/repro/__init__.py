@@ -1,0 +1,86 @@
+"""tquel-repro: a reproduction of Ahn & Snodgrass's temporal DBMS prototype.
+
+    Ilsoo Ahn and Richard Snodgrass, "Performance Evaluation of a Temporal
+    Database Management System", UNC-CH TR 85-033 / ACM SIGMOD 1986.
+
+The package implements, from scratch in Python:
+
+* an Ingres-style paged storage engine (1024-byte pages, heap/hash/ISAM
+  access methods with overflow chains, one buffer page per user relation,
+  page-level I/O accounting);
+* the TQuel query language (a superset of Quel) over four database types:
+  static, rollback, historical and temporal;
+* the paper's Section-6 performance enhancements: a two-level store and
+  1-/2-level secondary indexes -- implemented and measured rather than
+  estimated;
+* the full 12-query benchmark of Section 5 with the paper's evolution
+  protocol, cost model and figure/table renderers (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import TemporalDatabase
+
+    db = TemporalDatabase()
+    db.execute('create persistent interval emp (name = c20, sal = i4)')
+    db.execute('append to emp (name = "ahn", sal = 30000)')
+    db.execute('range of e is emp')
+    print(db.execute('retrieve (e.name, e.sal) when e overlap "now"').rows)
+"""
+
+from repro.access.base import StructureKind
+from repro.access.secondary import IndexLevels, SecondaryIndex
+from repro.access.twolevel import HistoryLayout, TwoLevelStore
+from repro.catalog.schema import DatabaseType, RelationKind, RelationSchema
+from repro.engine.database import TemporalDatabase
+from repro.engine.integrity import check_database, check_relation
+from repro.engine.result import Result
+from repro.temporal.coalesce import coalesce_periods, coalesce_rows
+from repro.errors import (
+    ReproError,
+    TQuelError,
+    TQuelSemanticError,
+    TQuelSyntaxError,
+)
+from repro.storage.iostats import IODelta, IOStats
+from repro.temporal import (
+    BEGINNING,
+    FOREVER,
+    Clock,
+    Period,
+    Resolution,
+    format_chronon,
+    parse_temporal,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BEGINNING",
+    "Clock",
+    "DatabaseType",
+    "FOREVER",
+    "HistoryLayout",
+    "IODelta",
+    "IOStats",
+    "IndexLevels",
+    "Period",
+    "RelationKind",
+    "RelationSchema",
+    "ReproError",
+    "Resolution",
+    "Result",
+    "SecondaryIndex",
+    "StructureKind",
+    "TQuelError",
+    "TQuelSemanticError",
+    "TQuelSyntaxError",
+    "TemporalDatabase",
+    "TwoLevelStore",
+    "check_database",
+    "check_relation",
+    "coalesce_periods",
+    "coalesce_rows",
+    "format_chronon",
+    "parse_temporal",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Access methods: Ingres's storage structures plus the paper's Section-6
+enhancements.
+
+Conventional structures (what the prototype was benchmarked with):
+
+* :mod:`repro.access.heap` -- unordered heap files;
+* :mod:`repro.access.hashfile` -- static hashing with a fillfactor and
+  per-bucket overflow chains (``modify ... to hash on key``);
+* :mod:`repro.access.isam` -- ISAM with a multi-level key directory and
+  per-data-page overflow chains (``modify ... to isam on key``).
+
+Enhancements the paper proposes (Section 6), implemented here for real
+rather than estimated:
+
+* :mod:`repro.access.twolevel` -- the two-level store separating current
+  versions (primary store) from history versions (history store), with an
+  optional per-tuple *clustered* history layout;
+* :mod:`repro.access.secondary` -- 1-level and 2-level secondary indexes on
+  a non-key attribute, stored as heaps or hash files.
+"""
+
+from repro.access.base import RID, AccessMethod, StructureKind
+from repro.access.btree import BTreeFile
+from repro.access.hashfile import HashFile
+from repro.access.heap import HeapFile
+from repro.access.isam import IsamFile
+from repro.access.secondary import IndexLevels, SecondaryIndex
+from repro.access.twolevel import HistoryLayout, TwoLevelStore
+
+__all__ = [
+    "AccessMethod",
+    "BTreeFile",
+    "HashFile",
+    "HeapFile",
+    "HistoryLayout",
+    "IndexLevels",
+    "IsamFile",
+    "RID",
+    "SecondaryIndex",
+    "StructureKind",
+    "TwoLevelStore",
+]

@@ -1,0 +1,285 @@
+"""Secondary indexes on non-key attributes (Section 6).
+
+"Queries retrieving records through non-key attributes (e.g. Q07 and Q08)
+can be facilitated by secondary indexing.  ...  The index may be stored into
+a single file for all the versions (1 level), or may itself be maintained as
+a 2-level structure having a current index for current data and a history
+index for history data.  In each case, any storage structure such as a heap,
+hashing or ISAM may be chosen for the index."
+
+An index entry is the paper's eight bytes: the four-byte secondary key plus
+a four-byte tuple id (tid).  A tid packs (store, page, slot):
+
+* bit 30        -- 1 when the record lives in a history store;
+* bits 12..29   -- page id;
+* bits 0..11    -- slot (pages hold at most 1018 records).
+
+Index structures implemented: ``heap`` (an equality search scans the whole
+index) and ``hash`` on the secondary key (an equality search reads one
+bucket chain).  A ``ONE_LEVEL`` index holds entries for every version; a
+``TWO_LEVEL`` index keeps a *current index* whose entries are updated in
+place as tuples are replaced (so it never grows) plus an append-only
+*history index*.
+
+The paper *estimated* index costs (Figure 10, "as 1-Level" / "as 2-Level"
+columns); here they are measured from a real implementation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+from repro.access.base import StructureKind
+from repro.access.hashfile import HashFile, hash_key
+from repro.access.heap import HeapFile
+from repro.errors import AccessMethodError
+from repro.storage.buffer import BufferPool
+from repro.storage.record import FieldSpec, RecordCodec
+
+_SLOT_BITS = 12
+_PAGE_BITS = 18
+_HISTORY_BIT = 1 << (_SLOT_BITS + _PAGE_BITS)
+
+
+def pack_tid(page_id: int, slot: int, history: bool = False) -> int:
+    """Pack a record address into a four-byte tid."""
+    if not 0 <= slot < (1 << _SLOT_BITS):
+        raise AccessMethodError(f"slot {slot} does not fit in a tid")
+    if not 0 <= page_id < (1 << _PAGE_BITS):
+        raise AccessMethodError(f"page {page_id} does not fit in a tid")
+    tid = (page_id << _SLOT_BITS) | slot
+    if history:
+        tid |= _HISTORY_BIT
+    return tid
+
+
+def unpack_tid(tid: int) -> "tuple[bool, int, int]":
+    """Unpack a tid into (history?, page_id, slot)."""
+    history = bool(tid & _HISTORY_BIT)
+    page_id = (tid >> _SLOT_BITS) & ((1 << _PAGE_BITS) - 1)
+    slot = tid & ((1 << _SLOT_BITS) - 1)
+    return history, page_id, slot
+
+
+class IndexLevels(enum.Enum):
+    """1-level (all versions together) vs 2-level (current + history)."""
+
+    ONE_LEVEL = 1
+    TWO_LEVEL = 2
+
+
+class _IndexFile:
+    """One physical index file: (key, tid) entries in a heap or hash file."""
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        name: str,
+        key_field: FieldSpec,
+        structure: StructureKind,
+    ):
+        self._codec = RecordCodec(
+            [
+                FieldSpec("key", key_field.type, key_field.width),
+                FieldSpec.parse("tid", "i4"),
+            ]
+        )
+        file = pool.create_file(name, self._codec.record_size)
+        if structure is StructureKind.HEAP:
+            self._store = HeapFile(file, self._codec)
+        elif structure is StructureKind.HASH:
+            self._store = HashFile(file, self._codec, key_index=0)
+        else:
+            raise AccessMethodError(
+                f"index structure must be heap or hash, not {structure}"
+            )
+        self._structure = structure
+        self._built = False
+
+    @property
+    def structure(self) -> StructureKind:
+        return self._structure
+
+    @property
+    def page_count(self) -> int:
+        return self._store.page_count
+
+    @property
+    def entry_count(self) -> int:
+        return self._store.row_count
+
+    def build(self, entries: "list[tuple]", fillfactor: int = 100) -> None:
+        self._store.build(entries, fillfactor)
+        self._built = True
+
+    def add(self, key, tid: int) -> tuple:
+        if not self._built:
+            self.build([])
+        return self._store.insert((key, tid))
+
+    def update(self, rid: tuple, key, tid: int) -> tuple:
+        """Re-point an entry; returns the entry's (possibly new) rid.
+
+        Heap entries update in place.  A hash entry can only update in
+        place while its key stays in the same bucket; when the key moves
+        buckets a fresh entry is appended and the stale one remains --
+        harmless, since fetched rows are re-checked against the query's
+        qualification, but it means a hash current index grows when
+        indexed values change (the paper's benchmark never changes them).
+        """
+        if self._structure is StructureKind.HASH:
+            old_key = self._store.read_rid(rid)[0]
+            buckets = self._store.buckets
+            if hash_key(old_key, buckets) != hash_key(key, buckets):
+                return self._store.insert((key, tid))
+        self._store.update(rid, (key, tid))
+        return rid
+
+    def snapshot_meta(self) -> dict:
+        return {"built": self._built, "store": self._store.snapshot_meta()}
+
+    def restore_meta(self, meta: dict) -> None:
+        self._built = bool(meta["built"])
+        self._store.restore_meta(meta["store"])
+
+    def search(self, key) -> "Iterator[int]":
+        """Yield tids whose entry key equals *key* (metered index reads)."""
+        if not self._built:
+            return
+        if self._structure is StructureKind.HASH:
+            for _, (__, tid) in self._store.lookup(key):
+                yield tid
+        else:
+            for _, (entry_key, tid) in self._store.scan():
+                if entry_key == key:
+                    yield tid
+
+
+class SecondaryIndex:
+    """A named secondary index over one attribute of a relation."""
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        name: str,
+        attribute: str,
+        attribute_index: int,
+        key_field: FieldSpec,
+        structure: StructureKind = StructureKind.HASH,
+        levels: IndexLevels = IndexLevels.ONE_LEVEL,
+    ):
+        self.name = name
+        self.attribute = attribute
+        self.attribute_index = attribute_index
+        self.levels = levels
+        self.structure = structure
+        if levels is IndexLevels.TWO_LEVEL:
+            self._current = _IndexFile(
+                pool, f"{name}.current", key_field, structure
+            )
+            self._history = _IndexFile(
+                pool, f"{name}.history", key_field, structure
+            )
+        else:
+            self._current = _IndexFile(pool, name, key_field, structure)
+            self._history = None
+        # Logical tuple key -> rid of its entry in the current index, used
+        # to update entries in place as tuples are replaced.
+        self._entry_rids: "dict[object, tuple]" = {}
+
+    @property
+    def page_count(self) -> int:
+        total = self._current.page_count
+        if self._history is not None:
+            total += self._history.page_count
+        return total
+
+    @property
+    def entry_count(self) -> int:
+        total = self._current.entry_count
+        if self._history is not None:
+            total += self._history.entry_count
+        return total
+
+    def build(
+        self,
+        current_entries: "list[tuple[object, object, int]]",
+        history_entries: "list[tuple[object, int]]",
+        fillfactor: int = 100,
+    ) -> None:
+        """Bulk-build from (tuple_key, value, tid) current entries and
+        (value, tid) history entries.
+
+        For a 1-level index the two lists land in the same file; for a
+        2-level index they build the current and history indexes.
+        """
+        current = [(value, tid) for _, value, tid in current_entries]
+        if self._history is not None:
+            self._current.build(current, fillfactor)
+            self._history.build(list(history_entries), fillfactor)
+        else:
+            self._current.build(current + list(history_entries), fillfactor)
+        # Recover current-entry rids (needed for in-place maintenance) with
+        # one unmeasured pass; build is a bulk operation outside any query.
+        rid_by_tid = {
+            tid: rid for rid, (_, tid) in self._current._store.scan()
+        }
+        for tuple_key, _, tid in current_entries:
+            if tid in rid_by_tid:
+                self._entry_rids[tuple_key] = rid_by_tid[tid]
+
+    def add_current(self, tuple_key, value, tid: int) -> None:
+        """Index a brand-new current version (TQuel ``append``)."""
+        rid = self._current.add(value, tid)
+        self._entry_rids[tuple_key] = rid
+
+    def add_history(self, value, tid: int) -> None:
+        """Index a superseded version."""
+        target = self._history if self._history is not None else self._current
+        target.add(value, tid)
+
+    def replace_current(self, tuple_key, value, tid: int) -> None:
+        """Point the tuple's current entry at its new current version.
+
+        In a 2-level index this updates the entry in place, keeping the
+        current index at one entry per logical tuple.
+        """
+        rid = self._entry_rids.get(tuple_key)
+        if rid is None:
+            self.add_current(tuple_key, value, tid)
+            return
+        self._entry_rids[tuple_key] = self._current.update(rid, value, tid)
+
+    def snapshot_meta(self) -> dict:
+        """Index metadata for the persistence layer (JSON-safe)."""
+        meta = {
+            "current": self._current.snapshot_meta(),
+            "entry_rids": [
+                [key, list(rid)] for key, rid in self._entry_rids.items()
+            ],
+        }
+        if self._history is not None:
+            meta["history"] = self._history.snapshot_meta()
+        return meta
+
+    def restore_meta(self, meta: dict) -> None:
+        """Reinstate metadata; the index files must hold their pages."""
+        self._current.restore_meta(meta["current"])
+        if self._history is not None and "history" in meta:
+            self._history.restore_meta(meta["history"])
+        self._entry_rids = {
+            key: tuple(rid) for key, rid in meta["entry_rids"]
+        }
+
+    def search(self, value, current_only: bool = False) -> "Iterator[int]":
+        """Yield candidate tids for an equality qualification on *value*.
+
+        ``current_only`` restricts a 2-level index to its current index --
+        the fast path for non-temporal queries.  A 1-level index always
+        yields all versions; the caller filters by the query's temporal
+        predicates.
+        """
+        yield from self._current.search(value)
+        if self._history is not None and not current_only:
+            yield from self._history.search(value)

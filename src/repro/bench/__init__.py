@@ -1,0 +1,33 @@
+"""The paper's Section-5 benchmark, end to end.
+
+* :mod:`repro.bench.workload` -- the eight test databases of Section 5.1
+  (4 types x 2 loading factors; two 1024-tuple relations each, one hashed
+  and one ISAM);
+* :mod:`repro.bench.queries` -- the twelve benchmark queries of Figure 4,
+  adapted per database type as the paper describes;
+* :mod:`repro.bench.evolve` -- the uniform evolution protocol (replace
+  every current tuple, raising the average update count by one) and the
+  Section-5.4 maximum-variance skewed protocol;
+* :mod:`repro.bench.runner` -- sweeps update counts, measuring space and
+  per-query input/output pages;
+* :mod:`repro.bench.costmodel` -- fixed costs, variable costs, growth rates
+  and the Section-5.3 prediction formula;
+* :mod:`repro.bench.enhancements` -- the Figure-10 run: two-level stores
+  (simple and clustered) and 1-/2-level secondary indexes;
+* :mod:`repro.bench.figures` -- text renderers for every figure/table,
+  side by side with the paper's published numbers
+  (:mod:`repro.bench.paper_data`).
+
+``python -m repro.bench`` regenerates everything at the paper's scale.
+"""
+
+from repro.bench.runner import BenchmarkResult, BenchmarkRun, run_suite
+from repro.bench.workload import BenchDatabase, WorkloadConfig
+
+__all__ = [
+    "BenchDatabase",
+    "BenchmarkResult",
+    "BenchmarkRun",
+    "WorkloadConfig",
+    "run_suite",
+]

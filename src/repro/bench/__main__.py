@@ -1,0 +1,145 @@
+"""Regenerate every figure and table of the paper: ``python -m repro.bench``.
+
+By default this runs the full paper-scale benchmark (1024 tuples, update
+counts 0..15, all eight databases, the Figure-10 enhancement run and the
+Section-5.4 skew experiment).  That is a few minutes of pure-Python work;
+``--scale small`` runs a reduced configuration for a quick look.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import figures
+from repro.bench.enhancements import run_enhancements_cached
+from repro.bench.nonuniform import run_nonuniform
+from repro.bench.runner import run_suite
+
+SCALES = {
+    # name: (tuples, max update count, enhancement uc, skew max avg uc)
+    "paper": (1024, 15, 14, 4),
+    "small": (256, 7, 6, 2),
+    "tiny": (64, 3, 2, 1),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the evaluation of Ahn & Snodgrass 1986.",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="paper",
+        help="benchmark scale (default: paper = 1024 tuples, UC 0..15)",
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        choices=["5", "6", "7", "8", "9", "10", "nonuniform"],
+        help="regenerate only the given figure(s); default: all",
+    )
+    parser.add_argument("--seed", type=int, default=1986)
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also dump the raw sweep measurements as JSON",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="compare every measurable cell against the published tables "
+        "(paper scale only) and print the scorecard",
+    )
+    args = parser.parse_args(argv)
+
+    tuples, max_uc, enh_uc, skew_uc = SCALES[args.scale]
+    wanted = set(args.figure) if args.figure else {
+        "5", "6", "7", "8", "9", "10", "nonuniform"
+    }
+    started = time.time()
+
+    def progress(config, update_count):
+        sys.stderr.write(
+            f"\r  sweeping {config.label:<16} uc={update_count:<3} "
+            f"[{time.time() - started:6.1f}s]"
+        )
+        sys.stderr.flush()
+
+    sections = []
+    if args.validate or args.json or wanted & {"5", "6", "7", "8", "9"}:
+        results = run_suite(
+            tuples=tuples, max_update_count=max_uc, seed=args.seed,
+            progress=progress,
+        )
+        sys.stderr.write("\n")
+        if args.json:
+            import json
+
+            with open(args.json, "w", encoding="ascii") as handle:
+                json.dump(
+                    {
+                        label: result.to_dict()
+                        for label, result in results.items()
+                    },
+                    handle,
+                    indent=1,
+                )
+            sys.stderr.write(f"  wrote raw measurements to {args.json}\n")
+        if args.validate:
+            from repro.bench.validate import validate
+
+            try:
+                report = validate(results)
+            except ValueError as error:
+                sys.stderr.write(f"  validation skipped: {error}\n")
+            else:
+                lines = ["Validation against the published tables:",
+                         "  " + report.summary()]
+                for cell in report.failures:
+                    lines.append(
+                        f"  FAIL {cell.figure} {cell.label} {cell.item}: "
+                        f"measured {cell.measured} vs published "
+                        f"{cell.published}"
+                    )
+                sections.append("\n".join(lines))
+        if "5" in wanted:
+            sections.append(figures.figure5(results))
+        if "6" in wanted:
+            sections.append(figures.figure6(results))
+        if "7" in wanted:
+            sections.append(figures.figure7(results))
+        if "8" in wanted:
+            sections.append(figures.figure8(results))
+        if "9" in wanted:
+            sections.append(figures.figure9(results))
+    if "10" in wanted:
+        sys.stderr.write("  running the Figure-10 enhancement suite...\n")
+        sections.append(
+            figures.figure10(
+                run_enhancements_cached(
+                    tuples=tuples, update_count=enh_uc, seed=args.seed
+                )
+            )
+        )
+    if "nonuniform" in wanted:
+        sys.stderr.write("  running the Section-5.4 skew experiment...\n")
+        sections.append(
+            figures.nonuniform_table(
+                run_nonuniform(
+                    tuples=tuples,
+                    max_average_update_count=skew_uc,
+                    seed=args.seed,
+                )
+            )
+        )
+    print(("\n\n" + "=" * 78 + "\n\n").join(sections))
+    sys.stderr.write(f"  done in {time.time() - started:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""The Section-5.3 cost model: fixed costs, variable costs, growth rates.
+
+Definitions from the paper:
+
+* the **fixed cost** "accounts for traversing the directory in the ISAM, or
+  for creating and accessing a temporary relation whose size is independent
+  of the update count" -- measured directly by the runner;
+* the **variable cost** "is defined to be the result of subtracting the
+  fixed cost from the cost of a query on a database with no update";
+* the **growth rate** at update count *n* is::
+
+      (cost(n) - cost(0)) / (variable_cost * n)
+
+  and the paper's headline result is that it equals the loading factor for
+  rollback/historical databases and twice the loading factor for temporal
+  databases, independent of query type, access method and update
+  distribution.
+
+The model also gives the prediction formula::
+
+    cost(n) = fixed + variable * (1 + growth_rate * n)
+
+which :func:`predict` implements and the benchmark validates against
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import BenchmarkResult
+from repro.catalog.schema import DatabaseType
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Fixed/variable decomposition of one query on one database."""
+
+    query_id: str
+    fixed: int
+    variable: int
+    growth_rate: "float | None"
+
+    def predict(self, update_count: int) -> float:
+        """The paper's formula for the cost at *update_count*."""
+        if self.growth_rate is None:
+            return float(self.fixed + self.variable)
+        return self.fixed + self.variable * (
+            1 + self.growth_rate * update_count
+        )
+
+
+def expected_growth_rate(db_type: DatabaseType, loading: int) -> "float | None":
+    """The paper's law: loading factor, doubled for temporal databases."""
+    if db_type is DatabaseType.STATIC:
+        return None
+    factor = loading / 100.0
+    if db_type is DatabaseType.TEMPORAL:
+        return 2.0 * factor
+    return factor
+
+
+def fit(result: BenchmarkResult, query_id: str) -> "CostModel | None":
+    """Derive the model for one query from a sweep's measurements."""
+    per_uc = result.costs.get(query_id)
+    if not per_uc or 0 not in per_uc:
+        return None
+    base = per_uc[0]
+    fixed = base.fixed_pages
+    variable = base.input_pages - fixed
+    # Evaluate the rate at update count 14 as the paper does; with 50 %
+    # loading the costs are jagged (odd updates fill leftover space), so
+    # an even endpoint gives the paper's asymptotic rate.
+    top = max(uc for uc in per_uc if uc <= 14 and uc % 2 == 0)
+    if top == 0 or variable <= 0:
+        return CostModel(query_id, fixed, max(variable, 0), None)
+    growth = (per_uc[top].input_pages - base.input_pages) / (variable * top)
+    return CostModel(query_id, fixed, variable, growth)
+
+
+def fit_all(result: BenchmarkResult) -> "dict[str, CostModel]":
+    models = {}
+    for query_id in result.costs:
+        model = fit(result, query_id)
+        if model is not None:
+            models[query_id] = model
+    return models
+
+
+def prediction_errors(
+    result: BenchmarkResult, query_id: str
+) -> "list[tuple[int, int, float]]":
+    """(update_count, measured, predicted) triples for one query.
+
+    The growth rate is derived from the *last* point, so the interesting
+    check is the interior points: the paper's claim that cost is linear in
+    the update count means interior errors stay small.
+    """
+    model = fit(result, query_id)
+    if model is None:
+        return []
+    rows = []
+    for update_count, cost in sorted(result.costs[query_id].items()):
+        rows.append(
+            (update_count, cost.input_pages, model.predict(update_count))
+        )
+    return rows

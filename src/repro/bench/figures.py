@@ -1,0 +1,360 @@
+"""Text renderers for every figure and table in the paper's evaluation.
+
+Each ``figure*`` function takes the measurements produced by
+:mod:`repro.bench.runner` (and friends) and renders a fixed-width text
+table; where the paper published numbers, they appear in parentheses next
+to the measured value so deviations are visible at a glance.  At paper
+scale most cells match exactly (see DESIGN.md section 4 for the expected
+residuals: the unpublished Ingres hash function and temporary-relation
+record format).
+"""
+
+from __future__ import annotations
+
+from repro.bench import paper_data
+from repro.bench.costmodel import fit_all
+from repro.bench.enhancements import VARIANTS, EnhancementResult
+from repro.bench.nonuniform import NonUniformResult
+from repro.bench.queries import ALL_QUERY_IDS
+from repro.bench.runner import BenchmarkResult
+
+_LABELS = [
+    "static/100%",
+    "static/50%",
+    "rollback/100%",
+    "rollback/50%",
+    "historical/100%",
+    "historical/50%",
+    "temporal/100%",
+    "temporal/50%",
+]
+
+
+def _table(title: str, headers: "list[str]", rows: "list[list[str]]") -> str:
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [title, ""]
+    lines.append(
+        "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(c).rjust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _cmp(measured, paper) -> str:
+    """Render a measured value with the paper's value alongside."""
+    if measured is None:
+        return "-"
+    if isinstance(measured, float):
+        text = f"{measured:.2f}".rstrip("0").rstrip(".")
+    else:
+        text = str(measured)
+    if paper is None:
+        return text
+    if isinstance(paper, float) or isinstance(measured, float):
+        same = abs(float(measured) - float(paper)) < 0.005
+    else:
+        same = measured == paper
+    return text if same else f"{text} ({paper})"
+
+
+def _at_paper_scale(results: "dict[str, BenchmarkResult]") -> bool:
+    sample = next(iter(results.values()))
+    return sample.config.tuples == 1024 and any(
+        r.max_update_count >= 14 for r in results.values()
+    )
+
+
+def figure5(results: "dict[str, BenchmarkResult]") -> str:
+    """Space requirements (pages), as Figure 5."""
+    paper_scale = _at_paper_scale(results)
+    headers = ["database", "rel", "size uc0", "size uc14",
+               "growth/update", "growth rate"]
+    rows = []
+    for label in _LABELS:
+        if label not in results:
+            continue
+        result = results[label]
+        paper = paper_data.FIGURE5.get(label, {}) if paper_scale else {}
+        top = min(result.max_update_count, 14)
+        for rel_index, rel_name in ((0, "H"), (1, "I")):
+            suffix = "h" if rel_name == "H" else "i"
+            size0 = result.sizes[0][rel_index]
+            size_top = result.sizes[top][rel_index] if top else None
+            growth = result.growth_per_update(suffix)
+            # Figure 5's "growth rate": growth per update over the initial
+            # size -- which the paper shows equals the loading factor
+            # (doubled for temporal databases).
+            rate = round(growth / size0, 2) if growth is not None else None
+            rows.append(
+                [
+                    label,
+                    rel_name,
+                    _cmp(size0, paper.get(f"{suffix}0")),
+                    _cmp(size_top, paper.get(f"{suffix}14") if top == 14 else None),
+                    _cmp(
+                        round(growth, 1) if growth is not None else None,
+                        paper.get(f"growth_{suffix}") if top == 14 else None,
+                    ),
+                    _cmp(rate, paper.get(f"rate_{suffix}")),
+                ]
+            )
+    return _table(
+        "Figure 5: Space Requirements (in Pages)   [measured (paper)]",
+        headers,
+        rows,
+    )
+
+
+def figure6(results: "dict[str, BenchmarkResult]") -> str:
+    """Input costs for the temporal database, 100 % loading (Figure 6)."""
+    result = results["temporal/100%"]
+    paper_scale = _at_paper_scale(results)
+    ucs = sorted(result.sizes)
+    headers = ["query"] + [str(uc) for uc in ucs]
+    rows = []
+    deviations = []
+    for query_id in ALL_QUERY_IDS:
+        per_uc = result.costs.get(query_id)
+        if not per_uc:
+            continue
+        measured = [per_uc[uc].input_pages for uc in ucs]
+        rows.append([query_id] + [str(v) for v in measured])
+        if paper_scale and query_id in paper_data.FIGURE6:
+            paper = paper_data.FIGURE6[query_id][: len(measured)]
+            worst = max(
+                abs(m - p) / max(p, 1) for m, p in zip(measured, paper)
+            )
+            deviations.append(f"{query_id}: {worst * 100:.1f}%")
+    text = _table(
+        "Figure 6: Input Costs for the Temporal Database with 100% Loading",
+        headers,
+        rows,
+    )
+    if deviations:
+        text += (
+            "\n\nmax relative deviation from the paper, per query:\n  "
+            + "   ".join(deviations)
+        )
+    return text
+
+
+def figure7(results: "dict[str, BenchmarkResult]") -> str:
+    """Input pages for the four database types at UC 0 and 14 (Figure 7)."""
+    paper_scale = _at_paper_scale(results)
+    headers = ["query"]
+    for label in _LABELS:
+        if label in results:
+            headers.extend([f"{label} uc0", "uc14"])
+    rows = []
+    for query_id in ALL_QUERY_IDS:
+        row = [query_id]
+        any_value = False
+        for label in _LABELS:
+            if label not in results:
+                continue
+            result = results[label]
+            per_uc = result.costs.get(query_id)
+            paper = (
+                paper_data.FIGURE7.get(label, {}).get(query_id, (None, None))
+                if paper_scale
+                else (None, None)
+            )
+            if not per_uc:
+                row.extend(["-", "-"])
+                continue
+            any_value = True
+            top = min(result.max_update_count, 14)
+            row.append(_cmp(per_uc[0].input_pages, paper[0]))
+            if top and top in per_uc:
+                row.append(
+                    _cmp(
+                        per_uc[top].input_pages,
+                        paper[1] if top == 14 else None,
+                    )
+                )
+            else:
+                row.append("-")
+        if any_value:
+            rows.append(row)
+    return _table(
+        "Figure 7: Number of Input Pages for Four Types of Databases "
+        "[measured (paper)]",
+        headers,
+        rows,
+    )
+
+
+def figure8(results: "dict[str, BenchmarkResult]") -> str:
+    """Growth curves (Figure 8): temporal/100 % and rollback/50 %."""
+    sections = []
+    for label, queries in (
+        ("temporal/100%", ["Q01", "Q03", "Q09", "Q10", "Q11", "Q12"]),
+        ("rollback/50%", ["Q01", "Q03", "Q09", "Q10"]),
+    ):
+        result = results.get(label)
+        if result is None:
+            continue
+        ucs = sorted(result.sizes)
+        headers = ["uc"] + queries
+        rows = []
+        for uc in ucs:
+            row = [str(uc)]
+            for query_id in queries:
+                per_uc = result.costs.get(query_id, {})
+                row.append(
+                    str(per_uc[uc].input_pages) if uc in per_uc else "-"
+                )
+            rows.append(row)
+        sections.append(
+            _table(f"Figure 8 ({label}): input pages vs update count",
+                   headers, rows)
+        )
+        sections.append(_ascii_plot(result, queries))
+    return "\n\n".join(sections)
+
+
+def _ascii_plot(result: BenchmarkResult, queries, width: int = 60,
+                height: int = 16) -> str:
+    """A crude ASCII rendering of the Figure 8 growth curves."""
+    ucs = sorted(result.sizes)
+    series = {
+        q: [result.costs[q][uc].input_pages for uc in ucs]
+        for q in queries
+        if q in result.costs and all(uc in result.costs[q] for uc in ucs)
+    }
+    if not series:
+        return ""
+    peak = max(max(values) for values in series.values())
+    grid = [[" "] * width for _ in range(height)]
+    marks = "ox+*#@%&"
+    for index, (query_id, values) in enumerate(sorted(series.items())):
+        mark = marks[index % len(marks)]
+        for step, value in enumerate(values):
+            x = int(step / max(1, len(values) - 1) * (width - 1))
+            y = height - 1 - int(value / peak * (height - 1))
+            grid[y][x] = mark
+    legend = "   ".join(
+        f"{marks[i % len(marks)]}={q}" for i, q in enumerate(sorted(series))
+    )
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(
+        f"x: update count 0..{max(ucs)}   y: input pages 0..{peak}   {legend}"
+    )
+    return "\n".join(lines)
+
+
+def figure9(results: "dict[str, BenchmarkResult]") -> str:
+    """Fixed costs, variable costs and growth rates (Figure 9)."""
+    paper_scale = _at_paper_scale(results)
+    sections = []
+    for label in ("rollback/100%", "rollback/50%", "temporal/100%",
+                  "temporal/50%", "historical/100%", "historical/50%"):
+        result = results.get(label)
+        if result is None:
+            continue
+        models = fit_all(result)
+        paper = paper_data.FIGURE9.get(label, {}) if paper_scale else {}
+        rows = []
+        for query_id in ALL_QUERY_IDS:
+            model = models.get(query_id)
+            if model is None:
+                continue
+            p_fixed, p_variable, p_growth = paper.get(
+                query_id, (None, None, None)
+            )
+            rows.append(
+                [
+                    query_id,
+                    _cmp(model.fixed, p_fixed),
+                    _cmp(model.variable, p_variable),
+                    _cmp(
+                        round(model.growth_rate, 2)
+                        if model.growth_rate is not None
+                        else None,
+                        p_growth,
+                    ),
+                ]
+            )
+        sections.append(
+            _table(
+                f"Figure 9 ({label}): fixed cost, variable cost, growth "
+                "rate [measured (paper)]",
+                ["query", "fixed", "variable", "growth rate"],
+                rows,
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def figure10(enh: EnhancementResult) -> str:
+    """Improvements for the temporal database (Figure 10)."""
+    paper_scale = (
+        enh.config.tuples == 1024 and enh.update_count == 14
+    )
+    headers = ["query", "uc0", "conventional", "2lvl simple",
+               "2lvl clustered", "idx1 heap", "idx1 hash", "idx2 heap",
+               "idx2 hash"]
+    variant_keys = list(VARIANTS)
+    rows = []
+    for query_id in ALL_QUERY_IDS:
+        paper = paper_data.FIGURE10.get(query_id, {}) if paper_scale else {}
+        if query_id not in enh.baseline_uc0:
+            continue
+        row = [
+            query_id,
+            _cmp(enh.baseline_uc0.get(query_id), paper.get("uc0")),
+        ]
+        for variant in variant_keys:
+            measured = enh.variants.get(variant, {}).get(query_id)
+            row.append(_cmp(measured, paper.get(variant)))
+        rows.append(row)
+    note = (
+        "\n\nnote: the paper's Figure 10 values are *estimates*; these are "
+        "measurements from implemented structures.  Index sizes (pages): "
+        + ", ".join(
+            f"{name.split('index_')[1]}={pages}"
+            for name, pages in sorted(enh.index_pages.items())
+        )
+    )
+    return (
+        _table(
+            f"Figure 10: Improvements for the Temporal Database at update "
+            f"count {enh.update_count} [measured (paper estimate)]",
+            headers,
+            rows,
+        )
+        + note
+    )
+
+
+def nonuniform_table(result: NonUniformResult) -> str:
+    """The Section-5.4 experiment."""
+    headers = ["avg uc", "weighted avg cost", "uniform-case cost",
+               "chain cost", "clean cost", "tuples on chain"]
+    rows = [
+        [
+            str(uc),
+            f"{weighted:.2f}",
+            f"{uniform:.2f}",
+            str(chain),
+            str(clean),
+            str(sharing),
+        ]
+        for uc, weighted, uniform, chain, clean, sharing in result.rows
+    ]
+    return _table(
+        "Section 5.4: non-uniform (maximum-variance) updates -- weighted "
+        "average hashed-access cost vs the uniform case",
+        headers,
+        rows,
+    )

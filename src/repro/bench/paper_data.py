@@ -1,0 +1,213 @@
+"""The paper's published numbers, transcribed for side-by-side comparison.
+
+Source: Ahn & Snodgrass, TR 85-033, Figures 5-10.  A few digits in the
+available scan of the report are corrupted; where a value is unreadable it
+was reconstructed from the paper's own cost model (costs are linear in the
+update count with the stated growth rates), and such reconstructions keep
+the figure's internal arithmetic consistent.
+
+Keys: database configurations are ``"<type>/<loading>%"`` labels matching
+:attr:`repro.bench.workload.WorkloadConfig.label`.
+"""
+
+from __future__ import annotations
+
+# -- Figure 5: space requirements (pages) -------------------------------------
+# label -> {"h0", "i0", "h14", "i14", "growth_h", "growth_i",
+#            "rate_h", "rate_i"} (None where not applicable)
+
+FIGURE5 = {
+    "static/100%": {
+        "h0": 166, "i0": 115, "h14": None, "i14": None,
+        "growth_h": None, "growth_i": None, "rate_h": None, "rate_i": None,
+    },
+    "static/50%": {
+        "h0": 257, "i0": 259, "h14": None, "i14": None,
+        "growth_h": None, "growth_i": None, "rate_h": None, "rate_i": None,
+    },
+    "rollback/100%": {
+        "h0": 129, "i0": 129, "h14": 1927, "i14": 1921,
+        "growth_h": 128.4, "growth_i": 128.0, "rate_h": 1.0, "rate_i": 1.0,
+    },
+    "rollback/50%": {
+        "h0": 257, "i0": 259, "h14": 2048, "i14": 2051,
+        "growth_h": 127.9, "growth_i": 128.0, "rate_h": 0.5, "rate_i": 0.5,
+    },
+    "historical/100%": {
+        "h0": 129, "i0": 129, "h14": 1927, "i14": 1921,
+        "growth_h": 128.4, "growth_i": 128.0, "rate_h": 1.0, "rate_i": 1.0,
+    },
+    "historical/50%": {
+        "h0": 257, "i0": 259, "h14": 2048, "i14": 2051,
+        "growth_h": 127.9, "growth_i": 128.0, "rate_h": 0.5, "rate_i": 0.5,
+    },
+    "temporal/100%": {
+        "h0": 129, "i0": 129, "h14": 3717, "i14": 3713,
+        "growth_h": 256.3, "growth_i": 256.0, "rate_h": 1.99, "rate_i": 2.0,
+    },
+    "temporal/50%": {
+        "h0": 257, "i0": 259, "h14": 3839, "i14": 3843,
+        "growth_h": 255.9, "growth_i": 256.0, "rate_h": 1.0, "rate_i": 1.0,
+    },
+}
+
+# -- Figure 6: input costs, temporal database, 100 % loading, UC 0..15 --------
+
+FIGURE6 = {
+    "Q01": [1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 29, 31],
+    "Q02": [2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32],
+    "Q03": [129, 387, 645, 903, 1153, 1411, 1669, 1927, 2177, 2435, 2693,
+            2951, 3201, 3459, 3717, 3975],
+    "Q04": [128, 384, 640, 896, 1152, 1408, 1664, 1920, 2176, 2432, 2688,
+            2944, 3200, 3456, 3712, 3968],
+    "Q05": [1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 29, 31],
+    "Q06": [2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32],
+    "Q07": [129, 387, 645, 903, 1153, 1411, 1669, 1927, 2177, 2435, 2693,
+            2951, 3201, 3459, 3717, 3975],
+    "Q08": [128, 384, 640, 896, 1152, 1408, 1664, 1920, 2176, 2432, 2688,
+            2944, 3200, 3456, 3712, 3968],
+    "Q09": [1200, 3512, 5816, 8120, 10386, 12690, 14994, 17298, 19564,
+            21868, 24172, 26476, 28742, 31046, 33350, 35654],
+    "Q10": [2233, 4539, 6845, 9151, 11449, 13755, 16061, 18367, 20665,
+            22971, 25277, 27583, 29881, 32187, 34493, 36709],
+    "Q11": [385, 1155, 1925, 2695, 3457, 4227, 4997, 5767, 6529, 7299,
+            8069, 8839, 9601, 10371, 11141, 11911],
+    "Q12": [131, 389, 647, 905, 1163, 1421, 1679, 1937, 2195, 2453, 2711,
+            2969, 3227, 3485, 3743, 4001],
+}
+
+# -- Figure 7: input pages, four types, UC 0 and 14 ---------------------------
+# label -> query -> (uc0, uc14); static has no uc14.
+
+FIGURE7 = {
+    "static/100%": {
+        "Q01": (2, None), "Q02": (2, None), "Q05": (2, None),
+        "Q06": (2, None), "Q07": (166, None), "Q08": (114, None),
+        "Q09": (1585, None), "Q10": (2214, None),
+    },
+    "static/50%": {
+        "Q01": (1, None), "Q02": (3, None), "Q05": (1, None),
+        "Q06": (3, None), "Q07": (257, None), "Q08": (256, None),
+        "Q09": (1276, None), "Q10": (3329, None),
+    },
+    "rollback/100%": {
+        "Q01": (1, 15), "Q02": (2, 16), "Q03": (129, 1927),
+        "Q04": (128, 1920), "Q05": (1, 15), "Q06": (2, 16),
+        "Q07": (129, 1927), "Q08": (128, 1920), "Q09": (1141, 17242),
+        "Q10": (2177, 18311),
+    },
+    "rollback/50%": {
+        "Q01": (1, 8), "Q02": (3, 10), "Q03": (257, 2048),
+        "Q04": (256, 2048), "Q05": (1, 8), "Q06": (3, 10),
+        "Q07": (257, 2048), "Q08": (256, 2048), "Q09": (1271, 10240),
+        "Q10": (3329, 12288),
+    },
+    "historical/100%": {
+        "Q01": (1, 15), "Q02": (2, 16), "Q05": (1, 15), "Q06": (2, 16),
+        "Q07": (129, 1927), "Q08": (128, 1920), "Q09": (1197, 17298),
+        "Q10": (2233, 18367),
+    },
+    "historical/50%": {
+        "Q01": (1, 8), "Q02": (3, 10), "Q05": (1, 8), "Q06": (3, 10),
+        "Q07": (257, 2048), "Q08": (256, 2048), "Q09": (1327, 10296),
+        "Q10": (3385, 12344),
+    },
+    "temporal/100%": {
+        "Q01": (1, 29), "Q02": (2, 30), "Q03": (129, 3717),
+        "Q04": (128, 3712), "Q05": (1, 29), "Q06": (2, 30),
+        "Q07": (129, 3717), "Q08": (128, 3712), "Q09": (1200, 33350),
+        "Q10": (2233, 34493), "Q11": (385, 11141), "Q12": (131, 3743),
+    },
+    "temporal/50%": {
+        "Q01": (1, 15), "Q02": (3, 17), "Q03": (257, 3839),
+        "Q04": (256, 3840), "Q05": (1, 15), "Q06": (3, 17),
+        "Q07": (257, 3839), "Q08": (256, 3840), "Q09": (1333, 19256),
+        "Q10": (3385, 21303), "Q11": (769, 11519), "Q12": (259, 3857),
+    },
+}
+
+# -- Figure 9: fixed cost, variable cost, growth rate -------------------------
+# label -> query -> (fixed, variable, growth_rate)
+
+FIGURE9 = {
+    "rollback/100%": {
+        "Q01": (0, 1, 1.0), "Q02": (1, 1, 1.0), "Q03": (0, 129, 1.0),
+        "Q04": (0, 128, 1.0), "Q05": (0, 1, 1.0), "Q06": (1, 1, 1.0),
+        "Q07": (0, 129, 1.0), "Q08": (0, 128, 1.0),
+        "Q09": (0, 1141, 1.01), "Q10": (1024, 1153, 1.0),
+    },
+    "rollback/50%": {
+        "Q01": (0, 1, 0.5), "Q02": (2, 1, 0.5), "Q03": (0, 257, 0.5),
+        "Q04": (0, 256, 0.5), "Q05": (0, 1, 0.5), "Q06": (2, 1, 0.5),
+        "Q07": (0, 257, 0.5), "Q08": (0, 256, 0.5),
+        "Q09": (0, 1271, 0.5), "Q10": (2048, 1281, 0.5),
+    },
+    "temporal/100%": {
+        "Q01": (0, 1, 2.0), "Q02": (1, 1, 2.0), "Q03": (0, 129, 1.99),
+        "Q04": (0, 128, 2.0), "Q05": (0, 1, 2.0), "Q06": (1, 1, 2.0),
+        "Q07": (0, 129, 1.99), "Q08": (0, 128, 2.0),
+        "Q09": (56, 1141, 2.01), "Q10": (1080, 1153, 2.0),
+        "Q11": (0, 385, 2.0), "Q12": (2, 129, 2.0),
+    },
+    "temporal/50%": {
+        "Q01": (0, 1, 1.0), "Q02": (2, 1, 1.0), "Q03": (0, 257, 1.0),
+        "Q04": (0, 256, 1.0), "Q05": (0, 1, 1.0), "Q06": (2, 1, 1.0),
+        "Q07": (0, 257, 1.0), "Q08": (0, 256, 1.0),
+        "Q09": (56, 1277, 1.0), "Q10": (2104, 1281, 1.0),
+        "Q11": (0, 769, 1.0), "Q12": (2, 257, 1.0),
+    },
+}
+
+# -- Figure 10: enhancements, temporal database, 100 %, UC 14 ------------------
+# query -> variant -> estimated input pages ('-' entries expanded)
+
+FIGURE10 = {
+    "Q01": {"uc0": 1, "conventional": 29, "twolevel_simple": 29,
+            "twolevel_clustered": 5, "index_1level_heap": 5,
+            "index_1level_hash": 5, "index_2level_heap": 5,
+            "index_2level_hash": 5},
+    "Q02": {"uc0": 2, "conventional": 30, "twolevel_simple": 30,
+            "twolevel_clustered": 6, "index_1level_heap": 6,
+            "index_1level_hash": 6, "index_2level_heap": 6,
+            "index_2level_hash": 6},
+    "Q03": {"uc0": 129, "conventional": 3717, "twolevel_simple": 3717,
+            "twolevel_clustered": 3717, "index_1level_heap": 3717,
+            "index_1level_hash": 3717, "index_2level_heap": 3717,
+            "index_2level_hash": 3717},
+    "Q04": {"uc0": 128, "conventional": 3712, "twolevel_simple": 3712,
+            "twolevel_clustered": 3712, "index_1level_heap": 3712,
+            "index_1level_hash": 3712, "index_2level_heap": 3712,
+            "index_2level_hash": 3712},
+    "Q05": {"uc0": 1, "conventional": 29, "twolevel_simple": 1,
+            "twolevel_clustered": 1, "index_1level_heap": 1,
+            "index_1level_hash": 1, "index_2level_heap": 1,
+            "index_2level_hash": 1},
+    "Q06": {"uc0": 2, "conventional": 30, "twolevel_simple": 2,
+            "twolevel_clustered": 2, "index_1level_heap": 2,
+            "index_1level_hash": 2, "index_2level_heap": 2,
+            "index_2level_hash": 2},
+    "Q07": {"uc0": 129, "conventional": 3717, "twolevel_simple": 129,
+            "twolevel_clustered": 129, "index_1level_heap": 324,
+            "index_1level_hash": 30, "index_2level_heap": 12,
+            "index_2level_hash": 2},
+    "Q08": {"uc0": 128, "conventional": 3712, "twolevel_simple": 128,
+            "twolevel_clustered": 128, "index_1level_heap": 324,
+            "index_1level_hash": 30, "index_2level_heap": 12,
+            "index_2level_hash": 2},
+    "Q09": {"uc0": 1200, "conventional": 33350, "twolevel_simple": 1200,
+            "twolevel_clustered": 1200, "index_1level_heap": 1200,
+            "index_1level_hash": 1200, "index_2level_heap": 1200,
+            "index_2level_hash": 1200},
+    "Q10": {"uc0": 2233, "conventional": 34493, "twolevel_simple": 2233,
+            "twolevel_clustered": 2233, "index_1level_heap": 2233,
+            "index_1level_hash": 2233, "index_2level_heap": 2233,
+            "index_2level_hash": 2233},
+    "Q11": {"uc0": 385, "conventional": 11141, "twolevel_simple": 11141,
+            "twolevel_clustered": 11141, "index_1level_heap": 11141,
+            "index_1level_hash": 11141, "index_2level_heap": 11141,
+            "index_2level_hash": 11141},
+    "Q12": {"uc0": 131, "conventional": 3743, "twolevel_simple": 3743,
+            "twolevel_clustered": 3743, "index_1level_heap": 3743,
+            "index_1level_hash": 3743, "index_2level_heap": 3743,
+            "index_2level_hash": 3743},
+}

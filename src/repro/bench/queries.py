@@ -1,0 +1,126 @@
+"""The twelve benchmark queries (Figure 4), adapted per database type.
+
+The paper's adaptation rules (Section 5.1):
+
+* Q03/Q04 (rollback queries) "are applicable only to rollback and temporal
+  databases";
+* Q05-Q10 are *static queries* retrieving the current state: "for a static
+  database, the 'when' clause in these queries are neither necessary nor
+  applicable.  For a rollback database, we use an as of clause instead of
+  the when clause" (``when x overlap "now"`` becomes ``as of "now"``);
+* Q11/Q12 "are relevant only for a temporal database".
+
+Queries are emitted with the workload's actual probe constants (key 500 and
+the amounts 69400 / 73700 at paper scale).
+
+``two_level`` variants: the paper describes Q09 and Q10 as "join[ing]
+current versions of two relations", but the printed text anchors only one
+variable to ``"now"`` -- the other is provably current only through the
+benchmark's timing.  On enhanced storage the planner needs the anchor
+spelled out to route the probed variable through the primary store /
+current index, so the Figure-10 run adds the redundant
+``and x overlap "now"`` conjunct (it does not change results or
+conventional costs on the benchmark data).
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import DatabaseType
+from repro.bench.workload import WorkloadConfig, H_PROBE_AMOUNT, I_PROBE_AMOUNT
+
+ALL_QUERY_IDS = [f"Q{n:02d}" for n in range(1, 13)]
+
+
+def benchmark_queries(
+    config: WorkloadConfig, two_level: bool = False
+) -> "dict[str, str | None]":
+    """Query id -> TQuel text (None where not applicable to the type)."""
+    db_type = config.db_type
+    key = config.probe_id
+    has_tx = db_type.has_transaction_time
+    has_valid = db_type.has_valid_time
+
+    def static_suffix(var: str) -> str:
+        """The currency constraint for Q05-Q10, per database type."""
+        if has_valid:
+            return f'when {var} overlap "now"'
+        if has_tx:
+            return 'as of "now"'
+        return ""
+
+    def join_when(anchored: str, other: str) -> str:
+        clause = f'when {anchored} overlap {other} and {other} overlap "now"'
+        if two_level:
+            clause += f' and {anchored} overlap "now"'
+        return clause
+
+    queries: "dict[str, str | None]" = {}
+    queries["Q01"] = f"retrieve (h.id, h.seq) where h.id = {key}"
+    queries["Q02"] = f"retrieve (i.id, i.seq) where i.id = {key}"
+    queries["Q03"] = (
+        'retrieve (h.id, h.seq) as of "08:00 1/1/80"' if has_tx else None
+    )
+    queries["Q04"] = (
+        'retrieve (i.id, i.seq) as of "08:00 1/1/80"' if has_tx else None
+    )
+    queries["Q05"] = _with_suffix(
+        f"retrieve (h.id, h.seq) where h.id = {key}", static_suffix("h")
+    )
+    queries["Q06"] = _with_suffix(
+        f"retrieve (i.id, i.seq) where i.id = {key}", static_suffix("i")
+    )
+    queries["Q07"] = _with_suffix(
+        f"retrieve (h.id, h.seq) where h.amount = {H_PROBE_AMOUNT}",
+        static_suffix("h"),
+    )
+    queries["Q08"] = _with_suffix(
+        f"retrieve (i.id, i.seq) where i.amount = {I_PROBE_AMOUNT}",
+        static_suffix("i"),
+    )
+    if has_valid:
+        queries["Q09"] = (
+            "retrieve (h.id, i.id, i.amount) where h.id = i.amount "
+            + join_when("h", "i")
+        )
+        queries["Q10"] = (
+            "retrieve (i.id, h.id, h.amount) where i.id = h.amount "
+            + join_when("i", "h")
+        )
+    elif has_tx:
+        queries["Q09"] = (
+            "retrieve (h.id, i.id, i.amount) where h.id = i.amount "
+            'as of "now"'
+        )
+        queries["Q10"] = (
+            "retrieve (i.id, h.id, h.amount) where i.id = h.amount "
+            'as of "now"'
+        )
+    else:
+        queries["Q09"] = (
+            "retrieve (h.id, i.id, i.amount) where h.id = i.amount"
+        )
+        queries["Q10"] = (
+            "retrieve (i.id, h.id, h.amount) where i.id = h.amount"
+        )
+    if db_type is DatabaseType.TEMPORAL:
+        queries["Q11"] = (
+            "retrieve (h.id, h.seq, i.id, i.seq, i.amount) "
+            "valid from start of h to end of i "
+            "when start of h precede i "
+            'as of "4:00 1/1/80"'
+        )
+        queries["Q12"] = (
+            "retrieve (h.id, h.seq, i.id, i.seq, i.amount) "
+            "valid from start of (h overlap i) to end of (h extend i) "
+            f"where h.id = {key} and i.amount = {I_PROBE_AMOUNT} "
+            "when h overlap i "
+            'as of "now"'
+        )
+    else:
+        queries["Q11"] = None
+        queries["Q12"] = None
+    return queries
+
+
+def _with_suffix(base: str, suffix: str) -> str:
+    return f"{base} {suffix}" if suffix else base

@@ -1,0 +1,234 @@
+"""Benchmark sweeps: measure every query at every update count.
+
+For one workload configuration the runner loads the database, then
+alternates measuring (space + the twelve queries) and evolving (one uniform
+update pass) until the maximum update count is reached -- exactly the
+Section 5.1 protocol.  Static databases have no meaningful update count and
+are measured once.
+
+Per query we record the paper's metrics:
+
+* ``input_pages``  -- user-relation page reads;
+* ``output_pages`` -- user-relation page writes (temporary relations);
+* ``fixed_pages``  -- the Section 5.3 "fixed cost": ISAM directory accesses
+  plus reads of temporary relations, the components whose size does not
+  grow with the update count;
+* ``rows``         -- result cardinality.
+
+Results are cached per configuration within the process so that the
+per-figure benchmark targets share one sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.access.base import StructureKind
+from repro.bench.evolve import evolve_uniform
+from repro.bench.queries import ALL_QUERY_IDS, benchmark_queries
+from repro.bench.workload import (
+    BenchDatabase,
+    WorkloadConfig,
+    all_configs,
+    build_database,
+)
+from repro.catalog.schema import DatabaseType
+
+
+@dataclass(frozen=True)
+class QueryCost:
+    """One query execution's measurements."""
+
+    input_pages: int
+    output_pages: int
+    fixed_pages: int
+    rows: int
+
+
+@dataclass
+class BenchmarkResult:
+    """A full sweep for one configuration."""
+
+    config: WorkloadConfig
+    max_update_count: int
+    sizes: "dict[int, tuple[int, int]]" = field(default_factory=dict)
+    costs: "dict[str, dict[int, QueryCost]]" = field(default_factory=dict)
+
+    def input_series(self, query_id: str) -> "list[int] | None":
+        """Input pages per update count, or None if not applicable."""
+        per_uc = self.costs.get(query_id)
+        if not per_uc:
+            return None
+        return [
+            per_uc[uc].input_pages for uc in sorted(per_uc)
+        ]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (see :func:`result_from_dict`)."""
+        return {
+            "config": {
+                "db_type": self.config.db_type.value,
+                "loading": self.config.loading,
+                "tuples": self.config.tuples,
+                "seed": self.config.seed,
+                "buffers": self.config.buffers,
+            },
+            "max_update_count": self.max_update_count,
+            "sizes": {
+                str(uc): list(sizes) for uc, sizes in self.sizes.items()
+            },
+            "costs": {
+                query_id: {
+                    str(uc): [
+                        cost.input_pages,
+                        cost.output_pages,
+                        cost.fixed_pages,
+                        cost.rows,
+                    ]
+                    for uc, cost in per_uc.items()
+                }
+                for query_id, per_uc in self.costs.items()
+            },
+        }
+
+    def growth_per_update(self, relation: str = "h") -> "float | None":
+        """Average pages added per update pass (Figure 5's metric).
+
+        Computed to update count 14 as in the paper; with 50 % loading the
+        growth alternates (odd updates fill leftover space), so the even
+        endpoint matters.
+        """
+        if self.max_update_count == 0:
+            return None
+        top = min(self.max_update_count, 14)
+        if top % 2 and top > 1:
+            top -= 1  # 50 % loading alternates; use an even endpoint
+        index = 0 if relation == "h" else 1
+        first = self.sizes[0][index]
+        last = self.sizes[top][index]
+        return (last - first) / top
+
+
+def result_from_dict(data: dict) -> BenchmarkResult:
+    """Rebuild a :class:`BenchmarkResult` saved with ``to_dict``."""
+    config = WorkloadConfig(
+        db_type=DatabaseType(data["config"]["db_type"]),
+        loading=int(data["config"]["loading"]),
+        tuples=int(data["config"]["tuples"]),
+        seed=int(data["config"]["seed"]),
+        buffers=int(data["config"].get("buffers", 1)),
+    )
+    result = BenchmarkResult(
+        config=config, max_update_count=int(data["max_update_count"])
+    )
+    result.sizes = {
+        int(uc): tuple(sizes) for uc, sizes in data["sizes"].items()
+    }
+    result.costs = {
+        query_id: {
+            int(uc): QueryCost(*values) for uc, values in per_uc.items()
+        }
+        for query_id, per_uc in data["costs"].items()
+    }
+    return result
+
+
+def _dir_read_count(relation) -> int:
+    """Cumulative ISAM directory accesses for a relation's storage."""
+    storage = relation.storage
+    if storage.kind is StructureKind.ISAM:
+        return storage.dir_reads
+    if storage.kind is StructureKind.TWO_LEVEL:
+        primary = storage.primary
+        if primary.kind is StructureKind.ISAM:
+            return primary.dir_reads
+    return 0
+
+
+def measure_query(bench: BenchDatabase, text: str) -> QueryCost:
+    """Run one query, returning its page costs."""
+    db = bench.db
+    db.pool.flush_all()
+    dir_before = _dir_read_count(bench.h) + _dir_read_count(bench.i)
+    before = db.stats.checkpoint()
+    result = db.execute(text)
+    delta = db.stats.delta(before)
+    dir_reads = (
+        _dir_read_count(bench.h) + _dir_read_count(bench.i) - dir_before
+    )
+    temp_reads = sum(
+        counters.reads
+        for name, counters in delta.by_relation.items()
+        if name.startswith("_temp")
+    )
+    return QueryCost(
+        input_pages=delta.input_pages,
+        output_pages=delta.output_pages,
+        fixed_pages=dir_reads + temp_reads,
+        rows=len(result.rows),
+    )
+
+
+def measure_suite(
+    bench: BenchDatabase, two_level: bool = False
+) -> "dict[str, QueryCost | None]":
+    """Run all twelve queries (where applicable) on the current state."""
+    texts = benchmark_queries(bench.config, two_level=two_level)
+    return {
+        query_id: (measure_query(bench, text) if text is not None else None)
+        for query_id, text in texts.items()
+    }
+
+
+class BenchmarkRun:
+    """One configuration's sweep over update counts."""
+
+    def __init__(self, config: WorkloadConfig, max_update_count: int = 15):
+        self.config = config
+        if config.db_type is DatabaseType.STATIC:
+            max_update_count = 0
+        self.max_update_count = max_update_count
+
+    def run(self, progress=None) -> BenchmarkResult:
+        bench = build_database(self.config)
+        result = BenchmarkResult(
+            config=self.config, max_update_count=self.max_update_count
+        )
+        for query_id in ALL_QUERY_IDS:
+            result.costs[query_id] = {}
+        for update_count in range(self.max_update_count + 1):
+            if update_count > 0:
+                evolve_uniform(bench, steps=1)
+            result.sizes[update_count] = bench.sizes()
+            for query_id, cost in measure_suite(bench).items():
+                if cost is not None:
+                    result.costs[query_id][update_count] = cost
+            if progress is not None:
+                progress(self.config, update_count)
+        result.costs = {
+            query_id: per_uc
+            for query_id, per_uc in result.costs.items()
+            if per_uc
+        }
+        return result
+
+
+_SUITE_CACHE: "dict[tuple, dict[str, BenchmarkResult]]" = {}
+
+
+def run_suite(
+    tuples: int = 1024,
+    max_update_count: int = 15,
+    seed: int = 1986,
+    progress=None,
+) -> "dict[str, BenchmarkResult]":
+    """Sweep all eight configurations; cached per process."""
+    key = (tuples, max_update_count, seed)
+    if key in _SUITE_CACHE:
+        return _SUITE_CACHE[key]
+    results = {}
+    for config in all_configs(tuples=tuples, seed=seed):
+        run = BenchmarkRun(config, max_update_count=max_update_count)
+        results[config.label] = run.run(progress=progress)
+    _SUITE_CACHE[key] = results
+    return results

@@ -1,0 +1,27 @@
+"""Schemas and the system catalog.
+
+The paper's taxonomy (Figure 1) classifies relations by temporal support:
+*static*, *rollback* (transaction time), *historical* (valid time) and
+*temporal* (both).  Historical and temporal relations are further either
+*interval* or *event* relations.  :mod:`repro.catalog.schema` captures this
+and derives each relation's implicit time attributes;
+:mod:`repro.catalog.system` maintains Ingres-style system relations
+(``relations`` / ``attributes``) through the same storage layer as user
+data, metered separately as the paper requires.
+"""
+
+from repro.catalog.schema import (
+    IMPLICIT_ATTRIBUTES,
+    DatabaseType,
+    RelationKind,
+    RelationSchema,
+)
+from repro.catalog.system import SystemCatalog
+
+__all__ = [
+    "DatabaseType",
+    "IMPLICIT_ATTRIBUTES",
+    "RelationKind",
+    "RelationSchema",
+    "SystemCatalog",
+]

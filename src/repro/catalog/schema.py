@@ -1,0 +1,253 @@
+"""Relation schemas and the four database types.
+
+A relation's TQuel ``create`` statement determines its type (Figure 1's
+taxonomy) through two independent properties:
+
+* ``persistent``  -- the relation records *transaction time* and supports
+  rollback (``as of``);
+* ``interval`` / ``event`` -- the relation records *valid time* and supports
+  historical queries (``when``); interval relations model facts that hold
+  over a period, event relations facts that happen at an instant.
+
+==============================  ==========
+``create R (...)``              static
+``create persistent R (...)``   rollback
+``create interval R (...)``     historical
+``create persistent interval R  temporal
+(...)``
+==============================  ==========
+
+The schema appends the implicit time attributes of Section 4 to the user
+attributes: ``transaction_start``/``transaction_stop`` for transaction time,
+``valid_from``/``valid_to`` (interval) or ``valid_at`` (event) for valid
+time.  Each is a 4-byte chronon, so the paper's 108-byte tuples become 116
+bytes in rollback/historical relations and 124 bytes in temporal interval
+relations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.storage.record import AttributeType, FieldSpec, RecordCodec
+from repro.temporal.chronon import FOREVER, Chronon
+from repro.temporal.interval import Period
+
+TRANSACTION_START = "transaction_start"
+TRANSACTION_STOP = "transaction_stop"
+VALID_FROM = "valid_from"
+VALID_TO = "valid_to"
+VALID_AT = "valid_at"
+
+IMPLICIT_ATTRIBUTES = (
+    TRANSACTION_START,
+    TRANSACTION_STOP,
+    VALID_FROM,
+    VALID_TO,
+    VALID_AT,
+)
+
+
+class DatabaseType(enum.Enum):
+    """The four types of Figure 1."""
+
+    STATIC = "static"
+    ROLLBACK = "rollback"
+    HISTORICAL = "historical"
+    TEMPORAL = "temporal"
+
+    @property
+    def has_transaction_time(self) -> bool:
+        return self in (DatabaseType.ROLLBACK, DatabaseType.TEMPORAL)
+
+    @property
+    def has_valid_time(self) -> bool:
+        return self in (DatabaseType.HISTORICAL, DatabaseType.TEMPORAL)
+
+    @classmethod
+    def from_flags(cls, persistent: bool, timed: bool) -> "DatabaseType":
+        """Map ``create`` keywords to a type (see module docstring)."""
+        if persistent and timed:
+            return cls.TEMPORAL
+        if persistent:
+            return cls.ROLLBACK
+        if timed:
+            return cls.HISTORICAL
+        return cls.STATIC
+
+
+class RelationKind(enum.Enum):
+    """Interval vs event relations (valid-time shape)."""
+
+    INTERVAL = "interval"
+    EVENT = "event"
+
+
+@dataclass
+class RelationSchema:
+    """A relation's logical and physical description."""
+
+    name: str
+    user_fields: "list[FieldSpec]"
+    type: DatabaseType = DatabaseType.STATIC
+    kind: RelationKind = RelationKind.INTERVAL
+
+    fields: "list[FieldSpec]" = field(init=False)
+    codec: RecordCodec = field(init=False)
+
+    def __post_init__(self):
+        if not self.name or not self.name[0].isalpha():
+            raise SchemaError(f"bad relation name {self.name!r}")
+        if not self.user_fields:
+            raise SchemaError(f"{self.name}: a relation needs attributes")
+        for spec in self.user_fields:
+            if spec.name in IMPLICIT_ATTRIBUTES:
+                raise SchemaError(
+                    f"{self.name}: {spec.name!r} is a reserved implicit "
+                    "time attribute"
+                )
+        implicit = []
+        if self.type.has_transaction_time:
+            implicit.append(FieldSpec(TRANSACTION_START, AttributeType.TIME, 4))
+            implicit.append(FieldSpec(TRANSACTION_STOP, AttributeType.TIME, 4))
+        if self.type.has_valid_time:
+            if self.kind is RelationKind.INTERVAL:
+                implicit.append(FieldSpec(VALID_FROM, AttributeType.TIME, 4))
+                implicit.append(FieldSpec(VALID_TO, AttributeType.TIME, 4))
+            else:
+                implicit.append(FieldSpec(VALID_AT, AttributeType.TIME, 4))
+        self.fields = list(self.user_fields) + implicit
+        self.codec = RecordCodec(self.fields)
+        # A tuple (including its implicit time attributes) must fit one
+        # 1024-byte page; reject impossible schemas at create time.
+        from repro.storage.page import records_per_page
+
+        try:
+            records_per_page(self.codec.record_size)
+        except Exception as error:
+            raise SchemaError(
+                f"{self.name}: a {self.codec.record_size}-byte tuple does "
+                f"not fit a page ({error})"
+            ) from error
+        self._positions = {
+            spec.name: index for index, spec in enumerate(self.fields)
+        }
+
+    # -- attribute lookups ---------------------------------------------------
+
+    @property
+    def user_width(self) -> int:
+        """Bytes of user data per tuple (the paper's "108 bytes of data")."""
+        return RecordCodec(self.user_fields).record_size
+
+    @property
+    def record_size(self) -> int:
+        """Full stored tuple width including implicit attributes."""
+        return self.codec.record_size
+
+    def position(self, attribute: str) -> int:
+        """Index of *attribute* in a stored tuple."""
+        if attribute not in self._positions:
+            raise SchemaError(f"{self.name} has no attribute {attribute!r}")
+        return self._positions[attribute]
+
+    def has_attribute(self, attribute: str) -> bool:
+        return attribute in self._positions
+
+    def field_for(self, attribute: str) -> FieldSpec:
+        return self.fields[self.position(attribute)]
+
+    @property
+    def user_count(self) -> int:
+        return len(self.user_fields)
+
+    # -- temporal views of stored tuples --------------------------------------
+
+    def transaction_period(self, row: tuple) -> Period:
+        """The version's transaction period ``[start, stop]``-as-period."""
+        if not self.type.has_transaction_time:
+            raise SchemaError(f"{self.name} has no transaction time")
+        start = row[self._positions[TRANSACTION_START]]
+        stop = row[self._positions[TRANSACTION_STOP]]
+        if stop <= start:
+            # A version stamped out in the same chronon it was created:
+            # represent it as the degenerate event at its start.
+            return Period.event(start)
+        return Period(start, stop)
+
+    def valid_period(self, row: tuple) -> Period:
+        """The version's valid period (interval) or event (as a period)."""
+        if not self.type.has_valid_time:
+            raise SchemaError(f"{self.name} has no valid time")
+        if self.kind is RelationKind.EVENT:
+            return Period.event(row[self._positions[VALID_AT]])
+        start = row[self._positions[VALID_FROM]]
+        stop = row[self._positions[VALID_TO]]
+        if stop <= start:
+            return Period.event(start)
+        return Period(start, stop)
+
+    def is_current_transaction(self, row: tuple) -> bool:
+        """Transaction-time current: not yet superseded."""
+        return row[self._positions[TRANSACTION_STOP]] == FOREVER
+
+    def is_current(self, row: tuple, now: Chronon) -> bool:
+        """Fully current: transaction-current and valid at *now*."""
+        if self.type.has_transaction_time and not self.is_current_transaction(
+            row
+        ):
+            return False
+        if self.type.has_valid_time:
+            return self.valid_period(row).overlaps(now)
+        return True
+
+    # -- row construction ------------------------------------------------------
+
+    def new_version(
+        self,
+        user_values: "tuple | list",
+        now: Chronon,
+        valid_from: "Chronon | None" = None,
+        valid_to: "Chronon | None" = None,
+        valid_at: "Chronon | None" = None,
+    ) -> tuple:
+        """Build a stored tuple for a fresh ``append`` at time *now*.
+
+        Valid-time attributes default as in Section 4: ``valid_from`` to the
+        current time, ``valid_to`` to forever, ``valid_at`` to the current
+        time; all three may be supplied by a ``valid`` clause.
+        """
+        if len(user_values) != len(self.user_fields):
+            raise SchemaError(
+                f"{self.name}: expected {len(self.user_fields)} values, "
+                f"got {len(user_values)}"
+            )
+        row = list(user_values)
+        if self.type.has_transaction_time:
+            row.extend((now, FOREVER))
+        if self.type.has_valid_time:
+            if self.kind is RelationKind.EVENT:
+                row.append(valid_at if valid_at is not None else now)
+            else:
+                row.append(valid_from if valid_from is not None else now)
+                row.append(valid_to if valid_to is not None else FOREVER)
+        return tuple(row)
+
+    def with_attribute(self, row: tuple, attribute: str, value) -> tuple:
+        """Copy of *row* with one attribute changed."""
+        position = self.position(attribute)
+        updated = list(row)
+        updated[position] = value
+        return tuple(updated)
+
+    def describe(self) -> str:
+        """One-line human description (used by the monitor)."""
+        attrs = ", ".join(
+            f"{spec.name} = {spec.type_text}" for spec in self.user_fields
+        )
+        shape = (
+            f", {self.kind.value}" if self.type.has_valid_time else ""
+        )
+        return f"{self.name} ({attrs}) [{self.type.value}{shape}]"

@@ -1,0 +1,19 @@
+"""The prototype DBMS engine.
+
+Ties schemas, storage structures and the TQuel version semantics together:
+
+* :mod:`repro.engine.relation` -- a stored relation: schema + storage
+  structure + secondary indexes, with the uniform access paths the query
+  processor consumes;
+* :mod:`repro.engine.mutate` -- the append/delete/replace version semantics
+  of Section 4 for all four database types, on both conventional storage
+  and the two-level store;
+* :mod:`repro.engine.temporary` -- temporary relations created by
+  one-variable detachment;
+* :mod:`repro.engine.database` -- :class:`TemporalDatabase`, the public
+  entry point that parses and executes TQuel.
+"""
+
+from repro.engine.database import Result, TemporalDatabase
+
+__all__ = ["Result", "TemporalDatabase"]

@@ -1,0 +1,503 @@
+"""The prototype temporal DBMS: the public entry point.
+
+A :class:`TemporalDatabase` owns the buffer pool, I/O meter, logical clock,
+system catalog, user relations and range-variable table, and executes TQuel
+statements::
+
+    db = TemporalDatabase("bench")
+    db.execute('create persistent interval emp (name = c20, sal = i4)')
+    db.execute('modify emp to hash on name where fillfactor = 100')
+    db.execute('append to emp (name = "ahn", sal = 30000)')
+    db.execute('range of e is emp')
+    result = db.execute('retrieve (e.name, e.sal) when e overlap "now"')
+    result.rows, result.input_pages
+
+Every statement result carries the paper's metric: user-relation page reads
+(``input_pages``) and writes (``output_pages``), with exactly one buffer
+page per user relation.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.access.base import StructureKind
+from repro.access.secondary import IndexLevels
+from repro.access.twolevel import HistoryLayout
+from repro.catalog.schema import DatabaseType, RelationKind, RelationSchema
+from repro.catalog.system import SystemCatalog
+from repro.engine import mutate
+from repro.engine.relation import StoredRelation
+from repro.engine.result import Result
+from repro.engine.temporary import TemporaryFactory
+from repro.errors import (
+    CatalogError,
+    DuplicateRelationError,
+    ExecutionError,
+    TQuelSemanticError,
+    UnknownRelationError,
+)
+from repro.storage.buffer import BufferPool
+from repro.storage.record import AttributeType, FieldSpec
+from repro.temporal.chronon import Chronon, Clock
+from repro.temporal.format import Resolution, format_chronon
+from repro.temporal.parse import parse_temporal
+from repro.tquel import ast
+from repro.tquel.interpreter import Executor
+from repro.tquel.parser import parse
+from repro.tquel.semantics import Analyzer
+
+_STRUCTURES = {
+    "heap": StructureKind.HEAP,
+    "hash": StructureKind.HASH,
+    "isam": StructureKind.ISAM,
+    "btree": StructureKind.BTREE,
+    "twolevel": StructureKind.TWO_LEVEL,
+}
+
+
+class _SystemRelationAdapter:
+    """Read-only query access to a system-catalog relation."""
+
+    read_only = True
+
+    def __init__(self, schema, heap):
+        self.schema = schema
+        self._heap = heap
+        self.is_two_level = False
+
+    def can_key_lookup(self, attribute_position: int) -> bool:
+        return False
+
+    def index_for(self, attribute_position: int):
+        return None
+
+    def scan_with_rids(
+        self, current_only: bool = False, asof_max: "int | None" = None
+    ):
+        yield from self._heap.scan()
+
+    def lookup_with_rids(self, key, current_only: bool = False):
+        raise ExecutionError("system relations have no keyed access")
+
+
+class TemporalDatabase:
+    """A database holding static, rollback, historical and temporal
+    relations, queried and updated through TQuel."""
+
+    def __init__(
+        self,
+        name: str = "tdb",
+        clock: "Clock | None" = None,
+        buffers_per_relation: int = 1,
+    ):
+        self.name = name
+        self.clock = clock if clock is not None else Clock()
+        self.pool = BufferPool(default_buffers=buffers_per_relation)
+        self.catalog = SystemCatalog(self.pool)
+        self.temporaries = TemporaryFactory(self.pool)
+        self.ranges: "dict[str, str]" = {}
+        self._relations: "dict[str, StoredRelation]" = {}
+        self._analyzer = Analyzer(self)
+
+    # -- infrastructure the language layer uses ------------------------------
+
+    @property
+    def stats(self):
+        """The database-wide I/O meter."""
+        return self.pool.stats
+
+    def parse_temporal_text(self, text: str) -> Chronon:
+        """Resolve a temporal string constant against this database's clock."""
+        return parse_temporal(text, clock=self.clock)
+
+    # ``compile_temporal`` calls this under the name ``clock.parse``.
+    parse = parse_temporal_text
+
+    def relation(self, name: str):
+        """Look up a user relation (or a system relation, read-only)."""
+        if name in self._relations:
+            return self._relations[name]
+        if name == "relations":
+            return _SystemRelationAdapter(
+                self.catalog.relations_schema, self.catalog.relations
+            )
+        if name == "attributes":
+            return _SystemRelationAdapter(
+                self.catalog.attributes_schema, self.catalog.attributes
+            )
+        raise UnknownRelationError(f"relation {name!r} does not exist")
+
+    def relation_names(self) -> "list[str]":
+        return sorted(self._relations)
+
+    # -- DDL ------------------------------------------------------------------
+
+    def create_relation(
+        self,
+        name: str,
+        columns,
+        persistent: bool = False,
+        kind: "str | None" = None,
+    ) -> StoredRelation:
+        """``create``: define a relation; its type follows the keywords."""
+        if name in self._relations or name in ("relations", "attributes"):
+            raise DuplicateRelationError(f"relation {name!r} already exists")
+        fields = [FieldSpec.parse(col, text) for col, text in columns]
+        db_type = DatabaseType.from_flags(persistent, kind is not None)
+        schema = RelationSchema(
+            name,
+            fields,
+            type=db_type,
+            kind=(
+                RelationKind.EVENT if kind == "event" else RelationKind.INTERVAL
+            ),
+        )
+        relation = StoredRelation(schema, self.pool)
+        self._relations[name] = relation
+        self.catalog.record_create(schema)
+        return relation
+
+    def modify_relation(
+        self,
+        name: str,
+        structure: str,
+        key: "str | None" = None,
+        fillfactor: int = 100,
+        primary: str = "hash",
+        history: str = "simple",
+        zonemap: int = 0,
+    ) -> StoredRelation:
+        """``modify``: rebuild a relation's storage structure."""
+        relation = self._require_user_relation(name)
+        kind = _STRUCTURES.get(structure)
+        if kind is None:
+            raise CatalogError(f"unknown storage structure {structure!r}")
+        if kind is StructureKind.TWO_LEVEL and not (
+            relation.schema.type.has_transaction_time
+            or relation.schema.type.has_valid_time
+        ):
+            raise CatalogError(
+                f"{name}: a two-level store needs a versioned relation"
+            )
+        primary_kind = _STRUCTURES.get(primary)
+        if primary_kind not in (StructureKind.HASH, StructureKind.ISAM):
+            raise CatalogError(
+                f"two-level primary store must be hash or isam, got "
+                f"{primary!r}"
+            )
+        try:
+            layout = HistoryLayout(history)
+        except ValueError:
+            raise CatalogError(
+                f"history layout must be simple or clustered, got "
+                f"{history!r}"
+            ) from None
+        relation.rebuild(
+            kind,
+            key_attribute=key,
+            fillfactor=fillfactor,
+            primary=primary_kind,
+            history=layout,
+        )
+        if zonemap:
+            relation.enable_zone_map()
+        else:
+            relation.disable_zone_map()
+        self.pool.flush_all()
+        self.catalog.record_modify(name, structure, key or "", fillfactor)
+        return relation
+
+    def create_index(
+        self,
+        relation_name: str,
+        index_name: str,
+        attribute: str,
+        structure: str = "hash",
+        levels: int = 1,
+        fillfactor: int = 100,
+    ):
+        """``index``: build a Section-6 secondary index."""
+        relation = self._require_user_relation(relation_name)
+        kind = _STRUCTURES.get(structure)
+        if kind not in (StructureKind.HEAP, StructureKind.HASH):
+            raise CatalogError(
+                f"index structure must be heap or hash, got {structure!r}"
+            )
+        if levels not in (1, 2):
+            raise CatalogError(f"index levels must be 1 or 2, got {levels}")
+        index = relation.create_index(
+            index_name,
+            attribute,
+            structure=kind,
+            levels=IndexLevels(levels),
+            fillfactor=fillfactor,
+        )
+        self.pool.flush_all()
+        return index
+
+    def vacuum_relation(self, name: str, before: "Chronon | str") -> int:
+        """``vacuum``: physically discard versions superseded before a
+        cutoff, rebuilding the relation's structure without them.
+
+        Only versions whose transaction period ended before the cutoff can
+        go -- they are exactly the versions no ``as of`` later than the
+        cutoff can see.  Requires transaction time (a historical relation's
+        versions carry no record of when they were superseded).  Returns
+        the number of versions discarded.
+        """
+        relation = self._require_user_relation(name)
+        schema = relation.schema
+        if not schema.type.has_transaction_time:
+            raise TQuelSemanticError(
+                f"{name}: vacuum requires transaction time (rollback or "
+                "temporal)"
+            )
+        if isinstance(before, str):
+            cutoff = self.parse_temporal_text(before)
+        else:
+            cutoff = before
+        stop_position = schema.position("transaction_stop")
+        rows = relation.all_rows()
+        kept = [row for row in rows if row[stop_position] > cutoff]
+        removed = len(rows) - len(kept)
+        if removed:
+            relation.rebuild(
+                relation.structure,
+                key_attribute=relation.key_attribute,
+                fillfactor=relation.fillfactor,
+                primary=(
+                    relation.storage.primary.kind
+                    if relation.is_two_level
+                    else StructureKind.HASH
+                ),
+                history=relation.history_layout or HistoryLayout.SIMPLE,
+                rows=kept,
+            )
+            self.pool.flush_all()
+        return removed
+
+    def destroy_relation(self, name: str) -> None:
+        """``destroy``: drop a relation and its indexes."""
+        relation = self._require_user_relation(name)
+        for index_name in list(relation.indexes):
+            relation.drop_index(index_name)
+        self.pool.drop_file(name)
+        self.pool.drop_file(f"{name}.primary")
+        self.pool.drop_file(f"{name}.history")
+        del self._relations[name]
+        self.catalog.record_destroy(name)
+        self.ranges = {
+            var: rel for var, rel in self.ranges.items() if rel != name
+        }
+
+    def _require_user_relation(self, name: str) -> StoredRelation:
+        if name not in self._relations:
+            raise UnknownRelationError(f"relation {name!r} does not exist")
+        return self._relations[name]
+
+    # -- bulk loading -------------------------------------------------------------
+
+    def copy_in(self, name: str, rows) -> int:
+        """Programmatic ``copy ... from``: bulk-load rows.
+
+        Rows are user-width (time attributes defaulted) or full-width
+        (explicit time attributes, as the benchmark's generator supplies).
+        """
+        relation = self._require_user_relation(name)
+        count = mutate.load_rows(relation, list(rows), self.clock.now())
+        self.pool.flush_all()
+        return count
+
+    def copy_out(self, name: str) -> "list[tuple]":
+        """Programmatic ``copy ... into``: dump every stored version."""
+        relation = self._require_user_relation(name)
+        rows = relation.all_rows()
+        self.pool.flush_all()
+        return rows
+
+    def explain(self, text: str) -> str:
+        """Describe the plan for a retrieve without executing it."""
+        from repro.tquel.explain import explain
+
+        return explain(self, text)
+
+    # -- persistence ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Checkpoint the database into directory *path*.
+
+        Page images are saved exactly, so a restored database answers
+        queries with the same rows and the same page counts.
+        """
+        from repro.engine import persist
+
+        persist.save(self, path)
+
+    @classmethod
+    def load(cls, path) -> "TemporalDatabase":
+        """Restore a database checkpointed with :meth:`save`."""
+        from repro.engine import persist
+
+        return persist.load(path, database_class=cls)
+
+    # -- statement execution ---------------------------------------------------------
+
+    def execute(self, text: str):
+        """Parse and run TQuel; one Result, or a list for multi-statement
+        input."""
+        statements = parse(text)
+        if not statements:
+            raise ExecutionError("no statement to execute")
+        results = [self._run(statement) for statement in statements]
+        if len(results) == 1:
+            return results[0]
+        return results
+
+    def _run(self, statement) -> Result:
+        if isinstance(
+            statement,
+            (ast.AppendStmt, ast.DeleteStmt, ast.ReplaceStmt, ast.CopyStmt),
+        ):
+            self.clock.advance()
+        before = self.stats.checkpoint()
+        result = self._dispatch(statement)
+        self.pool.flush_all()
+        result.io = self.stats.delta(before)
+        return result
+
+    def _dispatch(self, statement) -> Result:
+        if isinstance(statement, ast.RangeStmt):
+            self.relation(statement.relation)  # must exist
+            self.ranges[statement.var] = statement.relation
+            return Result(
+                kind="range",
+                message=f"{statement.var} ranges over {statement.relation}",
+            )
+        if isinstance(statement, ast.RetrieveStmt):
+            analysis = self._analyzer.analyze_retrieve(statement)
+            return Executor(self, analysis).run_retrieve()
+        if isinstance(statement, ast.AppendStmt):
+            analysis = self._analyzer.analyze_update(statement)
+            return Executor(self, analysis).run_append()
+        if isinstance(statement, ast.DeleteStmt):
+            analysis = self._analyzer.analyze_update(statement)
+            return Executor(self, analysis).run_delete()
+        if isinstance(statement, ast.ReplaceStmt):
+            analysis = self._analyzer.analyze_update(statement)
+            return Executor(self, analysis).run_replace()
+        if isinstance(statement, ast.CreateStmt):
+            self.create_relation(
+                statement.relation,
+                statement.columns,
+                persistent=statement.persistent,
+                kind=statement.kind,
+            )
+            return Result(kind="create", message=statement.relation)
+        if isinstance(statement, ast.ModifyStmt):
+            options = dict(statement.options)
+            self.modify_relation(
+                statement.relation,
+                statement.structure,
+                key=statement.key,
+                fillfactor=int(options.pop("fillfactor", 100)),
+                primary=str(options.pop("primary", "hash")),
+                history=str(options.pop("history", "simple")),
+                zonemap=int(options.pop("zonemap", 0)),
+            )
+            if options:
+                raise TQuelSemanticError(
+                    f"unknown modify options: {sorted(options)}"
+                )
+            return Result(kind="modify", message=statement.relation)
+        if isinstance(statement, ast.IndexStmt):
+            options = dict(statement.options)
+            self.create_index(
+                statement.relation,
+                statement.index_name,
+                statement.attribute,
+                structure=str(options.pop("structure", "hash")),
+                levels=int(options.pop("levels", 1)),
+                fillfactor=int(options.pop("fillfactor", 100)),
+            )
+            if options:
+                raise TQuelSemanticError(
+                    f"unknown index options: {sorted(options)}"
+                )
+            return Result(kind="index", message=statement.index_name)
+        if isinstance(statement, ast.DestroyStmt):
+            for name in statement.relations:
+                self.destroy_relation(name)
+            return Result(
+                kind="destroy", message=", ".join(statement.relations)
+            )
+        if isinstance(statement, ast.CopyStmt):
+            return self._run_copy(statement)
+        if isinstance(statement, ast.VacuumStmt):
+            if not isinstance(statement.before, ast.TempConst):
+                raise TQuelSemanticError(
+                    "vacuum's cutoff must be a temporal constant"
+                )
+            removed = self.vacuum_relation(
+                statement.relation, statement.before.text
+            )
+            return Result(kind="vacuum", count=removed)
+        raise ExecutionError(f"cannot execute {statement!r}")
+
+    # -- file copy -----------------------------------------------------------------------
+
+    def _run_copy(self, statement: ast.CopyStmt) -> Result:
+        relation = self._require_user_relation(statement.relation)
+        schema = relation.schema
+        if statement.direction == "from":
+            rows = []
+            with open(statement.path, "r", encoding="ascii") as handle:
+                for line_number, line in enumerate(handle, start=1):
+                    line = line.rstrip("\n")
+                    if not line:
+                        continue
+                    rows.append(
+                        self._parse_copy_line(schema, line, line_number)
+                    )
+            count = mutate.load_rows(relation, rows, self.clock.now())
+            return Result(kind="copy", count=count)
+        with open(statement.path, "w", encoding="ascii") as handle:
+            count = 0
+            for row in relation.all_rows():
+                handle.write(self._format_copy_line(schema, row) + "\n")
+                count += 1
+        return Result(kind="copy", count=count)
+
+    def _parse_copy_line(self, schema, line: str, line_number: int):
+        parts = line.split("\t")
+        if len(parts) == len(schema.user_fields):
+            fields = schema.user_fields
+        elif len(parts) == len(schema.fields):
+            fields = schema.fields
+        else:
+            raise ExecutionError(
+                f"copy line {line_number}: expected "
+                f"{len(schema.user_fields)} or {len(schema.fields)} fields, "
+                f"got {len(parts)}"
+            )
+        values = []
+        for spec, text in zip(fields, parts):
+            if spec.type is AttributeType.CHAR:
+                values.append(text)
+            elif spec.type is AttributeType.TIME:
+                values.append(self.parse_temporal_text(text))
+            elif spec.type in (AttributeType.F4, AttributeType.F8):
+                values.append(float(text))
+            else:
+                values.append(int(text))
+        return tuple(values)
+
+    @staticmethod
+    def _format_copy_line(schema, row) -> str:
+        parts = []
+        for spec, value in zip(schema.fields, row):
+            if spec.type is AttributeType.TIME:
+                parts.append(format_chronon(value, Resolution.SECOND))
+            else:
+                parts.append(str(value))
+        return "\t".join(parts)

@@ -1,0 +1,532 @@
+"""Version semantics of ``append``, ``delete`` and ``replace`` (Section 4).
+
+The embedding scheme the prototype adopted:
+
+* **rollback**: ``append`` inserts a version with ``transaction_start`` set
+  to the current time and ``transaction_stop`` "forever"; ``delete`` simply
+  stamps ``transaction_stop``; ``replace`` stamps the old version and
+  inserts one new version.
+* **historical**: the same procedures with ``valid_from``/``valid_to`` as
+  the counterparts of the transaction attributes; the ``valid`` clause can
+  override the defaults.
+* **temporal**: ``delete`` stamps ``transaction_stop`` and inserts a new
+  version with the updated ``valid_to`` ("the version has been valid until
+  that time"); ``replace`` first executes that ``delete`` and then appends
+  the new version -- "each 'replace' operation in a temporal relation
+  inserts two new versions".
+* **static**: ordinary in-place update and physical deletion.
+
+Updates are *deferred*, Ingres-style: target versions are collected first
+and mutated afterwards, so a statement never sees its own insertions (the
+Halloween problem the benchmark's evolution step would otherwise hit).
+
+Update statements target *current* versions: transaction-current and (for
+interval relations) valid at the statement's execution time.  Retroactive
+and postactive changes are expressed through the ``valid`` clause, which
+changes the periods written, not the versions targeted.
+
+On a two-level store the same semantics keep the primary store at one
+record per logical tuple: the new current version overwrites the primary
+record in place and superseded versions move to the history store.  (After
+a ``delete`` the stamped record remains in the primary store; the paper
+allows the primary store to hold "possibly some of frequently accessed
+history versions".)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.access.secondary import IndexLevels
+from repro.catalog.schema import (
+    TRANSACTION_START,
+    TRANSACTION_STOP,
+    VALID_AT,
+    VALID_FROM,
+    VALID_TO,
+    DatabaseType,
+    RelationKind,
+)
+from repro.engine.relation import StoredRelation
+from repro.errors import ExecutionError
+from repro.temporal.chronon import Chronon
+
+
+@dataclass(frozen=True)
+class ValidSpec:
+    """Resolved ``valid`` clause values (chronons), if any."""
+
+    valid_from: "Chronon | None" = None
+    valid_to: "Chronon | None" = None
+    valid_at: "Chronon | None" = None
+
+    def check_against(self, relation: StoredRelation) -> None:
+        schema = relation.schema
+        if (
+            self.valid_from is not None
+            or self.valid_to is not None
+            or self.valid_at is not None
+        ) and not schema.type.has_valid_time:
+            raise ExecutionError(
+                f"{schema.name}: a valid clause requires valid time "
+                f"(relation is {schema.type.value})"
+            )
+        if self.valid_at is not None and schema.kind is not RelationKind.EVENT:
+            raise ExecutionError(
+                f"{schema.name}: 'valid at' applies to event relations"
+            )
+        if (
+            self.valid_from is not None or self.valid_to is not None
+        ) and schema.kind is not RelationKind.INTERVAL:
+            raise ExecutionError(
+                f"{schema.name}: 'valid from/to' applies to interval "
+                "relations"
+            )
+
+
+NO_VALID = ValidSpec()
+
+
+def _tuple_key(relation: StoredRelation, row: tuple, rid) -> object:
+    position = relation.key_position
+    if position is not None:
+        return row[position]
+    return relation.tid_for(rid)
+
+
+def _index_new_version(
+    relation: StoredRelation, row: tuple, rid, current: bool
+) -> None:
+    """Maintain secondary indexes and the zone map after a physical
+    insert."""
+    relation.note_insert(rid, row)
+    tid = relation.tid_for(rid)
+    for index in relation.indexes.values():
+        value = row[index.attribute_index]
+        if index.levels is IndexLevels.ONE_LEVEL:
+            index.add_history(value, tid)
+        elif current:
+            index.replace_current(_tuple_key(relation, row, rid), value, tid)
+        else:
+            index.add_history(value, tid)
+
+
+def _index_demote(relation: StoredRelation, row: tuple, rid) -> None:
+    """Record in 2-level indexes that the version at *rid* left currency."""
+    tid = relation.tid_for(rid)
+    for index in relation.indexes.values():
+        if index.levels is IndexLevels.TWO_LEVEL:
+            index.add_history(row[index.attribute_index], tid)
+
+
+def is_update_target(relation: StoredRelation, row: tuple, now: Chronon) -> bool:
+    """Whether *row* is a version an update statement may touch.
+
+    Targets are transaction-current versions whose validity is not
+    entirely in the past: the currently-valid version of each tuple plus
+    any *postactive* versions (facts scheduled for the future), which a
+    correction must be able to reach.  Versions already closed in valid
+    time are history and immutable.
+    """
+    schema = relation.schema
+    if schema.type.has_transaction_time and not schema.is_current_transaction(
+        row
+    ):
+        return False
+    if (
+        schema.type.has_valid_time
+        and schema.kind is RelationKind.INTERVAL
+        and row[schema.position(VALID_TO)] <= now
+    ):
+        return False
+    return True
+
+
+def _default_new_validity(schema, row: tuple, now: Chronon, valid: ValidSpec):
+    """(valid_from, valid_to) for the replacing version.
+
+    The valid clause wins; otherwise the new version starts at the later
+    of now and the old version's start (a postactive fact keeps its start)
+    and inherits the old version's end -- correcting a bounded booking
+    must not silently extend it to forever.
+    """
+    old_from = row[schema.position(VALID_FROM)]
+    old_to = row[schema.position(VALID_TO)]
+    valid_from = (
+        valid.valid_from
+        if valid.valid_from is not None
+        else max(now, old_from)
+    )
+    valid_to = valid.valid_to if valid.valid_to is not None else old_to
+    return valid_from, valid_to
+
+
+def apply_append(
+    relation: StoredRelation,
+    user_rows: "list[tuple]",
+    now: Chronon,
+    valid: ValidSpec = NO_VALID,
+) -> int:
+    """TQuel ``append``: insert brand-new logical tuples."""
+    valid.check_against(relation)
+    schema = relation.schema
+    count = 0
+    for user_values in user_rows:
+        row = schema.new_version(
+            user_values,
+            now,
+            valid_from=valid.valid_from,
+            valid_to=valid.valid_to,
+            valid_at=valid.valid_at,
+        )
+        if relation.is_two_level:
+            rid = relation.storage.insert_current(row)
+        else:
+            rid = relation.storage.insert(row)
+        _index_new_version(relation, row, rid, current=True)
+        count += 1
+    return count
+
+
+def load_rows(relation: StoredRelation, rows: "list[tuple]", now: Chronon) -> int:
+    """TQuel ``copy``: batch input.
+
+    Rows may be full-width (time attributes included -- the modified
+    ``copy`` of Section 4 does "batch input and output of relations having
+    temporal attributes") or user-width, in which case the time attributes
+    default as for ``append``.
+    """
+    schema = relation.schema
+    count = 0
+    full_width = len(schema.fields)
+    user_width = len(schema.user_fields)
+    for values in rows:
+        if len(values) == full_width:
+            row = tuple(values)
+            schema.codec.encode(row)  # validate eagerly
+        elif len(values) == user_width:
+            row = schema.new_version(values, now)
+        else:
+            raise ExecutionError(
+                f"{schema.name}: copy rows need {user_width} or "
+                f"{full_width} values, got {len(values)}"
+            )
+        if relation.is_two_level:
+            if relation._is_currentish(row):
+                rid = relation.storage.insert_current(row)
+                _index_new_version(relation, row, rid, current=True)
+            else:
+                key = row[relation.key_position]
+                rid = relation.storage.append_history(key, row)
+                _index_new_version(relation, row, rid, current=False)
+        else:
+            rid = relation.storage.insert(row)
+            _index_new_version(
+                relation, row, rid, current=relation._is_currentish(row)
+            )
+        count += 1
+    return count
+
+
+def apply_delete(
+    relation: StoredRelation,
+    candidates: "list[tuple]",
+    now: Chronon,
+) -> int:
+    """TQuel ``delete`` over pre-collected ``(rid, row)`` candidates."""
+    schema = relation.schema
+    targets = [
+        (rid, row)
+        for rid, row in candidates
+        if is_update_target(relation, row, now)
+    ]
+    db_type = schema.type
+    if db_type is DatabaseType.STATIC:
+        return _physical_delete(relation, targets)
+    count = 0
+    # Inserts and physical removals are deferred until every in-place
+    # stamp has been applied: inserts can relocate records in sorted
+    # structures (B-trees) and removals reshuffle slots, either of which
+    # would invalidate rids still waiting to be processed.
+    pending: "list[tuple]" = []
+    removals: "list[tuple]" = []
+    for rid, row in targets:
+        if db_type is DatabaseType.HISTORICAL:
+            if schema.kind is RelationKind.EVENT:
+                # No valid-to to close and no transaction time to stamp:
+                # correcting an event away removes it physically.
+                removals.append((rid, row))
+                count += 1
+                continue
+            if row[schema.position(VALID_FROM)] >= now:
+                # A postactive fact that never held: without transaction
+                # time there is nothing to keep.
+                removals.append((rid, row))
+                count += 1
+                continue
+            stamped = schema.with_attribute(row, VALID_TO, now)
+            _update_in_place(relation, rid, stamped)
+            _index_demote(relation, stamped, rid)
+            count += 1
+            continue
+        # Rollback and temporal relations: stamp transaction_stop.
+        stamped = schema.with_attribute(row, TRANSACTION_STOP, now)
+        never_held = (
+            db_type is DatabaseType.TEMPORAL
+            and schema.kind is RelationKind.INTERVAL
+            and row[schema.position(VALID_FROM)] >= now
+        )
+        if (
+            db_type is DatabaseType.TEMPORAL
+            and schema.kind is RelationKind.INTERVAL
+            and not never_held
+        ):
+            closing = schema.with_attribute(row, VALID_TO, now)
+            closing = schema.with_attribute(closing, TRANSACTION_START, now)
+            if relation.is_two_level:
+                # Old version moves to history; the closing version takes
+                # the primary slot (it is the latest in transaction time).
+                hrid = relation.storage.append_history(
+                    _tuple_key(relation, row, rid), stamped
+                )
+                _index_new_version(relation, stamped, hrid, current=False)
+                relation.storage.overwrite_current(rid, closing)
+                _index_demote(relation, closing, rid)
+            else:
+                _update_in_place(relation, rid, stamped)
+                _index_demote(relation, stamped, rid)
+                pending.append((closing, False))
+        else:
+            # Rollback relations, temporal events, and temporal facts
+            # that never held: the transaction stamp is the whole story.
+            _update_in_place(relation, rid, stamped)
+            _index_demote(relation, stamped, rid)
+        count += 1
+    if removals:
+        _physical_delete(relation, removals)
+    _flush_inserts(relation, pending)
+    return count
+
+
+def apply_replace(
+    relation: StoredRelation,
+    candidates: "list[tuple]",
+    assigner,
+    now: Chronon,
+    valid: ValidSpec = NO_VALID,
+    valid_for=None,
+) -> int:
+    """TQuel ``replace``: *assigner(rid, row) -> new user-values tuple*.
+
+    *valid_for(rid, row)*, when given, supplies a per-target
+    :class:`ValidSpec` (a valid clause referencing range variables);
+    otherwise the statement-level *valid* applies to every target.
+    """
+    valid.check_against(relation)
+    schema = relation.schema
+    targets = [
+        (rid, row)
+        for rid, row in candidates
+        if is_update_target(relation, row, now)
+    ]
+    db_type = schema.type
+    count = 0
+    pending: "list[tuple]" = []
+    moves: "list[tuple]" = []  # static replaces that change the key
+    key_position = relation.key_position
+    for rid, row in targets:
+        if valid_for is not None:
+            valid = valid_for(rid, row)
+            valid.check_against(relation)
+        new_user = tuple(assigner(rid, row))
+        if db_type is DatabaseType.STATIC:
+            if (
+                key_position is not None
+                and new_user[key_position] != row[key_position]
+            ):
+                # Changing the key relocates the record: delete + insert,
+                # deferred so collected rids stay valid.
+                moves.append(((rid, row), new_user))
+            else:
+                _update_in_place(relation, rid, new_user)
+            count += 1
+            continue
+        if db_type is DatabaseType.HISTORICAL:
+            count += _replace_historical(
+                relation, rid, row, new_user, now, valid, pending
+            )
+            continue
+        if db_type is DatabaseType.ROLLBACK:
+            count += _replace_rollback(
+                relation, rid, row, new_user, now, pending
+            )
+            continue
+        count += _replace_temporal(
+            relation, rid, row, new_user, now, valid, pending
+        )
+    if moves:
+        _physical_delete(relation, [target for target, _ in moves])
+        pending.extend((new_user, True) for _, new_user in moves)
+    _flush_inserts(relation, pending)
+    return count
+
+
+def _replace_historical(relation, rid, row, new_user, now, valid, pending) -> int:
+    schema = relation.schema
+    if schema.kind is RelationKind.EVENT:
+        # Correction semantics: rewrite the event in place, optionally
+        # moving it with 'valid at'.
+        new_row = schema.new_version(
+            new_user,
+            now,
+            valid_at=(
+                valid.valid_at
+                if valid.valid_at is not None
+                else row[schema.position(VALID_AT)]
+            ),
+        )
+        _update_in_place(relation, rid, new_row)
+        return 1
+    valid_from, valid_to = _default_new_validity(schema, row, now, valid)
+    new_row = schema.new_version(
+        new_user, now, valid_from=valid_from, valid_to=valid_to
+    )
+    if row[schema.position(VALID_FROM)] >= now:
+        # Postactive fact: it never held, so correct it in place rather
+        # than closing a validity period that never opened.
+        _update_in_place(relation, rid, new_row)
+        _index_new_version(relation, new_row, rid, current=True)
+        return 1
+    stamped = schema.with_attribute(row, VALID_TO, now)
+    if relation.is_two_level:
+        key = _tuple_key(relation, row, rid)
+        hrid = relation.storage.append_history(key, stamped)
+        _index_new_version(relation, stamped, hrid, current=False)
+        relation.storage.overwrite_current(rid, new_row)
+        _index_new_version(relation, new_row, rid, current=True)
+    else:
+        _update_in_place(relation, rid, stamped)
+        _index_demote(relation, stamped, rid)
+        pending.append((new_row, True))
+    return 1
+
+
+def _replace_rollback(relation, rid, row, new_user, now, pending) -> int:
+    schema = relation.schema
+    stamped = schema.with_attribute(row, TRANSACTION_STOP, now)
+    new_row = schema.new_version(new_user, now)
+    if relation.is_two_level:
+        key = _tuple_key(relation, row, rid)
+        hrid = relation.storage.append_history(key, stamped)
+        _index_new_version(relation, stamped, hrid, current=False)
+        relation.storage.overwrite_current(rid, new_row)
+        _index_new_version(relation, new_row, rid, current=True)
+    else:
+        _update_in_place(relation, rid, stamped)
+        _index_demote(relation, stamped, rid)
+        pending.append((new_row, True))
+    return 1
+
+
+def _replace_temporal(relation, rid, row, new_user, now, valid,
+                      pending) -> int:
+    """Temporal replace = the paper's delete-then-append: two new versions."""
+    schema = relation.schema
+    stamped = schema.with_attribute(row, TRANSACTION_STOP, now)
+    if schema.kind is RelationKind.EVENT:
+        new_row = schema.new_version(
+            new_user,
+            now,
+            valid_at=(
+                valid.valid_at
+                if valid.valid_at is not None
+                else row[schema.position(VALID_AT)]
+            ),
+        )
+        if relation.is_two_level:
+            key = _tuple_key(relation, row, rid)
+            hrid = relation.storage.append_history(key, stamped)
+            _index_new_version(relation, stamped, hrid, current=False)
+            relation.storage.overwrite_current(rid, new_row)
+            _index_new_version(relation, new_row, rid, current=True)
+        else:
+            _update_in_place(relation, rid, stamped)
+            _index_demote(relation, stamped, rid)
+            pending.append((new_row, True))
+        return 1
+    valid_from, valid_to = _default_new_validity(schema, row, now, valid)
+    new_row = schema.new_version(
+        new_user, now, valid_from=valid_from, valid_to=valid_to
+    )
+    if row[schema.position(VALID_FROM)] >= now:
+        # Postactive fact: it never held, so there is no closing version;
+        # the stamped original records what was believed, the new version
+        # the correction ("each replace inserts two new versions" applies
+        # to facts that have actually held).
+        if relation.is_two_level:
+            key = _tuple_key(relation, row, rid)
+            hrid = relation.storage.append_history(key, stamped)
+            _index_new_version(relation, stamped, hrid, current=False)
+            relation.storage.overwrite_current(rid, new_row)
+            _index_new_version(relation, new_row, rid, current=True)
+        else:
+            _update_in_place(relation, rid, stamped)
+            _index_demote(relation, stamped, rid)
+            pending.append((new_row, True))
+        return 1
+    closing = schema.with_attribute(row, VALID_TO, now)
+    closing = schema.with_attribute(closing, TRANSACTION_START, now)
+    if relation.is_two_level:
+        key = _tuple_key(relation, row, rid)
+        hrid = relation.storage.append_history(key, stamped)
+        _index_new_version(relation, stamped, hrid, current=False)
+        hrid2 = relation.storage.append_history(key, closing)
+        _index_new_version(relation, closing, hrid2, current=False)
+        relation.storage.overwrite_current(rid, new_row)
+        _index_new_version(relation, new_row, rid, current=True)
+    else:
+        _update_in_place(relation, rid, stamped)
+        _index_demote(relation, stamped, rid)
+        pending.append((closing, False))
+        pending.append((new_row, True))
+    return 1
+
+
+def _flush_inserts(relation: StoredRelation, pending: "list[tuple]") -> None:
+    """Perform the deferred inserts of one statement (phase 2)."""
+    for row, current in pending:
+        rid = relation.storage.insert(row)
+        _index_new_version(relation, row, rid, current=current)
+
+
+def _update_in_place(relation: StoredRelation, rid, row: tuple) -> None:
+    if relation.is_two_level:
+        relation.storage.overwrite_current(rid, row)
+    else:
+        relation.storage.update(rid, row)
+
+
+def _physical_delete(relation: StoredRelation, targets: "list[tuple]") -> int:
+    """Remove records outright (static relations, historical events)."""
+    if relation.is_two_level:
+        raise ExecutionError(
+            f"{relation.name}: physical deletion is not supported on a "
+            "two-level store"
+        )
+    storage = relation.storage
+    # Deleting a slot moves the page's last record into the hole, so delete
+    # per page in descending slot order to keep remaining rids valid.
+    by_page: "dict[object, list[int]]" = {}
+    for rid, _ in targets:
+        page_id, slot = rid
+        by_page.setdefault(page_id, []).append(slot)
+    count = 0
+    for page_id, slots in by_page.items():
+        for slot in sorted(slots, reverse=True):
+            storage.delete((page_id, slot))
+            count += 1
+    if count and relation.indexes:
+        # Physical deletion invalidates tids; rebuild affected indexes.
+        for index in relation.indexes.values():
+            relation._rebuild_index(index)
+    return count

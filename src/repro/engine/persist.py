@@ -1,0 +1,297 @@
+"""Database persistence: checkpoint a database to disk and restore it.
+
+The benchmark's metric depends on *physical layout* (which page each
+version occupies, how long each overflow chain is), so persistence saves
+exact page images rather than a logical dump:
+
+* ``database.json`` -- the clock, range variables, and per-relation
+  metadata: schema, storage structure, structure internals
+  (``snapshot_meta``) and secondary indexes;
+* ``<file>.pages``  -- one binary file per stored relation file (primary
+  and history stores and index files included): a small header followed by
+  each page's record size and 1024-byte image.
+
+``save(db, path)`` / ``load(path)`` round-trip everything: a restored
+database answers every query with the same rows *and the same page
+counts* as the original.  I/O statistics are not persisted (a restored
+database starts with fresh counters), and in-flight temporaries do not
+exist between statements.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import struct
+
+from repro.access.base import StructureKind
+from repro.access.btree import BTreeFile
+from repro.access.hashfile import HashFile
+from repro.access.heap import HeapFile
+from repro.access.isam import IsamFile
+from repro.access.secondary import IndexLevels, SecondaryIndex
+from repro.access.twolevel import HistoryLayout, TwoLevelStore
+from repro.catalog.schema import DatabaseType, RelationKind, RelationSchema
+from repro.engine.relation import StoredRelation
+from repro.errors import ReproError
+from repro.storage.record import FieldSpec
+from repro.temporal.chronon import Clock
+
+_MAGIC = b"TQRP"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHI")  # magic, version, page count
+_PAGE_HEADER = struct.Struct("<H")  # record size
+
+
+class PersistError(ReproError):
+    """A checkpoint directory is missing, corrupt, or incompatible."""
+
+
+def _dump_file(buffered, path: pathlib.Path) -> None:
+    pages = list(buffered.dump_pages())
+    with open(path, "wb") as handle:
+        handle.write(_HEADER.pack(_MAGIC, _VERSION, len(pages)))
+        for record_size, image in pages:
+            handle.write(_PAGE_HEADER.pack(record_size))
+            handle.write(image)
+
+
+def _load_file(buffered, path: pathlib.Path) -> None:
+    with open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise PersistError(f"{path}: truncated page file")
+        magic, version, count = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise PersistError(f"{path}: not a tquel-repro page file")
+        if version != _VERSION:
+            raise PersistError(
+                f"{path}: unsupported format version {version}"
+            )
+
+        def pairs():
+            for _ in range(count):
+                size_bytes = handle.read(_PAGE_HEADER.size)
+                (record_size,) = _PAGE_HEADER.unpack(size_bytes)
+                image = handle.read(1024)
+                if len(image) != 1024:
+                    raise PersistError(f"{path}: truncated page image")
+                yield record_size, image
+
+        buffered.load_pages(pairs())
+
+
+def _relation_files(relation: StoredRelation) -> "list[str]":
+    if relation.is_two_level:
+        files = [f"{relation.name}.primary", f"{relation.name}.history"]
+    else:
+        files = [relation.name]
+    for index in relation.indexes.values():
+        if index.levels is IndexLevels.TWO_LEVEL:
+            files.extend([f"{index.name}.current", f"{index.name}.history"])
+        else:
+            files.append(index.name)
+    return files
+
+
+def _schema_meta(schema: RelationSchema) -> dict:
+    return {
+        "name": schema.name,
+        "type": schema.type.value,
+        "kind": schema.kind.value,
+        "user_fields": [
+            [spec.name, spec.type_text] for spec in schema.user_fields
+        ],
+    }
+
+
+def _schema_from_meta(meta: dict) -> RelationSchema:
+    return RelationSchema(
+        meta["name"],
+        [FieldSpec.parse(name, text) for name, text in meta["user_fields"]],
+        type=DatabaseType(meta["type"]),
+        kind=RelationKind(meta["kind"]),
+    )
+
+
+def save(db, path) -> None:
+    """Checkpoint *db* into directory *path* (created if needed)."""
+    root = pathlib.Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    db.pool.flush_all()
+
+    relations = []
+    for name in db.relation_names():
+        relation = db.relation(name)
+        entry = {
+            "schema": _schema_meta(relation.schema),
+            "structure": relation.structure.value,
+            "key_attribute": relation.key_attribute,
+            "fillfactor": relation.fillfactor,
+            "history_layout": (
+                relation.history_layout.value
+                if relation.history_layout is not None
+                else None
+            ),
+            "storage": relation.storage.snapshot_meta(),
+            "zone_map": (
+                sorted(relation.zone_map.items())
+                if relation.zone_map is not None
+                else None
+            ),
+            "indexes": [
+                {
+                    "name": index.name,
+                    "attribute": index.attribute,
+                    "structure": index.structure.value,
+                    "levels": index.levels.value,
+                    "meta": index.snapshot_meta(),
+                }
+                for index in relation.indexes.values()
+            ],
+        }
+        relations.append(entry)
+        for file_name in _relation_files(relation):
+            _dump_file(db.pool.file(file_name), root / f"{file_name}.pages")
+
+    manifest = {
+        "format": _VERSION,
+        "name": db.name,
+        "clock": {"now": db.clock.now(), "tick": db.clock.tick},
+        "ranges": dict(db.ranges),
+        "relations": relations,
+    }
+    (root / "database.json").write_text(
+        json.dumps(manifest, indent=2), encoding="ascii"
+    )
+
+
+def _restore_conventional(db, relation: StoredRelation, entry, root) -> None:
+    structure = StructureKind(entry["structure"])
+    schema = relation.schema
+    key_index = (
+        schema.position(entry["key_attribute"])
+        if entry["key_attribute"]
+        else None
+    )
+    file = db.pool.create_file(schema.name, schema.record_size)
+    _load_file(file, root / f"{schema.name}.pages")
+    if structure is StructureKind.HEAP:
+        storage = HeapFile(file, schema.codec, key_index)
+    elif structure is StructureKind.HASH:
+        storage = HashFile(file, schema.codec, key_index)
+    elif structure is StructureKind.ISAM:
+        storage = IsamFile(file, schema.codec, key_index)
+    elif structure is StructureKind.BTREE:
+        storage = BTreeFile(file, schema.codec, key_index)
+    else:  # pragma: no cover - dispatched by caller
+        raise PersistError(f"unknown structure {structure}")
+    storage.restore_meta(entry["storage"])
+    relation._storage = storage
+
+
+def _restore_two_level(db, relation: StoredRelation, entry, root) -> None:
+    schema = relation.schema
+    meta = entry["storage"]
+    key_index = schema.position(entry["key_attribute"])
+    store = TwoLevelStore(
+        db.pool,
+        schema.name,
+        schema.codec,
+        key_index,
+        primary_kind=StructureKind(meta["primary_kind"]),
+        layout=HistoryLayout(meta["layout"]),
+    )
+    _load_file(
+        db.pool.file(f"{schema.name}.primary"),
+        root / f"{schema.name}.primary.pages",
+    )
+    _load_file(
+        db.pool.file(f"{schema.name}.history"),
+        root / f"{schema.name}.history.pages",
+    )
+    store.restore_meta(meta)
+    relation._storage = store
+    relation.history_layout = HistoryLayout(meta["layout"])
+
+
+def _restore_indexes(db, relation: StoredRelation, entry, root) -> None:
+    for index_entry in entry["indexes"]:
+        index = SecondaryIndex(
+            db.pool,
+            index_entry["name"],
+            index_entry["attribute"],
+            relation.schema.position(index_entry["attribute"]),
+            relation.schema.field_for(index_entry["attribute"]),
+            structure=StructureKind(index_entry["structure"]),
+            levels=IndexLevels(index_entry["levels"]),
+        )
+        if index.levels is IndexLevels.TWO_LEVEL:
+            names = [f"{index.name}.current", f"{index.name}.history"]
+        else:
+            names = [index.name]
+        for file_name in names:
+            _load_file(
+                db.pool.file(file_name), root / f"{file_name}.pages"
+            )
+        index.restore_meta(index_entry["meta"])
+        relation.indexes[index.name] = index
+
+
+def load(path, database_class=None):
+    """Restore a database checkpointed with :func:`save`."""
+    from repro.engine.database import TemporalDatabase
+
+    root = pathlib.Path(path)
+    manifest_path = root / "database.json"
+    if not manifest_path.exists():
+        raise PersistError(f"{root}: no database.json checkpoint found")
+    manifest = json.loads(manifest_path.read_text(encoding="ascii"))
+    if manifest.get("format") != _VERSION:
+        raise PersistError(
+            f"unsupported checkpoint format {manifest.get('format')!r}"
+        )
+
+    cls = database_class if database_class is not None else TemporalDatabase
+    db = cls(
+        name=manifest["name"],
+        clock=Clock(
+            start=int(manifest["clock"]["now"]),
+            tick=int(manifest["clock"]["tick"]),
+        ),
+    )
+
+    for entry in manifest["relations"]:
+        schema = _schema_from_meta(entry["schema"])
+        relation = StoredRelation(schema, db.pool)
+        structure = StructureKind(entry["structure"])
+        if structure is StructureKind.TWO_LEVEL:
+            _restore_two_level(db, relation, entry, root)
+        else:
+            _restore_conventional(db, relation, entry, root)
+        relation.structure = structure
+        relation.key_attribute = entry["key_attribute"] or None
+        relation.fillfactor = int(entry["fillfactor"])
+        if entry.get("zone_map") is not None:
+            relation.zone_map = {
+                int(page_id): int(start)
+                for page_id, start in entry["zone_map"]
+            }
+        _restore_indexes(db, relation, entry, root)
+        db._relations[schema.name] = relation
+        db.catalog.record_create(schema)
+        db.catalog.record_modify(
+            schema.name,
+            structure.value,
+            entry["key_attribute"] or "",
+            relation.fillfactor,
+        )
+
+    for var, relation_name in manifest["ranges"].items():
+        if relation_name in db._relations or relation_name in (
+            "relations", "attributes",
+        ):
+            db.ranges[var] = relation_name
+    db.pool.flush_all()
+    db.stats.reset()
+    return db

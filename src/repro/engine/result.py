@@ -1,0 +1,59 @@
+"""Statement results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.iostats import IODelta
+
+
+@dataclass
+class Result:
+    """The outcome of one executed TQuel statement.
+
+    ``io`` is the statement's user-relation I/O (the paper's metric):
+    ``io.input_pages`` page reads and ``io.output_pages`` page writes.
+    """
+
+    kind: str
+    columns: "list[str]" = field(default_factory=list)
+    rows: "list[tuple]" = field(default_factory=list)
+    count: int = 0
+    io: "IODelta | None" = None
+    message: str = ""
+
+    @property
+    def input_pages(self) -> int:
+        return self.io.input_pages if self.io is not None else 0
+
+    @property
+    def output_pages(self) -> int:
+        return self.io.output_pages if self.io is not None else 0
+
+    def to_dicts(self) -> "list[dict]":
+        """Rows as column-keyed dicts (application convenience)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def first(self):
+        """The first row, or ``None`` when the result is empty."""
+        return self.rows[0] if self.rows else None
+
+    def scalar(self):
+        """The single value of a one-row, one-column-of-interest result.
+
+        Convenient for aggregates: ``db.execute("retrieve (n =
+        count(e.id))").scalar()``.  Raises if the result is empty or has
+        more than one row.
+        """
+        if len(self.rows) != 1:
+            raise ValueError(
+                f"scalar() needs exactly one row, result has "
+                f"{len(self.rows)}"
+            )
+        return self.rows[0][0]
+
+    def __repr__(self) -> str:
+        return (
+            f"Result({self.kind!r}, rows={len(self.rows)}, "
+            f"count={self.count}, input_pages={self.input_pages})"
+        )

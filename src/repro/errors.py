@@ -1,0 +1,84 @@
+"""Exception hierarchy for the tquel-repro temporal DBMS.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  The sub-hierarchy mirrors the
+layers of the system: temporal values, storage, catalog, language, and
+execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all tquel-repro errors."""
+
+
+class TemporalError(ReproError):
+    """Errors in temporal values: bad date strings, out-of-range chronons."""
+
+
+class ChrononRangeError(TemporalError):
+    """A chronon is outside the representable 32-bit range."""
+
+
+class DateParseError(TemporalError):
+    """A date/time string could not be parsed in any accepted format."""
+
+
+class IntervalError(TemporalError):
+    """An interval is malformed (e.g. stop precedes start)."""
+
+
+class StorageError(ReproError):
+    """Errors in the page-storage layer."""
+
+
+class PageOverflowError(StorageError):
+    """A record does not fit in a page."""
+
+
+class RecordCodecError(StorageError):
+    """A value cannot be encoded/decoded with the relation's record format."""
+
+
+class AccessMethodError(StorageError):
+    """Errors in access-method structures (hash, ISAM, two-level store)."""
+
+
+class CatalogError(ReproError):
+    """Errors in schema/catalog operations."""
+
+
+class DuplicateRelationError(CatalogError):
+    """A relation with the same name already exists."""
+
+
+class UnknownRelationError(CatalogError):
+    """A named relation does not exist."""
+
+
+class SchemaError(CatalogError):
+    """A schema definition is invalid (bad type, duplicate attribute...)."""
+
+
+class TQuelError(ReproError):
+    """Errors in the TQuel language layer."""
+
+
+class TQuelSyntaxError(TQuelError):
+    """The statement could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int = 1, column: int = 0):
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class TQuelSemanticError(TQuelError):
+    """The statement parsed but is ill-formed (unknown attribute, a `when`
+    clause on a static relation, an `as of` clause on a relation without
+    transaction time, ...)."""
+
+
+class ExecutionError(ReproError):
+    """Runtime errors while executing a query plan."""

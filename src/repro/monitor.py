@@ -1,0 +1,242 @@
+"""An interactive TQuel terminal monitor, in the spirit of the Ingres
+monitor the prototype was driven from.
+
+Run with ``python -m repro.monitor`` (or the ``tquel-monitor`` script).
+Statements are plain TQuel; meta-commands start with a backslash:
+
+=============  ====================================================
+``\\?``         help
+``\\d``         list relations (``\\d name`` shows one schema)
+``\\i file``    run TQuel statements from a script file
+``\\check``     integrity-check the database (``\\check name``: one relation)
+``\\explain q`` show the decomposition plan for a retrieve
+``\\save dir``  checkpoint the database; ``\\restore dir`` loads one
+``\\io``        toggle per-statement I/O reporting
+``\\clock``     show the logical clock; ``\\clock advance N`` moves it
+``\\time fmt``  output resolution: second/minute/hour/day/month/year
+``\\q``         quit
+=============  ====================================================
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.engine.database import TemporalDatabase
+from repro.errors import ReproError
+from repro.temporal.format import Resolution, format_chronon
+
+
+class Monitor:
+    """A tiny REPL over one :class:`TemporalDatabase`."""
+
+    def __init__(self, db: "TemporalDatabase | None" = None, out=None):
+        self.db = db if db is not None else TemporalDatabase("monitor")
+        self.out = out if out is not None else sys.stdout
+        self.show_io = True
+        self.resolution = Resolution.SECOND
+        self._done = False
+
+    def _print(self, text: str = "") -> None:
+        self.out.write(text + "\n")
+
+    # -- meta-commands -------------------------------------------------------
+
+    def _meta(self, line: str) -> None:
+        parts = line[1:].split()
+        command = parts[0] if parts else "?"
+        if command == "q":
+            self._done = True
+        elif command == "?":
+            self._print(__doc__ or "")
+        elif command == "d":
+            if len(parts) > 1:
+                relation = self.db.relation(parts[1])
+                self._print(relation.schema.describe())
+                self._print(
+                    f"  structure: {relation.structure.value}"
+                    f"{' on ' + relation.key_attribute if relation.key_attribute else ''}"
+                    f", fillfactor {relation.fillfactor}"
+                )
+                self._print(
+                    f"  pages: {relation.page_count}, versions: "
+                    f"{relation.row_count}"
+                )
+                for index in relation.indexes.values():
+                    self._print(
+                        f"  index {index.name} on {index.attribute} "
+                        f"({index.structure.value}, "
+                        f"{index.levels.value}-level)"
+                    )
+            else:
+                for name in self.db.relation_names():
+                    self._print(self.db.relation(name).schema.describe())
+        elif command == "io":
+            self.show_io = not self.show_io
+            self._print(f"I/O reporting {'on' if self.show_io else 'off'}")
+        elif command == "clock":
+            if len(parts) == 3 and parts[1] == "advance":
+                try:
+                    self.db.clock.advance(int(parts[2]))
+                except (ValueError, ReproError) as error:
+                    self._print(f"  error: {error}")
+                    return
+            self._print(
+                f"now = {format_chronon(self.db.clock.now())} "
+                f"(tick {self.db.clock.tick}s)"
+            )
+        elif command == "time":
+            if len(parts) > 1:
+                try:
+                    self.resolution = Resolution(parts[1])
+                except ValueError:
+                    choices = ", ".join(r.value for r in Resolution)
+                    self._print(
+                        f"  unknown resolution {parts[1]!r} (one of: "
+                        f"{choices})"
+                    )
+                    return
+            self._print(f"output resolution: {self.resolution.value}")
+        elif command == "check":
+            from repro.engine.integrity import check_database, check_relation
+
+            if len(parts) > 1:
+                problems = check_relation(self.db.relation(parts[1]))
+            else:
+                problems = check_database(self.db)
+            if problems:
+                for problem in problems:
+                    self._print(f"  PROBLEM {problem}")
+            else:
+                self._print("  integrity check passed")
+        elif command == "i":
+            if len(parts) != 2:
+                self._print("usage: \\i <file>")
+                return
+            try:
+                with open(parts[1], "r", encoding="ascii") as handle:
+                    script = handle.read()
+            except OSError as error:
+                self._print(f"  error: {error}")
+                return
+            self.handle(script)
+        elif command == "save":
+            if len(parts) != 2:
+                self._print("usage: \\save <directory>")
+                return
+            self.db.save(parts[1])
+            self._print(f"  saved to {parts[1]}")
+        elif command == "restore":
+            if len(parts) != 2:
+                self._print("usage: \\restore <directory>")
+                return
+            try:
+                self.db = TemporalDatabase.load(parts[1])
+            except ReproError as error:
+                self._print(f"  error: {error}")
+                return
+            self._print(f"  restored from {parts[1]}")
+        else:
+            self._print(f"unknown meta-command \\{command} (try \\?)")
+
+    # -- statement execution ----------------------------------------------------
+
+    def _format_value(self, value, column: str):
+        if column in ("valid_from", "valid_to", "valid_at",
+                      "transaction_start", "transaction_stop"):
+            return format_chronon(value, self.resolution)
+        return str(value)
+
+    def _show_result(self, result) -> None:
+        if result.rows or result.columns:
+            widths = None
+            table = [result.columns] + [
+                [
+                    self._format_value(value, column)
+                    for value, column in zip(row, result.columns)
+                ]
+                for row in result.rows
+            ]
+            widths = [
+                max(len(row[i]) for row in table)
+                for i in range(len(result.columns))
+            ]
+            for line_number, row in enumerate(table):
+                self._print(
+                    "  " + "  ".join(
+                        cell.ljust(width)
+                        for cell, width in zip(row, widths)
+                    )
+                )
+                if line_number == 0:
+                    self._print(
+                        "  " + "  ".join("-" * width for width in widths)
+                    )
+            self._print(f"  ({len(result.rows)} tuple(s))")
+        elif result.message:
+            self._print(f"  {result.kind}: {result.message}")
+        else:
+            self._print(f"  {result.kind}: {result.count} tuple(s)")
+        if self.show_io and result.io is not None:
+            self._print(
+                f"  [input {result.input_pages} pages, output "
+                f"{result.output_pages} pages]"
+            )
+
+    def handle(self, line: str) -> None:
+        """Process one input line (meta-command or TQuel)."""
+        stripped = line.strip()
+        if not stripped:
+            return
+        if stripped.startswith("\\explain "):
+            try:
+                self._print(self.db.explain(stripped[len("\\explain "):]))
+            except ReproError as error:
+                self._print(f"  error: {error}")
+            return
+        if stripped.startswith("\\"):
+            self._meta(stripped)
+            return
+        try:
+            outcome = self.db.execute(stripped)
+        except ReproError as error:
+            self._print(f"  error: {error}")
+            return
+        for result in outcome if isinstance(outcome, list) else [outcome]:
+            self._show_result(result)
+
+    def run(self, input_stream=None) -> None:
+        """Read-eval-print until EOF or ``\\q``.
+
+        A trailing backslash continues a statement on the next line.
+        """
+        stream = input_stream if input_stream is not None else sys.stdin
+        interactive = stream is sys.stdin and sys.stdin.isatty()
+        self._print("tquel-repro monitor -- \\? for help, \\q to quit")
+        buffered = ""
+        while not self._done:
+            if interactive:
+                self.out.write("...... " if buffered else "tquel> ")
+                self.out.flush()
+            line = stream.readline()
+            if not line:
+                if buffered.strip():
+                    self.handle(buffered)
+                break
+            stripped = line.rstrip("\n")
+            if stripped.rstrip().endswith("\\") and not (
+                stripped.lstrip().startswith("\\")
+            ):
+                buffered += stripped.rstrip()[:-1] + " "
+                continue
+            self.handle(buffered + stripped)
+            buffered = ""
+
+
+def main(argv=None) -> int:
+    Monitor().run()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

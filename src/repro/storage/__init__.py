@@ -1,0 +1,39 @@
+"""Page storage substrate: the Ingres-like layer the prototype sits on.
+
+The paper's metric is "the number of disk accesses per query at a granularity
+of a page" with "only 1 buffer for each user relation" (Section 5.1).  This
+subpackage provides exactly that machinery:
+
+* :mod:`repro.storage.page` -- 1024-byte pages holding fixed-width records,
+  with a 6-byte header (record count + overflow-chain pointer);
+* :mod:`repro.storage.record` -- encoding/decoding of tuples (``i1``/``i2``/
+  ``i4``/``f4``/``f8``/``cN`` plus the temporal attribute type) into
+  fixed-width byte records;
+* :mod:`repro.storage.pager` -- in-memory paged files (the simulated disk);
+* :mod:`repro.storage.buffer` -- per-file buffer pools (default one page)
+  that meter disk reads and writes;
+* :mod:`repro.storage.iostats` -- the I/O accounting the benchmark reports,
+  split between user and system relations as in the paper.
+"""
+
+from repro.storage.buffer import BufferedFile, BufferPool
+from repro.storage.iostats import IOCounters, IODelta, IOStats
+from repro.storage.page import PAGE_SIZE, PAGE_HEADER_SIZE, NO_PAGE, Page
+from repro.storage.pager import PagedFile
+from repro.storage.record import AttributeType, FieldSpec, RecordCodec
+
+__all__ = [
+    "AttributeType",
+    "BufferPool",
+    "BufferedFile",
+    "FieldSpec",
+    "IOCounters",
+    "IODelta",
+    "IOStats",
+    "NO_PAGE",
+    "PAGE_HEADER_SIZE",
+    "PAGE_SIZE",
+    "Page",
+    "PagedFile",
+    "RecordCodec",
+]

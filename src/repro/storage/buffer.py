@@ -1,0 +1,188 @@
+"""Per-file buffer pools and metered file access.
+
+The paper "allocated only 1 buffer for each user relation so that a page
+resides in main memory only until another page from the same relation is
+brought in" (Section 5.1).  :class:`BufferedFile` implements exactly that: a
+small LRU pool (default one slot) in front of a
+:class:`~repro.storage.pager.PagedFile`, reporting page reads and writes to
+the shared :class:`~repro.storage.iostats.IOStats` meter.
+
+Accounting rules:
+
+* a :meth:`read` that misses the pool costs one page read; a hit is free;
+* a freshly :meth:`allocate`-d page enters the pool dirty with no read cost;
+* dirty pages cost one page write when they leave the pool (eviction or
+  :meth:`flush`);
+* mutating a page requires it to be resident: call :meth:`read` (or
+  :meth:`allocate`), mutate the returned page immediately, then call
+  :meth:`mark_dirty` before any other pool operation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import StorageError
+from repro.storage.iostats import IOStats
+from repro.storage.page import Page
+from repro.storage.pager import PagedFile
+
+
+class BufferedFile:
+    """A paged file fronted by its own (tiny) buffer pool."""
+
+    def __init__(
+        self,
+        name: str,
+        record_size: int,
+        stats: IOStats,
+        buffers: int = 1,
+        system: bool = False,
+    ):
+        if buffers < 1:
+            raise StorageError(f"need at least 1 buffer, got {buffers}")
+        self._name = name
+        self._file = PagedFile(record_size)
+        self._stats = stats
+        self._capacity = buffers
+        # page_id -> dirty flag; insertion order tracks recency (LRU first).
+        self._resident: "OrderedDict[int, bool]" = OrderedDict()
+        stats.register(name, system=system)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def record_size(self) -> int:
+        return self._file.record_size
+
+    @property
+    def page_count(self) -> int:
+        return self._file.page_count
+
+    @property
+    def buffers(self) -> int:
+        """Size of this file's buffer pool in pages."""
+        return self._capacity
+
+    def resize_pool(self, buffers: int) -> None:
+        """Change the pool size (flushes first so accounting stays exact)."""
+        if buffers < 1:
+            raise StorageError(f"need at least 1 buffer, got {buffers}")
+        self.flush()
+        self._capacity = buffers
+
+    def _evict_to(self, capacity: int) -> None:
+        while len(self._resident) > capacity:
+            page_id, dirty = self._resident.popitem(last=False)
+            if dirty:
+                self._stats.record_write(self._name)
+
+    def read(self, page_id: int) -> Page:
+        """Fetch a page, counting a disk read unless it is resident."""
+        if page_id in self._resident:
+            self._resident.move_to_end(page_id)
+            return self._file.page(page_id)
+        self._stats.record_read(self._name)
+        self._evict_to(self._capacity - 1)
+        self._resident[page_id] = False
+        return self._file.page(page_id)
+
+    def allocate(self, record_size: "int | None" = None) -> "tuple[int, Page]":
+        """Allocate a fresh page; it enters the pool dirty (no read cost)."""
+        page_id = self._file.allocate(record_size)
+        self._evict_to(self._capacity - 1)
+        self._resident[page_id] = True
+        return page_id, self._file.page(page_id)
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Record that the resident page *page_id* was mutated."""
+        if page_id not in self._resident:
+            raise StorageError(
+                f"page {page_id} of {self._name} is not resident; read it "
+                "before mutating"
+            )
+        self._resident[page_id] = True
+        self._resident.move_to_end(page_id)
+
+    def is_resident(self, page_id: int) -> bool:
+        """Whether *page_id* currently occupies a buffer slot."""
+        return page_id in self._resident
+
+    def flush(self) -> None:
+        """Write out dirty pages and empty the pool."""
+        self._evict_to(0)
+
+    def peek(self, page_id: int) -> Page:
+        """Unmetered access for tests and integrity checks only."""
+        return self._file.page(page_id)
+
+    def dump_pages(self):
+        """Yield (record_size, image) for every page (persistence)."""
+        self.flush()
+        for page_id in range(self._file.page_count):
+            page = self._file.page(page_id)
+            yield page.record_size, page.to_bytes()
+
+    def load_pages(self, pairs) -> None:
+        """Restore pages from (record_size, image) pairs (persistence)."""
+        if self._file.page_count:
+            raise StorageError("load_pages requires an empty file")
+        for record_size, image in pairs:
+            self._file.append_image(image, record_size)
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferedFile({self._name!r}, pages={self.page_count}, "
+            f"buffers={self._capacity})"
+        )
+
+
+class BufferPool:
+    """Factory tying files of one database to a shared I/O meter.
+
+    Keeps the paper's convention in one place: user relations get one buffer
+    page each (overridable per file), system relations are metered separately.
+    """
+
+    def __init__(self, stats: "IOStats | None" = None, default_buffers: int = 1):
+        self._stats = stats if stats is not None else IOStats()
+        self._default_buffers = default_buffers
+        self._files: "dict[str, BufferedFile]" = {}
+
+    @property
+    def stats(self) -> IOStats:
+        return self._stats
+
+    def create_file(
+        self,
+        name: str,
+        record_size: int,
+        buffers: "int | None" = None,
+        system: bool = False,
+    ) -> BufferedFile:
+        """Create (or replace) the file backing relation *name*."""
+        buffered = BufferedFile(
+            name,
+            record_size,
+            self._stats,
+            buffers=buffers if buffers is not None else self._default_buffers,
+            system=system,
+        )
+        self._files[name] = buffered
+        return buffered
+
+    def drop_file(self, name: str) -> None:
+        """Forget the file for *name* (its counters are retained)."""
+        self._files.pop(name, None)
+
+    def file(self, name: str) -> BufferedFile:
+        if name not in self._files:
+            raise StorageError(f"no file for relation {name!r}")
+        return self._files[name]
+
+    def flush_all(self) -> None:
+        """Flush every file (end-of-statement bookkeeping)."""
+        for buffered in self._files.values():
+            buffered.flush()

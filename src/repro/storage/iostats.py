@@ -1,0 +1,125 @@
+"""Disk-access accounting.
+
+The benchmark "focused solely on the number of disk accesses per query at a
+granularity of a page" and "counted only disk accesses to user relations"
+(Section 5.1).  :class:`IOStats` is the single meter a database shares across
+all of its files; every buffered file reports its reads and writes here,
+tagged with the relation name and whether the relation is a user or a system
+relation.
+
+Queries are measured with checkpoints::
+
+    before = stats.checkpoint()
+    ...run the query...
+    delta = stats.delta(before)     # IODelta with user/system reads/writes
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class IOCounters:
+    """Immutable (reads, writes) pair."""
+
+    reads: int = 0
+    writes: int = 0
+
+    def __add__(self, other: "IOCounters") -> "IOCounters":
+        return IOCounters(self.reads + other.reads, self.writes + other.writes)
+
+    def __sub__(self, other: "IOCounters") -> "IOCounters":
+        return IOCounters(self.reads - other.reads, self.writes - other.writes)
+
+
+@dataclass(frozen=True)
+class IODelta:
+    """I/O performed between two checkpoints.
+
+    ``user`` aggregates user relations (the paper's metric); ``system``
+    aggregates system-catalog relations; ``by_relation`` breaks user and
+    system I/O down per relation name.
+    """
+
+    user: IOCounters
+    system: IOCounters
+    by_relation: "dict[str, IOCounters]" = field(default_factory=dict)
+
+    @property
+    def input_pages(self) -> int:
+        """The paper's "input cost": user-relation page reads."""
+        return self.user.reads
+
+    @property
+    def output_pages(self) -> int:
+        """The paper's "output cost": user-relation page writes."""
+        return self.user.writes
+
+
+class IOStats:
+    """Mutable per-database I/O meter."""
+
+    def __init__(self):
+        self._reads: "dict[str, int]" = {}
+        self._writes: "dict[str, int]" = {}
+        self._system_names: "set[str]" = set()
+
+    def register(self, name: str, system: bool = False) -> None:
+        """Declare a relation so its class (user/system) is known."""
+        self._reads.setdefault(name, 0)
+        self._writes.setdefault(name, 0)
+        if system:
+            self._system_names.add(name)
+        else:
+            self._system_names.discard(name)
+
+    def record_read(self, name: str) -> None:
+        """Count one page read against relation *name*."""
+        self._reads[name] = self._reads.get(name, 0) + 1
+
+    def record_write(self, name: str) -> None:
+        """Count one page write against relation *name*."""
+        self._writes[name] = self._writes.get(name, 0) + 1
+
+    def is_system(self, name: str) -> bool:
+        """Whether *name* was registered as a system relation."""
+        return name in self._system_names
+
+    def checkpoint(self) -> "dict[str, IOCounters]":
+        """Snapshot current counters (pass to :meth:`delta` later)."""
+        names = set(self._reads) | set(self._writes)
+        return {
+            name: IOCounters(
+                self._reads.get(name, 0), self._writes.get(name, 0)
+            )
+            for name in names
+        }
+
+    def delta(self, since: "dict[str, IOCounters]") -> IODelta:
+        """I/O performed since the *since* checkpoint."""
+        user = IOCounters()
+        system = IOCounters()
+        by_relation: "dict[str, IOCounters]" = {}
+        for name, now in self.checkpoint().items():
+            before = since.get(name, IOCounters())
+            diff = now - before
+            if diff.reads == 0 and diff.writes == 0:
+                continue
+            by_relation[name] = diff
+            if name in self._system_names:
+                system = system + diff
+            else:
+                user = user + diff
+        return IODelta(user=user, system=system, by_relation=by_relation)
+
+    def totals(self) -> IODelta:
+        """Lifetime I/O (delta from an empty checkpoint)."""
+        return self.delta({})
+
+    def reset(self) -> None:
+        """Zero all counters (relation registrations are kept)."""
+        for name in self._reads:
+            self._reads[name] = 0
+        for name in self._writes:
+            self._writes[name] = 0

@@ -1,0 +1,188 @@
+"""1024-byte pages of fixed-width records.
+
+The prototype's page size "is 1024 bytes" (Section 5.1).  A page stores
+records of one fixed width (every relation in this system has fixed-width
+tuples, as in University Ingres) after a 6-byte header:
+
+===========  =====  ==========================================
+bytes 0..1   u16    number of records currently on the page
+bytes 2..5   i32    page id of the next overflow page (-1: none)
+===========  =====  ==========================================
+
+With that header the usable area is 1018 bytes, which reproduces the paper's
+packing: 9 static 108-byte tuples per page, 8 rollback/historical 116-byte
+tuples, 8 temporal 124-byte tuples (Section 5.1: "9 tuples per page in static
+relations, and 8 tuples per page in rollback, historical, or temporal
+relations").
+
+Records are addressed by slot number; slots are dense (0..count-1).  Records
+never move within a page and are never removed -- the prototype's version
+semantics only ever appends versions or overwrites attributes in place.
+
+Each page carries a monotonically increasing ``version`` stamp, bumped on any
+mutation, which upper layers use to cache decoded tuples without risking
+staleness.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import PageOverflowError, StorageError
+
+PAGE_SIZE = 1024
+PAGE_HEADER_SIZE = 6
+NO_PAGE = -1
+
+_HEADER = struct.Struct("<Hi")
+
+
+def records_per_page(record_size: int) -> int:
+    """How many records of *record_size* bytes fit on one page."""
+    if record_size <= 0:
+        raise StorageError(f"record size must be positive, got {record_size}")
+    capacity = (PAGE_SIZE - PAGE_HEADER_SIZE) // record_size
+    if capacity == 0:
+        raise PageOverflowError(
+            f"a {record_size}-byte record does not fit in a "
+            f"{PAGE_SIZE}-byte page"
+        )
+    return capacity
+
+
+class Page:
+    """One fixed-width-record page.
+
+    The byte image is authoritative: :meth:`to_bytes` always reflects the
+    current contents, and :meth:`from_bytes` round-trips it.  For speed the
+    header fields are mirrored in Python attributes.
+    """
+
+    __slots__ = ("_data", "_record_size", "count", "overflow", "version")
+
+    def __init__(self, record_size: int):
+        records_per_page(record_size)  # validates
+        self._data = bytearray(PAGE_SIZE)
+        self._record_size = record_size
+        self.count = 0
+        self.overflow = NO_PAGE
+        self.version = 0
+        _HEADER.pack_into(self._data, 0, 0, NO_PAGE)
+
+    @property
+    def record_size(self) -> int:
+        """Fixed record width in bytes."""
+        return self._record_size
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of records this page can hold."""
+        return (PAGE_SIZE - PAGE_HEADER_SIZE) // self._record_size
+
+    @property
+    def free_slots(self) -> int:
+        """Number of unused record slots."""
+        return self.capacity - self.count
+
+    def _offset(self, slot: int) -> int:
+        if not 0 <= slot < self.count:
+            raise StorageError(
+                f"slot {slot} out of range (page holds {self.count} records)"
+            )
+        return PAGE_HEADER_SIZE + slot * self._record_size
+
+    def set_overflow(self, page_id: int) -> None:
+        """Link this page to its next overflow page."""
+        self.overflow = page_id
+        _HEADER.pack_into(self._data, 0, self.count, page_id)
+        self.version += 1
+
+    def append(self, record: bytes) -> int:
+        """Add *record* in the next free slot; return its slot number."""
+        if len(record) != self._record_size:
+            raise PageOverflowError(
+                f"record is {len(record)} bytes, page expects "
+                f"{self._record_size}"
+            )
+        if self.count >= self.capacity:
+            raise PageOverflowError("page is full")
+        slot = self.count
+        offset = PAGE_HEADER_SIZE + slot * self._record_size
+        self._data[offset : offset + self._record_size] = record
+        self.count += 1
+        _HEADER.pack_into(self._data, 0, self.count, self.overflow)
+        self.version += 1
+        return slot
+
+    def read(self, slot: int) -> bytes:
+        """Return the record bytes in *slot*."""
+        offset = self._offset(slot)
+        return bytes(self._data[offset : offset + self._record_size])
+
+    def write(self, slot: int, record: bytes) -> None:
+        """Overwrite the record in *slot* (used for in-place stamping)."""
+        if len(record) != self._record_size:
+            raise PageOverflowError(
+                f"record is {len(record)} bytes, page expects "
+                f"{self._record_size}"
+            )
+        offset = self._offset(slot)
+        self._data[offset : offset + self._record_size] = record
+        self.version += 1
+
+    def delete(self, slot: int) -> None:
+        """Remove the record in *slot* (static relations only).
+
+        The page's last record moves into the vacated slot so slots stay
+        dense; callers deleting several slots of one page must therefore
+        proceed in descending slot order.
+        """
+        offset = self._offset(slot)
+        last = self.count - 1
+        if slot != last:
+            last_offset = PAGE_HEADER_SIZE + last * self._record_size
+            self._data[offset : offset + self._record_size] = self._data[
+                last_offset : last_offset + self._record_size
+            ]
+        tail = PAGE_HEADER_SIZE + last * self._record_size
+        self._data[tail : tail + self._record_size] = bytes(self._record_size)
+        self.count = last
+        _HEADER.pack_into(self._data, 0, self.count, self.overflow)
+        self.version += 1
+
+    def records(self) -> "list[bytes]":
+        """All record byte strings on the page, in slot order."""
+        size = self._record_size
+        base = PAGE_HEADER_SIZE
+        data = self._data
+        return [
+            bytes(data[base + i * size : base + (i + 1) * size])
+            for i in range(self.count)
+        ]
+
+    def to_bytes(self) -> bytes:
+        """The full 1024-byte on-disk image."""
+        return bytes(self._data)
+
+    @classmethod
+    def from_bytes(cls, image: bytes, record_size: int) -> "Page":
+        """Reconstruct a page from its on-disk image."""
+        if len(image) != PAGE_SIZE:
+            raise StorageError(
+                f"page image must be {PAGE_SIZE} bytes, got {len(image)}"
+            )
+        page = cls(record_size)
+        page._data = bytearray(image)
+        page.count, page.overflow = _HEADER.unpack_from(image, 0)
+        if page.count > page.capacity:
+            raise StorageError(
+                f"page image claims {page.count} records but capacity is "
+                f"{page.capacity}"
+            )
+        return page
+
+    def __repr__(self) -> str:
+        return (
+            f"Page(records={self.count}/{self.capacity}, "
+            f"overflow={self.overflow})"
+        )

@@ -1,0 +1,63 @@
+"""In-memory paged files: the simulated disk.
+
+The paper measures disk page accesses, never wall-clock time, so the "disk"
+here is a growable array of :class:`~repro.storage.page.Page` objects.  All
+access accounting happens in :mod:`repro.storage.buffer`; a
+:class:`PagedFile` itself is unmetered raw storage.
+
+Files only ever grow (Ingres files did not shrink); a ``modify`` rebuilds a
+relation into a fresh file.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.storage.page import Page
+
+
+class PagedFile:
+    """A sequence of fixed-record-size pages addressed by page id."""
+
+    def __init__(self, record_size: int):
+        self._record_size = record_size
+        self._pages: "list[Page]" = []
+
+    @property
+    def record_size(self) -> int:
+        return self._record_size
+
+    @property
+    def page_count(self) -> int:
+        """Number of allocated pages -- the relation's size in pages."""
+        return len(self._pages)
+
+    def allocate(self, record_size: "int | None" = None) -> int:
+        """Allocate a fresh empty page at the end of the file; return its id.
+
+        *record_size* overrides the file default for this page -- ISAM
+        directory pages store key entries amid normal data pages.
+        """
+        page = Page(record_size if record_size else self._record_size)
+        self._pages.append(page)
+        return len(self._pages) - 1
+
+    def append_image(self, image: bytes, record_size: int) -> int:
+        """Append a page restored from its on-disk image (persistence)."""
+        page = Page.from_bytes(image, record_size)
+        self._pages.append(page)
+        return len(self._pages) - 1
+
+    def page(self, page_id: int) -> Page:
+        """Raw (unmetered) access to a page; internal use by buffers."""
+        if not 0 <= page_id < len(self._pages):
+            raise StorageError(
+                f"page {page_id} out of range (file has "
+                f"{len(self._pages)} pages)"
+            )
+        return self._pages[page_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"PagedFile(pages={len(self._pages)}, "
+            f"record_size={self._record_size})"
+        )

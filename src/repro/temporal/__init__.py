@@ -1,0 +1,47 @@
+"""Temporal values for the TQuel prototype.
+
+The paper represents every implicit time attribute as "a 32 bit integer with
+a resolution of one second" (Section 4).  This subpackage provides:
+
+* :mod:`repro.temporal.chronon` -- the chronon type (seconds since the Unix
+  epoch), the distinguished values ``BEGINNING`` and ``FOREVER``, and a
+  deterministic :class:`Clock` used to resolve ``"now"``;
+* :mod:`repro.temporal.parse` -- parsing of the "various formats of date and
+  time" the prototype accepts for input;
+* :mod:`repro.temporal.format` -- output formatting at "resolutions ranging
+  from a second to a year";
+* :mod:`repro.temporal.interval` -- the interval/event algebra behind TQuel's
+  ``overlap``, ``extend``, ``precede``, ``start of`` and ``end of``.
+"""
+
+from repro.temporal.chronon import (
+    BEGINNING,
+    CHRONON_MAX,
+    CHRONON_MIN,
+    FOREVER,
+    Chronon,
+    Clock,
+    as_chronon,
+    check_chronon,
+)
+from repro.temporal.format import Resolution, format_chronon
+from repro.temporal.interval import Period, extend, overlaps, precedes
+from repro.temporal.parse import parse_temporal
+
+__all__ = [
+    "BEGINNING",
+    "CHRONON_MAX",
+    "CHRONON_MIN",
+    "FOREVER",
+    "Chronon",
+    "Clock",
+    "Period",
+    "Resolution",
+    "as_chronon",
+    "check_chronon",
+    "extend",
+    "format_chronon",
+    "overlaps",
+    "parse_temporal",
+    "precedes",
+]

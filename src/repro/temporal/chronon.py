@@ -1,0 +1,115 @@
+"""Chronons: the prototype's 32-bit, one-second-resolution time values.
+
+A *chronon* is the smallest representable unit of time.  Following the paper
+(Section 4), a temporal attribute "is represented as a 32 bit integer with a
+resolution of one second"; we count seconds since the Unix epoch
+(1970-01-01 00:00:00 UTC), which comfortably covers the paper's 1980-era
+benchmark data.
+
+Two chronons are distinguished:
+
+* ``BEGINNING`` (0) -- the start of time as far as the store is concerned;
+* ``FOREVER`` (2**31 - 1) -- the paper's ``"forever"``, used as the
+  ``transaction_stop`` / ``valid_to`` of current tuple versions.
+
+``"now"`` is not a stored value; it is resolved against a :class:`Clock` when
+a statement executes, exactly as the prototype stamped operations with the
+current time.  The clock is logical and fully deterministic so that benchmark
+runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ChrononRangeError
+
+Chronon = int
+"""Type alias: chronons are plain ints (seconds since the Unix epoch)."""
+
+CHRONON_MIN: Chronon = 0
+CHRONON_MAX: Chronon = 2**31 - 1
+
+BEGINNING: Chronon = CHRONON_MIN
+FOREVER: Chronon = CHRONON_MAX
+
+
+def check_chronon(value: int) -> Chronon:
+    """Validate that *value* is a representable chronon and return it.
+
+    Raises :class:`ChrononRangeError` if the value does not fit the 32-bit
+    representation used by the prototype.
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ChrononRangeError(f"chronon must be an int, got {value!r}")
+    if not CHRONON_MIN <= value <= CHRONON_MAX:
+        raise ChrononRangeError(
+            f"chronon {value} outside [{CHRONON_MIN}, {CHRONON_MAX}]"
+        )
+    return value
+
+
+def as_chronon(value: "int | str", clock: "Clock | None" = None) -> Chronon:
+    """Coerce *value* to a chronon.
+
+    Ints are range-checked; strings are parsed with
+    :func:`repro.temporal.parse.parse_temporal` (``"now"`` requires *clock*).
+    """
+    if isinstance(value, int) and not isinstance(value, bool):
+        return check_chronon(value)
+    if isinstance(value, str):
+        # Imported lazily to avoid a circular import at module load.
+        from repro.temporal.parse import parse_temporal
+
+        return parse_temporal(value, clock=clock)
+    raise ChrononRangeError(f"cannot interpret {value!r} as a chronon")
+
+
+class Clock:
+    """A deterministic logical clock supplying ``"now"``.
+
+    The prototype stamps every ``append``/``delete``/``replace`` with the
+    current time.  For reproducible experiments the clock is logical: it
+    starts at *start* and advances by *tick* seconds each time
+    :meth:`advance` is called.  :meth:`now` reads the clock without
+    advancing it, so all tuples touched by one statement get one timestamp,
+    as in the paper's prototype where a statement executes at one instant.
+    """
+
+    def __init__(self, start: Chronon = 315532800, tick: int = 1):
+        # Default start: 1980-01-01 00:00:00 UTC, the epoch of the paper's
+        # benchmark data.
+        self._now = check_chronon(start)
+        if tick < 0:
+            raise ChrononRangeError(f"tick must be non-negative, got {tick}")
+        self._tick = tick
+
+    @property
+    def tick(self) -> int:
+        """Seconds the clock advances per :meth:`advance` call."""
+        return self._tick
+
+    def now(self) -> Chronon:
+        """Current time; does not advance the clock."""
+        return self._now
+
+    def advance(self, seconds: "int | None" = None) -> Chronon:
+        """Advance by *seconds* (default: the configured tick); return now."""
+        step = self._tick if seconds is None else seconds
+        if step < 0:
+            raise ChrononRangeError(f"cannot advance by {step} seconds")
+        self._now = check_chronon(self._now + step)
+        return self._now
+
+    def set(self, value: "int | str") -> Chronon:
+        """Jump the clock to *value* (must not move backwards)."""
+        target = as_chronon(value, clock=self)
+        if target < self._now:
+            raise ChrononRangeError(
+                f"clock cannot move backwards ({target} < {self._now})"
+            )
+        self._now = target
+        return self._now
+
+    def __repr__(self) -> str:
+        from repro.temporal.format import format_chronon
+
+        return f"Clock(now={format_chronon(self._now)!r}, tick={self._tick})"

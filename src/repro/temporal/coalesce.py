@@ -1,0 +1,49 @@
+"""Coalescing: merging value-equivalent tuples with adjacent or
+overlapping valid periods.
+
+A classic temporal-database operation (central to TSQL2, already implicit
+in TQuel's semantics): two result tuples with identical explicit attributes
+whose periods meet or overlap represent one uninterrupted fact and should
+be one tuple.  ``retrieve coalesced (...)`` applies :func:`coalesce_rows`
+to the result.
+
+Example: a salary that was 3000 over [Jan, Mar) and 3000 over [Mar, Jun)
+coalesces to 3000 over [Jan, Jun).
+"""
+
+from __future__ import annotations
+
+
+def coalesce_periods(
+    periods: "list[tuple[int, int]]",
+) -> "list[tuple[int, int]]":
+    """Merge overlapping or adjacent ``(start, stop)`` pairs."""
+    merged: "list[list[int]]" = []
+    for start, stop in sorted(periods):
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], stop)
+        else:
+            merged.append([start, stop])
+    return [(start, stop) for start, stop in merged]
+
+
+def coalesce_rows(
+    rows: "list[tuple]", value_width: int
+) -> "list[tuple]":
+    """Coalesce result rows of shape ``(*values, valid_from, valid_to)``.
+
+    Rows whose first *value_width* attributes are equal merge whenever
+    their periods overlap or meet.  Output is sorted by value then period,
+    one row per maximal period.
+    """
+    by_value: "dict[tuple, list[tuple[int, int]]]" = {}
+    for row in rows:
+        values = row[:value_width]
+        by_value.setdefault(values, []).append(
+            (row[value_width], row[value_width + 1])
+        )
+    coalesced = []
+    for values in sorted(by_value):
+        for start, stop in coalesce_periods(by_value[values]):
+            coalesced.append(values + (start, stop))
+    return coalesced

@@ -1,0 +1,52 @@
+"""Formatting chronons for output.
+
+The prototype converts the internal 32-bit representation to human-readable
+form automatically, with "resolutions ranging from a second to a year ...
+selectable for output" (Section 4).  :func:`format_chronon` implements that:
+the :class:`Resolution` enum selects how much of the timestamp is printed.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+
+from repro.temporal.chronon import BEGINNING, FOREVER, Chronon, check_chronon
+
+
+class Resolution(enum.Enum):
+    """Output granularity, from one second up to one year."""
+
+    SECOND = "second"
+    MINUTE = "minute"
+    HOUR = "hour"
+    DAY = "day"
+    MONTH = "month"
+    YEAR = "year"
+
+
+_PATTERNS = {
+    Resolution.SECOND: "%Y-%m-%d %H:%M:%S",
+    Resolution.MINUTE: "%Y-%m-%d %H:%M",
+    Resolution.HOUR: "%Y-%m-%d %H:00",
+    Resolution.DAY: "%Y-%m-%d",
+    Resolution.MONTH: "%Y-%m",
+    Resolution.YEAR: "%Y",
+}
+
+
+def format_chronon(
+    value: Chronon, resolution: Resolution = Resolution.SECOND
+) -> str:
+    """Render *value* at the given *resolution* (UTC).
+
+    The distinguished chronons render symbolically as ``"beginning"`` and
+    ``"forever"`` at every resolution, matching the prototype's treatment of
+    its special values.
+    """
+    check_chronon(value)
+    if value == FOREVER:
+        return "forever"
+    if value == BEGINNING:
+        return "beginning"
+    return time.strftime(_PATTERNS[resolution], time.gmtime(value))

@@ -1,0 +1,135 @@
+"""The interval/event algebra behind TQuel's temporal operators.
+
+TQuel models an interval tuple's validity as a period ``[start, stop)`` --
+half-open, one chronon of resolution -- and an event tuple's occurrence as a
+single chronon (a degenerate period ``[t, t+1)``).  The temporal operators of
+the language map onto this algebra:
+
+* ``a overlap b``   -- the periods share at least one chronon;
+* ``a extend b``    -- the smallest period covering both (TQuel's *span*);
+* ``a precede b``   -- every chronon of *a* is before every chronon of *b*;
+* ``start of a``    -- the event at *a*'s first chronon;
+* ``end of a``      -- the event at *a*'s last chronon.
+
+A current tuple version has ``stop == FOREVER``, so ``x overlap "now"`` is
+true exactly for current versions -- the idiom queries Q05-Q10 use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IntervalError
+from repro.temporal.chronon import FOREVER, Chronon, check_chronon
+
+
+@dataclass(frozen=True, order=True)
+class Period:
+    """A half-open period of chronons ``[start, stop)``.
+
+    ``stop`` must be strictly greater than ``start``; a single chronon *t*
+    is the degenerate period ``[t, t + 1)``, constructed by
+    :meth:`Period.event`.
+    """
+
+    start: Chronon
+    stop: Chronon
+
+    def __post_init__(self):
+        check_chronon(self.start)
+        check_chronon(self.stop)
+        if self.stop <= self.start:
+            raise IntervalError(
+                f"period stop ({self.stop}) must follow start ({self.start})"
+            )
+
+    @classmethod
+    def event(cls, at: "Chronon | Period") -> "Period":
+        """The degenerate period holding the single chronon *at*."""
+        if isinstance(at, Period):
+            return at
+        check_chronon(at)
+        if at == FOREVER:
+            # The event "at forever" is pinned to the last representable
+            # chronon so the half-open encoding stays well-formed.
+            return cls(FOREVER - 1, FOREVER)
+        return cls(at, at + 1)
+
+    @property
+    def is_event(self) -> bool:
+        """True if the period covers exactly one chronon."""
+        return self.stop == self.start + 1
+
+    @property
+    def is_current(self) -> bool:
+        """True if the period extends to ``FOREVER`` (a current version)."""
+        return self.stop == FOREVER
+
+    def duration(self) -> int:
+        """Number of chronons covered."""
+        return self.stop - self.start
+
+    def contains(self, chronon: Chronon) -> bool:
+        """True if *chronon* falls inside the period."""
+        return self.start <= chronon < self.stop
+
+    def overlaps(self, other: "Period | Chronon") -> bool:
+        """TQuel ``overlap``: the two periods share at least one chronon."""
+        other = Period.event(other)
+        return self.start < other.stop and other.start < self.stop
+
+    def extend(self, other: "Period | Chronon") -> "Period":
+        """TQuel ``extend``: the smallest period covering both operands."""
+        other = Period.event(other)
+        return Period(min(self.start, other.start), max(self.stop, other.stop))
+
+    def precedes(self, other: "Period | Chronon") -> bool:
+        """TQuel ``precede``: this period ends no later than *other* starts.
+
+        Following TQuel's semantics, ``precede`` holds when the last chronon
+        of the left operand is not after the first chronon of the right
+        operand, so an interval precedes the event at its own endpoint.
+        """
+        other = Period.event(other)
+        return self.stop - 1 <= other.start
+
+    def intersect(self, other: "Period | Chronon") -> "Period | None":
+        """The shared sub-period, or ``None`` when disjoint."""
+        other = Period.event(other)
+        start = max(self.start, other.start)
+        stop = min(self.stop, other.stop)
+        if stop <= start:
+            return None
+        return Period(start, stop)
+
+    def start_event(self) -> "Period":
+        """TQuel ``start of``: the event at the first chronon."""
+        return Period.event(self.start)
+
+    def end_event(self) -> "Period":
+        """TQuel ``end of``: the event at the last chronon.
+
+        For a current version (``stop == FOREVER``) the last chronon is
+        unbounded; the prototype treats ``end of`` as ``FOREVER`` itself.
+        """
+        if self.is_current:
+            return Period(FOREVER - 1, FOREVER)
+        return Period.event(self.stop - 1)
+
+    def __repr__(self) -> str:
+        return f"Period({self.start}, {self.stop})"
+
+
+def overlaps(a: "Period | Chronon", b: "Period | Chronon") -> bool:
+    """Function form of :meth:`Period.overlaps` accepting bare chronons."""
+    return Period.event(a).overlaps(b)
+
+
+def extend(a: "Period | Chronon", b: "Period | Chronon") -> Period:
+    """Function form of :meth:`Period.extend` accepting bare chronons."""
+    return Period.event(a).extend(b)
+
+
+def precedes(a: "Period | Chronon", b: "Period | Chronon") -> bool:
+    """Function form of :meth:`Period.precedes` accepting bare chronons."""
+    return Period.event(a).precedes(b)

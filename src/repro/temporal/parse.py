@@ -1,0 +1,140 @@
+"""Parsing of date/time strings into chronons.
+
+The prototype accepts "various formats of date and time" for input
+(Section 4).  We accept the formats that appear in the paper plus the common
+ISO forms:
+
+* the symbolic constants ``"now"``, ``"forever"`` and ``"beginning"``;
+* ``"08:00 1/1/80"`` and ``"4:00 1/1/80"`` -- time-of-day plus M/D/YY date,
+  as used in benchmark queries Q03, Q04 and Q11;
+* ``"1/1/80"``, ``"1/1/1980"`` -- bare M/D/YY[YY] dates;
+* ``"1981"`` -- a bare year, as in the Figure 2 example query;
+* ISO dates ``"1980-01-01"``, ``"1980-01-01 08:00"``,
+  ``"1980-01-01 08:00:00"``, and with a ``T`` separator;
+* ``"HH:MM"`` / ``"HH:MM:SS"`` time-of-day combined with any date form.
+
+All times are UTC; two-digit years map to 19YY (the paper predates 2000).
+A bare integer string is **not** a chronon -- use ints directly for that --
+except for 3-or-4 digit years which denote midnight on Jan 1 of that year.
+"""
+
+from __future__ import annotations
+
+import calendar
+import re
+
+from repro.errors import DateParseError
+from repro.temporal.chronon import Chronon, Clock, BEGINNING, FOREVER, check_chronon
+
+_SYMBOLIC = {"forever": FOREVER, "beginning": BEGINNING}
+
+_DATE_SLASH = re.compile(r"^(\d{1,2})/(\d{1,2})/(\d{2}|\d{4})$")
+_DATE_ISO = re.compile(r"^(\d{4})-(\d{1,2})-(\d{1,2})$")
+_YEAR = re.compile(r"^(\d{3,4})$")
+_TIME = re.compile(r"^(\d{1,2}):(\d{2})(?::(\d{2}))?$")
+_MONTHS = {
+    name.lower(): i
+    for i, name in enumerate(calendar.month_name)
+    if name
+}
+_MONTHS.update(
+    (name.lower(), i) for i, name in enumerate(calendar.month_abbr) if name
+)
+_DATE_WORDY = re.compile(r"^([A-Za-z]+)\.?\s+(\d{1,2}),?\s+(\d{4})$")
+
+
+def _expand_year(year: int) -> int:
+    return 1900 + year if year < 100 else year
+
+
+def _date_to_seconds(year: int, month: int, day: int) -> int:
+    try:
+        seconds = calendar.timegm((year, month, day, 0, 0, 0, 0, 1, 0))
+    except (ValueError, OverflowError) as exc:
+        raise DateParseError(f"invalid date {year}-{month}-{day}") from exc
+    # calendar.timegm accepts out-of-range fields by normalizing; reject those
+    # explicitly so "2/30/80" is an error rather than a silent March date.
+    if not 1 <= month <= 12:
+        raise DateParseError(f"month out of range in {year}-{month}-{day}")
+    if not 1 <= day <= calendar.monthrange(year, month)[1]:
+        raise DateParseError(f"day out of range in {year}-{month}-{day}")
+    return seconds
+
+
+def _parse_date_part(text: str) -> "int | None":
+    """Parse a bare date, returning seconds at midnight UTC, or None."""
+    match = _DATE_SLASH.match(text)
+    if match:
+        month, day, year = (int(g) for g in match.groups())
+        return _date_to_seconds(_expand_year(year), month, day)
+    match = _DATE_ISO.match(text)
+    if match:
+        year, month, day = (int(g) for g in match.groups())
+        return _date_to_seconds(year, month, day)
+    match = _YEAR.match(text)
+    if match:
+        return _date_to_seconds(int(match.group(1)), 1, 1)
+    match = _DATE_WORDY.match(text)
+    if match:
+        month_name, day, year = match.groups()
+        month = _MONTHS.get(month_name.lower())
+        if month is None:
+            return None
+        return _date_to_seconds(int(year), month, int(day))
+    return None
+
+
+def _parse_time_part(text: str) -> "int | None":
+    """Parse an HH:MM[:SS] time-of-day, returning seconds past midnight."""
+    match = _TIME.match(text)
+    if not match:
+        return None
+    hour, minute, second = (int(g) if g else 0 for g in match.groups())
+    if hour > 23 or minute > 59 or second > 59:
+        raise DateParseError(f"time of day out of range: {text!r}")
+    return hour * 3600 + minute * 60 + second
+
+
+def parse_temporal(text: str, clock: "Clock | None" = None) -> Chronon:
+    """Parse *text* into a chronon.
+
+    ``"now"`` is resolved against *clock*; passing ``"now"`` without a clock
+    raises :class:`DateParseError`.  See the module docstring for the
+    accepted formats.
+    """
+    stripped = text.strip()
+    lowered = stripped.lower()
+    if lowered == "now":
+        if clock is None:
+            raise DateParseError('"now" requires a clock to resolve against')
+        return clock.now()
+    if lowered in _SYMBOLIC:
+        return _SYMBOLIC[lowered]
+
+    # Try "TIME DATE" (the paper's "08:00 1/1/80"), "DATE TIME" (ISO-ish),
+    # then bare DATE, then bare TIME is rejected (no date to anchor it).
+    for separator in (" ", "T"):
+        if separator in stripped:
+            left, _, right = stripped.partition(separator)
+            left, right = left.strip(), right.strip()
+            time_part = _parse_time_part(left)
+            date_part = _parse_date_part(right)
+            if time_part is not None and date_part is not None:
+                return check_chronon(date_part + time_part)
+            date_part = _parse_date_part(left)
+            time_part = _parse_time_part(right)
+            if time_part is not None and date_part is not None:
+                return check_chronon(date_part + time_part)
+
+    date_part = _parse_date_part(stripped)
+    if date_part is not None:
+        return check_chronon(date_part)
+
+    # Wordy dates contain spaces and fall through the two-part split above;
+    # retry on the full string (e.g. "Feb 15, 1980").
+    if _DATE_WORDY.match(stripped):
+        wordy = _parse_date_part(stripped)
+        if wordy is not None:
+            return check_chronon(wordy)
+
+    raise DateParseError(f"unrecognized date/time string: {text!r}")

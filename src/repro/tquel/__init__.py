@@ -1,0 +1,22 @@
+"""The TQuel language layer.
+
+TQuel (Temporal QUEry Language) is "a superset of Quel" extending "several
+Quel statements to provide query, data definition and data manipulation
+capabilities supporting all four types of databases" (Section 3):
+
+* ``retrieve`` gains the ``when`` predicate, the ``valid`` clause and the
+  ``as of`` rollback clause;
+* ``append``, ``delete`` and ``replace`` gain ``valid`` and ``when``;
+* ``create`` specifies the relation's type (``persistent`` adds transaction
+  time; ``interval``/``event`` add valid time);
+* ``copy`` does batch input/output of relations with temporal attributes.
+
+Pipeline: :mod:`lexer` -> :mod:`parser` (AST in :mod:`ast`) ->
+:mod:`semantics` (binding and type checks against a database) ->
+:mod:`planner` (Ingres-style decomposition) -> :mod:`interpreter`
+(execution).  :mod:`compile` turns expression ASTs into Python closures.
+"""
+
+from repro.tquel.parser import parse, parse_statement
+
+__all__ = ["parse", "parse_statement"]

@@ -1,0 +1,145 @@
+"""EXPLAIN: describe a retrieve's decomposition without running it.
+
+Section 5.3 of the paper analyzes each benchmark query by narrating its
+plan ("processing Q09 first scans an ISAM file sequentially doing
+selection and projection into a temporary relation ... then performs one
+hashed access for each of 1024 tuples").  :func:`explain` produces that
+narration for any retrieve:
+
+* the resolved ``as of`` event (including the implicit ``"now"``);
+* which variables one-variable detachment sends to temporaries;
+* the tuple-substitution order;
+* each loop depth's access path -- keyed (hash/ISAM), secondary index, or
+  sequential scan -- and whether enhanced structures serve it from
+  current data only.
+
+The plan is derived with the executor's own decision procedures, so what
+EXPLAIN prints is what execution does; nothing is read or written.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TQuelSemanticError
+from repro.temporal.format import format_chronon
+from repro.tquel import ast
+from repro.tquel.interpreter import Executor
+from repro.tquel.parser import parse_statement
+from repro.tquel.semantics import Analyzer
+
+
+class _PlannedTemporary:
+    """Sentinel marking a variable as detached during dry planning."""
+
+
+def _access_description(executor: Executor, var: str, bound: set) -> str:
+    source = executor._sources[var]
+    if source.temp is not None:
+        return f"scan temporary({var})"
+    relation = source.relation
+    suffix = ""
+    if getattr(relation, "is_two_level", False) and source.current_only:
+        suffix = " [primary store only]"
+    elif (
+        getattr(relation, "zone_map", None) is not None
+        and executor._asof_period is not None
+        and source.layout.tx is not None
+    ):
+        suffix = " [zone map prunes post-as-of pages]"
+    for position, _ in executor._find_key_equality(var, bound):
+        if relation.can_key_lookup(position):
+            attribute = relation.schema.fields[position].name
+            structure = (
+                relation.storage.primary.kind.value
+                if getattr(relation, "is_two_level", False)
+                else relation.structure.value
+            )
+            return f"keyed {structure} access on {attribute}{suffix}"
+    for position, _ in executor._find_key_equality(var, bound):
+        index = relation.index_for(position)
+        if index is not None:
+            levels = (
+                "current index only"
+                if source.current_only and index.levels.value == 2
+                else f"{index.levels.value}-level"
+            )
+            return (
+                f"secondary index {index.name} "
+                f"({index.structure.value}, {levels})"
+            )
+    return f"sequential scan{suffix}"
+
+
+def explain(db, text: str) -> str:
+    """Render the plan for one retrieve statement."""
+    statement = parse_statement(text)
+    if not isinstance(statement, ast.RetrieveStmt):
+        raise TQuelSemanticError("explain covers retrieve statements")
+    analysis = Analyzer(db).analyze_retrieve(statement)
+    executor = Executor(db, analysis)
+
+    lines = ["plan:"]
+    if executor._asof_period is not None:
+        period = executor._asof_period
+        if period.is_event:
+            when = format_chronon(period.start)
+            implicit = "" if analysis.as_of is not None else " (implicit)"
+            lines.append(f"  as of {when}{implicit}")
+        else:
+            lines.append(
+                f"  as of {format_chronon(period.start)} through "
+                f"{format_chronon(period.stop - 1)}"
+            )
+
+    order = list(analysis.var_order)
+    if len(order) > 1:
+        for var in order:
+            if executor._should_detach(var, order):
+                source = executor._sources[var]
+                own = [
+                    conjunct
+                    for conjunct in executor._conjuncts
+                    if conjunct.vars == frozenset((var,))
+                ]
+                how = _access_description(executor, var, set())
+                lines.append(
+                    f"  detach {var} "
+                    f"({source.relation.schema.name}) into a temporary "
+                    f"via {how} applying {len(own)} one-variable "
+                    f"clause(s)"
+                )
+                source.temp = _PlannedTemporary()
+        order = executor._substitution_order(order)
+
+    label = "substitute" if len(order) > 1 else "access"
+    for depth, var in enumerate(order):
+        bound = set(order[:depth])
+        source = executor._sources[var]
+        relation_name = (
+            f"temporary({var})"
+            if isinstance(source.temp, _PlannedTemporary)
+            else source.relation.schema.name
+        )
+        source_temp = source.temp
+        if isinstance(source_temp, _PlannedTemporary):
+            how = "scan"
+        else:
+            how = _access_description(executor, var, bound)
+        lines.append(
+            f"  {label} depth {depth}: {var} ({relation_name}) via {how}"
+        )
+
+    if analysis.has_aggregates:
+        by = next(
+            expr.by
+            for _, expr, __ in analysis.targets
+            if isinstance(expr, ast.Aggregate)
+        )
+        if by:
+            lines.append(f"  aggregate grouped by {len(by)} expression(s)")
+        else:
+            lines.append("  aggregate into a single row")
+    if statement.unique:
+        lines.append("  deduplicate result rows")
+    if statement.into is not None:
+        lines.append(f"  store result into {statement.into}")
+    return "\n".join(lines)

@@ -1,0 +1,919 @@
+"""Query execution: Ingres-style decomposition and tuple-at-a-time
+interpretation.
+
+The prototype "still us[es] the conventional access methods and query
+processing algorithms" of Ingres (Section 4); the benchmark's analysis
+(Section 5.3) names them:
+
+* **one-variable queries** run through the one-variable query processor,
+  choosing *hashed access*, *ISAM access* or a *sequential scan*;
+* **one-variable detachment**: a multi-variable query first detaches each
+  variable that has single-variable clauses into a projected temporary
+  relation (Q09's scan of the ISAM file "doing selection and projection
+  into a temporary relation");
+* **tuple substitution**: the remaining variables are bound one tuple at a
+  time, innermost access again chosen by the one-variable processor (Q09
+  "then performs one hashed access for each ... tuple in the temporary
+  relation").
+
+Temporal clause handling follows TQuel:
+
+* ``as of`` (with ``"now"`` as the default when the clause is omitted, per
+  TQuel's semantics) filters each transaction-time variable to versions
+  whose transaction period overlaps the as-of event;
+* ``when`` conjuncts filter on valid periods;
+* the ``valid`` clause (or, by default, the intersection of the
+  participating valid periods) computes the result's implicit time
+  attributes.
+
+Enhanced access paths (Section 6) slot in transparently: when a variable's
+constraints restrict it to current versions, a two-level store is read
+through its primary store only, and a 2-level secondary index through its
+current index only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import IMPLICIT_ATTRIBUTES
+from repro.engine import mutate
+from repro.engine.result import Result
+from repro.errors import ExecutionError, TQuelSemanticError
+from repro.storage.record import FieldSpec
+from repro.temporal.interval import Period
+from repro.tquel import ast
+from repro.tquel.compile import (
+    VarLayout,
+    compile_scalar,
+    compile_temporal,
+    compile_when,
+    conjunction,
+    make_asof_filter,
+)
+from repro.tquel.semantics import Analysis, Conjunct
+
+
+@dataclass
+class _VarSource:
+    """Per-variable execution state: where its rows come from."""
+
+    name: str
+    relation: object  # StoredRelation / system-relation adapter
+    layout: VarLayout
+    temp: object = None  # TemporaryRelation once detached
+    asof_applied: bool = False
+    current_only: bool = False
+
+
+class Executor:
+    """Executes one analyzed statement against a database."""
+
+    def __init__(self, database, analysis: Analysis):
+        self._db = database
+        self._analysis = analysis
+        self._bindings: "dict[str, tuple]" = {}
+        self._sources: "dict[str, _VarSource]" = {}
+        self._temps = []
+        self._conjuncts: "list[Conjunct]" = analysis.where + analysis.when
+        self._consumed: "set[int]" = set()
+        self._asof_period = self._resolve_asof()
+        for name, info in analysis.vars.items():
+            self._sources[name] = _VarSource(
+                name=name,
+                relation=info.relation,
+                layout=VarLayout.for_schema(info.schema),
+            )
+        for source in self._sources.values():
+            source.current_only = self._is_current_only(source)
+
+    # -- clause resolution ------------------------------------------------------
+
+    def _resolve_asof(self) -> "Period | None":
+        """The statement's as-of period (default: the event at now)."""
+        analysis = self._analysis
+        any_tx = any(
+            info.schema.type.has_transaction_time
+            for info in analysis.vars.values()
+        )
+        if analysis.as_of is None:
+            if not any_tx:
+                return None
+            return Period.event(self._db.clock.now())
+        at = self._eval_const_temporal(analysis.as_of.at)
+        if analysis.as_of.through is None:
+            return at
+        through = self._eval_const_temporal(analysis.as_of.through)
+        if through.stop <= at.start:
+            raise ExecutionError("as-of: 'through' precedes the start event")
+        return Period(at.start, through.stop)
+
+    def _eval_const_temporal(self, expr) -> Period:
+        fn = compile_temporal(expr, None, {}, {}, self._db)
+        period = fn(None)
+        if period is None:
+            raise ExecutionError("empty period in a constant temporal clause")
+        return period
+
+    def _is_current_only(self, source: _VarSource) -> bool:
+        """Do the constraints restrict *source* to fully-current versions?
+
+        True when the as-of clause resolves to "now" (covering transaction
+        time) and, if the relation has valid time, some conjunct demands
+        that the variable overlap "now".  This is the condition under which
+        Section 6's structures may skip history data.
+        """
+        schema = source.relation.schema
+        now = self._db.clock.now()
+        if schema.type.has_transaction_time:
+            if self._asof_period is None or not (
+                self._asof_period.start == now
+                and self._asof_period.is_event
+            ):
+                return False
+        if schema.type.has_valid_time:
+            if not any(
+                self._conjunct_is_overlap_now(conjunct, source.name)
+                for conjunct in self._conjuncts
+            ):
+                return False
+        return True
+
+    def _conjunct_is_overlap_now(self, conjunct: Conjunct, var: str) -> bool:
+        node = conjunct.expr
+        if not (isinstance(node, ast.TempBin) and node.op == "overlap"):
+            return False
+        operands = (node.left, node.right)
+        has_var = any(
+            isinstance(op, ast.TempVar) and op.var == var for op in operands
+        )
+        now = self._db.clock.now()
+        has_now = any(
+            isinstance(op, ast.TempConst)
+            and self._db.parse_temporal_text(op.text) == now
+            for op in operands
+        )
+        return has_var and has_now
+
+    # -- layouts & compilation helpers ----------------------------------------------
+
+    def _layouts(self) -> "dict[str, VarLayout]":
+        return {name: source.layout for name, source in self._sources.items()}
+
+    def _compile_conjunct(self, conjunct: Conjunct, var: "str | None"):
+        if conjunct.is_temporal:
+            return compile_when(
+                conjunct.expr, var, self._layouts(), self._bindings, self._db
+            )
+        return compile_scalar(
+            conjunct.expr, var, self._layouts(), self._bindings
+        )
+
+    def _pending_filters(self, var: str, bound: "set[str]"):
+        """Compile conjuncts evaluable once *var* joins the bound set.
+
+        A conjunct applies at the first loop depth where all its variables
+        are bound; constant-only conjuncts apply at the outermost loop.
+        """
+        source = self._sources[var]
+        filters = []
+        available = bound | {var}
+        for index, conjunct in enumerate(self._conjuncts):
+            if index in self._consumed:
+                continue
+            if conjunct.vars <= available:
+                filters.append(self._compile_conjunct(conjunct, var))
+                self._consumed.add(index)
+        if (
+            not source.asof_applied
+            and self._asof_period is not None
+            and source.layout.tx is not None
+        ):
+            filters.append(make_asof_filter(source.layout, self._asof_period))
+            source.asof_applied = True
+        return conjunction(filters)
+
+    # -- access-path selection --------------------------------------------------------
+
+    def _find_key_equality(self, var: str, bound: "set[str]"):
+        """A ``var.attr = expr(bound)`` conjunct usable for keyed access.
+
+        Returns ``(attribute_position, value_closure)`` or ``None``.
+        """
+        source = self._sources[var]
+        relation = source.relation
+        layouts = self._layouts()
+        for conjunct in self._conjuncts:
+            if conjunct.is_temporal:
+                continue
+            node = conjunct.expr
+            if not (isinstance(node, ast.Compare) and node.op == "="):
+                continue
+            if not conjunct.vars <= bound | {var}:
+                continue
+            for attr_side, value_side in (
+                (node.left, node.right),
+                (node.right, node.left),
+            ):
+                if not (
+                    isinstance(attr_side, ast.Attr) and attr_side.var == var
+                ):
+                    continue
+                value_vars = _expr_vars(value_side)
+                if var in value_vars:
+                    continue
+                position = source.layout.positions.get(attr_side.name)
+                if position is None:
+                    continue
+                value_fn = compile_scalar(
+                    value_side, None, layouts, self._bindings
+                )
+                yield position, value_fn
+
+    def _candidates(self, var: str, bound: "set[str]"):
+        """Build the row source for *var*: a zero-argument callable yielding
+        ``(rid, row)`` pairs, re-evaluated for each outer binding."""
+        source = self._sources[var]
+        if source.temp is not None:
+            temp = source.temp
+            return lambda: _with_rids(temp.scan())
+        relation = source.relation
+        current_only = source.current_only
+        # 1. keyed access on the primary structure
+        for position, value_fn in self._find_key_equality(var, bound):
+            if relation.can_key_lookup(position):
+                return lambda vf=value_fn: _lookup_with_rids(
+                    relation, vf(None), current_only
+                )
+        # 2. secondary-index access
+        for position, value_fn in self._find_key_equality(var, bound):
+            index = relation.index_for(position)
+            if index is not None:
+                return lambda idx=index, vf=value_fn: _index_with_rids(
+                    relation, idx, vf(None), current_only
+                )
+        # 3. sequential scan (a zone map may skip pages recorded after
+        # the as-of event)
+        asof_max = None
+        if (
+            self._asof_period is not None
+            and source.layout.tx is not None
+        ):
+            asof_max = self._asof_period.stop - 1
+        return lambda: _scan_with_rids(relation, current_only, asof_max)
+
+    # -- detachment ----------------------------------------------------------------------
+
+    def _detach(self, var: str) -> None:
+        """One-variable detachment: select+project *var* into a temporary."""
+        source = self._sources[var]
+        needed = self._needed_attributes(var)
+        schema = source.relation.schema
+        fields = [
+            spec
+            for spec in schema.fields
+            if spec.name in needed or spec.name in IMPLICIT_ATTRIBUTES
+        ]
+        positions = [schema.position(spec.name) for spec in fields]
+        temp = self._db.temporaries.create(fields)
+        predicate = self._pending_filters(var, bound=set())
+        produce = self._candidates(var, bound=set())
+        for _, row in produce():
+            if predicate(row):
+                temp.append(tuple(row[i] for i in positions))
+        temp.finish_writing()
+        source.temp = temp
+        source.layout = VarLayout.for_fields(fields)
+        self._temps.append(temp)
+
+    def _needed_attributes(self, var: str) -> "set[str]":
+        """Attributes of *var* referenced outside its detached conjuncts."""
+        analysis = self._analysis
+        needed: "set[str]" = set()
+        for _, expr, __ in analysis.targets:
+            needed |= _attrs_of(expr, var)
+        for index, conjunct in enumerate(self._conjuncts):
+            if index in self._consumed:
+                continue
+            if var in conjunct.vars:
+                needed |= _attrs_of(conjunct.expr, var)
+        if analysis.valid is not None:
+            for expr in (analysis.valid.at, analysis.valid.from_, analysis.valid.to):
+                if expr is not None:
+                    needed |= _attrs_of(expr, var)
+        return needed
+
+    # -- retrieve -----------------------------------------------------------------------------
+
+    def run_retrieve(self) -> Result:
+        analysis = self._analysis
+        stmt = analysis.statement
+        order = list(analysis.var_order)
+
+        # One-variable detachment for variables with single-variable clauses.
+        if len(order) > 1:
+            for var in order:
+                if self._should_detach(var, order):
+                    self._detach(var)
+            order = self._substitution_order(order)
+
+        layouts = self._layouts()
+        columns = [name for name, _, __ in analysis.targets]
+
+        if analysis.has_aggregates:
+            return self._run_aggregates(order, layouts, columns)
+
+        target_fns = [
+            compile_scalar(expr, None, layouts, self._bindings)
+            for _, expr, __ in analysis.targets
+        ]
+
+        valid_mode, valid_fn = self._result_valid(layouts)
+        if valid_mode == "interval":
+            columns = columns + ["valid_from", "valid_to"]
+        elif valid_mode == "event":
+            columns = columns + ["valid_at"]
+
+        rows: "list[tuple]" = []
+
+        def emit():
+            values = tuple(fn(None) for fn in target_fns)
+            if valid_mode == "none":
+                rows.append(values)
+                return
+            period = valid_fn()
+            if period is None:
+                return
+            if valid_mode == "interval":
+                rows.append(values + (period.start, period.stop))
+            else:
+                rows.append(values + (period.start,))
+
+        self._join(self._build_plan(order), 0, emit)
+
+        if stmt.unique:
+            seen = set()
+            unique_rows = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    unique_rows.append(row)
+            rows = unique_rows
+
+        if stmt.coalesced:
+            if valid_mode != "interval":
+                raise TQuelSemanticError(
+                    "'coalesced' needs an interval result (valid time)"
+                )
+            from repro.temporal.coalesce import coalesce_rows
+
+            rows = coalesce_rows(rows, len(analysis.targets))
+
+        for temp in self._temps:
+            temp.drop()
+
+        if stmt.into is not None:
+            count = self._store_into(stmt.into, columns, rows, valid_mode)
+            return Result(kind="retrieve into", count=count, columns=columns)
+        return Result(
+            kind="retrieve", columns=columns, rows=rows, count=len(rows)
+        )
+
+    def _run_aggregates(self, order, layouts, columns) -> Result:
+        """Aggregates: fold the qualifying tuples into one row, or one row
+        per group when the aggregates carry a by-list.
+
+        The result is a snapshot (no implicit time attributes), like
+        Quel's aggregate results.
+        """
+        analysis = self._analysis
+        targets = analysis.targets
+        by_list = next(
+            expr.by
+            for _, expr, __ in targets
+            if isinstance(expr, ast.Aggregate)
+        )
+        group_fns = [
+            compile_scalar(expr, None, layouts, self._bindings)
+            for expr in by_list
+        ]
+        # Per target: ("group", position in by-list) for plain targets,
+        # ("agg", slot, Aggregate) for aggregates accumulating into a slot.
+        plan = []
+        operand_fns = []
+        for _, expr, __ in targets:
+            if isinstance(expr, ast.Aggregate):
+                plan.append(("agg", len(operand_fns), expr))
+                operand_fns.append(
+                    compile_scalar(
+                        expr.operand, None, layouts, self._bindings
+                    )
+                )
+            else:
+                plan.append(("group", list(by_list).index(expr), None))
+
+        groups: "dict[tuple, list[list]]" = {}
+
+        def emit():
+            key = tuple(fn(None) for fn in group_fns)
+            states = groups.get(key)
+            if states is None:
+                states = [[] for _ in operand_fns]
+                groups[key] = states
+            for state, fn in zip(states, operand_fns):
+                state.append(fn(None))
+
+        self._join(self._build_plan(order), 0, emit)
+        for temp in self._temps:
+            temp.drop()
+
+        if not by_list and not groups:
+            groups[()] = [[] for _ in operand_fns]
+
+        rows = []
+        for key, states in groups.items():
+            row = []
+            for kind, slot, agg in plan:
+                if kind == "group":
+                    row.append(key[slot])
+                    continue
+                row.append(_fold_aggregate(agg, states[slot]))
+            rows.append(tuple(row))
+
+        stmt = analysis.statement
+        if stmt.into is not None:
+            count = self._store_into(stmt.into, columns, rows, "none")
+            return Result(kind="retrieve into", count=count, columns=columns)
+        return Result(
+            kind="retrieve", columns=columns, rows=rows, count=len(rows)
+        )
+
+    def _build_plan(self, order: "list[str]") -> list:
+        """Per-depth (variable, row source, filter) triples, compiled once.
+
+        Filters and access paths are fixed per loop depth; only the value
+        closures read the changing outer bindings.
+        """
+        plan = []
+        for depth, var in enumerate(order):
+            bound = set(order[:depth])
+            produce = self._candidates(var, bound)
+            predicate = self._pending_filters(var, bound)
+            plan.append((var, produce, predicate))
+        return plan
+
+    def _join(self, plan, depth, emit) -> None:
+        if depth == len(plan):
+            emit()
+            return
+        var, produce, predicate = plan[depth]
+        bindings = self._bindings
+        if depth == len(plan) - 1:
+            for _, row in produce():
+                if predicate(row):
+                    bindings[var] = row
+                    emit()
+        else:
+            for _, row in produce():
+                if predicate(row):
+                    bindings[var] = row
+                    self._join(plan, depth + 1, emit)
+        bindings.pop(var, None)
+
+    def _should_detach(self, var: str, order: "list[str]") -> bool:
+        """Whether one-variable detachment applies to *var*.
+
+        A variable detaches when it has single-variable clauses -- except
+        when those clauses are all temporal (``x overlap "now"``) and the
+        variable can be probed through its primary key during tuple
+        substitution.  Detaching such a variable would replace Q09's "one
+        hashed access for each tuple in the temporary relation" with a
+        quadratic temporary-x-temporary join; the prototype keeps the
+        keyed relation as the substitution target.
+        """
+        own = [
+            conjunct
+            for conjunct in self._conjuncts
+            if conjunct.vars == frozenset((var,))
+        ]
+        if not own:
+            return False
+        if all(conjunct.is_temporal for conjunct in own):
+            others = {name for name in order if name != var}
+            source = self._sources[var]
+            for position, _ in self._find_key_equality(var, others):
+                if source.relation.can_key_lookup(position):
+                    return False
+        return True
+
+    def _substitution_order(self, order: "list[str]") -> "list[str]":
+        """Tuple-substitution order.
+
+        Detached temporaries go first (they are the small relations the
+        prototype substitutes from); the remaining variables are ordered
+        greedily so that inner variables get keyed access paths -- the
+        choice that makes Q09 "one hashed access for each tuple in the
+        temporary relation" rather than a quadratic scan.  Ties keep the
+        statement's first-reference order.
+        """
+        temps = [v for v in order if self._sources[v].temp is not None]
+        remaining = [v for v in order if self._sources[v].temp is None]
+        result = list(temps)
+        while remaining:
+            best = None
+            best_score = -1
+            for candidate in remaining:
+                bound = set(result) | {candidate}
+                score = sum(
+                    1
+                    for other in remaining
+                    if other != candidate
+                    and self._has_keyed_path(other, bound)
+                )
+                if score > best_score:
+                    best, best_score = candidate, score
+            result.append(best)
+            remaining.remove(best)
+        return result
+
+    def _has_keyed_path(self, var: str, bound: "set[str]") -> bool:
+        """Whether *var* could be accessed by key/index given *bound*."""
+        source = self._sources[var]
+        if source.temp is not None:
+            return False
+        for position, _ in self._find_key_equality(var, bound - {var}):
+            if source.relation.can_key_lookup(position):
+                return True
+            if source.relation.index_for(position) is not None:
+                return True
+        return False
+
+    def _result_valid(self, layouts):
+        """How the result's implicit time attributes are computed.
+
+        Returns ``(mode, fn)`` where mode is ``"none"``, ``"interval"`` or
+        ``"event"`` and ``fn()`` yields the per-tuple period (or ``None`` to
+        drop the tuple, when the default intersection is empty).
+        """
+        analysis = self._analysis
+        valid = analysis.valid
+        if valid is not None:
+            if valid.at is not None:
+                at_fn = compile_temporal(
+                    valid.at, None, layouts, self._bindings, self._db
+                )
+
+                def event_fn():
+                    period = at_fn(None)
+                    return None if period is None else period.start_event()
+
+                return "event", event_fn
+            from_fn = compile_temporal(
+                valid.from_, None, layouts, self._bindings, self._db
+            )
+            to_fn = compile_temporal(
+                valid.to, None, layouts, self._bindings, self._db
+            )
+
+            def interval_fn():
+                start = from_fn(None)
+                stop = to_fn(None)
+                if start is None or stop is None:
+                    return None
+                if stop.stop <= start.start:
+                    return None
+                return Period(start.start, stop.stop)
+
+            return "interval", interval_fn
+
+        valid_vars = [
+            name
+            for name, source in self._sources.items()
+            if source.layout.valid is not None
+            or source.layout.valid_at is not None
+        ]
+        if not valid_vars:
+            return "none", None
+        sources = [self._sources[name] for name in valid_vars]
+
+        def default_fn():
+            period = None
+            for source in sources:
+                own = source.layout.valid_period(self._bindings[source.name])
+                period = own if period is None else period.intersect(own)
+                if period is None:
+                    return None
+            return period
+
+        return "interval", default_fn
+
+    def _store_into(self, name, columns, rows, valid_mode) -> int:
+        analysis = self._analysis
+        fields = [
+            FieldSpec(col, spec.type, spec.width)
+            for (col, (_, __, spec)) in zip(
+                columns[: len(analysis.targets)], analysis.targets
+            )
+        ]
+        timed = "interval" if valid_mode == "interval" else (
+            "event" if valid_mode == "event" else None
+        )
+        relation = self._db.create_relation(
+            name, [(f.name, f.type_text) for f in fields], kind=timed
+        )
+        mutate.load_rows(relation, rows, self._db.clock.now())
+        relation.storage.file.flush()
+        return len(rows)
+
+    # -- updates --------------------------------------------------------------------------------
+
+    def _collect_targets(self, target_var: str):
+        """Join all variables, collecting matching (rid, row) pairs of the
+        update's target variable (first match per rid wins)."""
+        analysis = self._analysis
+        order = [target_var] + [
+            name for name in analysis.var_order if name != target_var
+        ]
+        collected: "dict[object, tuple]" = {}
+        current_rid = {}
+
+        def emit():
+            rid = current_rid["value"]
+            if rid not in collected:
+                collected[rid] = (
+                    rid,
+                    self._bindings[target_var],
+                    {
+                        name: self._bindings[name]
+                        for name in analysis.var_order
+                    },
+                )
+
+        self._join_tracking(
+            self._build_plan(order), 0, emit, target_var, current_rid
+        )
+        return list(collected.values())
+
+    def _join_tracking(self, plan, depth, emit, target_var, current_rid):
+        if depth == len(plan):
+            emit()
+            return
+        var, produce, predicate = plan[depth]
+        for rid, row in produce():
+            if predicate(row):
+                self._bindings[var] = row
+                if var == target_var:
+                    current_rid["value"] = rid
+                self._join_tracking(
+                    plan, depth + 1, emit, target_var, current_rid
+                )
+        self._bindings.pop(var, None)
+
+    def run_delete(self) -> Result:
+        stmt = self._analysis.statement
+        relation = self._sources[stmt.var].relation
+        self._require_mutable(relation)
+        targets = [
+            (rid, row) for rid, row, _ in self._collect_targets(stmt.var)
+        ]
+        now = self._db.clock.now()
+        count = mutate.apply_delete(relation, targets, now)
+        self._db.pool.flush_all()
+        return Result(kind="delete", count=count)
+
+    def run_replace(self) -> Result:
+        analysis = self._analysis
+        stmt = analysis.statement
+        relation = self._sources[stmt.var].relation
+        self._require_mutable(relation)
+        schema = relation.schema
+        layouts = self._layouts()
+
+        collected = self._collect_targets(stmt.var)
+        # Evaluate assignments while bindings are known, per target.
+        assignments = {}
+        valid_specs = {}
+        assign_fns = [
+            (schema.position(name), compile_scalar(
+                expr, stmt.var, layouts, self._bindings
+            ))
+            for name, expr, _ in analysis.targets
+        ]
+        valid_fns = self._valid_spec_fns(layouts, stmt.var)
+        for rid, row, binding_snapshot in collected:
+            self._bindings.update(binding_snapshot)
+            new_user = list(row[: schema.user_count])
+            for position, fn in assign_fns:
+                value = fn(row)
+                if isinstance(value, float) and (
+                    schema.fields[position].type.value.startswith("i")
+                ):
+                    value = int(value)
+                new_user[position] = value
+            assignments[rid] = tuple(new_user)
+            valid_specs[rid] = valid_fns(row)
+            self._bindings.clear()
+
+        now = self._db.clock.now()
+        count = mutate.apply_replace(
+            relation,
+            [(rid, row) for rid, row, _ in collected],
+            lambda rid, row: assignments[rid],
+            now,
+            valid_for=lambda rid, row: valid_specs[rid],
+        )
+        self._db.pool.flush_all()
+        return Result(kind="replace", count=count)
+
+    def run_append(self) -> Result:
+        analysis = self._analysis
+        stmt = analysis.statement
+        relation = self._db.relation(stmt.relation)
+        self._require_mutable(relation)
+        schema = relation.schema
+        layouts = self._layouts()
+        assigned = {name: expr for name, expr, _ in analysis.targets}
+        value_fns = []
+        for spec in schema.user_fields:
+            if spec.name in assigned:
+                value_fns.append(
+                    compile_scalar(
+                        assigned[spec.name], None, layouts, self._bindings
+                    )
+                )
+            else:
+                default = "" if spec.type.value == "c" else 0
+                value_fns.append(lambda row, d=default: d)
+        valid_fns = self._valid_spec_fns(layouts, None)
+
+        produced: "list[tuple]" = []
+
+        def emit():
+            produced.append(
+                (
+                    tuple(fn(None) for fn in value_fns),
+                    valid_fns(None),
+                )
+            )
+
+        if analysis.var_order:
+            self._join(self._build_plan(list(analysis.var_order)), 0, emit)
+        else:
+            emit()
+
+        now = self._db.clock.now()
+        count = 0
+        for user_values, valid_spec in produced:
+            count += mutate.apply_append(
+                relation, [user_values], now, valid_spec
+            )
+        self._db.pool.flush_all()
+        return Result(kind="append", count=count)
+
+    def _valid_spec_fns(self, layouts, var):
+        """Build ``fn(row) -> ValidSpec`` from the statement's valid clause."""
+        valid = self._analysis.valid
+        if valid is None:
+            return lambda row: mutate.NO_VALID
+        if valid.at is not None:
+            at_fn = compile_temporal(
+                valid.at, var, layouts, self._bindings, self._db
+            )
+
+            def at_spec(row):
+                period = at_fn(row)
+                if period is None:
+                    raise ExecutionError("empty 'valid at' period")
+                return mutate.ValidSpec(valid_at=period.start)
+
+            return at_spec
+        from_fn = compile_temporal(
+            valid.from_, var, layouts, self._bindings, self._db
+        )
+        to_fn = compile_temporal(
+            valid.to, var, layouts, self._bindings, self._db
+        )
+
+        def interval_spec(row):
+            start = from_fn(row)
+            stop = to_fn(row)
+            if start is None or stop is None:
+                raise ExecutionError("empty period in valid clause")
+            if stop.stop <= start.start:
+                raise ExecutionError(
+                    "valid clause: 'to' precedes 'from'"
+                )
+            return mutate.ValidSpec(
+                valid_from=start.start, valid_to=stop.stop
+            )
+
+        return interval_spec
+
+    def _require_mutable(self, relation) -> None:
+        if getattr(relation, "read_only", False):
+            raise TQuelSemanticError(
+                f"{relation.schema.name} is a system relation and cannot "
+                "be modified"
+            )
+
+
+# -- helpers ------------------------------------------------------------------------
+
+
+def _fold_aggregate(agg, state: list):
+    """Fold one aggregate's accumulated operand values."""
+    if agg.func == "count":
+        return len(state)
+    if agg.func == "sum":
+        return sum(state) if state else 0
+    if agg.func == "avg":
+        if not state:
+            raise ExecutionError("avg() over an empty result")
+        return sum(state) / len(state)
+    if not state:
+        raise ExecutionError(f"{agg.func}() over an empty result")
+    return min(state) if agg.func == "min" else max(state)
+
+
+def _expr_vars(node) -> "set[str]":
+    found: "set[str]" = set()
+
+    def walk(n):
+        if isinstance(n, ast.Attr):
+            if n.var is not None:
+                found.add(n.var)
+        elif isinstance(n, (ast.BinOp, ast.Compare)):
+            walk(n.left)
+            walk(n.right)
+        elif isinstance(n, ast.UnaryOp):
+            walk(n.operand)
+        elif isinstance(n, ast.BoolOp):
+            for operand in n.operands:
+                walk(operand)
+        elif isinstance(n, ast.NotOp):
+            walk(n.operand)
+        elif isinstance(n, ast.TempVar):
+            found.add(n.var)
+        elif isinstance(n, ast.TempEdge):
+            walk(n.operand)
+        elif isinstance(n, ast.TempBin):
+            walk(n.left)
+            walk(n.right)
+        elif isinstance(n, ast.Aggregate):
+            walk(n.operand)
+            for by_expr in n.by:
+                walk(by_expr)
+
+    walk(node)
+    return found
+
+
+def _attrs_of(node, var: str) -> "set[str]":
+    """User/implicit attribute names of *var* referenced by *node*."""
+    found: "set[str]" = set()
+
+    def walk(n):
+        if isinstance(n, ast.Attr):
+            if n.var == var:
+                found.add(n.name)
+        elif isinstance(n, (ast.BinOp, ast.Compare, ast.TempBin)):
+            walk(n.left)
+            walk(n.right)
+        elif isinstance(n, (ast.UnaryOp, ast.NotOp)):
+            walk(n.operand)
+        elif isinstance(n, ast.TempEdge):
+            walk(n.operand)
+        elif isinstance(n, ast.Aggregate):
+            walk(n.operand)
+            for by_expr in n.by:
+                walk(by_expr)
+        elif isinstance(n, ast.BoolOp):
+            for operand in n.operands:
+                walk(operand)
+
+    walk(node)
+    return found
+
+
+def _with_rids(rows):
+    for index, row in enumerate(rows):
+        yield index, row
+
+
+def _scan_with_rids(relation, current_only, asof_max=None):
+    yield from relation.scan_with_rids(
+        current_only=current_only, asof_max=asof_max
+    )
+
+
+def _lookup_with_rids(relation, key, current_only):
+    yield from relation.lookup_with_rids(key, current_only=current_only)
+
+
+def _index_with_rids(relation, index, value, current_only):
+    seen = set()
+    for tid in index.search(value, current_only=current_only):
+        if tid in seen:
+            continue
+        seen.add(tid)
+        yield relation.rid_from_tid(tid), relation.read_tid(tid)

@@ -1,0 +1,100 @@
+"""The TQuel lexer.
+
+Turns statement text into a list of :class:`~repro.tquel.tokens.Token`.
+Conventions follow Quel: identifiers are ``[A-Za-z_][A-Za-z0-9_]*`` and
+case-insensitive (lowered), string literals use double quotes, comments run
+from ``/*`` to ``*/``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TQuelSyntaxError
+from repro.tquel.tokens import KEYWORDS, PUNCTUATION, Token
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_BODY = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+def tokenize(text: str) -> "list[Token]":
+    """Lex *text* into tokens ending with an ``eof`` token."""
+    tokens: "list[Token]" = []
+    line = 1
+    line_start = 0
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char == "\n":
+            line += 1
+            position += 1
+            line_start = position
+            continue
+        if char in " \t\r":
+            position += 1
+            continue
+        column = position - line_start
+        if char == "/" and text.startswith("/*", position):
+            end = text.find("*/", position + 2)
+            if end < 0:
+                raise TQuelSyntaxError("unterminated comment", line, column)
+            line += text.count("\n", position, end)
+            if "\n" in text[position:end]:
+                line_start = text.rfind("\n", position, end) + 1
+            position = end + 2
+            continue
+        if char in _IDENT_START:
+            end = position + 1
+            while end < length and text[end] in _IDENT_BODY:
+                end += 1
+            word = text[position:end].lower()
+            kind = word if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line, column))
+            position = end
+            continue
+        if char in _DIGITS:
+            end = position + 1
+            while end < length and text[end] in _DIGITS:
+                end += 1
+            is_float = False
+            if (
+                end < length
+                and text[end] == "."
+                and end + 1 < length
+                and text[end + 1] in _DIGITS
+            ):
+                is_float = True
+                end += 1
+                while end < length and text[end] in _DIGITS:
+                    end += 1
+            literal = text[position:end]
+            if is_float:
+                tokens.append(Token("float", float(literal), line, column))
+            else:
+                tokens.append(Token("int", int(literal), line, column))
+            position = end
+            continue
+        if char == '"':
+            end = text.find('"', position + 1)
+            if end < 0:
+                raise TQuelSyntaxError(
+                    "unterminated string literal", line, column
+                )
+            tokens.append(
+                Token("string", text[position + 1 : end], line, column)
+            )
+            position = end + 1
+            continue
+        for punct in PUNCTUATION:
+            if text.startswith(punct, position):
+                tokens.append(Token(punct, punct, line, column))
+                position += len(punct)
+                break
+        else:
+            raise TQuelSyntaxError(
+                f"unexpected character {char!r}", line, column
+            )
+    tokens.append(Token("eof", None, line, position - line_start))
+    return tokens

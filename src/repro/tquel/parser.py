@@ -1,0 +1,505 @@
+"""Recursive-descent parser for TQuel.
+
+Grammar summary (clauses may appear in any order after a statement's target
+list, matching the prototype's examples)::
+
+    range of VAR is RELATION
+    retrieve [into REL] [unique] ( target, ... ) {clause}
+    append [to] REL ( target, ... ) {clause}
+    delete VAR {clause}
+    replace VAR ( target, ... ) {clause}
+    create [persistent] [interval|event] REL ( name = type, ... )
+    modify REL to STRUCTURE [on ATTR] [where name = value, ...]
+    copy REL (from|into) "path"
+    destroy REL {, REL}
+    index on REL is NAME ( ATTR ) [where name = value, ...]
+
+    clause := valid from TEXPR to TEXPR | valid at TEXPR
+            | where EXPR | when WEXPR | as of TEXPR [through TEXPR]
+
+    TEXPR  := TPRIM { (overlap|extend|precede) TPRIM }
+    TPRIM  := start of TPRIM | end of TPRIM | ( TEXPR ) | STRING | VAR
+    WEXPR  := boolean combination (and/or/not, parentheses) of TEXPRs
+
+The only ambiguity -- ``(`` opening either a parenthesized temporal operand
+or a parenthesized boolean ``when`` expression -- is resolved by
+backtracking.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TQuelSyntaxError
+from repro.tquel.ast import (
+    AGGREGATE_FUNCTIONS,
+    Aggregate,
+    AppendStmt,
+    AsOfClause,
+    Attr,
+    BinOp,
+    BoolOp,
+    Compare,
+    Const,
+    CopyStmt,
+    CreateStmt,
+    DeleteStmt,
+    DestroyStmt,
+    IndexStmt,
+    ModifyStmt,
+    NotOp,
+    RangeStmt,
+    ReplaceStmt,
+    RetrieveStmt,
+    TargetItem,
+    TempBin,
+    TempConst,
+    TempEdge,
+    TempVar,
+    UnaryOp,
+    VacuumStmt,
+    ValidClause,
+)
+from repro.tquel.lexer import tokenize
+from repro.tquel.tokens import Token
+
+_TEMPORAL_OPS = ("overlap", "extend", "precede")
+_COMPARE_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._tokens = tokenize(text)
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.type != "eof":
+            self._pos += 1
+        return token
+
+    def _accept(self, kind: str) -> "Token | None":
+        if self._peek().type == kind:
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, context: str) -> Token:
+        token = self._peek()
+        if token.type != kind:
+            raise TQuelSyntaxError(
+                f"expected {kind!r} {context}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self._next()
+
+    def _error(self, message: str):
+        token = self._peek()
+        raise TQuelSyntaxError(message, token.line, token.column)
+
+    # -- entry points -----------------------------------------------------------
+
+    def parse_all(self) -> list:
+        statements = []
+        while True:
+            while self._accept(";"):
+                pass
+            if self._peek().type == "eof":
+                return statements
+            statements.append(self.parse_statement())
+
+    def parse_statement(self):
+        token = self._peek()
+        handler = {
+            "range": self._range,
+            "retrieve": self._retrieve,
+            "append": self._append,
+            "delete": self._delete,
+            "replace": self._replace,
+            "create": self._create,
+            "modify": self._modify,
+            "copy": self._copy,
+            "destroy": self._destroy,
+            "index": self._index,
+            "vacuum": self._vacuum,
+        }.get(token.type)
+        if handler is None:
+            self._error(f"expected a statement, found {token.value!r}")
+        return handler()
+
+    # -- statements --------------------------------------------------------------
+
+    def _range(self):
+        self._expect("range", "to start a range statement")
+        self._expect("of", "after 'range'")
+        var = self._expect("ident", "as the range variable").value
+        self._expect("is", "after the range variable")
+        relation = self._expect("ident", "as the relation name").value
+        return RangeStmt(var, relation)
+
+    def _retrieve(self):
+        self._expect("retrieve", "to start a retrieve")
+        into = None
+        if self._accept("into"):
+            into = self._expect("ident", "after 'into'").value
+        unique = bool(self._accept("unique"))
+        coalesced = bool(self._accept("coalesced"))
+        targets = self._target_list()
+        clauses = self._clauses()
+        return RetrieveStmt(
+            targets=targets, into=into, unique=unique,
+            coalesced=coalesced, **clauses
+        )
+
+    def _append(self):
+        self._expect("append", "to start an append")
+        self._accept("to")
+        relation = self._expect("ident", "as the append target").value
+        targets = self._target_list()
+        clauses = self._clauses()
+        return AppendStmt(relation=relation, targets=targets, **clauses)
+
+    def _delete(self):
+        self._expect("delete", "to start a delete")
+        var = self._expect("ident", "as the delete target").value
+        clauses = self._clauses()
+        clauses.pop("valid", None)
+        return DeleteStmt(var=var, **clauses)
+
+    def _replace(self):
+        self._expect("replace", "to start a replace")
+        var = self._expect("ident", "as the replace target").value
+        targets = self._target_list()
+        clauses = self._clauses()
+        return ReplaceStmt(var=var, targets=targets, **clauses)
+
+    def _create(self):
+        self._expect("create", "to start a create")
+        persistent = bool(self._accept("persistent"))
+        kind = None
+        if self._accept("interval"):
+            kind = "interval"
+        elif self._accept("event"):
+            kind = "event"
+        relation = self._expect("ident", "as the new relation name").value
+        self._expect("(", "to open the attribute list")
+        columns = []
+        while True:
+            name = self._expect("ident", "as an attribute name").value
+            self._expect("=", "after the attribute name")
+            type_text = self._expect("ident", "as the attribute type").value
+            columns.append((name, type_text))
+            if not self._accept(","):
+                break
+        self._expect(")", "to close the attribute list")
+        return CreateStmt(
+            relation=relation,
+            columns=tuple(columns),
+            persistent=persistent,
+            kind=kind,
+        )
+
+    def _modify(self):
+        self._expect("modify", "to start a modify")
+        relation = self._expect("ident", "as the relation to modify").value
+        self._expect("to", "after the relation name")
+        structure = self._expect("ident", "as the storage structure").value
+        key = None
+        if self._accept("on"):
+            key = self._expect("ident", "as the key attribute").value
+        options = self._options() if self._accept("where") else ()
+        return ModifyStmt(
+            relation=relation, structure=structure, key=key, options=options
+        )
+
+    def _copy(self):
+        self._expect("copy", "to start a copy")
+        relation = self._expect("ident", "as the relation to copy").value
+        if self._accept("from"):
+            direction = "from"
+        elif self._accept("into"):
+            direction = "into"
+        else:
+            self._error("expected 'from' or 'into' in copy")
+        path = self._expect("string", "as the file path").value
+        return CopyStmt(relation=relation, direction=direction, path=path)
+
+    def _destroy(self):
+        self._expect("destroy", "to start a destroy")
+        names = [self._expect("ident", "as a relation name").value]
+        while self._accept(","):
+            names.append(self._expect("ident", "as a relation name").value)
+        return DestroyStmt(relations=tuple(names))
+
+    def _index(self):
+        self._expect("index", "to start an index statement")
+        self._expect("on", "after 'index'")
+        relation = self._expect("ident", "as the indexed relation").value
+        self._expect("is", "after the relation name")
+        index_name = self._expect("ident", "as the index name").value
+        self._expect("(", "to open the attribute list")
+        attribute = self._expect("ident", "as the indexed attribute").value
+        self._expect(")", "to close the attribute list")
+        options = self._options() if self._accept("where") else ()
+        return IndexStmt(
+            relation=relation,
+            index_name=index_name,
+            attribute=attribute,
+            options=options,
+        )
+
+    def _vacuum(self):
+        self._expect("vacuum", "to start a vacuum")
+        relation = self._expect("ident", "as the relation to vacuum").value
+        self._expect("before", "after the relation name")
+        return VacuumStmt(
+            relation=relation, before=self._temporal_expression()
+        )
+
+    def _options(self):
+        options = []
+        while True:
+            name = self._expect("ident", "as an option name").value
+            self._expect("=", "after the option name")
+            token = self._peek()
+            if token.type in ("int", "float", "string", "ident"):
+                self._next()
+                options.append((name, token.value))
+            else:
+                self._error(f"bad option value {token.value!r}")
+            if not self._accept(","):
+                break
+        return tuple(options)
+
+    # -- clauses ------------------------------------------------------------------
+
+    def _clauses(self) -> dict:
+        clauses = {"valid": None, "where": None, "when": None, "as_of": None}
+        while True:
+            token = self._peek()
+            if token.type == "valid":
+                if clauses["valid"] is not None:
+                    self._error("duplicate valid clause")
+                clauses["valid"] = self._valid_clause()
+            elif token.type == "where":
+                if clauses["where"] is not None:
+                    self._error("duplicate where clause")
+                self._next()
+                clauses["where"] = self._expression()
+            elif token.type == "when":
+                if clauses["when"] is not None:
+                    self._error("duplicate when clause")
+                self._next()
+                clauses["when"] = self._when_expression()
+            elif token.type == "as":
+                if clauses["as_of"] is not None:
+                    self._error("duplicate as-of clause")
+                self._next()
+                self._expect("of", "after 'as'")
+                at = self._temporal_expression()
+                through = None
+                if self._accept("through"):
+                    through = self._temporal_expression()
+                clauses["as_of"] = AsOfClause(at=at, through=through)
+            else:
+                break
+        return clauses
+
+    def _valid_clause(self) -> ValidClause:
+        self._expect("valid", "to start a valid clause")
+        if self._accept("at"):
+            return ValidClause(at=self._temporal_expression())
+        self._expect("from", "after 'valid'")
+        from_ = self._temporal_expression()
+        self._expect("to", "after the valid-from expression")
+        to = self._temporal_expression()
+        return ValidClause(from_=from_, to=to)
+
+    # -- target lists ----------------------------------------------------------------
+
+    def _target_list(self):
+        self._expect("(", "to open the target list")
+        targets = []
+        while True:
+            name = None
+            if (
+                self._peek().type == "ident"
+                and self._peek(1).type == "="
+            ):
+                name = self._next().value
+                self._next()  # '='
+            targets.append(TargetItem(name=name, expr=self._expression()))
+            if not self._accept(","):
+                break
+        self._expect(")", "to close the target list")
+        return tuple(targets)
+
+    # -- scalar expressions --------------------------------------------------------------
+
+    def _expression(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        operands = [self._and_expr()]
+        while self._accept("or"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("or", tuple(operands))
+
+    def _and_expr(self):
+        operands = [self._not_expr()]
+        while self._accept("and"):
+            operands.append(self._not_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("and", tuple(operands))
+
+    def _not_expr(self):
+        if self._accept("not"):
+            return NotOp(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self):
+        left = self._additive()
+        token = self._peek()
+        if token.type in _COMPARE_OPS:
+            self._next()
+            right = self._additive()
+            return Compare(token.type, left, right)
+        return left
+
+    def _additive(self):
+        node = self._multiplicative()
+        while self._peek().type in ("+", "-"):
+            op = self._next().type
+            node = BinOp(op, node, self._multiplicative())
+        return node
+
+    def _multiplicative(self):
+        node = self._unary()
+        while self._peek().type in ("*", "/"):
+            op = self._next().type
+            node = BinOp(op, node, self._unary())
+        return node
+
+    def _unary(self):
+        if self._peek().type == "-":
+            self._next()
+            return UnaryOp("-", self._unary())
+        return self._atom()
+
+    def _atom(self):
+        token = self._peek()
+        if token.type == "(":
+            self._next()
+            node = self._expression()
+            self._expect(")", "to close the parenthesized expression")
+            return node
+        if token.type in ("int", "float", "string"):
+            self._next()
+            return Const(token.value)
+        if token.type == "ident":
+            self._next()
+            if token.value in AGGREGATE_FUNCTIONS and self._peek().type == "(":
+                self._next()
+                operand = self._expression()
+                by = []
+                if self._accept("by"):
+                    by.append(self._expression())
+                    while self._accept(","):
+                        by.append(self._expression())
+                self._expect(")", "to close the aggregate")
+                return Aggregate(token.value, operand, tuple(by))
+            if self._accept("."):
+                attribute = self._expect(
+                    "ident", "as the attribute name"
+                ).value
+                return Attr(token.value, attribute)
+            return Attr(None, token.value)
+        self._error(f"unexpected token {token.value!r} in expression")
+
+    # -- temporal expressions -----------------------------------------------------------------
+
+    def _temporal_expression(self):
+        node = self._temporal_primary()
+        while self._peek().type in _TEMPORAL_OPS:
+            op = self._next().type
+            node = TempBin(op, node, self._temporal_primary())
+        return node
+
+    def _temporal_primary(self):
+        token = self._peek()
+        if token.type in ("start", "end"):
+            self._next()
+            self._expect("of", f"after '{token.type}'")
+            return TempEdge(token.type, self._temporal_primary())
+        if token.type == "(":
+            self._next()
+            node = self._temporal_expression()
+            self._expect(")", "to close the temporal expression")
+            return node
+        if token.type == "string":
+            self._next()
+            return TempConst(token.value)
+        if token.type == "ident":
+            self._next()
+            return TempVar(token.value)
+        self._error(
+            f"unexpected token {token.value!r} in temporal expression"
+        )
+
+    # -- when clauses ------------------------------------------------------------------------
+
+    def _when_expression(self):
+        operands = [self._when_and()]
+        while self._accept("or"):
+            operands.append(self._when_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("or", tuple(operands))
+
+    def _when_and(self):
+        operands = [self._when_factor()]
+        while self._accept("and"):
+            operands.append(self._when_factor())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("and", tuple(operands))
+
+    def _when_factor(self):
+        if self._accept("not"):
+            return NotOp(self._when_factor())
+        # A '(' may open a temporal operand or a boolean subexpression;
+        # try the temporal reading first and backtrack on failure.
+        saved = self._pos
+        try:
+            return self._temporal_expression()
+        except TQuelSyntaxError:
+            self._pos = saved
+        self._expect("(", "in when clause")
+        node = self._when_expression()
+        self._expect(")", "to close the when subexpression")
+        # The parenthesized boolean may still be the left operand of a
+        # temporal operator only if it is itself temporal; TQuel gives
+        # booleans no temporal value, so no further operators apply.
+        return node
+
+
+def parse(text: str) -> list:
+    """Parse *text* into a list of statement ASTs."""
+    return _Parser(text).parse_all()
+
+
+def parse_statement(text: str):
+    """Parse exactly one statement; error if there are more or none."""
+    statements = parse(text)
+    if len(statements) != 1:
+        raise TQuelSyntaxError(
+            f"expected exactly one statement, found {len(statements)}"
+        )
+    return statements[0]

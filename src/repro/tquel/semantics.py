@@ -1,0 +1,530 @@
+"""Semantic analysis: bind a parsed statement against a database.
+
+Checks the rules the paper's prototype enforced:
+
+* range variables must be declared and attributes must exist;
+* a ``when`` clause requires valid time on every range variable it uses
+  temporally ("for a static database, the 'when' clause ... [is] neither
+  necessary nor applicable");
+* an ``as of`` clause requires transaction time ("for a rollback database,
+  we use an as of clause instead of the when clause");
+* a ``valid`` clause requires valid time on the updated relation and must
+  match its shape (``at`` for event relations, ``from``/``to`` for interval
+  relations);
+* comparisons must not mix strings and numbers; temporal operands must be
+  period-valued (``precede`` yields a truth value, so it cannot be an
+  operand of ``overlap``/``extend``/``start of``).
+
+The analysis also splits ``where``/``when`` into conjunct lists annotated
+with the variables they reference -- the input to Ingres-style
+decomposition -- and infers result-column types for ``retrieve into`` and
+temporaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import RelationKind
+from repro.errors import TQuelSemanticError
+from repro.storage.record import AttributeType, FieldSpec
+from repro.tquel import ast
+
+
+@dataclass
+class VarInfo:
+    """One range variable bound to its relation."""
+
+    name: str
+    relation: object  # StoredRelation or a catalog HeapFile wrapper
+
+    @property
+    def schema(self):
+        return self.relation.schema
+
+
+@dataclass
+class Conjunct:
+    """One top-level conjunct and the variables it references."""
+
+    expr: object
+    vars: frozenset
+    is_temporal: bool
+
+
+@dataclass
+class Analysis:
+    """A statement bound to the database, ready for planning."""
+
+    statement: object
+    vars: "dict[str, VarInfo]" = field(default_factory=dict)
+    var_order: "list[str]" = field(default_factory=list)
+    where: "list[Conjunct]" = field(default_factory=list)
+    when: "list[Conjunct]" = field(default_factory=list)
+    valid: "ast.ValidClause | None" = None
+    as_of: "ast.AsOfClause | None" = None
+    targets: "list[tuple[str, object, FieldSpec]]" = field(
+        default_factory=list
+    )
+    has_aggregates: bool = False
+
+    def conjuncts_for(self, var: str) -> "list[Conjunct]":
+        """Conjuncts referencing only *var* (detachable)."""
+        return [
+            conjunct
+            for conjunct in self.where + self.when
+            if conjunct.vars == frozenset((var,))
+        ]
+
+
+_NUMERIC = "numeric"
+_STRING = "string"
+
+
+def _mentions_var(node) -> bool:
+    """Whether a temporal expression references any range variable."""
+    if isinstance(node, ast.TempVar):
+        return True
+    if isinstance(node, ast.TempEdge):
+        return _mentions_var(node.operand)
+    if isinstance(node, ast.TempBin):
+        return _mentions_var(node.left) or _mentions_var(node.right)
+    return False
+
+
+class Analyzer:
+    """Binds statements against a :class:`~repro.engine.database.TemporalDatabase`."""
+
+    def __init__(self, database):
+        self._db = database
+
+    # -- variable handling ---------------------------------------------------
+
+    def _declare(self, analysis: Analysis, var: str) -> VarInfo:
+        if var in analysis.vars:
+            return analysis.vars[var]
+        relation_name = self._db.ranges.get(var)
+        if relation_name is None:
+            raise TQuelSemanticError(
+                f"range variable {var!r} is not declared (use "
+                f"'range of {var} is <relation>')"
+            )
+        info = VarInfo(var, self._db.relation(relation_name))
+        analysis.vars[var] = info
+        analysis.var_order.append(var)
+        return info
+
+    def _resolve_attr(
+        self, analysis: Analysis, node: ast.Attr, default_var: "str | None"
+    ) -> "tuple[VarInfo, FieldSpec]":
+        var = node.var
+        if var is None:
+            if default_var is None:
+                raise TQuelSemanticError(
+                    f"attribute {node.name!r} must be qualified with a "
+                    "range variable"
+                )
+            var = default_var
+        info = self._declare(analysis, var)
+        if not info.schema.has_attribute(node.name):
+            raise TQuelSemanticError(
+                f"{info.schema.name} has no attribute {node.name!r}"
+            )
+        return info, info.schema.field_for(node.name)
+
+    # -- scalar expressions -----------------------------------------------------
+
+    def _walk_scalar(
+        self,
+        analysis: Analysis,
+        node,
+        used: set,
+        default_var: "str | None",
+        allow_aggregate: bool = False,
+    ) -> str:
+        """Validate a scalar expression; returns its class (numeric/string)."""
+        if isinstance(node, ast.Aggregate):
+            if not allow_aggregate:
+                raise TQuelSemanticError(
+                    f"{node.func}() is only allowed as a retrieve target"
+                )
+            inner = self._walk_scalar(
+                analysis, node.operand, used, default_var,
+                allow_aggregate=False,
+            )
+            for by_expr in node.by:
+                self._walk_scalar(
+                    analysis, by_expr, used, default_var,
+                    allow_aggregate=False,
+                )
+            analysis.has_aggregates = True
+            if node.func in ("sum", "avg") and inner is not _NUMERIC:
+                raise TQuelSemanticError(
+                    f"{node.func}() needs a numeric operand"
+                )
+            if node.func == "count":
+                return _NUMERIC
+            return inner
+        if isinstance(node, ast.Const):
+            return _STRING if isinstance(node.value, str) else _NUMERIC
+        if isinstance(node, ast.Attr):
+            info, spec = self._resolve_attr(analysis, node, default_var)
+            used.add(info.name)
+            return (
+                _STRING if spec.type is AttributeType.CHAR else _NUMERIC
+            )
+        if isinstance(node, ast.UnaryOp):
+            inner = self._walk_scalar(analysis, node.operand, used, default_var)
+            if inner is not _NUMERIC:
+                raise TQuelSemanticError("unary minus needs a number")
+            return _NUMERIC
+        if isinstance(node, ast.BinOp):
+            left = self._walk_scalar(analysis, node.left, used, default_var)
+            right = self._walk_scalar(analysis, node.right, used, default_var)
+            if left is not _NUMERIC or right is not _NUMERIC:
+                raise TQuelSemanticError(
+                    f"arithmetic {node.op!r} needs numbers"
+                )
+            return _NUMERIC
+        if isinstance(node, ast.Compare):
+            left = self._walk_scalar(analysis, node.left, used, default_var)
+            right = self._walk_scalar(analysis, node.right, used, default_var)
+            if left is not right:
+                raise TQuelSemanticError(
+                    f"comparison {node.op!r} mixes a string and a number"
+                )
+            return "bool"
+        if isinstance(node, ast.BoolOp):
+            for operand in node.operands:
+                result = self._walk_scalar(
+                    analysis, operand, used, default_var
+                )
+                if result != "bool":
+                    raise TQuelSemanticError(
+                        f"{node.op!r} needs boolean operands"
+                    )
+            return "bool"
+        if isinstance(node, ast.NotOp):
+            result = self._walk_scalar(analysis, node.operand, used, default_var)
+            if result != "bool":
+                raise TQuelSemanticError("'not' needs a boolean operand")
+            return "bool"
+        raise TQuelSemanticError(f"unexpected expression node {node!r}")
+
+    def _infer_field(self, analysis: Analysis, node, name: str) -> FieldSpec:
+        """Physical type of a target expression (for into/temporaries)."""
+        if isinstance(node, ast.Aggregate):
+            if node.func == "count":
+                return FieldSpec(name, AttributeType.I4, 4)
+            if node.func == "avg":
+                return FieldSpec(name, AttributeType.F8, 8)
+            inner = self._infer_field(analysis, node.operand, name)
+            if node.func == "sum" and inner.type not in (
+                AttributeType.F4, AttributeType.F8
+            ):
+                return FieldSpec(name, AttributeType.I4, 4)
+            return inner
+        if isinstance(node, ast.Attr):
+            default = self._single_var(analysis)
+            _, spec = self._resolve_attr(analysis, node, default)
+            return FieldSpec(name, spec.type, spec.width)
+        if isinstance(node, ast.Const):
+            if isinstance(node.value, str):
+                return FieldSpec(
+                    name, AttributeType.CHAR, max(1, len(node.value))
+                )
+            if isinstance(node.value, float):
+                return FieldSpec(name, AttributeType.F8, 8)
+            return FieldSpec(name, AttributeType.I4, 4)
+        if isinstance(node, ast.UnaryOp):
+            return self._infer_field(analysis, node.operand, name)
+        if isinstance(node, ast.BinOp):
+            left = self._infer_field(analysis, node.left, name)
+            right = self._infer_field(analysis, node.right, name)
+            if AttributeType.F8 in (left.type, right.type) or (
+                AttributeType.F4 in (left.type, right.type)
+            ) or node.op == "/":
+                return FieldSpec(name, AttributeType.F8, 8)
+            return FieldSpec(name, AttributeType.I4, 4)
+        raise TQuelSemanticError(
+            "target expressions must be attributes, constants or arithmetic"
+        )
+
+    def _single_var(self, analysis: Analysis) -> "str | None":
+        if len(analysis.var_order) == 1:
+            return analysis.var_order[0]
+        return None
+
+    # -- temporal expressions ------------------------------------------------------
+
+    def _walk_temporal(
+        self, analysis: Analysis, node, used: set, as_operand: bool
+    ) -> None:
+        """Validate a temporal expression.
+
+        *as_operand* is True below ``start of``/``extend``/``overlap`` --
+        positions that need a period value, where ``precede`` is illegal.
+        """
+        if isinstance(node, ast.TempConst):
+            self._db.parse_temporal_text(node.text)  # validates format
+            return
+        if isinstance(node, ast.TempVar):
+            info = self._declare(analysis, node.var)
+            used.add(info.name)
+            if not info.schema.type.has_valid_time:
+                raise TQuelSemanticError(
+                    f"{info.schema.name} has no valid time; {node.var!r} "
+                    "cannot be used temporally"
+                )
+            return
+        if isinstance(node, ast.TempEdge):
+            self._walk_temporal(analysis, node.operand, used, as_operand=True)
+            return
+        if isinstance(node, ast.TempBin):
+            if node.op == "precede" and as_operand:
+                raise TQuelSemanticError(
+                    "'precede' yields a truth value and cannot be an "
+                    "operand of a temporal expression"
+                )
+            self._walk_temporal(analysis, node.left, used, as_operand=True)
+            self._walk_temporal(analysis, node.right, used, as_operand=True)
+            return
+        raise TQuelSemanticError(f"unexpected temporal node {node!r}")
+
+    def _walk_when(self, analysis: Analysis, node, used: set) -> None:
+        if isinstance(node, ast.BoolOp):
+            for operand in node.operands:
+                self._walk_when(analysis, operand, used)
+            return
+        if isinstance(node, ast.NotOp):
+            self._walk_when(analysis, node.operand, used)
+            return
+        if isinstance(node, ast.TempBin) and node.op in ("overlap", "precede"):
+            self._walk_temporal(analysis, node.left, used, as_operand=True)
+            self._walk_temporal(analysis, node.right, used, as_operand=True)
+            return
+        raise TQuelSemanticError(
+            "a when clause must be a boolean combination of 'overlap' or "
+            "'precede' predicates"
+        )
+
+    # -- conjunct splitting -----------------------------------------------------------
+
+    def _split_conjuncts(
+        self, analysis: Analysis, node, temporal: bool, default_var
+    ) -> "list[Conjunct]":
+        if isinstance(node, ast.BoolOp) and node.op == "and":
+            conjuncts = []
+            for operand in node.operands:
+                conjuncts.extend(
+                    self._split_conjuncts(
+                        analysis, operand, temporal, default_var
+                    )
+                )
+            return conjuncts
+        used: set = set()
+        if temporal:
+            self._walk_when(analysis, node, used)
+        else:
+            result = self._walk_scalar(analysis, node, used, default_var)
+            if result != "bool":
+                raise TQuelSemanticError(
+                    "a where clause must be a boolean expression"
+                )
+        return [Conjunct(node, frozenset(used), temporal)]
+
+    # -- statements -----------------------------------------------------------------------
+
+    def analyze_retrieve(self, stmt: ast.RetrieveStmt) -> Analysis:
+        analysis = Analysis(statement=stmt)
+        # Bind target expressions first so variable order matches the
+        # statement's first-reference order (the prototype's substitution
+        # order heuristic).
+        names = []
+        for item in stmt.targets:
+            name = item.name or self._default_name(item.expr)
+            if name in names:
+                name = self._dedup_name(name, names)
+            names.append(name)
+        for name, item in zip(names, stmt.targets):
+            used: set = set()
+            self._walk_scalar(
+                analysis, item.expr, used, None, allow_aggregate=True
+            )
+            spec = self._infer_field(analysis, item.expr, name)
+            analysis.targets.append((name, item.expr, spec))
+        if analysis.has_aggregates:
+            self._check_aggregate_shape(analysis)
+            if stmt.valid is not None:
+                raise TQuelSemanticError(
+                    "aggregates produce a snapshot result; the valid "
+                    "clause does not apply"
+                )
+        self._analyze_clauses(analysis, stmt, default_var=None)
+        if stmt.into is not None and stmt.into in self._db.relation_names():
+            raise TQuelSemanticError(
+                f"relation {stmt.into!r} already exists"
+            )
+        if not analysis.vars:
+            raise TQuelSemanticError(
+                "retrieve needs at least one range variable"
+            )
+        return analysis
+
+    def analyze_update(self, stmt) -> Analysis:
+        """``append`` / ``delete`` / ``replace``."""
+        analysis = Analysis(statement=stmt)
+        if isinstance(stmt, ast.AppendStmt):
+            target_relation = self._db.relation(stmt.relation)
+            default_var = None
+        else:
+            info = self._declare(analysis, stmt.var)
+            target_relation = info.relation
+            default_var = stmt.var
+        if isinstance(stmt, (ast.AppendStmt, ast.ReplaceStmt)):
+            for item in stmt.targets:
+                if item.name is None:
+                    raise TQuelSemanticError(
+                        "append/replace targets must be named "
+                        "(attribute = expression)"
+                    )
+                schema = target_relation.schema
+                if not schema.has_attribute(item.name):
+                    raise TQuelSemanticError(
+                        f"{schema.name} has no attribute {item.name!r}"
+                    )
+                position = schema.position(item.name)
+                if position >= schema.user_count:
+                    raise TQuelSemanticError(
+                        f"{item.name!r} is an implicit time attribute; use "
+                        "the valid clause instead"
+                    )
+                used: set = set()
+                kind = self._walk_scalar(analysis, item.expr, used, default_var)
+                spec = schema.field_for(item.name)
+                expected = (
+                    _STRING
+                    if spec.type is AttributeType.CHAR
+                    else _NUMERIC
+                )
+                if kind != expected:
+                    raise TQuelSemanticError(
+                        f"type mismatch assigning to {item.name!r}"
+                    )
+                analysis.targets.append((item.name, item.expr, spec))
+        self._analyze_clauses(analysis, stmt, default_var=default_var)
+        # Valid-clause shape checks against the written relation.
+        valid = getattr(stmt, "valid", None)
+        if valid is not None:
+            schema = target_relation.schema
+            if not schema.type.has_valid_time:
+                raise TQuelSemanticError(
+                    f"{schema.name} has no valid time; the valid clause "
+                    "does not apply"
+                )
+            if valid.at is not None and schema.kind is not RelationKind.EVENT:
+                raise TQuelSemanticError(
+                    f"{schema.name} is an interval relation; use "
+                    "'valid from ... to ...'"
+                )
+            if valid.from_ is not None and (
+                schema.kind is not RelationKind.INTERVAL
+            ):
+                raise TQuelSemanticError(
+                    f"{schema.name} is an event relation; use 'valid at'"
+                )
+        return analysis
+
+    @staticmethod
+    def _check_aggregate_shape(analysis: Analysis) -> None:
+        """Enforce the grouping rules for aggregate target lists.
+
+        Plain aggregates stand alone; by-list aggregates group the result,
+        and then the statement's non-aggregate targets must be exactly the
+        grouping expressions (so every output column is well-defined per
+        group), with every aggregate sharing the same by-list.
+        """
+        aggregates = [
+            expr
+            for _, expr, __ in analysis.targets
+            if isinstance(expr, ast.Aggregate)
+        ]
+        plain = [
+            expr
+            for _, expr, __ in analysis.targets
+            if not isinstance(expr, ast.Aggregate)
+        ]
+        by_lists = {agg.by for agg in aggregates}
+        if len(by_lists) > 1:
+            raise TQuelSemanticError(
+                "all aggregates in one retrieve must share the same "
+                "by-list"
+            )
+        by_list = by_lists.pop()
+        if not by_list:
+            if plain:
+                raise TQuelSemanticError(
+                    "aggregate and non-aggregate targets cannot be mixed; "
+                    "group with a by-list (e.g. sum(e.sal by e.dept)) or "
+                    "make every target an aggregate"
+                )
+            return
+        if set(plain) != set(by_list):
+            raise TQuelSemanticError(
+                "with a by-list, the plain targets must be exactly the "
+                "grouping expressions"
+            )
+
+    def _analyze_clauses(self, analysis: Analysis, stmt, default_var) -> None:
+        where = getattr(stmt, "where", None)
+        if where is not None:
+            analysis.where = self._split_conjuncts(
+                analysis, where, temporal=False, default_var=default_var
+            )
+        when = getattr(stmt, "when", None)
+        if when is not None:
+            analysis.when = self._split_conjuncts(
+                analysis, when, temporal=True, default_var=default_var
+            )
+        valid = getattr(stmt, "valid", None)
+        if valid is not None:
+            analysis.valid = valid
+            used: set = set()
+            for expr in (valid.at, valid.from_, valid.to):
+                if expr is not None:
+                    self._walk_temporal(analysis, expr, used, as_operand=True)
+        as_of = getattr(stmt, "as_of", None)
+        if as_of is not None:
+            analysis.as_of = as_of
+            used = set()
+            for expr in (as_of.at, as_of.through):
+                if expr is not None:
+                    if _mentions_var(expr):
+                        raise TQuelSemanticError(
+                            "an as-of clause must be a temporal constant"
+                        )
+                    self._walk_temporal(analysis, expr, used, as_operand=True)
+            if analysis.vars and not any(
+                info.schema.type.has_transaction_time
+                for info in analysis.vars.values()
+            ):
+                raise TQuelSemanticError(
+                    "an as-of clause requires a relation with transaction "
+                    "time (rollback or temporal)"
+                )
+        return
+
+    @staticmethod
+    def _default_name(expr) -> str:
+        if isinstance(expr, ast.Attr):
+            return expr.name
+        if isinstance(expr, ast.Aggregate):
+            return expr.func
+        return "expr"
+
+    @staticmethod
+    def _dedup_name(name: str, existing: "list[str]") -> str:
+        counter = 2
+        while f"{name}{counter}" in existing:
+            counter += 1
+        return f"{name}{counter}"

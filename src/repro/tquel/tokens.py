@@ -1,0 +1,103 @@
+"""Token definitions for the TQuel lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Keywords, all case-insensitive.  ``as of`` is two tokens.
+KEYWORDS = frozenset(
+    {
+        "all",
+        "and",
+        "append",
+        "as",
+        "at",
+        "before",
+        "by",
+        "coalesced",
+        "copy",
+        "create",
+        "delete",
+        "destroy",
+        "end",
+        "event",
+        "extend",
+        "from",
+        "index",
+        "interval",
+        "into",
+        "is",
+        "modify",
+        "not",
+        "of",
+        "on",
+        "or",
+        "overlap",
+        "persistent",
+        "precede",
+        "range",
+        "replace",
+        "retrieve",
+        "start",
+        "through",
+        "to",
+        "unique",
+        "vacuum",
+        "valid",
+        "when",
+        "where",
+    }
+)
+
+# Statement-starting keywords: the parser uses these to find statement
+# boundaries in multi-statement input.
+STATEMENT_KEYWORDS = frozenset(
+    {
+        "append",
+        "copy",
+        "create",
+        "delete",
+        "destroy",
+        "index",
+        "modify",
+        "range",
+        "replace",
+        "retrieve",
+        "vacuum",
+    }
+)
+
+PUNCTUATION = (
+    "<=",
+    ">=",
+    "!=",
+    "(",
+    ")",
+    ",",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    ".",
+    ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``type`` is one of ``"ident"``, ``"int"``, ``"float"``, ``"string"``,
+    ``"eof"``, a keyword (its lowercase spelling), or a punctuation string.
+    """
+
+    type: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type!r}, {self.value!r})"

@@ -1,0 +1,183 @@
+"""Render statement ASTs back to TQuel text.
+
+The unparser emits canonical TQuel that re-parses to an equal AST (the
+property the test suite checks with generated statements).  Scalar
+subexpressions are parenthesized conservatively, temporal expressions
+exactly as TQuel's grammar requires.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TQuelError
+from repro.tquel import ast
+
+
+def _scalar(node, parent_tight: bool = False) -> str:
+    if isinstance(node, ast.Const):
+        if isinstance(node.value, str):
+            return f'"{node.value}"'
+        return str(node.value)
+    if isinstance(node, ast.Attr):
+        return f"{node.var}.{node.name}" if node.var else node.name
+    if isinstance(node, ast.Aggregate):
+        inner = _scalar(node.operand)
+        if node.by:
+            inner += " by " + ", ".join(_scalar(e) for e in node.by)
+        return f"{node.func}({inner})"
+    if isinstance(node, ast.UnaryOp):
+        return f"-{_scalar(node.operand, parent_tight=True)}"
+    if isinstance(node, ast.BinOp):
+        text = (
+            f"{_scalar(node.left, parent_tight=True)} {node.op} "
+            f"{_scalar(node.right, parent_tight=True)}"
+        )
+        return f"({text})" if parent_tight else text
+    if isinstance(node, ast.Compare):
+        return (
+            f"{_scalar(node.left, parent_tight=True)} {node.op} "
+            f"{_scalar(node.right, parent_tight=True)}"
+        )
+    if isinstance(node, ast.BoolOp):
+        joined = f" {node.op} ".join(
+            _bool_operand(operand) for operand in node.operands
+        )
+        return joined
+    if isinstance(node, ast.NotOp):
+        return f"not {_bool_operand(node.operand)}"
+    raise TQuelError(f"cannot unparse scalar node {node!r}")
+
+
+def _bool_operand(node) -> str:
+    text = _scalar(node)
+    if isinstance(node, ast.BoolOp):
+        return f"({text})"
+    return text
+
+
+def _temporal(node, operand_position: bool = False) -> str:
+    if isinstance(node, ast.TempConst):
+        return f'"{node.text}"'
+    if isinstance(node, ast.TempVar):
+        return node.var
+    if isinstance(node, ast.TempEdge):
+        return f"{node.which} of {_temporal(node.operand, True)}"
+    if isinstance(node, ast.TempBin):
+        text = (
+            f"{_temporal(node.left, True)} {node.op} "
+            f"{_temporal(node.right, True)}"
+        )
+        return f"({text})" if operand_position else text
+    raise TQuelError(f"cannot unparse temporal node {node!r}")
+
+
+def _when(node) -> str:
+    if isinstance(node, ast.BoolOp):
+        return f" {node.op} ".join(
+            _when_operand(operand) for operand in node.operands
+        )
+    if isinstance(node, ast.NotOp):
+        return f"not {_when_operand(node.operand)}"
+    return _temporal(node)
+
+
+def _when_operand(node) -> str:
+    if isinstance(node, ast.BoolOp):
+        return f"({_when(node)})"
+    if isinstance(node, ast.NotOp):
+        return f"not {_when_operand(node.operand)}"
+    return _temporal(node)
+
+
+def _targets(targets) -> str:
+    parts = []
+    for item in targets:
+        if item.name is not None:
+            parts.append(f"{item.name} = {_scalar(item.expr)}")
+        else:
+            parts.append(_scalar(item.expr))
+    return "(" + ", ".join(parts) + ")"
+
+
+def _clauses(stmt) -> str:
+    parts = []
+    valid = getattr(stmt, "valid", None)
+    if valid is not None:
+        if valid.at is not None:
+            parts.append(f"valid at {_temporal(valid.at, True)}")
+        else:
+            parts.append(
+                f"valid from {_temporal(valid.from_, True)} "
+                f"to {_temporal(valid.to, True)}"
+            )
+    if getattr(stmt, "where", None) is not None:
+        parts.append(f"where {_scalar(stmt.where)}")
+    if getattr(stmt, "when", None) is not None:
+        parts.append(f"when {_when(stmt.when)}")
+    as_of = getattr(stmt, "as_of", None)
+    if as_of is not None:
+        text = f"as of {_temporal(as_of.at, True)}"
+        if as_of.through is not None:
+            text += f" through {_temporal(as_of.through, True)}"
+        parts.append(text)
+    return (" " + " ".join(parts)) if parts else ""
+
+
+def _options(options) -> str:
+    if not options:
+        return ""
+    rendered = []
+    for name, value in options:
+        if isinstance(value, str):
+            rendered.append(f'{name} = "{value}"')
+        else:
+            rendered.append(f"{name} = {value}")
+    return " where " + ", ".join(rendered)
+
+
+def unparse(stmt) -> str:
+    """Render one statement AST as TQuel text."""
+    if isinstance(stmt, ast.RangeStmt):
+        return f"range of {stmt.var} is {stmt.relation}"
+    if isinstance(stmt, ast.RetrieveStmt):
+        head = "retrieve"
+        if stmt.into:
+            head += f" into {stmt.into}"
+        if stmt.unique:
+            head += " unique"
+        if stmt.coalesced:
+            head += " coalesced"
+        return f"{head} {_targets(stmt.targets)}{_clauses(stmt)}"
+    if isinstance(stmt, ast.AppendStmt):
+        return (
+            f"append to {stmt.relation} {_targets(stmt.targets)}"
+            f"{_clauses(stmt)}"
+        )
+    if isinstance(stmt, ast.DeleteStmt):
+        return f"delete {stmt.var}{_clauses(stmt)}"
+    if isinstance(stmt, ast.ReplaceStmt):
+        return f"replace {stmt.var} {_targets(stmt.targets)}{_clauses(stmt)}"
+    if isinstance(stmt, ast.CreateStmt):
+        head = "create"
+        if stmt.persistent:
+            head += " persistent"
+        if stmt.kind:
+            head += f" {stmt.kind}"
+        columns = ", ".join(f"{n} = {t}" for n, t in stmt.columns)
+        return f"{head} {stmt.relation} ({columns})"
+    if isinstance(stmt, ast.ModifyStmt):
+        text = f"modify {stmt.relation} to {stmt.structure}"
+        if stmt.key:
+            text += f" on {stmt.key}"
+        return text + _options(stmt.options)
+    if isinstance(stmt, ast.CopyStmt):
+        return f'copy {stmt.relation} {stmt.direction} "{stmt.path}"'
+    if isinstance(stmt, ast.DestroyStmt):
+        return "destroy " + ", ".join(stmt.relations)
+    if isinstance(stmt, ast.VacuumStmt):
+        return f"vacuum {stmt.relation} before {_temporal(stmt.before, True)}"
+    if isinstance(stmt, ast.IndexStmt):
+        return (
+            f"index on {stmt.relation} is {stmt.index_name} "
+            f"({stmt.attribute})" + _options(stmt.options)
+        )
+    raise TQuelError(f"cannot unparse statement {stmt!r}")

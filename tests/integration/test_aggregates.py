@@ -1,0 +1,222 @@
+"""Integration tests: Quel scalar aggregates in retrieve target lists."""
+
+import pytest
+
+from repro.errors import ExecutionError, TQuelSemanticError
+
+
+@pytest.fixture
+def emp(db):
+    db.execute("create emp (name = c12, dept = c8, sal = i4)")
+    db.execute("range of e is emp")
+    for name, dept, sal in (
+        ("ahn", "cs", 30000),
+        ("snodgrass", "cs", 40000),
+        ("wong", "ee", 35000),
+        ("kreps", "ee", 25000),
+    ):
+        db.execute(
+            f'append to emp (name = "{name}", dept = "{dept}", sal = {sal})'
+        )
+    return db
+
+
+class TestScalarAggregates:
+    def test_count(self, emp):
+        result = emp.execute("retrieve (n = count(e.name))")
+        assert result.rows == [(4,)]
+
+    def test_sum(self, emp):
+        result = emp.execute("retrieve (total = sum(e.sal))")
+        assert result.rows == [(130000,)]
+
+    def test_avg_is_float(self, emp):
+        result = emp.execute("retrieve (mean = avg(e.sal))")
+        assert result.rows == [(32500.0,)]
+
+    def test_min_max(self, emp):
+        result = emp.execute("retrieve (lo = min(e.sal), hi = max(e.sal))")
+        assert result.rows == [(25000, 40000)]
+
+    def test_min_of_strings(self, emp):
+        result = emp.execute("retrieve (first = min(e.name))")
+        assert result.rows == [("ahn",)]
+
+    def test_default_column_name(self, emp):
+        result = emp.execute("retrieve (count(e.name))")
+        assert result.columns == ["count"]
+
+    def test_aggregate_over_filtered_rows(self, emp):
+        result = emp.execute(
+            'retrieve (n = count(e.name), s = sum(e.sal)) '
+            'where e.dept = "cs"'
+        )
+        assert result.rows == [(2, 70000)]
+
+    def test_aggregate_of_expression(self, emp):
+        result = emp.execute("retrieve (k = sum(e.sal / 1000))")
+        assert result.rows == [(130,)]
+
+    def test_count_of_empty_result_is_zero(self, emp):
+        result = emp.execute(
+            'retrieve (n = count(e.name)) where e.dept = "music"'
+        )
+        assert result.rows == [(0,)]
+
+    def test_avg_of_empty_result_raises(self, emp):
+        with pytest.raises(ExecutionError):
+            emp.execute('retrieve (avg(e.sal)) where e.dept = "music"')
+
+    def test_aggregate_into_relation(self, emp):
+        emp.execute("retrieve into stats (n = count(e.name))")
+        emp.execute("range of s is stats")
+        assert emp.execute("retrieve (s.n)").rows == [(4,)]
+
+
+class TestByLists:
+    def test_sum_by_department(self, emp):
+        result = emp.execute(
+            "retrieve (e.dept, total = sum(e.sal by e.dept))"
+        )
+        assert sorted(result.rows) == [("cs", 70000), ("ee", 60000)]
+
+    def test_count_by_department(self, emp):
+        result = emp.execute(
+            "retrieve (e.dept, n = count(e.name by e.dept))"
+        )
+        assert sorted(result.rows) == [("cs", 2), ("ee", 2)]
+
+    def test_multiple_aggregates_per_group(self, emp):
+        result = emp.execute(
+            "retrieve (e.dept, lo = min(e.sal by e.dept), "
+            "hi = max(e.sal by e.dept))"
+        )
+        assert sorted(result.rows) == [
+            ("cs", 30000, 40000), ("ee", 25000, 35000),
+        ]
+
+    def test_grouping_respects_where(self, emp):
+        result = emp.execute(
+            "retrieve (e.dept, n = count(e.name by e.dept)) "
+            "where e.sal > 28000"
+        )
+        assert sorted(result.rows) == [("cs", 2), ("ee", 1)]
+
+    def test_group_by_expression(self, emp):
+        result = emp.execute(
+            "retrieve (band = e.sal / 10000, "
+            "n = count(e.name by e.sal / 10000))"
+        )
+        assert sorted(result.rows) == [(2, 1), (3, 2), (4, 1)]
+
+    def test_empty_input_yields_no_groups(self, emp):
+        result = emp.execute(
+            "retrieve (e.dept, n = count(e.name by e.dept)) "
+            'where e.dept = "music"'
+        )
+        assert result.rows == []
+
+    def test_plain_targets_must_match_by_list(self, emp):
+        with pytest.raises(TQuelSemanticError):
+            emp.execute("retrieve (e.name, n = count(e.name by e.dept))")
+
+    def test_mismatched_by_lists_rejected(self, emp):
+        with pytest.raises(TQuelSemanticError):
+            emp.execute(
+                "retrieve (e.dept, a = sum(e.sal by e.dept), "
+                "b = sum(e.sal by e.name))"
+            )
+
+    def test_by_list_roundtrips_through_unparser(self, emp):
+        from repro.tquel.parser import parse_statement
+        from repro.tquel.unparse import unparse
+
+        stmt = parse_statement(
+            "retrieve (e.dept, total = sum(e.sal by e.dept))"
+        )
+        assert parse_statement(unparse(stmt)) == stmt
+
+
+class TestAggregatesOverJoins:
+    def test_count_of_join(self, emp):
+        emp.execute("create dept (dname = c8)")
+        emp.execute('append to dept (dname = "cs")')
+        emp.execute("range of d is dept")
+        result = emp.execute(
+            "retrieve (n = count(e.name)) where e.dept = d.dname"
+        )
+        assert result.rows == [(2,)]
+
+
+class TestAggregatesOnTemporalRelations:
+    def test_count_versions_vs_current(self, db):
+        db.execute("create persistent interval t (id = i4, v = i4)")
+        db.execute("range of x is t")
+        db.execute("append to t (id = 1, v = 10)")
+        db.execute("replace x (v = 20) where x.id = 1")
+        all_versions = db.execute(
+            'retrieve (n = count(x.id)) as of "beginning" through "forever"'
+        )
+        assert all_versions.rows == [(3,)]
+        current = db.execute(
+            'retrieve (n = count(x.id)) when x overlap "now"'
+        )
+        assert current.rows == [(1,)]
+
+    def test_aggregate_result_has_no_valid_columns(self, db):
+        db.execute("create interval t (id = i4)")
+        db.execute("append to t (id = 1)")
+        db.execute("range of x is t")
+        result = db.execute("retrieve (n = count(x.id))")
+        assert result.columns == ["n"]
+
+
+class TestResultHelpers:
+    def test_scalar(self, emp):
+        assert emp.execute("retrieve (n = count(e.name))").scalar() == 4
+
+    def test_scalar_rejects_multirow(self, emp):
+        with pytest.raises(ValueError):
+            emp.execute("retrieve (e.name)").scalar()
+
+    def test_to_dicts(self, emp):
+        rows = emp.execute(
+            'retrieve (e.name, e.sal) where e.dept = "ee"'
+        ).to_dicts()
+        assert {"name": "wong", "sal": 35000} in rows
+
+    def test_first(self, emp):
+        assert emp.execute("retrieve (e.name) where e.sal > 39000").first() \
+            == ("snodgrass",)
+        assert emp.execute("retrieve (e.name) where e.sal > 99000").first() \
+            is None
+
+
+class TestAggregateErrors:
+    def test_aggregate_in_where_rejected(self, emp):
+        with pytest.raises(TQuelSemanticError):
+            emp.execute("retrieve (e.name) where e.sal > avg(e.sal)")
+
+    def test_mixed_targets_rejected(self, emp):
+        with pytest.raises(TQuelSemanticError):
+            emp.execute("retrieve (e.dept, n = count(e.name))")
+
+    def test_sum_of_string_rejected(self, emp):
+        with pytest.raises(TQuelSemanticError):
+            emp.execute("retrieve (s = sum(e.name))")
+
+    def test_aggregate_in_replace_rejected(self, emp):
+        with pytest.raises(TQuelSemanticError):
+            emp.execute("replace e (sal = sum(e.sal))")
+
+    def test_valid_clause_with_aggregates_rejected(self, db):
+        db.execute("create interval t (id = i4)")
+        db.execute("range of x is t")
+        with pytest.raises(TQuelSemanticError):
+            db.execute(
+                'retrieve (n = count(x.id)) valid from "1980" to "1981"'
+            )
+
+    def test_wrapped_aggregate_rejected(self, emp):
+        with pytest.raises(TQuelSemanticError):
+            emp.execute("retrieve (k = sum(e.sal) + 1)")

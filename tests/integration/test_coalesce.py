@@ -1,0 +1,125 @@
+"""Tests for coalescing (retrieve coalesced) and the period-merge utility."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import format_chronon, parse_temporal
+from repro.errors import TQuelSemanticError
+from repro.temporal.coalesce import coalesce_periods, coalesce_rows
+
+
+class TestCoalescePeriods:
+    def test_adjacent_merge(self):
+        assert coalesce_periods([(1, 5), (5, 9)]) == [(1, 9)]
+
+    def test_overlapping_merge(self):
+        assert coalesce_periods([(1, 6), (4, 9)]) == [(1, 9)]
+
+    def test_disjoint_stay_apart(self):
+        assert coalesce_periods([(1, 3), (5, 9)]) == [(1, 3), (5, 9)]
+
+    def test_unsorted_input(self):
+        assert coalesce_periods([(5, 9), (1, 5)]) == [(1, 9)]
+
+    def test_contained_period_absorbed(self):
+        assert coalesce_periods([(1, 10), (3, 4)]) == [(1, 10)]
+
+    def test_empty(self):
+        assert coalesce_periods([]) == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 100), st.integers(1, 30)
+            ).map(lambda p: (p[0], p[0] + p[1])),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merged_cover_same_chronons(self, periods):
+        merged = coalesce_periods(periods)
+        covered = {
+            t for start, stop in periods for t in range(start, stop)
+        }
+        merged_covered = {
+            t for start, stop in merged for t in range(start, stop)
+        }
+        assert merged_covered == covered
+        # Output is disjoint and non-adjacent.
+        for (_, stop), (start, __) in zip(merged, merged[1:]):
+            assert stop < start
+
+
+class TestCoalesceRows:
+    def test_groups_by_values(self):
+        rows = [
+            ("a", 1, 0, 5),
+            ("a", 1, 5, 9),
+            ("b", 1, 0, 9),
+            ("a", 2, 9, 12),
+        ]
+        assert coalesce_rows(rows, 2) == [
+            ("a", 1, 0, 9),
+            ("a", 2, 9, 12),
+            ("b", 1, 0, 9),
+        ]
+
+
+class TestRetrieveCoalesced:
+    @pytest.fixture
+    def sal(self, db):
+        db.execute("create interval sal (name = c12, monthly = i4)")
+        db.execute("range of s is sal")
+        # Three bounded stints at the same salary, back to back, then a
+        # raise: the first three coalesce.
+        for start, stop in (
+            ("1/1/82", "4/1/82"), ("4/1/82", "7/1/82"), ("7/1/82", "10/1/82"),
+        ):
+            db.execute(
+                'append to sal (name = "jane", monthly = 2600) '
+                f'valid from "{start}" to "{stop}"'
+            )
+        db.execute(
+            'append to sal (name = "jane", monthly = 3000) '
+            'valid from "10/1/82" to "forever"'
+        )
+        return db
+
+    def test_coalesces_value_equivalent_stints(self, sal):
+        plain = sal.execute('retrieve (s.monthly) where s.name = "jane"')
+        merged = sal.execute(
+            'retrieve coalesced (s.monthly) where s.name = "jane"'
+        )
+        assert len(plain.rows) == 4
+        assert len(merged.rows) == 2
+        low = next(row for row in merged.rows if row[0] == 2600)
+        assert format_chronon(low[1]).startswith("1982-01-01")
+        assert format_chronon(low[2]).startswith("1982-10-01")
+
+    def test_different_values_not_merged(self, sal):
+        merged = sal.execute(
+            'retrieve coalesced (s.name, s.monthly) where s.name = "jane"'
+        )
+        assert {row[1] for row in merged.rows} == {2600, 3000}
+
+    def test_unique_then_coalesced(self, sal):
+        result = sal.execute(
+            'retrieve unique coalesced (s.name) where s.name = "jane"'
+        )
+        # One maximal period: jane employed continuously since Jan 82.
+        assert len(result.rows) == 1
+        assert result.rows[0][2] == parse_temporal("forever")
+
+    def test_requires_interval_result(self, db):
+        db.execute("create flat (x = i4)")
+        db.execute("range of f is flat")
+        with pytest.raises(TQuelSemanticError):
+            db.execute("retrieve coalesced (f.x)")
+
+    def test_roundtrips_through_unparser(self):
+        from repro.tquel.parser import parse_statement
+        from repro.tquel.unparse import unparse
+
+        stmt = parse_statement("retrieve coalesced (s.monthly)")
+        assert stmt.coalesced
+        assert parse_statement(unparse(stmt)) == stmt

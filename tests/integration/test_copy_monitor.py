@@ -1,0 +1,191 @@
+"""Integration tests: the copy statement (batch file I/O) and the monitor."""
+
+import io
+
+import pytest
+
+from repro import FOREVER
+from repro.monitor import Monitor
+
+
+class TestCopyFiles:
+    @pytest.fixture
+    def loaded(self, db, tmp_path):
+        db.execute("create persistent interval ev (id = i4, note = c12)")
+        db.execute("range of e is ev")
+        db.execute('append to ev (id = 1, note = "alpha")')
+        db.execute('append to ev (id = 2, note = "beta")')
+        return db, tmp_path
+
+    def test_copy_out_then_in_roundtrips(self, loaded):
+        db, tmp_path = loaded
+        path = tmp_path / "ev.dat"
+        out = db.execute(f'copy ev into "{path}"')
+        assert out.count == 2
+        db.execute("create persistent interval ev2 (id = i4, note = c12)")
+        result = db.execute(f'copy ev2 from "{path}"')
+        assert result.count == 2
+        assert sorted(db.copy_out("ev2")) == sorted(db.copy_out("ev"))
+
+    def test_copy_writes_human_readable_times(self, loaded):
+        db, tmp_path = loaded
+        path = tmp_path / "ev.dat"
+        db.execute(f'copy ev into "{path}"')
+        text = path.read_text()
+        assert "forever" in text
+        assert "1980-" in text
+
+    def test_copy_in_user_width_rows(self, db, tmp_path):
+        db.execute("create plain (id = i4, note = c12)")
+        path = tmp_path / "p.dat"
+        path.write_text("1\thello\n2\tworld\n")
+        result = db.execute(f'copy plain from "{path}"')
+        assert result.count == 2
+
+    def test_copy_in_bad_arity(self, db, tmp_path):
+        from repro.errors import ExecutionError
+
+        db.execute("create plain (id = i4, note = c12)")
+        path = tmp_path / "p.dat"
+        path.write_text("1\thello\textra\tstuff\tbeyond\n")
+        with pytest.raises(ExecutionError):
+            db.execute(f'copy plain from "{path}"')
+
+    def test_programmatic_copy_in_full_width(self, db):
+        db.execute("create persistent interval t (id = i4)")
+        db.copy_in("t", [(1, 100, FOREVER, 100, FOREVER)])
+        db.execute("range of x is t")
+        assert db.execute("retrieve (x.id)").rows[0][0] == 1
+
+
+class TestMonitor:
+    def make_monitor(self, db):
+        out = io.StringIO()
+        return Monitor(db=db, out=out), out
+
+    def test_statement_and_result_table(self, db):
+        monitor, out = self.make_monitor(db)
+        monitor.handle("create emp (name = c8, sal = i4)")
+        monitor.handle('append to emp (name = "ahn", sal = 5)')
+        monitor.handle("range of e is emp")
+        monitor.handle("retrieve (e.name, e.sal)")
+        text = out.getvalue()
+        assert "ahn" in text
+        assert "1 tuple(s)" in text
+
+    def test_error_reported_not_raised(self, db):
+        monitor, out = self.make_monitor(db)
+        monitor.handle("retrieve (zz.id)")
+        assert "error:" in out.getvalue()
+
+    def test_meta_list_relations(self, db):
+        db.execute("create emp (name = c8)")
+        monitor, out = self.make_monitor(db)
+        monitor.handle("\\d")
+        assert "emp" in out.getvalue()
+
+    def test_meta_describe_relation(self, db):
+        db.execute("create persistent interval emp (name = c8)")
+        monitor, out = self.make_monitor(db)
+        monitor.handle("\\d emp")
+        text = out.getvalue()
+        assert "temporal" in text and "structure: heap" in text
+
+    def test_meta_clock(self, db):
+        monitor, out = self.make_monitor(db)
+        monitor.handle("\\clock")
+        assert "now =" in out.getvalue()
+
+    def test_meta_quit_via_run(self, db):
+        monitor, out = self.make_monitor(db)
+        monitor.run(io.StringIO("\\q\nretrieve (x.y)\n"))
+        assert "error" not in out.getvalue()
+
+    def test_io_reporting_toggle(self, db):
+        db.execute("create emp (name = c8)")
+        db.execute("range of e is emp")
+        monitor, out = self.make_monitor(db)
+        monitor.handle("\\io")  # off
+        monitor.handle("retrieve (e.name)")
+        assert "[input" not in out.getvalue()
+
+    def test_script_execution(self, db, tmp_path):
+        script = tmp_path / "setup.tql"
+        script.write_text(
+            'create emp (name = c8, sal = i4)\n'
+            'append to emp (name = "ahn", sal = 5)\n'
+            "range of e is emp\n"
+            "retrieve (e.name)\n"
+        )
+        monitor, out = self.make_monitor(db)
+        monitor.handle(f"\\i {script}")
+        assert "ahn" in out.getvalue()
+
+    def test_script_missing_file(self, db):
+        monitor, out = self.make_monitor(db)
+        monitor.handle("\\i /nonexistent/file.tql")
+        assert "error" in out.getvalue()
+
+    def test_save_and_restore(self, db, tmp_path):
+        db.execute("create emp (name = c8)")
+        db.execute('append to emp (name = "ahn")')
+        monitor, out = self.make_monitor(db)
+        monitor.handle(f"\\save {tmp_path / 'ck'}")
+        monitor.handle(f"\\restore {tmp_path / 'ck'}")
+        monitor.handle("range of e is emp")
+        monitor.handle("retrieve (e.name)")
+        text = out.getvalue()
+        assert "saved" in text and "restored" in text and "ahn" in text
+
+    def test_restore_missing_checkpoint(self, db, tmp_path):
+        monitor, out = self.make_monitor(db)
+        monitor.handle(f"\\restore {tmp_path / 'nope'}")
+        assert "error" in out.getvalue()
+
+    def test_bad_resolution_reported(self, db):
+        monitor, out = self.make_monitor(db)
+        monitor.handle("\\time fortnight")
+        assert "unknown resolution" in out.getvalue()
+
+    def test_bad_clock_advance_reported(self, db):
+        monitor, out = self.make_monitor(db)
+        monitor.handle("\\clock advance banana")
+        assert "error" in out.getvalue()
+
+    def test_unknown_meta_command(self, db):
+        monitor, out = self.make_monitor(db)
+        monitor.handle("\\frobnicate")
+        assert "unknown meta-command" in out.getvalue()
+
+    def test_line_continuation(self, db):
+        import io
+
+        monitor, out = self.make_monitor(db)
+        monitor.run(
+            io.StringIO(
+                "create emp \\\n(name = c8, sal = i4)\n"
+                'append to emp (name = "ahn", \\\n sal = 7)\n'
+                "range of e is emp\nretrieve (e.sal)\n"
+            )
+        )
+        assert "7" in out.getvalue()
+
+    def test_continuation_flushes_at_eof(self, db):
+        import io
+
+        db.execute("create emp (name = c8)")
+        db.execute('append to emp (name = "x")')
+        db.execute("range of e is emp")
+        monitor, out = self.make_monitor(db)
+        monitor.run(io.StringIO("retrieve \\\n(e.name)"))
+        assert "x" in out.getvalue()
+
+    def test_times_formatted_at_resolution(self, db):
+        db.execute("create interval t (id = i4)")
+        db.execute("append to t (id = 1)")
+        db.execute("range of x is t")
+        monitor, out = self.make_monitor(db)
+        monitor.handle("\\time year")
+        monitor.handle("retrieve (x.id)")
+        assert "1980" in out.getvalue()
+        assert "forever" in out.getvalue()

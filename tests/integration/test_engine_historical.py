@@ -1,0 +1,140 @@
+"""Integration tests: historical relations (valid time, Section 4)."""
+
+import pytest
+
+from repro import FOREVER, format_chronon
+
+
+@pytest.fixture
+def sal(db):
+    db.execute("create interval sal (name = c12, monthly = i4)")
+    db.execute("range of s is sal")
+    db.execute('append to sal (name = "jane", monthly = 2600)')
+    return db
+
+
+def versions(db, name):
+    result = db.execute(
+        f'retrieve (s.monthly, s.valid_from, s.valid_to) where s.name = "{name}"'
+    )
+    # Historical results carry their own (computed) valid columns too;
+    # take the explicit attribute projections.
+    return sorted((row[0], row[1], row[2]) for row in result.rows)
+
+
+class TestVersionSemantics:
+    def test_append_defaults_valid_from_now_to_forever(self, sal):
+        (row,) = versions(sal, "jane")
+        assert row[2] == FOREVER
+
+    def test_append_with_valid_clause(self, sal):
+        sal.execute(
+            'append to sal (name = "tom", monthly = 100) '
+            'valid from "1/1/79" to "1/1/80"'
+        )
+        (row,) = versions(sal, "tom")
+        assert format_chronon(row[1]).startswith("1979-01-01")
+        assert format_chronon(row[2]).startswith("1980-01-01")
+
+    def test_replace_closes_and_opens(self, sal):
+        sal.execute('replace s (monthly = 2900) where s.name = "jane"')
+        old, new = sorted(versions(sal, "jane"))
+        assert old[0] == 2600 and old[2] != FOREVER
+        assert new[0] == 2900 and new[2] == FOREVER
+        assert old[2] == new[1]
+
+    def test_replace_adds_exactly_one_version(self, sal):
+        sal.execute('replace s (monthly = 2900) where s.name = "jane"')
+        assert sal.relation("sal").row_count == 2
+
+    def test_retroactive_replace(self, sal):
+        sal.execute(
+            'replace s (monthly = 3000) valid from "1/1/79" to "forever" '
+            'where s.name = "jane"'
+        )
+        rows = versions(sal, "jane")
+        assert any(
+            format_chronon(start).startswith("1979") for _, start, __ in rows
+        )
+
+    def test_delete_closes_validity(self, sal):
+        sal.execute('delete s where s.name = "jane"')
+        (row,) = versions(sal, "jane")
+        assert row[2] != FOREVER
+        assert sal.relation("sal").row_count == 1
+
+    def test_deleted_not_current(self, sal):
+        sal.execute('delete s where s.name = "jane"')
+        result = sal.execute('retrieve (s.name) when s overlap "now"')
+        assert result.rows == []
+
+
+class TestHistoricalQueries:
+    def test_when_at_past_instant(self, sal):
+        t_hired = sal.clock.now()
+        sal.execute('replace s (monthly = 2900) where s.name = "jane"')
+        result = sal.execute(
+            f'retrieve (s.monthly) when s overlap "{format_chronon(t_hired)}"'
+        )
+        assert 2600 in [row[0] for row in result.rows]
+
+    def test_results_carry_valid_period(self, sal):
+        result = sal.execute("retrieve (s.monthly)")
+        assert result.columns == ["monthly", "valid_from", "valid_to"]
+
+    def test_no_when_returns_all_versions(self, sal):
+        sal.execute('replace s (monthly = 2900) where s.name = "jane"')
+        assert len(sal.execute("retrieve (s.monthly)").rows) == 2
+
+    def test_as_of_rejected(self, sal):
+        from repro.errors import TQuelSemanticError
+
+        with pytest.raises(TQuelSemanticError):
+            sal.execute('retrieve (s.monthly) as of "now"')
+
+    def test_valid_clause_computes_output_period(self, sal):
+        result = sal.execute(
+            'retrieve (s.monthly) valid from "1/1/85" to "1/1/86"'
+        )
+        (row,) = result.rows
+        assert format_chronon(row[1]).startswith("1985-01-01")
+
+
+class TestEventRelations:
+    @pytest.fixture
+    def meas(self, db):
+        db.execute("create event meas (probe = c8, value = i4)")
+        db.execute("range of m is meas")
+        return db
+
+    def test_append_event_defaults_to_now(self, meas):
+        meas.execute('append to meas (probe = "t1", value = 7)')
+        result = meas.execute("retrieve (m.value, m.valid_at)")
+        assert result.rows[0][1] <= meas.clock.now()
+
+    def test_append_event_with_valid_at(self, meas):
+        meas.execute(
+            'append to meas (probe = "t1", value = 7) valid at "2/15/80"'
+        )
+        result = meas.execute('retrieve (m.value) when m overlap "2/15/80"')
+        assert result.rows[0][0] == 7
+
+    def test_event_results_have_valid_at_column(self, meas):
+        meas.execute('append to meas (probe = "t1", value = 7)')
+        result = meas.execute("retrieve (m.value)")
+        assert "valid_from" in result.columns or "valid_at" in result.columns
+
+    def test_event_record_is_112_bytes(self, meas):
+        # id/c8 + i4 + one 4-byte valid_at on top of 12 user bytes.
+        assert meas.relation("meas").schema.record_size == 16
+
+    def test_replace_event_updates_in_place(self, meas):
+        meas.execute('append to meas (probe = "t1", value = 7)')
+        meas.execute('replace m (value = 9) where m.probe = "t1"')
+        assert meas.relation("meas").row_count == 1
+        assert meas.execute("retrieve (m.value)").rows[0][0] == 9
+
+    def test_delete_event_removes(self, meas):
+        meas.execute('append to meas (probe = "t1", value = 7)')
+        meas.execute('delete m where m.probe = "t1"')
+        assert meas.relation("meas").row_count == 0

@@ -1,0 +1,117 @@
+"""Integration tests: rollback relations (transaction time, Section 4)."""
+
+import pytest
+
+from repro import FOREVER
+
+
+@pytest.fixture
+def acct(db):
+    db.execute("create persistent acct (owner = c12, balance = i4)")
+    db.execute("range of a is acct")
+    db.execute('append to acct (owner = "lum", balance = 1000)')
+    return db
+
+
+def stamps(db, owner):
+    result = db.execute(
+        "retrieve (a.balance, a.transaction_start, a.transaction_stop) "
+        f'where a.owner = "{owner}" as of "beginning" through "forever"'
+    )
+    return sorted(result.rows, key=lambda row: row[1])
+
+
+class TestVersionSemantics:
+    def test_append_stamps_start_and_forever(self, acct):
+        (row,) = stamps(acct, "lum")
+        assert row[2] == FOREVER
+        assert row[1] <= acct.clock.now()
+
+    def test_replace_inserts_one_version(self, acct):
+        acct.execute('replace a (balance = 2000) where a.owner = "lum"')
+        assert acct.relation("acct").row_count == 2
+
+    def test_replace_stamps_old_version(self, acct):
+        acct.execute('replace a (balance = 2000) where a.owner = "lum"')
+        old, new = stamps(acct, "lum")
+        assert old[2] != FOREVER
+        assert new[2] == FOREVER
+        assert old[2] == new[1]  # stamped out exactly when the new begins
+
+    def test_delete_stamps_not_removes(self, acct):
+        acct.execute('delete a where a.owner = "lum"')
+        assert acct.relation("acct").row_count == 1
+        (row,) = stamps(acct, "lum")
+        assert row[2] != FOREVER
+
+    def test_deleted_tuple_invisible_now(self, acct):
+        acct.execute('delete a where a.owner = "lum"')
+        assert acct.execute('retrieve (a.owner) as of "now"').rows == []
+
+    def test_deleted_tuple_visible_in_past(self, acct):
+        before = acct.clock.now()
+        acct.execute('delete a where a.owner = "lum"')
+        result = acct.execute(
+            f'retrieve (a.owner) as of "{_fmt(before)}"'
+        )
+        assert result.rows == [("lum",)]
+
+    def test_replace_targets_only_current(self, acct):
+        for value in (2000, 3000, 4000):
+            acct.execute(
+                f'replace a (balance = {value}) where a.owner = "lum"'
+            )
+        # Each replace touched exactly one (the current) version.
+        assert acct.relation("acct").row_count == 4
+        result = acct.execute('retrieve (a.balance) as of "now"')
+        assert result.rows == [(4000,)]
+
+
+def _fmt(chronon):
+    from repro import format_chronon
+
+    return format_chronon(chronon)
+
+
+class TestAsOf:
+    def test_default_as_of_is_now(self, acct):
+        acct.execute('replace a (balance = 2000) where a.owner = "lum"')
+        result = acct.execute("retrieve (a.balance)")
+        assert result.rows == [(2000,)]
+
+    def test_as_of_past_reconstructs_state(self, acct):
+        t1 = acct.clock.now()
+        acct.execute('replace a (balance = 2000) where a.owner = "lum"')
+        result = acct.execute(f'retrieve (a.balance) as of "{_fmt(t1)}"')
+        assert result.rows == [(1000,)]
+
+    def test_as_of_before_creation_is_empty(self, acct):
+        result = acct.execute('retrieve (a.balance) as of "1/1/70"')
+        assert result.rows == []
+
+    def test_as_of_through_spans_versions(self, acct):
+        acct.execute('replace a (balance = 2000) where a.owner = "lum"')
+        result = acct.execute(
+            'retrieve (a.balance) as of "beginning" through "forever"'
+        )
+        assert sorted(row[0] for row in result.rows) == [1000, 2000]
+
+    def test_rollback_results_have_no_valid_columns(self, acct):
+        result = acct.execute("retrieve (a.owner)")
+        assert result.columns == ["owner"]
+
+
+class TestAuditTrailScenario:
+    def test_error_correction_preserves_history(self, acct):
+        acct.execute(
+            'replace a (balance = a.balance + 2500) where a.owner = "lum"'
+        )
+        wrong_time = acct.clock.now()
+        acct.execute('replace a (balance = 1250) where a.owner = "lum"')
+        # The erroneous state remains reconstructible.
+        result = acct.execute(
+            f'retrieve (a.balance) as of "{_fmt(wrong_time)}"'
+        )
+        assert result.rows == [(3500,)]
+        # And the current state is corrected.
+        assert acct.execute("retrieve (a.balance)").rows == [(1250,)]

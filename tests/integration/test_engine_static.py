@@ -1,0 +1,131 @@
+"""Integration tests: static relations behave like a conventional DBMS."""
+
+import pytest
+
+from repro.errors import DuplicateRelationError, UnknownRelationError
+
+
+@pytest.fixture
+def emp(db):
+    db.execute("create emp (name = c12, dept = c8, sal = i4)")
+    db.execute("range of e is emp")
+    for name, dept, sal in (
+        ("ahn", "cs", 30000),
+        ("snodgrass", "cs", 40000),
+        ("stonebraker", "ee", 50000),
+    ):
+        db.execute(
+            f'append to emp (name = "{name}", dept = "{dept}", sal = {sal})'
+        )
+    return db
+
+
+class TestCrud:
+    def test_retrieve_all(self, emp):
+        result = emp.execute("retrieve (e.name, e.sal)")
+        assert len(result.rows) == 3
+        assert result.columns == ["name", "sal"]
+
+    def test_where_filter(self, emp):
+        result = emp.execute('retrieve (e.name) where e.dept = "cs"')
+        assert sorted(row[0] for row in result.rows) == ["ahn", "snodgrass"]
+
+    def test_no_valid_columns_in_static_results(self, emp):
+        result = emp.execute("retrieve (e.name)")
+        assert result.columns == ["name"]
+
+    def test_replace_in_place(self, emp):
+        emp.execute('replace e (sal = e.sal + 1000) where e.dept = "cs"')
+        result = emp.execute('retrieve (e.sal) where e.name = "ahn"')
+        assert result.rows == [(31000,)]
+        # No version accumulated.
+        assert emp.relation("emp").row_count == 3
+
+    def test_delete_removes_physically(self, emp):
+        result = emp.execute('delete e where e.dept = "cs"')
+        assert result.count == 2
+        assert emp.relation("emp").row_count == 1
+
+    def test_delete_everything(self, emp):
+        emp.execute("delete e")
+        assert emp.execute("retrieve (e.name)").rows == []
+
+    def test_append_with_defaults(self, emp):
+        emp.execute('append to emp (name = "wong")')
+        result = emp.execute('retrieve (e.dept, e.sal) where e.name = "wong"')
+        assert result.rows == [("", 0)]
+
+    def test_when_clause_rejected(self, emp):
+        from repro.errors import TQuelSemanticError
+
+        with pytest.raises(TQuelSemanticError):
+            emp.execute('retrieve (e.name) when e overlap "now"')
+
+
+class TestDdl:
+    def test_duplicate_create_rejected(self, emp):
+        with pytest.raises(DuplicateRelationError):
+            emp.execute("create emp (x = i4)")
+
+    def test_destroy_removes_relation(self, emp):
+        emp.execute("destroy emp")
+        with pytest.raises(UnknownRelationError):
+            emp.relation("emp")
+
+    def test_destroy_clears_ranges(self, emp):
+        emp.execute("destroy emp")
+        assert "e" not in emp.ranges
+
+    def test_modify_to_hash_and_query(self, emp):
+        emp.execute("modify emp to hash on name where fillfactor = 100")
+        result = emp.execute('retrieve (e.sal) where e.name = "ahn"')
+        assert result.rows == [(30000,)]
+        assert result.input_pages == 1
+
+    def test_modify_to_isam_and_query(self, emp):
+        emp.execute("modify emp to isam on name")
+        result = emp.execute('retrieve (e.sal) where e.name = "ahn"')
+        assert result.rows == [(30000,)]
+
+    def test_modify_static_to_twolevel_rejected(self, emp):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            emp.execute("modify emp to twolevel on name")
+
+    def test_retrieve_into_creates_static_snapshot(self, emp):
+        emp.execute('retrieve into rich (e.name, e.sal) where e.sal > 35000')
+        emp.execute("range of r is rich")
+        result = emp.execute("retrieve (r.name)")
+        assert sorted(row[0] for row in result.rows) == [
+            "snodgrass", "stonebraker",
+        ]
+
+
+class TestSystemCatalogQueries:
+    def test_catalog_is_queryable(self, emp):
+        emp.execute("range of c is relations")
+        result = emp.execute('retrieve (c.relname, c.dbtype) where c.relname = "emp"')
+        assert result.rows == [("emp", "static")]
+
+    def test_attribute_catalog(self, emp):
+        emp.execute("range of a is attributes")
+        result = emp.execute(
+            'retrieve (a.attname) where a.relname = "emp"'
+        )
+        assert sorted(row[0] for row in result.rows) == [
+            "dept", "name", "sal",
+        ]
+
+    def test_system_io_not_counted_as_user(self, emp):
+        emp.execute("range of c is relations")
+        result = emp.execute("retrieve (c.relname)")
+        assert result.input_pages == 0
+        assert result.io.system.reads > 0
+
+    def test_system_relations_immutable(self, emp):
+        from repro.errors import TQuelSemanticError
+
+        emp.execute("range of c is relations")
+        with pytest.raises(TQuelSemanticError):
+            emp.execute("delete c")

@@ -1,0 +1,176 @@
+"""Integration tests: temporal (bitemporal) relations -- the Section-4
+embedding where a replace "inserts two new versions"."""
+
+import pytest
+
+from repro import FOREVER, format_chronon
+
+
+@pytest.fixture
+def part(db):
+    db.execute("create persistent interval part (pname = c12, qty = i4)")
+    db.execute("range of p is part")
+    db.execute('append to part (pname = "bolt", qty = 10)')
+    return db
+
+
+def all_versions(db):
+    result = db.execute(
+        "retrieve (p.qty, p.transaction_start, p.transaction_stop, "
+        "p.valid_from, p.valid_to) "
+        'as of "beginning" through "forever"'
+    )
+    return sorted(row[:5] for row in result.rows)
+
+
+class TestVersionSemantics:
+    def test_append_inserts_one(self, part):
+        assert part.relation("part").row_count == 1
+
+    def test_replace_inserts_two_versions(self, part):
+        part.execute('replace p (qty = 20) where p.pname = "bolt"')
+        # "each 'replace' operation in a temporal relation inserts two new
+        # versions" -- 1 original + 2 new.
+        assert part.relation("part").row_count == 3
+
+    def test_replace_version_anatomy(self, part):
+        part.execute('replace p (qty = 20) where p.pname = "bolt"')
+        rows = all_versions(part)
+        stamped = [r for r in rows if r[2] != FOREVER]
+        closed = [r for r in rows if r[2] == FOREVER and r[4] != FOREVER]
+        current = [r for r in rows if r[2] == FOREVER and r[4] == FOREVER]
+        assert len(stamped) == 1 and stamped[0][0] == 10
+        assert len(closed) == 1 and closed[0][0] == 10
+        assert len(current) == 1 and current[0][0] == 20
+        # The closing version records validity until the update instant.
+        assert closed[0][4] == current[0][3]
+
+    def test_delete_inserts_one_closing_version(self, part):
+        part.execute('delete p where p.pname = "bolt"')
+        assert part.relation("part").row_count == 2
+        rows = all_versions(part)
+        assert not any(
+            r[2] == FOREVER and r[4] == FOREVER for r in rows
+        )
+
+    def test_delete_preserves_bitemporal_history(self, part):
+        before = part.clock.now()
+        part.execute('delete p where p.pname = "bolt"')
+        # Rollback to before the delete: the part exists again.
+        result = part.execute(
+            f'retrieve (p.qty) as of "{format_chronon(before)}" '
+            f'when p overlap "{format_chronon(before)}"'
+        )
+        assert [row[0] for row in result.rows] == [10]
+
+    def test_n_replaces_make_2n_plus_1_versions(self, part):
+        for qty in (20, 30, 40, 50):
+            part.execute(f'replace p (qty = {qty}) where p.pname = "bolt"')
+        assert part.relation("part").row_count == 9
+
+
+class TestBitemporalQueries:
+    def test_current_state(self, part):
+        part.execute('replace p (qty = 20) where p.pname = "bolt"')
+        result = part.execute('retrieve (p.qty) when p overlap "now"')
+        assert [row[0] for row in result.rows] == [20]
+
+    def test_as_of_past_and_valid_past(self, part):
+        t0 = part.clock.now()
+        part.execute('replace p (qty = 20) where p.pname = "bolt"')
+        part.execute('replace p (qty = 30) where p.pname = "bolt"')
+        # As the database stood at t0, valid at t0: the original.
+        stamp = format_chronon(t0)
+        result = part.execute(
+            f'retrieve (p.qty) as of "{stamp}" when p overlap "{stamp}"'
+        )
+        assert [row[0] for row in result.rows] == [10]
+
+    def test_retroactive_change_visible_only_after_recording(self, part):
+        # Retroactively declare qty 99 valid since 1979.
+        before = part.clock.now()
+        part.execute(
+            'replace p (qty = 99) valid from "1/1/79" to "forever" '
+            'where p.pname = "bolt"'
+        )
+        stamp_before = format_chronon(before)
+        # As of before the change, 1979 had no bolt fact at all.
+        early = part.execute(
+            f'retrieve (p.qty) as of "{stamp_before}" when p overlap "6/1/79"'
+        )
+        assert early.rows == []
+        # As of now, the 1979 validity exists.
+        late = part.execute('retrieve (p.qty) when p overlap "6/1/79"')
+        assert [row[0] for row in late.rows] == [99]
+
+    def test_temporal_join_with_valid_clause(self, part):
+        part.execute("create persistent interval loc (pname = c12, bin = i4)")
+        part.execute('append to loc (pname = "bolt", bin = 7)')
+        part.execute("range of l is loc")
+        result = part.execute(
+            "retrieve (p.qty, l.bin) "
+            "valid from start of (p overlap l) to end of (p extend l) "
+            "where p.pname = l.pname when p overlap l"
+        )
+        (row,) = result.rows
+        assert row[:2] == (10, 7)
+
+    def test_default_result_period_is_intersection(self, part):
+        part.execute("create persistent interval loc (pname = c12, bin = i4)")
+        part.execute('append to loc (pname = "bolt", bin = 7)')
+        part.execute("range of l is loc")
+        result = part.execute(
+            "retrieve (p.qty, l.bin) where p.pname = l.pname "
+            "when p overlap l"
+        )
+        (row,) = result.rows
+        valid_from = row[result.columns.index("valid_from")]
+        loc_created = part.execute("retrieve (l.valid_from)").rows[0][0]
+        assert valid_from == loc_created  # the later of the two starts
+
+    def test_q11_style_precede_join(self, part):
+        part.execute('append to part (pname = "nut", qty = 5)')
+        result = part.execute(
+            "retrieve (p.qty) valid from start of p to end of p "
+            "when start of p precede p"
+        )
+        assert len(result.rows) == 2
+
+
+class TestTwoLevelStoreIntegration:
+    def test_modify_to_twolevel_preserves_contents(self, part):
+        for qty in (20, 30):
+            part.execute(f'replace p (qty = {qty}) where p.pname = "bolt"')
+        before = sorted(all_versions(part))
+        part.execute(
+            'modify part to twolevel on pname where history = "clustered"'
+        )
+        assert sorted(all_versions(part)) == before
+
+    def test_current_query_reads_primary_only(self, part):
+        for qty in range(20, 120, 10):
+            part.execute(f'replace p (qty = {qty}) where p.pname = "bolt"')
+        part.execute("modify part to twolevel on pname")
+        result = part.execute(
+            'retrieve (p.qty) where p.pname = "bolt" when p overlap "now"'
+        )
+        assert [row[0] for row in result.rows] == [110]
+        assert result.input_pages == 1
+
+    def test_version_scan_reads_history_chain(self, part):
+        for qty in range(20, 120, 10):
+            part.execute(f'replace p (qty = {qty}) where p.pname = "bolt"')
+        part.execute(
+            'modify part to twolevel on pname where history = "clustered"'
+        )
+        result = part.execute('retrieve (p.qty) where p.pname = "bolt"')
+        # 1 current + 10 closing versions are transaction-current.
+        assert len(result.rows) == 11
+
+    def test_updates_keep_working_on_twolevel(self, part):
+        part.execute("modify part to twolevel on pname")
+        part.execute('replace p (qty = 42) where p.pname = "bolt"')
+        result = part.execute('retrieve (p.qty) when p overlap "now"')
+        assert [row[0] for row in result.rows] == [42]
+        store = part.relation("part").storage
+        assert store.history_pages >= 1

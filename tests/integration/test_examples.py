@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs cleanly and prints its story."""
+
+import pathlib
+import subprocess
+import sys
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        check=True,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert "current state" in proc.stdout
+        assert "rollback" in proc.stdout
+
+    def test_employee_history(self):
+        proc = run_example("employee_history.py")
+        assert "salary history" in proc.stdout
+        assert "3000" in proc.stdout
+
+    def test_audit_rollback(self):
+        proc = run_example("audit_rollback.py")
+        assert "audit trail" in proc.stdout
+        assert "3500" in proc.stdout  # the erroneous balance is preserved
+
+    def test_engineering_versions(self):
+        proc = run_example("engineering_versions.py")
+        assert "bitemporal audit" in proc.stdout
+        assert "page reads" in proc.stdout
+
+    def test_benchmark_tour(self):
+        proc = run_example("benchmark_tour.py")
+        assert "growth rate is 2" in proc.stdout
+        assert "Figure 10" in proc.stdout
+
+    def test_workforce_analytics(self):
+        proc = run_example("workforce_analytics.py")
+        assert "headcount and payroll" in proc.stdout
+        assert "coalesced" in proc.stdout
+        assert "plan:" in proc.stdout

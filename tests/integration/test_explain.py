@@ -1,0 +1,131 @@
+"""Integration tests for EXPLAIN: the plans must match the paper's own
+narration of how each benchmark query is processed (Section 5.3)."""
+
+import pytest
+
+from repro.errors import TQuelSemanticError
+
+
+@pytest.fixture
+def bench(temporal_pair):
+    return temporal_pair
+
+
+class TestPaperQueryPlans:
+    def test_q01_hashed_access(self, bench):
+        plan = bench.explain("retrieve (h.id, h.seq) where h.id = 28")
+        assert "keyed hash access on id" in plan
+        assert "as of" in plan and "(implicit)" in plan
+
+    def test_q02_isam_access(self, bench):
+        plan = bench.explain("retrieve (i.id, i.seq) where i.id = 28")
+        assert "keyed isam access on id" in plan
+
+    def test_q03_sequential_scan(self, bench):
+        plan = bench.explain('retrieve (h.id, h.seq) as of "08:00 1/1/80"')
+        assert "sequential scan" in plan
+        assert "1980-01-01 08:00:00" in plan
+
+    def test_q09_detachment_and_substitution(self, bench):
+        # "Processing Q09 first scans an ISAM file sequentially doing
+        # selection and projection into a temporary relation.  It then
+        # performs one hashed access for each ... tuple" (Section 5.3).
+        plan = bench.explain(
+            "retrieve (h.id, i.id, i.amount) where h.id = i.amount "
+            'when h overlap i and i overlap "now"'
+        )
+        assert "detach i (ti)" in plan
+        assert "substitute depth 0: i (temporary(i))" in plan
+        assert "substitute depth 1: h (th) via keyed hash access on id" in plan
+
+    def test_q10_roles_reversed(self, bench):
+        plan = bench.explain(
+            "retrieve (i.id, h.id, h.amount) where i.id = h.amount "
+            'when h overlap i and h overlap "now"'
+        )
+        assert "detach h (th)" in plan
+        assert "keyed isam access on id" in plan
+
+    def test_q11_pure_substitution(self, bench):
+        plan = bench.explain(
+            "retrieve (h.id, i.id) when start of h precede i "
+            'as of "4:00 1/1/80"'
+        )
+        assert "detach" not in plan
+        assert "substitute depth 0: h (th) via sequential scan" in plan
+        assert "substitute depth 1: i (ti) via sequential scan" in plan
+
+    def test_q12_both_detached(self, bench):
+        plan = bench.explain(
+            "retrieve (h.id, i.amount) "
+            "where h.id = 28 and i.amount = 10010 "
+            'when h overlap i as of "now"'
+        )
+        assert plan.count("detach") == 2
+        assert "via keyed hash access on id" in plan
+
+
+class TestEnhancedPlans:
+    def test_two_level_current_only(self, bench):
+        bench.execute("modify th to twolevel on id")
+        plan = bench.explain(
+            'retrieve (h.id) where h.id = 28 when h overlap "now"'
+        )
+        assert "[primary store only]" in plan
+
+    def test_two_level_version_scan_reads_history(self, bench):
+        bench.execute("modify th to twolevel on id")
+        plan = bench.explain("retrieve (h.id) where h.id = 28")
+        assert "[primary store only]" not in plan
+
+    def test_secondary_index_path(self, bench):
+        bench.execute(
+            "index on th is amt_idx (amount) "
+            "where structure = hash, levels = 2"
+        )
+        plan = bench.explain(
+            "retrieve (h.id) where h.amount = 10010 "
+            'when h overlap "now"'
+        )
+        assert "secondary index amt_idx (hash, current index only)" in plan
+
+
+class TestOtherShapes:
+    def test_aggregate_plan(self, bench):
+        plan = bench.explain("retrieve (n = count(h.id))")
+        assert "aggregate into a single row" in plan
+
+    def test_grouped_aggregate_plan(self, bench):
+        plan = bench.explain(
+            "retrieve (h.amount, n = count(h.id by h.amount))"
+        )
+        assert "aggregate grouped by 1 expression(s)" in plan
+
+    def test_unique_and_into(self, bench):
+        plan = bench.explain("retrieve into snap unique (h.id)")
+        assert "deduplicate result rows" in plan
+        assert "store result into snap" in plan
+
+    def test_explain_rejects_updates(self, bench):
+        with pytest.raises(Exception):
+            bench.explain("delete h")
+
+    def test_explain_does_not_execute(self, bench):
+        before = bench.stats.checkpoint()
+        bench.explain(
+            "retrieve (h.id, i.id) where h.id = i.amount "
+            'when h overlap i and i overlap "now"'
+        )
+        delta = bench.stats.delta(before)
+        assert delta.input_pages == 0
+        assert delta.output_pages == 0
+
+    def test_monitor_explain(self, bench):
+        import io
+
+        from repro.monitor import Monitor
+
+        out = io.StringIO()
+        monitor = Monitor(db=bench, out=out)
+        monitor.handle("\\explain retrieve (h.id) where h.id = 28")
+        assert "keyed hash access" in out.getvalue()

@@ -1,0 +1,92 @@
+"""The paper's Figure 2 example query, end to end.
+
+    retrieve (h.id, h.seq, i.id, i.seq, i.amount)
+        valid from start of (h overlap i) to end of (h extend i)
+        where h.id = 500 and i.amount = 73700
+        when h overlap i
+        as of "1981"
+
+"The example query ... inquires the state of a database as of 1981,
+shifting back in time.  Retrieved tuples satisfy not only the 'where'
+clause, but also the 'when' clause specifying that the two tuples must
+have coexisted at some moment.  The 'valid' clause specifies the values of
+the 'valid from' and 'valid to' attributes of the result tuples."
+"""
+
+import pytest
+
+from repro import Clock, TemporalDatabase, parse_temporal
+
+FIGURE2 = (
+    "retrieve (h.id, h.seq, i.id, i.seq, i.amount) "
+    "valid from start of (h overlap i) to end of (h extend i) "
+    "where h.id = 500 and i.amount = 73700 "
+    'when h overlap i as of "1981"'
+)
+
+
+@pytest.fixture
+def database():
+    clock = Clock(start=parse_temporal("6/1/80"), tick=3600)
+    db = TemporalDatabase("figure2", clock=clock)
+    for name in ("temporal_h", "temporal_i"):
+        db.execute(
+            f"create persistent interval {name} "
+            "(id = i4, amount = i4, seq = i4, string = c96)"
+        )
+    db.execute("range of h is temporal_h")
+    db.execute("range of i is temporal_i")
+    # Recorded mid-1980: tuple 500 and the 73700 amount coexist.
+    db.execute(
+        'append to temporal_h (id = 500, amount = 11111, seq = 0, '
+        'string = "h")'
+    )
+    db.execute(
+        'append to temporal_i (id = 9, amount = 73700, seq = 0, '
+        'string = "i") valid from "7/1/80" to "forever"'
+    )
+    return db
+
+
+class TestFigure2:
+    def test_query_parses_and_answers(self, database):
+        result = database.execute(FIGURE2)
+        assert len(result.rows) == 1
+        row = dict(zip(result.columns, result.rows[0]))
+        assert (row["id"], row["id2"], row["amount"]) == (500, 9, 73700)
+
+    def test_valid_clause_computes_intersection_and_span(self, database):
+        result = database.execute(FIGURE2)
+        row = dict(zip(result.columns, result.rows[0]))
+        # 'from start of (h overlap i)': the later of the two starts
+        # (i's, recorded valid from 7/1/80)...
+        assert row["valid_from"] == parse_temporal("7/1/80")
+        # ...'to end of (h extend i)': the span's end is forever.
+        assert row["valid_to"] == parse_temporal("forever")
+
+    def test_rollback_shifts_back_in_time(self, database):
+        # Changes recorded after 1981 are invisible to the query.
+        database.clock.set(parse_temporal("6/1/82"))
+        database.execute(
+            "replace i (amount = 99999) where i.amount = 73700"
+        )
+        assert database.execute(FIGURE2).rows  # 1981 still sees 73700
+        # As of now, the surviving 73700 fact is the closing version,
+        # recording validity until the 1982 replace.
+        closing = database.execute(
+            "retrieve (i.valid_to) where i.amount = 73700"
+        )
+        assert [row[0] for row in closing.rows] == [
+            parse_temporal("6/1/82") + 3600
+        ]
+        # The Figure 2 query still joins it with h (they coexisted), the
+        # result period spanning per the valid clause.
+        now_view = database.execute(
+            FIGURE2.replace('as of "1981"', 'as of "now"')
+        )
+        row = dict(zip(now_view.columns, now_view.rows[0]))
+        assert row["valid_from"] == parse_temporal("7/1/80")
+
+    def test_before_the_facts_sees_nothing(self, database):
+        early = FIGURE2.replace('"1981"', '"1979"')
+        assert database.execute(early).rows == []

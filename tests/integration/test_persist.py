@@ -1,0 +1,163 @@
+"""Integration tests: database checkpoint/restore (repro.engine.persist).
+
+The restored database must answer queries with the same rows *and the
+same page counts* -- physical layout is part of what the benchmark
+measures.
+"""
+
+import pytest
+
+from repro import TemporalDatabase
+from repro.engine.persist import PersistError
+
+
+@pytest.fixture
+def evolved(db):
+    db.execute(
+        "create persistent interval part (id = i4, qty = i4, pad = c100)"
+    )
+    db.execute("modify part to hash on id where fillfactor = 100")
+    db.execute("range of p is part")
+    for i in range(1, 33):
+        db.execute(f"append to part (id = {i}, qty = {i * 10})")
+    for _ in range(3):
+        db.execute("replace p (qty = p.qty + 1)")
+    return db
+
+
+def checkpoint(db, tmp_path):
+    target = tmp_path / "ckpt"
+    db.save(target)
+    return TemporalDatabase.load(target)
+
+
+class TestRoundTrip:
+    def test_rows_identical(self, evolved, tmp_path):
+        restored = checkpoint(evolved, tmp_path)
+        query = 'retrieve (p.id, p.qty) as of "beginning" through "forever"'
+        assert sorted(restored.execute(query).rows) == sorted(
+            evolved.execute(query).rows
+        )
+
+    def test_page_counts_identical(self, evolved, tmp_path):
+        restored = checkpoint(evolved, tmp_path)
+        assert (
+            restored.relation("part").page_count
+            == evolved.relation("part").page_count
+        )
+
+    def test_io_costs_identical(self, evolved, tmp_path):
+        restored = checkpoint(evolved, tmp_path)
+        for query in (
+            "retrieve (p.qty) where p.id = 7",
+            'retrieve (p.qty) as of "beginning" through "forever"',
+        ):
+            assert (
+                restored.execute(query).input_pages
+                == evolved.execute(query).input_pages
+            )
+
+    def test_clock_and_ranges_survive(self, evolved, tmp_path):
+        restored = checkpoint(evolved, tmp_path)
+        assert restored.clock.now() == evolved.clock.now()
+        assert restored.ranges == evolved.ranges
+
+    def test_updates_continue_after_restore(self, evolved, tmp_path):
+        restored = checkpoint(evolved, tmp_path)
+        restored.execute("replace p (qty = p.qty + 1) where p.id = 7")
+        result = restored.execute(
+            'retrieve (p.qty) where p.id = 7 when p overlap "now"'
+        )
+        assert result.rows[0][0] == 74
+
+    def test_catalog_restored(self, evolved, tmp_path):
+        restored = checkpoint(evolved, tmp_path)
+        restored.execute("range of c is relations")
+        rows = restored.execute(
+            'retrieve (c.structure) where c.relname = "part"'
+        ).rows
+        assert rows == [("hash",)]
+
+
+class TestStructures:
+    def test_isam_restores_directory(self, db, tmp_path):
+        db.execute("create persistent r (id = i4, pad = c108)")
+        db.execute("range of x is r")
+        db.copy_in("r", [(i, "p") for i in range(1, 65)])
+        db.execute("modify r to isam on id where fillfactor = 50")
+        restored = checkpoint(db, tmp_path)
+        original_cost = db.execute("retrieve (x.id) where x.id = 34")
+        restored_cost = restored.execute("retrieve (x.id) where x.id = 34")
+        assert restored_cost.rows == original_cost.rows
+        assert restored_cost.input_pages == original_cost.input_pages
+
+    def test_two_level_store_restores_both_areas(self, db, tmp_path):
+        db.execute("create persistent interval r (id = i4, v = i4)")
+        db.execute("range of x is r")
+        for i in range(1, 9):
+            db.execute(f"append to r (id = {i}, v = 0)")
+        for _ in range(4):
+            db.execute("replace x (v = x.v + 1)")
+        db.execute(
+            'modify r to twolevel on id where history = "clustered"'
+        )
+        restored = checkpoint(db, tmp_path)
+        store = restored.relation("r").storage
+        assert store.primary_pages == db.relation("r").storage.primary_pages
+        assert store.history_pages == db.relation("r").storage.history_pages
+        query = "retrieve (x.v) where x.id = 3"
+        assert (
+            restored.execute(query).input_pages
+            == db.execute(query).input_pages
+        )
+
+    def test_secondary_index_restored_and_maintained(self, db, tmp_path):
+        db.execute("create persistent interval r (id = i4, v = i4)")
+        db.execute("modify r to hash on id")
+        db.execute("index on r is v_idx (v) where levels = 2")
+        db.execute("range of x is r")
+        for i in range(1, 9):
+            db.execute(f"append to r (id = {i}, v = {100 + i})")
+        restored = checkpoint(db, tmp_path)
+        result = restored.execute(
+            'retrieve (x.id) where x.v = 105 when x overlap "now"'
+        )
+        assert [row[0] for row in result.rows] == [5]
+        # The restored index keeps absorbing updates.
+        restored.execute("replace x (v = 999) where x.id = 5")
+        again = restored.execute(
+            'retrieve (x.id) where x.v = 999 when x overlap "now"'
+        )
+        assert [row[0] for row in again.rows] == [5]
+
+    def test_event_relation_roundtrip(self, db, tmp_path):
+        db.execute("create event m (probe = c8, value = i4)")
+        db.execute('append to m (probe = "t1", value = 7) valid at "2/15/80"')
+        restored = checkpoint(db, tmp_path)
+        restored.execute("range of e is m")
+        result = restored.execute(
+            'retrieve (e.value) when e overlap "2/15/80"'
+        )
+        assert result.rows[0][0] == 7
+
+
+class TestErrors:
+    def test_missing_checkpoint(self, tmp_path):
+        with pytest.raises(PersistError):
+            TemporalDatabase.load(tmp_path / "nowhere")
+
+    def test_corrupt_page_file(self, evolved, tmp_path):
+        target = tmp_path / "ckpt"
+        evolved.save(target)
+        (target / "part.pages").write_bytes(b"garbage")
+        with pytest.raises(PersistError):
+            TemporalDatabase.load(target)
+
+    def test_save_is_idempotent(self, evolved, tmp_path):
+        target = tmp_path / "ckpt"
+        evolved.save(target)
+        evolved.save(target)  # overwrite in place
+        restored = TemporalDatabase.load(target)
+        assert restored.relation("part").row_count == (
+            evolved.relation("part").row_count
+        )

@@ -1,0 +1,159 @@
+"""End-to-end scenario: a bitemporal room-reservation system.
+
+A single narrative test class exercising most of the system together --
+DDL, bitemporal updates with valid clauses, joins, aggregates, rollback
+audits, the two-level store, secondary indexes, and persistence -- the way
+a downstream adopter would use it.
+"""
+
+import pytest
+
+from repro import Clock, TemporalDatabase, parse_temporal
+
+
+@pytest.fixture
+def world(tmp_path):
+    clock = Clock(start=parse_temporal("1983-01-03 08:00"), tick=600)
+    db = TemporalDatabase("reservations", clock=clock)
+    db.execute("create rooms (room = c8, seats = i4)")
+    db.execute(
+        "create persistent interval booking "
+        "(room = c8, holder = c12, attendees = i4)"
+    )
+    db.execute("modify booking to hash on room")
+    db.execute("range of r is rooms")
+    db.execute("range of b is booking")
+    for room, seats in (("alpha", 4), ("beta", 10), ("gamma", 30)):
+        db.execute(f'append to rooms (room = "{room}", seats = {seats})')
+    return db, clock, tmp_path
+
+
+class TestReservationScenario:
+    def test_full_story(self, world):
+        db, clock, tmp_path = world
+
+        # Monday morning: bookings come in, valid for specific meetings.
+        # The database group holds beta for its standing meeting from the
+        # 10th onward (an open-ended validity).
+        db.execute(
+            'append to booking (room = "beta", holder = "dbgroup", '
+            "attendees = 8) "
+            'valid from "1983-01-10 09:00" to "forever"'
+        )
+        db.execute(
+            'append to booking (room = "gamma", holder = "colloq", '
+            "attendees = 25) "
+            'valid from "1983-01-10 10:00" to "1983-01-10 12:00"'
+        )
+
+        before_fix = clock.now()
+
+        # A correction: the colloquium actually expects 40 people -- too
+        # many for gamma?  The replace records the correction bitemporally.
+        db.execute(
+            'replace b (attendees = 40) where b.holder = "colloq"'
+        )
+
+        # Which bookings overflow their room, as currently believed,
+        # during their own validity?
+        result = db.execute(
+            "retrieve (b.room, b.holder, b.attendees, r.seats) "
+            "where b.room = r.room and b.attendees > r.seats"
+        )
+        overflowing = {row[1] for row in result.rows}
+        assert overflowing == {"colloq"}
+
+        # Who believed what, when?  As of before the correction the
+        # colloquium fit.
+        stamp = _fmt(before_fix)
+        audit = db.execute(
+            "retrieve (b.attendees) "
+            f'where b.holder = "colloq" as of "{stamp}" '
+            f'when b overlap "1983-01-10 10:30"'
+        )
+        assert [row[0] for row in audit.rows] == [25]
+
+        # Aggregate: total attendees across bookings valid Monday 10:30,
+        # as currently recorded.
+        total = db.execute(
+            "retrieve (t = sum(b.attendees)) "
+            'when b overlap "1983-01-10 10:30"'
+        )
+        assert total.rows == [(48,)]
+
+        # Months of churn: the dbgroup re-books weekly (the clock first
+        # moves past the original meeting so each replace closes a
+        # validity period and stores two new versions).
+        clock.set(parse_temporal("1983-02-01 08:00"))
+        for week in range(12):
+            db.execute(
+                "replace b (attendees = 8) "
+                'where b.holder = "dbgroup"'
+            )
+
+        # Performance work: the admin moves the relation to a two-level
+        # store and indexes attendees.
+        version_scan_before = db.execute(
+            'retrieve (b.attendees) where b.room = "beta"'
+        )
+        db.execute(
+            'modify booking to twolevel on room where history = "clustered"'
+        )
+        db.execute(
+            "index on booking is b_att_idx (attendees) "
+            "where structure = hash, levels = 2"
+        )
+        version_scan_after = db.execute(
+            'retrieve (b.attendees) where b.room = "beta"'
+        )
+        assert sorted(version_scan_after.rows) == sorted(
+            version_scan_before.rows
+        )
+        # (At this toy scale everything fits in a page or two; the
+        # performance claims are benchmarked at scale in benchmarks/.)
+        # The two-level win: a current-state lookup reads the primary
+        # store only -- one page, however much history beta has absorbed.
+        current = db.execute(
+            'retrieve (b.attendees) where b.room = "beta" '
+            'when b overlap "now"'
+        )
+        assert current.input_pages == 1
+
+        by_attendees = db.execute(
+            "retrieve (b.room) where b.attendees = 40 "
+            'when b overlap "1983-01-10 10:30"'
+        )
+        assert [row[0] for row in by_attendees.rows] == ["gamma"]
+        # A historical probe reads both index levels plus the data page:
+        # a handful of pages, never a scan.
+        assert by_attendees.input_pages <= 4
+
+        # Ops: nightly checkpoint, restore, and keep working.
+        db.save(tmp_path / "nightly")
+        restored = TemporalDatabase.load(tmp_path / "nightly")
+        replay = restored.execute(
+            "retrieve (b.room) where b.attendees = 40 "
+            'when b overlap "1983-01-10 10:30"'
+        )
+        assert [row[0] for row in replay.rows] == ["gamma"]
+        # Deleting the long-gone colloquium is a no-op: a fact whose
+        # validity closed in the past is history, not a target.
+        assert restored.execute('delete b where b.holder = "colloq"').count == 0
+        # Cancelling the standing dbgroup hold, however, works...
+        assert restored.execute('delete b where b.holder = "dbgroup"').count == 1
+        gone = restored.execute(
+            'retrieve (b.holder) when b overlap "1983-06-01"'
+        )
+        assert gone.rows == []
+        # ...and the audit trail still knows everything.
+        history = restored.execute(
+            'retrieve (b.holder) as of "beginning" through "forever"'
+        )
+        holders = {row[0] for row in history.rows}
+        assert holders == {"colloq", "dbgroup"}
+
+
+def _fmt(chronon):
+    from repro import format_chronon
+
+    return format_chronon(chronon)

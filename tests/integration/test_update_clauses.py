@@ -1,0 +1,82 @@
+"""Integration tests: when / as-of clauses on update statements."""
+
+import pytest
+
+from repro import format_chronon
+
+
+@pytest.fixture
+def booking(db):
+    db.execute("create persistent interval bk (room = c8, seats = i4)")
+    db.execute("range of b is bk")
+    db.execute(
+        'append to bk (room = "alpha", seats = 4) '
+        'valid from "1985-06-01" to "1985-06-30"'
+    )
+    db.execute(
+        'append to bk (room = "beta", seats = 10) '
+        'valid from "1985-07-01" to "forever"'
+    )
+    db.execute(
+        'append to bk (room = "gamma", seats = 30) '
+        'valid from "1985-08-01" to "1985-08-31"'
+    )
+    return db
+
+
+class TestWhenOnUpdates:
+    def test_delete_filtered_by_when(self, booking):
+        # Cancel only the booking that overlaps June 1985: alpha.
+        result = booking.execute(
+            'delete b when b overlap "1985-06-15"'
+        )
+        assert result.count == 1
+        remaining = booking.execute(
+            'retrieve (b.room) as of "now" when b overlap "1985-08-15"'
+        )
+        assert sorted(row[0] for row in remaining.rows) == ["beta", "gamma"]
+
+    def test_replace_filtered_by_when(self, booking):
+        result = booking.execute(
+            'replace b (seats = 12) when b overlap "1985-07-15"'
+        )
+        # Only beta's validity covers mid-July.
+        assert result.count == 1
+        rows = booking.execute(
+            'retrieve (b.room, b.seats) when b overlap "1985-08-15"'
+        ).rows
+        seats = {row[0]: row[1] for row in rows}
+        assert seats["beta"] == 12
+        assert seats["gamma"] == 30
+
+    def test_when_combined_with_where(self, booking):
+        result = booking.execute(
+            'replace b (seats = 99) where b.seats > 5 '
+            'when b overlap "1985-08-15"'
+        )
+        # beta (open-ended) and gamma both overlap August; both > 5 seats.
+        assert result.count == 2
+
+    def test_when_matching_nothing(self, booking):
+        result = booking.execute('delete b when b overlap "1970-01-05"')
+        assert result.count == 0
+
+
+class TestAsOfOnUpdates:
+    def test_update_targets_only_currently_recorded_versions(self, booking):
+        booking.execute('replace b (seats = 5) where b.room = "alpha"')
+        # A second replace touches the new current version, not the
+        # superseded one: still one target.
+        result = booking.execute(
+            'replace b (seats = 6) where b.room = "alpha"'
+        )
+        assert result.count == 1
+
+    def test_as_of_past_on_delete_misses_newer_tuples(self, booking):
+        # Two mutating statements back: only alpha had been recorded.
+        early = booking.clock.now() - 120
+        stamp = format_chronon(early)
+        result = booking.execute(f'delete b as of "{stamp}"')
+        assert result.count == 1
+        survivors = booking.execute('retrieve (b.room) as of "now"')
+        assert sorted(row[0] for row in survivors.rows) == ["beta", "gamma"]

@@ -1,0 +1,125 @@
+"""Integration tests for the vacuum statement (history pruning)."""
+
+import pytest
+
+from repro import format_chronon
+from repro.engine.integrity import check_relation
+from repro.errors import TQuelSemanticError, TQuelSyntaxError
+
+
+@pytest.fixture
+def churned(db):
+    db.execute("create persistent interval r (id = i4, v = i4, pad = c100)")
+    db.copy_in("r", [(i, 0, "p") for i in range(1, 33)])
+    db.execute("modify r to hash on id where fillfactor = 100")
+    db.execute("range of x is r")
+    for _ in range(4):
+        db.execute("replace x (v = x.v + 1)")
+    return db
+
+
+class TestVacuum:
+    def test_discards_superseded_versions(self, churned):
+        cutoff = format_chronon(churned.clock.now())
+        before = churned.relation("r").row_count
+        result = churned.execute(f'vacuum r before "{cutoff}"')
+        assert result.count > 0
+        assert churned.relation("r").row_count == before - result.count
+
+    def test_current_state_unaffected(self, churned):
+        expected = sorted(
+            churned.execute('retrieve (x.id, x.v) when x overlap "now"').rows
+        )
+        churned.execute(f'vacuum r before "{format_chronon(churned.clock.now())}"')
+        assert sorted(
+            churned.execute('retrieve (x.id, x.v) when x overlap "now"').rows
+        ) == expected
+
+    def test_reclaims_pages(self, churned):
+        before = churned.relation("r").page_count
+        churned.execute(
+            f'vacuum r before "{format_chronon(churned.clock.now())}"'
+        )
+        assert churned.relation("r").page_count < before
+
+    def test_keyed_access_cost_recovers(self, churned):
+        key = 28  # a full bucket at this scale
+        degraded = churned.execute(
+            f"retrieve (x.v) where x.id = {key}"
+        ).input_pages
+        churned.execute(
+            f'vacuum r before "{format_chronon(churned.clock.now())}"'
+        )
+        recovered = churned.execute(
+            f"retrieve (x.v) where x.id = {key}"
+        ).input_pages
+        assert recovered < degraded
+
+    def test_as_of_after_cutoff_still_works(self, churned):
+        # Keep everything after a mid-history cutoff; as-of later than the
+        # cutoff reconstructs exactly as before.
+        mid = churned.clock.now() - 120  # two replace-statements ago
+        stamp = format_chronon(mid)
+        before = sorted(
+            churned.execute(f'retrieve (x.v) as of "{stamp}"').rows
+        )
+        churned.execute(f'vacuum r before "{stamp}"')
+        assert sorted(
+            churned.execute(f'retrieve (x.v) as of "{stamp}"').rows
+        ) == before
+
+    def test_as_of_before_cutoff_is_forgotten(self, churned):
+        # The load-time state (before the first replace) is reconstructed
+        # entirely from versions the vacuum discards.
+        load_time = churned.clock.now() - 240
+        stamp = format_chronon(load_time)
+        assert len(churned.execute(f'retrieve (x.v) as of "{stamp}"').rows) == 32
+        churned.execute(
+            f'vacuum r before "{format_chronon(churned.clock.now())}"'
+        )
+        assert churned.execute(f'retrieve (x.v) as of "{stamp}"').rows == []
+
+    def test_nothing_to_discard_is_noop(self, churned):
+        result = churned.execute('vacuum r before "beginning"')
+        assert result.count == 0
+
+    def test_integrity_after_vacuum(self, churned):
+        churned.execute(
+            f'vacuum r before "{format_chronon(churned.clock.now())}"'
+        )
+        assert check_relation(churned.relation("r")) == []
+
+    def test_vacuum_two_level_store(self, churned):
+        churned.execute(
+            'modify r to twolevel on id where history = "clustered"'
+        )
+        versions_before = churned.relation("r").row_count
+        history_before = churned.relation("r").storage.history_pages
+        churned.execute(
+            f'vacuum r before "{format_chronon(churned.clock.now())}"'
+        )
+        assert churned.relation("r").row_count < versions_before
+        # Clustered history rounds pages up per tuple, so the page count
+        # can only shrink or stay; the version count always shrinks.
+        assert churned.relation("r").storage.history_pages <= history_before
+        assert check_relation(churned.relation("r")) == []
+
+    def test_requires_transaction_time(self, db):
+        db.execute("create interval h (id = i4)")
+        with pytest.raises(TQuelSemanticError):
+            db.execute('vacuum h before "now"')
+
+    def test_cutoff_must_be_constant(self, churned):
+        with pytest.raises(TQuelSemanticError):
+            churned.execute("vacuum r before start of x")
+
+    def test_syntax_requires_before(self, churned):
+        with pytest.raises(TQuelSyntaxError):
+            churned.execute('vacuum r "now"')
+
+    def test_unparse_roundtrip(self):
+        from repro.tquel.parser import parse_statement
+        from repro.tquel.unparse import unparse
+
+        stmt = parse_statement('vacuum r before "1981"')
+        assert parse_statement(unparse(stmt)) == stmt

@@ -1,0 +1,115 @@
+"""Integration tests for transaction-time zone maps."""
+
+import pytest
+
+from repro import format_chronon
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def zoned(db):
+    db.execute("create persistent interval r (id = i4, v = i4, pad = c100)")
+    db.copy_in("r", [(i, 0, "p") for i in range(1, 33)])
+    db.execute(
+        "modify r to hash on id where fillfactor = 100, zonemap = 1"
+    )
+    db.execute("range of x is r")
+    return db
+
+
+def evolve(db, steps):
+    for _ in range(steps):
+        db.execute("replace x (v = x.v + 1)")
+
+
+class TestZoneMapQueries:
+    def test_results_identical_with_and_without(self, db):
+        db.execute("create persistent interval r (id = i4, v = i4, pad = c100)")
+        db.copy_in("r", [(i, 0, "p") for i in range(1, 33)])
+        db.execute("modify r to hash on id where fillfactor = 100")
+        db.execute("range of x is r")
+        mid = db.clock.now()
+        for _ in range(4):
+            db.execute("replace x (v = x.v + 1)")
+        stamp = format_chronon(mid)
+        plain = sorted(db.execute(f'retrieve (x.v) as of "{stamp}"').rows)
+        db.execute(
+            "modify r to hash on id where fillfactor = 100, zonemap = 1"
+        )
+        zoned = sorted(db.execute(f'retrieve (x.v) as of "{stamp}"').rows)
+        assert zoned == plain
+
+    def test_asof_scan_skips_late_pages(self, zoned):
+        early = format_chronon(zoned.clock.now())
+        evolve(zoned, 4)
+        full_size = zoned.relation("r").page_count
+        result = zoned.execute(f'retrieve (x.v) as of "{early}"')
+        # Only the pages holding the original versions are read.
+        assert len(result.rows) == 32
+        assert result.input_pages < full_size // 2
+
+    def test_asof_now_reads_everything(self, zoned):
+        evolve(zoned, 3)
+        result = zoned.execute('retrieve (x.v) as of "now"')
+        assert result.input_pages == zoned.relation("r").page_count
+
+    def test_maintained_across_inserts(self, zoned):
+        early = format_chronon(zoned.clock.now())
+        evolve(zoned, 2)
+        zoned.execute("append to r (id = 999, v = 0)")
+        result = zoned.execute(f'retrieve (x.id) as of "{early}"')
+        assert (999,) not in [row[:1] for row in result.rows]
+        assert len(result.rows) == 32
+
+    def test_survives_checkpoint(self, zoned, tmp_path):
+        from repro import TemporalDatabase
+
+        early = format_chronon(zoned.clock.now())
+        evolve(zoned, 3)
+        zoned.save(tmp_path / "ck")
+        restored = TemporalDatabase.load(tmp_path / "ck")
+        original = zoned.execute(f'retrieve (x.v) as of "{early}"')
+        replica = restored.execute(f'retrieve (x.v) as of "{early}"')
+        assert sorted(replica.rows) == sorted(original.rows)
+        assert replica.input_pages == original.input_pages
+
+    def test_explain_mentions_zone_map(self, zoned):
+        evolve(zoned, 2)
+        plan = zoned.explain('retrieve (x.v) as of "1/1/80"')
+        assert "zone map prunes post-as-of pages" in plan
+
+    def test_vacuumless_alternative_to_pruning(self, zoned):
+        # The zone map recovers early-as-of cost without destroying
+        # history, unlike vacuum.
+        early = format_chronon(zoned.clock.now())
+        evolve(zoned, 4)
+        cheap = zoned.execute(f'retrieve (x.v) as of "{early}"')
+        assert len(cheap.rows) == 32  # nothing was discarded
+
+
+class TestZoneMapRules:
+    def test_requires_transaction_time(self, db):
+        db.execute("create interval h (id = i4)")
+        with pytest.raises(CatalogError):
+            db.execute("modify h to hash on id where zonemap = 1")
+
+    def test_rejected_on_two_level(self, zoned):
+        with pytest.raises(CatalogError):
+            zoned.execute(
+                "modify r to twolevel on id where zonemap = 1"
+            )
+
+    def test_modify_without_flag_disables(self, zoned):
+        zoned.execute("modify r to hash on id where fillfactor = 100")
+        assert zoned.relation("r").zone_map is None
+
+    def test_modify_with_flag_keeps_map_after_rebuild(self, zoned):
+        evolve(zoned, 2)
+        zoned.execute(
+            "modify r to isam on id where fillfactor = 100, zonemap = 1"
+        )
+        assert zoned.relation("r").zone_map is not None
+        # Map covers the new page layout.
+        assert max(zoned.relation("r").zone_map) < (
+            zoned.relation("r").page_count
+        )

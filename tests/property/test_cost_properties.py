@@ -1,0 +1,119 @@
+"""Property-based tests of the Section-5.3 cost laws.
+
+The paper's central empirical claim: input cost is *linear* in the update
+count with a slope set only by the database type and loading factor.  These
+tests generate (type, loading, probe key) combinations and check linearity
+and slope on live measurements.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro import FOREVER, parse_temporal
+from tests.conftest import make_db
+
+# 64 tuples (8 per page): the smallest scale at which the modular hash
+# leaves at least one bucket filled exactly to quota at both loadings,
+# which the exact growth laws need.
+N = 64
+
+
+def build(db_type: str, loading: int):
+    db = make_db()
+    if db_type == "rollback":
+        db.execute("create persistent r (id = i4, v = i4, pad = c104)")
+        width = 2
+    else:
+        db.execute(
+            "create persistent interval r (id = i4, v = i4, pad = c100)"
+        )
+        width = 4
+    stamp = parse_temporal("1/15/80")
+    rows = [
+        (i, 0, "p") + (stamp, FOREVER) * (width // 2)
+        for i in range(1, N + 1)
+    ]
+    db.copy_in("r", rows)
+    db.execute(f"modify r to hash on id where fillfactor = {loading}")
+    db.execute("range of x is r")
+    return db
+
+
+def full_bucket_key(loading: int) -> int:
+    """A key whose bucket is filled exactly to the fillfactor quota."""
+    quota = 8 * loading // 100
+    buckets = math.ceil(N / quota) + 1
+    counts = {}
+    for i in range(1, N + 1):
+        counts[i % buckets] = counts.get(i % buckets, 0) + 1
+    for i in range(1, N + 1):
+        if counts[i % buckets] == quota:
+            return i
+    return 1
+
+
+@st.composite
+def scenarios(draw):
+    db_type = draw(st.sampled_from(["rollback", "temporal"]))
+    loading = draw(st.sampled_from([100, 50]))
+    steps = draw(st.integers(min_value=2, max_value=4))
+    return db_type, loading, steps
+
+
+class TestGrowthLaw:
+    @given(scenarios())
+    @settings(max_examples=12, deadline=None)
+    def test_keyed_access_growth_rate(self, scenario):
+        db_type, loading, steps = scenario
+        db = build(db_type, loading)
+        key = full_bucket_key(loading)
+        text = f"retrieve (x.v) where x.id = {key}"
+        cost0 = db.execute(text).input_pages
+        even_steps = steps - steps % 2  # even endpoint: 50% is jagged
+        if even_steps == 0:
+            even_steps = 2
+        for _ in range(even_steps):
+            db.execute("replace x (v = x.v + 1)")
+        cost_n = db.execute(text).input_pages
+        multiplier = 2.0 if db_type == "temporal" else 1.0
+        expected = multiplier * loading / 100.0
+        measured = (cost_n - cost0) / even_steps
+        assert measured == expected
+
+    @given(scenarios())
+    @settings(max_examples=10, deadline=None)
+    def test_scan_cost_equals_relation_size(self, scenario):
+        db_type, loading, steps = scenario
+        db = build(db_type, loading)
+        for _ in range(steps):
+            db.execute("replace x (v = x.v + 1)")
+        cost = db.execute(
+            'retrieve (x.v) as of "beginning" through "forever"'
+        ).input_pages
+        assert cost == db.relation("r").page_count
+
+    @given(scenarios())
+    @settings(max_examples=10, deadline=None)
+    def test_cost_is_monotone_in_update_count(self, scenario):
+        db_type, loading, steps = scenario
+        db = build(db_type, loading)
+        key = full_bucket_key(loading)
+        text = f"retrieve (x.v) where x.id = {key}"
+        series = []
+        for _ in range(steps + 1):
+            series.append(db.execute(text).input_pages)
+            db.execute("replace x (v = x.v + 1)")
+        assert series == sorted(series)
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=8, deadline=None)
+    def test_prediction_formula(self, steps):
+        # cost(n) = fixed + variable * (1 + growth * n) for hashed access
+        # on the temporal relation at 100 % loading: 1 + 2n exactly.
+        db = build("temporal", 100)
+        key = full_bucket_key(100)
+        text = f"retrieve (x.v) where x.id = {key}"
+        for n in range(steps):
+            assert db.execute(text).input_pages == 1 + 2 * n
+            db.execute("replace x (v = x.v + 1)")

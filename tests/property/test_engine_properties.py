@@ -1,0 +1,382 @@
+"""Property-based tests on engine-level invariants.
+
+These drive the whole stack (TQuel -> planner -> storage) with generated
+workloads and check the version-accounting laws of Section 4 and the
+equivalence of access paths.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import make_db
+
+small_ints = st.integers(min_value=0, max_value=50)
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["append", "replace", "delete"]),
+        st.integers(min_value=1, max_value=8),  # tuple key
+        small_ints,  # value
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def apply_ops(db, operations):
+    """Replay generated operations; returns expected live keys -> value."""
+    live = {}
+    for op, key, value in operations:
+        if op == "append":
+            if key in live:
+                continue
+            db.execute(f"append to r (id = {key}, v = {value})")
+            live[key] = value
+        elif op == "replace":
+            if key not in live:
+                continue
+            db.execute(f"replace x (v = {value}) where x.id = {key}")
+            live[key] = value
+        else:
+            if key not in live:
+                continue
+            db.execute(f"delete x where x.id = {key}")
+            del live[key]
+    return live
+
+
+def current_state(db):
+    rows = db.execute('retrieve (x.id, x.v) when x overlap "now"').rows
+    return {row[0]: row[1] for row in rows}
+
+
+def current_state_rollback(db):
+    rows = db.execute('retrieve (x.id, x.v) as of "now"').rows
+    return {row[0]: row[1] for row in rows}
+
+
+class TestTemporalInvariants:
+    @given(ops)
+    @settings(max_examples=30, deadline=None)
+    def test_current_state_matches_oracle(self, operations):
+        db = make_db()
+        db.execute("create persistent interval r (id = i4, v = i4)")
+        db.execute("range of x is r")
+        live = apply_ops(db, operations)
+        assert current_state(db) == live
+
+    @given(ops)
+    @settings(max_examples=30, deadline=None)
+    def test_version_accounting(self, operations):
+        # appends insert 1, replaces 2, deletes 1 (Section 4).
+        db = make_db()
+        db.execute("create persistent interval r (id = i4, v = i4)")
+        db.execute("range of x is r")
+        live = {}
+        expected_versions = 0
+        for op, key, value in operations:
+            if op == "append" and key not in live:
+                expected_versions += 1
+                live[key] = value
+            elif op == "replace" and key in live:
+                expected_versions += 2
+                live[key] = value
+            elif op == "delete" and key in live:
+                expected_versions += 1
+                del live[key]
+        db2 = make_db()
+        db2.execute("create persistent interval r (id = i4, v = i4)")
+        db2.execute("range of x is r")
+        apply_ops(db2, operations)
+        assert db2.relation("r").row_count == expected_versions
+
+    @given(ops)
+    @settings(max_examples=20, deadline=None)
+    def test_history_is_append_only_under_updates(self, operations):
+        # Every version ever created stays retrievable bitemporally.
+        db = make_db()
+        db.execute("create persistent interval r (id = i4, v = i4)")
+        db.execute("range of x is r")
+        apply_ops(db, operations)
+        all_versions = db.execute(
+            'retrieve (x.id, x.v) as of "beginning" through "forever"'
+        ).rows
+        assert len(all_versions) == db.relation("r").row_count
+
+    @given(ops)
+    @settings(max_examples=20, deadline=None)
+    def test_past_states_immutable(self, operations):
+        # Split the workload; the state after part 1 must be exactly
+        # reconstructible after part 2 runs.
+        half = len(operations) // 2
+        db = make_db()
+        db.execute("create persistent interval r (id = i4, v = i4)")
+        db.execute("range of x is r")
+        live_mid = apply_ops(db, operations[:half])
+        from repro import format_chronon
+
+        stamp = format_chronon(db.clock.now())
+        apply_ops(db, operations[half:])
+        reconstructed = db.execute(
+            f'retrieve (x.id, x.v) as of "{stamp}" '
+            f'when x overlap "{stamp}"'
+        ).rows
+        assert {row[0]: row[1] for row in reconstructed} == live_mid
+
+
+class TestRollbackInvariants:
+    @given(ops)
+    @settings(max_examples=30, deadline=None)
+    def test_current_state_matches_oracle(self, operations):
+        db = make_db()
+        db.execute("create persistent r (id = i4, v = i4)")
+        db.execute("range of x is r")
+        live = apply_ops(db, operations)
+        assert current_state_rollback(db) == live
+
+    @given(ops)
+    @settings(max_examples=20, deadline=None)
+    def test_rollback_versions_one_per_change(self, operations):
+        db = make_db()
+        db.execute("create persistent r (id = i4, v = i4)")
+        db.execute("range of x is r")
+        live = {}
+        expected = 0
+        for op, key, value in operations:
+            if op == "append" and key not in live:
+                expected += 1
+                live[key] = value
+            elif op == "replace" and key in live:
+                expected += 1
+                live[key] = value
+            elif op == "delete" and key in live:
+                del live[key]  # delete stamps, adds nothing
+        apply_ops(
+            db2 := _fresh_rollback(), operations
+        )
+        assert db2.relation("r").row_count == expected
+
+
+def _fresh_rollback():
+    db = make_db()
+    db.execute("create persistent r (id = i4, v = i4)")
+    db.execute("range of x is r")
+    return db
+
+
+class TestHistoricalInvariants:
+    @given(ops)
+    @settings(max_examples=25, deadline=None)
+    def test_current_state_matches_oracle(self, operations):
+        db = make_db()
+        db.execute("create interval r (id = i4, v = i4)")
+        db.execute("range of x is r")
+        live = apply_ops(db, operations)
+        assert current_state(db) == live
+
+    @given(ops)
+    @settings(max_examples=20, deadline=None)
+    def test_valid_periods_per_key_never_overlap(self, operations):
+        # Without retroactive valid clauses, one tuple's versions tile
+        # time without overlapping.
+        db = make_db()
+        db.execute("create interval r (id = i4, v = i4)")
+        db.execute("range of x is r")
+        apply_ops(db, operations)
+        rows = db.execute("retrieve (x.id, x.valid_from, x.valid_to)").rows
+        by_key = {}
+        for key, valid_from, valid_to, *_ in rows:
+            by_key.setdefault(key, []).append((valid_from, valid_to))
+        for periods in by_key.values():
+            periods.sort()
+            for (_, stop), (start, __) in zip(periods, periods[1:]):
+                assert stop <= start
+
+    @given(ops)
+    @settings(max_examples=20, deadline=None)
+    def test_integrity_checker_clean_after_workload(self, operations):
+        from repro.engine.integrity import check_database
+
+        db = make_db()
+        db.execute("create persistent interval r (id = i4, v = i4)")
+        db.execute("modify r to hash on id")
+        db.execute("index on r is v_idx (v) where levels = 2")
+        db.execute("range of x is r")
+        apply_ops(db, operations)
+        assert check_database(db) == []
+
+
+class TestBTreeSoak:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=6),  # key: heavy reuse
+                st.integers(min_value=0, max_value=9),
+            ),
+            min_size=5,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_version_pileup_stays_consistent(self, updates):
+        # Interleaved replaces over few keys drive duplicate-separator
+        # splits -- the pattern that breaks naive B-tree duplicate
+        # handling.  Results must match a hash-file twin and the
+        # integrity checker must stay clean.
+        from repro.engine.integrity import check_relation
+
+        def build(structure):
+            db = make_db()
+            db.execute("create persistent interval r (id = i4, v = i4)")
+            db.execute(f"modify {'r'} to {structure} on id")
+            db.execute("range of x is r")
+            for key, _ in updates:
+                if not db.execute(
+                    f'retrieve (x.id) where x.id = {key} '
+                    'when x overlap "now"'
+                ).rows:
+                    db.execute(f"append to r (id = {key}, v = 0)")
+            for key, value in updates:
+                db.execute(
+                    f"replace x (v = {value}) where x.id = {key}"
+                )
+            return db
+
+        btree = build("btree")
+        hash_twin = build("hash")
+        for query in (
+            'retrieve (x.id, x.v) when x overlap "now"',
+            'retrieve (x.id, x.v) as of "beginning" through "forever"',
+        ):
+            assert sorted(btree.execute(query).rows) == sorted(
+                hash_twin.execute(query).rows
+            )
+        for key in range(1, 7):
+            query = f"retrieve (x.v) where x.id = {key}"
+            assert sorted(btree.execute(query).rows) == sorted(
+                hash_twin.execute(query).rows
+            )
+        assert check_relation(btree.relation("r")) == []
+
+
+class TestZoneMapEquivalence:
+    @given(ops, st.integers(min_value=0, max_value=24))
+    @settings(max_examples=20, deadline=None)
+    def test_asof_results_identical_with_zone_map(self, operations, probe):
+        from repro import format_chronon
+
+        plain = make_db()
+        plain.execute("create persistent interval r (id = i4, v = i4)")
+        plain.execute("modify r to hash on id")
+        plain.execute("range of x is r")
+        zoned = make_db()
+        zoned.execute("create persistent interval r (id = i4, v = i4)")
+        zoned.execute("modify r to hash on id where zonemap = 1")
+        zoned.execute("range of x is r")
+        apply_ops(plain, operations)
+        apply_ops(zoned, operations)
+        # Probe an as-of point somewhere inside the workload's history.
+        stamp = format_chronon(
+            min(plain.clock.now(), zoned.clock.now()) - probe * 30
+        )
+        for query in (
+            f'retrieve (x.id, x.v) as of "{stamp}"',
+            'retrieve (x.id, x.v) as of "beginning" through "forever"',
+            'retrieve (x.id, x.v) as of "now"',
+        ):
+            assert sorted(zoned.execute(query).rows) == sorted(
+                plain.execute(query).rows
+            )
+
+
+class TestPersistenceRoundTrip:
+    @given(ops, st.sampled_from(["hash", "isam", "btree", "twolevel"]))
+    @settings(max_examples=15, deadline=None)
+    def test_checkpoint_preserves_state_and_costs(
+        self, operations, structure
+    ):
+        import pathlib
+        import tempfile
+
+        from repro import TemporalDatabase
+
+        db = make_db()
+        db.execute("create persistent interval r (id = i4, v = i4)")
+        db.execute(f"modify r to {structure} on id")
+        db.execute("range of x is r")
+        apply_ops(db, operations)
+
+        with tempfile.TemporaryDirectory() as tmp:
+            target = pathlib.Path(tmp) / "db"
+            db.save(target)
+            restored = TemporalDatabase.load(target)
+
+            for query in (
+                'retrieve (x.id, x.v) when x overlap "now"',
+                'retrieve (x.id, x.v) as of "beginning" through "forever"',
+                "retrieve (x.id, x.v) where x.id = 3",
+            ):
+                original = db.execute(query)
+                replica = restored.execute(query)
+                assert sorted(original.rows) == sorted(replica.rows)
+                assert original.input_pages == replica.input_pages
+
+
+class TestAccessPathEquivalence:
+    @given(
+        ops,
+        st.sampled_from(["heap", "hash", "isam", "btree", "twolevel"]),
+        st.sampled_from([100, 50]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_storage_structure_never_changes_results(
+        self, operations, structure, fillfactor
+    ):
+        baseline = make_db()
+        baseline.execute("create persistent interval r (id = i4, v = i4)")
+        baseline.execute("range of x is r")
+        apply_ops(baseline, operations)
+
+        variant = make_db()
+        variant.execute("create persistent interval r (id = i4, v = i4)")
+        if structure == "heap":
+            variant.execute("modify r to heap")
+        else:
+            variant.execute(
+                f"modify r to {structure} on id "
+                f"where fillfactor = {fillfactor}"
+            )
+        variant.execute("range of x is r")
+        apply_ops(variant, operations)
+
+        for query in (
+            'retrieve (x.id, x.v) when x overlap "now"',
+            "retrieve (x.id, x.v) where x.id = 3",
+            'retrieve (x.id, x.v) as of "beginning" through "forever"',
+        ):
+            assert sorted(baseline.execute(query).rows) == sorted(
+                variant.execute(query).rows
+            )
+
+    @given(ops)
+    @settings(max_examples=15, deadline=None)
+    def test_secondary_index_never_changes_results(self, operations):
+        baseline = make_db()
+        baseline.execute("create persistent interval r (id = i4, v = i4)")
+        baseline.execute("modify r to hash on id")
+        baseline.execute("range of x is r")
+        apply_ops(baseline, operations)
+
+        indexed = make_db()
+        indexed.execute("create persistent interval r (id = i4, v = i4)")
+        indexed.execute("modify r to hash on id")
+        indexed.execute("index on r is v_idx (v) where levels = 2")
+        indexed.execute("range of x is r")
+        apply_ops(indexed, operations)
+
+        for probe in range(0, 51, 10):
+            query = (
+                f"retrieve (x.id, x.v) where x.v = {probe} "
+                'when x overlap "now"'
+            )
+            assert sorted(baseline.execute(query).rows) == sorted(
+                indexed.execute(query).rows
+            )

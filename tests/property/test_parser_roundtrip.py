@@ -1,0 +1,181 @@
+"""Property-based parser tests: unparse(ast) re-parses to an equal AST."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tquel import ast
+from repro.tquel.parser import parse_statement
+from repro.tquel.unparse import unparse
+
+idents = st.sampled_from(["h", "i", "emp", "t1", "rel_x"])
+attrs = st.sampled_from(["id", "amount", "seq", "name"])
+
+
+def scalar_exprs(depth=2):
+    # Negative literals lex as unary minus applied to a positive literal,
+    # so the generator produces them through UnaryOp instead.
+    leaf = st.one_of(
+        st.builds(ast.Const, st.integers(0, 1000)),
+        st.builds(ast.Const, st.sampled_from(["abc", "x y", ""])),
+        st.builds(ast.Attr, idents, attrs),
+    )
+    if depth == 0:
+        return leaf
+    sub = scalar_exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(ast.BinOp, st.sampled_from("+-*/"), sub, sub),
+        st.builds(ast.UnaryOp, st.just("-"), sub),
+    )
+
+
+def predicates(depth=2):
+    comparison = st.builds(
+        ast.Compare,
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        scalar_exprs(1),
+        scalar_exprs(1),
+    )
+    if depth == 0:
+        return comparison
+    sub = predicates(depth - 1)
+    return st.one_of(
+        comparison,
+        st.builds(
+            ast.BoolOp,
+            st.sampled_from(["and", "or"]),
+            st.tuples(sub, sub),
+        ),
+        st.builds(ast.NotOp, sub),
+    )
+
+
+def temporal_exprs(depth=2):
+    leaf = st.one_of(
+        st.builds(ast.TempVar, idents),
+        st.builds(ast.TempConst, st.sampled_from(["now", "1981", "1/1/80"])),
+    )
+    if depth == 0:
+        return leaf
+    sub = temporal_exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(ast.TempEdge, st.sampled_from(["start", "end"]), sub),
+        st.builds(
+            ast.TempBin, st.sampled_from(["overlap", "extend"]), sub, sub
+        ),
+    )
+
+
+def when_exprs(depth=2):
+    predicate = st.builds(
+        ast.TempBin,
+        st.sampled_from(["overlap", "precede"]),
+        temporal_exprs(1),
+        temporal_exprs(1),
+    )
+    if depth == 0:
+        return predicate
+    sub = when_exprs(depth - 1)
+    return st.one_of(
+        predicate,
+        st.builds(
+            ast.BoolOp, st.sampled_from(["and", "or"]), st.tuples(sub, sub)
+        ),
+        st.builds(ast.NotOp, sub),
+    )
+
+
+def targets():
+    return st.lists(
+        st.builds(
+            ast.TargetItem,
+            st.one_of(st.none(), st.sampled_from(["a", "b", "res"])),
+            scalar_exprs(1),
+        ),
+        min_size=1,
+        max_size=3,
+    ).map(tuple)
+
+
+retrieves = st.builds(
+    ast.RetrieveStmt,
+    targets=targets(),
+    into=st.none(),
+    unique=st.booleans(),
+    valid=st.one_of(
+        st.none(),
+        st.builds(ast.ValidClause, at=temporal_exprs(1)),
+        st.builds(
+            ast.ValidClause,
+            at=st.none(),
+            from_=temporal_exprs(1),
+            to=temporal_exprs(1),
+        ),
+    ),
+    where=st.one_of(st.none(), predicates(2)),
+    when=st.one_of(st.none(), when_exprs(2)),
+    as_of=st.one_of(
+        st.none(),
+        st.builds(
+            ast.AsOfClause,
+            at=st.builds(ast.TempConst, st.sampled_from(["now", "1981"])),
+            through=st.one_of(
+                st.none(),
+                st.builds(ast.TempConst, st.just("forever")),
+            ),
+        ),
+    ),
+)
+
+
+class TestRoundTrip:
+    @given(retrieves)
+    @settings(max_examples=120, deadline=None)
+    def test_retrieve_roundtrip(self, stmt):
+        assert parse_statement(unparse(stmt)) == stmt
+
+    @given(idents, targets(), st.one_of(st.none(), predicates(1)))
+    @settings(max_examples=60, deadline=None)
+    def test_replace_roundtrip(self, var, target_list, where):
+        named = tuple(
+            ast.TargetItem(name=item.name or "seq", expr=item.expr)
+            for item in target_list
+        )
+        stmt = ast.ReplaceStmt(var=var, targets=named, where=where)
+        assert parse_statement(unparse(stmt)) == stmt
+
+    @given(idents, st.one_of(st.none(), predicates(1)),
+           st.one_of(st.none(), when_exprs(1)))
+    @settings(max_examples=60, deadline=None)
+    def test_delete_roundtrip(self, var, where, when):
+        stmt = ast.DeleteStmt(var=var, where=where, when=when)
+        assert parse_statement(unparse(stmt)) == stmt
+
+    @given(
+        st.booleans(),
+        st.one_of(st.none(), st.sampled_from(["interval", "event"])),
+        st.lists(
+            st.tuples(
+                st.sampled_from(["id", "v", "pad"]),
+                st.sampled_from(["i4", "c8", "f8"]),
+            ),
+            min_size=1,
+            max_size=3,
+            unique_by=lambda c: c[0],
+        ).map(tuple),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_create_roundtrip(self, persistent, kind, columns):
+        stmt = ast.CreateStmt(
+            relation="r", columns=columns, persistent=persistent, kind=kind
+        )
+        assert parse_statement(unparse(stmt)) == stmt
+
+    def test_figure4_queries_roundtrip_stably(self):
+        # unparse . parse is idempotent on the paper's benchmark queries.
+        from tests.unit.test_parser import TestPaperFigure4
+
+        for query in TestPaperFigure4.QUERIES:
+            first = parse_statement(query)
+            second = parse_statement(unparse(first))
+            assert first == second

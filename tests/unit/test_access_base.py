@@ -1,0 +1,97 @@
+"""Unit tests for the access-method base machinery (DecodeCache, rids,
+capacity rules)."""
+
+import pytest
+
+from repro.access.base import DecodeCache, effective_capacity
+from repro.access.heap import HeapFile
+from repro.errors import AccessMethodError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import Page
+from repro.storage.record import FieldSpec, RecordCodec
+
+
+def make_heap():
+    codec = RecordCodec([FieldSpec.parse("id", "i4"),
+                         FieldSpec.parse("s", "c96")])
+    pool = BufferPool()
+    heap = HeapFile(pool.create_file("h", codec.record_size), codec)
+    heap.build([(i, "x") for i in range(20)])
+    return heap, codec
+
+
+class TestEffectiveCapacity:
+    def test_full_loading(self):
+        assert effective_capacity(8, 100) == 8
+
+    def test_half_loading(self):
+        assert effective_capacity(8, 50) == 4
+
+    def test_paper_static_pages(self):
+        assert effective_capacity(9, 50) == 4  # floor, as observed
+
+    def test_never_below_one(self):
+        assert effective_capacity(8, 1) == 1
+
+    def test_bounds(self):
+        with pytest.raises(AccessMethodError):
+            effective_capacity(8, 0)
+        with pytest.raises(AccessMethodError):
+            effective_capacity(8, 101)
+
+
+class TestDecodeCache:
+    def test_caches_by_version(self):
+        codec = RecordCodec([FieldSpec.parse("id", "i4")])
+        cache = DecodeCache(codec)
+        page = Page(4)
+        page.append(codec.encode((1,)))
+        first = cache.rows(0, page)
+        assert cache.rows(0, page) is first  # same object: cache hit
+
+    def test_invalidated_on_mutation(self):
+        codec = RecordCodec([FieldSpec.parse("id", "i4")])
+        cache = DecodeCache(codec)
+        page = Page(4)
+        page.append(codec.encode((1,)))
+        cache.rows(0, page)
+        page.append(codec.encode((2,)))
+        assert cache.rows(0, page) == [(1,), (2,)]
+
+    def test_clear(self):
+        codec = RecordCodec([FieldSpec.parse("id", "i4")])
+        cache = DecodeCache(codec)
+        page = Page(4)
+        page.append(codec.encode((7,)))
+        first = cache.rows(0, page)
+        cache.clear()
+        assert cache.rows(0, page) is not first
+
+
+class TestRids:
+    def test_read_rid(self):
+        heap, _ = make_heap()
+        assert heap.read_rid((0, 3)) == (3, "x")
+
+    def test_read_rid_bad_slot(self):
+        heap, _ = make_heap()
+        with pytest.raises(AccessMethodError):
+            heap.read_rid((0, 999))
+
+    def test_update_wrong_width_rejected(self):
+        from repro.errors import RecordCodecError
+
+        heap, _ = make_heap()
+        with pytest.raises(RecordCodecError):
+            heap.update((0, 0), (1,))
+
+    def test_keyed_on_without_key(self):
+        heap, _ = make_heap()
+        assert not heap.keyed_on(0)
+
+    def test_snapshot_restore_base_meta(self):
+        heap, _ = make_heap()
+        meta = heap.snapshot_meta()
+        heap._row_count = 0
+        heap.restore_meta(meta)
+        assert heap.row_count == 20

@@ -1,0 +1,173 @@
+"""Unit and property tests for the B+-tree access method."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.access.btree import BTreeFile
+from repro.errors import AccessMethodError
+from repro.storage.buffer import BufferPool
+from repro.storage.record import FieldSpec, RecordCodec
+
+FIELDS = [("id", "i4"), ("payload", "c112")]  # 116 bytes -> 8 per leaf
+
+
+def make_tree(rows, fillfactor=100, fields=FIELDS):
+    codec = RecordCodec([FieldSpec.parse(n, t) for n, t in fields])
+    pool = BufferPool()
+    tree = BTreeFile(pool.create_file("b", codec.record_size), codec, 0)
+    tree.build(rows, fillfactor)
+    pool.flush_all()
+    pool.stats.reset()
+    return tree, pool
+
+
+def rows(n):
+    return [(i, "x") for i in range(1, n + 1)]
+
+
+class TestBuild:
+    def test_single_leaf(self):
+        tree, _ = make_tree(rows(5))
+        assert tree.height == 0
+        assert tree.page_count == 1
+
+    def test_two_levels(self):
+        tree, _ = make_tree(rows(64))
+        assert tree.height == 1
+        assert tree.leaf_pages == 8
+
+    def test_scan_is_sorted(self):
+        shuffled = [(i, "x") for i in (9, 2, 7, 1, 8, 3)]
+        tree, _ = make_tree(shuffled)
+        assert [row[0] for _, row in tree.scan()] == [1, 2, 3, 7, 8, 9]
+
+    def test_empty_build(self):
+        tree, _ = make_tree([])
+        assert list(tree.scan()) == []
+        assert list(tree.lookup(5)) == []
+
+    def test_fillfactor_leaves_space(self):
+        tree, _ = make_tree(rows(32), fillfactor=50)
+        assert tree.leaf_pages == 8
+
+    def test_requires_key(self):
+        codec = RecordCodec([FieldSpec.parse("id", "i4")])
+        with pytest.raises(AccessMethodError):
+            BTreeFile(BufferPool().create_file("b", 4), codec, None)
+
+
+class TestLookup:
+    def test_every_key_found(self):
+        tree, _ = make_tree(rows(100))
+        for key in range(1, 101):
+            assert [row for _, row in tree.lookup(key)] == [(key, "x")]
+
+    def test_missing_keys(self):
+        tree, _ = make_tree(rows(100))
+        assert list(tree.lookup(0)) == []
+        assert list(tree.lookup(101)) == []
+
+    def test_lookup_cost_is_height_plus_leaves(self):
+        tree, pool = make_tree(rows(64))
+        list(tree.lookup(30))
+        assert pool.stats.totals().user.reads == 2  # root + leaf
+
+    def test_duplicates_across_leaves(self):
+        data = rows(6) + [(7, f"d{i}") for i in range(20)] + [(8, "y")]
+        tree, _ = make_tree(data)
+        assert len(list(tree.lookup(7))) == 20
+        assert len(list(tree.lookup(8))) == 1
+
+
+class TestInsert:
+    def test_insert_into_space(self):
+        tree, _ = make_tree(rows(4))
+        tree.insert((99, "new"))
+        assert [row for _, row in tree.lookup(99)] == [(99, "new")]
+        assert tree.page_count == 1
+
+    def test_leaf_split(self):
+        tree, _ = make_tree(rows(8))  # one full leaf
+        tree.insert((9, "y"))
+        assert tree.height == 1
+        assert [row[0] for _, row in tree.scan()] == list(range(1, 10))
+
+    def test_many_inserts_keep_order(self):
+        tree, _ = make_tree([])
+        for key in (5, 3, 8, 1, 9, 7, 2, 6, 4, 0, 15, 12, 11, 13, 14, 10):
+            tree.insert((key, f"v{key}"))
+        assert [row[0] for _, row in tree.scan()] == list(range(16))
+
+    def test_root_splits_grow_height(self):
+        tree, _ = make_tree([])
+        for key in range(500):
+            tree.insert((key, "x"))
+        assert tree.height >= 1
+        assert len(list(tree.scan())) == 500
+        for probe in (0, 250, 499):
+            assert [row for _, row in tree.lookup(probe)] == [(probe, "x")]
+
+    def test_version_pileup_clusters_per_key(self):
+        tree, pool = make_tree(rows(64))
+        for version in range(40):
+            tree.insert((30, f"v{version}"))
+        pool.flush_all()
+        pool.stats.reset()
+        found = list(tree.lookup(30))
+        assert len(found) == 41
+        # 41 versions over half-full split leaves (~8) plus the descent:
+        # far fewer pages than one per version.
+        assert pool.stats.totals().user.reads <= 12
+
+    def test_row_count_tracks_inserts(self):
+        tree, _ = make_tree(rows(10))
+        for _ in range(5):
+            tree.insert((3, "v"))
+        assert tree.row_count == 15
+
+
+class TestPersistence:
+    def test_snapshot_restore_meta(self):
+        tree, _ = make_tree(rows(64))
+        tree.insert((30, "v"))
+        meta = tree.snapshot_meta()
+        tree._root = -1
+        tree._internal = set()
+        tree.restore_meta(meta)
+        assert [row for _, row in tree.lookup(30)] == [
+            (30, "x"), (30, "v"),
+        ]
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=-50, max_value=50),
+            min_size=0,
+            max_size=60,
+        ),
+        st.lists(
+            st.integers(min_value=-50, max_value=50),
+            min_size=0,
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sorted_oracle(self, initial, inserts):
+        tree, _ = make_tree([(k, "b") for k in initial])
+        for key in inserts:
+            tree.insert((key, "i"))
+        oracle = sorted(initial + inserts)
+        assert [row[0] for _, row in tree.scan()] == oracle
+        for probe in set(oracle) | {-51, 51}:
+            expected = oracle.count(probe)
+            assert len(list(tree.lookup(probe))) == expected
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_heavy_duplicates(self, keys):
+        tree, _ = make_tree([])
+        for key in keys:
+            tree.insert((key, "v"))
+        for probe in set(keys):
+            assert len(list(tree.lookup(probe))) == keys.count(probe)

@@ -1,0 +1,197 @@
+"""Unit tests for paged files, buffer pools and I/O accounting -- the
+"1 buffer for each user relation" rule of Section 5.1."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferedFile, BufferPool
+from repro.storage.iostats import IOCounters, IOStats
+from repro.storage.pager import PagedFile
+
+
+@pytest.fixture
+def stats():
+    return IOStats()
+
+
+@pytest.fixture
+def file(stats):
+    buffered = BufferedFile("rel", 100, stats, buffers=1)
+    for _ in range(4):
+        buffered.allocate()
+    buffered.flush()
+    stats.reset()
+    return buffered
+
+
+class TestPagedFile:
+    def test_allocate_sequential_ids(self):
+        file = PagedFile(10)
+        assert [file.allocate() for _ in range(3)] == [0, 1, 2]
+        assert file.page_count == 3
+
+    def test_out_of_range(self):
+        file = PagedFile(10)
+        with pytest.raises(StorageError):
+            file.page(0)
+
+    def test_per_page_record_size_override(self):
+        file = PagedFile(100)
+        data = file.allocate()
+        directory = file.allocate(record_size=4)
+        assert file.page(data).record_size == 100
+        assert file.page(directory).record_size == 4
+
+
+class TestBufferAccounting:
+    def test_first_read_costs_one(self, file, stats):
+        file.read(0)
+        assert stats.totals().user.reads == 1
+
+    def test_rereading_buffered_page_is_free(self, file, stats):
+        file.read(0)
+        file.read(0)
+        file.read(0)
+        assert stats.totals().user.reads == 1
+
+    def test_single_buffer_evicts_on_next_page(self, file, stats):
+        file.read(0)
+        file.read(1)
+        file.read(0)  # 0 was evicted: counts again
+        assert stats.totals().user.reads == 3
+
+    def test_paper_scan_cost_equals_page_count(self, file, stats):
+        for page_id in range(4):
+            file.read(page_id)
+        assert stats.totals().user.reads == 4
+
+    def test_two_buffers_keep_two_pages(self, stats):
+        buffered = BufferedFile("rel", 100, stats, buffers=2)
+        for _ in range(3):
+            buffered.allocate()
+        buffered.flush()
+        stats.reset()
+        buffered.read(0)
+        buffered.read(1)
+        buffered.read(0)  # still resident
+        buffered.read(1)
+        assert stats.totals().user.reads == 2
+
+    def test_lru_eviction_order(self, stats):
+        buffered = BufferedFile("rel", 100, stats, buffers=2)
+        for _ in range(3):
+            buffered.allocate()
+        buffered.flush()
+        stats.reset()
+        buffered.read(0)
+        buffered.read(1)
+        buffered.read(0)  # refresh 0; 1 is now LRU
+        buffered.read(2)  # evicts 1
+        buffered.read(0)  # free
+        assert stats.totals().user.reads == 3
+
+    def test_zero_buffers_rejected(self, stats):
+        with pytest.raises(StorageError):
+            BufferedFile("rel", 100, stats, buffers=0)
+
+
+class TestWriteAccounting:
+    def test_dirty_page_costs_one_write_on_flush(self, file, stats):
+        page = file.read(0)
+        page.append(b"x" * 100)
+        file.mark_dirty(0)
+        file.flush()
+        assert stats.totals().user.writes == 1
+
+    def test_dirty_page_costs_one_write_on_eviction(self, file, stats):
+        page = file.read(0)
+        page.append(b"x" * 100)
+        file.mark_dirty(0)
+        file.read(1)  # evicts dirty page 0
+        assert stats.totals().user.writes == 1
+
+    def test_clean_eviction_costs_nothing(self, file, stats):
+        file.read(0)
+        file.read(1)
+        assert stats.totals().user.writes == 0
+
+    def test_repeated_dirtying_while_resident_is_one_write(self, file, stats):
+        page = file.read(0)
+        page.append(b"x" * 100)
+        file.mark_dirty(0)
+        page.append(b"y" * 100)
+        file.mark_dirty(0)
+        file.flush()
+        assert stats.totals().user.writes == 1
+
+    def test_mark_dirty_requires_residency(self, file):
+        file.read(0)
+        file.read(1)  # 0 evicted
+        with pytest.raises(StorageError):
+            file.mark_dirty(0)
+
+    def test_allocate_enters_dirty_without_read(self, stats):
+        buffered = BufferedFile("rel", 100, stats, buffers=1)
+        buffered.allocate()
+        buffered.flush()
+        totals = stats.totals()
+        assert totals.user.reads == 0
+        assert totals.user.writes == 1
+
+
+class TestIOStats:
+    def test_checkpoint_delta(self, stats):
+        stats.register("a")
+        stats.record_read("a")
+        before = stats.checkpoint()
+        stats.record_read("a")
+        stats.record_write("a")
+        delta = stats.delta(before)
+        assert delta.user == IOCounters(reads=1, writes=1)
+
+    def test_system_relations_separated(self, stats):
+        stats.register("relations", system=True)
+        stats.register("emp")
+        stats.record_read("relations")
+        stats.record_read("emp")
+        totals = stats.totals()
+        assert totals.user.reads == 1
+        assert totals.system.reads == 1
+        assert totals.input_pages == 1
+
+    def test_by_relation_breakdown(self, stats):
+        stats.register("a")
+        stats.register("b")
+        stats.record_read("a")
+        stats.record_read("a")
+        stats.record_write("b")
+        by_relation = stats.totals().by_relation
+        assert by_relation["a"].reads == 2
+        assert by_relation["b"].writes == 1
+
+    def test_reset(self, stats):
+        stats.register("a")
+        stats.record_read("a")
+        stats.reset()
+        assert stats.totals().user.reads == 0
+
+
+class TestBufferPool:
+    def test_pool_creates_and_replaces_files(self):
+        pool = BufferPool()
+        first = pool.create_file("rel", 100)
+        second = pool.create_file("rel", 116)
+        assert pool.file("rel") is second
+        assert first is not second
+
+    def test_unknown_file(self):
+        pool = BufferPool()
+        with pytest.raises(StorageError):
+            pool.file("ghost")
+
+    def test_flush_all(self):
+        pool = BufferPool()
+        file = pool.create_file("rel", 100)
+        file.allocate()
+        pool.flush_all()
+        assert pool.stats.totals().user.writes == 1

@@ -1,0 +1,114 @@
+"""Unit tests for chronons and the logical clock."""
+
+import pytest
+
+from repro.errors import ChrononRangeError, DateParseError
+from repro.temporal.chronon import (
+    BEGINNING,
+    CHRONON_MAX,
+    CHRONON_MIN,
+    FOREVER,
+    Clock,
+    as_chronon,
+    check_chronon,
+)
+
+
+class TestCheckChronon:
+    def test_accepts_zero(self):
+        assert check_chronon(0) == 0
+
+    def test_accepts_max(self):
+        assert check_chronon(CHRONON_MAX) == CHRONON_MAX
+
+    def test_rejects_negative(self):
+        with pytest.raises(ChrononRangeError):
+            check_chronon(-1)
+
+    def test_rejects_beyond_32_bits(self):
+        with pytest.raises(ChrononRangeError):
+            check_chronon(2**31)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ChrononRangeError):
+            check_chronon(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(ChrononRangeError):
+            check_chronon(1.5)
+
+    def test_beginning_and_forever_are_extremes(self):
+        assert BEGINNING == CHRONON_MIN
+        assert FOREVER == CHRONON_MAX
+
+
+class TestAsChronon:
+    def test_passes_ints_through(self):
+        assert as_chronon(12345) == 12345
+
+    def test_parses_strings(self):
+        assert as_chronon("forever") == FOREVER
+
+    def test_now_needs_clock(self):
+        with pytest.raises(DateParseError):
+            as_chronon("now")
+
+    def test_now_with_clock(self):
+        clock = Clock(start=1000)
+        assert as_chronon("now", clock=clock) == 1000
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ChrononRangeError):
+            as_chronon(3.14)
+
+
+class TestClock:
+    def test_default_start_is_1980(self):
+        assert Clock().now() == 315532800
+
+    def test_now_does_not_advance(self):
+        clock = Clock(start=100)
+        assert clock.now() == clock.now() == 100
+
+    def test_advance_by_tick(self):
+        clock = Clock(start=100, tick=7)
+        assert clock.advance() == 107
+        assert clock.now() == 107
+
+    def test_advance_explicit(self):
+        clock = Clock(start=100)
+        assert clock.advance(50) == 150
+
+    def test_advance_zero_allowed(self):
+        clock = Clock(start=100, tick=0)
+        assert clock.advance() == 100
+
+    def test_advance_negative_rejected(self):
+        clock = Clock(start=100)
+        with pytest.raises(ChrononRangeError):
+            clock.advance(-1)
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ChrononRangeError):
+            Clock(start=0, tick=-5)
+
+    def test_set_forward(self):
+        clock = Clock(start=100)
+        assert clock.set(500) == 500
+
+    def test_set_accepts_date_string(self):
+        clock = Clock(start=0)
+        assert clock.set("1980-01-01") == 315532800
+
+    def test_set_backwards_rejected(self):
+        clock = Clock(start=100)
+        with pytest.raises(ChrononRangeError):
+            clock.set(99)
+
+    def test_overflow_rejected(self):
+        clock = Clock(start=CHRONON_MAX)
+        with pytest.raises(ChrononRangeError):
+            clock.advance(1)
+
+    def test_repr_is_readable(self):
+        assert "Clock(" in repr(Clock(start=315532800))

@@ -1,0 +1,118 @@
+"""Unit tests for the exception hierarchy and the TQuel unparser."""
+
+import pytest
+
+from repro import errors
+from repro.tquel import ast
+from repro.tquel.parser import parse_statement
+from repro.tquel.unparse import unparse
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError)
+
+    def test_storage_family(self):
+        for cls in (
+            errors.PageOverflowError,
+            errors.RecordCodecError,
+            errors.AccessMethodError,
+        ):
+            assert issubclass(cls, errors.StorageError)
+
+    def test_language_family(self):
+        assert issubclass(errors.TQuelSyntaxError, errors.TQuelError)
+        assert issubclass(errors.TQuelSemanticError, errors.TQuelError)
+
+    def test_syntax_error_carries_position(self):
+        error = errors.TQuelSyntaxError("oops", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+    def test_catalog_family(self):
+        assert issubclass(errors.DuplicateRelationError, errors.CatalogError)
+        assert issubclass(errors.UnknownRelationError, errors.CatalogError)
+
+    def test_temporal_family(self):
+        for cls in (
+            errors.ChrononRangeError,
+            errors.DateParseError,
+            errors.IntervalError,
+        ):
+            assert issubclass(cls, errors.TemporalError)
+
+
+class TestUnparse:
+    def roundtrip(self, text):
+        stmt = parse_statement(text)
+        again = parse_statement(unparse(stmt))
+        assert stmt == again
+        return unparse(stmt)
+
+    def test_range(self):
+        assert self.roundtrip("range of h is temporal_h") == (
+            "range of h is temporal_h"
+        )
+
+    def test_retrieve_with_all_clauses(self):
+        text = self.roundtrip(
+            "retrieve (h.id, h.seq) valid from start of h to end of h "
+            'where h.id = 500 when h overlap "now" as of "1981"'
+        )
+        assert text.startswith("retrieve (h.id, h.seq) valid from")
+
+    def test_q12_roundtrips(self):
+        self.roundtrip(
+            "retrieve (h.id, h.seq, i.id, i.seq, i.amount) "
+            "valid from start of (h overlap i) to end of (h extend i) "
+            "where h.id = 500 and i.amount = 73700 "
+            'when h overlap i as of "now"'
+        )
+
+    def test_modify_with_options(self):
+        text = self.roundtrip(
+            'modify t to twolevel on id where history = "clustered", '
+            "fillfactor = 50"
+        )
+        assert 'history = "clustered"' in text
+
+    def test_index_statement(self):
+        self.roundtrip(
+            "index on t is t_idx (amount) where structure = hash, levels = 2"
+        )
+
+    def test_create_event(self):
+        assert self.roundtrip("create persistent event e (id = i4)") == (
+            "create persistent event e (id = i4)"
+        )
+
+    def test_copy(self):
+        self.roundtrip('copy t from "/tmp/x.dat"')
+
+    def test_destroy(self):
+        assert self.roundtrip("destroy a, b") == "destroy a, b"
+
+    def test_aggregate_target(self):
+        self.roundtrip("retrieve (n = count(e.id), s = sum(e.sal))")
+
+    def test_boolean_nesting_preserved(self):
+        stmt = parse_statement(
+            "retrieve (e.a) where e.a = 1 and (e.b = 2 or e.c = 3)"
+        )
+        assert parse_statement(unparse(stmt)) == stmt
+
+    def test_when_nesting_preserved(self):
+        stmt = parse_statement(
+            "retrieve (e.a) when (a overlap b or c overlap d) "
+            "and not e precede f"
+        )
+        assert parse_statement(unparse(stmt)) == stmt
+
+    def test_unparse_unknown_node_raises(self):
+        from repro.errors import TQuelError
+
+        with pytest.raises(TQuelError):
+            unparse(object())

@@ -1,0 +1,117 @@
+"""Unit tests for figure rendering and the `python -m repro.bench` CLI."""
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.enhancements import run_enhancements
+from repro.bench.nonuniform import run_nonuniform
+from repro.bench.runner import run_suite
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return run_suite(tuples=64, max_update_count=2, seed=11)
+
+
+class TestFigureRenderers:
+    def test_figure5_mentions_every_database(self, tiny_suite):
+        text = figures.figure5(tiny_suite)
+        for label in ("static/100%", "temporal/50%", "rollback/100%"):
+            assert label in text
+
+    def test_figure5_no_paper_values_off_scale(self, tiny_suite):
+        # Reduced-scale tables must not show the 1024-tuple paper numbers.
+        assert "(166)" not in figures.figure5(tiny_suite)
+
+    def test_figure6_grid_shape(self, tiny_suite):
+        text = figures.figure6(tiny_suite)
+        assert "Q01" in text and "Q12" in text
+        header = [l for l in text.splitlines() if l.startswith("query")][0]
+        assert header.split()[-1] == "2"  # update counts 0..2
+
+    def test_figure7_has_all_type_columns(self, tiny_suite):
+        text = figures.figure7(tiny_suite)
+        assert "historical/50% uc0" in text
+
+    def test_figure8_contains_ascii_plot(self, tiny_suite):
+        text = figures.figure8(tiny_suite)
+        assert "update count" in text
+        assert "o=Q01" in text
+
+    def test_figure9_sections_per_database(self, tiny_suite):
+        text = figures.figure9(tiny_suite)
+        assert text.count("Figure 9 (") == 6
+
+    def test_figure10_renders(self):
+        enh = run_enhancements(tuples=64, update_count=2, seed=11)
+        text = figures.figure10(enh)
+        assert "2lvl clustered" in text
+        assert "Index sizes" in text
+
+    def test_nonuniform_table(self):
+        result = run_nonuniform(
+            tuples=64, max_average_update_count=1, seed=11
+        )
+        text = figures.nonuniform_table(result)
+        assert "weighted avg cost" in text
+
+
+class TestComparisonCells:
+    def test_cmp_hides_matching_values(self):
+        assert figures._cmp(129, 129) == "129"
+
+    def test_cmp_shows_divergence(self):
+        assert figures._cmp(115, 166) == "115 (166)"
+
+    def test_cmp_handles_floats(self):
+        assert figures._cmp(1.99, 1.99) == "1.99"
+        assert figures._cmp(0.47, 0.5) == "0.47 (0.5)"
+
+    def test_cmp_none_measured(self):
+        assert figures._cmp(None, 5) == "-"
+
+    def test_cmp_no_paper_value(self):
+        assert figures._cmp(42, None) == "42"
+
+
+class TestBenchCli:
+    def test_single_figure(self, capsys):
+        from repro.bench.__main__ import main
+
+        # 'tiny' scale keeps this test fast; figure 5 needs the sweep.
+        assert main(["--scale", "tiny", "--figure", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "Figure 6" not in out
+
+    def test_nonuniform_only(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--scale", "tiny", "--figure", "nonuniform"]) == 0
+        assert "Section 5.4" in capsys.readouterr().out
+
+    def test_bad_scale_rejected(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--scale", "galactic"])
+
+    def test_json_dump(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.__main__ import main
+
+        target = tmp_path / "sweep.json"
+        assert main(
+            ["--scale", "tiny", "--figure", "5", "--json", str(target)]
+        ) == 0
+        data = json.loads(target.read_text())
+        assert "temporal/100%" in data
+        assert data["temporal/100%"]["costs"]["Q01"]["0"][0] == 1
+
+    def test_validate_skipped_gracefully_off_scale(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--scale", "tiny", "--figure", "5", "--validate"]) == 0
+        captured = capsys.readouterr()
+        assert "validation skipped" in captured.err

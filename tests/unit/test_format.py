@@ -1,0 +1,51 @@
+"""Unit tests for chronon output formatting (resolutions second..year)."""
+
+import pytest
+
+from repro.errors import ChrononRangeError
+from repro.temporal.chronon import BEGINNING, FOREVER
+from repro.temporal.format import Resolution, format_chronon
+from repro.temporal.parse import parse_temporal
+
+STAMP = parse_temporal("08:30:45 2/15/80")
+
+
+class TestResolutions:
+    def test_second(self):
+        assert format_chronon(STAMP) == "1980-02-15 08:30:45"
+
+    def test_minute(self):
+        assert format_chronon(STAMP, Resolution.MINUTE) == "1980-02-15 08:30"
+
+    def test_hour(self):
+        assert format_chronon(STAMP, Resolution.HOUR) == "1980-02-15 08:00"
+
+    def test_day(self):
+        assert format_chronon(STAMP, Resolution.DAY) == "1980-02-15"
+
+    def test_month(self):
+        assert format_chronon(STAMP, Resolution.MONTH) == "1980-02"
+
+    def test_year(self):
+        assert format_chronon(STAMP, Resolution.YEAR) == "1980"
+
+
+class TestSymbolic:
+    def test_forever(self):
+        assert format_chronon(FOREVER) == "forever"
+
+    def test_beginning(self):
+        assert format_chronon(BEGINNING) == "beginning"
+
+    def test_forever_at_every_resolution(self):
+        for resolution in Resolution:
+            assert format_chronon(FOREVER, resolution) == "forever"
+
+
+class TestRoundTrip:
+    def test_second_resolution_roundtrips(self):
+        assert parse_temporal(format_chronon(STAMP)) == STAMP
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ChrononRangeError):
+            format_chronon(-5)

@@ -1,0 +1,185 @@
+"""Unit and property tests for static hashing with overflow chains."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.access.hashfile import HashFile, hash_key
+from repro.errors import AccessMethodError
+from repro.storage.buffer import BufferPool
+from repro.storage.record import FieldSpec, RecordCodec
+
+FIELDS = [("id", "i4"), ("payload", "c112")]  # 116 bytes -> 8 per page
+
+
+def make_hash(rows, fillfactor=100, fields=FIELDS):
+    codec = RecordCodec([FieldSpec.parse(n, t) for n, t in fields])
+    pool = BufferPool()
+    hashed = HashFile(pool.create_file("h", codec.record_size), codec, 0)
+    hashed.build(rows, fillfactor)
+    pool.flush_all()
+    pool.stats.reset()
+    return hashed, pool
+
+
+def rows(n):
+    return [(i, "x") for i in range(1, n + 1)]
+
+
+class TestHashKey:
+    def test_int_is_mod(self):
+        assert hash_key(500, 129) == 500 % 129
+
+    def test_negative_int_in_range(self):
+        assert 0 <= hash_key(-7, 13) < 13
+
+    def test_string_deterministic(self):
+        assert hash_key("ahn", 100) == hash_key("ahn", 100)
+
+    def test_string_in_range(self):
+        assert 0 <= hash_key("snodgrass", 7) < 7
+
+    def test_float_rejected(self):
+        with pytest.raises(AccessMethodError):
+            hash_key(1.5, 10)
+
+    def test_bool_rejected(self):
+        with pytest.raises(AccessMethodError):
+            hash_key(True, 10)
+
+
+class TestBuild:
+    def test_paper_bucket_count_100pct(self):
+        # 1024 tuples at 8 per page -> 128 + 1 spare = 129 primary pages.
+        hashed, _ = make_hash(rows(1024))
+        assert hashed.buckets == 129
+        assert hashed.page_count == 129
+
+    def test_paper_bucket_count_50pct(self):
+        hashed, _ = make_hash(rows(1024), fillfactor=50)
+        assert hashed.buckets == 257
+        assert hashed.page_count == 257
+
+    def test_fillfactor_leaves_free_space(self):
+        hashed, _ = make_hash(rows(64), fillfactor=50)
+        # Quota 4 per primary page: inserts fill the gap before overflow.
+        start_pages = hashed.page_count
+        for i in range(1, 65):
+            hashed.insert((i, "v2"))
+        assert hashed.page_count == start_pages
+
+    def test_build_requires_key(self):
+        codec = RecordCodec([FieldSpec.parse("id", "i4")])
+        pool = BufferPool()
+        with pytest.raises(AccessMethodError):
+            HashFile(pool.create_file("h", 4), codec, None)
+
+    def test_insert_before_build_rejected(self):
+        codec = RecordCodec([FieldSpec.parse("id", "i4")])
+        pool = BufferPool()
+        hashed = HashFile(pool.create_file("h", 4), codec, 0)
+        with pytest.raises(AccessMethodError):
+            hashed.insert((1,))
+
+
+class TestLookup:
+    def test_finds_single_record(self):
+        hashed, _ = make_hash(rows(64))
+        assert [row for _, row in hashed.lookup(10)] == [(10, "x")]
+
+    def test_missing_key_is_empty(self):
+        hashed, _ = make_hash(rows(64))
+        assert list(hashed.lookup(9999)) == []
+
+    def test_finds_all_versions(self):
+        hashed, _ = make_hash(rows(64))
+        for seq in range(3):
+            hashed.insert((10, f"v{seq}"))
+        assert len(list(hashed.lookup(10))) == 4
+
+    def test_lookup_cost_is_chain_length(self):
+        hashed, pool = make_hash(rows(64))
+        # Fill key 10's bucket until it has exactly one overflow page.
+        for _ in range(8):
+            hashed.insert((10, "more"))
+        pool.flush_all()
+        pool.stats.reset()
+        list(hashed.lookup(10))
+        assert pool.stats.totals().user.reads == 2
+
+    def test_lookup_base_cost_is_one_page(self):
+        hashed, pool = make_hash(rows(64))
+        list(hashed.lookup(10))
+        assert pool.stats.totals().user.reads == 1
+
+
+class TestGrowth:
+    def test_overflow_chain_grows(self):
+        hashed, _ = make_hash(rows(64))
+        base = hashed.page_count
+        for _ in range(16):
+            hashed.insert((10, "v"))
+        assert hashed.page_count == base + 2
+
+    def test_insert_fills_chain_before_extending(self):
+        hashed, _ = make_hash(rows(8, ))
+        # Single bucket relation? rows(8) -> buckets = 2; use one key's bucket.
+        base = hashed.page_count
+        for _ in range(4):
+            hashed.insert((2, "v"))
+        grown_once = hashed.page_count
+        assert grown_once <= base + 1
+
+    def test_scan_sees_primary_and_overflow(self):
+        hashed, _ = make_hash(rows(64))
+        for _ in range(20):
+            hashed.insert((10, "v"))
+        assert len(list(hashed.scan())) == 84
+
+    def test_scan_cost_is_total_pages(self):
+        hashed, pool = make_hash(rows(64))
+        for _ in range(20):
+            hashed.insert((10, "v"))
+        pool.flush_all()
+        pool.stats.reset()
+        list(hashed.scan())
+        assert pool.stats.totals().user.reads == hashed.page_count
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=1,
+            max_size=60,
+        ),
+        st.sampled_from([100, 50, 25]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lookup_equals_filtered_scan(self, keys, fillfactor):
+        hashed, _ = make_hash(
+            [(k, "p") for k in keys], fillfactor=fillfactor
+        )
+        probe = keys[0]
+        via_lookup = sorted(row for _, row in hashed.lookup(probe))
+        via_scan = sorted(
+            row for _, row in hashed.scan() if row[0] == probe
+        )
+        assert via_lookup == via_scan
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=100), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scan_preserves_multiset(self, keys):
+        hashed, _ = make_hash([(k, "p") for k in keys])
+        scanned = sorted(row[0] for _, row in hashed.scan())
+        assert scanned == sorted(keys)
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_every_record_reachable_by_its_key(self, n):
+        hashed, _ = make_hash(rows(n))
+        for key in (1, n // 2 + 1, n):
+            assert (key, "x") in [row for _, row in hashed.lookup(key)]

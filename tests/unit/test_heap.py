@@ -1,0 +1,97 @@
+"""Unit tests for heap files."""
+
+import pytest
+
+from repro.access.heap import HeapFile
+from repro.errors import AccessMethodError
+from repro.storage.buffer import BufferPool
+from repro.storage.record import FieldSpec, RecordCodec
+
+
+def make_heap(record_fields=(("id", "i4"), ("name", "c96"))):
+    codec = RecordCodec([FieldSpec.parse(n, t) for n, t in record_fields])
+    pool = BufferPool()
+    heap = HeapFile(pool.create_file("h", codec.record_size), codec)
+    return heap, pool
+
+
+class TestBuild:
+    def test_build_fills_pages_completely(self):
+        heap, _ = make_heap()
+        heap.build([(i, "x") for i in range(100)])
+        # 100-byte records, 10 per page -> 10 pages.
+        assert heap.page_count == 10
+        assert heap.row_count == 100
+
+    def test_build_respects_fillfactor(self):
+        heap, _ = make_heap()
+        heap.build([(i, "x") for i in range(100)], fillfactor=50)
+        assert heap.page_count == 20
+
+    def test_build_requires_empty(self):
+        heap, _ = make_heap()
+        heap.build([(1, "a")])
+        with pytest.raises(AccessMethodError):
+            heap.build([(2, "b")])
+
+    def test_empty_build(self):
+        heap, _ = make_heap()
+        heap.build([])
+        assert heap.page_count == 0
+        assert list(heap.scan()) == []
+
+
+class TestInsertScan:
+    def test_insert_appends_to_tail(self):
+        heap, _ = make_heap()
+        heap.build([])
+        rid1 = heap.insert((1, "a"))
+        rid2 = heap.insert((2, "b"))
+        assert rid1 == (0, 0)
+        assert rid2 == (0, 1)
+
+    def test_insert_allocates_new_page_when_full(self):
+        heap, _ = make_heap()
+        heap.build([(i, "x") for i in range(10)])  # exactly one page
+        rid = heap.insert((10, "y"))
+        assert rid[0] == 1
+
+    def test_scan_returns_everything_in_order(self):
+        heap, _ = make_heap()
+        rows = [(i, f"r{i}") for i in range(25)]
+        heap.build(rows)
+        assert [row for _, row in heap.scan()] == rows
+
+    def test_scan_cost_is_page_count(self):
+        heap, pool = make_heap()
+        heap.build([(i, "x") for i in range(25)])
+        pool.flush_all()
+        pool.stats.reset()
+        list(heap.scan())
+        assert pool.stats.totals().user.reads == heap.page_count
+
+    def test_lookup_refused(self):
+        heap, _ = make_heap()
+        heap.build([])
+        with pytest.raises(AccessMethodError):
+            list(heap.lookup(1))
+
+    def test_keyed_on_always_false(self):
+        heap, _ = make_heap()
+        assert not heap.keyed_on(0)
+
+
+class TestUpdateDelete:
+    def test_update_in_place(self):
+        heap, _ = make_heap()
+        heap.build([(1, "a"), (2, "b")])
+        heap.update((0, 0), (1, "changed"))
+        assert heap.read_rid((0, 0)) == (1, "changed")
+
+    def test_delete_shrinks_row_count(self):
+        heap, _ = make_heap()
+        heap.build([(1, "a"), (2, "b"), (3, "c")])
+        heap.delete((0, 1))
+        assert heap.row_count == 2
+        remaining = sorted(row for _, row in heap.scan())
+        assert remaining == [(1, "a"), (3, "c")]

@@ -1,0 +1,178 @@
+"""Unit and property tests for the period algebra behind TQuel operators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IntervalError
+from repro.temporal.chronon import FOREVER
+from repro.temporal.interval import Period, extend, overlaps, precedes
+
+chronons = st.integers(min_value=0, max_value=FOREVER - 1)
+
+
+def periods():
+    return st.builds(
+        lambda a, b: Period(min(a, b), max(a, b) + 1), chronons, chronons
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        period = Period(10, 20)
+        assert period.start == 10
+        assert period.stop == 20
+        assert period.duration() == 10
+
+    def test_rejects_empty(self):
+        with pytest.raises(IntervalError):
+            Period(10, 10)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(IntervalError):
+            Period(20, 10)
+
+    def test_event_is_single_chronon(self):
+        event = Period.event(5)
+        assert event.is_event
+        assert event.duration() == 1
+
+    def test_event_of_period_is_identity(self):
+        period = Period(1, 9)
+        assert Period.event(period) is period
+
+    def test_event_at_forever_pins_to_last_chronon(self):
+        event = Period.event(FOREVER)
+        assert event.stop == FOREVER
+        assert event.is_event
+
+    def test_current_flag(self):
+        assert Period(0, FOREVER).is_current
+        assert not Period(0, 10).is_current
+
+
+class TestContainsAndOverlap:
+    def test_contains_start(self):
+        assert Period(10, 20).contains(10)
+
+    def test_excludes_stop(self):
+        assert not Period(10, 20).contains(20)
+
+    def test_overlap_shared_chronon(self):
+        assert Period(0, 10).overlaps(Period(9, 20))
+
+    def test_no_overlap_when_adjacent(self):
+        # Half-open: [0,10) and [10,20) share nothing.
+        assert not Period(0, 10).overlaps(Period(10, 20))
+
+    def test_overlap_with_bare_chronon(self):
+        assert Period(0, 10).overlaps(5)
+        assert not Period(0, 10).overlaps(10)
+
+    def test_current_tuple_overlaps_now(self):
+        # The Q05-Q10 idiom: stop == FOREVER means current.
+        assert Period(100, FOREVER).overlaps(10**9)
+
+
+class TestExtendIntersect:
+    def test_extend_spans(self):
+        assert Period(0, 5).extend(Period(10, 20)) == Period(0, 20)
+
+    def test_extend_contained(self):
+        assert Period(0, 20).extend(Period(5, 6)) == Period(0, 20)
+
+    def test_intersect_overlapping(self):
+        assert Period(0, 10).intersect(Period(5, 20)) == Period(5, 10)
+
+    def test_intersect_disjoint_is_none(self):
+        assert Period(0, 10).intersect(Period(10, 20)) is None
+
+
+class TestPrecede:
+    def test_strictly_before(self):
+        assert Period(0, 5).precedes(Period(10, 20))
+
+    def test_meets_at_endpoint(self):
+        # TQuel: an interval precedes the event at its own last chronon.
+        assert Period(0, 5).precedes(Period.event(4))
+
+    def test_overlapping_does_not_precede(self):
+        assert not Period(0, 10).precedes(Period(5, 20))
+
+    def test_q11_semantics(self):
+        # 'start of h precede i': h's first chronon is not after i starts.
+        h = Period(100, 200)
+        i = Period(150, 300)
+        assert h.start_event().precedes(i)
+
+
+class TestEdges:
+    def test_start_event(self):
+        assert Period(10, 20).start_event() == Period(10, 11)
+
+    def test_end_event(self):
+        assert Period(10, 20).end_event() == Period(19, 20)
+
+    def test_end_of_current_is_forever(self):
+        assert Period(10, FOREVER).end_event().stop == FOREVER
+
+
+class TestFunctionForms:
+    def test_overlaps_function(self):
+        assert overlaps(5, Period(0, 10))
+
+    def test_extend_function(self):
+        assert extend(5, 10) == Period(5, 11)
+
+    def test_precedes_function(self):
+        assert precedes(5, 10)
+        assert not precedes(10, 5)
+
+
+class TestProperties:
+    @given(periods(), periods())
+    def test_overlap_is_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(periods(), periods())
+    def test_extend_is_commutative(self, a, b):
+        assert a.extend(b) == b.extend(a)
+
+    @given(periods(), periods())
+    def test_extend_covers_both(self, a, b):
+        span = a.extend(b)
+        assert span.start <= a.start and span.stop >= a.stop
+        assert span.start <= b.start and span.stop >= b.stop
+
+    @given(periods(), periods())
+    def test_intersect_symmetric(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(periods(), periods())
+    def test_overlap_iff_intersection(self, a, b):
+        assert a.overlaps(b) == (a.intersect(b) is not None)
+
+    @given(periods(), periods())
+    def test_intersection_within_extend(self, a, b):
+        shared = a.intersect(b)
+        if shared is not None:
+            span = a.extend(b)
+            assert span.start <= shared.start <= shared.stop <= span.stop
+
+    @given(periods(), periods())
+    def test_disjoint_periods_ordered_by_precede(self, a, b):
+        if not a.overlaps(b) and a.stop <= b.start:
+            assert a.precedes(b)
+
+    @given(periods())
+    def test_period_overlaps_itself(self, a):
+        assert a.overlaps(a)
+
+    @given(periods())
+    def test_edges_inside_period(self, a):
+        assert a.overlaps(a.start_event())
+        if not a.is_current:
+            assert a.overlaps(a.end_event())
+
+    @given(chronons, chronons)
+    def test_event_overlap_is_equality(self, t1, t2):
+        assert overlaps(t1, t2) == (t1 == t2)

@@ -1,0 +1,192 @@
+"""Unit and property tests for ISAM files."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.access.isam import IsamFile
+from repro.errors import AccessMethodError
+from repro.storage.buffer import BufferPool
+from repro.storage.record import FieldSpec, RecordCodec
+
+FIELDS = [("id", "i4"), ("payload", "c112")]  # 116 bytes -> 8 per page
+
+
+def make_isam(rows, fillfactor=100, fields=FIELDS):
+    codec = RecordCodec([FieldSpec.parse(n, t) for n, t in fields])
+    pool = BufferPool()
+    isam = IsamFile(pool.create_file("i", codec.record_size), codec, 0)
+    isam.build(rows, fillfactor)
+    pool.flush_all()
+    pool.stats.reset()
+    return isam, pool
+
+
+def rows(n):
+    return [(i, "x") for i in range(1, n + 1)]
+
+
+class TestBuild:
+    def test_paper_layout_100pct(self):
+        isam, _ = make_isam(rows(1024))
+        assert isam.data_pages == 128
+        assert isam.directory_pages == 1
+        assert isam.directory_height == 1
+        assert isam.page_count == 129
+
+    def test_paper_layout_50pct(self):
+        # 256 data pages need two directory levels: 2 leaves + 1 root.
+        isam, _ = make_isam(rows(1024), fillfactor=50)
+        assert isam.data_pages == 256
+        assert isam.directory_pages == 3
+        assert isam.directory_height == 2
+        assert isam.page_count == 259
+
+    def test_records_sorted_into_pages(self):
+        shuffled = [(i, "x") for i in (5, 1, 4, 2, 3)]
+        isam, _ = make_isam(shuffled)
+        assert [row[0] for _, row in isam.scan()] == [1, 2, 3, 4, 5]
+
+    def test_empty_relation_still_has_structure(self):
+        isam, _ = make_isam([])
+        assert isam.data_pages == 1
+        assert isam.directory_height == 1
+        assert list(isam.lookup(5)) == []
+
+    def test_requires_key(self):
+        codec = RecordCodec([FieldSpec.parse("id", "i4")])
+        pool = BufferPool()
+        with pytest.raises(AccessMethodError):
+            IsamFile(pool.create_file("i", 4), codec, None)
+
+
+class TestLookup:
+    def test_single_record(self):
+        isam, _ = make_isam(rows(64))
+        assert [row for _, row in isam.lookup(33)] == [(33, "x")]
+
+    def test_every_key_found(self):
+        isam, _ = make_isam(rows(64))
+        for key in range(1, 65):
+            assert [row for _, row in isam.lookup(key)] == [(key, "x")]
+
+    def test_missing_keys(self):
+        isam, _ = make_isam(rows(64))
+        assert list(isam.lookup(0)) == []
+        assert list(isam.lookup(65)) == []
+
+    def test_cost_is_height_plus_data(self):
+        isam, pool = make_isam(rows(64))
+        list(isam.lookup(34))  # 34 is not a page-boundary first key
+        assert pool.stats.totals().user.reads == 2
+
+    def test_cost_grows_with_chain(self):
+        isam, pool = make_isam(rows(64))
+        for _ in range(8):
+            isam.insert((34, "v"))
+        pool.flush_all()
+        pool.stats.reset()
+        list(isam.lookup(34))
+        assert pool.stats.totals().user.reads == 3  # dir + data + overflow
+
+    def test_duplicates_spanning_page_boundary(self):
+        # 12 copies of key 7 span two data pages (8 per page).
+        data = rows(6) + [(7, f"d{j}") for j in range(12)]
+        isam, _ = make_isam(data)
+        assert len(list(isam.lookup(7))) == 12
+
+    def test_dir_reads_counter(self):
+        isam, _ = make_isam(rows(64))
+        before = isam.dir_reads
+        list(isam.lookup(10))
+        assert isam.dir_reads == before + 1
+
+
+class TestInsert:
+    def test_goes_to_owner_page_chain(self):
+        isam, _ = make_isam(rows(64))
+        base = isam.page_count
+        for _ in range(8):
+            isam.insert((34, "v"))
+        assert isam.page_count == base + 1
+        assert len(list(isam.lookup(34))) == 9
+
+    def test_key_below_all_goes_to_first_page(self):
+        isam, _ = make_isam(rows(16))
+        isam.insert((-5, "low"))
+        assert [row for _, row in isam.lookup(-5)] == [(-5, "low")]
+
+    def test_key_above_all_goes_to_last_page(self):
+        isam, _ = make_isam(rows(16))
+        isam.insert((999, "high"))
+        assert [row for _, row in isam.lookup(999)] == [(999, "high")]
+
+    def test_fillfactor_gap_absorbs_inserts(self):
+        isam, _ = make_isam(rows(16), fillfactor=50)
+        base = isam.page_count
+        for i in range(1, 17):
+            isam.insert((i, "v2"))
+        assert isam.page_count == base
+
+
+class TestScan:
+    def test_scan_skips_directory(self):
+        isam, pool = make_isam(rows(64))
+        list(isam.scan())
+        # 8 data pages read; the 1 directory page is skipped for free.
+        assert pool.stats.totals().user.reads == 8
+
+    def test_scan_includes_overflow(self):
+        isam, _ = make_isam(rows(64))
+        for _ in range(10):
+            isam.insert((34, "v"))
+        assert len(list(isam.scan())) == 74
+
+    def test_string_keys(self):
+        data = [(f"k{i:03d}", i) for i in range(20)]
+        codec_fields = [("name", "c8"), ("value", "i4")]
+        isam, _ = make_isam(data, fields=codec_fields)
+        assert [row for _, row in isam.lookup("k007")] == [("k007", 7)]
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=-100, max_value=100),
+            min_size=1,
+            max_size=80,
+        ),
+        st.sampled_from([100, 50]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lookup_equals_filtered_scan(self, keys, fillfactor):
+        isam, _ = make_isam([(k, "p") for k in keys], fillfactor=fillfactor)
+        for probe in set(keys) | {0, 101, -101}:
+            via_lookup = sorted(row for _, row in isam.lookup(probe))
+            via_scan = sorted(
+                row for _, row in isam.scan() if row[0] == probe
+            )
+            assert via_lookup == via_scan
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=50), min_size=1, max_size=60
+        ),
+        st.lists(
+            st.integers(min_value=0, max_value=50), min_size=0, max_size=20
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_inserts_remain_reachable(self, initial, extra):
+        isam, _ = make_isam([(k, "built") for k in initial])
+        for k in extra:
+            isam.insert((k, "inserted"))
+        for probe in set(initial) | set(extra):
+            expected = initial.count(probe) + extra.count(probe)
+            assert len(list(isam.lookup(probe))) == expected
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_scan_is_sorted_after_build(self, keys):
+        isam, _ = make_isam([(k, "p") for k in keys])
+        scanned = [row[0] for _, row in isam.scan()]
+        assert scanned == sorted(keys)

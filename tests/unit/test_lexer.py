@@ -1,0 +1,127 @@
+"""Unit tests for the TQuel lexer."""
+
+import pytest
+
+from repro.errors import TQuelSyntaxError
+from repro.tquel.lexer import tokenize
+
+
+def kinds(text):
+    return [token.type for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text)][:-1]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        assert kinds("") == ["eof"]
+
+    def test_keywords_are_typed(self):
+        assert kinds("retrieve where when")[:-1] == [
+            "retrieve", "where", "when",
+        ]
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("RETRIEVE Where")[:-1] == ["retrieve", "where"]
+
+    def test_identifiers(self):
+        tokens = tokenize("temporal_h id2")
+        assert tokens[0].type == "ident"
+        assert tokens[0].value == "temporal_h"
+        assert tokens[1].value == "id2"
+
+    def test_identifiers_lowered(self):
+        assert tokenize("Temporal_H")[0].value == "temporal_h"
+
+    def test_integers(self):
+        token = tokenize("73700")[0]
+        assert token.type == "int"
+        assert token.value == 73700
+
+    def test_floats(self):
+        token = tokenize("3.25")[0]
+        assert token.type == "float"
+        assert token.value == 3.25
+
+    def test_dot_after_int_is_attribute_access(self):
+        # h.id must not lex "h." weirdly; and "1." is int then dot.
+        assert kinds("h.id")[:-1] == ["ident", ".", "ident"]
+
+    def test_strings(self):
+        token = tokenize('"08:00 1/1/80"')[0]
+        assert token.type == "string"
+        assert token.value == "08:00 1/1/80"
+
+    def test_unterminated_string(self):
+        with pytest.raises(TQuelSyntaxError):
+            tokenize('"oops')
+
+    def test_unexpected_character(self):
+        with pytest.raises(TQuelSyntaxError):
+            tokenize("a @ b")
+
+
+class TestOperators:
+    def test_two_char_operators(self):
+        assert kinds("<= >= !=")[:-1] == ["<=", ">=", "!="]
+
+    def test_single_char_operators(self):
+        assert kinds("( ) , = < > + - * / . ;")[:-1] == list(
+            ("(", ")", ",", "=", "<", ">", "+", "-", "*", "/", ".", ";")
+        )
+
+    def test_le_not_confused_with_l_eq(self):
+        assert kinds("a<=b")[:-1] == ["ident", "<=", "ident"]
+
+
+class TestCommentsAndPositions:
+    def test_comments_skipped(self):
+        # The paper's Figure 4 uses /* ... */ comments.
+        assert values("range /* 1024 tuples */ of h") == [
+            "range", "of", "h",
+        ]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(TQuelSyntaxError):
+            tokenize("a /* b")
+
+    def test_line_numbers(self):
+        tokens = tokenize("retrieve\n  (h.id)")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+    def test_column_numbers(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].column == 0
+        assert tokens[1].column == 3
+
+    def test_comment_tracks_newlines(self):
+        tokens = tokenize("/* one\ntwo */ x")
+        assert tokens[0].line == 2
+
+
+class TestPaperQueries:
+    def test_q12_tokenizes(self):
+        text = (
+            "retrieve (h.id, h.seq, i.id, i.seq, i.amount) "
+            "valid from start of (h overlap i) to end of (h extend i) "
+            "where h.id = 500 and i.amount = 73700 "
+            'when h overlap i as of "now"'
+        )
+        tokens = tokenize(text)
+        assert tokens[-1].type == "eof"
+        assert "overlap" in [t.type for t in tokens]
+        assert "extend" in [t.type for t in tokens]
+
+    def test_figure3_ddl_tokenizes(self):
+        text = (
+            "create persistent interval temporal_h "
+            "(id = i4, amount = i4, seq = i4, string = c96) "
+            "modify temporal_h to hash on id where fillfactor = 100"
+        )
+        tokens = tokenize(text)
+        assert [t.type for t in tokens[:3]] == [
+            "create", "persistent", "interval",
+        ]

@@ -1,0 +1,144 @@
+"""Unit tests for 1024-byte pages."""
+
+import pytest
+
+from repro.errors import PageOverflowError, StorageError
+from repro.storage.page import (
+    NO_PAGE,
+    PAGE_HEADER_SIZE,
+    PAGE_SIZE,
+    Page,
+    records_per_page,
+)
+
+
+class TestCapacity:
+    def test_paper_static_tuples(self):
+        # "9 tuples per page in static relations"
+        assert records_per_page(108) == 9
+
+    def test_paper_versioned_tuples(self):
+        # "8 tuples per page in rollback, historical, or temporal relations"
+        assert records_per_page(116) == 8
+        assert records_per_page(124) == 8
+
+    def test_one_byte_records(self):
+        assert records_per_page(1) == PAGE_SIZE - PAGE_HEADER_SIZE
+
+    def test_record_too_big(self):
+        with pytest.raises(PageOverflowError):
+            records_per_page(PAGE_SIZE)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(StorageError):
+            records_per_page(0)
+
+
+class TestAppendRead:
+    def test_empty_page(self):
+        page = Page(100)
+        assert page.count == 0
+        assert page.free_slots == page.capacity
+        assert page.overflow == NO_PAGE
+
+    def test_append_returns_slots_in_order(self):
+        page = Page(10)
+        assert page.append(b"a" * 10) == 0
+        assert page.append(b"b" * 10) == 1
+        assert page.count == 2
+
+    def test_read_back(self):
+        page = Page(4)
+        page.append(b"abcd")
+        page.append(b"wxyz")
+        assert page.read(0) == b"abcd"
+        assert page.read(1) == b"wxyz"
+
+    def test_wrong_record_size_rejected(self):
+        page = Page(10)
+        with pytest.raises(PageOverflowError):
+            page.append(b"short")
+
+    def test_full_page_rejects_append(self):
+        page = Page(500)  # capacity 2
+        page.append(b"x" * 500)
+        page.append(b"y" * 500)
+        with pytest.raises(PageOverflowError):
+            page.append(b"z" * 500)
+
+    def test_read_out_of_range(self):
+        page = Page(10)
+        with pytest.raises(StorageError):
+            page.read(0)
+
+
+class TestWriteDelete:
+    def test_write_in_place(self):
+        page = Page(4)
+        page.append(b"aaaa")
+        page.write(0, b"bbbb")
+        assert page.read(0) == b"bbbb"
+        assert page.count == 1
+
+    def test_delete_moves_last_into_hole(self):
+        page = Page(4)
+        for record in (b"aaaa", b"bbbb", b"cccc"):
+            page.append(record)
+        page.delete(0)
+        assert page.count == 2
+        assert sorted(page.records()) == [b"bbbb", b"cccc"]
+
+    def test_delete_last_slot(self):
+        page = Page(4)
+        page.append(b"aaaa")
+        page.delete(0)
+        assert page.count == 0
+
+    def test_version_bumps_on_mutation(self):
+        page = Page(4)
+        v0 = page.version
+        page.append(b"aaaa")
+        v1 = page.version
+        page.write(0, b"bbbb")
+        v2 = page.version
+        page.set_overflow(7)
+        v3 = page.version
+        assert v0 < v1 < v2 < v3
+
+
+class TestOverflowPointer:
+    def test_set_overflow(self):
+        page = Page(4)
+        page.set_overflow(42)
+        assert page.overflow == 42
+
+    def test_overflow_survives_serialization(self):
+        page = Page(4)
+        page.append(b"aaaa")
+        page.set_overflow(9)
+        clone = Page.from_bytes(page.to_bytes(), 4)
+        assert clone.overflow == 9
+        assert clone.count == 1
+        assert clone.read(0) == b"aaaa"
+
+
+class TestSerialization:
+    def test_image_is_page_size(self):
+        assert len(Page(4).to_bytes()) == PAGE_SIZE
+
+    def test_roundtrip_full_page(self):
+        page = Page(100)
+        for index in range(page.capacity):
+            page.append(bytes([index]) * 100)
+        clone = Page.from_bytes(page.to_bytes(), 100)
+        assert clone.records() == page.records()
+
+    def test_bad_image_size(self):
+        with pytest.raises(StorageError):
+            Page.from_bytes(b"tiny", 4)
+
+    def test_corrupt_count_detected(self):
+        image = bytearray(PAGE_SIZE)
+        image[0:2] = (9999).to_bytes(2, "little")
+        with pytest.raises(StorageError):
+            Page.from_bytes(bytes(image), 4)

@@ -1,0 +1,126 @@
+"""Unit tests for temporal string parsing ("various formats of date and
+time are accepted for input", Section 4)."""
+
+import pytest
+
+from repro.errors import DateParseError
+from repro.temporal.chronon import BEGINNING, FOREVER, Clock
+from repro.temporal.parse import parse_temporal
+
+JAN1_1980 = 315532800  # 1980-01-01 00:00:00 UTC
+
+
+class TestSymbolic:
+    def test_forever(self):
+        assert parse_temporal("forever") == FOREVER
+
+    def test_beginning(self):
+        assert parse_temporal("beginning") == BEGINNING
+
+    def test_case_insensitive(self):
+        assert parse_temporal("FOREVER") == FOREVER
+
+    def test_now_uses_clock(self):
+        assert parse_temporal("now", clock=Clock(start=42)) == 42
+
+    def test_now_without_clock_fails(self):
+        with pytest.raises(DateParseError):
+            parse_temporal("now")
+
+    def test_whitespace_stripped(self):
+        assert parse_temporal("  forever  ") == FOREVER
+
+
+class TestSlashDates:
+    def test_paper_format(self):
+        assert parse_temporal("1/1/80") == JAN1_1980
+
+    def test_two_digit_year_is_1900s(self):
+        assert parse_temporal("1/1/80") == parse_temporal("1/1/1980")
+
+    def test_feb_15_1980(self):
+        assert parse_temporal("2/15/80") == JAN1_1980 + 45 * 86400
+
+    def test_four_digit_year(self):
+        assert parse_temporal("12/31/1980") == JAN1_1980 + 365 * 86400
+
+    def test_invalid_month(self):
+        with pytest.raises(DateParseError):
+            parse_temporal("13/1/80")
+
+    def test_invalid_day(self):
+        with pytest.raises(DateParseError):
+            parse_temporal("2/30/80")
+
+    def test_leap_day_1980(self):
+        assert parse_temporal("2/29/80") == JAN1_1980 + 59 * 86400
+
+    def test_leap_day_1981_invalid(self):
+        with pytest.raises(DateParseError):
+            parse_temporal("2/29/81")
+
+
+class TestTimeOfDay:
+    def test_paper_query_q03(self):
+        assert parse_temporal("08:00 1/1/80") == JAN1_1980 + 8 * 3600
+
+    def test_paper_query_q11(self):
+        assert parse_temporal("4:00 1/1/80") == JAN1_1980 + 4 * 3600
+
+    def test_with_seconds(self):
+        assert parse_temporal("01:02:03 1/1/80") == JAN1_1980 + 3723
+
+    def test_hour_out_of_range(self):
+        with pytest.raises(DateParseError):
+            parse_temporal("24:00 1/1/80")
+
+    def test_minute_out_of_range(self):
+        with pytest.raises(DateParseError):
+            parse_temporal("10:60 1/1/80")
+
+    def test_bare_time_rejected(self):
+        with pytest.raises(DateParseError):
+            parse_temporal("08:00")
+
+
+class TestIsoDates:
+    def test_date_only(self):
+        assert parse_temporal("1980-01-01") == JAN1_1980
+
+    def test_date_time(self):
+        assert parse_temporal("1980-01-01 08:00") == JAN1_1980 + 8 * 3600
+
+    def test_t_separator(self):
+        assert parse_temporal("1980-01-01T08:00") == JAN1_1980 + 8 * 3600
+
+    def test_with_seconds(self):
+        assert parse_temporal("1980-01-01 00:00:59") == JAN1_1980 + 59
+
+
+class TestYearAndWordy:
+    def test_bare_year(self):
+        assert parse_temporal("1981") == JAN1_1980 + 366 * 86400
+
+    def test_figure2_query_year(self):
+        # 'as of "1981"' from the Figure 2 example query.
+        assert parse_temporal("1981") == parse_temporal("1/1/81")
+
+    def test_wordy_date(self):
+        assert parse_temporal("January 1, 1980") == JAN1_1980
+
+    def test_abbreviated_month(self):
+        assert parse_temporal("Feb 15, 1980") == parse_temporal("2/15/80")
+
+    def test_unknown_month_name(self):
+        with pytest.raises(DateParseError):
+            parse_temporal("Grune 1, 1980")
+
+
+class TestRejects:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "hello", "1/2", "99:99", "1980-13-01", "12", "#now"],
+    )
+    def test_garbage(self, text):
+        with pytest.raises(DateParseError):
+            parse_temporal(text)

@@ -1,0 +1,327 @@
+"""Unit tests for the TQuel parser."""
+
+import pytest
+
+from repro.errors import TQuelSyntaxError
+from repro.tquel import ast
+from repro.tquel.parser import parse, parse_statement
+
+
+class TestRange:
+    def test_basic(self):
+        stmt = parse_statement("range of h is temporal_h")
+        assert stmt == ast.RangeStmt("h", "temporal_h")
+
+    def test_missing_is(self):
+        with pytest.raises(TQuelSyntaxError):
+            parse_statement("range of h temporal_h")
+
+
+class TestRetrieve:
+    def test_simple_targets(self):
+        stmt = parse_statement("retrieve (h.id, h.seq)")
+        assert [t.expr for t in stmt.targets] == [
+            ast.Attr("h", "id"),
+            ast.Attr("h", "seq"),
+        ]
+
+    def test_named_target(self):
+        stmt = parse_statement("retrieve (total = h.a + h.b)")
+        assert stmt.targets[0].name == "total"
+        assert isinstance(stmt.targets[0].expr, ast.BinOp)
+
+    def test_into(self):
+        stmt = parse_statement("retrieve into snap (h.id)")
+        assert stmt.into == "snap"
+
+    def test_unique(self):
+        stmt = parse_statement("retrieve unique (h.id)")
+        assert stmt.unique
+
+    def test_where_clause(self):
+        stmt = parse_statement("retrieve (h.id) where h.id = 500")
+        assert stmt.where == ast.Compare(
+            "=", ast.Attr("h", "id"), ast.Const(500)
+        )
+
+    def test_when_clause(self):
+        stmt = parse_statement('retrieve (h.id) when h overlap "now"')
+        assert stmt.when == ast.TempBin(
+            "overlap", ast.TempVar("h"), ast.TempConst("now")
+        )
+
+    def test_as_of_clause(self):
+        stmt = parse_statement('retrieve (h.id) as of "08:00 1/1/80"')
+        assert stmt.as_of == ast.AsOfClause(ast.TempConst("08:00 1/1/80"))
+
+    def test_as_of_through(self):
+        stmt = parse_statement(
+            'retrieve (h.id) as of "1980" through "1981"'
+        )
+        assert stmt.as_of.through == ast.TempConst("1981")
+
+    def test_clauses_any_order(self):
+        a = parse_statement(
+            'retrieve (h.id) where h.id = 1 when h overlap "now"'
+        )
+        b = parse_statement(
+            'retrieve (h.id) when h overlap "now" where h.id = 1'
+        )
+        assert a.where == b.where and a.when == b.when
+
+    def test_duplicate_clause_rejected(self):
+        with pytest.raises(TQuelSyntaxError):
+            parse_statement("retrieve (h.id) where h.a = 1 where h.b = 2")
+
+    def test_empty_target_list_rejected(self):
+        with pytest.raises(TQuelSyntaxError):
+            parse_statement("retrieve ()")
+
+
+class TestValidClause:
+    def test_valid_from_to(self):
+        stmt = parse_statement(
+            "retrieve (h.id) valid from start of h to end of i"
+        )
+        assert stmt.valid.from_ == ast.TempEdge("start", ast.TempVar("h"))
+        assert stmt.valid.to == ast.TempEdge("end", ast.TempVar("i"))
+
+    def test_valid_at(self):
+        stmt = parse_statement('retrieve (h.id) valid at "1981"')
+        assert stmt.valid.at == ast.TempConst("1981")
+
+    def test_q12_nested_temporal_expressions(self):
+        stmt = parse_statement(
+            "retrieve (h.id) "
+            "valid from start of (h overlap i) to end of (h extend i)"
+        )
+        assert stmt.valid.from_ == ast.TempEdge(
+            "start",
+            ast.TempBin("overlap", ast.TempVar("h"), ast.TempVar("i")),
+        )
+        assert stmt.valid.to == ast.TempEdge(
+            "end", ast.TempBin("extend", ast.TempVar("h"), ast.TempVar("i"))
+        )
+
+    def test_valid_requires_from_or_at(self):
+        with pytest.raises(TQuelSyntaxError):
+            parse_statement("retrieve (h.id) valid to h")
+
+
+class TestWhenGrammar:
+    def test_conjunction(self):
+        stmt = parse_statement(
+            'retrieve (h.id) when h overlap i and i overlap "now"'
+        )
+        assert isinstance(stmt.when, ast.BoolOp)
+        assert stmt.when.op == "and"
+        assert len(stmt.when.operands) == 2
+
+    def test_q11_precede_with_edge(self):
+        stmt = parse_statement(
+            "retrieve (h.id) when start of h precede i"
+        )
+        assert stmt.when == ast.TempBin(
+            "precede",
+            ast.TempEdge("start", ast.TempVar("h")),
+            ast.TempVar("i"),
+        )
+
+    def test_parenthesized_temporal_operand(self):
+        stmt = parse_statement(
+            "retrieve (h.id) when (h overlap i) precede j"
+        )
+        assert stmt.when.op == "precede"
+        assert stmt.when.left.op == "overlap"
+
+    def test_parenthesized_boolean(self):
+        stmt = parse_statement(
+            'retrieve (h.id) when (h overlap i and i overlap "now") '
+            "or h precede i"
+        )
+        assert stmt.when.op == "or"
+
+    def test_not(self):
+        stmt = parse_statement("retrieve (h.id) when not h overlap i")
+        assert isinstance(stmt.when, ast.NotOp)
+
+    def test_or_of_ands_precedence(self):
+        stmt = parse_statement(
+            "retrieve (h.id) when a overlap b and b overlap c "
+            "or c overlap d"
+        )
+        assert stmt.when.op == "or"
+        assert stmt.when.operands[0].op == "and"
+
+
+class TestExpressionGrammar:
+    def q(self, expr):
+        return parse_statement(f"retrieve (x = {expr})").targets[0].expr
+
+    def test_precedence_mul_over_add(self):
+        node = self.q("h.a + h.b * 2")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_parens_override(self):
+        node = self.q("(h.a + h.b) * 2")
+        assert node.op == "*"
+
+    def test_unary_minus(self):
+        node = self.q("-h.a")
+        assert isinstance(node, ast.UnaryOp)
+
+    def test_string_const(self):
+        node = self.q('"hello"')
+        assert node == ast.Const("hello")
+
+    def test_comparison_chain_not_allowed(self):
+        # a = b = c is not a valid Quel expression; second '=' terminates.
+        with pytest.raises(TQuelSyntaxError):
+            parse_statement("retrieve (h.a) where h.a = 1 = 2 junk")
+
+
+class TestUpdateStatements:
+    def test_append(self):
+        stmt = parse_statement('append to emp (name = "ahn", sal = 100)')
+        assert stmt.relation == "emp"
+        assert stmt.targets[0].name == "name"
+
+    def test_append_without_to(self):
+        stmt = parse_statement("append emp (sal = 1)")
+        assert stmt.relation == "emp"
+
+    def test_delete(self):
+        stmt = parse_statement("delete h where h.id = 5")
+        assert stmt.var == "h"
+        assert stmt.where is not None
+
+    def test_replace(self):
+        stmt = parse_statement("replace h (seq = h.seq + 1)")
+        assert stmt.var == "h"
+        assert stmt.targets[0].name == "seq"
+
+    def test_replace_with_valid(self):
+        stmt = parse_statement(
+            'replace s (m = 1) valid from "5/1/82" to "forever" '
+            'where s.name = "jane"'
+        )
+        assert stmt.valid is not None
+        assert stmt.where is not None
+
+
+class TestDdlStatements:
+    def test_create_static(self):
+        stmt = parse_statement("create parts (pnum = i4, pname = c20)")
+        assert not stmt.persistent and stmt.kind is None
+        assert stmt.columns == (("pnum", "i4"), ("pname", "c20"))
+
+    def test_create_rollback(self):
+        assert parse_statement("create persistent p (a = i4)").persistent
+
+    def test_create_historical_event(self):
+        stmt = parse_statement("create event e (a = i4)")
+        assert stmt.kind == "event"
+
+    def test_create_temporal(self):
+        stmt = parse_statement("create persistent interval t (a = i4)")
+        assert stmt.persistent and stmt.kind == "interval"
+
+    def test_modify_figure3(self):
+        stmt = parse_statement(
+            "modify temporal_h to hash on id where fillfactor = 100"
+        )
+        assert stmt.structure == "hash"
+        assert stmt.key == "id"
+        assert stmt.options == (("fillfactor", 100),)
+
+    def test_modify_extension_options(self):
+        stmt = parse_statement(
+            'modify t to twolevel on id where history = "clustered", '
+            'primary = "hash"'
+        )
+        assert dict(stmt.options) == {
+            "history": "clustered", "primary": "hash",
+        }
+
+    def test_index(self):
+        stmt = parse_statement(
+            "index on temporal_h is amt_idx (amount) "
+            "where structure = hash, levels = 2"
+        )
+        assert stmt.relation == "temporal_h"
+        assert stmt.attribute == "amount"
+        assert dict(stmt.options)["levels"] == 2
+
+    def test_destroy_many(self):
+        stmt = parse_statement("destroy a, b, c")
+        assert stmt.relations == ("a", "b", "c")
+
+    def test_copy(self):
+        stmt = parse_statement('copy emp from "/tmp/emp.dat"')
+        assert stmt.direction == "from"
+        assert stmt.path == "/tmp/emp.dat"
+
+
+class TestMultiStatement:
+    def test_statements_split_on_keywords(self):
+        statements = parse(
+            "range of h is t retrieve (h.id) where h.id = 1"
+        )
+        assert len(statements) == 2
+
+    def test_semicolons_accepted(self):
+        statements = parse("range of h is t; retrieve (h.id);")
+        assert len(statements) == 2
+
+    def test_parse_statement_rejects_many(self):
+        with pytest.raises(TQuelSyntaxError):
+            parse_statement("range of a is t range of b is t")
+
+    def test_parse_statement_rejects_none(self):
+        with pytest.raises(TQuelSyntaxError):
+            parse_statement("   ")
+
+    def test_garbage_statement(self):
+        with pytest.raises(TQuelSyntaxError):
+            parse("frobnicate the database")
+
+
+class TestPaperFigure4:
+    """Every benchmark query in Figure 4 must parse."""
+
+    QUERIES = [
+        "retrieve (h.id, h.seq) where h.id = 500",
+        "retrieve (i.id, i.seq) where i.id = 500",
+        'retrieve (h.id, h.seq) as of "08:00 1/1/80"',
+        'retrieve (i.id, i.seq) as of "08:00 1/1/80"',
+        'retrieve (h.id, h.seq) where h.id = 500 when h overlap "now"',
+        'retrieve (i.id, i.seq) where i.id = 500 when i overlap "now"',
+        'retrieve (h.id, h.seq) where h.amount = 69400 when h overlap "now"',
+        'retrieve (i.id, i.seq) where i.amount = 73700 when i overlap "now"',
+        "retrieve (h.id, i.id, i.amount) where h.id = i.amount "
+        'when h overlap i and i overlap "now"',
+        "retrieve (i.id, h.id, h.amount) where i.id = h.amount "
+        'when h overlap i and h overlap "now"',
+        "retrieve (h.id, h.seq, i.id, i.seq, i.amount) "
+        "valid from start of h to end of i "
+        'when start of h precede i as of "4:00 1/1/80"',
+        "retrieve (h.id, h.seq, i.id, i.seq, i.amount) "
+        "valid from start of (h overlap i) to end of (h extend i) "
+        "where h.id = 500 and i.amount = 73700 "
+        'when h overlap i as of "now"',
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_parses(self, query):
+        stmt = parse_statement(query)
+        assert isinstance(stmt, ast.RetrieveStmt)
+
+    def test_figure2_example(self):
+        stmt = parse_statement(
+            "retrieve (h.id, h.seq, i.id, i.seq, i.amount) "
+            "valid from start of (h overlap i) to end of (h extend i) "
+            "where h.id = 500 and i.amount = 73700 "
+            'when h overlap i as of "1981"'
+        )
+        assert stmt.as_of.at == ast.TempConst("1981")

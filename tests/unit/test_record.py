@@ -1,0 +1,173 @@
+"""Unit and property tests for the fixed-width record codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RecordCodecError
+from repro.storage.record import AttributeType, FieldSpec, RecordCodec
+
+
+def codec(*specs):
+    return RecordCodec([FieldSpec.parse(n, t) for n, t in specs])
+
+
+class TestFieldSpec:
+    def test_parse_i4(self):
+        spec = FieldSpec.parse("id", "i4")
+        assert spec.type is AttributeType.I4
+        assert spec.width == 4
+
+    def test_parse_char(self):
+        spec = FieldSpec.parse("s", "c96")
+        assert spec.type is AttributeType.CHAR
+        assert spec.width == 96
+
+    def test_parse_time(self):
+        spec = FieldSpec.parse("t", "time")
+        assert spec.type is AttributeType.TIME
+        assert spec.width == 4
+
+    def test_type_text_roundtrip(self):
+        for text in ("i1", "i2", "i4", "f4", "f8", "c12", "time"):
+            assert FieldSpec.parse("x", text).type_text == text
+
+    def test_char_width_bounds(self):
+        with pytest.raises(RecordCodecError):
+            FieldSpec.parse("s", "c0")
+        with pytest.raises(RecordCodecError):
+            FieldSpec.parse("s", "c256")
+
+    def test_unknown_type(self):
+        with pytest.raises(RecordCodecError):
+            FieldSpec.parse("x", "blob")
+
+    def test_bad_char_width(self):
+        with pytest.raises(RecordCodecError):
+            FieldSpec.parse("x", "cabc")
+
+
+class TestRecordSize:
+    def test_paper_tuple_widths(self):
+        user = [("id", "i4"), ("amount", "i4"), ("seq", "i4"), ("string", "c96")]
+        assert codec(*user).record_size == 108
+        assert codec(*user, ("ts", "time"), ("te", "time")).record_size == 116
+        assert (
+            codec(
+                *user,
+                ("ts", "time"),
+                ("te", "time"),
+                ("vf", "time"),
+                ("vt", "time"),
+            ).record_size
+            == 124
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(RecordCodecError):
+            RecordCodec([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(RecordCodecError):
+            codec(("a", "i4"), ("a", "i2"))
+
+
+class TestEncodeDecode:
+    def test_roundtrip_mixed(self):
+        c = codec(("id", "i4"), ("name", "c8"), ("rate", "f8"))
+        row = (42, "ahn", 2.5)
+        assert c.decode(c.encode(row)) == row
+
+    def test_strings_blank_padded(self):
+        c = codec(("name", "c8"))
+        encoded = c.encode(("ab",))
+        assert encoded == b"ab" + b" " * 6
+        assert c.decode(encoded) == ("ab",)
+
+    def test_string_too_long(self):
+        c = codec(("name", "c4"))
+        with pytest.raises(RecordCodecError):
+            c.encode(("abcde",))
+
+    def test_non_ascii_rejected(self):
+        c = codec(("name", "c8"))
+        with pytest.raises((RecordCodecError, UnicodeEncodeError)):
+            c.encode(("naïve",))
+
+    def test_int_overflow_detected(self):
+        c = codec(("x", "i2"))
+        with pytest.raises(RecordCodecError):
+            c.encode((2**15,))
+        with pytest.raises(RecordCodecError):
+            c.encode((-(2**15) - 1,))
+
+    def test_i1_range(self):
+        c = codec(("x", "i1"))
+        assert c.decode(c.encode((127,))) == (127,)
+        with pytest.raises(RecordCodecError):
+            c.encode((128,))
+
+    def test_type_mismatch(self):
+        c = codec(("x", "i4"))
+        with pytest.raises(RecordCodecError):
+            c.encode(("5",))
+
+    def test_bool_rejected_for_int(self):
+        c = codec(("x", "i4"))
+        with pytest.raises(RecordCodecError):
+            c.encode((True,))
+
+    def test_wrong_arity(self):
+        c = codec(("x", "i4"), ("y", "i4"))
+        with pytest.raises(RecordCodecError):
+            c.encode((1,))
+
+    def test_decode_wrong_length(self):
+        c = codec(("x", "i4"))
+        with pytest.raises(RecordCodecError):
+            c.decode(b"\x00" * 5)
+
+    def test_float_coercion_of_int(self):
+        c = codec(("x", "f8"))
+        assert c.decode(c.encode((3,))) == (3.0,)
+
+
+class TestDecodePage:
+    def test_matches_per_record_decode(self):
+        from repro.storage.page import Page
+
+        c = codec(("id", "i4"), ("name", "c6"))
+        page = Page(c.record_size)
+        rows = [(i, f"r{i}") for i in range(5)]
+        for row in rows:
+            page.append(c.encode(row))
+        assert c.decode_page(page) == rows
+
+
+ascii_text = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), max_size=12
+)
+
+
+class TestProperties:
+    @given(
+        st.integers(-(2**31), 2**31 - 1),
+        ascii_text,
+        st.integers(-(2**15), 2**15 - 1),
+    )
+    def test_roundtrip(self, big, text, small):
+        c = codec(("a", "i4"), ("s", "c12"), ("b", "i2"))
+        row = (big, text, small)
+        assert c.decode(c.encode(row)) == row
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_f8_roundtrip_exact(self, value):
+        c = codec(("x", "f8"))
+        assert c.decode(c.encode((value,)))[0] == value
+
+    @given(ascii_text)
+    def test_trailing_blanks_are_not_preserved(self, text):
+        # Quel c-attributes are blank padded; trailing blanks are
+        # indistinguishable from padding and stripped on decode.
+        c = codec(("s", "c12"))
+        decoded = c.decode(c.encode((text,)))[0]
+        assert decoded == text.rstrip(" ")

@@ -1,0 +1,171 @@
+"""Unit tests for relation schemas and the four database types."""
+
+import pytest
+
+from repro.catalog.schema import (
+    DatabaseType,
+    RelationKind,
+    RelationSchema,
+)
+from repro.errors import SchemaError
+from repro.storage.record import FieldSpec
+from repro.temporal.chronon import FOREVER
+from repro.temporal.interval import Period
+
+
+def fields(*specs):
+    return [FieldSpec.parse(n, t) for n, t in specs]
+
+
+USER = fields(("id", "i4"), ("amount", "i4"), ("seq", "i4"), ("string", "c96"))
+
+
+class TestTypeFlags:
+    def test_from_flags_matrix(self):
+        assert DatabaseType.from_flags(False, False) is DatabaseType.STATIC
+        assert DatabaseType.from_flags(True, False) is DatabaseType.ROLLBACK
+        assert DatabaseType.from_flags(False, True) is DatabaseType.HISTORICAL
+        assert DatabaseType.from_flags(True, True) is DatabaseType.TEMPORAL
+
+    def test_time_support(self):
+        assert DatabaseType.ROLLBACK.has_transaction_time
+        assert not DatabaseType.ROLLBACK.has_valid_time
+        assert DatabaseType.HISTORICAL.has_valid_time
+        assert not DatabaseType.HISTORICAL.has_transaction_time
+        assert DatabaseType.TEMPORAL.has_valid_time
+        assert DatabaseType.TEMPORAL.has_transaction_time
+
+
+class TestImplicitAttributes:
+    def test_static_has_none(self):
+        schema = RelationSchema("r", USER, type=DatabaseType.STATIC)
+        assert schema.record_size == 108
+        assert len(schema.fields) == 4
+
+    def test_rollback_adds_transaction_pair(self):
+        schema = RelationSchema("r", USER, type=DatabaseType.ROLLBACK)
+        assert schema.record_size == 116
+        assert schema.has_attribute("transaction_start")
+        assert schema.has_attribute("transaction_stop")
+        assert not schema.has_attribute("valid_from")
+
+    def test_historical_interval_adds_valid_pair(self):
+        schema = RelationSchema("r", USER, type=DatabaseType.HISTORICAL)
+        assert schema.record_size == 116
+        assert schema.has_attribute("valid_from")
+
+    def test_historical_event_adds_valid_at(self):
+        schema = RelationSchema(
+            "r", USER, type=DatabaseType.HISTORICAL, kind=RelationKind.EVENT
+        )
+        assert schema.record_size == 112
+        assert schema.has_attribute("valid_at")
+        assert not schema.has_attribute("valid_from")
+
+    def test_temporal_interval_adds_all_four(self):
+        schema = RelationSchema("r", USER, type=DatabaseType.TEMPORAL)
+        assert schema.record_size == 124
+
+    def test_user_width_excludes_implicit(self):
+        schema = RelationSchema("r", USER, type=DatabaseType.TEMPORAL)
+        assert schema.user_width == 108
+        assert schema.user_count == 4
+
+    def test_reserved_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(
+                "r",
+                fields(("valid_from", "i4")),
+                type=DatabaseType.STATIC,
+            )
+
+    def test_bad_relation_name(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("9lives", USER)
+
+    def test_needs_attributes(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", [])
+
+    def test_oversized_tuple_rejected_at_create(self):
+        huge = fields(
+            ("a", "c255"), ("b", "c255"), ("c", "c255"), ("d", "c255"),
+            ("e", "c255"),
+        )
+        with pytest.raises(SchemaError):
+            RelationSchema("r", huge, type=DatabaseType.TEMPORAL)
+
+    def test_tuple_exactly_filling_a_page_accepted(self):
+        wide = fields(("a", "c255"), ("b", "c255"), ("c", "c255"),
+                      ("d", "c253"))
+        schema = RelationSchema("r", wide, type=DatabaseType.STATIC)
+        assert schema.record_size == 1018
+
+
+class TestRowHelpers:
+    def test_new_version_defaults(self):
+        schema = RelationSchema("r", USER, type=DatabaseType.TEMPORAL)
+        row = schema.new_version((1, 2, 3, "s"), now=1000)
+        assert row == (1, 2, 3, "s", 1000, FOREVER, 1000, FOREVER)
+
+    def test_new_version_valid_overrides(self):
+        schema = RelationSchema("r", USER, type=DatabaseType.HISTORICAL)
+        row = schema.new_version(
+            (1, 2, 3, "s"), now=1000, valid_from=500, valid_to=800
+        )
+        assert row[-2:] == (500, 800)
+
+    def test_new_version_event(self):
+        schema = RelationSchema(
+            "r", USER, type=DatabaseType.TEMPORAL, kind=RelationKind.EVENT
+        )
+        row = schema.new_version((1, 2, 3, "s"), now=1000, valid_at=750)
+        assert row[-1] == 750
+
+    def test_new_version_arity_check(self):
+        schema = RelationSchema("r", USER, type=DatabaseType.STATIC)
+        with pytest.raises(SchemaError):
+            schema.new_version((1, 2), now=0)
+
+    def test_periods(self):
+        schema = RelationSchema("r", USER, type=DatabaseType.TEMPORAL)
+        row = schema.new_version((1, 2, 3, "s"), now=1000)
+        assert schema.transaction_period(row) == Period(1000, FOREVER)
+        assert schema.valid_period(row) == Period(1000, FOREVER)
+
+    def test_degenerate_period_is_event(self):
+        schema = RelationSchema("r", USER, type=DatabaseType.HISTORICAL)
+        row = schema.new_version((1, 2, 3, "s"), now=1000, valid_to=1000)
+        assert schema.valid_period(row).is_event
+
+    def test_no_transaction_time_raises(self):
+        schema = RelationSchema("r", USER, type=DatabaseType.HISTORICAL)
+        row = schema.new_version((1, 2, 3, "s"), now=1000)
+        with pytest.raises(SchemaError):
+            schema.transaction_period(row)
+
+    def test_currency(self):
+        schema = RelationSchema("r", USER, type=DatabaseType.TEMPORAL)
+        row = schema.new_version((1, 2, 3, "s"), now=1000)
+        assert schema.is_current(row, now=2000)
+        stamped = schema.with_attribute(row, "transaction_stop", 1500)
+        assert not schema.is_current(stamped, now=2000)
+        closed = schema.with_attribute(row, "valid_to", 1800)
+        assert not schema.is_current(closed, now=2000)
+        assert schema.is_current(closed, now=1500)
+
+    def test_with_attribute(self):
+        schema = RelationSchema("r", USER, type=DatabaseType.STATIC)
+        row = (1, 2, 3, "s")
+        assert schema.with_attribute(row, "seq", 99) == (1, 2, 99, "s")
+
+    def test_position_lookup(self):
+        schema = RelationSchema("r", USER, type=DatabaseType.STATIC)
+        assert schema.position("amount") == 1
+        with pytest.raises(SchemaError):
+            schema.position("ghost")
+
+    def test_describe(self):
+        schema = RelationSchema("r", USER, type=DatabaseType.TEMPORAL)
+        text = schema.describe()
+        assert "temporal" in text and "interval" in text

@@ -1,0 +1,193 @@
+"""Unit tests for semantic analysis: binding and the paper's applicability
+rules (when needs valid time; as-of needs transaction time; ...)."""
+
+import pytest
+
+from repro.errors import TQuelSemanticError, UnknownRelationError
+from repro.tquel.parser import parse_statement
+from repro.tquel.semantics import Analyzer
+
+
+@pytest.fixture
+def loaded(db):
+    db.execute("create static_r (id = i4, amount = i4)")
+    db.execute("create persistent rb (id = i4, amount = i4)")
+    db.execute("create interval hist (id = i4, amount = i4)")
+    db.execute("create persistent interval temp_r (id = i4, amount = i4)")
+    for var, rel in (("s", "static_r"), ("r", "rb"), ("h", "hist"),
+                     ("t", "temp_r")):
+        db.execute(f"range of {var} is {rel}")
+    return db
+
+
+def analyze(db, text):
+    stmt = parse_statement(text)
+    analyzer = Analyzer(db)
+    if stmt.__class__.__name__ == "RetrieveStmt":
+        return analyzer.analyze_retrieve(stmt)
+    return analyzer.analyze_update(stmt)
+
+
+class TestBinding:
+    def test_unknown_range_variable(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, "retrieve (zz.id)")
+
+    def test_unknown_attribute(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, "retrieve (s.ghost)")
+
+    def test_unqualified_attribute_in_retrieve(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, "retrieve (id) where s.id = 1")
+
+    def test_unqualified_ok_in_replace(self, loaded):
+        analysis = analyze(loaded, "replace s (amount = amount + 1)")
+        assert analysis.targets[0][0] == "amount"
+
+    def test_implicit_attributes_visible(self, loaded):
+        analysis = analyze(loaded, "retrieve (r.transaction_start)")
+        assert analysis.targets[0][0] == "transaction_start"
+
+    def test_duplicate_output_names_deduped(self, loaded):
+        analysis = analyze(loaded, "retrieve (s.id, r.id)")
+        names = [name for name, _, __ in analysis.targets]
+        assert len(set(names)) == 2
+
+    def test_var_order_is_first_reference(self, loaded):
+        analysis = analyze(
+            loaded, "retrieve (h.id, t.id) where t.amount = h.amount"
+        )
+        assert analysis.var_order == ["h", "t"]
+
+
+class TestTypeChecking:
+    def test_string_number_comparison_rejected(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, 'retrieve (s.id) where s.id = "x"')
+
+    def test_arithmetic_on_strings_rejected(self, loaded):
+        loaded.execute("create named (name = c10)")
+        loaded.execute("range of n is named")
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, "retrieve (n.name) where n.name + 1 = 2")
+
+    def test_where_must_be_boolean(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, "retrieve (s.id) where s.id + 1")
+
+    def test_assignment_type_mismatch(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, 'replace s (id = "five")')
+
+    def test_assigning_implicit_attribute_rejected(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, "replace t (valid_from = 1)")
+
+    def test_unnamed_replace_target_rejected(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, "replace s (s.id)")
+
+
+class TestClauseApplicability:
+    def test_when_on_static_rejected(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, 'retrieve (s.id) when s overlap "now"')
+
+    def test_when_on_rollback_rejected(self, loaded):
+        # "For a rollback database, we use an as of clause instead."
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, 'retrieve (r.id) when r overlap "now"')
+
+    def test_when_on_historical_ok(self, loaded):
+        analysis = analyze(loaded, 'retrieve (h.id) when h overlap "now"')
+        assert len(analysis.when) == 1
+
+    def test_as_of_on_static_rejected(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, 'retrieve (s.id) as of "now"')
+
+    def test_as_of_on_historical_rejected(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, 'retrieve (h.id) as of "now"')
+
+    def test_as_of_on_rollback_ok(self, loaded):
+        analysis = analyze(loaded, 'retrieve (r.id) as of "now"')
+        assert analysis.as_of is not None
+
+    def test_as_of_must_be_constant(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, "retrieve (t.id) as of start of t")
+
+    def test_valid_clause_on_rollback_rejected(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, 'replace r (amount = 1) valid from "1980" to "1981"')
+
+    def test_valid_at_on_interval_relation_rejected(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, 'replace t (amount = 1) valid at "1980"')
+
+    def test_valid_from_on_event_relation_rejected(self, loaded):
+        loaded.execute("create event ev (id = i4)")
+        loaded.execute("range of e is ev")
+        with pytest.raises(TQuelSemanticError):
+            analyze(
+                loaded, 'replace e (id = 1) valid from "1980" to "1981"'
+            )
+
+    def test_precede_as_operand_rejected(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(
+                loaded,
+                "retrieve (t.id) when start of (t precede t) overlap t",
+            )
+
+    def test_bad_temporal_constant_rejected(self, loaded):
+        with pytest.raises(Exception):
+            analyze(loaded, 'retrieve (t.id) when t overlap "not a date"')
+
+
+class TestConjunctSplitting:
+    def test_where_conjuncts_split_by_and(self, loaded):
+        analysis = analyze(
+            loaded,
+            "retrieve (h.id, t.id) "
+            "where h.id = 1 and t.id = 2 and h.amount = t.amount",
+        )
+        var_sets = sorted(tuple(sorted(c.vars)) for c in analysis.where)
+        assert var_sets == [("h",), ("h", "t"), ("t",)]
+
+    def test_or_stays_single_conjunct(self, loaded):
+        analysis = analyze(
+            loaded, "retrieve (h.id) where h.id = 1 or h.amount = 2"
+        )
+        assert len(analysis.where) == 1
+
+    def test_when_conjuncts_split(self, loaded):
+        analysis = analyze(
+            loaded,
+            'retrieve (t.id, h.id) when t overlap h and t overlap "now"',
+        )
+        assert len(analysis.when) == 2
+
+    def test_conjuncts_for_detachment(self, loaded):
+        analysis = analyze(
+            loaded,
+            "retrieve (h.id, t.id) where h.id = 1 and h.amount = t.amount",
+        )
+        assert len(analysis.conjuncts_for("h")) == 1
+        assert len(analysis.conjuncts_for("t")) == 0
+
+
+class TestDdlChecks:
+    def test_retrieve_into_existing_name(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, "retrieve into rb (s.id)")
+
+    def test_append_to_unknown_relation(self, loaded):
+        with pytest.raises(UnknownRelationError):
+            analyze(loaded, "append to ghost (id = 1)")
+
+    def test_append_unknown_attribute(self, loaded):
+        with pytest.raises(TQuelSemanticError):
+            analyze(loaded, "append to rb (ghost = 1)")

@@ -1,0 +1,79 @@
+"""Unit tests for the system catalog relations."""
+
+import pytest
+
+from repro.catalog.schema import DatabaseType, RelationSchema
+from repro.catalog.system import SystemCatalog
+from repro.errors import CatalogError
+from repro.storage.buffer import BufferPool
+from repro.storage.record import FieldSpec
+
+
+def schema(name="emp", db_type=DatabaseType.TEMPORAL):
+    return RelationSchema(
+        name,
+        [FieldSpec.parse("id", "i4"), FieldSpec.parse("s", "c8")],
+        type=db_type,
+    )
+
+
+@pytest.fixture
+def catalog():
+    return SystemCatalog(BufferPool())
+
+
+class TestRecordCreate:
+    def test_relation_tuple_written(self, catalog):
+        catalog.record_create(schema())
+        rows = [row for _, row in catalog.relations.scan()]
+        assert ("emp", "temporal", "interval", "heap", "", 100) in rows
+
+    def test_attribute_tuples_include_implicit(self, catalog):
+        catalog.record_create(schema())
+        names = [
+            row[1]
+            for _, row in catalog.attributes.scan()
+            if row[0] == "emp"
+        ]
+        assert "transaction_start" in names and "id" in names
+        implicit_flags = {
+            row[1]: row[4]
+            for _, row in catalog.attributes.scan()
+            if row[0] == "emp"
+        }
+        assert implicit_flags["id"] == 0
+        assert implicit_flags["valid_to"] == 1
+
+    def test_duplicate_rejected(self, catalog):
+        catalog.record_create(schema())
+        with pytest.raises(CatalogError):
+            catalog.record_create(schema())
+
+    def test_names_listed(self, catalog):
+        catalog.record_create(schema("a"))
+        catalog.record_create(schema("b"))
+        assert catalog.cataloged_names() == ["a", "b"]
+
+
+class TestModifyDestroy:
+    def test_modify_updates_in_place(self, catalog):
+        catalog.record_create(schema())
+        catalog.record_modify("emp", "hash", "id", 50)
+        rows = [row for _, row in catalog.relations.scan()]
+        assert ("emp", "temporal", "interval", "hash", "id", 50) in rows
+
+    def test_modify_unknown_relation(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.record_modify("ghost", "hash", "id", 100)
+
+    def test_destroy_blanks_tuple(self, catalog):
+        catalog.record_create(schema())
+        catalog.record_destroy("emp")
+        assert catalog.cataloged_names() == []
+        with pytest.raises(CatalogError):
+            catalog.record_destroy("emp")
+
+    def test_io_is_metered_as_system(self, catalog):
+        pool_stats = catalog.relations.file._stats  # shared meter
+        assert pool_stats.is_system("relations")
+        assert pool_stats.is_system("attributes")

@@ -1,0 +1,60 @@
+"""Unit tests for the benchmark workload generator's guarantees."""
+
+import pytest
+
+from repro.bench.queries import benchmark_queries
+from repro.bench.workload import (
+    PROBE_ID,
+    WorkloadConfig,
+    all_configs,
+    full_bucket,
+)
+from repro.catalog.schema import DatabaseType
+
+
+class TestFullBucket:
+    def test_paper_probe_key_is_in_full_buckets(self):
+        # Key 500 of the 1024-tuple workload sits in a full bucket at
+        # both loading factors -- the property behind the exact 1+2n law.
+        assert full_bucket(500, 1024, 100)
+        assert full_bucket(500, 1024, 50)
+
+    def test_some_keys_are_not(self):
+        # 1024 = 7*129 + 121: residues above 121 are one tuple short.
+        assert not full_bucket(122, 1024, 100)
+
+    def test_small_scale_has_full_buckets_at_half_loading(self):
+        assert any(full_bucket(k, 32, 50) for k in range(1, 33))
+
+
+class TestProbeId:
+    def test_paper_scale_uses_500(self):
+        config = WorkloadConfig(db_type=DatabaseType.TEMPORAL, tuples=1024)
+        assert config.probe_id == PROBE_ID
+
+    @pytest.mark.parametrize("tuples", [64, 128, 256, 512])
+    def test_reduced_scale_probe_properties(self, tuples):
+        config = WorkloadConfig(db_type=DatabaseType.TEMPORAL, tuples=tuples)
+        probe = config.probe_id
+        assert 1 <= probe <= tuples
+        assert probe % 8 != 1  # off the ISAM page boundaries
+        assert full_bucket(probe, tuples, 100)
+        assert full_bucket(probe, tuples, 50)
+
+
+class TestConfigs:
+    def test_labels_are_stable(self):
+        config = WorkloadConfig(db_type=DatabaseType.ROLLBACK, loading=50)
+        assert config.label == "rollback/50%"
+
+    def test_all_configs_cover_matrix(self):
+        pairs = {
+            (c.db_type, c.loading) for c in all_configs(tuples=64)
+        }
+        assert len(pairs) == 8
+
+    def test_queries_embed_probe_id(self):
+        config = WorkloadConfig(db_type=DatabaseType.TEMPORAL, tuples=64)
+        texts = benchmark_queries(config)
+        assert f"h.id = {config.probe_id}" in texts["Q01"]
+        assert f"h.id = {config.probe_id}" in texts["Q12"]
