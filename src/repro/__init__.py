@@ -18,13 +18,20 @@ The package implements, from scratch in Python:
 
 Quickstart::
 
-    from repro import TemporalDatabase
+    import repro
 
-    db = TemporalDatabase()
-    db.execute('create persistent interval emp (name = c20, sal = i4)')
-    db.execute('append to emp (name = "ahn", sal = 30000)')
-    db.execute('range of e is emp')
-    print(db.execute('retrieve (e.name, e.sal) when e overlap "now"').rows)
+    with repro.connect() as session:
+        session.execute('create persistent interval emp (name = c20, sal = i4)')
+        session.execute('append to emp (name = "ahn", sal = 30000)')
+        session.execute('range of e is emp')
+        query = session.prepare('retrieve (e.sal) where e.name = $name')
+        for row in query.execute(params={"name": "ahn"}):
+            print(row)
+
+(``TemporalDatabase`` remains the engine-level entry point; a
+:class:`Session` adds prepared statements, parameter batching, ``EXPLAIN
+ANALYZE`` and direct access to the statement tracer and metrics
+registry -- see :mod:`repro.observe`.)
 """
 
 from repro.access.base import StructureKind
@@ -34,6 +41,8 @@ from repro.catalog.schema import DatabaseType, RelationKind, RelationSchema
 from repro.engine.database import TemporalDatabase
 from repro.engine.integrity import check_database, check_relation
 from repro.engine.result import Result
+from repro.engine.session import PreparedStatement, Session, connect
+from repro.observe import MetricsRegistry, Span, Tracer
 from repro.temporal.coalesce import coalesce_periods, coalesce_rows
 from repro.errors import (
     ReproError,
@@ -63,23 +72,29 @@ __all__ = [
     "IODelta",
     "IOStats",
     "IndexLevels",
+    "MetricsRegistry",
     "Period",
+    "PreparedStatement",
     "RelationKind",
     "RelationSchema",
     "ReproError",
     "Resolution",
     "Result",
     "SecondaryIndex",
+    "Session",
+    "Span",
     "StructureKind",
     "TQuelError",
     "TQuelSemanticError",
     "TQuelSyntaxError",
     "TemporalDatabase",
+    "Tracer",
     "TwoLevelStore",
     "check_database",
     "check_relation",
     "coalesce_periods",
     "coalesce_rows",
+    "connect",
     "format_chronon",
     "parse_temporal",
     "__version__",

@@ -180,6 +180,26 @@ def measure_suite(
     }
 
 
+def trace_queries(bench: BenchDatabase, two_level: bool = False) -> dict:
+    """Run each applicable benchmark query once under the tracer.
+
+    Returns ``{query_id: Span}`` -- the measured span tree per query,
+    with per-stage wall time and per-relation page I/O.  The tracer only
+    reads the I/O meter, so the page counts match an untraced run.
+    """
+    db = bench.db
+    texts = benchmark_queries(bench.config, two_level=two_level)
+    spans = {}
+    with db.tracer.force():
+        for query_id, text in texts.items():
+            if text is None:
+                continue
+            db.pool.flush_all()
+            db.execute(text)
+            spans[query_id] = db.tracer.last
+    return spans
+
+
 class BenchmarkRun:
     """One configuration's sweep over update counts."""
 

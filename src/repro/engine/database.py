@@ -19,7 +19,7 @@ page per user relation.
 
 from __future__ import annotations
 
-import os
+from collections import OrderedDict
 
 from repro.access.base import StructureKind
 from repro.access.secondary import IndexLevels
@@ -37,6 +37,9 @@ from repro.errors import (
     TQuelSemanticError,
     UnknownRelationError,
 )
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.span import NULL_SPAN
+from repro.observe.trace import Tracer
 from repro.storage.buffer import BufferPool
 from repro.storage.record import AttributeType, FieldSpec
 from repro.temporal.chronon import Chronon, Clock
@@ -44,8 +47,31 @@ from repro.temporal.format import Resolution, format_chronon
 from repro.temporal.parse import parse_temporal
 from repro.tquel import ast
 from repro.tquel.interpreter import Executor
-from repro.tquel.parser import parse
+from repro.tquel.lexer import tokenize
+from repro.tquel.parser import parse_tokens
 from repro.tquel.semantics import Analyzer
+
+PLAN_CACHE_CAPACITY = 64
+
+
+class _PlanEntry:
+    """One statement text's cached compilation.
+
+    ``statements`` holds the parsed ASTs (parsing is pure, so they stay
+    valid forever); ``analyses`` holds, per statement, ``(epoch,
+    Analysis)`` once semantic analysis has run.  A cached analysis is
+    reused only while the database's catalog epoch is unchanged -- any
+    DDL or range-table change bumps the epoch and forces re-analysis.
+    """
+
+    __slots__ = ("text", "statements", "analyses")
+
+    def __init__(self, text: str, statements: list):
+        self.text = text
+        self.statements = statements
+        self.analyses: "list[tuple[int, object] | None]" = (
+            [None] * len(statements)
+        )
 
 _STRUCTURES = {
     "heap": StructureKind.HEAP,
@@ -99,6 +125,15 @@ class TemporalDatabase:
         self.ranges: "dict[str, str]" = {}
         self._relations: "dict[str, StoredRelation]" = {}
         self._analyzer = Analyzer(self)
+        # Observability: the tracer wraps statements in span trees when
+        # enabled; the metrics registry is always on (pure Python counters
+        # over numbers IOStats already maintains -- never a page access).
+        self.tracer = Tracer(self.pool.stats)
+        self.metrics = MetricsRegistry()
+        # Prepared-statement/plan cache: text -> _PlanEntry (LRU).
+        self._plan_cache: "OrderedDict[str, _PlanEntry]" = OrderedDict()
+        self._plan_cache_capacity = PLAN_CACHE_CAPACITY
+        self._catalog_epoch = 0
 
     # -- infrastructure the language layer uses ------------------------------
 
@@ -156,6 +191,7 @@ class TemporalDatabase:
         relation = StoredRelation(schema, self.pool)
         self._relations[name] = relation
         self.catalog.record_create(schema)
+        self._invalidate_plans()
         return relation
 
     def modify_relation(
@@ -206,6 +242,7 @@ class TemporalDatabase:
             relation.disable_zone_map()
         self.pool.flush_all()
         self.catalog.record_modify(name, structure, key or "", fillfactor)
+        self._invalidate_plans()
         return relation
 
     def create_index(
@@ -234,6 +271,7 @@ class TemporalDatabase:
             fillfactor=fillfactor,
         )
         self.pool.flush_all()
+        self._invalidate_plans()
         return index
 
     def vacuum_relation(self, name: str, before: "Chronon | str") -> int:
@@ -290,6 +328,7 @@ class TemporalDatabase:
         self.ranges = {
             var: rel for var, rel in self.ranges.items() if rel != name
         }
+        self._invalidate_plans()
 
     def _require_user_relation(self, name: str) -> StoredRelation:
         if name not in self._relations:
@@ -316,11 +355,12 @@ class TemporalDatabase:
         self.pool.flush_all()
         return rows
 
-    def explain(self, text: str) -> str:
-        """Describe the plan for a retrieve without executing it."""
+    def explain(self, text: str, analyze: bool = False) -> str:
+        """Describe the plan for a retrieve; with *analyze*, also execute
+        it under the tracer and render the measured span tree."""
         from repro.tquel.explain import explain
 
-        return explain(self, text)
+        return explain(self, text, analyze=analyze)
 
     # -- persistence ------------------------------------------------------------------
 
@@ -343,49 +383,149 @@ class TemporalDatabase:
 
     # -- statement execution ---------------------------------------------------------
 
-    def execute(self, text: str):
+    def execute(self, text: str, params: "dict | None" = None):
         """Parse and run TQuel; one Result, or a list for multi-statement
-        input."""
-        statements = parse(text)
-        if not statements:
+        input.
+
+        *params* binds ``$name`` statement parameters, e.g.
+        ``db.execute("retrieve (h.seq) where h.id = $id", params={"id":
+        500})``.  Compilation (lex, parse, semantic analysis) is cached
+        per statement text, so re-executing the same text -- with the same
+        or different parameters -- skips straight to execution.
+        """
+        with self.tracer.statement(text) as span:
+            entry = self._plan_entry(text, span)
+            return self._run_entry(entry, span, params)
+
+    def prepare(self, text: str):
+        """Compile *text* into a reusable :class:`PreparedStatement`.
+
+        Lexing, parsing and (for query/update statements) semantic
+        analysis happen now; each ``.execute(params)`` afterwards goes
+        straight to planning and execution.
+        """
+        from repro.engine.session import PreparedStatement
+
+        return PreparedStatement(self, text)
+
+    def executemany(
+        self, text: str, param_sets: "list[dict]"
+    ) -> "list":
+        """Prepare *text* once and execute it per parameter set."""
+        return self.prepare(text).executemany(param_sets)
+
+    def _invalidate_plans(self) -> None:
+        """DDL or range-table change: cached semantic analyses are stale."""
+        self._catalog_epoch += 1
+
+    def _plan_entry(self, text: str, span=NULL_SPAN) -> _PlanEntry:
+        """The plan-cache entry for *text*, lexing and parsing on a miss."""
+        entry = self._plan_cache.get(text)
+        if entry is not None:
+            self._plan_cache.move_to_end(text)
+            self.metrics.inc("plancache.hits")
+            span.annotate(plan_cache="hit")
+            return entry
+        self.metrics.inc("plancache.misses")
+        with span.stage("lex"):
+            tokens = tokenize(text)
+        with span.stage("parse"):
+            statements = parse_tokens(tokens)
+        entry = _PlanEntry(text, statements)
+        self._plan_cache[text] = entry
+        while len(self._plan_cache) > self._plan_cache_capacity:
+            self._plan_cache.popitem(last=False)
+        return entry
+
+    def _analysis_for(self, entry: _PlanEntry, index: int, span=NULL_SPAN):
+        """The (possibly cached) semantic analysis of one statement.
+
+        Analysis binds relations and range variables, so a cached result
+        is valid only at the catalog epoch it was computed at.  Returns
+        ``None`` for statements that are not analyzed (DDL, copy, ...).
+        """
+        statement = entry.statements[index]
+        if isinstance(statement, ast.RetrieveStmt):
+            analyze = self._analyzer.analyze_retrieve
+        elif isinstance(
+            statement, (ast.AppendStmt, ast.DeleteStmt, ast.ReplaceStmt)
+        ):
+            analyze = self._analyzer.analyze_update
+        else:
+            return None
+        cached = entry.analyses[index]
+        if cached is not None and cached[0] == self._catalog_epoch:
+            span.annotate(analysis="cached")
+            return cached[1]
+        with span.stage("semantics"):
+            analysis = analyze(statement)
+        entry.analyses[index] = (self._catalog_epoch, analysis)
+        return analysis
+
+    def _run_entry(self, entry: _PlanEntry, span, params) -> "Result | list":
+        if not entry.statements:
             raise ExecutionError("no statement to execute")
-        results = [self._run(statement) for statement in statements]
+        results = [
+            self._run(entry, index, span, params)
+            for index in range(len(entry.statements))
+        ]
         if len(results) == 1:
             return results[0]
         return results
 
-    def _run(self, statement) -> Result:
+    def _run(self, entry: _PlanEntry, index: int, span, params) -> Result:
+        statement = entry.statements[index]
         if isinstance(
             statement,
             (ast.AppendStmt, ast.DeleteStmt, ast.ReplaceStmt, ast.CopyStmt),
         ):
             self.clock.advance()
         before = self.stats.checkpoint()
-        result = self._dispatch(statement)
-        self.pool.flush_all()
+        runner = self._planned_runner(entry, index, span, params)
+        with span.stage("execute"):
+            result = runner()
+            self.pool.flush_all()
         result.io = self.stats.delta(before)
+        self.metrics.inc(f"statements.{result.kind}")
+        self.metrics.observe("statement.input_pages", result.io.input_pages)
+        self.metrics.observe("statement.output_pages", result.io.output_pages)
         return result
+
+    def _planned_runner(self, entry: _PlanEntry, index: int, span, params):
+        """Resolve one statement to a zero-argument execution callable.
+
+        Query and update statements are analyzed (span stage
+        ``semantics``, cached across executions) and planned (stage
+        ``plan``: Executor construction resolves the as-of period and
+        access-path state); everything else dispatches directly.
+        """
+        statement = entry.statements[index]
+        if isinstance(
+            statement,
+            (ast.RetrieveStmt, ast.AppendStmt, ast.DeleteStmt,
+             ast.ReplaceStmt),
+        ):
+            analysis = self._analysis_for(entry, index, span)
+            with span.stage("plan"):
+                executor = Executor(self, analysis, params=params)
+            if isinstance(statement, ast.RetrieveStmt):
+                return executor.run_retrieve
+            if isinstance(statement, ast.AppendStmt):
+                return executor.run_append
+            if isinstance(statement, ast.DeleteStmt):
+                return executor.run_delete
+            return executor.run_replace
+        return lambda: self._dispatch(statement)
 
     def _dispatch(self, statement) -> Result:
         if isinstance(statement, ast.RangeStmt):
             self.relation(statement.relation)  # must exist
             self.ranges[statement.var] = statement.relation
+            self._invalidate_plans()
             return Result(
                 kind="range",
                 message=f"{statement.var} ranges over {statement.relation}",
             )
-        if isinstance(statement, ast.RetrieveStmt):
-            analysis = self._analyzer.analyze_retrieve(statement)
-            return Executor(self, analysis).run_retrieve()
-        if isinstance(statement, ast.AppendStmt):
-            analysis = self._analyzer.analyze_update(statement)
-            return Executor(self, analysis).run_append()
-        if isinstance(statement, ast.DeleteStmt):
-            analysis = self._analyzer.analyze_update(statement)
-            return Executor(self, analysis).run_delete()
-        if isinstance(statement, ast.ReplaceStmt):
-            analysis = self._analyzer.analyze_update(statement)
-            return Executor(self, analysis).run_replace()
         if isinstance(statement, ast.CreateStmt):
             self.create_relation(
                 statement.relation,

@@ -28,7 +28,6 @@ from repro.access.secondary import unpack_tid
 from repro.catalog.schema import (
     TRANSACTION_START,
     TRANSACTION_STOP,
-    VALID_FROM,
     VALID_TO,
     RelationKind,
 )

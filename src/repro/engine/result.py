@@ -34,6 +34,23 @@ class Result:
         """Rows as column-keyed dicts (application convenience)."""
         return [dict(zip(self.columns, row)) for row in self.rows]
 
+    # A Result is a proper sequence over its rows, so application code can
+    # write ``for row in result``, ``len(result)``, ``result[0]`` directly.
+    # Note this makes empty results falsy; test emptiness with
+    # ``len(result)``, not identity with statement success.
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __getitem__(self, index):
+        return self.rows[index]
+
+    def __contains__(self, row) -> bool:
+        return row in self.rows
+
     def first(self):
         """The first row, or ``None`` when the result is empty."""
         return self.rows[0] if self.rows else None

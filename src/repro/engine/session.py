@@ -1,0 +1,166 @@
+"""The application-facing session API.
+
+:func:`repro.connect` returns a :class:`Session` -- a thin, typed facade
+over one :class:`~repro.engine.database.TemporalDatabase` in the spirit of
+DB-API connections and the session objects of language-integrated query
+layers (Fowler et al.):
+
+    with repro.connect("payroll") as session:
+        session.execute("create persistent interval emp (name = c20, sal = i4)")
+        session.execute("range of e is emp")
+        probe = session.prepare("retrieve (e.sal) where e.name = $name")
+        for row in probe.execute(params={"name": "ahn"}):
+            ...
+
+``TemporalDatabase.execute`` keeps working unchanged as the underlying
+engine entry point; a session adds prepared statements, parameter
+batching, ``EXPLAIN [ANALYZE]`` and direct access to the tracer and
+metrics registry.
+"""
+
+from __future__ import annotations
+
+from repro.engine.database import TemporalDatabase
+from repro.errors import ExecutionError, TQuelSemanticError, UnknownRelationError
+
+
+class PreparedStatement:
+    """One statement text, compiled once and executable many times.
+
+    ``prepare`` lexes, parses and semantically analyzes the text up
+    front; each :meth:`execute` afterwards goes straight to planning and
+    execution (re-analyzing only if DDL changed the catalog in between).
+    The entry is pinned here, so it survives plan-cache eviction.
+
+    Multi-statement scripts whose later statements depend on earlier DDL
+    (``create`` then ``retrieve``) cannot be analyzed up front; their
+    analysis is deferred to execution, one statement at a time.
+    """
+
+    def __init__(self, database: TemporalDatabase, text: str):
+        self._db = database
+        self.text = text
+        self._entry = database._plan_entry(text)
+        for index in range(len(self._entry.statements)):
+            try:
+                database._analysis_for(self._entry, index)
+            except (TQuelSemanticError, UnknownRelationError):
+                if len(self._entry.statements) == 1:
+                    raise
+                # Dependent script: analyze this one lazily at execution.
+                break
+
+    def execute(self, params: "dict | None" = None):
+        """Run the prepared statement(s); Result or list of Results."""
+        db = self._db
+        db.metrics.inc("plancache.prepared_executions")
+        with db.tracer.statement(self.text) as span:
+            span.annotate(prepared=True)
+            return db._run_entry(self._entry, span, params)
+
+    def executemany(self, param_sets) -> list:
+        """Run once per parameter set; the compiled plan is reused."""
+        return [self.execute(params) for params in param_sets]
+
+    def explain(self, analyze: bool = False) -> str:
+        """The plan narration (and measured span tree with *analyze*)."""
+        return self._db.explain(self.text, analyze=analyze)
+
+    def __repr__(self) -> str:
+        return f"PreparedStatement({self.text!r})"
+
+
+class Session:
+    """A facade over one temporal database: execute, prepare, explain.
+
+    Sessions are context managers; closing flushes every buffer pool and
+    rejects further statements.  The underlying engine stays reachable as
+    ``session.db`` for catalog-level operations (``create_index``,
+    ``vacuum_relation``, ``save`` ...).
+    """
+
+    def __init__(self, database: "TemporalDatabase | None" = None, **kwargs):
+        self.db = (
+            database if database is not None else TemporalDatabase(**kwargs)
+        )
+        self._closed = False
+
+    # -- statement execution -------------------------------------------------
+
+    def execute(self, text: str, params: "dict | None" = None):
+        """Run TQuel text; one Result, or a list for multi-statement input."""
+        self._check_open()
+        return self.db.execute(text, params=params)
+
+    def executemany(self, text: str, param_sets) -> list:
+        """Prepare *text* once, execute it per parameter set."""
+        self._check_open()
+        return self.db.executemany(text, param_sets)
+
+    def prepare(self, text: str) -> PreparedStatement:
+        """Compile *text* now; execute it later (repeatedly, with params)."""
+        self._check_open()
+        return PreparedStatement(self.db, text)
+
+    def explain(self, text: str, analyze: bool = False) -> str:
+        """Plan narration for a retrieve; *analyze* executes it under the
+        tracer and appends the measured span tree."""
+        self._check_open()
+        return self.db.explain(text, analyze=analyze)
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The database's statement tracer (``tracer.enable()`` ...)."""
+        return self.db.tracer
+
+    @property
+    def metrics(self):
+        """The database's metrics registry."""
+        return self.db.metrics
+
+    def last_trace(self):
+        """The most recent statement's span tree (None if tracing is off)."""
+        return self.db.tracer.last
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Flush all buffered pages and reject further statements."""
+        if not self._closed:
+            self.db.pool.flush_all()
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecutionError("session is closed")
+
+    def __enter__(self) -> "Session":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Session({self.db.name!r}, {state})"
+
+
+def connect(
+    name: str = "tdb",
+    clock=None,
+    buffers_per_relation: int = 1,
+    database: "TemporalDatabase | None" = None,
+) -> Session:
+    """Open a :class:`Session` on a new (or supplied) temporal database."""
+    if database is not None:
+        return Session(database)
+    return Session(
+        name=name, clock=clock, buffers_per_relation=buffers_per_relation
+    )

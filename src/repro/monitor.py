@@ -10,8 +10,13 @@ Statements are plain TQuel; meta-commands start with a backslash:
 ``\\i file``    run TQuel statements from a script file
 ``\\check``     integrity-check the database (``\\check name``: one relation)
 ``\\explain q`` show the decomposition plan for a retrieve
+               (``\\explain analyze q`` also runs it and shows the
+               measured span tree)
 ``\\save dir``  checkpoint the database; ``\\restore dir`` loads one
 ``\\io``        toggle per-statement I/O reporting
+``\\trace``     toggle statement tracing (``on``/``off``/``last``)
+``\\metrics``   show engine metrics (``reset`` clears; ``storage``
+               refreshes page/overflow-chain gauges first)
 ``\\clock``     show the logical clock; ``\\clock advance N`` moves it
 ``\\time fmt``  output resolution: second/minute/hour/day/month/year
 ``\\q``         quit
@@ -74,6 +79,10 @@ class Monitor:
         elif command == "io":
             self.show_io = not self.show_io
             self._print(f"I/O reporting {'on' if self.show_io else 'off'}")
+        elif command == "trace":
+            self._trace_command(parts[1:])
+        elif command == "metrics":
+            self._metrics_command(parts[1:])
         elif command == "clock":
             if len(parts) == 3 and parts[1] == "advance":
                 try:
@@ -139,6 +148,43 @@ class Monitor:
         else:
             self._print(f"unknown meta-command \\{command} (try \\?)")
 
+    def _trace_command(self, args: "list[str]") -> None:
+        tracer = self.db.tracer
+        mode = args[0] if args else ("off" if tracer.enabled else "on")
+        if mode == "on":
+            tracer.enable()
+            self._print("tracing on")
+        elif mode == "off":
+            tracer.disable()
+            self._print("tracing off")
+        elif mode == "last":
+            if tracer.last is None:
+                self._print("  no traced statement yet (\\trace on first)")
+            else:
+                for line in tracer.last.render().split("\n"):
+                    self._print("  " + line)
+        else:
+            self._print("usage: \\trace [on|off|last]")
+
+    def _metrics_command(self, args: "list[str]") -> None:
+        if args and args[0] == "reset":
+            self.db.metrics.reset()
+            self._print("metrics reset")
+            return
+        if args and args[0] == "storage":
+            from repro.observe import record_structure_metrics
+
+            record_structure_metrics(self.db)
+        elif args:
+            self._print("usage: \\metrics [reset|storage]")
+            return
+        rendered = self.db.metrics.render()
+        if not rendered:
+            self._print("  no metrics recorded yet")
+            return
+        for line in rendered.split("\n"):
+            self._print("  " + line)
+
     # -- statement execution ----------------------------------------------------
 
     def _format_value(self, value, column: str):
@@ -189,8 +235,13 @@ class Monitor:
         if not stripped:
             return
         if stripped.startswith("\\explain "):
+            text = stripped[len("\\explain "):].lstrip()
+            analyze = False
+            if text.startswith("analyze "):
+                analyze = True
+                text = text[len("analyze "):].lstrip()
             try:
-                self._print(self.db.explain(stripped[len("\\explain "):]))
+                self._print(self.db.explain(text, analyze=analyze))
             except ReproError as error:
                 self._print(f"  error: {error}")
             return

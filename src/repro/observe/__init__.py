@@ -1,0 +1,42 @@
+"""Observability: statement tracing, span trees and a metrics registry.
+
+The paper's evaluation rests on one hand-counted metric -- page reads of
+user relations (Section 5.1), measured by :mod:`repro.storage.iostats`.
+This package generalizes that visibility into first-class instrumentation:
+
+* :mod:`repro.observe.span` -- a span tree recording per-stage wall time
+  and per-relation page I/O deltas for one executed statement;
+* :mod:`repro.observe.trace` -- the tracer a database owns; when enabled
+  it wraps every statement in a span tree (lex, parse, semantics, plan,
+  execute);
+* :mod:`repro.observe.metrics` -- counters, histograms and gauges
+  (statements by kind, pages read per statement, detachments per query,
+  overflow-chain lengths).
+
+The hard invariant: instrumentation never changes page-read accounting.
+Spans and metrics only *read* the :class:`~repro.storage.iostats.IOStats`
+counters (checkpoints and deltas are pure reads) and walk storage via the
+unmetered ``peek`` path, so an instrumented run reports byte-identical
+page counts to an uninstrumented one.
+"""
+
+from repro.observe.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    overflow_chain_lengths,
+    record_structure_metrics,
+)
+from repro.observe.span import NULL_SPAN, Span
+from repro.observe.trace import Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "overflow_chain_lengths",
+    "record_structure_metrics",
+]

@@ -1,0 +1,230 @@
+"""A counter/histogram/gauge registry for the execution pipeline.
+
+The registry generalizes the paper's single hand-counted metric into
+always-available operational numbers:
+
+* **counters** -- monotonically increasing totals (statements by kind,
+  plan-cache hits and misses, one-variable detachments);
+* **histograms** -- distributions with power-of-two buckets (pages read
+  per statement, overflow-chain lengths, detachments per query);
+* **gauges** -- last-set values (per-relation page counts).
+
+Recording is plain Python arithmetic over the already-maintained
+:class:`~repro.storage.iostats.IOStats` numbers; nothing here issues a
+metered page access, so enabling metrics never changes the page counts
+being measured.  Structure metrics (:func:`record_structure_metrics`)
+walk pages through the unmetered ``peek`` path for the same reason.
+"""
+
+from __future__ import annotations
+
+from repro.access.base import StructureKind
+from repro.storage.page import NO_PAGE
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Histogram:
+    """A distribution with power-of-two buckets.
+
+    ``buckets[b]`` counts observations ``v`` with ``v <= b`` and
+    ``v > b // 2`` (the bucket below); values of zero land in bucket 0.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self.buckets: "dict[int, int]" = {}
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bound = 0
+        while bound < value:
+            bound = 1 if bound == 0 else bound * 2
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": dict(sorted(self.buckets.items())),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, min={self.min}, "
+            f"max={self.max}, mean={self.mean:.2f})"
+        )
+
+
+class MetricsRegistry:
+    """Named counters, histograms and gauges, created on first use."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: "dict[str, Counter]" = {}
+        self._histograms: "dict[str, Histogram]" = {}
+        self._gauges: "dict[str, object]" = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def histogram(self, name: str, reset: bool = False) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None or reset:
+            histogram = self._histograms[name] = Histogram()
+        return histogram
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        if self.enabled:
+            self.counter(name).inc(amount)
+
+    def observe(self, name: str, value) -> None:
+        if self.enabled:
+            self.histogram(name).observe(value)
+
+    def gauge(self, name: str, value) -> None:
+        if self.enabled:
+            self._gauges[name] = value
+
+    # -- reading -----------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def gauge_value(self, name: str, default=None):
+        return self._gauges.get(name, default)
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every metric."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self._histograms.items())
+            },
+            "gauges": dict(sorted(self._gauges.items())),
+        }
+
+    def render(self) -> str:
+        """Human-readable dump (the monitor's ``\\metrics`` output)."""
+        lines = []
+        if self._counters:
+            lines.append("counters:")
+            for name, counter in sorted(self._counters.items()):
+                lines.append(f"  {name:<40} {counter.value}")
+        if self._histograms:
+            lines.append("histograms:")
+            for name, histogram in sorted(self._histograms.items()):
+                if histogram.count == 0:
+                    lines.append(f"  {name:<40} (empty)")
+                    continue
+                lines.append(
+                    f"  {name:<40} count={histogram.count} "
+                    f"min={histogram.min} max={histogram.max} "
+                    f"mean={histogram.mean:.2f}"
+                )
+        if self._gauges:
+            lines.append("gauges:")
+            for name, value in sorted(self._gauges.items()):
+                lines.append(f"  {name:<40} {value}")
+        if not lines:
+            return "(no metrics recorded)"
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+        self._gauges.clear()
+
+
+# -- structure metrics ------------------------------------------------------
+
+
+def overflow_chain_lengths(storage) -> "list[int]":
+    """Chain length (pages) per bucket/data page, via unmetered peeks.
+
+    Hash files chain per bucket, ISAM files per data page; a two-level
+    store reports its primary store.  Structures without overflow chains
+    (heap, B-tree) yield an empty list.
+    """
+    kind = getattr(storage, "kind", None)
+    if kind is StructureKind.TWO_LEVEL:
+        return overflow_chain_lengths(storage.primary)
+    if kind is StructureKind.HASH:
+        heads = range(storage.buckets)
+    elif kind is StructureKind.ISAM:
+        heads = range(storage.data_pages)
+    else:
+        return []
+    lengths = []
+    for head in heads:
+        length = 0
+        page_id = head
+        while page_id != NO_PAGE:
+            length += 1
+            page_id = storage.file.peek(page_id).overflow
+        lengths.append(length)
+    return lengths
+
+
+def record_structure_metrics(db, registry: "MetricsRegistry | None" = None):
+    """Snapshot storage-shape metrics for every user relation of *db*.
+
+    Sets per-relation page/overflow gauges and rebuilds the
+    ``storage.overflow_chain_length`` histogram from the current chains.
+    Everything is read through ``peek``; no page access is metered.
+    """
+    registry = registry if registry is not None else db.metrics
+    chains = registry.histogram("storage.overflow_chain_length", reset=True)
+    for name in db.relation_names():
+        relation = db.relation(name)
+        registry.gauge(f"storage.{name}.pages", relation.page_count)
+        lengths = overflow_chain_lengths(relation.storage)
+        if lengths:
+            registry.gauge(
+                f"storage.{name}.overflow_pages",
+                sum(length - 1 for length in lengths),
+            )
+            registry.gauge(f"storage.{name}.longest_chain", max(lengths))
+            for length in lengths:
+                chains.observe(length)
+    return registry

@@ -1,0 +1,193 @@
+"""Span trees: per-stage wall time and page-I/O deltas for one statement.
+
+A :class:`Span` covers one named unit of work (a whole statement, or one
+stage of its pipeline: lex, parse, semantics, plan, execute).  It records
+
+* wall time (``time.perf_counter``),
+* the :class:`~repro.storage.iostats.IODelta` performed while it was open
+  (taken from the database's I/O meter via checkpoint/delta -- pure reads,
+  so measuring never perturbs the accounting being measured),
+* free-form attributes and child spans.
+
+Spans are used as context managers through :meth:`Span.stage`; the
+:data:`NULL_SPAN` singleton implements the same surface as no-ops so the
+execution pipeline carries no conditionals when tracing is off.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+def _format_ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.3f} ms"
+
+
+def _format_io(delta) -> str:
+    """Compact per-relation I/O: ``h 7r/0w, _temp1 2r/2w``."""
+    if delta is None:
+        return ""
+    parts = [
+        f"{name} {counters.reads}r/{counters.writes}w"
+        for name, counters in sorted(delta.by_relation.items())
+    ]
+    return ", ".join(parts)
+
+
+class Span:
+    """One timed, I/O-metered unit of work with children."""
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "duration",
+        "io",
+        "_stats",
+        "_before",
+        "_t0",
+    )
+
+    def __init__(self, name: str, stats=None, attributes: "dict | None" = None):
+        self.name = name
+        self.attributes = dict(attributes or {})
+        self.children: "list[Span]" = []
+        self.duration = 0.0
+        self.io = None
+        self._stats = stats
+        self._before = None
+        self._t0 = None
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def start(self) -> "Span":
+        self._before = (
+            self._stats.checkpoint() if self._stats is not None else None
+        )
+        self._t0 = time.perf_counter()
+        return self
+
+    def finish(self) -> "Span":
+        self.duration = time.perf_counter() - self._t0
+        if self._before is not None:
+            self.io = self._stats.delta(self._before)
+        return self
+
+    @contextmanager
+    def stage(self, name: str, **attributes):
+        """Open a child span covering the ``with`` body."""
+        child = Span(name, self._stats, attributes)
+        child.start()
+        try:
+            yield child
+        finally:
+            child.finish()
+            self.children.append(child)
+
+    def annotate(self, **attributes) -> None:
+        """Attach key/value attributes to this span."""
+        self.attributes.update(attributes)
+
+    def find(self, name: str) -> "Span | None":
+        """The first descendant span named *name* (depth-first)."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            below = child.find(name)
+            if below is not None:
+                return below
+        return None
+
+    def as_dict(self) -> dict:
+        """JSON-safe form for programmatic consumption."""
+        data = {
+            "name": self.name,
+            "duration_ms": self.duration * 1000.0,
+            "attributes": dict(self.attributes),
+            "children": [child.as_dict() for child in self.children],
+        }
+        if self.io is not None:
+            data["io"] = self.io.as_dict()
+        return data
+
+    def _label(self) -> str:
+        extras = []
+        if self.attributes:
+            extras.append(
+                ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(self.attributes.items())
+                    if key != "text"
+                )
+            )
+        io_text = _format_io(self.io)
+        if io_text:
+            extras.append(f"[{io_text}]")
+        suffix = ("  " + "  ".join(part for part in extras if part)).rstrip()
+        return f"{self.name}  {_format_ms(self.duration)}{suffix}"
+
+    def render(self, prefix: str = "") -> str:
+        """The span tree as indented text (one line per span)."""
+        lines = [prefix + self._label()]
+        for index, child in enumerate(self.children):
+            last = index == len(self.children) - 1
+            branch = "└─ " if last else "├─ "
+            follow = "   " if last else "│  "
+            sub = child.render()
+            sub_lines = sub.split("\n")
+            lines.append(prefix + branch + sub_lines[0])
+            lines.extend(prefix + follow + line for line in sub_lines[1:])
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {_format_ms(self.duration)}, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NullSpan:
+    """Shared no-op span: the disabled tracer's entire footprint."""
+
+    __slots__ = ()
+
+    name = ""
+    duration = 0.0
+    io = None
+    children: "list[Span]" = []
+    attributes: dict = {}
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def start(self):
+        return self
+
+    def finish(self):
+        return self
+
+    @contextmanager
+    def stage(self, name: str, **attributes):
+        yield self
+
+    def annotate(self, **attributes) -> None:
+        pass
+
+    def find(self, name: str):
+        return None
+
+    def as_dict(self) -> dict:
+        return {}
+
+    def render(self, prefix: str = "") -> str:
+        return ""
+
+    def __repr__(self) -> str:
+        return "NullSpan()"
+
+
+NULL_SPAN = _NullSpan()

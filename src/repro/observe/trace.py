@@ -1,0 +1,66 @@
+"""The statement tracer a database owns.
+
+When enabled, :meth:`Tracer.statement` wraps one statement execution in a
+root :class:`~repro.observe.span.Span`; the execution pipeline opens child
+spans for its stages (lex, parse, semantics, plan, execute).  The last
+trace and a bounded history are kept for inspection (``EXPLAIN ANALYZE``
+and the monitor's ``\\trace`` report read them); an optional ``sink``
+callable receives every finished root span.
+
+When disabled (the default), :meth:`statement` yields the shared
+:data:`~repro.observe.span.NULL_SPAN` -- one attribute check per
+statement, no timing, no checkpoints.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+
+from repro.observe.span import NULL_SPAN, Span
+
+HISTORY_LIMIT = 64
+
+
+class Tracer:
+    """Wraps statements in span trees when enabled."""
+
+    def __init__(self, stats, enabled: bool = False):
+        self._stats = stats
+        self.enabled = enabled
+        self.last: "Span | None" = None
+        self.history: "deque[Span]" = deque(maxlen=HISTORY_LIMIT)
+        self.sink = None  # callable(Span) or None
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    @contextmanager
+    def force(self):
+        """Temporarily enable tracing (EXPLAIN ANALYZE uses this)."""
+        previous = self.enabled
+        self.enabled = True
+        try:
+            yield self
+        finally:
+            self.enabled = previous
+
+    @contextmanager
+    def statement(self, text: str):
+        """Open the root span for one statement (NULL_SPAN when off)."""
+        if not self.enabled:
+            yield NULL_SPAN
+            return
+        span = Span("statement", self._stats, {"text": text})
+        span.start()
+        try:
+            yield span
+        finally:
+            span.finish()
+            self.last = span
+            self.history.append(span)
+            if self.sink is not None:
+                self.sink(span)

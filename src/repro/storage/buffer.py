@@ -67,9 +67,16 @@ class BufferedFile:
         return self._capacity
 
     def resize_pool(self, buffers: int) -> None:
-        """Change the pool size (flushes first so accounting stays exact)."""
+        """Change the pool size (flushes first so accounting stays exact).
+
+        Requesting the current capacity is a no-op: flushing anyway would
+        spuriously evict resident pages and perturb the read accounting of
+        whatever runs next.
+        """
         if buffers < 1:
             raise StorageError(f"need at least 1 buffer, got {buffers}")
+        if buffers == self._capacity:
+            return
         self.flush()
         self._capacity = buffers
 

@@ -56,6 +56,24 @@ class IODelta:
         """The paper's "output cost": user-relation page writes."""
         return self.user.writes
 
+    def as_dict(self) -> dict:
+        """Stable JSON-safe form for programmatic consumption.
+
+        ``{"user": {"reads": .., "writes": ..}, "system": {...},
+        "by_relation": {name: {"reads": .., "writes": ..}, ...}}``
+        """
+        return {
+            "user": {"reads": self.user.reads, "writes": self.user.writes},
+            "system": {
+                "reads": self.system.reads,
+                "writes": self.system.writes,
+            },
+            "by_relation": {
+                name: {"reads": counters.reads, "writes": counters.writes}
+                for name, counters in sorted(self.by_relation.items())
+            },
+        }
+
 
 class IOStats:
     """Mutable per-database I/O meter."""

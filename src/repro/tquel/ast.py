@@ -38,6 +38,19 @@ class Const:
 
 
 @dataclass(frozen=True)
+class Param:
+    """A named statement parameter ``$name``, bound at execution time.
+
+    Parameters make prepared statements reusable: ``db.prepare("retrieve
+    (h.id) where h.id = $id")`` compiles once and executes for any
+    binding of ``id``.  A parameter's type is unknown until bound, so
+    semantic analysis treats it as a wildcard scalar.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
 class BinOp:
     """Arithmetic: ``+ - * /``."""
 

@@ -118,6 +118,22 @@ def compile_scalar(expr, var: "str | None", layouts, bindings):
     if isinstance(expr, ast.Const):
         value = expr.value
         return lambda row: value
+    if isinstance(expr, ast.Param):
+        # Parameter values live in the interpreter's bindings dict under
+        # the reserved "$params" key ("$" cannot start a range variable),
+        # so prepared statements re-execute with fresh values without
+        # recompiling any closure.
+        name = expr.name
+
+        def param_value(row):
+            values = bindings.get("$params")
+            if values is None or name not in values:
+                raise ExecutionError(
+                    f"parameter ${name} is not bound (pass params=...)"
+                )
+            return values[name]
+
+        return param_value
     if isinstance(expr, ast.Attr):
         owner = expr.var if expr.var is not None else var
         layout = layouts[owner]

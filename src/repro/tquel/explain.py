@@ -69,8 +69,15 @@ def _access_description(executor: Executor, var: str, bound: set) -> str:
     return f"sequential scan{suffix}"
 
 
-def explain(db, text: str) -> str:
-    """Render the plan for one retrieve statement."""
+def explain(db, text: str, analyze: bool = False) -> str:
+    """Render the plan for one retrieve statement.
+
+    With ``analyze=True`` the statement is also *executed* under the
+    tracer, and the measured span tree -- per-stage wall time and
+    per-relation page I/O -- is appended to the narration.  The
+    instrumentation only reads the I/O meter, so the page counts shown
+    are exactly what an untraced execution of the same statement costs.
+    """
     statement = parse_statement(text)
     if not isinstance(statement, ast.RetrieveStmt):
         raise TQuelSemanticError("explain covers retrieve statements")
@@ -142,4 +149,21 @@ def explain(db, text: str) -> str:
         lines.append("  deduplicate result rows")
     if statement.into is not None:
         lines.append(f"  store result into {statement.into}")
+    if analyze:
+        lines.extend(_measured_lines(db, text))
     return "\n".join(lines)
+
+
+def _measured_lines(db, text: str) -> "list[str]":
+    """Execute *text* under the tracer; render the measured span tree."""
+    with db.tracer.force():
+        result = db.execute(text)
+    span = db.tracer.last
+    lines = ["measured:"]
+    lines.extend("  " + line for line in span.render().split("\n"))
+    lines.append(
+        f"  result: {len(result.rows)} row(s), input "
+        f"{result.input_pages} page(s), output {result.output_pages} "
+        f"page(s)"
+    )
+    return lines

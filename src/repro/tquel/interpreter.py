@@ -69,10 +69,14 @@ class _VarSource:
 class Executor:
     """Executes one analyzed statement against a database."""
 
-    def __init__(self, database, analysis: Analysis):
+    def __init__(self, database, analysis: Analysis, params: "dict | None" = None):
         self._db = database
         self._analysis = analysis
         self._bindings: "dict[str, tuple]" = {}
+        if params:
+            # Reserved key: "$" cannot start a range variable, so scalar
+            # closures compiled for ast.Param read through it safely.
+            self._bindings["$params"] = dict(params)
         self._sources: "dict[str, _VarSource]" = {}
         self._temps = []
         self._conjuncts: "list[Conjunct]" = analysis.where + analysis.when
@@ -311,11 +315,17 @@ class Executor:
         order = list(analysis.var_order)
 
         # One-variable detachment for variables with single-variable clauses.
+        detached = 0
         if len(order) > 1:
             for var in order:
                 if self._should_detach(var, order):
                     self._detach(var)
+                    detached += 1
             order = self._substitution_order(order)
+        metrics = getattr(self._db, "metrics", None)
+        if metrics is not None:
+            metrics.inc("executor.detachments", detached)
+            metrics.observe("statement.detachments", detached)
 
         layouts = self._layouts()
         columns = [name for name, _, __ in analysis.targets]

@@ -3,7 +3,7 @@
 Turns statement text into a list of :class:`~repro.tquel.tokens.Token`.
 Conventions follow Quel: identifiers are ``[A-Za-z_][A-Za-z0-9_]*`` and
 case-insensitive (lowered), string literals use double quotes, comments run
-from ``/*`` to ``*/``.
+from ``/*`` to ``*/``, statement parameters are ``$name``.
 """
 
 from __future__ import annotations
@@ -74,6 +74,19 @@ def tokenize(text: str) -> "list[Token]":
                 tokens.append(Token("float", float(literal), line, column))
             else:
                 tokens.append(Token("int", int(literal), line, column))
+            position = end
+            continue
+        if char == "$":
+            end = position + 1
+            if end >= length or text[end] not in _IDENT_START:
+                raise TQuelSyntaxError(
+                    "'$' must start a parameter name", line, column
+                )
+            while end < length and text[end] in _IDENT_BODY:
+                end += 1
+            tokens.append(
+                Token("param", text[position + 1 : end].lower(), line, column)
+            )
             position = end
             continue
         if char == '"':

@@ -46,6 +46,7 @@ from repro.tquel.ast import (
     IndexStmt,
     ModifyStmt,
     NotOp,
+    Param,
     RangeStmt,
     ReplaceStmt,
     RetrieveStmt,
@@ -66,8 +67,8 @@ _COMPARE_OPS = ("=", "!=", "<", "<=", ">", ">=")
 
 
 class _Parser:
-    def __init__(self, text: str):
-        self._tokens = tokenize(text)
+    def __init__(self, text: "str | None" = None, tokens: "list[Token] | None" = None):
+        self._tokens = tokens if tokens is not None else tokenize(text)
         self._pos = 0
 
     # -- token helpers -------------------------------------------------------
@@ -403,6 +404,9 @@ class _Parser:
         if token.type in ("int", "float", "string"):
             self._next()
             return Const(token.value)
+        if token.type == "param":
+            self._next()
+            return Param(token.value)
         if token.type == "ident":
             self._next()
             if token.value in AGGREGATE_FUNCTIONS and self._peek().type == "(":
@@ -493,6 +497,15 @@ class _Parser:
 def parse(text: str) -> list:
     """Parse *text* into a list of statement ASTs."""
     return _Parser(text).parse_all()
+
+
+def parse_tokens(tokens: "list[Token]") -> list:
+    """Parse an already-lexed token list into statement ASTs.
+
+    Lets callers that trace lexing and parsing as separate pipeline
+    stages (the instrumented executor) drive the same parser.
+    """
+    return _Parser(tokens=tokens).parse_all()
 
 
 def parse_statement(text: str):

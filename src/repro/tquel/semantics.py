@@ -79,6 +79,7 @@ class Analysis:
 
 _NUMERIC = "numeric"
 _STRING = "string"
+_PARAM = "param"  # wildcard: a $parameter's type is unknown until bound
 
 
 def _mentions_var(node) -> bool:
@@ -158,7 +159,9 @@ class Analyzer:
                     allow_aggregate=False,
                 )
             analysis.has_aggregates = True
-            if node.func in ("sum", "avg") and inner is not _NUMERIC:
+            if node.func in ("sum", "avg") and inner not in (
+                _NUMERIC, _PARAM
+            ):
                 raise TQuelSemanticError(
                     f"{node.func}() needs a numeric operand"
                 )
@@ -167,6 +170,8 @@ class Analyzer:
             return inner
         if isinstance(node, ast.Const):
             return _STRING if isinstance(node.value, str) else _NUMERIC
+        if isinstance(node, ast.Param):
+            return _PARAM
         if isinstance(node, ast.Attr):
             info, spec = self._resolve_attr(analysis, node, default_var)
             used.add(info.name)
@@ -175,13 +180,15 @@ class Analyzer:
             )
         if isinstance(node, ast.UnaryOp):
             inner = self._walk_scalar(analysis, node.operand, used, default_var)
-            if inner is not _NUMERIC:
+            if inner not in (_NUMERIC, _PARAM):
                 raise TQuelSemanticError("unary minus needs a number")
             return _NUMERIC
         if isinstance(node, ast.BinOp):
             left = self._walk_scalar(analysis, node.left, used, default_var)
             right = self._walk_scalar(analysis, node.right, used, default_var)
-            if left is not _NUMERIC or right is not _NUMERIC:
+            if left not in (_NUMERIC, _PARAM) or right not in (
+                _NUMERIC, _PARAM
+            ):
                 raise TQuelSemanticError(
                     f"arithmetic {node.op!r} needs numbers"
                 )
@@ -189,7 +196,7 @@ class Analyzer:
         if isinstance(node, ast.Compare):
             left = self._walk_scalar(analysis, node.left, used, default_var)
             right = self._walk_scalar(analysis, node.right, used, default_var)
-            if left is not right:
+            if left is not right and _PARAM not in (left, right):
                 raise TQuelSemanticError(
                     f"comparison {node.op!r} mixes a string and a number"
                 )
@@ -236,6 +243,11 @@ class Analyzer:
             if isinstance(node.value, float):
                 return FieldSpec(name, AttributeType.F8, 8)
             return FieldSpec(name, AttributeType.I4, 4)
+        if isinstance(node, ast.Param):
+            raise TQuelSemanticError(
+                f"parameter ${node.name} has no known type; retrieve "
+                "targets cannot be bare parameters"
+            )
         if isinstance(node, ast.UnaryOp):
             return self._infer_field(analysis, node.operand, name)
         if isinstance(node, ast.BinOp):
@@ -407,7 +419,7 @@ class Analyzer:
                     if spec.type is AttributeType.CHAR
                     else _NUMERIC
                 )
-                if kind != expected:
+                if kind != expected and kind is not _PARAM:
                     raise TQuelSemanticError(
                         f"type mismatch assigning to {item.name!r}"
                     )

@@ -91,7 +91,8 @@ class Token:
     """One lexical token.
 
     ``type`` is one of ``"ident"``, ``"int"``, ``"float"``, ``"string"``,
-    ``"eof"``, a keyword (its lowercase spelling), or a punctuation string.
+    ``"param"``, ``"eof"``, a keyword (its lowercase spelling), or a
+    punctuation string.
     """
 
     type: str

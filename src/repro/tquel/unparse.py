@@ -19,6 +19,8 @@ def _scalar(node, parent_tight: bool = False) -> str:
         return str(node.value)
     if isinstance(node, ast.Attr):
         return f"{node.var}.{node.name}" if node.var else node.name
+    if isinstance(node, ast.Param):
+        return f"${node.name}"
     if isinstance(node, ast.Aggregate):
         inner = _scalar(node.operand)
         if node.by:

@@ -3,8 +3,6 @@ narration of how each benchmark query is processed (Section 5.3)."""
 
 import pytest
 
-from repro.errors import TQuelSemanticError
-
 
 @pytest.fixture
 def bench(temporal_pair):

@@ -1,0 +1,271 @@
+"""Integration tests: session API, prepared statements, plan cache."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import Result, Session
+from repro.errors import ExecutionError, TQuelSemanticError
+
+
+@pytest.fixture
+def session(db):
+    with repro.connect(database=db) as session:
+        session.execute(
+            "create persistent interval emp (name = c20, sal = i4)"
+        )
+        session.execute("range of e is emp")
+        session.execute('append to emp (name = "ahn", sal = 30000)')
+        session.execute('append to emp (name = "snodgrass", sal = 35000)')
+        yield session
+
+
+class TestSession:
+    def test_connect_creates_database(self):
+        with repro.connect("payroll") as session:
+            assert isinstance(session, Session)
+            assert session.db.name == "payroll"
+
+    def test_connect_wraps_existing_database(self, db):
+        session = repro.connect(database=db)
+        assert session.db is db
+
+    def test_execute_matches_engine(self, session):
+        result = session.execute("retrieve (e.name, e.sal)")
+        assert {row[0] for row in result} == {"ahn", "snodgrass"}
+
+    def test_closed_session_rejects_statements(self, session):
+        session.close()
+        assert session.closed
+        with pytest.raises(ExecutionError, match="closed"):
+            session.execute("retrieve (e.name)")
+        with pytest.raises(ExecutionError, match="closed"):
+            session.prepare("retrieve (e.name)")
+
+    def test_close_is_idempotent(self, session):
+        session.close()
+        session.close()
+
+    def test_context_manager_closes(self, db):
+        with repro.connect(database=db) as session:
+            pass
+        assert session.closed
+
+    def test_explain_passthrough(self, session):
+        plan = session.explain("retrieve (e.name)")
+        assert plan.startswith("plan:")
+        assert "measured:" not in plan
+        measured = session.explain("retrieve (e.name)", analyze=True)
+        assert "measured:" in measured
+
+    def test_observability_accessors(self, session):
+        assert session.tracer is session.db.tracer
+        assert session.metrics is session.db.metrics
+        assert session.last_trace() is None
+        session.tracer.enable()
+        session.execute("retrieve (e.name)")
+        assert session.last_trace() is not None
+
+
+class TestParameters:
+    def test_named_parameter_binding(self, session):
+        result = session.execute(
+            "retrieve (e.sal) where e.name = $name",
+            params={"name": "ahn"},
+        )
+        assert result.rows[0][0] == 30000
+
+    def test_unbound_parameter_raises(self, session):
+        with pytest.raises(ExecutionError, match=r"\$name is not bound"):
+            session.execute("retrieve (e.sal) where e.name = $name")
+
+    def test_params_use_keyed_access(self, session):
+        session.execute("modify emp to hash on name where fillfactor = 100")
+        prepared = session.prepare(
+            "retrieve (e.sal) where e.name = $who"
+        )
+        plan = prepared.explain()
+        assert "keyed hash access on name" in plan
+        result = prepared.execute(params={"who": "snodgrass"})
+        assert [row[0] for row in result] == [35000]
+
+    def test_bare_parameter_target_rejected(self, session):
+        with pytest.raises(TQuelSemanticError):
+            session.execute("retrieve ($x)")
+
+
+class TestPreparedStatements:
+    def test_execute_repeatedly(self, session):
+        prepared = session.prepare("retrieve (e.name, e.sal)")
+        first = prepared.execute()
+        second = prepared.execute()
+        assert first.rows == second.rows
+
+    def test_executemany(self, session):
+        prepared = session.prepare(
+            'append to emp (name = $name, sal = $sal)'
+        )
+        results = prepared.executemany(
+            [{"name": "clifford", "sal": 1}, {"name": "tansel", "sal": 2}]
+        )
+        assert [r.count for r in results] == [1, 1]
+        names = {
+            row[0]
+            for row in session.execute("retrieve (e.name)")
+        }
+        assert {"clifford", "tansel"} <= names
+
+    def test_session_executemany_shortcut(self, session):
+        results = session.executemany(
+            "retrieve (e.sal) where e.name = $n",
+            [{"n": "ahn"}, {"n": "snodgrass"}, {"n": "nobody"}],
+        )
+        assert [[row[0] for row in r] for r in results] == [
+            [30000],
+            [35000],
+            [],
+        ]
+
+    def test_prepare_bad_syntax_raises_immediately(self, session):
+        from repro.errors import TQuelSyntaxError
+
+        with pytest.raises(TQuelSyntaxError):
+            session.prepare("retrieve (e.name")
+
+    def test_prepare_bad_semantics_raises_immediately(self, session):
+        with pytest.raises(TQuelSemanticError):
+            session.prepare("retrieve (e.nosuch)")
+
+    def test_multi_statement_script_with_internal_ddl(self, session):
+        prepared = session.prepare(
+            "create persistent interval dept (dname = c20) "
+            'append to dept (dname = "cs") '
+            "range of d is dept "
+            "retrieve (d.dname)"
+        )
+        results = prepared.execute()
+        assert [row[0] for row in results[-1]] == ["cs"]
+
+    def test_prepared_counts_in_metrics(self, session):
+        prepared = session.prepare("retrieve (e.name)")
+        before = session.metrics.counter_value(
+            "plancache.prepared_executions"
+        )
+        prepared.execute()
+        prepared.execute()
+        after = session.metrics.counter_value(
+            "plancache.prepared_executions"
+        )
+        assert after == before + 2
+
+
+class TestPlanCache:
+    def test_repeat_execute_hits_cache(self, session):
+        db = session.db
+        text = "retrieve (e.name) where e.sal > 1000"
+        session.execute(text)
+        hits = db.metrics.counter_value("plancache.hits")
+        session.execute(text)
+        assert db.metrics.counter_value("plancache.hits") == hits + 1
+
+    def test_ddl_invalidates_analyses(self, session):
+        text = "retrieve (e.name, e.sal)"
+        columns = session.execute(text).columns
+        session.execute("create persistent interval other (x = i4)")
+        # catalog changed; re-analysis must still resolve correctly
+        assert session.execute(text).columns == columns
+
+    def test_range_redefinition_changes_meaning(self, session):
+        session.execute("create persistent interval pets (name = c20)")
+        session.execute('append to pets (name = "rex")')
+        text = "retrieve (e.name)"
+        assert {row[0] for row in session.execute(text)} == {
+            "ahn",
+            "snodgrass",
+        }
+        session.execute("range of e is pets")
+        assert {row[0] for row in session.execute(text)} == {"rex"}
+
+    def test_cache_eviction_keeps_executing(self, session):
+        db = session.db
+        capacity = db._plan_cache_capacity
+        for index in range(capacity + 5):
+            session.execute(f"retrieve (e.sal) where e.sal > {index}")
+        assert len(db._plan_cache) <= capacity
+        result = session.execute("retrieve (e.sal) where e.sal > 0")
+        assert len(result.rows) == 2
+
+    def test_prepared_survives_cache_eviction(self, session):
+        db = session.db
+        prepared = session.prepare("retrieve (e.name)")
+        for index in range(db._plan_cache_capacity + 1):
+            session.execute(f"retrieve (e.sal) where e.sal > {index}")
+        assert prepared.execute().rows  # entry pinned by the statement
+
+
+class TestResultSequence:
+    def test_result_is_a_sequence(self, session):
+        result = session.execute("retrieve (e.name, e.sal)")
+        assert isinstance(result, Result)
+        assert len(result) == 2
+        assert list(result) == result.rows
+        assert result[0] in result
+        assert result[-1] == result.rows[-1]
+
+    def test_first_and_scalar(self, session):
+        result = session.execute(
+            "retrieve (n = count(e.name)) where e.sal > 0"
+        )
+        assert result.scalar() == 2
+        assert result.first() == result.rows[0]
+        empty = session.execute(
+            'retrieve (e.name) where e.name = "nobody"'
+        )
+        assert empty.first() is None
+        with pytest.raises(ValueError, match="exactly one row"):
+            empty.scalar()
+
+    def test_io_delta_as_dict(self, session):
+        result = session.execute("retrieve (e.name)")
+        data = result.io.as_dict()
+        assert data["user"]["reads"] == result.input_pages
+        assert data["user"]["writes"] == result.output_pages
+        assert "emp" in data["by_relation"]
+        assert set(data["by_relation"]["emp"]) == {"reads", "writes"}
+
+
+class TestBufferPoolResize:
+    @staticmethod
+    def _loaded_file():
+        from repro.storage.buffer import BufferPool
+
+        pool = BufferPool()
+        buffered = pool.create_file("r", record_size=16, buffers=2)
+        buffered.allocate()
+        buffered.allocate()
+        buffered.flush()
+        return pool, buffered
+
+    def test_resize_to_same_capacity_is_noop(self):
+        pool, buffered = self._loaded_file()
+        buffered.read(0)
+        buffered.read(1)
+        before = pool.stats.checkpoint()
+        buffered.resize_pool(2)
+        buffered.read(0)
+        buffered.read(1)
+        delta = pool.stats.delta(before)
+        assert buffered.buffers == 2
+        assert delta.input_pages == 0  # residency preserved, no re-reads
+
+    def test_resize_to_new_capacity_still_flushes(self):
+        pool, buffered = self._loaded_file()
+        buffered.read(0)
+        buffered.read(1)
+        before = pool.stats.checkpoint()
+        buffered.resize_pool(3)
+        buffered.read(0)
+        delta = pool.stats.delta(before)
+        assert buffered.buffers == 3
+        assert delta.by_relation["r"].reads == 1  # pool was emptied

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import errors
-from repro.tquel import ast
 from repro.tquel.parser import parse_statement
 from repro.tquel.unparse import unparse
 

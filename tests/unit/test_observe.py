@@ -1,0 +1,185 @@
+"""Unit tests for the observability primitives (repro.observe)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observe import (
+    NULL_SPAN,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    overflow_chain_lengths,
+    record_structure_metrics,
+)
+from repro.storage.iostats import IOStats
+
+
+def make_span(name="statement", **attributes) -> Span:
+    stats = IOStats()
+    stats.register("emp")
+    span = Span(name, stats, attributes)
+    span.start()
+    return span
+
+
+class TestSpan:
+    def test_stage_children_nest(self):
+        span = make_span()
+        with span.stage("lex"):
+            pass
+        with span.stage("execute") as execute:
+            with execute.stage("inner"):
+                pass
+        span.finish()
+        assert [child.name for child in span.children] == ["lex", "execute"]
+        assert [c.name for c in span.children[1].children] == ["inner"]
+
+    def test_durations_measured(self):
+        span = make_span()
+        with span.stage("lex"):
+            pass
+        span.finish()
+        assert span.duration >= 0
+        assert span.children[0].duration >= 0
+        assert span.duration >= span.children[0].duration
+
+    def test_io_delta_attached(self):
+        stats = IOStats()
+        stats.register("emp")
+        span = Span("statement", stats, {})
+        span.start()
+        stats.record_read("emp")
+        span.finish()
+        assert span.io.input_pages == 1
+        assert span.io.by_relation["emp"].reads == 1
+
+    def test_find_locates_stage(self):
+        span = make_span()
+        with span.stage("execute") as execute:
+            with execute.stage("inner"):
+                pass
+        span.finish()
+        assert span.find("inner").name == "inner"
+        assert span.find("absent") is None
+
+    def test_annotate_and_as_dict(self):
+        span = make_span(text="retrieve (e.name)")
+        span.annotate(prepared=True)
+        with span.stage("lex"):
+            pass
+        span.finish()
+        data = span.as_dict()
+        assert data["name"] == "statement"
+        assert data["attributes"]["prepared"] is True
+        assert data["children"][0]["name"] == "lex"
+        assert "duration_ms" in data
+
+    def test_render_tree_shape(self):
+        span = make_span()
+        with span.stage("lex"):
+            pass
+        with span.stage("execute"):
+            pass
+        span.finish()
+        lines = span.render().split("\n")
+        assert lines[0].startswith("statement")
+        assert lines[1].startswith("├─ lex")
+        assert lines[2].startswith("└─ execute")
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN.stage("anything") as child:
+            assert child is NULL_SPAN
+        NULL_SPAN.annotate(whatever=1)
+        assert NULL_SPAN.find("x") is None
+        assert NULL_SPAN.render() == ""
+
+
+class TestMetrics:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_histogram_stats(self):
+        hist = Histogram()
+        for value in (0, 1, 3, 17):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.min == 0
+        assert hist.max == 17
+        assert hist.mean == pytest.approx(21 / 4)
+
+    def test_histogram_power_of_two_buckets(self):
+        hist = Histogram()
+        for value in (0, 1, 2, 3, 4, 1000):
+            hist.observe(value)
+        total = sum(hist.buckets.values())
+        assert total == 6
+
+    def test_registry_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.inc("statements.retrieve")
+        registry.inc("statements.retrieve", 2)
+        registry.gauge("storage.h.pages", 40)
+        assert registry.counter_value("statements.retrieve") == 3
+        assert registry.gauge_value("storage.h.pages") == 40
+        assert registry.counter_value("never.touched") == 0
+
+    def test_registry_disabled_records_nothing(self):
+        registry = MetricsRegistry()
+        registry.enabled = False
+        registry.inc("a")
+        registry.observe("b", 9)
+        registry.gauge("c", 1)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["histograms"] == {}
+        assert snapshot["gauges"] == {}
+
+    def test_registry_reset(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.observe("b", 2)
+        registry.reset()
+        assert registry.counter_value("a") == 0
+        assert "b" not in registry.snapshot()["histograms"]
+
+    def test_render_mentions_all_metrics(self):
+        registry = MetricsRegistry()
+        registry.inc("statements.retrieve")
+        registry.observe("statement.input_pages", 3)
+        registry.gauge("storage.h.pages", 12)
+        rendered = registry.render()
+        assert "statements.retrieve" in rendered
+        assert "statement.input_pages" in rendered
+        assert "storage.h.pages" in rendered
+
+
+class TestStructureMetrics:
+    def test_overflow_chains_and_gauges(self, db):
+        db.execute("create persistent interval h (id = i4, amount = i4)")
+        db.execute("range of e is h")
+        for i in range(100):
+            db.execute(f"append to h (id = {i}, amount = {i})")
+        db.execute("modify h to hash on id where fillfactor = 100")
+        for i in range(100, 200):
+            db.execute(f"append to h (id = {i}, amount = {i})")
+        relation = db.relation("h")
+        lengths = overflow_chain_lengths(relation.storage)
+        assert lengths, "200 rows at fillfactor 100 must overflow"
+        assert max(lengths) >= 1
+
+        record_structure_metrics(db)
+        assert db.metrics.gauge_value("storage.h.pages") == (
+            relation.page_count
+        )
+        assert db.metrics.gauge_value("storage.h.longest_chain") == max(
+            lengths
+        )
+        hist = db.metrics.snapshot()["histograms"][
+            "storage.overflow_chain_length"
+        ]
+        assert hist["count"] == len(lengths)
