@@ -8,6 +8,10 @@ Scale is selected with the ``REPRO_BENCH_SCALE`` environment variable:
   at this scale the measured numbers match the published tables (see
   EXPERIMENTS.md).
 
+Two more environment knobs mirror ``python -m repro.bench``'s flags:
+``REPRO_BENCH_JOBS=N`` fans the sweep across N processes and
+``REPRO_BENCH_NO_CACHE=1`` bypasses the on-disk sweep cache.
+
 The eight-database sweep is computed once per session and shared by the
 figure benchmarks; each benchmark times its own figure regeneration and
 asserts the paper's qualitative claims on the measured data.
@@ -44,11 +48,24 @@ def scale():
     return current_scale()
 
 
+def sweep_jobs() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+def sweep_cache() -> bool:
+    return os.environ.get("REPRO_BENCH_NO_CACHE", "") != "1"
+
+
 @pytest.fixture(scope="session")
 def suite(scale):
     """The eight-configuration sweep (computed once per session)."""
     _, (tuples, max_uc, _, __) = scale
-    return run_suite(tuples=tuples, max_update_count=max_uc)
+    return run_suite(
+        tuples=tuples,
+        max_update_count=max_uc,
+        jobs=sweep_jobs(),
+        cache=sweep_cache(),
+    )
 
 
 @pytest.fixture(scope="session")

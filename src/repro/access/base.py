@@ -196,3 +196,46 @@ class AccessMethod(ABC):
         Heaps raise :class:`AccessMethodError`; callers must check
         :meth:`keyed_on` first.
         """
+
+    # -- batch access (the page-at-a-time execution kernel) ----------------
+
+    def scan_batches(
+        self, page_filter=None
+    ) -> "Iterator[tuple[int, list[tuple]]]":
+        """Yield ``(page_id, rows)`` per page in :meth:`scan` order.
+
+        Every concrete structure overrides this with a direct page walk
+        that yields each page's batch *before* fetching the next page, so
+        interleaved I/O on other files (inner loops of a join) sees a read
+        sequence identical to :meth:`scan`'s.  This fallback groups
+        :meth:`scan` output by page; it meters the same total reads but
+        looks one page ahead at each batch boundary.
+        """
+        page_id = None
+        rows: "list[tuple]" = []
+        for (rid_page, _), row in self.scan():
+            if rid_page != page_id:
+                if page_id is not None:
+                    yield page_id, rows
+                page_id, rows = rid_page, []
+            rows.append(row)
+        if page_id is not None:
+            yield page_id, rows
+
+    def lookup_batches(self, key) -> "Iterator[list[tuple]]":
+        """Yield matching rows of *key*, one batch per visited page.
+
+        Mirrors :meth:`lookup`'s metered page walk.  Keyed structures
+        override this with a direct chain walk (no lookahead); this
+        fallback groups consecutive same-page matches of :meth:`lookup`.
+        """
+        page_id = None
+        rows: "list[tuple]" = []
+        for (rid_page, _), row in self.lookup(key):
+            if rid_page != page_id:
+                if rows:
+                    yield rows
+                page_id, rows = rid_page, []
+            rows.append(row)
+        if rows:
+            yield rows

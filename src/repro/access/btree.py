@@ -277,6 +277,46 @@ class BTreeFile(AccessMethod):
                 yield (page_id, slot), row
             page_id = page.overflow
 
+    def scan_batches(self, page_filter=None):
+        """Per-leaf batches along the leaf chain (internal pages unread)."""
+        if self._root == NO_PAGE:
+            return
+        page_id = self._root
+        while page_id in self._internal:
+            page_id = self._file.peek(page_id).overflow
+        while page_id != NO_PAGE:
+            if page_filter is not None and not page_filter(page_id):
+                page_id = self._file.peek(page_id).overflow
+                continue
+            page, rows = self._leaf_rows(page_id)
+            yield page_id, rows
+            page_id = page.overflow
+
+    def lookup_batches(self, key):
+        """Per-leaf batches of the key's run (same metered descent/walk)."""
+        if self._root == NO_PAGE:
+            raise AccessMethodError("B-tree was never built")
+        key_index = self._key_index
+        page_id, _ = self._descend(key)
+        while page_id != NO_PAGE:
+            page, rows = self._leaf_rows(page_id)
+            keys = [row[key_index] for row in rows]
+            start = bisect_left(keys, key)
+            if start == len(keys) and keys and keys[-1] < key:
+                page_id = page.overflow
+                continue
+            batch = []
+            for slot in range(start, len(rows)):
+                if keys[slot] != key:
+                    yield batch
+                    return
+                batch.append(rows[slot])
+            yield batch
+            if keys and keys[-1] == key:
+                page_id = page.overflow  # duplicates may continue
+            else:
+                return
+
     # -- insertion ------------------------------------------------------------------
 
     def insert(self, row: tuple) -> RID:

@@ -113,6 +113,18 @@ class _ClusteredHistory:
             for slot, row in enumerate(self._cache.rows(page_id, page)):
                 yield ("h", page_id, slot), row
 
+    def scan_batches(self) -> "Iterator[tuple[tuple, list[tuple]]]":
+        for page_id in range(self._file.page_count):
+            page = self._file.read(page_id)
+            yield ("h", page_id), self._cache.rows(page_id, page)
+
+    def version_batches(self, key) -> "Iterator[list[tuple]]":
+        """Per-page batches of *key*'s versions (clustered pages are
+        dedicated to one tuple, so a whole page is one batch)."""
+        for page_id in self._pages_by_key.get(key, ()):
+            page = self._file.read(page_id)
+            yield list(self._cache.rows(page_id, page))
+
     def read(self, page_id: int, slot: int) -> tuple:
         page = self._file.read(page_id)
         return self._cache.rows(page_id, page)[slot]
@@ -166,6 +178,16 @@ class _SimpleHistory:
     def scan(self) -> "Iterator[tuple[tuple, tuple]]":
         for (page_id, slot), row in self._heap.scan():
             yield ("h", page_id, slot), row
+
+    def scan_batches(self) -> "Iterator[tuple[tuple, list[tuple]]]":
+        for page_id, rows in self._heap.scan_batches():
+            yield ("h", page_id), rows
+
+    def version_batches(self, key) -> "Iterator[list[tuple]]":
+        """Single-version batches along the chain (one read per page, as
+        the tuple-at-a-time chain walk meters it)."""
+        for rid, row in self.versions(key):
+            yield [row]
 
     def read(self, page_id: int, slot: int) -> tuple:
         return self._heap.read_rid((page_id, slot))
@@ -302,6 +324,21 @@ class TwoLevelStore:
         """Full scan: primary store then history store."""
         yield from self.scan_current()
         yield from self._history.scan()
+
+    def scan_batches_current(self) -> "Iterator[tuple[tuple, list[tuple]]]":
+        """Per-page batches over the primary store only."""
+        for page_id, rows in self._primary.scan_batches():
+            yield ("p", page_id), rows
+
+    def scan_batches(self) -> "Iterator[tuple[tuple, list[tuple]]]":
+        """Per-page batches: primary store then history store."""
+        yield from self.scan_batches_current()
+        yield from self._history.scan_batches()
+
+    def lookup_batches(self, key) -> "Iterator[list[tuple]]":
+        """Version scan in per-page batches: current then history."""
+        yield from self._primary.lookup_batches(key)
+        yield from self._history.version_batches(key)
 
     def read_rid(self, rid: tuple) -> tuple:
         store, page_id, slot = rid

@@ -44,9 +44,27 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=1986)
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run sweep configurations in N parallel processes",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the on-disk sweep cache and re-measure everything",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         help="also dump the raw sweep measurements as JSON",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="compare the sweep against a saved --json dump and exit "
+        "nonzero if any page-count cell differs",
     )
     parser.add_argument(
         "--validate",
@@ -70,10 +88,17 @@ def main(argv=None) -> int:
         sys.stderr.flush()
 
     sections = []
-    if args.validate or args.json or wanted & {"5", "6", "7", "8", "9"}:
+    baseline_diffs = None
+    if (
+        args.validate
+        or args.json
+        or args.baseline
+        or wanted & {"5", "6", "7", "8", "9"}
+    ):
         results = run_suite(
             tuples=tuples, max_update_count=max_uc, seed=args.seed,
             progress=progress,
+            jobs=args.jobs, cache=not args.no_cache,
         )
         sys.stderr.write("\n")
         if args.json:
@@ -89,6 +114,26 @@ def main(argv=None) -> int:
                     indent=1,
                 )
             sys.stderr.write(f"  wrote raw measurements to {args.json}\n")
+        if args.baseline:
+            import json
+
+            from repro.bench.compare import compare_sweeps
+
+            with open(args.baseline, encoding="ascii") as handle:
+                baseline = json.load(handle)
+            baseline_diffs = compare_sweeps(
+                {label: result.to_dict() for label, result in results.items()},
+                baseline,
+            )
+            if baseline_diffs:
+                lines = [f"Sweep differs from baseline {args.baseline}:"]
+                lines += [f"  FAIL {diff}" for diff in baseline_diffs]
+                sections.append("\n".join(lines))
+            else:
+                sections.append(
+                    f"Sweep matches baseline {args.baseline}: "
+                    "every cell identical."
+                )
         if args.validate:
             from repro.bench.validate import validate
 
@@ -138,7 +183,7 @@ def main(argv=None) -> int:
         )
     print(("\n\n" + "=" * 78 + "\n\n").join(sections))
     sys.stderr.write(f"  done in {time.time() - started:.1f}s\n")
-    return 0
+    return 1 if baseline_diffs else 0
 
 
 if __name__ == "__main__":

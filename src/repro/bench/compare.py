@@ -1,0 +1,70 @@
+"""Cell-by-cell comparison of two sweep dumps.
+
+The benchmark's metric is deterministic page counts, so two sweeps of the
+same configuration must agree *exactly*; any differing cell is a
+regression in page accounting, not noise.  ``python -m repro.bench
+--baseline saved.json`` uses this to fail CI when a cell moves.
+"""
+
+from __future__ import annotations
+
+
+def compare_sweeps(current: dict, baseline: dict) -> "list[str]":
+    """Differences between two ``{label: result.to_dict()}`` mappings.
+
+    Returns human-readable difference lines; empty means byte-identical
+    cells.  Only cells present in the baseline are checked against their
+    current values, so a baseline from an older code revision with fewer
+    queries still validates the overlap -- but missing labels or missing
+    cells on either side are reported too.
+    """
+    diffs: "list[str]" = []
+    for label in sorted(set(baseline) | set(current)):
+        if label not in current:
+            diffs.append(f"{label}: missing from current sweep")
+            continue
+        if label not in baseline:
+            diffs.append(f"{label}: missing from baseline")
+            continue
+        diffs.extend(_compare_result(label, current[label], baseline[label]))
+    return diffs
+
+
+def _compare_result(label: str, current: dict, baseline: dict) -> "list[str]":
+    diffs: "list[str]" = []
+    if current.get("max_update_count") != baseline.get("max_update_count"):
+        diffs.append(
+            f"{label}: max_update_count {current.get('max_update_count')} "
+            f"vs baseline {baseline.get('max_update_count')}"
+        )
+    cur_sizes = current.get("sizes", {})
+    for uc, sizes in sorted(baseline.get("sizes", {}).items(), key=_uc_key):
+        got = cur_sizes.get(uc)
+        if got is None:
+            diffs.append(f"{label} uc={uc}: sizes missing from current sweep")
+        elif list(got) != list(sizes):
+            diffs.append(
+                f"{label} uc={uc}: sizes {list(got)} vs baseline {list(sizes)}"
+            )
+    cur_costs = current.get("costs", {})
+    for query_id, per_uc in sorted(baseline.get("costs", {}).items()):
+        got_per_uc = cur_costs.get(query_id, {})
+        for uc, cell in sorted(per_uc.items(), key=_uc_key):
+            got = got_per_uc.get(uc)
+            if got is None:
+                diffs.append(
+                    f"{label} {query_id} uc={uc}: cell missing from "
+                    "current sweep"
+                )
+            elif list(got) != list(cell):
+                diffs.append(
+                    f"{label} {query_id} uc={uc}: "
+                    f"{list(got)} vs baseline {list(cell)}"
+                )
+    for query_id in sorted(set(cur_costs) - set(baseline.get("costs", {}))):
+        diffs.append(f"{label} {query_id}: missing from baseline")
+    return diffs
+
+
+def _uc_key(item):
+    return int(item[0])

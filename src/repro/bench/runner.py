@@ -15,12 +15,25 @@ Per query we record the paper's metrics:
   grow with the update count;
 * ``rows``         -- result cardinality.
 
-Results are cached per configuration within the process so that the
-per-figure benchmark targets share one sweep.
+Results are cached at two levels:
+
+* per process, keyed by the full configuration list, so the per-figure
+  benchmark targets share one sweep object;
+* on disk under ``.bench-cache/`` (override with ``REPRO_BENCH_CACHE``),
+  keyed by every workload field *plus a fingerprint of the source tree*,
+  so a sweep re-runs exactly when the code that produced it changed.
+
+``run_suite(jobs=N)`` fans the eight configurations across a process
+pool; each configuration's sweep is independent (its own database), so
+the merge is a deterministic reorder of finished results.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import pathlib
 from dataclasses import dataclass, field
 
 from repro.access.base import StructureKind
@@ -70,7 +83,9 @@ class BenchmarkResult:
                 "db_type": self.config.db_type.value,
                 "loading": self.config.loading,
                 "tuples": self.config.tuples,
+                "string_width": self.config.string_width,
                 "seed": self.config.seed,
+                "asof_qualifiers": self.config.asof_qualifiers,
                 "buffers": self.config.buffers,
             },
             "max_update_count": self.max_update_count,
@@ -115,7 +130,9 @@ def result_from_dict(data: dict) -> BenchmarkResult:
         db_type=DatabaseType(data["config"]["db_type"]),
         loading=int(data["config"]["loading"]),
         tuples=int(data["config"]["tuples"]),
+        string_width=int(data["config"].get("string_width", 96)),
         seed=int(data["config"]["seed"]),
+        asof_qualifiers=int(data["config"].get("asof_qualifiers", 2)),
         buffers=int(data["config"].get("buffers", 1)),
     )
     result = BenchmarkResult(
@@ -233,7 +250,89 @@ class BenchmarkRun:
         return result
 
 
+# Keyed by the full WorkloadConfig tuple (not just tuples/seed), so two
+# suites differing in any loading-affecting field -- buffers, string
+# width, as-of qualifiers -- never alias to one cache entry.
 _SUITE_CACHE: "dict[tuple, dict[str, BenchmarkResult]]" = {}
+
+_FINGERPRINT: "str | None" = None
+
+
+def source_fingerprint() -> str:
+    """Digest of every ``repro`` source file, memoized per process.
+
+    Part of the disk-cache key: any edit under ``src/repro`` changes the
+    fingerprint and forces cached sweeps to re-measure.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = pathlib.Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode("ascii"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+def _cache_dir() -> pathlib.Path:
+    override = os.environ.get("REPRO_BENCH_CACHE")
+    return pathlib.Path(override) if override else pathlib.Path(".bench-cache")
+
+
+def _cache_path(config: WorkloadConfig, max_update_count: int) -> pathlib.Path:
+    from repro.tquel import interpreter
+
+    blob = json.dumps(
+        {
+            "db_type": config.db_type.value,
+            "loading": config.loading,
+            "tuples": config.tuples,
+            "string_width": config.string_width,
+            "seed": config.seed,
+            "asof_qualifiers": config.asof_qualifiers,
+            "buffers": config.buffers,
+            "max_update_count": max_update_count,
+            "batch": bool(interpreter.DEFAULT_BATCH_EXECUTION),
+            "source": source_fingerprint(),
+        },
+        sort_keys=True,
+    )
+    key = hashlib.sha256(blob.encode("ascii")).hexdigest()[:24]
+    return _cache_dir() / f"sweep-{key}.json"
+
+
+def _disk_load(config: WorkloadConfig, max_update_count: int):
+    try:
+        with open(_cache_path(config, max_update_count), encoding="ascii") as f:
+            data = json.load(f)
+    except (OSError, ValueError):
+        return None
+    result = result_from_dict(data)
+    result.config = config
+    return result
+
+
+def _disk_store(config: WorkloadConfig, max_update_count: int, result) -> None:
+    path = _cache_path(config, max_update_count)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(result.to_dict()), encoding="ascii")
+        tmp.replace(path)
+    except OSError:
+        pass  # caching is best-effort; the sweep result is still returned
+
+
+def _sweep_worker(payload) -> dict:
+    """Pool worker: run one configuration's sweep, return its dict form.
+
+    Module-level (picklable) and dict-valued so results transport across
+    the process boundary without pickling BenchmarkResult internals.
+    """
+    config, max_update_count = payload
+    return BenchmarkRun(config, max_update_count=max_update_count).run().to_dict()
 
 
 def run_suite(
@@ -241,14 +340,53 @@ def run_suite(
     max_update_count: int = 15,
     seed: int = 1986,
     progress=None,
+    jobs: int = 1,
+    cache: bool = True,
 ) -> "dict[str, BenchmarkResult]":
-    """Sweep all eight configurations; cached per process."""
-    key = (tuples, max_update_count, seed)
-    if key in _SUITE_CACHE:
-        return _SUITE_CACHE[key]
-    results = {}
-    for config in all_configs(tuples=tuples, seed=seed):
-        run = BenchmarkRun(config, max_update_count=max_update_count)
-        results[config.label] = run.run(progress=progress)
-    _SUITE_CACHE[key] = results
-    return results
+    """Sweep all eight configurations.
+
+    ``jobs > 1`` runs pending configurations in a process pool; results
+    merge in configuration order regardless of completion order.  With
+    ``cache`` enabled, finished sweeps are reused from the in-process
+    memo and the on-disk cache (parallel and cached runs report progress
+    once per configuration rather than once per update count).
+    """
+    configs = all_configs(tuples=tuples, seed=seed)
+    memo_key = (tuple(configs), max_update_count)
+    if cache and memo_key in _SUITE_CACHE:
+        return _SUITE_CACHE[memo_key]
+    results: "dict[str, BenchmarkResult]" = {}
+    pending: "list[WorkloadConfig]" = []
+    for config in configs:
+        loaded = _disk_load(config, max_update_count) if cache else None
+        if loaded is not None:
+            results[config.label] = loaded
+            if progress is not None:
+                progress(config, max_update_count)
+        else:
+            pending.append(config)
+    if pending and jobs > 1:
+        import multiprocessing
+
+        payloads = [(config, max_update_count) for config in pending]
+        with multiprocessing.Pool(min(jobs, len(pending))) as pool:
+            for config, data in zip(
+                pending, pool.imap(_sweep_worker, payloads)
+            ):
+                result = result_from_dict(data)
+                result.config = config
+                results[config.label] = result
+                if cache:
+                    _disk_store(config, max_update_count, result)
+                if progress is not None:
+                    progress(config, max_update_count)
+    else:
+        for config in pending:
+            run = BenchmarkRun(config, max_update_count=max_update_count)
+            result = run.run(progress=progress)
+            results[config.label] = result
+            if cache:
+                _disk_store(config, max_update_count, result)
+    ordered = {config.label: results[config.label] for config in configs}
+    _SUITE_CACHE[memo_key] = ordered
+    return ordered

@@ -103,7 +103,16 @@ class _SystemRelationAdapter:
     ):
         yield from self._heap.scan()
 
+    def scan_batches(
+        self, current_only: bool = False, asof_max: "int | None" = None
+    ):
+        for _, rows in self._heap.scan_batches():
+            yield rows
+
     def lookup_with_rids(self, key, current_only: bool = False):
+        raise ExecutionError("system relations have no keyed access")
+
+    def lookup_batches(self, key, current_only: bool = False):
         raise ExecutionError("system relations have no keyed access")
 
 
@@ -116,9 +125,21 @@ class TemporalDatabase:
         name: str = "tdb",
         clock: "Clock | None" = None,
         buffers_per_relation: int = 1,
+        batch_execution: "bool | None" = None,
     ):
         self.name = name
         self.clock = clock if clock is not None else Clock()
+        # Page-at-a-time batch execution (the default).  ``False`` selects
+        # the retained tuple-at-a-time reference path -- same rows, same
+        # page accounting, used by the differential tests.  ``None``
+        # defers to the interpreter module's default (overridable with the
+        # REPRO_BATCH_EXECUTION environment variable, so subprocess
+        # benchmark workers inherit the choice).
+        if batch_execution is None:
+            from repro.tquel import interpreter
+
+            batch_execution = interpreter.DEFAULT_BATCH_EXECUTION
+        self.batch_execution = bool(batch_execution)
         self.pool = BufferPool(default_buffers=buffers_per_relation)
         self.catalog = SystemCatalog(self.pool)
         self.temporaries = TemporaryFactory(self.pool)

@@ -388,6 +388,49 @@ class StoredRelation:
         else:
             yield from self._storage.lookup(key)
 
+    # -- batch access paths (page-at-a-time execution kernel) ----------------
+
+    def scan_batches(
+        self,
+        current_only: bool = False,
+        asof_max: "int | None" = None,
+    ) -> "Iterator[list[tuple]]":
+        """Sequential scan yielding per-page row batches.
+
+        Reads the same pages in the same order as :meth:`scan_with_rids`
+        (including zone-map skips); each batch is the decoded rows of one
+        page, yielded before the next page is fetched.
+        """
+        if self.is_two_level and current_only:
+            for _, rows in self._storage.scan_batches_current():
+                yield rows
+            return
+        if (
+            asof_max is not None
+            and self.zone_map is not None
+            and not self.is_two_level
+        ):
+            zone_map = self.zone_map
+
+            def visible(page_id, _map=zone_map, _max=asof_max):
+                earliest = _map.get(page_id)
+                return earliest is not None and earliest <= _max
+
+            for _, rows in self._storage.scan_batches(page_filter=visible):
+                yield rows
+            return
+        for _, rows in self._storage.scan_batches():
+            yield rows
+
+    def lookup_batches(
+        self, key, current_only: bool = False
+    ) -> "Iterator[list[tuple]]":
+        """Keyed access yielding per-page batches of matching rows."""
+        if self.is_two_level and current_only:
+            yield from self._storage.primary.lookup_batches(key)
+        else:
+            yield from self._storage.lookup_batches(key)
+
     def rid_from_tid(self, tid: int):
         """The native record id a packed tid denotes."""
         history, page, slot = unpack_tid(tid)

@@ -49,6 +49,11 @@ class TemporaryRelation:
         for _, row in self._heap.scan():
             yield row
 
+    def scan_batches(self):
+        """Yield per-page row batches (same metered reads as scan)."""
+        for _, rows in self._heap.scan_batches():
+            yield rows
+
     def drop(self) -> None:
         self._pool.drop_file(self.name)
 

@@ -14,6 +14,7 @@ Statements are plain TQuel; meta-commands start with a backslash:
                measured span tree)
 ``\\save dir``  checkpoint the database; ``\\restore dir`` loads one
 ``\\io``        toggle per-statement I/O reporting
+``\\timing``    toggle per-statement wall-time reporting
 ``\\trace``     toggle statement tracing (``on``/``off``/``last``)
 ``\\metrics``   show engine metrics (``reset`` clears; ``storage``
                refreshes page/overflow-chain gauges first)
@@ -39,6 +40,7 @@ class Monitor:
         self.db = db if db is not None else TemporalDatabase("monitor")
         self.out = out if out is not None else sys.stdout
         self.show_io = True
+        self.show_timing = False
         self.resolution = Resolution.SECOND
         self._done = False
 
@@ -79,6 +81,11 @@ class Monitor:
         elif command == "io":
             self.show_io = not self.show_io
             self._print(f"I/O reporting {'on' if self.show_io else 'off'}")
+        elif command == "timing":
+            self.show_timing = not self.show_timing
+            self._print(
+                f"timing {'on' if self.show_timing else 'off'}"
+            )
         elif command == "trace":
             self._trace_command(parts[1:])
         elif command == "metrics":
@@ -248,13 +255,24 @@ class Monitor:
         if stripped.startswith("\\"):
             self._meta(stripped)
             return
+        import time
+
+        started = time.perf_counter()
         try:
             outcome = self.db.execute(stripped)
         except ReproError as error:
             self._print(f"  error: {error}")
             return
+        elapsed = time.perf_counter() - started
         for result in outcome if isinstance(outcome, list) else [outcome]:
             self._show_result(result)
+        if self.show_timing:
+            # With tracing on, the span tree's root is the statement's
+            # own execution time, excluding monitor overhead.
+            tracer = self.db.tracer
+            if tracer.enabled and tracer.last is not None:
+                elapsed = tracer.last.duration
+            self._print(f"  Time: {elapsed * 1000.0:.3f} ms")
 
     def run(self, input_stream=None) -> None:
         """Read-eval-print until EOF or ``\\q``.

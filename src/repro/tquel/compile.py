@@ -20,11 +20,20 @@ the prototype where a statement executes at one instant.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 from repro.errors import ExecutionError, TQuelSemanticError
 from repro.temporal.interval import Period
 from repro.tquel import ast
+
+# id(schema) -> its VarLayout.  Executor construction runs per statement
+# (the prepared-statement hot path), while a relation's schema and field
+# order are fixed for its lifetime, so the layout is computed once per
+# schema object.  Keyed by id because RelationSchema is an unhashable
+# dataclass; a finalizer evicts the entry when the schema is collected,
+# before its id can be reused.
+_LAYOUTS_BY_SCHEMA: "dict[int, VarLayout]" = {}
 
 
 @dataclass(frozen=True)
@@ -38,6 +47,10 @@ class VarLayout:
 
     @classmethod
     def for_schema(cls, schema) -> "VarLayout":
+        key = id(schema)
+        layout = _LAYOUTS_BY_SCHEMA.get(key)
+        if layout is not None:
+            return layout
         positions = {
             spec.name: index for index, spec in enumerate(schema.fields)
         }
@@ -51,7 +64,10 @@ class VarLayout:
                 valid_at = positions["valid_at"]
             else:
                 valid = (positions["valid_from"], positions["valid_to"])
-        return cls(positions=positions, tx=tx, valid=valid, valid_at=valid_at)
+        layout = cls(positions=positions, tx=tx, valid=valid, valid_at=valid_at)
+        _LAYOUTS_BY_SCHEMA[key] = layout
+        weakref.finalize(schema, _LAYOUTS_BY_SCHEMA.pop, key, None)
+        return layout
 
     @classmethod
     def for_fields(cls, fields) -> "VarLayout":
@@ -287,3 +303,20 @@ def conjunction(filters):
     if len(filters) == 1:
         return filters[0]
     return lambda row: all(check(row) for check in filters)
+
+
+def batch_conjunction(filters):
+    """Fuse row filters into one ``fn(rows) -> list`` applied per batch.
+
+    The batch execution kernel hands each page's decoded rows to this
+    closure in one call, replacing a per-tuple closure invocation with a
+    single list comprehension over the page.
+    """
+    if not filters:
+        return lambda rows: rows
+    if len(filters) == 1:
+        check = filters[0]
+        return lambda rows: [row for row in rows if check(row)]
+    return lambda rows: [
+        row for row in rows if all(check(row) for check in filters)
+    ]

@@ -34,6 +34,7 @@ current index only.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.catalog.schema import IMPLICIT_ATTRIBUTES
@@ -45,6 +46,7 @@ from repro.temporal.interval import Period
 from repro.tquel import ast
 from repro.tquel.compile import (
     VarLayout,
+    batch_conjunction,
     compile_scalar,
     compile_temporal,
     compile_when,
@@ -52,6 +54,11 @@ from repro.tquel.compile import (
     make_asof_filter,
 )
 from repro.tquel.semantics import Analysis, Conjunct
+
+# Page-at-a-time batch execution is the default; REPRO_BATCH_EXECUTION=0
+# falls back to tuple-at-a-time interpretation everywhere (the reference
+# path the differential tests compare against).
+DEFAULT_BATCH_EXECUTION = os.environ.get("REPRO_BATCH_EXECUTION", "1") != "0"
 
 
 @dataclass
@@ -81,6 +88,9 @@ class Executor:
         self._temps = []
         self._conjuncts: "list[Conjunct]" = analysis.where + analysis.when
         self._consumed: "set[int]" = set()
+        self._batch = bool(
+            getattr(database, "batch_execution", DEFAULT_BATCH_EXECUTION)
+        )
         self._asof_period = self._resolve_asof()
         for name, info in analysis.vars.items():
             self._sources[name] = _VarSource(
@@ -173,11 +183,13 @@ class Executor:
             conjunct.expr, var, self._layouts(), self._bindings
         )
 
-    def _pending_filters(self, var: str, bound: "set[str]"):
+    def _pending_filter_list(self, var: str, bound: "set[str]"):
         """Compile conjuncts evaluable once *var* joins the bound set.
 
         A conjunct applies at the first loop depth where all its variables
         are bound; constant-only conjuncts apply at the outermost loop.
+        Consumes each applicable conjunct (and the variable's as-of
+        filter), so call exactly once per (var, depth).
         """
         source = self._sources[var]
         filters = []
@@ -195,7 +207,11 @@ class Executor:
         ):
             filters.append(make_asof_filter(source.layout, self._asof_period))
             source.asof_applied = True
-        return conjunction(filters)
+        return filters
+
+    def _pending_filters(self, var: str, bound: "set[str]"):
+        """The variable's pending conjuncts fused into ``fn(row) -> bool``."""
+        return conjunction(self._pending_filter_list(var, bound))
 
     # -- access-path selection --------------------------------------------------------
 
@@ -266,6 +282,45 @@ class Executor:
             asof_max = self._asof_period.stop - 1
         return lambda: _scan_with_rids(relation, current_only, asof_max)
 
+    def _batch_candidates(self, var: str, bound: "set[str]"):
+        """Batched row source for *var*: a zero-argument callable yielding
+        per-page row batches.
+
+        Chooses the same access path as :meth:`_candidates` and reads the
+        same pages in the same order; each batch is yielded before the
+        next page is fetched, so interleaved accounting (self-joins over
+        one file) matches the tuple-at-a-time path exactly.
+        """
+        source = self._sources[var]
+        if source.temp is not None:
+            temp = source.temp
+            return lambda: temp.scan_batches()
+        relation = source.relation
+        current_only = source.current_only
+        # 1. keyed access on the primary structure
+        for position, value_fn in self._find_key_equality(var, bound):
+            if relation.can_key_lookup(position):
+                return lambda vf=value_fn: relation.lookup_batches(
+                    vf(None), current_only=current_only
+                )
+        # 2. secondary-index access (point reads stay single-row batches)
+        for position, value_fn in self._find_key_equality(var, bound):
+            index = relation.index_for(position)
+            if index is not None:
+                return lambda idx=index, vf=value_fn: _index_batches(
+                    relation, idx, vf(None), current_only
+                )
+        # 3. sequential scan (zone map applies as in _candidates)
+        asof_max = None
+        if (
+            self._asof_period is not None
+            and source.layout.tx is not None
+        ):
+            asof_max = self._asof_period.stop - 1
+        return lambda: relation.scan_batches(
+            current_only=current_only, asof_max=asof_max
+        )
+
     # -- detachment ----------------------------------------------------------------------
 
     def _detach(self, var: str) -> None:
@@ -280,11 +335,20 @@ class Executor:
         ]
         positions = [schema.position(spec.name) for spec in fields]
         temp = self._db.temporaries.create(fields)
-        predicate = self._pending_filters(var, bound=set())
-        produce = self._candidates(var, bound=set())
-        for _, row in produce():
-            if predicate(row):
-                temp.append(tuple(row[i] for i in positions))
+        if self._batch:
+            predicate = batch_conjunction(
+                self._pending_filter_list(var, bound=set())
+            )
+            append = temp.append
+            for batch in self._batch_candidates(var, bound=set())():
+                for row in predicate(batch):
+                    append(tuple(row[i] for i in positions))
+        else:
+            predicate = self._pending_filters(var, bound=set())
+            produce = self._candidates(var, bound=set())
+            for _, row in produce():
+                if predicate(row):
+                    temp.append(tuple(row[i] for i in positions))
         temp.finish_writing()
         source.temp = temp
         source.layout = VarLayout.for_fields(fields)
@@ -359,7 +423,7 @@ class Executor:
             else:
                 rows.append(values + (period.start,))
 
-        self._join(self._build_plan(order), 0, emit)
+        self._execute_join(order, emit)
 
         if stmt.unique:
             seen = set()
@@ -433,7 +497,7 @@ class Executor:
             for state, fn in zip(states, operand_fns):
                 state.append(fn(None))
 
-        self._join(self._build_plan(order), 0, emit)
+        self._execute_join(order, emit)
         for temp in self._temps:
             temp.drop()
 
@@ -472,6 +536,26 @@ class Executor:
             plan.append((var, produce, predicate))
         return plan
 
+    def _build_batch_plan(self, order: "list[str]") -> list:
+        """Like :meth:`_build_plan`, with batched sources and each depth's
+        conjuncts fused into one per-batch predicate."""
+        plan = []
+        for depth, var in enumerate(order):
+            bound = set(order[:depth])
+            produce = self._batch_candidates(var, bound)
+            predicate = batch_conjunction(
+                self._pending_filter_list(var, bound)
+            )
+            plan.append((var, produce, predicate))
+        return plan
+
+    def _execute_join(self, order: "list[str]", emit) -> None:
+        """Run the nested-loop join over *order*, batched when enabled."""
+        if self._batch:
+            self._join_batches(self._build_batch_plan(order), 0, emit)
+        else:
+            self._join(self._build_plan(order), 0, emit)
+
     def _join(self, plan, depth, emit) -> None:
         if depth == len(plan):
             emit()
@@ -488,6 +572,31 @@ class Executor:
                 if predicate(row):
                     bindings[var] = row
                     self._join(plan, depth + 1, emit)
+        bindings.pop(var, None)
+
+    def _join_batches(self, plan, depth, emit) -> None:
+        """Batched nested loops: each depth filters a whole page batch in
+        one predicate call, then binds the survivors one by one.
+
+        The page backing a batch is read when the batch is produced --
+        before any inner-depth reads for its rows -- which is exactly when
+        the tuple-at-a-time loop reads it (on the page's first row).
+        """
+        if depth == len(plan):
+            emit()
+            return
+        var, produce, predicate = plan[depth]
+        bindings = self._bindings
+        if depth == len(plan) - 1:
+            for batch in produce():
+                for row in predicate(batch):
+                    bindings[var] = row
+                    emit()
+        else:
+            for batch in produce():
+                for row in predicate(batch):
+                    bindings[var] = row
+                    self._join_batches(plan, depth + 1, emit)
         bindings.pop(var, None)
 
     def _should_detach(self, var: str, order: "list[str]") -> bool:
@@ -767,7 +876,7 @@ class Executor:
             )
 
         if analysis.var_order:
-            self._join(self._build_plan(list(analysis.var_order)), 0, emit)
+            self._execute_join(list(analysis.var_order), emit)
         else:
             emit()
 
@@ -927,3 +1036,10 @@ def _index_with_rids(relation, index, value, current_only):
             continue
         seen.add(tid)
         yield relation.rid_from_tid(tid), relation.read_tid(tid)
+
+
+def _index_batches(relation, index, value, current_only):
+    """Secondary-index probes as single-row batches (each tid resolves to
+    one scattered data-page read, so there is nothing to batch)."""
+    for _, row in _index_with_rids(relation, index, value, current_only):
+        yield [row]
