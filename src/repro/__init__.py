@@ -34,17 +34,26 @@ ANALYZE`` and direct access to the statement tracer and metrics
 registry -- see :mod:`repro.observe`.)
 """
 
+from repro import fault
 from repro.access.base import StructureKind
 from repro.access.secondary import IndexLevels, SecondaryIndex
 from repro.access.twolevel import HistoryLayout, TwoLevelStore
 from repro.catalog.schema import DatabaseType, RelationKind, RelationSchema
 from repro.engine.database import TemporalDatabase
 from repro.engine.integrity import check_database, check_relation
+from repro.engine.persist import (
+    ChecksumError,
+    FormatVersionError,
+    PersistError,
+    TrailingGarbageError,
+    TruncatedFileError,
+)
 from repro.engine.result import Result
 from repro.engine.session import PreparedStatement, Session, connect
 from repro.observe import MetricsRegistry, Span, Tracer
 from repro.temporal.coalesce import coalesce_periods, coalesce_rows
 from repro.errors import (
+    FaultInjected,
     ReproError,
     TQuelError,
     TQuelSemanticError,
@@ -65,15 +74,19 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BEGINNING",
+    "ChecksumError",
     "Clock",
     "DatabaseType",
     "FOREVER",
+    "FaultInjected",
+    "FormatVersionError",
     "HistoryLayout",
     "IODelta",
     "IOStats",
     "IndexLevels",
     "MetricsRegistry",
     "Period",
+    "PersistError",
     "PreparedStatement",
     "RelationKind",
     "RelationSchema",
@@ -89,12 +102,15 @@ __all__ = [
     "TQuelSyntaxError",
     "TemporalDatabase",
     "Tracer",
+    "TrailingGarbageError",
+    "TruncatedFileError",
     "TwoLevelStore",
     "check_database",
     "check_relation",
     "coalesce_periods",
     "coalesce_rows",
     "connect",
+    "fault",
     "format_chronon",
     "parse_temporal",
     "__version__",

@@ -34,8 +34,10 @@ import hashlib
 import json
 import os
 import pathlib
+import traceback
 from dataclasses import dataclass, field
 
+from repro import fault
 from repro.access.base import StructureKind
 from repro.bench.evolve import evolve_uniform
 from repro.bench.queries import ALL_QUERY_IDS, benchmark_queries
@@ -325,14 +327,34 @@ def _disk_store(config: WorkloadConfig, max_update_count: int, result) -> None:
         pass  # caching is best-effort; the sweep result is still returned
 
 
-def _sweep_worker(payload) -> dict:
+def _sweep_worker(payload) -> tuple:
     """Pool worker: run one configuration's sweep, return its dict form.
 
     Module-level (picklable) and dict-valued so results transport across
     the process boundary without pickling BenchmarkResult internals.
+    Returns ``("ok", dict)`` or ``("error", traceback text)``: a crashed
+    worker must not poison the whole sweep, so exceptions travel back as
+    data and the parent decides whether to retry.
     """
     config, max_update_count = payload
-    return BenchmarkRun(config, max_update_count=max_update_count).run().to_dict()
+    try:
+        fault.point("bench.worker")
+        run = BenchmarkRun(config, max_update_count=max_update_count)
+        return ("ok", run.run().to_dict())
+    except BaseException:
+        return ("error", traceback.format_exc())
+
+
+class BenchWorkerError(RuntimeError):
+    """A sweep worker failed twice for one configuration."""
+
+    def __init__(self, config, detail: str):
+        super().__init__(
+            f"benchmark worker for configuration {config.label!r} failed "
+            f"(after one retry):\n{detail}"
+        )
+        self.config = config
+        self.detail = detail
 
 
 def run_suite(
@@ -370,11 +392,27 @@ def run_suite(
 
         payloads = [(config, max_update_count) for config in pending]
         with multiprocessing.Pool(min(jobs, len(pending))) as pool:
-            for config, data in zip(
+            for config, (status, data) in zip(
                 pending, pool.imap(_sweep_worker, payloads)
             ):
-                result = result_from_dict(data)
-                result.config = config
+                if status == "error":
+                    # One retry, inline: a transient failure (an injected
+                    # fault, a killed worker) should not lose the whole
+                    # sweep.  The retry runs in this process and bypasses
+                    # the worker failpoint, so a deterministic fault armed
+                    # at the worker does not simply re-fire.
+                    try:
+                        run = BenchmarkRun(
+                            config, max_update_count=max_update_count
+                        )
+                        result = run.run()
+                    except Exception as exc:
+                        raise BenchWorkerError(
+                            config, f"{data}\nretry failed: {exc!r}"
+                        ) from exc
+                else:
+                    result = result_from_dict(data)
+                    result.config = config
                 results[config.label] = result
                 if cache:
                     _disk_store(config, max_update_count, result)

@@ -20,6 +20,7 @@ page per user relation.
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import nullcontext
 
 from repro.access.base import StructureKind
 from repro.access.secondary import IndexLevels
@@ -30,6 +31,7 @@ from repro.engine import mutate
 from repro.engine.relation import StoredRelation
 from repro.engine.result import Result
 from repro.engine.temporary import TemporaryFactory
+from repro.engine.undo import statement_scope
 from repro.errors import (
     CatalogError,
     DuplicateRelationError,
@@ -126,9 +128,16 @@ class TemporalDatabase:
         clock: "Clock | None" = None,
         buffers_per_relation: int = 1,
         batch_execution: "bool | None" = None,
+        atomic_statements: bool = True,
     ):
         self.name = name
         self.clock = clock if clock is not None else Clock()
+        # Statement-level atomicity (the default): update statements run
+        # inside an undo scope so a mid-statement failure rolls back every
+        # physical write.  ``False`` disables the scope entirely -- used by
+        # the observe-neutrality tests to show the undo path never moves a
+        # page count.
+        self.atomic_statements = bool(atomic_statements)
         # Page-at-a-time batch execution (the default).  ``False`` selects
         # the retained tuple-at-a-time reference path -- same rows, same
         # page accounting, used by the differential tests.  ``None``
@@ -365,7 +374,8 @@ class TemporalDatabase:
         (explicit time attributes, as the benchmark's generator supplies).
         """
         relation = self._require_user_relation(name)
-        count = mutate.load_rows(relation, list(rows), self.clock.now())
+        with self._atomic_scope():
+            count = mutate.load_rows(relation, list(rows), self.clock.now())
         self.pool.flush_all()
         return count
 
@@ -396,11 +406,16 @@ class TemporalDatabase:
         persist.save(self, path)
 
     @classmethod
-    def load(cls, path) -> "TemporalDatabase":
-        """Restore a database checkpointed with :meth:`save`."""
+    def load(cls, path, salvage: bool = False) -> "TemporalDatabase":
+        """Restore a database checkpointed with :meth:`save`.
+
+        With ``salvage=True`` damaged relations are skipped instead of
+        failing the whole load; ``db.salvage_report`` describes what was
+        recovered and what was dropped.
+        """
         from repro.engine import persist
 
-        return persist.load(path, database_class=cls)
+        return persist.load(path, database_class=cls, salvage=salvage)
 
     # -- statement execution ---------------------------------------------------------
 
@@ -434,6 +449,12 @@ class TemporalDatabase:
     ) -> "list":
         """Prepare *text* once and execute it per parameter set."""
         return self.prepare(text).executemany(param_sets)
+
+    def _atomic_scope(self):
+        """An undo scope for one update statement (or a no-op context)."""
+        if self.atomic_statements:
+            return statement_scope(self.pool)
+        return nullcontext()
 
     def _invalidate_plans(self) -> None:
         """DDL or range-table change: cached semantic analyses are stale."""
@@ -504,7 +525,21 @@ class TemporalDatabase:
         before = self.stats.checkpoint()
         runner = self._planned_runner(entry, index, span, params)
         with span.stage("execute"):
-            result = runner()
+            if isinstance(
+                statement,
+                (ast.AppendStmt, ast.DeleteStmt, ast.ReplaceStmt,
+                 ast.CopyStmt),
+            ):
+                # Update statements are atomic: any failure inside the
+                # runner rolls back every physical write before the
+                # exception escapes.  The trailing flush stays outside the
+                # scope -- once the runner returned, the statement's
+                # effects are complete and a failure while flushing leaves
+                # the post-state.
+                with self._atomic_scope():
+                    result = runner()
+            else:
+                result = runner()
             self.pool.flush_all()
         result.io = self.stats.delta(before)
         self.metrics.inc(f"statements.{result.kind}")

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import fault
 from repro.access.secondary import IndexLevels
 from repro.catalog.schema import (
     TRANSACTION_START,
@@ -48,6 +49,7 @@ from repro.catalog.schema import (
     RelationKind,
 )
 from repro.engine.relation import StoredRelation
+from repro.engine.undo import snapshot_for_statement
 from repro.errors import ExecutionError
 from repro.temporal.chronon import Chronon
 
@@ -169,6 +171,7 @@ def apply_append(
 ) -> int:
     """TQuel ``append``: insert brand-new logical tuples."""
     valid.check_against(relation)
+    snapshot_for_statement(relation)
     schema = relation.schema
     count = 0
     for user_values in user_rows:
@@ -179,6 +182,7 @@ def apply_append(
             valid_to=valid.valid_to,
             valid_at=valid.valid_at,
         )
+        fault.point("mutate.insert_version")
         if relation.is_two_level:
             rid = relation.storage.insert_current(row)
         else:
@@ -196,6 +200,7 @@ def load_rows(relation: StoredRelation, rows: "list[tuple]", now: Chronon) -> in
     temporal attributes") or user-width, in which case the time attributes
     default as for ``append``.
     """
+    snapshot_for_statement(relation)
     schema = relation.schema
     count = 0
     full_width = len(schema.fields)
@@ -211,6 +216,7 @@ def load_rows(relation: StoredRelation, rows: "list[tuple]", now: Chronon) -> in
                 f"{schema.name}: copy rows need {user_width} or "
                 f"{full_width} values, got {len(values)}"
             )
+        fault.point("mutate.insert_version")
         if relation.is_two_level:
             if relation._is_currentish(row):
                 rid = relation.storage.insert_current(row)
@@ -234,6 +240,7 @@ def apply_delete(
     now: Chronon,
 ) -> int:
     """TQuel ``delete`` over pre-collected ``(rid, row)`` candidates."""
+    snapshot_for_statement(relation)
     schema = relation.schema
     targets = [
         (rid, row)
@@ -286,6 +293,7 @@ def apply_delete(
             if relation.is_two_level:
                 # Old version moves to history; the closing version takes
                 # the primary slot (it is the latest in transaction time).
+                fault.point("mutate.insert_version")
                 hrid = relation.storage.append_history(
                     _tuple_key(relation, row, rid), stamped
                 )
@@ -323,6 +331,7 @@ def apply_replace(
     otherwise the statement-level *valid* applies to every target.
     """
     valid.check_against(relation)
+    snapshot_for_statement(relation)
     schema = relation.schema
     targets = [
         (rid, row)
@@ -400,6 +409,7 @@ def _replace_historical(relation, rid, row, new_user, now, valid, pending) -> in
     stamped = schema.with_attribute(row, VALID_TO, now)
     if relation.is_two_level:
         key = _tuple_key(relation, row, rid)
+        fault.point("mutate.insert_version")
         hrid = relation.storage.append_history(key, stamped)
         _index_new_version(relation, stamped, hrid, current=False)
         relation.storage.overwrite_current(rid, new_row)
@@ -417,6 +427,7 @@ def _replace_rollback(relation, rid, row, new_user, now, pending) -> int:
     new_row = schema.new_version(new_user, now)
     if relation.is_two_level:
         key = _tuple_key(relation, row, rid)
+        fault.point("mutate.insert_version")
         hrid = relation.storage.append_history(key, stamped)
         _index_new_version(relation, stamped, hrid, current=False)
         relation.storage.overwrite_current(rid, new_row)
@@ -445,6 +456,7 @@ def _replace_temporal(relation, rid, row, new_user, now, valid,
         )
         if relation.is_two_level:
             key = _tuple_key(relation, row, rid)
+            fault.point("mutate.insert_version")
             hrid = relation.storage.append_history(key, stamped)
             _index_new_version(relation, stamped, hrid, current=False)
             relation.storage.overwrite_current(rid, new_row)
@@ -465,6 +477,7 @@ def _replace_temporal(relation, rid, row, new_user, now, valid,
         # to facts that have actually held).
         if relation.is_two_level:
             key = _tuple_key(relation, row, rid)
+            fault.point("mutate.insert_version")
             hrid = relation.storage.append_history(key, stamped)
             _index_new_version(relation, stamped, hrid, current=False)
             relation.storage.overwrite_current(rid, new_row)
@@ -478,6 +491,7 @@ def _replace_temporal(relation, rid, row, new_user, now, valid,
     closing = schema.with_attribute(closing, TRANSACTION_START, now)
     if relation.is_two_level:
         key = _tuple_key(relation, row, rid)
+        fault.point("mutate.insert_version")
         hrid = relation.storage.append_history(key, stamped)
         _index_new_version(relation, stamped, hrid, current=False)
         hrid2 = relation.storage.append_history(key, closing)
@@ -495,6 +509,7 @@ def _replace_temporal(relation, rid, row, new_user, now, valid,
 def _flush_inserts(relation: StoredRelation, pending: "list[tuple]") -> None:
     """Perform the deferred inserts of one statement (phase 2)."""
     for row, current in pending:
+        fault.point("mutate.insert_version")
         rid = relation.storage.insert(row)
         _index_new_version(relation, row, rid, current=current)
 

@@ -1,29 +1,55 @@
-"""Database persistence: checkpoint a database to disk and restore it.
+"""Database persistence: journaled, checksummed checkpoints.
 
 The benchmark's metric depends on *physical layout* (which page each
 version occupies, how long each overflow chain is), so persistence saves
 exact page images rather than a logical dump:
 
-* ``database.json`` -- the clock, range variables, and per-relation
-  metadata: schema, storage structure, structure internals
-  (``snapshot_meta``) and secondary indexes;
+* ``database.json`` -- the clock, range variables, per-relation metadata
+  (schema, storage structure, ``snapshot_meta`` internals, secondary
+  indexes) and a ``files`` map carrying each page file's whole-file CRC
+  and page count;
 * ``<file>.pages``  -- one binary file per stored relation file (primary
-  and history stores and index files included): a small header followed by
-  each page's record size and 1024-byte image.
+  and history stores and index files included): a header followed by
+  each page's record size, CRC-32 and 1024-byte image.
 
 ``save(db, path)`` / ``load(path)`` round-trip everything: a restored
 database answers every query with the same rows *and the same page
 counts* as the original.  I/O statistics are not persisted (a restored
 database starts with fresh counters), and in-flight temporaries do not
 exist between statements.
+
+Crash safety
+------------
+
+``save`` never writes into a live checkpoint.  It builds the complete
+new checkpoint in a ``<path>.tmp`` sibling (manifest written and fsynced
+*last*, so a readable manifest implies every page file was fully
+written), then swaps directories: the old checkpoint is renamed to
+``<path>.old``, the journal renamed into place, and the old checkpoint
+removed.  A crash at any point leaves at least one complete checkpoint
+on disk; :func:`recover_checkpoint` inspects the three directories and
+promotes the surviving one.
+
+``load`` verifies every checksum and the structural integrity of every
+file.  Corruption raises a :class:`PersistError` subclass carrying the
+offending ``path`` (and ``page`` for page-granular damage):
+:class:`ChecksumError`, :class:`TruncatedFileError`,
+:class:`TrailingGarbageError`, :class:`FormatVersionError`.  With
+``salvage=True`` damaged relations are skipped instead: intact
+relations load normally and ``db.salvage_report`` lists what was
+recovered and what was dropped, with the error per dropped relation.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import shutil
 import struct
+import zlib
 
+from repro import fault
 from repro.access.base import StructureKind
 from repro.access.btree import BTreeFile
 from repro.access.hashfile import HashFile
@@ -33,52 +59,150 @@ from repro.access.secondary import IndexLevels, SecondaryIndex
 from repro.access.twolevel import HistoryLayout, TwoLevelStore
 from repro.catalog.schema import DatabaseType, RelationKind, RelationSchema
 from repro.engine.relation import StoredRelation
-from repro.errors import ReproError
+from repro.errors import ReproError, StorageError
 from repro.storage.record import FieldSpec
 from repro.temporal.chronon import Clock
 
 _MAGIC = b"TQRP"
-_VERSION = 1
+_VERSION = 2
 _HEADER = struct.Struct("<4sHI")  # magic, version, page count
-_PAGE_HEADER = struct.Struct("<H")  # record size
+_PAGE_HEADER = struct.Struct("<HI")  # record size, CRC-32 of the image
+_PAGE_SIZE = 1024
+
+MANIFEST = "database.json"
 
 
 class PersistError(ReproError):
-    """A checkpoint directory is missing, corrupt, or incompatible."""
+    """A checkpoint directory is missing, corrupt, or incompatible.
+
+    ``path`` names the offending file (or directory) when known;
+    ``page`` gives the zero-based page index for page-granular damage.
+    """
+
+    def __init__(self, message: str, path=None, page: "int | None" = None):
+        super().__init__(message)
+        self.path = str(path) if path is not None else None
+        self.page = page
 
 
-def _dump_file(buffered, path: pathlib.Path) -> None:
+class ChecksumError(PersistError):
+    """Stored and recomputed CRC-32 disagree: the bytes changed on disk."""
+
+
+class TruncatedFileError(PersistError):
+    """A file ends mid-structure (torn write or partial copy)."""
+
+
+class TrailingGarbageError(PersistError):
+    """A page file continues past its last declared page."""
+
+
+class FormatVersionError(PersistError):
+    """The checkpoint was written by an incompatible format version."""
+
+
+# -- page files --------------------------------------------------------------
+
+
+def _dump_file(buffered, path: pathlib.Path) -> dict:
+    """Write one ``.pages`` file; return its manifest entry (crc, pages)."""
     pages = list(buffered.dump_pages())
+    crc = 0
     with open(path, "wb") as handle:
-        handle.write(_HEADER.pack(_MAGIC, _VERSION, len(pages)))
+        chunk = _HEADER.pack(_MAGIC, _VERSION, len(pages))
+        handle.write(chunk)
+        crc = zlib.crc32(chunk, crc)
         for record_size, image in pages:
-            handle.write(_PAGE_HEADER.pack(record_size))
+            chunk = _PAGE_HEADER.pack(record_size, zlib.crc32(image))
+            handle.write(chunk)
+            crc = zlib.crc32(chunk, crc)
+            fault.point("pager.write")
             handle.write(image)
+            crc = zlib.crc32(image, crc)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return {"crc": crc, "pages": len(pages)}
 
 
-def _load_file(buffered, path: pathlib.Path) -> None:
-    with open(path, "rb") as handle:
-        header = handle.read(_HEADER.size)
-        if len(header) != _HEADER.size:
-            raise PersistError(f"{path}: truncated page file")
-        magic, version, count = _HEADER.unpack(header)
-        if magic != _MAGIC:
-            raise PersistError(f"{path}: not a tquel-repro page file")
-        if version != _VERSION:
-            raise PersistError(
-                f"{path}: unsupported format version {version}"
+def _load_file(buffered, path: pathlib.Path, expected: "dict | None") -> None:
+    """Verify and restore one ``.pages`` file into *buffered*.
+
+    Structural damage is reported page-first (a page coordinate beats a
+    bare "file is bad"); the whole-file CRC runs last and catches
+    corruption the structural pass cannot localise (header fields,
+    stored checksums themselves).
+    """
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        raise PersistError(
+            f"{path}: missing page file", path=path
+        ) from None
+    if len(data) < _HEADER.size:
+        raise TruncatedFileError(
+            f"{path}: truncated page file (no header)", path=path
+        )
+    magic, version, count = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise PersistError(
+            f"{path}: not a tquel-repro page file", path=path
+        )
+    if version != _VERSION:
+        raise FormatVersionError(
+            f"{path}: unsupported page-file format version {version} "
+            f"(this build reads version {_VERSION})",
+            path=path,
+        )
+    if expected is not None and count != expected.get("pages"):
+        raise PersistError(
+            f"{path}: header declares {count} pages but the manifest "
+            f"recorded {expected.get('pages')}",
+            path=path,
+        )
+
+    pairs = []
+    offset = _HEADER.size
+    for page_id in range(count):
+        if offset + _PAGE_HEADER.size > len(data):
+            raise TruncatedFileError(
+                f"{path}: truncated at page {page_id} header",
+                path=path,
+                page=page_id,
             )
+        record_size, stored_crc = _PAGE_HEADER.unpack_from(data, offset)
+        offset += _PAGE_HEADER.size
+        image = data[offset : offset + _PAGE_SIZE]
+        if len(image) != _PAGE_SIZE:
+            raise TruncatedFileError(
+                f"{path}: truncated page image at page {page_id}",
+                path=path,
+                page=page_id,
+            )
+        offset += _PAGE_SIZE
+        if zlib.crc32(image) != stored_crc:
+            raise ChecksumError(
+                f"{path}: page {page_id} checksum mismatch",
+                path=path,
+                page=page_id,
+            )
+        pairs.append((record_size, image))
+    if offset != len(data):
+        raise TrailingGarbageError(
+            f"{path}: {len(data) - offset} byte(s) of trailing garbage "
+            f"after the last page",
+            path=path,
+        )
+    if expected is not None and zlib.crc32(data) != expected.get("crc"):
+        raise ChecksumError(
+            f"{path}: file checksum mismatch", path=path
+        )
 
-        def pairs():
-            for _ in range(count):
-                size_bytes = handle.read(_PAGE_HEADER.size)
-                (record_size,) = _PAGE_HEADER.unpack(size_bytes)
-                image = handle.read(1024)
-                if len(image) != 1024:
-                    raise PersistError(f"{path}: truncated page image")
-                yield record_size, image
-
-        buffered.load_pages(pairs())
+    try:
+        buffered.load_pages(pairs)
+    except StorageError as exc:
+        raise PersistError(
+            f"{path}: corrupt page structure: {exc}", path=path
+        ) from exc
 
 
 def _relation_files(relation: StoredRelation) -> "list[str]":
@@ -114,13 +238,33 @@ def _schema_from_meta(meta: dict) -> RelationSchema:
     )
 
 
-def save(db, path) -> None:
-    """Checkpoint *db* into directory *path* (created if needed)."""
+# -- save --------------------------------------------------------------------
+
+
+def _journal_paths(path):
     root = pathlib.Path(path)
-    root.mkdir(parents=True, exist_ok=True)
+    return (
+        root,
+        root.parent / (root.name + ".tmp"),
+        root.parent / (root.name + ".old"),
+    )
+
+
+def save(db, path) -> None:
+    """Checkpoint *db* into directory *path*, journaled.
+
+    The checkpoint is built complete in ``<path>.tmp`` and atomically
+    swapped into place; an existing checkpoint at *path* survives any
+    crash before the swap finishes.
+    """
+    root, tmp, old = _journal_paths(path)
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir(parents=True)
     db.pool.flush_all()
 
     relations = []
+    files = {}
     for name in db.relation_names():
         relation = db.relation(name)
         entry = {
@@ -152,21 +296,96 @@ def save(db, path) -> None:
         }
         relations.append(entry)
         for file_name in _relation_files(relation):
-            _dump_file(db.pool.file(file_name), root / f"{file_name}.pages")
+            files[file_name] = _dump_file(
+                db.pool.file(file_name), tmp / f"{file_name}.pages"
+            )
 
     manifest = {
         "format": _VERSION,
         "name": db.name,
         "clock": {"now": db.clock.now(), "tick": db.clock.tick},
         "ranges": dict(db.ranges),
+        "files": files,
         "relations": relations,
     }
-    (root / "database.json").write_text(
-        json.dumps(manifest, indent=2), encoding="ascii"
+    # The manifest is written and fsynced last: its presence marks the
+    # journal directory complete (its checksums then prove the rest).
+    with open(tmp / MANIFEST, "w", encoding="ascii") as handle:
+        handle.write(json.dumps(manifest, indent=2))
+        fault.point("checkpoint.fsync")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    fault.point("checkpoint.rename")
+    if old.exists():
+        shutil.rmtree(old)
+    if root.exists():
+        root.rename(old)
+    fault.point("checkpoint.swap")
+    tmp.rename(root)
+    if old.exists():
+        shutil.rmtree(old)
+
+
+def _manifest_ok(directory: pathlib.Path) -> bool:
+    """Whether *directory* holds a complete checkpoint (manifest parses).
+
+    The manifest is written last during :func:`save`, so a parseable
+    manifest implies the directory's page files were all fully written;
+    their checksums are verified at :func:`load` time.
+    """
+    manifest_path = directory / MANIFEST
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="ascii"))
+    except (OSError, ValueError, UnicodeDecodeError):
+        return False
+    return isinstance(manifest, dict) and "format" in manifest
+
+
+def recover_checkpoint(path) -> str:
+    """Repair the checkpoint at *path* after an interrupted save.
+
+    Inspects ``<path>``, ``<path>.tmp`` and ``<path>.old`` and keeps the
+    best complete checkpoint: the current directory if its manifest is
+    complete, else the journal (a save that crashed after the manifest
+    fsync but before the swap finished), else the previous checkpoint.
+    Returns what happened: ``"clean"`` (nothing to do),
+    ``"kept-current"`` (leftovers removed), ``"promoted-journal"`` or
+    ``"restored-previous"``.  Raises :class:`PersistError` when no
+    complete checkpoint survives.
+    """
+    root, tmp, old = _journal_paths(path)
+    leftovers = tmp.exists() or old.exists()
+    if _manifest_ok(root):
+        for leftover in (tmp, old):
+            if leftover.exists():
+                shutil.rmtree(leftover)
+        return "kept-current" if leftovers else "clean"
+    if _manifest_ok(tmp):
+        if root.exists():
+            shutil.rmtree(root)
+        tmp.rename(root)
+        if old.exists():
+            shutil.rmtree(old)
+        return "promoted-journal"
+    if _manifest_ok(old):
+        if root.exists():
+            shutil.rmtree(root)
+        old.rename(root)
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        return "restored-previous"
+    raise PersistError(
+        f"{root}: no complete checkpoint found (checked {root.name}, "
+        f"{tmp.name}, {old.name})",
+        path=root,
     )
 
 
-def _restore_conventional(db, relation: StoredRelation, entry, root) -> None:
+# -- load --------------------------------------------------------------------
+
+
+def _restore_conventional(db, relation: StoredRelation, entry, root, files):
     structure = StructureKind(entry["structure"])
     schema = relation.schema
     key_index = (
@@ -175,7 +394,9 @@ def _restore_conventional(db, relation: StoredRelation, entry, root) -> None:
         else None
     )
     file = db.pool.create_file(schema.name, schema.record_size)
-    _load_file(file, root / f"{schema.name}.pages")
+    _load_file(
+        file, root / f"{schema.name}.pages", files.get(schema.name)
+    )
     if structure is StructureKind.HEAP:
         storage = HeapFile(file, schema.codec, key_index)
     elif structure is StructureKind.HASH:
@@ -190,7 +411,7 @@ def _restore_conventional(db, relation: StoredRelation, entry, root) -> None:
     relation._storage = storage
 
 
-def _restore_two_level(db, relation: StoredRelation, entry, root) -> None:
+def _restore_two_level(db, relation: StoredRelation, entry, root, files):
     schema = relation.schema
     meta = entry["storage"]
     key_index = schema.position(entry["key_attribute"])
@@ -202,20 +423,15 @@ def _restore_two_level(db, relation: StoredRelation, entry, root) -> None:
         primary_kind=StructureKind(meta["primary_kind"]),
         layout=HistoryLayout(meta["layout"]),
     )
-    _load_file(
-        db.pool.file(f"{schema.name}.primary"),
-        root / f"{schema.name}.primary.pages",
-    )
-    _load_file(
-        db.pool.file(f"{schema.name}.history"),
-        root / f"{schema.name}.history.pages",
-    )
+    for part in ("primary", "history"):
+        name = f"{schema.name}.{part}"
+        _load_file(db.pool.file(name), root / f"{name}.pages", files.get(name))
     store.restore_meta(meta)
     relation._storage = store
     relation.history_layout = HistoryLayout(meta["layout"])
 
 
-def _restore_indexes(db, relation: StoredRelation, entry, root) -> None:
+def _restore_indexes(db, relation: StoredRelation, entry, root, files):
     for index_entry in entry["indexes"]:
         index = SecondaryIndex(
             db.pool,
@@ -232,66 +448,164 @@ def _restore_indexes(db, relation: StoredRelation, entry, root) -> None:
             names = [index.name]
         for file_name in names:
             _load_file(
-                db.pool.file(file_name), root / f"{file_name}.pages"
+                db.pool.file(file_name),
+                root / f"{file_name}.pages",
+                files.get(file_name),
             )
         index.restore_meta(index_entry["meta"])
         relation.indexes[index.name] = index
 
 
-def load(path, database_class=None):
-    """Restore a database checkpointed with :func:`save`."""
+def _restore_relation(db, entry, root, files) -> StoredRelation:
+    """Restore one relation (storage, zone map, indexes) from *entry*."""
+    schema = _schema_from_meta(entry["schema"])
+    relation = StoredRelation(schema, db.pool)
+    structure = StructureKind(entry["structure"])
+    if structure is StructureKind.TWO_LEVEL:
+        _restore_two_level(db, relation, entry, root, files)
+    else:
+        _restore_conventional(db, relation, entry, root, files)
+    relation.structure = structure
+    relation.key_attribute = entry["key_attribute"] or None
+    relation.fillfactor = int(entry["fillfactor"])
+    if entry.get("zone_map") is not None:
+        relation.zone_map = {
+            int(page_id): int(start) for page_id, start in entry["zone_map"]
+        }
+    _restore_indexes(db, relation, entry, root, files)
+    return relation
+
+
+def _drop_relation_files(db, entry) -> None:
+    """Forget pool files of a relation whose restore failed (salvage)."""
+    name = entry.get("schema", {}).get("name", "")
+    candidates = [name, f"{name}.primary", f"{name}.history"]
+    for index_entry in entry.get("indexes", []):
+        index_name = index_entry.get("name", "")
+        candidates.extend(
+            [index_name, f"{index_name}.current", f"{index_name}.history"]
+        )
+    for candidate in candidates:
+        if candidate:
+            db.pool.drop_file(candidate)
+
+
+def _read_manifest(root: pathlib.Path) -> dict:
+    manifest_path = root / MANIFEST
+    if not manifest_path.exists():
+        hint = ""
+        _, tmp, old = _journal_paths(root)
+        if tmp.exists() or old.exists():
+            hint = (
+                " (an interrupted save left journal directories; run "
+                "recover_checkpoint first)"
+            )
+        raise PersistError(
+            f"{root}: no {MANIFEST} checkpoint found{hint}",
+            path=manifest_path,
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="ascii"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise PersistError(
+            f"{manifest_path}: corrupt manifest: {exc}", path=manifest_path
+        ) from exc
+    if not isinstance(manifest, dict):
+        raise PersistError(
+            f"{manifest_path}: corrupt manifest: not an object",
+            path=manifest_path,
+        )
+    if manifest.get("format") != _VERSION:
+        raise FormatVersionError(
+            f"{manifest_path}: unsupported checkpoint format "
+            f"{manifest.get('format')!r} (this build reads version "
+            f"{_VERSION})",
+            path=manifest_path,
+        )
+    return manifest
+
+
+def load(path, database_class=None, salvage: bool = False):
+    """Restore a database checkpointed with :func:`save`.
+
+    Every checksum is verified; corruption raises a structured
+    :class:`PersistError` naming the damaged file (and page).  With
+    ``salvage=True`` relations whose files are damaged are skipped
+    instead and ``db.salvage_report`` describes the outcome::
+
+        {"recovered": [names...],
+         "skipped": [{"relation": name, "error": message}, ...]}
+    """
     from repro.engine.database import TemporalDatabase
 
     root = pathlib.Path(path)
-    manifest_path = root / "database.json"
-    if not manifest_path.exists():
-        raise PersistError(f"{root}: no database.json checkpoint found")
-    manifest = json.loads(manifest_path.read_text(encoding="ascii"))
-    if manifest.get("format") != _VERSION:
-        raise PersistError(
-            f"unsupported checkpoint format {manifest.get('format')!r}"
-        )
+    manifest = _read_manifest(root)
 
     cls = database_class if database_class is not None else TemporalDatabase
-    db = cls(
-        name=manifest["name"],
-        clock=Clock(
-            start=int(manifest["clock"]["now"]),
-            tick=int(manifest["clock"]["tick"]),
-        ),
-    )
+    try:
+        db = cls(
+            name=manifest["name"],
+            clock=Clock(
+                start=int(manifest["clock"]["now"]),
+                tick=int(manifest["clock"]["tick"]),
+            ),
+        )
+        files = manifest.get("files", {})
+        entries = manifest["relations"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistError(
+            f"{root / MANIFEST}: malformed manifest: {exc!r}",
+            path=root / MANIFEST,
+        ) from exc
 
-    for entry in manifest["relations"]:
-        schema = _schema_from_meta(entry["schema"])
-        relation = StoredRelation(schema, db.pool)
-        structure = StructureKind(entry["structure"])
-        if structure is StructureKind.TWO_LEVEL:
-            _restore_two_level(db, relation, entry, root)
-        else:
-            _restore_conventional(db, relation, entry, root)
-        relation.structure = structure
-        relation.key_attribute = entry["key_attribute"] or None
-        relation.fillfactor = int(entry["fillfactor"])
-        if entry.get("zone_map") is not None:
-            relation.zone_map = {
-                int(page_id): int(start)
-                for page_id, start in entry["zone_map"]
-            }
-        _restore_indexes(db, relation, entry, root)
+    report = {"recovered": [], "skipped": []}
+    for entry in entries:
+        try:
+            relation = _restore_relation(db, entry, root, files)
+        except PersistError as exc:
+            if not salvage:
+                raise
+            _drop_relation_files(db, entry)
+            report["skipped"].append(
+                {
+                    "relation": entry.get("schema", {}).get("name", "?"),
+                    "error": str(exc),
+                }
+            )
+            continue
+        except (KeyError, TypeError, ValueError) as exc:
+            wrapped = PersistError(
+                f"{root / MANIFEST}: malformed relation entry: {exc!r}",
+                path=root / MANIFEST,
+            )
+            if not salvage:
+                raise wrapped from exc
+            _drop_relation_files(db, entry)
+            report["skipped"].append(
+                {
+                    "relation": entry.get("schema", {}).get("name", "?"),
+                    "error": str(wrapped),
+                }
+            )
+            continue
+        schema = relation.schema
+        report["recovered"].append(schema.name)
         db._relations[schema.name] = relation
         db.catalog.record_create(schema)
         db.catalog.record_modify(
             schema.name,
-            structure.value,
-            entry["key_attribute"] or "",
+            relation.structure.value,
+            relation.key_attribute or "",
             relation.fillfactor,
         )
 
-    for var, relation_name in manifest["ranges"].items():
+    for var, relation_name in manifest.get("ranges", {}).items():
         if relation_name in db._relations or relation_name in (
             "relations", "attributes",
         ):
             db.ranges[var] = relation_name
     db.pool.flush_all()
     db.stats.reset()
+    if salvage:
+        db.salvage_report = report
     return db

@@ -82,3 +82,16 @@ class TQuelSemanticError(TQuelError):
 
 class ExecutionError(ReproError):
     """Runtime errors while executing a query plan."""
+
+
+class FaultInjected(ReproError):
+    """A :mod:`repro.fault` failpoint fired (crash-safety testing only).
+
+    Carries the failpoint ``name`` and the ``hit`` number that fired, so
+    a crash-matrix failure names its exact cell.
+    """
+
+    def __init__(self, message: str, name: str = "", hit: int = 0):
+        super().__init__(message)
+        self.name = name
+        self.hit = hit

@@ -1,0 +1,235 @@
+"""Deterministic fault injection (failpoints) for crash-safety testing.
+
+A *failpoint* is a named location in the engine where a fault can be made
+to fire on demand: the page-write path, buffer eviction, checkpoint fsync
+and rename boundaries, and version insertion during updates.  The crash
+matrix in ``tests/property/test_crash_matrix.py`` arms every registered
+point in turn and asserts that recovery restores exactly the pre- or
+post-statement state.
+
+Everything is deterministic: a point fires on its *N*-th hit (per
+process), never randomly, so a failing matrix cell reproduces exactly.
+
+Usage::
+
+    from repro import fault
+
+    fault.arm("pager.write", at_hit=3)     # fire on the 3rd page write
+    try:
+        db.execute("replace e (sal = e.sal + 1)")
+    except fault.FaultInjected:
+        ...                                # engine rolled the statement back
+    finally:
+        fault.reset()
+
+Activation paths:
+
+* programmatic -- :func:`arm` / :func:`disarm` / :func:`reset`;
+* environment -- ``REPRO_FAULTPOINTS="pager.write:3,checkpoint.rename:1"``
+  arms points at import time (inherited by benchmark worker processes);
+* monitor -- the ``\\failpoints`` meta-command toggles counting, arms and
+  disarms points interactively.
+
+When a metrics registry is attached (:func:`attach_metrics`), every hit
+and fire is counted as ``fault.hits.<name>`` / ``fault.fires.<name>``.
+Counting is plain Python arithmetic -- no page access is ever issued, so
+enabling failpoints never changes I/O accounting by itself.
+
+The disabled fast path is a single module-level boolean check;
+``fault.point(...)`` costs one predictable branch on hot paths when no
+point is armed and counting is off.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import FaultInjected
+
+__all__ = [
+    "FaultInjected",
+    "POINTS",
+    "arm",
+    "armed",
+    "attach_metrics",
+    "counts",
+    "detach_metrics",
+    "disarm",
+    "is_active",
+    "point",
+    "reset",
+    "set_counting",
+]
+
+#: The failpoint catalogue.  Sites outside this tuple refuse to arm, so a
+#: typo in a test arms nothing silently.
+POINTS = (
+    # storage layer
+    "pager.write",        # a dirty page is written back (eviction or flush)
+    "buffer.evict",       # a page is about to be evicted from a buffer pool
+    # engine layer
+    "mutate.insert_version",   # a new version is about to be inserted
+    # checkpoint (persist) layer
+    "checkpoint.fsync",   # a checkpoint file is about to be fsynced
+    "checkpoint.rename",  # the checkpoint swap is about to begin
+    "checkpoint.swap",    # between the two directory renames of the swap
+    # benchmark layer
+    "bench.worker",       # a sweep worker subprocess begins a configuration
+)
+
+_ENABLED = False          # fast-path guard: any arming or counting active
+_COUNTING = False         # count hits even with nothing armed
+_ARMED: "dict[str, tuple[int, int]]" = {}   # name -> (at_hit, times left)
+_HITS: "dict[str, int]" = {}
+_FIRES: "dict[str, int]" = {}
+_METRICS = None           # an attached MetricsRegistry, or None
+
+
+def _refresh_enabled() -> None:
+    global _ENABLED
+    _ENABLED = bool(_ARMED) or _COUNTING
+
+
+def point(name: str) -> None:
+    """Declare a failpoint site; raises :class:`FaultInjected` when armed.
+
+    The disabled path returns immediately.  When active, the site's hit
+    counter advances; if the point is armed and this hit is the armed
+    one, the fault fires (and the arming consumes one of its ``times``).
+    """
+    if not _ENABLED:
+        return
+    hits = _HITS.get(name, 0) + 1
+    _HITS[name] = hits
+    if _METRICS is not None:
+        _METRICS.inc(f"fault.hits.{name}")
+    entry = _ARMED.get(name)
+    if entry is None:
+        return
+    at_hit, times = entry
+    if hits < at_hit:
+        return
+    if times <= 1:
+        del _ARMED[name]
+        _refresh_enabled()
+    else:
+        # Re-arm for the next hit (times > 1 fires on consecutive hits).
+        _ARMED[name] = (hits + 1, times - 1)
+    _FIRES[name] = _FIRES.get(name, 0) + 1
+    if _METRICS is not None:
+        _METRICS.inc(f"fault.fires.{name}")
+    raise FaultInjected(f"failpoint {name!r} fired (hit {hits})", name=name, hit=hits)
+
+
+def arm(name: str, at_hit: int = 1, times: int = 1) -> None:
+    """Arm *name* to fire on its *at_hit*-th hit from now.
+
+    Hit counting for *name* restarts at zero; with ``times > 1`` the
+    point fires on that hit and the ``times - 1`` following ones.
+    """
+    if name not in POINTS:
+        raise ValueError(
+            f"unknown failpoint {name!r} (catalogue: {', '.join(POINTS)})"
+        )
+    if at_hit < 1:
+        raise ValueError(f"at_hit must be >= 1, got {at_hit}")
+    if times < 1:
+        raise ValueError(f"times must be >= 1, got {times}")
+    _HITS[name] = 0
+    _ARMED[name] = (at_hit, times)
+    _refresh_enabled()
+
+
+def disarm(name: "str | None" = None) -> None:
+    """Disarm one point (or all of them); hit counts are kept."""
+    if name is None:
+        _ARMED.clear()
+    else:
+        _ARMED.pop(name, None)
+    _refresh_enabled()
+
+
+def reset() -> None:
+    """Disarm everything and zero all counters (test teardown)."""
+    global _COUNTING
+    _ARMED.clear()
+    _HITS.clear()
+    _FIRES.clear()
+    _COUNTING = False
+    _refresh_enabled()
+
+
+def set_counting(on: bool) -> None:
+    """Count hits at every site even with nothing armed (monitor use)."""
+    global _COUNTING
+    _COUNTING = bool(on)
+    _refresh_enabled()
+
+
+def is_active() -> bool:
+    """Whether any point is armed or counting is on."""
+    return _ENABLED
+
+
+def armed() -> "dict[str, tuple[int, int]]":
+    """Currently armed points: ``{name: (at_hit, times)}``."""
+    return dict(_ARMED)
+
+
+def counts() -> "dict[str, tuple[int, int]]":
+    """Per-point ``(hits, fires)`` counters for every catalogued point."""
+    return {
+        name: (_HITS.get(name, 0), _FIRES.get(name, 0)) for name in POINTS
+    }
+
+
+def attach_metrics(registry) -> None:
+    """Mirror hit/fire counts into *registry* (``fault.hits.<name>`` ...).
+
+    One registry at a time; attaching also enables counting so the
+    mirrored numbers are complete from this moment on.
+    """
+    global _METRICS
+    _METRICS = registry
+    set_counting(True)
+
+
+def detach_metrics() -> None:
+    global _METRICS
+    _METRICS = None
+
+
+def render() -> str:
+    """Human-readable state dump (the monitor's ``\\failpoints`` output)."""
+    lines = [f"failpoints {'active' if _ENABLED else 'inactive'}"]
+    armed_now = _ARMED
+    for name in POINTS:
+        hits, fires = _HITS.get(name, 0), _FIRES.get(name, 0)
+        status = ""
+        if name in armed_now:
+            at_hit, times = armed_now[name]
+            status = f"  ARMED at hit {at_hit} (x{times})"
+        lines.append(
+            f"  {name:<24} hits={hits} fires={fires}{status}"
+        )
+    return "\n".join(lines)
+
+
+def _arm_from_env() -> None:
+    """Arm points from ``REPRO_FAULTPOINTS`` (``name:hit[:times],...``).
+
+    Malformed entries raise immediately -- a silently ignored failpoint
+    would make a crash test pass vacuously.
+    """
+    spec = os.environ.get("REPRO_FAULTPOINTS", "").strip()
+    if not spec:
+        return
+    for part in spec.split(","):
+        fields = part.strip().split(":")
+        name = fields[0]
+        at_hit = int(fields[1]) if len(fields) > 1 else 1
+        times = int(fields[2]) if len(fields) > 2 else 1
+        arm(name, at_hit=at_hit, times=times)
+
+
+_arm_from_env()

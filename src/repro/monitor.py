@@ -18,6 +18,9 @@ Statements are plain TQuel; meta-commands start with a backslash:
 ``\\trace``     toggle statement tracing (``on``/``off``/``last``)
 ``\\metrics``   show engine metrics (``reset`` clears; ``storage``
                refreshes page/overflow-chain gauges first)
+``\\failpoints`` show fault-injection state (``on``/``off`` toggles hit
+               counting; ``arm name [hit] [times]`` schedules a fault;
+               ``disarm [name]``; ``reset`` clears everything)
 ``\\clock``     show the logical clock; ``\\clock advance N`` moves it
 ``\\time fmt``  output resolution: second/minute/hour/day/month/year
 ``\\q``         quit
@@ -90,6 +93,8 @@ class Monitor:
             self._trace_command(parts[1:])
         elif command == "metrics":
             self._metrics_command(parts[1:])
+        elif command == "failpoints":
+            self._failpoints_command(parts[1:])
         elif command == "clock":
             if len(parts) == 3 and parts[1] == "advance":
                 try:
@@ -191,6 +196,44 @@ class Monitor:
             return
         for line in rendered.split("\n"):
             self._print("  " + line)
+
+    def _failpoints_command(self, args: "list[str]") -> None:
+        from repro import fault
+
+        if not args:
+            for line in fault.render().split("\n"):
+                self._print("  " + line)
+            return
+        action = args[0]
+        try:
+            if action == "on":
+                fault.set_counting(True)
+                fault.attach_metrics(self.db.metrics)
+                self._print("failpoint counting on")
+            elif action == "off":
+                fault.set_counting(False)
+                fault.detach_metrics()
+                self._print("failpoint counting off")
+            elif action == "reset":
+                fault.reset()
+                self._print("failpoints reset")
+            elif action == "arm" and 2 <= len(args) <= 4:
+                at_hit = int(args[2]) if len(args) > 2 else 1
+                times = int(args[3]) if len(args) > 3 else 1
+                fault.arm(args[1], at_hit=at_hit, times=times)
+                self._print(
+                    f"armed {args[1]} at hit {at_hit} (x{times})"
+                )
+            elif action == "disarm":
+                fault.disarm(args[1] if len(args) > 1 else None)
+                self._print("disarmed")
+            else:
+                self._print(
+                    "usage: \\failpoints [on|off|reset|arm name [hit] "
+                    "[times]|disarm [name]]"
+                )
+        except (ValueError, ReproError) as error:
+            self._print(f"  error: {error}")
 
     # -- statement execution ----------------------------------------------------
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro import fault
 from repro.errors import StorageError
 from repro.storage.iostats import IOStats
 from repro.storage.page import Page
@@ -47,6 +48,9 @@ class BufferedFile:
         self._capacity = buffers
         # page_id -> dirty flag; insertion order tracks recency (LRU first).
         self._resident: "OrderedDict[int, bool]" = OrderedDict()
+        # The statement undo log currently capturing pre-images of this
+        # file's pages, or None (set by BufferPool.begin_undo).
+        self._undo = None
         stats.register(name, system=system)
 
     @property
@@ -82,12 +86,16 @@ class BufferedFile:
 
     def _evict_to(self, capacity: int) -> None:
         while len(self._resident) > capacity:
+            fault.point("buffer.evict")
             page_id, dirty = self._resident.popitem(last=False)
             if dirty:
+                fault.point("pager.write")
                 self._stats.record_write(self._name)
 
     def read(self, page_id: int) -> Page:
         """Fetch a page, counting a disk read unless it is resident."""
+        if self._undo is not None:
+            self._undo.note_page(self, page_id)
         if page_id in self._resident:
             self._resident.move_to_end(page_id)
             return self._file.page(page_id)
@@ -98,6 +106,8 @@ class BufferedFile:
 
     def allocate(self, record_size: "int | None" = None) -> "tuple[int, Page]":
         """Allocate a fresh page; it enters the pool dirty (no read cost)."""
+        if self._undo is not None:
+            self._undo.note_allocate(self)
         page_id = self._file.allocate(record_size)
         self._evict_to(self._capacity - 1)
         self._resident[page_id] = True
@@ -124,6 +134,39 @@ class BufferedFile:
     def peek(self, page_id: int) -> Page:
         """Unmetered access for tests and integrity checks only."""
         return self._file.page(page_id)
+
+    # -- statement undo support (repro.engine.undo) ------------------------
+
+    def capture_page(self, page_id: int) -> "tuple[bytes, bool]":
+        """Pre-image and dirty flag of one page (unmetered, for undo)."""
+        return (
+            self._file.page(page_id).to_bytes(),
+            self._resident.get(page_id, False),
+        )
+
+    def restore_pages(
+        self,
+        images: "dict[int, tuple[bytes, bool]]",
+        page_count: int,
+    ) -> None:
+        """Roll back to captured pre-images and truncate grown pages.
+
+        Unmetered by design: a rollback models recovery, not disk work
+        the paper's benchmark would count.  Captured pages get their
+        exact byte image and pre-statement dirty flag back; pages
+        allocated after the capture point are dropped, including their
+        buffer slots (no write is recorded for them).
+        """
+        for page_id, (image, dirty) in images.items():
+            if page_id < page_count:
+                self._file.page(page_id).restore_image(image)
+                if page_id in self._resident:
+                    self._resident[page_id] = dirty
+        self._file.truncate(page_count)
+        for page_id in [
+            resident for resident in self._resident if resident >= page_count
+        ]:
+            del self._resident[page_id]
 
     def dump_pages(self):
         """Yield (record_size, image) for every page (persistence)."""
@@ -157,10 +200,35 @@ class BufferPool:
         self._stats = stats if stats is not None else IOStats()
         self._default_buffers = default_buffers
         self._files: "dict[str, BufferedFile]" = {}
+        self._undo = None
 
     @property
     def stats(self) -> IOStats:
         return self._stats
+
+    @property
+    def undo(self):
+        """The active statement undo log, or None."""
+        return self._undo
+
+    def begin_undo(self, log) -> None:
+        """Route page reads/allocations of every file through *log*.
+
+        Files created while the log is active are covered too (an update
+        never creates files today, but the hook keeps that invariant
+        local).  Nested logs are refused: statement scopes never nest.
+        """
+        if self._undo is not None:
+            raise StorageError("an undo scope is already active")
+        self._undo = log
+        for buffered in self._files.values():
+            buffered._undo = log
+
+    def end_undo(self) -> None:
+        """Detach the active undo log (after commit or rollback)."""
+        self._undo = None
+        for buffered in self._files.values():
+            buffered._undo = None
 
     def create_file(
         self,
@@ -177,7 +245,11 @@ class BufferPool:
             buffers=buffers if buffers is not None else self._default_buffers,
             system=system,
         )
+        replaced = self._files.get(name)
+        if replaced is not None:
+            replaced._undo = None
         self._files[name] = buffered
+        buffered._undo = self._undo
         return buffered
 
     def drop_file(self, name: str) -> None:

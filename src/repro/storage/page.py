@@ -164,6 +164,22 @@ class Page:
         """The full 1024-byte on-disk image."""
         return bytes(self._data)
 
+    def restore_image(self, image: bytes) -> None:
+        """Overwrite this page with a saved pre-image (undo rollback).
+
+        The byte image is restored exactly; the ``version`` stamp moves
+        strictly *forward* so decoded-tuple caches populated between the
+        capture and the rollback can never alias a future state of the
+        page.
+        """
+        if len(image) != PAGE_SIZE:
+            raise StorageError(
+                f"page image must be {PAGE_SIZE} bytes, got {len(image)}"
+            )
+        self._data = bytearray(image)
+        self.count, self.overflow = _HEADER.unpack_from(image, 0)
+        self.version += 1
+
     @classmethod
     def from_bytes(cls, image: bytes, record_size: int) -> "Page":
         """Reconstruct a page from its on-disk image."""

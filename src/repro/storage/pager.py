@@ -47,6 +47,19 @@ class PagedFile:
         self._pages.append(page)
         return len(self._pages) - 1
 
+    def truncate(self, page_count: int) -> None:
+        """Drop pages allocated beyond *page_count* (undo rollback only).
+
+        Files never shrink during normal operation; truncation exists so
+        a rolled-back statement can discard the pages it allocated.
+        """
+        if not 0 <= page_count <= len(self._pages):
+            raise StorageError(
+                f"cannot truncate to {page_count} pages (file has "
+                f"{len(self._pages)})"
+            )
+        del self._pages[page_count:]
+
     def page(self, page_id: int) -> Page:
         """Raw (unmetered) access to a page; internal use by buffers."""
         if not 0 <= page_id < len(self._pages):

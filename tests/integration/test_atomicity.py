@@ -1,0 +1,140 @@
+"""Statement-level atomicity: a failure mid-update rolls back the
+primary store, the history store, and every secondary index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Clock, FaultInjected, TemporalDatabase, check_database, fault
+from repro.errors import RecordCodecError
+from tests.conftest import MAR1_1980, make_db
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    fault.reset()
+    yield
+    fault.reset()
+
+
+def loaded_db(structure="hash", two_level=False, atomic=True):
+    if atomic:
+        db = make_db()
+    else:
+        db = TemporalDatabase(
+            "test",
+            clock=Clock(start=MAR1_1980, tick=60),
+            atomic_statements=False,
+        )
+    db.execute("create persistent interval r (id = i4, v = i4, pad = c96)")
+    if two_level:
+        db.execute(
+            "modify r to twolevel on id where fillfactor = 100, "
+            "primary = hash"
+        )
+    else:
+        db.execute(f"modify r to {structure} on id where fillfactor = 100")
+    db.execute("index on r is rv (v) where levels = 2")
+    db.execute("range of x is r")
+    for i in range(1, 9):
+        db.execute(f'append to r (id = {i}, v = {i * 10}, pad = "p")')
+    return db
+
+
+def current_rows(db):
+    return sorted(
+        db.execute('retrieve (x.id, x.v) when x overlap "now"').rows
+    )
+
+
+def all_version_count(db):
+    return db.relation("r").row_count
+
+
+class TestRollback:
+    @pytest.mark.parametrize("two_level", [False, True])
+    def test_failed_replace_leaves_no_trace(self, two_level):
+        db = loaded_db(two_level=two_level)
+        before_rows = current_rows(db)
+        before_versions = all_version_count(db)
+        before_pages = db.relation("r").page_count
+        # A temporal replace inserts two versions per target; firing on
+        # the second target's insert leaves the statement half-done.
+        fault.arm("mutate.insert_version", at_hit=3)
+        with pytest.raises(FaultInjected):
+            db.execute("replace x (v = x.v + 1) where x.id < 5")
+        fault.reset()
+        assert current_rows(db) == before_rows
+        assert all_version_count(db) == before_versions
+        assert db.relation("r").page_count == before_pages
+        assert check_database(db) == []
+
+    def test_failed_append_rolls_back_index(self):
+        db = loaded_db()
+        fault.arm("mutate.insert_version")
+        with pytest.raises(FaultInjected):
+            db.execute('append to r (id = 99, v = 990, pad = "q")')
+        fault.reset()
+        # Neither the relation nor the index knows the aborted value.
+        assert current_rows(db) == current_rows(loaded_db())
+        assert db.execute(
+            "retrieve (x.id) where x.v = 990"
+        ).rows == []
+        assert check_database(db) == []
+
+    def test_statement_succeeds_after_rollback(self):
+        db = loaded_db()
+        fault.arm("mutate.insert_version", at_hit=2)
+        with pytest.raises(FaultInjected):
+            db.execute("replace x (v = 0) where x.id = 3")
+        fault.reset()
+        db.execute("replace x (v = 0) where x.id = 3")
+        rows = {row[0]: row[1] for row in current_rows(db)}
+        assert rows[3] == 0
+        assert check_database(db) == []
+
+    def test_real_errors_also_roll_back(self):
+        # Atomicity is not failpoint-specific: any mid-statement failure
+        # rolls back (here, a string too wide for its c96 attribute
+        # rejected after earlier rows of the statement already landed).
+        db = loaded_db()
+        before_versions = all_version_count(db)
+        with pytest.raises(RecordCodecError):
+            db.copy_in(
+                "r",
+                [(50, 500, "ok"), (51, 510, "x" * 200)],
+            )
+        assert all_version_count(db) == before_versions
+        assert check_database(db) == []
+
+    def test_delete_rollback(self):
+        db = loaded_db(two_level=True)
+        before_rows = current_rows(db)
+        before_versions = all_version_count(db)
+        fault.arm("mutate.insert_version")
+        with pytest.raises(FaultInjected):
+            db.execute("delete x where x.id = 5")
+        fault.reset()
+        assert current_rows(db) == before_rows
+        assert all_version_count(db) == before_versions
+        assert check_database(db) == []
+
+
+class TestAtomicityFlag:
+    def test_disabled_scope_leaves_partial_state(self):
+        # With atomic_statements=False the same fault strands the
+        # half-written statement -- demonstrating the default scope is
+        # what provides atomicity.
+        db = loaded_db(atomic=False)
+        before_versions = all_version_count(db)
+        fault.arm("mutate.insert_version", at_hit=3)
+        with pytest.raises(FaultInjected):
+            db.execute("replace x (v = x.v + 1) where x.id < 5")
+        fault.reset()
+        assert all_version_count(db) != before_versions
+
+    def test_no_undo_scope_when_disabled(self):
+        db = loaded_db(atomic=False)
+        assert db.pool.undo is None
+        db.execute('append to r (id = 90, v = 900, pad = "p")')
+        assert db.pool.undo is None

@@ -1,0 +1,77 @@
+"""Benchmark pool hardening: a crashed worker is retried, not fatal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import fault
+from repro.bench.runner import BenchWorkerError, _sweep_worker, run_suite
+from repro.bench.workload import WorkloadConfig
+from repro.catalog.schema import DatabaseType
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    fault.reset()
+    yield
+    fault.reset()
+
+
+def _config():
+    return WorkloadConfig(
+        db_type=DatabaseType.STATIC, loading=100, tuples=64, seed=3
+    )
+
+
+class TestSweepWorker:
+    def test_worker_returns_ok_tuple(self):
+        status, data = _sweep_worker((_config(), 0))
+        assert status == "ok"
+        assert data["config"]["db_type"] == "static"
+
+    def test_worker_crash_travels_back_as_data(self):
+        fault.arm("bench.worker")
+        status, detail = _sweep_worker((_config(), 0))
+        assert status == "error"
+        assert "FaultInjected" in detail
+        assert "bench.worker" in detail
+
+
+class TestPoolRetry:
+    def test_crashed_workers_retry_and_match_serial_results(self):
+        serial = run_suite(
+            tuples=64, max_update_count=1, seed=3, jobs=1, cache=False
+        )
+        # Armed before the pool forks, every worker inherits the fault:
+        # each worker's first configuration fails and is retried inline.
+        fault.arm("bench.worker", times=8)
+        parallel = run_suite(
+            tuples=64, max_update_count=1, seed=3, jobs=2, cache=False
+        )
+        fault.reset()
+        assert set(parallel) == set(serial)
+        for label, result in serial.items():
+            assert parallel[label].to_dict() == result.to_dict(), label
+
+    def test_double_failure_raises_structured_error(self, monkeypatch):
+        # Force the inline retry itself to fail: the sweep must surface
+        # which configuration died, with the worker traceback attached.
+        from repro.bench import runner
+
+        class ExplodingRun:
+            def __init__(self, config, max_update_count=15):
+                self.config = config
+
+            def run(self, progress=None):
+                raise RuntimeError("retry boom")
+
+        monkeypatch.setattr(runner, "BenchmarkRun", ExplodingRun)
+        fault.arm("bench.worker", times=8)
+        with pytest.raises(BenchWorkerError) as excinfo:
+            run_suite(
+                tuples=64, max_update_count=1, seed=5, jobs=2, cache=False
+            )
+        fault.reset()
+        assert excinfo.value.config is not None
+        assert "after one retry" in str(excinfo.value)
+        assert "retry boom" in str(excinfo.value)

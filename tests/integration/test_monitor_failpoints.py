@@ -1,0 +1,79 @@
+"""The monitor's ``\\failpoints`` meta-command."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import fault
+from repro.monitor import Monitor
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    fault.reset()
+    fault.detach_metrics()
+    yield
+    fault.reset()
+    fault.detach_metrics()
+
+
+@pytest.fixture
+def monitor():
+    return Monitor(out=io.StringIO())
+
+
+def output_of(monitor) -> str:
+    return monitor.out.getvalue()
+
+
+class TestFailpointsCommand:
+    def test_listing_shows_catalogue(self, monitor):
+        monitor.handle("\\failpoints")
+        text = output_of(monitor)
+        for name in fault.POINTS:
+            assert name in text
+        assert "inactive" in text
+
+    def test_on_counts_hits_into_metrics(self, monitor):
+        monitor.handle("\\failpoints on")
+        assert fault.is_active()
+        monitor.handle('create r (id = i4)')
+        monitor.handle('append to r (id = 1)')
+        monitor.handle("\\failpoints")
+        assert "hits=" in output_of(monitor)
+        counters = monitor.db.metrics.snapshot()["counters"]
+        assert counters.get("fault.hits.mutate.insert_version", 0) >= 1
+        monitor.handle("\\failpoints off")
+        assert not fault.is_active()
+
+    def test_arm_fires_and_reports_error(self, monitor):
+        monitor.handle('create r (id = i4)')
+        monitor.handle("\\failpoints arm mutate.insert_version")
+        assert fault.armed() == {"mutate.insert_version": (1, 1)}
+        monitor.handle('append to r (id = 1)')
+        assert "failpoint 'mutate.insert_version' fired" in output_of(monitor)
+        # One-shot: the retry goes through.
+        monitor.handle('append to r (id = 1)')
+        monitor.handle("\\failpoints")
+        assert "fires=1" in output_of(monitor)
+
+    def test_disarm_and_reset(self, monitor):
+        monitor.handle("\\failpoints arm pager.write 5 2")
+        assert fault.armed() == {"pager.write": (5, 2)}
+        monitor.handle("\\failpoints disarm pager.write")
+        assert fault.armed() == {}
+        monitor.handle("\\failpoints reset")
+        assert not fault.is_active()
+
+    def test_bad_arguments_are_reported(self, monitor):
+        monitor.handle("\\failpoints arm no.such.point")
+        assert "error" in output_of(monitor)
+        assert fault.armed() == {}
+        monitor.handle("\\failpoints bogus")
+        assert "usage" in output_of(monitor)
+
+    def test_help_lists_the_command(self, monitor):
+        monitor.handle("\\?")
+        assert "failpoints" in output_of(monitor)

@@ -187,3 +187,59 @@ def test_sweep_cells_unaffected_by_instrumentation():
                 query_id,
                 update_count,
             )
+
+
+@pytest.mark.parametrize(
+    "db_type",
+    [
+        DatabaseType.STATIC,
+        DatabaseType.ROLLBACK,
+        DatabaseType.HISTORICAL,
+        DatabaseType.TEMPORAL,
+    ],
+)
+def test_statement_atomicity_is_accounting_neutral(db_type):
+    """The undo scope (page pre-images, meta snapshots) is unmetered:
+    building, evolving and measuring with atomic statements disabled
+    yields byte-identical costs and sizes."""
+    atomic = build(db_type, updates=0)
+    bare = build(db_type, updates=0)
+    bare.db.atomic_statements = False
+    assert atomic.db.atomic_statements
+    if db_type is not DatabaseType.STATIC:
+        evolve_uniform(atomic, steps=2)
+        evolve_uniform(bare, steps=2)
+    assert atomic.sizes() == bare.sizes()
+    assert measure_suite(atomic) == measure_suite(bare)
+
+
+def test_fault_counting_is_accounting_neutral():
+    """Counting failpoint hits (the monitor's ``\\failpoints on``) is
+    plain Python arithmetic and never moves a page count."""
+    from repro import fault
+
+    fault.reset()
+    plain = build(DatabaseType.TEMPORAL)
+    baseline = measure_suite(plain)
+    try:
+        fault.set_counting(True)
+        counted = build(DatabaseType.TEMPORAL)
+        assert measure_suite(counted) == baseline
+        assert fault.counts()["pager.write"][0] > 0
+    finally:
+        fault.reset()
+
+
+def test_checksummed_checkpoint_round_trip_is_accounting_neutral(tmp_path):
+    """Page checksums live only in the checkpoint files: a database
+    restored from a checksummed checkpoint measures identically."""
+    bench = build(DatabaseType.TEMPORAL)
+    baseline = measure_suite(bench)
+    bench.db.save(tmp_path / "ckpt")
+    from repro import TemporalDatabase
+
+    restored = TemporalDatabase.load(tmp_path / "ckpt")
+    bench.db = restored
+    restored.execute(f"range of h is {bench.h_name}")
+    restored.execute(f"range of i is {bench.i_name}")
+    assert measure_suite(bench) == baseline

@@ -1,0 +1,142 @@
+"""The failpoint framework itself: deterministic, catalogued, metered."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FaultInjected, fault
+from repro.observe.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def clean():
+    fault.reset()
+    fault.detach_metrics()
+    yield
+    fault.reset()
+    fault.detach_metrics()
+
+
+class TestArming:
+    def test_inactive_by_default(self):
+        assert not fault.is_active()
+        fault.point("pager.write")  # the disabled fast path is a no-op
+
+    def test_unknown_point_refuses_to_arm(self):
+        with pytest.raises(ValueError) as excinfo:
+            fault.arm("pager.wrtie")
+        assert "catalogue" in str(excinfo.value)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            fault.arm("pager.write", at_hit=0)
+        with pytest.raises(ValueError):
+            fault.arm("pager.write", times=0)
+
+    def test_every_site_is_catalogued(self):
+        import pathlib
+        import re
+
+        root = pathlib.Path(fault.__file__).resolve().parents[0]
+        used = set()
+        for path in root.rglob("*.py"):
+            for name in re.findall(
+                r"fault\.point\(\"([a-z._]+)\"\)", path.read_text()
+            ):
+                used.add(name)
+        assert used == set(fault.POINTS)
+
+
+class TestFiring:
+    def test_fires_on_exact_hit(self):
+        fault.arm("pager.write", at_hit=3)
+        fault.point("pager.write")
+        fault.point("pager.write")
+        with pytest.raises(FaultInjected) as excinfo:
+            fault.point("pager.write")
+        assert excinfo.value.name == "pager.write"
+        assert excinfo.value.hit == 3
+
+    def test_one_shot_by_default(self):
+        fault.arm("buffer.evict")
+        with pytest.raises(FaultInjected):
+            fault.point("buffer.evict")
+        fault.point("buffer.evict")  # disarmed after firing
+
+    def test_times_fires_consecutively(self):
+        fault.arm("buffer.evict", times=2)
+        with pytest.raises(FaultInjected):
+            fault.point("buffer.evict")
+        with pytest.raises(FaultInjected):
+            fault.point("buffer.evict")
+        fault.point("buffer.evict")
+
+    def test_points_are_independent(self):
+        fault.arm("pager.write")
+        fault.point("buffer.evict")
+        with pytest.raises(FaultInjected):
+            fault.point("pager.write")
+
+    def test_rearming_restarts_hit_count(self):
+        fault.arm("pager.write", at_hit=2)
+        fault.point("pager.write")
+        fault.arm("pager.write", at_hit=2)
+        fault.point("pager.write")  # hit 1 of the new arming
+        with pytest.raises(FaultInjected):
+            fault.point("pager.write")
+
+
+class TestCountingAndMetrics:
+    def test_counting_without_arming(self):
+        fault.set_counting(True)
+        fault.point("pager.write")
+        fault.point("pager.write")
+        hits, fires = fault.counts()["pager.write"]
+        assert (hits, fires) == (2, 0)
+
+    def test_metrics_mirror(self):
+        registry = MetricsRegistry()
+        fault.attach_metrics(registry)
+        fault.arm("buffer.evict")
+        with pytest.raises(FaultInjected):
+            fault.point("buffer.evict")
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["fault.hits.buffer.evict"] == 1
+        assert snapshot["counters"]["fault.fires.buffer.evict"] == 1
+
+    def test_render_shows_armed_state(self):
+        fault.arm("checkpoint.swap", at_hit=4)
+        text = fault.render()
+        assert "checkpoint.swap" in text
+        assert "ARMED at hit 4" in text
+
+    def test_reset_clears_everything(self):
+        fault.set_counting(True)
+        fault.arm("pager.write", at_hit=99)
+        fault.point("pager.write")
+        fault.reset()
+        assert not fault.is_active()
+        assert fault.armed() == {}
+        assert fault.counts()["pager.write"] == (0, 0)
+
+
+class TestEnvironmentActivation:
+    def test_env_spec_arms_points(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FAULTPOINTS", "pager.write:3,checkpoint.rename"
+        )
+        fault._arm_from_env()
+        assert fault.armed() == {
+            "pager.write": (3, 1),
+            "checkpoint.rename": (1, 1),
+        }
+
+    def test_malformed_env_spec_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTPOINTS", "no.such.point:1")
+        with pytest.raises(ValueError):
+            fault._arm_from_env()
+
+    def test_empty_spec_is_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTPOINTS", "  ")
+        fault._arm_from_env()
+        assert fault.armed() == {}
