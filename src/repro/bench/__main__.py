@@ -25,6 +25,58 @@ SCALES = {
 }
 
 
+def export_bench_telemetry(directory, results) -> "dict[str, str]":
+    """Write a sweep's telemetry into *directory* (``--telemetry DIR``).
+
+    ``cells.jsonl`` carries one metric snapshot per measured query cell
+    (config, query, update count, the four cost numbers).  The span,
+    event and heatmap artifacts come from one instrumented pass of the
+    benchmark queries over a freshly built database of the sweep's
+    first configuration -- the sweep itself runs untouched (workers may
+    be separate processes), so its numbers stay exactly the published
+    protocol's.
+    """
+    import json
+    import pathlib
+
+    from repro.bench.runner import trace_queries
+    from repro.bench.workload import build_database
+    from repro.observe import record_structure_metrics
+    from repro.observe.export import export_telemetry
+
+    root = pathlib.Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    cells_path = root / "cells.jsonl"
+    with open(cells_path, "w", encoding="ascii") as handle:
+        for label, result in results.items():
+            for query_id in sorted(result.costs):
+                for uc in sorted(result.costs[query_id]):
+                    cost = result.costs[query_id][uc]
+                    handle.write(
+                        json.dumps(
+                            {
+                                "config": label,
+                                "query": query_id,
+                                "update_count": uc,
+                                "input_pages": cost.input_pages,
+                                "output_pages": cost.output_pages,
+                                "fixed_pages": cost.fixed_pages,
+                                "rows": cost.rows,
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+
+    bench = build_database(next(iter(results.values())).config)
+    bench.db.heatmap.enable()
+    trace_queries(bench)
+    record_structure_metrics(bench.db)
+    written = export_telemetry(bench.db, root)
+    written["cells"] = str(cells_path)
+    return written
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -72,6 +124,14 @@ def main(argv=None) -> int:
         help="compare every measurable cell against the published tables "
         "(paper scale only) and print the scorecard",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        help="export machine-readable telemetry into DIR: per-query cell "
+        "snapshots (cells.jsonl), a Chrome trace of the benchmark "
+        "queries (trace.json), Prometheus and JSON metric snapshots, "
+        "and flight-recorder events (events.jsonl)",
+    )
     args = parser.parse_args(argv)
 
     tuples, max_uc, enh_uc, skew_uc = SCALES[args.scale]
@@ -93,6 +153,7 @@ def main(argv=None) -> int:
         args.validate
         or args.json
         or args.baseline
+        or args.telemetry
         or wanted & {"5", "6", "7", "8", "9"}
     ):
         results = run_suite(
@@ -101,6 +162,12 @@ def main(argv=None) -> int:
             jobs=args.jobs, cache=not args.no_cache,
         )
         sys.stderr.write("\n")
+        if args.telemetry:
+            written = export_bench_telemetry(args.telemetry, results)
+            sys.stderr.write(
+                f"  wrote telemetry ({', '.join(sorted(written))}) to "
+                f"{args.telemetry}\n"
+            )
         if args.json:
             import json
 

@@ -4,9 +4,30 @@ The benchmark's metric is deterministic page counts, so two sweeps of the
 same configuration must agree *exactly*; any differing cell is a
 regression in page accounting, not noise.  ``python -m repro.bench
 --baseline saved.json`` uses this to fail CI when a cell moves.
+
+:func:`iter_cells` is the shared flat view of a dump --
+``(label, query_id, update_count, [input, output, fixed, rows])`` per
+cell -- that both this exact comparison and the thresholded gate in
+:mod:`repro.bench.regress` are built on.
 """
 
 from __future__ import annotations
+
+
+def iter_cells(dump: dict):
+    """Yield every query cell of a ``{label: result.to_dict()}`` dump.
+
+    Cells come out as ``(label, query_id, update_count, values)`` with
+    ``values`` the four-element ``[input_pages, output_pages,
+    fixed_pages, rows]`` list, ordered by label, query and update count.
+    """
+    for label in sorted(dump):
+        costs = dump[label].get("costs", {})
+        for query_id in sorted(costs):
+            for uc, values in sorted(
+                costs[query_id].items(), key=_uc_key
+            ):
+                yield label, query_id, int(uc), list(values)
 
 
 def compare_sweeps(current: dict, baseline: dict) -> "list[str]":

@@ -1,0 +1,221 @@
+"""The benchmark regression gate: ``python -m repro.bench.regress``.
+
+:mod:`repro.bench.compare` answers "did any cell move at all" -- the
+right question for the committed deterministic baseline.  This module
+answers the CI question: "did page costs get *worse* than the baseline
+by more than the allowed threshold".  It turns the ``BENCH_*.json``
+trajectory into an automatic alarm instead of a file nobody diffs:
+
+* a cell whose ``input_pages`` or ``output_pages`` exceeds the baseline
+  by more than ``--threshold`` (a fraction; default 0, any increase) is
+  a **regression**;
+* a cell whose ``rows`` differ from the baseline is a regression
+  regardless of threshold (the result itself changed);
+* a baseline cell missing from the current run is a regression
+  (coverage loss never passes silently);
+* relation sizes (``sizes``) are gated the same way, page-for-page;
+* cells that got *cheaper* are reported as improvements and pass.
+
+Exit status is non-zero when any regression is found, so the CI job
+``regression-gate`` fails the build::
+
+    python -m repro.bench --scale tiny --json sweep.json
+    python -m repro.bench.regress sweep.json \\
+        --baseline benchmarks/baselines/sweep_tiny.json --threshold 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+
+from repro.bench.compare import iter_cells
+
+DEFAULT_BASELINE = "benchmarks/baselines/sweep_tiny.json"
+
+# Indices into a cell's four-element value list.
+_INPUT, _OUTPUT, _FIXED, _ROWS = range(4)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One gated cell's verdict detail."""
+
+    label: str
+    query_id: str
+    update_count: int
+    metric: str
+    baseline: int
+    current: "int | None"
+
+    def describe(self) -> str:
+        where = f"{self.label} {self.query_id} uc={self.update_count}"
+        if self.current is None:
+            return f"{where}: cell missing from current run"
+        delta = self.current - self.baseline
+        if self.baseline > 0:
+            percent = f" ({delta / self.baseline:+.1%})"
+        else:
+            percent = ""
+        return (
+            f"{where}: {self.metric} {self.baseline} -> "
+            f"{self.current}{percent}"
+        )
+
+
+@dataclass
+class GateReport:
+    """The full verdict of one gate run."""
+
+    regressions: "list[Finding]"
+    improvements: "list[Finding]"
+    cells: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = []
+        for finding in self.regressions:
+            lines.append(f"  REGRESSION {finding.describe()}")
+        for finding in self.improvements:
+            lines.append(f"  improved   {finding.describe()}")
+        lines.append(
+            f"  {len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s) over "
+            f"{self.cells} gated cell(s)"
+        )
+        return "\n".join(lines)
+
+
+def _exceeds(current: int, baseline: int, threshold: float) -> bool:
+    return current > baseline * (1.0 + threshold)
+
+
+def _size_cells(dump: dict):
+    """Relation-size pseudo-cells: ``(label, "sizes", uc, [h, i])``."""
+    for label in sorted(dump):
+        for uc, sizes in sorted(
+            dump[label].get("sizes", {}).items(), key=lambda item: int(item[0])
+        ):
+            yield label, "sizes", int(uc), list(sizes)
+
+
+def find_regressions(
+    current: dict, baseline: dict, threshold: float = 0.0
+) -> GateReport:
+    """Gate *current* against *baseline* (both ``{label: dict}`` dumps).
+
+    Only cells present in the baseline are gated, so a baseline from an
+    older revision with fewer queries still gates the overlap; cells
+    the baseline lacks are new coverage and pass.
+    """
+    current_cells = {
+        (label, query_id, uc): values
+        for label, query_id, uc, values in iter_cells(current)
+    }
+    current_sizes = {
+        (label, kind, uc): values
+        for label, kind, uc, values in _size_cells(current)
+    }
+    regressions: "list[Finding]" = []
+    improvements: "list[Finding]" = []
+    cells = 0
+
+    for label, query_id, uc, base in iter_cells(baseline):
+        cells += 1
+        got = current_cells.get((label, query_id, uc))
+        if got is None:
+            regressions.append(
+                Finding(label, query_id, uc, "cell", base[_INPUT], None)
+            )
+            continue
+        if got[_ROWS] != base[_ROWS]:
+            regressions.append(
+                Finding(label, query_id, uc, "rows", base[_ROWS], got[_ROWS])
+            )
+            continue
+        for metric, index in (
+            ("input pages", _INPUT),
+            ("output pages", _OUTPUT),
+        ):
+            if _exceeds(got[index], base[index], threshold):
+                regressions.append(
+                    Finding(label, query_id, uc, metric, base[index],
+                            got[index])
+                )
+            elif got[index] < base[index]:
+                improvements.append(
+                    Finding(label, query_id, uc, metric, base[index],
+                            got[index])
+                )
+
+    for label, kind, uc, base in _size_cells(baseline):
+        cells += 1
+        got = current_sizes.get((label, kind, uc))
+        if got is None:
+            regressions.append(
+                Finding(label, kind, uc, "sizes", sum(base), None)
+            )
+            continue
+        if _exceeds(sum(got), sum(base), threshold):
+            regressions.append(
+                Finding(label, kind, uc, "total pages", sum(base), sum(got))
+            )
+        elif sum(got) < sum(base):
+            improvements.append(
+                Finding(label, kind, uc, "total pages", sum(base), sum(got))
+            )
+
+    return GateReport(
+        regressions=regressions, improvements=improvements, cells=cells
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regress",
+        description="Gate a sweep dump against a baseline: exit non-zero "
+        "when any page-count cell regressed beyond the threshold.",
+    )
+    parser.add_argument(
+        "current", help="sweep dump to gate (python -m repro.bench --json)"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline dump to gate against (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="allowed fractional page-count increase per cell "
+        "(0.05 = 5%%; default 0 = any increase fails)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.current, encoding="ascii") as handle:
+        current = json.load(handle)
+    with open(args.baseline, encoding="ascii") as handle:
+        baseline = json.load(handle)
+
+    report = find_regressions(current, baseline, threshold=args.threshold)
+    print(
+        f"regression gate: {args.current} vs {args.baseline} "
+        f"(threshold {args.threshold:.0%})"
+    )
+    print(report.render())
+    if report.ok:
+        print("gate PASSED")
+        return 0
+    print("gate FAILED")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

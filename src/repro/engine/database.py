@@ -39,6 +39,9 @@ from repro.errors import (
     TQuelSemanticError,
     UnknownRelationError,
 )
+from repro.observe import events as observe_events
+from repro.observe.events import FlightRecorder
+from repro.observe.heatmap import PageHeatmap
 from repro.observe.metrics import MetricsRegistry
 from repro.observe.span import NULL_SPAN
 from repro.observe.trace import Tracer
@@ -157,9 +160,18 @@ class TemporalDatabase:
         self._analyzer = Analyzer(self)
         # Observability: the tracer wraps statements in span trees when
         # enabled; the metrics registry is always on (pure Python counters
-        # over numbers IOStats already maintains -- never a page access).
+        # over numbers IOStats already maintains -- never a page access);
+        # the flight recorder keeps a bounded ring of engine events
+        # (always on, info level and up); the page heatmap is opt-in.
         self.tracer = Tracer(self.pool.stats)
         self.metrics = MetricsRegistry()
+        self.recorder = FlightRecorder()
+        self.heatmap = PageHeatmap()
+        self.pool.attach_observers(
+            metrics=self.metrics,
+            recorder=self.recorder,
+            heatmap=self.heatmap,
+        )
         # Prepared-statement/plan cache: text -> _PlanEntry (LRU).
         self._plan_cache: "OrderedDict[str, _PlanEntry]" = OrderedDict()
         self._plan_cache_capacity = PLAN_CACHE_CAPACITY
@@ -476,7 +488,11 @@ class TemporalDatabase:
         entry = _PlanEntry(text, statements)
         self._plan_cache[text] = entry
         while len(self._plan_cache) > self._plan_cache_capacity:
-            self._plan_cache.popitem(last=False)
+            evicted_text, _ = self._plan_cache.popitem(last=False)
+            self.metrics.inc("plancache.evictions")
+            self.recorder.record(
+                "plancache.evict", text=evicted_text[:120]
+            )
         return entry
 
     def _analysis_for(self, entry: _PlanEntry, index: int, span=NULL_SPAN):
@@ -522,29 +538,50 @@ class TemporalDatabase:
             (ast.AppendStmt, ast.DeleteStmt, ast.ReplaceStmt, ast.CopyStmt),
         ):
             self.clock.advance()
+        self.recorder.record(
+            "statement.start",
+            level=observe_events.DEBUG,
+            text=entry.text[:120],
+        )
         before = self.stats.checkpoint()
         runner = self._planned_runner(entry, index, span, params)
-        with span.stage("execute"):
-            if isinstance(
-                statement,
-                (ast.AppendStmt, ast.DeleteStmt, ast.ReplaceStmt,
-                 ast.CopyStmt),
-            ):
-                # Update statements are atomic: any failure inside the
-                # runner rolls back every physical write before the
-                # exception escapes.  The trailing flush stays outside the
-                # scope -- once the runner returned, the statement's
-                # effects are complete and a failure while flushing leaves
-                # the post-state.
-                with self._atomic_scope():
+        try:
+            with span.stage("execute"):
+                if isinstance(
+                    statement,
+                    (ast.AppendStmt, ast.DeleteStmt, ast.ReplaceStmt,
+                     ast.CopyStmt),
+                ):
+                    # Update statements are atomic: any failure inside the
+                    # runner rolls back every physical write before the
+                    # exception escapes.  The trailing flush stays outside the
+                    # scope -- once the runner returned, the statement's
+                    # effects are complete and a failure while flushing leaves
+                    # the post-state.
+                    with self._atomic_scope():
+                        result = runner()
+                else:
                     result = runner()
-            else:
-                result = runner()
-            self.pool.flush_all()
+                self.pool.flush_all()
+        except BaseException as error:
+            self.recorder.record(
+                "statement.error",
+                level=observe_events.ERROR,
+                text=entry.text[:120],
+                error=f"{type(error).__name__}: {error}",
+            )
+            raise
         result.io = self.stats.delta(before)
         self.metrics.inc(f"statements.{result.kind}")
         self.metrics.observe("statement.input_pages", result.io.input_pages)
         self.metrics.observe("statement.output_pages", result.io.output_pages)
+        self.recorder.record(
+            "statement.end",
+            statement=result.kind,
+            input_pages=result.io.input_pages,
+            output_pages=result.io.output_pages,
+            rows=len(result.rows),
+        )
         return result
 
     def _planned_runner(self, entry: _PlanEntry, index: int, span, params):

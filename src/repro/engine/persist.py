@@ -325,6 +325,11 @@ def save(db, path) -> None:
     tmp.rename(root)
     if old.exists():
         shutil.rmtree(old)
+    recorder = getattr(db, "recorder", None)
+    if recorder is not None:
+        recorder.record(
+            "checkpoint.save", path=str(root), files=len(files)
+        )
 
 
 def _manifest_ok(directory: pathlib.Path) -> bool:
@@ -608,4 +613,12 @@ def load(path, database_class=None, salvage: bool = False):
     db.stats.reset()
     if salvage:
         db.salvage_report = report
+    recorder = getattr(db, "recorder", None)
+    if recorder is not None:
+        recorder.record(
+            "checkpoint.restore",
+            path=str(root),
+            relations=len(report["recovered"]),
+            skipped=len(report["skipped"]),
+        )
     return db

@@ -120,9 +120,33 @@ class Session:
         """The database's metrics registry."""
         return self.db.metrics
 
+    @property
+    def recorder(self):
+        """The database's flight recorder (``recorder.dump()`` ...)."""
+        return self.db.recorder
+
+    @property
+    def heatmap(self):
+        """The database's page-access heatmap (``heatmap.enable()`` ...)."""
+        return self.db.heatmap
+
     def last_trace(self):
         """The most recent statement's span tree (None if tracing is off)."""
         return self.db.tracer.last
+
+    def export_telemetry(self, path) -> "dict[str, str]":
+        """Write the session's telemetry into directory *path*.
+
+        Produces a Chrome-trace JSON of the tracer's span history, the
+        metrics registry in Prometheus text and JSON form, the flight
+        recorder as JSON Lines, and (when enabled) the page heatmap.
+        Returns ``{artifact: file path}``.  Exporting only reads the
+        collected state -- no page access is issued, so page counts are
+        unaffected.
+        """
+        from repro.observe.export import export_telemetry
+
+        return export_telemetry(self.db, path)
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -33,6 +33,8 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.observe.events import WARNING as _EVENT_WARNING
+
 __all__ = ["UndoLog", "snapshot_for_statement", "statement_scope"]
 
 
@@ -123,9 +125,17 @@ def statement_scope(pool):
     pool.begin_undo(log)
     try:
         yield log
-    except BaseException:
+    except BaseException as error:
         pool.end_undo()
         log.rollback()
+        recorder = getattr(pool, "recorder", None)
+        if recorder is not None:
+            recorder.record(
+                "undo.rollback",
+                level=_EVENT_WARNING,
+                files=log.touched_files,
+                error=f"{type(error).__name__}: {error}",
+            )
         raise
     else:
         pool.end_undo()

@@ -52,8 +52,10 @@ __all__ = [
     "arm",
     "armed",
     "attach_metrics",
+    "attach_recorder",
     "counts",
     "detach_metrics",
+    "detach_recorder",
     "disarm",
     "is_active",
     "point",
@@ -83,6 +85,7 @@ _ARMED: "dict[str, tuple[int, int]]" = {}   # name -> (at_hit, times left)
 _HITS: "dict[str, int]" = {}
 _FIRES: "dict[str, int]" = {}
 _METRICS = None           # an attached MetricsRegistry, or None
+_RECORDER = None          # an attached FlightRecorder, or None
 
 
 def _refresh_enabled() -> None:
@@ -118,6 +121,10 @@ def point(name: str) -> None:
     _FIRES[name] = _FIRES.get(name, 0) + 1
     if _METRICS is not None:
         _METRICS.inc(f"fault.fires.{name}")
+    if _RECORDER is not None:
+        # Level 40 = repro.observe.events.ERROR (kept numeric: the fault
+        # module must stay importable before the observe package).
+        _RECORDER.record("fault.fire", level=40, name=name, hit=hits)
     raise FaultInjected(f"failpoint {name!r} fired (hit {hits})", name=name, hit=hits)
 
 
@@ -197,6 +204,22 @@ def attach_metrics(registry) -> None:
 def detach_metrics() -> None:
     global _METRICS
     _METRICS = None
+
+
+def attach_recorder(recorder) -> None:
+    """Send a flight-recorder event (level error) for every fault fire.
+
+    One recorder at a time, like :func:`attach_metrics`; the monitor's
+    ``\\failpoints on`` attaches its database's recorder so injected
+    faults land in the same event stream as the statements they broke.
+    """
+    global _RECORDER
+    _RECORDER = recorder
+
+
+def detach_recorder() -> None:
+    global _RECORDER
+    _RECORDER = None
 
 
 def render() -> str:

@@ -16,11 +16,20 @@ Statements are plain TQuel; meta-commands start with a backslash:
 ``\\io``        toggle per-statement I/O reporting
 ``\\timing``    toggle per-statement wall-time reporting
 ``\\trace``     toggle statement tracing (``on``/``off``/``last``)
-``\\metrics``   show engine metrics (``reset`` clears; ``storage``
+``\\metrics``   show engine metrics and the buffer-pool hit rate
+               (``reset`` clears metrics and trace history; ``storage``
                refreshes page/overflow-chain gauges first)
+``\\events``    show the flight recorder's most recent events
+               (``\\events 50`` shows 50; ``clear`` empties the ring)
+``\\heatmap``   per-page access heat strips for a relation's files
+               (``on``/``off`` toggles capture; ``\\heatmap emp`` shows
+               the strips; ``clear`` zeroes the counts)
+``\\telemetry`` export trace/metrics/events/heatmap files into a
+               directory (``\\telemetry DIR``)
 ``\\failpoints`` show fault-injection state (``on``/``off`` toggles hit
-               counting; ``arm name [hit] [times]`` schedules a fault;
-               ``disarm [name]``; ``reset`` clears everything)
+               counting and event recording; ``arm name [hit] [times]``
+               schedules a fault; ``disarm [name]``; ``reset`` clears
+               everything)
 ``\\clock``     show the logical clock; ``\\clock advance N`` moves it
 ``\\time fmt``  output resolution: second/minute/hour/day/month/year
 ``\\q``         quit
@@ -93,6 +102,19 @@ class Monitor:
             self._trace_command(parts[1:])
         elif command == "metrics":
             self._metrics_command(parts[1:])
+        elif command == "events":
+            self._events_command(parts[1:])
+        elif command == "heatmap":
+            self._heatmap_command(parts[1:])
+        elif command == "telemetry":
+            if len(parts) != 2:
+                self._print("usage: \\telemetry <directory>")
+                return
+            from repro.observe.export import export_telemetry
+
+            written = export_telemetry(self.db, parts[1])
+            for artifact, path in sorted(written.items()):
+                self._print(f"  wrote {artifact}: {path}")
         elif command == "failpoints":
             self._failpoints_command(parts[1:])
         elif command == "clock":
@@ -181,6 +203,9 @@ class Monitor:
     def _metrics_command(self, args: "list[str]") -> None:
         if args and args[0] == "reset":
             self.db.metrics.reset()
+            # Stale span trees would outlive the numbers they explain;
+            # a reset clears the trace history with the metrics.
+            self.db.tracer.reset()
             self._print("metrics reset")
             return
         if args and args[0] == "storage":
@@ -196,6 +221,72 @@ class Monitor:
             return
         for line in rendered.split("\n"):
             self._print("  " + line)
+        hits = self.db.metrics.counter_value("buffer.hits")
+        misses = self.db.metrics.counter_value("buffer.misses")
+        if hits + misses:
+            self._print(
+                f"  buffer hit rate: {hits / (hits + misses):.1%} "
+                f"({hits} hit(s), {misses} miss(es))"
+            )
+
+    def _events_command(self, args: "list[str]") -> None:
+        recorder = self.db.recorder
+        if args and args[0] == "clear":
+            recorder.clear()
+            self._print("events cleared")
+            return
+        count = 20
+        if args:
+            try:
+                count = int(args[0])
+            except ValueError:
+                self._print("usage: \\events [n|clear]")
+                return
+        for line in recorder.render(count).split("\n"):
+            self._print("  " + line)
+
+    def _heatmap_command(self, args: "list[str]") -> None:
+        heatmap = self.db.heatmap
+        if not args:
+            state = "on" if heatmap.enabled else "off"
+            files = ", ".join(heatmap.files()) or "none"
+            self._print(f"  heatmap capture {state}; recorded files: {files}")
+            self._print("  usage: \\heatmap [on|off|clear|<relation>]")
+            return
+        action = args[0]
+        if action == "on":
+            heatmap.enable()
+            self._print("heatmap capture on")
+            return
+        if action == "off":
+            heatmap.disable()
+            self._print("heatmap capture off")
+            return
+        if action == "clear":
+            heatmap.clear()
+            self._print("heatmap cleared")
+            return
+        # A relation name: show strips for its files (primary, history
+        # and index files carry a "name." prefix).
+        matches = [
+            name
+            for name in heatmap.files()
+            if name == action or name.startswith(action + ".")
+        ]
+        if not matches:
+            hint = (
+                "" if heatmap.enabled else " (capture is off; \\heatmap on)"
+            )
+            self._print(f"  no recorded accesses for {action!r}{hint}")
+            return
+        for name in matches:
+            pages = None
+            try:
+                pages = self.db.pool.file(name).page_count
+            except ReproError:
+                pass
+            for line in heatmap.render(name, pages=pages).split("\n"):
+                self._print("  " + line)
 
     def _failpoints_command(self, args: "list[str]") -> None:
         from repro import fault
@@ -209,10 +300,12 @@ class Monitor:
             if action == "on":
                 fault.set_counting(True)
                 fault.attach_metrics(self.db.metrics)
+                fault.attach_recorder(self.db.recorder)
                 self._print("failpoint counting on")
             elif action == "off":
                 fault.set_counting(False)
                 fault.detach_metrics()
+                fault.detach_recorder()
                 self._print("failpoint counting off")
             elif action == "reset":
                 fault.reset()

@@ -10,16 +10,41 @@ This package generalizes that visibility into first-class instrumentation:
   it wraps every statement in a span tree (lex, parse, semantics, plan,
   execute);
 * :mod:`repro.observe.metrics` -- counters, histograms and gauges
-  (statements by kind, pages read per statement, detachments per query,
-  overflow-chain lengths).
+  (statements by kind, pages read per statement, buffer-pool hits and
+  misses, detachments per query, overflow-chain lengths);
+* :mod:`repro.observe.events` -- the flight recorder: a bounded,
+  always-on ring buffer of structured engine events (statement
+  boundaries, checkpoints, rollbacks, fault firings, evictions);
+* :mod:`repro.observe.heatmap` -- opt-in per-relation, per-page
+  read/write counts captured at the buffer layer, rendered as ASCII
+  heat strips;
+* :mod:`repro.observe.export` -- Chrome-trace/Perfetto JSON from span
+  history, Prometheus text and JSONL snapshots, and the one-call
+  :func:`~repro.observe.export.export_telemetry` directory dump.
 
 The hard invariant: instrumentation never changes page-read accounting.
-Spans and metrics only *read* the :class:`~repro.storage.iostats.IOStats`
-counters (checkpoints and deltas are pure reads) and walk storage via the
-unmetered ``peek`` path, so an instrumented run reports byte-identical
-page counts to an uninstrumented one.
+Spans, metrics, events, heatmaps and exports only *read* the
+:class:`~repro.storage.iostats.IOStats` counters (checkpoints and
+deltas are pure reads) and walk storage via the unmetered ``peek``
+path, so an instrumented run reports byte-identical page counts to an
+uninstrumented one.
 """
 
+from repro.observe.events import (
+    DEBUG,
+    ERROR,
+    INFO,
+    WARNING,
+    Event,
+    FlightRecorder,
+)
+from repro.observe.export import (
+    chrome_trace,
+    events_jsonl,
+    export_telemetry,
+    prometheus_text,
+)
+from repro.observe.heatmap import PageHeatmap, render_strip
 from repro.observe.metrics import (
     Counter,
     Histogram,
@@ -31,12 +56,24 @@ from repro.observe.span import NULL_SPAN, Span
 from repro.observe.trace import Tracer
 
 __all__ = [
+    "DEBUG",
+    "ERROR",
+    "INFO",
+    "WARNING",
     "Counter",
+    "Event",
+    "FlightRecorder",
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PageHeatmap",
     "Span",
     "Tracer",
+    "chrome_trace",
+    "events_jsonl",
+    "export_telemetry",
     "overflow_chain_lengths",
+    "prometheus_text",
     "record_structure_metrics",
+    "render_strip",
 ]

@@ -1,0 +1,201 @@
+"""The flight recorder: a bounded, always-on ring buffer of engine events.
+
+The paper's metric answers "how many pages did this query read"; the
+flight recorder answers the production question that follows it --
+"what was the engine *doing* when things went slow".  Every database
+owns one recorder, enabled from construction, holding the last
+``capacity`` structured events: statement boundaries with their I/O
+deltas, checkpoint saves and restores, undo rollbacks, fault firings,
+plan-cache evictions and (at debug level) buffer-pool evictions.
+
+Recording is plain unmetered Python -- a level check and a ``deque``
+append -- so the recorder never issues a page access and never moves
+the page counts being measured (the observe-neutrality tests pin
+this).  Events below the recorder's ``min_level`` are dropped at the
+call site; the default level is :data:`INFO`, which keeps per-page
+noise (buffer evictions) out of the buffer unless explicitly wanted.
+
+Usage::
+
+    db.recorder.dump()                      # every buffered event
+    db.recorder.dump(20)                    # the 20 most recent
+    db.recorder.dump(kind="statement.end")  # filtered by kind
+    db.recorder.dump(min_level=WARNING)     # severity filtering
+    db.recorder.min_level = DEBUG           # opt into eviction events
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+__all__ = [
+    "DEBUG",
+    "INFO",
+    "WARNING",
+    "ERROR",
+    "LEVEL_NAMES",
+    "Event",
+    "FlightRecorder",
+    "level_number",
+]
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+LEVEL_NAMES = {DEBUG: "debug", INFO: "info", WARNING: "warning", ERROR: "error"}
+_LEVEL_NUMBERS = {name: number for number, name in LEVEL_NAMES.items()}
+
+DEFAULT_CAPACITY = 1024
+
+
+def level_number(level: "int | str") -> int:
+    """Normalize a level given as a number or a name ("warning")."""
+    if isinstance(level, str):
+        try:
+            return _LEVEL_NUMBERS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown event level {level!r} (one of: "
+                f"{', '.join(_LEVEL_NUMBERS)})"
+            ) from None
+    return int(level)
+
+
+class Event:
+    """One recorded engine event (immutable once buffered)."""
+
+    __slots__ = ("seq", "ts", "level", "kind", "data")
+
+    def __init__(self, seq: int, ts: float, level: int, kind: str, data: dict):
+        self.seq = seq
+        self.ts = ts
+        self.level = level
+        self.kind = kind
+        self.data = data
+
+    @property
+    def level_name(self) -> str:
+        return LEVEL_NAMES.get(self.level, str(self.level))
+
+    def as_dict(self) -> dict:
+        """JSON-safe form (the JSONL export writes one per line)."""
+        return {
+            "seq": self.seq,
+            "ts": self.ts,
+            "level": self.level_name,
+            "kind": self.kind,
+            "data": dict(self.data),
+        }
+
+    def render(self) -> str:
+        fields = " ".join(
+            f"{key}={value}" for key, value in sorted(self.data.items())
+        )
+        suffix = f"  {fields}" if fields else ""
+        return f"#{self.seq:<6} {self.level_name:<7} {self.kind}{suffix}"
+
+    def __repr__(self) -> str:
+        return f"Event(seq={self.seq}, kind={self.kind!r}, data={self.data!r})"
+
+
+class FlightRecorder:
+    """A bounded ring buffer of :class:`Event` objects.
+
+    ``capacity`` bounds memory: the buffer keeps the most recent events
+    and silently drops the oldest (``dropped`` counts how many fell off
+    the ring).  ``record`` costs one comparison when the event's level
+    is below ``min_level`` -- the always-on overhead on hot paths.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        min_level: int = INFO,
+        enabled: bool = True,
+    ):
+        if capacity < 1:
+            raise ValueError(f"need a capacity of at least 1, got {capacity}")
+        self.enabled = enabled
+        self.min_level = min_level
+        self._events: "deque[Event]" = deque(maxlen=capacity)
+        self._seq = 0
+        self.dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._events.maxlen
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def record(self, kind: str, level: int = INFO, **data) -> None:
+        """Buffer one event (dropped when disabled or below min_level)."""
+        if not self.enabled or level < self.min_level:
+            return
+        self._seq += 1
+        if len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(Event(self._seq, time.time(), level, kind, data))
+
+    def dump(
+        self,
+        n: "int | None" = None,
+        min_level: "int | str | None" = None,
+        kind: "str | None" = None,
+    ) -> "list[Event]":
+        """The buffered events, oldest first.
+
+        *n* keeps only the most recent n (after filtering); *min_level*
+        filters by severity (number or name); *kind* by exact kind.
+        """
+        events = list(self._events)
+        if min_level is not None:
+            floor = level_number(min_level)
+            events = [event for event in events if event.level >= floor]
+        if kind is not None:
+            events = [event for event in events if event.kind == kind]
+        if n is not None and n >= 0:
+            events = events[-n:]
+        return events
+
+    def clear(self) -> None:
+        """Empty the buffer (sequence numbers keep counting up)."""
+        self._events.clear()
+        self.dropped = 0
+
+    def render(self, n: "int | None" = 20) -> str:
+        """Human-readable tail of the buffer (``\\events`` output)."""
+        events = self.dump(n)
+        if not events:
+            return "(no events recorded)"
+        lines = [event.render() for event in events]
+        hidden = len(self._events) - len(events)
+        if hidden > 0:
+            lines.insert(0, f"... {hidden} earlier event(s) buffered ...")
+        if self.dropped:
+            lines.insert(
+                0, f"... {self.dropped} event(s) dropped from the ring ..."
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder({len(self._events)}/{self.capacity} events, "
+            f"min_level={LEVEL_NAMES.get(self.min_level, self.min_level)})"
+        )
+
+
+class _NullRecorder(FlightRecorder):
+    """A recorder that drops everything (stand-in when none is wired)."""
+
+    def __init__(self):
+        super().__init__(capacity=1, enabled=False)
+
+    def record(self, kind: str, level: int = INFO, **data) -> None:
+        pass
+
+
+NULL_RECORDER = _NullRecorder()

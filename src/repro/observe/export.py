@@ -1,0 +1,182 @@
+"""Machine-readable telemetry exports: traces, metrics and events.
+
+Everything the observe layer collects in-process can leave the process
+in standard formats:
+
+* :func:`chrome_trace` -- span history as Chrome-trace/Perfetto JSON
+  (complete ``"ph": "X"`` events, microsecond timestamps relative to
+  the earliest span), loadable in ``chrome://tracing`` and Perfetto;
+* :func:`prometheus_text` -- the metrics registry in the Prometheus
+  text exposition format (counters as ``_total``, histograms with
+  cumulative ``_bucket{le=...}`` series, numeric gauges);
+* :func:`events_jsonl` -- flight-recorder events, one JSON object per
+  line;
+* :func:`export_telemetry` -- one call writing all of the above (plus
+  a metrics JSON snapshot and, when enabled, the page heatmap) into a
+  directory; ``Session.export_telemetry(path)`` and ``python -m
+  repro.bench ... --telemetry DIR`` both route here.
+
+Exports only *read* spans, counters and events -- writing telemetry
+never issues a metered page access.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+__all__ = [
+    "chrome_trace",
+    "events_jsonl",
+    "export_telemetry",
+    "prometheus_text",
+]
+
+
+# -- Chrome trace ------------------------------------------------------------
+
+
+def _span_events(span, base: float, pid: int, tid: int, out: list) -> None:
+    started = getattr(span, "started", None)
+    if started is None:
+        return
+    args = {
+        key: value
+        for key, value in span.attributes.items()
+        if isinstance(value, (str, int, float, bool))
+    }
+    if span.io is not None:
+        args["io"] = span.io.as_dict()
+    out.append(
+        {
+            "name": span.name,
+            "ph": "X",
+            "ts": (started - base) * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "cat": "tquel",
+            "args": args,
+        }
+    )
+    for child in span.children:
+        _span_events(child, base, pid, tid, out)
+
+
+def chrome_trace(spans) -> dict:
+    """Chrome-trace JSON (a dict; ``json.dump`` it) for root *spans*.
+
+    Each root span becomes its own thread row so concurrent statement
+    histories stay readable; children nest by timestamp containment.
+    """
+    roots = [
+        span for span in spans if getattr(span, "started", None) is not None
+    ]
+    base = min((span.started for span in roots), default=0.0)
+    events: "list[dict]" = []
+    for tid, span in enumerate(roots, start=1):
+        _span_events(span, base, 1, tid, events)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.observe"},
+    }
+
+
+# -- Prometheus text format --------------------------------------------------
+
+
+def _metric_name(name: str) -> str:
+    sanitized = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def prometheus_text(registry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    snapshot = registry.snapshot()
+    lines: "list[str]" = []
+    for name, value in snapshot["counters"].items():
+        metric = _metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, summary in snapshot["histograms"].items():
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in sorted(summary["buckets"].items()):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {summary["count"]}')
+        lines.append(f"{metric}_sum {summary['total']}")
+        lines.append(f"{metric}_count {summary['count']}")
+    for name, value in snapshot["gauges"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- JSONL events ------------------------------------------------------------
+
+
+def events_jsonl(recorder) -> str:
+    """Flight-recorder contents as JSON Lines (one event per line)."""
+    return "".join(
+        json.dumps(event.as_dict(), sort_keys=True) + "\n"
+        for event in recorder.dump()
+    )
+
+
+# -- one-call directory export -----------------------------------------------
+
+TRACE_FILE = "trace.json"
+METRICS_PROM_FILE = "metrics.prom"
+METRICS_JSON_FILE = "metrics.json"
+EVENTS_FILE = "events.jsonl"
+HEATMAP_FILE = "heatmap.json"
+
+
+def export_telemetry(db, directory) -> "dict[str, str]":
+    """Write every telemetry artifact of *db* into *directory*.
+
+    Produces ``trace.json`` (Chrome trace of the tracer's span history),
+    ``metrics.prom`` and ``metrics.json`` (the registry, in Prometheus
+    text and raw JSON form), ``events.jsonl`` (the flight recorder) and
+    -- when the heatmap is enabled and populated -- ``heatmap.json``.
+    Returns ``{artifact: path}`` for what was written.
+    """
+    root = pathlib.Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    written: "dict[str, str]" = {}
+
+    trace_path = root / TRACE_FILE
+    with open(trace_path, "w", encoding="ascii") as handle:
+        json.dump(chrome_trace(list(db.tracer.history)), handle, indent=1)
+    written["trace"] = str(trace_path)
+
+    prom_path = root / METRICS_PROM_FILE
+    prom_path.write_text(prometheus_text(db.metrics), encoding="ascii")
+    written["metrics_prom"] = str(prom_path)
+
+    json_path = root / METRICS_JSON_FILE
+    with open(json_path, "w", encoding="ascii") as handle:
+        json.dump(db.metrics.snapshot(), handle, indent=1, sort_keys=True)
+    written["metrics_json"] = str(json_path)
+
+    events_path = root / EVENTS_FILE
+    events_path.write_text(events_jsonl(db.recorder), encoding="ascii")
+    written["events"] = str(events_path)
+
+    heatmap = getattr(db, "heatmap", None)
+    if heatmap is not None and heatmap.files():
+        heatmap_path = root / HEATMAP_FILE
+        with open(heatmap_path, "w", encoding="ascii") as handle:
+            json.dump(heatmap.as_dict(), handle, indent=1, sort_keys=True)
+        written["heatmap"] = str(heatmap_path)
+    return written

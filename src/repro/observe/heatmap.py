@@ -1,0 +1,148 @@
+"""Page-access heatmaps: where in a relation the I/O actually lands.
+
+The paper's growth curves (Figure 8) show *totals* -- a query over a
+temporal relation reads ever more pages as versions accumulate and
+current tuples scatter.  The heatmap makes the pattern itself visible:
+per relation file, per page, how many metered reads and writes hit it.
+
+Capture happens at the buffer layer on exactly the accesses the paper
+counts -- a read is recorded when a page misses the pool (the moment
+:class:`~repro.storage.iostats.IOStats` counts it), a write when a
+dirty page leaves the pool -- so a relation's heatmap totals equal its
+I/O-meter totals, and the strip is a spatial decomposition of the
+published numbers.  Recording is a dict update on the unmetered path;
+the heatmap is opt-in (``enabled=False``) and never issues a page
+access, so enabling it moves no page count.
+
+Render example (one character per page bin, hotter = denser)::
+
+    h        20 pages, 145 reads / 12 writes
+    reads    [%%@@#*=-:.          ]
+"""
+
+from __future__ import annotations
+
+__all__ = ["PageHeatmap", "render_strip"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def render_strip(counts: "dict[int, int]", pages: int, width: int = 64) -> str:
+    """One ASCII heat strip: *pages* page slots binned to *width* cells.
+
+    Each cell shows the hottest page of its bin on a 10-step ramp scaled
+    to the strip's maximum, so relative heat survives binning.
+    """
+    if pages <= 0:
+        return "[]"
+    width = max(1, min(width, pages))
+    bins = [0] * width
+    for page_id, count in counts.items():
+        if 0 <= page_id < pages:
+            slot = page_id * width // pages
+            bins[slot] = max(bins[slot], count)
+    peak = max(bins)
+    if peak == 0:
+        return "[" + " " * width + "]"
+    cells = []
+    for value in bins:
+        if value == 0:
+            cells.append(" ")
+        else:
+            step = 1 + value * (len(_RAMP) - 2) // peak
+            cells.append(_RAMP[min(step, len(_RAMP) - 1)])
+    return "[" + "".join(cells) + "]"
+
+
+class PageHeatmap:
+    """Opt-in per-file, per-page counters of metered reads and writes."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        # file name -> {page_id: count}
+        self._reads: "dict[str, dict[int, int]]" = {}
+        self._writes: "dict[str, dict[int, int]]" = {}
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- capture (called from BufferedFile on the metered paths) -----------
+
+    def record_read(self, name: str, page_id: int) -> None:
+        pages = self._reads.get(name)
+        if pages is None:
+            pages = self._reads[name] = {}
+        pages[page_id] = pages.get(page_id, 0) + 1
+
+    def record_write(self, name: str, page_id: int) -> None:
+        pages = self._writes.get(name)
+        if pages is None:
+            pages = self._writes[name] = {}
+        pages[page_id] = pages.get(page_id, 0) + 1
+
+    # -- reading -----------------------------------------------------------
+
+    def files(self) -> "list[str]":
+        """Every file name with at least one recorded access."""
+        return sorted(set(self._reads) | set(self._writes))
+
+    def counts(self, name: str) -> "dict[int, tuple[int, int]]":
+        """``{page_id: (reads, writes)}`` for one file."""
+        reads = self._reads.get(name, {})
+        writes = self._writes.get(name, {})
+        return {
+            page_id: (reads.get(page_id, 0), writes.get(page_id, 0))
+            for page_id in sorted(set(reads) | set(writes))
+        }
+
+    def totals(self, name: str) -> "tuple[int, int]":
+        """``(reads, writes)`` summed over every page of one file."""
+        return (
+            sum(self._reads.get(name, {}).values()),
+            sum(self._writes.get(name, {}).values()),
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-safe dump: per file, sparse page -> [reads, writes]."""
+        return {
+            name: {
+                str(page_id): list(pair)
+                for page_id, pair in self.counts(name).items()
+            }
+            for name in self.files()
+        }
+
+    def clear(self) -> None:
+        self._reads.clear()
+        self._writes.clear()
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(
+        self, name: str, pages: "int | None" = None, width: int = 64
+    ) -> str:
+        """The monitor's heat strips for one file (reads and writes).
+
+        *pages* sets the strip's extent (the file's current page count);
+        when omitted, the hottest recorded page defines it.
+        """
+        counts = self.counts(name)
+        if pages is None:
+            pages = max(counts, default=-1) + 1
+        reads, writes = self.totals(name)
+        lines = [
+            f"{name}  {pages} page(s), {reads} read(s) / {writes} write(s)"
+        ]
+        read_counts = {page: pair[0] for page, pair in counts.items()}
+        lines.append("  reads  " + render_strip(read_counts, pages, width))
+        if writes:
+            write_counts = {page: pair[1] for page, pair in counts.items()}
+            lines.append("  writes " + render_strip(write_counts, pages, width))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return f"PageHeatmap({state}, files={len(self.files())})"

@@ -18,9 +18,6 @@ walk pages through the unmetered ``peek`` path for the same reason.
 
 from __future__ import annotations
 
-from repro.access.base import StructureKind
-from repro.storage.page import NO_PAGE
-
 
 class Counter:
     """A monotonically increasing integer."""
@@ -186,6 +183,12 @@ def overflow_chain_lengths(storage) -> "list[int]":
     store reports its primary store.  Structures without overflow chains
     (heap, B-tree) yield an empty list.
     """
+    # Imported here, not at module level: repro.observe is a leaf package
+    # (the storage layer imports it for event levels), so the access and
+    # storage layers must not be pulled in at import time.
+    from repro.access.base import StructureKind
+    from repro.storage.page import NO_PAGE
+
     kind = getattr(storage, "kind", None)
     if kind is StructureKind.TWO_LEVEL:
         return overflow_chain_lengths(storage.primary)

@@ -44,9 +44,9 @@ class Span:
         "children",
         "duration",
         "io",
+        "started",
         "_stats",
         "_before",
-        "_t0",
     )
 
     def __init__(self, name: str, stats=None, attributes: "dict | None" = None):
@@ -55,9 +55,11 @@ class Span:
         self.children: "list[Span]" = []
         self.duration = 0.0
         self.io = None
+        # perf_counter at start(); the Chrome-trace export orders and
+        # offsets spans by it.  None until the span has been started.
+        self.started = None
         self._stats = stats
         self._before = None
-        self._t0 = None
 
     @property
     def enabled(self) -> bool:
@@ -67,11 +69,11 @@ class Span:
         self._before = (
             self._stats.checkpoint() if self._stats is not None else None
         )
-        self._t0 = time.perf_counter()
+        self.started = time.perf_counter()
         return self
 
     def finish(self) -> "Span":
-        self.duration = time.perf_counter() - self._t0
+        self.duration = time.perf_counter() - self.started
         if self._before is not None:
             self.io = self._stats.delta(self._before)
         return self
@@ -157,6 +159,7 @@ class _NullSpan:
     name = ""
     duration = 0.0
     io = None
+    started = None
     children: "list[Span]" = []
     attributes: dict = {}
 

@@ -25,18 +25,35 @@ HISTORY_LIMIT = 64
 class Tracer:
     """Wraps statements in span trees when enabled."""
 
-    def __init__(self, stats, enabled: bool = False):
+    def __init__(self, stats, enabled: bool = False, history: int = HISTORY_LIMIT):
+        if history < 1:
+            raise ValueError(f"need a history of at least 1, got {history}")
         self._stats = stats
         self.enabled = enabled
         self.last: "Span | None" = None
-        self.history: "deque[Span]" = deque(maxlen=HISTORY_LIMIT)
+        self.history: "deque[Span]" = deque(maxlen=history)
         self.sink = None  # callable(Span) or None
+
+    @property
+    def history_limit(self) -> int:
+        """How many finished root spans the history retains."""
+        return self.history.maxlen
 
     def enable(self) -> None:
         self.enabled = True
 
     def disable(self) -> None:
         self.enabled = False
+
+    def reset(self) -> None:
+        """Drop the retained trace state (``last`` and the history).
+
+        The enabled flag and sink are kept: resetting clears what was
+        *recorded*, not how recording is configured.  ``\\metrics
+        reset`` calls this so no stale span trees survive a reset.
+        """
+        self.last = None
+        self.history.clear()
 
     @contextmanager
     def force(self):

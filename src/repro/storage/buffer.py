@@ -24,6 +24,7 @@ from collections import OrderedDict
 
 from repro import fault
 from repro.errors import StorageError
+from repro.observe.events import DEBUG as _EVENT_DEBUG
 from repro.storage.iostats import IOStats
 from repro.storage.page import Page
 from repro.storage.pager import PagedFile
@@ -51,6 +52,14 @@ class BufferedFile:
         # The statement undo log currently capturing pre-images of this
         # file's pages, or None (set by BufferPool.begin_undo).
         self._undo = None
+        # Observability hooks (set by BufferPool.attach_observers): a
+        # MetricsRegistry counting pool hits/misses, a FlightRecorder for
+        # eviction events, a PageHeatmap for per-page access counts.
+        # All three record through plain unmetered Python -- they never
+        # issue a page access, so page accounting is unaffected.
+        self._metrics = None
+        self._recorder = None
+        self._heatmap = None
         stats.register(name, system=system)
 
     @property
@@ -88,18 +97,35 @@ class BufferedFile:
         while len(self._resident) > capacity:
             fault.point("buffer.evict")
             page_id, dirty = self._resident.popitem(last=False)
+            recorder = self._recorder
+            if recorder is not None and recorder.min_level <= _EVENT_DEBUG:
+                recorder.record(
+                    "buffer.evict",
+                    level=_EVENT_DEBUG,
+                    file=self._name,
+                    page=page_id,
+                    dirty=dirty,
+                )
             if dirty:
                 fault.point("pager.write")
                 self._stats.record_write(self._name)
+                if self._heatmap is not None and self._heatmap.enabled:
+                    self._heatmap.record_write(self._name, page_id)
 
     def read(self, page_id: int) -> Page:
         """Fetch a page, counting a disk read unless it is resident."""
         if self._undo is not None:
             self._undo.note_page(self, page_id)
         if page_id in self._resident:
+            if self._metrics is not None:
+                self._metrics.inc("buffer.hits")
             self._resident.move_to_end(page_id)
             return self._file.page(page_id)
+        if self._metrics is not None:
+            self._metrics.inc("buffer.misses")
         self._stats.record_read(self._name)
+        if self._heatmap is not None and self._heatmap.enabled:
+            self._heatmap.record_read(self._name, page_id)
         self._evict_to(self._capacity - 1)
         self._resident[page_id] = False
         return self._file.page(page_id)
@@ -201,10 +227,33 @@ class BufferPool:
         self._default_buffers = default_buffers
         self._files: "dict[str, BufferedFile]" = {}
         self._undo = None
+        self.metrics = None
+        self.recorder = None
+        self.heatmap = None
 
     @property
     def stats(self) -> IOStats:
         return self._stats
+
+    def attach_observers(
+        self, metrics=None, recorder=None, heatmap=None
+    ) -> None:
+        """Wire observability sinks into every file (current and future).
+
+        *metrics* counts pool hits/misses, *recorder* receives eviction
+        events (at debug level), *heatmap* captures per-page access
+        counts.  Passing ``None`` leaves the corresponding sink as is.
+        """
+        if metrics is not None:
+            self.metrics = metrics
+        if recorder is not None:
+            self.recorder = recorder
+        if heatmap is not None:
+            self.heatmap = heatmap
+        for buffered in self._files.values():
+            buffered._metrics = self.metrics
+            buffered._recorder = self.recorder
+            buffered._heatmap = self.heatmap
 
     @property
     def undo(self):
@@ -250,6 +299,9 @@ class BufferPool:
             replaced._undo = None
         self._files[name] = buffered
         buffered._undo = self._undo
+        buffered._metrics = self.metrics
+        buffered._recorder = self.recorder
+        buffered._heatmap = self.heatmap
         return buffered
 
     def drop_file(self, name: str) -> None:

@@ -189,3 +189,95 @@ class TestMonitor:
         monitor.handle("retrieve (x.id)")
         assert "1980" in out.getvalue()
         assert "forever" in out.getvalue()
+
+
+class TestMonitorTelemetry:
+    def make_monitor(self, db):
+        out = io.StringIO()
+        return Monitor(db=db, out=out), out
+
+    def setup_relation(self, db):
+        db.execute("create emp (name = c8, sal = i4)")
+        db.execute('append to emp (name = "ahn", sal = 5)')
+        db.execute("range of e is emp")
+
+    def test_events_shows_statement_tail(self, db):
+        self.setup_relation(db)
+        monitor, out = self.make_monitor(db)
+        monitor.handle("\\events")
+        text = out.getvalue()
+        assert "statement.end" in text
+        assert "statement=append" in text
+
+    def test_events_count_and_clear(self, db):
+        self.setup_relation(db)
+        monitor, out = self.make_monitor(db)
+        monitor.handle("\\events 1")
+        assert "earlier event(s) buffered" in out.getvalue()
+        monitor.handle("\\events clear")
+        monitor.handle("\\events")
+        text = out.getvalue()
+        assert "events cleared" in text
+        assert "(no events recorded)" in text
+        monitor.handle("\\events wat")
+        assert "usage: \\events" in out.getvalue()
+
+    def test_heatmap_toggle_and_strips(self, db):
+        monitor, out = self.make_monitor(db)
+        monitor.handle("\\heatmap")
+        assert "heatmap capture off" in out.getvalue()
+        monitor.handle("\\heatmap on")
+        self.setup_relation(db)
+        monitor.handle("retrieve (e.name)")
+        monitor.handle("\\heatmap emp")
+        text = out.getvalue()
+        assert "read(s)" in text
+        assert "[" in text and "]" in text
+        monitor.handle("\\heatmap clear")
+        monitor.handle("\\heatmap emp")
+        assert "no recorded accesses for 'emp'" in out.getvalue()
+
+    def test_heatmap_hint_when_capture_off(self, db):
+        self.setup_relation(db)
+        monitor, out = self.make_monitor(db)
+        monitor.handle("\\heatmap emp")
+        assert "capture is off" in out.getvalue()
+
+    def test_metrics_reports_buffer_hit_rate(self, db):
+        self.setup_relation(db)
+        db.execute("retrieve (e.name)")
+        monitor, out = self.make_monitor(db)
+        monitor.handle("\\metrics")
+        assert "buffer hit rate:" in out.getvalue()
+
+    def test_metrics_reset_clears_trace_history(self, db):
+        db.tracer.enable()
+        self.setup_relation(db)
+        assert len(db.tracer.history) > 0
+        monitor, out = self.make_monitor(db)
+        monitor.handle("\\metrics reset")
+        assert db.tracer.last is None
+        assert len(db.tracer.history) == 0
+        assert db.tracer.enabled
+
+    def test_telemetry_exports_directory(self, db, tmp_path):
+        db.tracer.enable()
+        self.setup_relation(db)
+        db.execute("retrieve (e.name)")
+        monitor, out = self.make_monitor(db)
+        target = tmp_path / "telemetry"
+        monitor.handle(f"\\telemetry {target}")
+        text = out.getvalue()
+        assert "wrote trace:" in text
+        assert (target / "trace.json").exists()
+        assert (target / "metrics.prom").exists()
+        assert (target / "events.jsonl").exists()
+        monitor.handle("\\telemetry")
+        assert "usage: \\telemetry" in out.getvalue()
+
+    def test_help_mentions_new_commands(self, db):
+        monitor, out = self.make_monitor(db)
+        monitor.handle("\\?")
+        text = out.getvalue()
+        for command in ("\\events", "\\heatmap", "\\telemetry", "\\metrics"):
+            assert command in text

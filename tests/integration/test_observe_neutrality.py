@@ -230,6 +230,84 @@ def test_fault_counting_is_accounting_neutral():
         fault.reset()
 
 
+@pytest.mark.parametrize(
+    "db_type",
+    [
+        DatabaseType.STATIC,
+        DatabaseType.ROLLBACK,
+        DatabaseType.HISTORICAL,
+        DatabaseType.TEMPORAL,
+    ],
+)
+def test_full_telemetry_stack_is_accounting_neutral(db_type, tmp_path):
+    """Recorder (debug level), heatmap, tracer and exports all enabled
+    yield byte-identical page counts to a bare database, and exporting
+    telemetry mid-run moves nothing either."""
+    from repro.observe import events as observe_events
+    from repro.observe.export import export_telemetry
+
+    plain = build(db_type)
+    observed = build(db_type)
+    db = observed.db
+    db.tracer.enable()
+    db.recorder.min_level = observe_events.DEBUG
+    db.heatmap.enable()
+
+    baseline = measure_suite(plain)
+    assert measure_suite(observed) == baseline
+    assert len(db.recorder.dump(kind="statement.end")) > 0
+    assert db.heatmap.files(), "an enabled heatmap must capture accesses"
+
+    written = export_telemetry(db, tmp_path / "telemetry")
+    assert set(written) >= {"trace", "metrics_prom", "metrics_json", "events"}
+    assert measure_suite(observed) == measure_suite(plain)
+
+
+def test_heatmap_totals_equal_metered_io():
+    """The heatmap is a spatial decomposition of exactly the metered
+    accesses: per file, its totals equal the I/O meter's delta."""
+    bench = build(DatabaseType.TEMPORAL)
+    db = bench.db
+    db.pool.flush_all()
+    db.heatmap.enable()
+    before = db.stats.checkpoint()
+    measure_suite(bench)
+    delta = db.stats.delta(before)
+    for name, counters in delta.by_relation.items():
+        if name.startswith("_temp"):
+            continue  # temporaries are recreated per statement
+        reads, writes = db.heatmap.totals(name)
+        assert (reads, writes) == (counters.reads, counters.writes), name
+
+
+def test_sweep_cells_identical_with_full_telemetry():
+    """A full sweep's every cell is identical with the recorder at debug
+    level, the heatmap capturing and the tracer on -- the telemetry
+    analogue of the validation-protocol instrumentation test above."""
+    from repro.bench.runner import BenchmarkRun
+    from repro.observe import events as observe_events
+
+    config = WorkloadConfig(
+        db_type=DatabaseType.TEMPORAL, loading=100, **SMALL
+    )
+    plain = BenchmarkRun(config, max_update_count=2).run()
+
+    bench = build_database(config)
+    bench.db.tracer.enable()
+    bench.db.recorder.min_level = observe_events.DEBUG
+    bench.db.heatmap.enable()
+    for update_count in range(3):
+        if update_count:
+            evolve_uniform(bench, steps=1)
+        for query_id, cost in measure_suite(bench).items():
+            if cost is None:
+                continue
+            assert plain.costs[query_id][update_count] == cost, (
+                query_id,
+                update_count,
+            )
+
+
 def test_checksummed_checkpoint_round_trip_is_accounting_neutral(tmp_path):
     """Page checksums live only in the checkpoint files: a database
     restored from a checksummed checkpoint measures identically."""

@@ -1,0 +1,172 @@
+"""Unit tests for telemetry exports (repro.observe.export)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.observe import (
+    FlightRecorder,
+    MetricsRegistry,
+    Span,
+    chrome_trace,
+    events_jsonl,
+    export_telemetry,
+    prometheus_text,
+)
+from repro.storage.iostats import IOStats
+
+
+def finished_span(text="retrieve (e.name)"):
+    stats = IOStats()
+    stats.register("emp")
+    span = Span("statement", stats, {"text": text})
+    span.start()
+    with span.stage("lex"):
+        pass
+    with span.stage("execute"):
+        stats.record_read("emp")
+    span.finish()
+    return span
+
+
+class TestChromeTrace:
+    def test_complete_events_with_nesting(self):
+        trace = chrome_trace([finished_span()])
+        events = trace["traceEvents"]
+        assert [event["name"] for event in events] == [
+            "statement",
+            "lex",
+            "execute",
+        ]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert event["pid"] == 1 and event["tid"] == 1
+        root = events[0]
+        # the statement span contains its stages
+        for child in events[1:]:
+            assert child["ts"] >= root["ts"]
+            assert child["ts"] + child["dur"] <= root["ts"] + root["dur"] + 1
+        assert root["args"]["text"] == "retrieve (e.name)"
+        assert root["args"]["io"]["user"]["reads"] == 1
+
+    def test_roots_get_their_own_thread_rows(self):
+        trace = chrome_trace([finished_span("a"), finished_span("b")])
+        tids = {
+            event["args"].get("text"): event["tid"]
+            for event in trace["traceEvents"]
+            if event["name"] == "statement"
+        }
+        assert tids == {"a": 1, "b": 2}
+
+    def test_timestamps_relative_to_earliest_root(self):
+        spans = [finished_span("a"), finished_span("b")]
+        trace = chrome_trace(spans)
+        first = min(event["ts"] for event in trace["traceEvents"])
+        assert first == 0.0
+
+    def test_unstarted_and_empty_spans_are_skipped(self):
+        stats = IOStats()
+        unstarted = Span("statement", stats, {})
+        trace = chrome_trace([unstarted])
+        assert trace["traceEvents"] == []
+        assert json.dumps(trace)  # always JSON-serializable
+
+
+class TestPrometheusText:
+    def test_counters_histograms_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.inc("statements.retrieve", 3)
+        registry.observe("statement.input_pages", 1)
+        registry.observe("statement.input_pages", 5)
+        registry.gauge("storage.h.pages", 12)
+        registry.gauge("storage.h.structure", "hash")  # non-numeric: skipped
+        text = prometheus_text(registry)
+        assert "# TYPE repro_statements_retrieve_total counter" in text
+        assert "repro_statements_retrieve_total 3" in text
+        assert "# TYPE repro_statement_input_pages histogram" in text
+        assert 'repro_statement_input_pages_bucket{le="+Inf"} 2' in text
+        assert "repro_statement_input_pages_sum 6" in text
+        assert "repro_statement_input_pages_count 2" in text
+        assert "repro_storage_h_pages 12" in text
+        assert "structure" not in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        for value in (1, 1, 8):
+            registry.observe("pages", value)
+        lines = prometheus_text(registry).splitlines()
+        buckets = [
+            int(line.rsplit(" ", 1)[1])
+            for line in lines
+            if line.startswith("repro_pages_bucket")
+        ]
+        assert buckets == sorted(buckets)
+        assert buckets[-1] == 3
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestEventsJsonl:
+    def test_one_json_object_per_event(self):
+        recorder = FlightRecorder()
+        recorder.record("statement.end", statement="retrieve", input_pages=2)
+        recorder.record("checkpoint.save", path="/tmp/x", files=3)
+        lines = events_jsonl(recorder).splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "statement.end"
+        assert first["level"] == "info"
+        assert first["data"]["input_pages"] == 2
+        assert json.loads(lines[1])["data"]["files"] == 3
+
+    def test_empty_recorder_yields_empty_string(self):
+        assert events_jsonl(FlightRecorder()) == ""
+
+
+class TestExportTelemetry:
+    def test_writes_all_artifacts(self, db, tmp_path):
+        db.tracer.enable()
+        db.heatmap.enable()
+        db.execute("create r (id = i4)")
+        db.execute("append to r (id = 1)")
+        db.execute("range of x is r")
+        db.execute("retrieve (x.id)")
+        written = export_telemetry(db, tmp_path / "telemetry")
+        assert set(written) == {
+            "trace",
+            "metrics_prom",
+            "metrics_json",
+            "events",
+            "heatmap",
+        }
+        trace = json.loads((tmp_path / "telemetry" / "trace.json").read_text())
+        statements = [
+            event
+            for event in trace["traceEvents"]
+            if event["name"] == "statement"
+        ]
+        assert len(statements) == 4
+        stages = {event["name"] for event in trace["traceEvents"]}
+        assert {"lex", "parse", "semantics", "plan", "execute"} <= stages
+        prom = (tmp_path / "telemetry" / "metrics.prom").read_text()
+        assert "repro_statements_retrieve_total 1" in prom
+        events = [
+            json.loads(line)
+            for line in (tmp_path / "telemetry" / "events.jsonl")
+            .read_text()
+            .splitlines()
+        ]
+        assert sum(e["kind"] == "statement.end" for e in events) == 4
+        heatmap = json.loads(
+            (tmp_path / "telemetry" / "heatmap.json").read_text()
+        )
+        assert "r" in heatmap
+
+    def test_heatmap_artifact_only_when_populated(self, db, tmp_path):
+        db.execute("create r (id = i4)")
+        written = export_telemetry(db, tmp_path / "telemetry")
+        assert "heatmap" not in written
+        assert not (tmp_path / "telemetry" / "heatmap.json").exists()

@@ -5,14 +5,23 @@ from __future__ import annotations
 import pytest
 
 from repro.observe import (
+    DEBUG,
+    ERROR,
+    INFO,
     NULL_SPAN,
+    WARNING,
     Counter,
+    FlightRecorder,
     Histogram,
     MetricsRegistry,
+    PageHeatmap,
     Span,
     overflow_chain_lengths,
     record_structure_metrics,
+    render_strip,
 )
+from repro.observe.events import level_number
+from repro.observe.trace import Tracer
 from repro.storage.iostats import IOStats
 
 
@@ -156,6 +165,135 @@ class TestMetrics:
         assert "statements.retrieve" in rendered
         assert "statement.input_pages" in rendered
         assert "storage.h.pages" in rendered
+
+
+class TestFlightRecorder:
+    def test_ring_buffer_wraps_and_counts_drops(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(10):
+            recorder.record("tick", n=i)
+        assert len(recorder) == 4
+        assert recorder.dropped == 6
+        events = recorder.dump()
+        assert [event.data["n"] for event in events] == [6, 7, 8, 9]
+        # sequence numbers keep counting through the wrap
+        assert [event.seq for event in events] == [7, 8, 9, 10]
+
+    def test_min_level_drops_at_the_call_site(self):
+        recorder = FlightRecorder(min_level=INFO)
+        recorder.record("quiet", level=DEBUG)
+        recorder.record("loud", level=WARNING)
+        assert [event.kind for event in recorder.dump()] == ["loud"]
+        recorder.min_level = DEBUG
+        recorder.record("quiet", level=DEBUG)
+        assert [event.kind for event in recorder.dump()] == ["loud", "quiet"]
+        # dump order is oldest first by sequence
+        assert recorder.dump()[0].seq < recorder.dump()[1].seq
+
+    def test_dump_filters_compose(self):
+        recorder = FlightRecorder(min_level=DEBUG)
+        recorder.record("a", level=DEBUG)
+        recorder.record("b", level=WARNING)
+        recorder.record("a", level=ERROR)
+        assert len(recorder.dump(min_level="warning")) == 2
+        assert len(recorder.dump(kind="a")) == 2
+        assert [e.level for e in recorder.dump(min_level=WARNING, kind="a")] == [
+            ERROR
+        ]
+        assert len(recorder.dump(1)) == 1
+
+    def test_disabled_recorder_buffers_nothing(self):
+        recorder = FlightRecorder(enabled=False)
+        recorder.record("anything")
+        assert len(recorder) == 0
+
+    def test_clear_empties_but_keeps_sequence(self):
+        recorder = FlightRecorder()
+        recorder.record("one")
+        recorder.clear()
+        assert len(recorder) == 0 and recorder.dropped == 0
+        recorder.record("two")
+        assert recorder.dump()[0].seq == 2
+
+    def test_render_and_level_names(self):
+        recorder = FlightRecorder()
+        assert recorder.render() == "(no events recorded)"
+        recorder.record("statement.end", statement="retrieve", input_pages=3)
+        rendered = recorder.render()
+        assert "statement.end" in rendered
+        assert "input_pages=3" in rendered
+        assert level_number("warning") == WARNING
+        with pytest.raises(ValueError):
+            level_number("loud")
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestPageHeatmap:
+    def test_counts_and_totals(self):
+        heatmap = PageHeatmap(enabled=True)
+        heatmap.record_read("h", 0)
+        heatmap.record_read("h", 0)
+        heatmap.record_read("h", 3)
+        heatmap.record_write("h", 3)
+        heatmap.record_read("i", 1)
+        assert heatmap.files() == ["h", "i"]
+        assert heatmap.counts("h") == {0: (2, 0), 3: (1, 1)}
+        assert heatmap.totals("h") == (3, 1)
+        assert heatmap.as_dict()["h"]["3"] == [1, 1]
+        heatmap.clear()
+        assert heatmap.files() == []
+
+    def test_render_strip_scales_to_peak(self):
+        strip = render_strip({0: 10, 7: 1}, pages=8, width=8)
+        assert strip.startswith("[") and strip.endswith("]")
+        assert len(strip) == 10
+        assert strip[1] == "@"  # hottest page saturates the ramp
+        assert strip[2] == " "  # untouched page stays blank
+        assert render_strip({}, pages=4) == "[    ]"
+        assert render_strip({}, pages=0) == "[]"
+
+    def test_render_names_pages_and_totals(self):
+        heatmap = PageHeatmap(enabled=True)
+        heatmap.record_read("h", 2)
+        heatmap.record_write("h", 2)
+        rendered = heatmap.render("h", pages=4)
+        assert rendered.startswith("h  4 page(s), 1 read(s) / 1 write(s)")
+        assert "reads" in rendered and "writes" in rendered
+
+
+class TestTracerHistory:
+    def test_history_is_bounded(self):
+        stats = IOStats()
+        tracer = Tracer(stats, enabled=True, history=2)
+        assert tracer.history_limit == 2
+        for i in range(3):
+            with tracer.statement(f"s{i}"):
+                pass
+        assert [span.attributes["text"] for span in tracer.history] == [
+            "s1",
+            "s2",
+        ]
+        assert tracer.last.attributes["text"] == "s2"
+
+    def test_reset_clears_state_not_configuration(self):
+        stats = IOStats()
+        sink_calls = []
+        tracer = Tracer(stats, enabled=True)
+        tracer.sink = sink_calls.append
+        with tracer.statement("s"):
+            pass
+        tracer.reset()
+        assert tracer.last is None
+        assert len(tracer.history) == 0
+        assert tracer.enabled
+        with tracer.statement("after-reset"):
+            pass
+        assert len(sink_calls) == 2  # the sink survived the reset
+
+    def test_history_must_hold_at_least_one(self):
+        with pytest.raises(ValueError):
+            Tracer(IOStats(), history=0)
 
 
 class TestStructureMetrics:

@@ -1,0 +1,155 @@
+"""Unit tests for the benchmark regression gate (repro.bench.regress)."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.regress import Finding, find_regressions, main
+
+
+def make_dump():
+    """A minimal two-config sweep dump in ``result.to_dict()`` shape."""
+    return {
+        "temporal/100%": {
+            "max_update_count": 1,
+            "sizes": {"0": [4, 4], "1": [5, 5]},
+            "costs": {
+                "Q01": {"0": [1, 0, 0, 1], "1": [2, 0, 0, 1]},
+                "Q07": {"0": [4, 2, 0, 8], "1": [6, 2, 0, 8]},
+            },
+        },
+        "static/100%": {
+            "max_update_count": 0,
+            "sizes": {"0": [4, 4]},
+            "costs": {"Q01": {"0": [1, 0, 0, 1]}},
+        },
+    }
+
+
+class TestFindRegressions:
+    def test_identical_dumps_pass(self):
+        report = find_regressions(make_dump(), make_dump())
+        assert report.ok
+        assert report.regressions == []
+        assert report.improvements == []
+        # 5 query cells + 3 size cells
+        assert report.cells == 8
+
+    def test_inflated_cell_fails_with_zero_threshold(self):
+        current = make_dump()
+        current["temporal/100%"]["costs"]["Q01"]["1"] = [3, 0, 0, 1]
+        report = find_regressions(current, make_dump())
+        assert not report.ok
+        assert len(report.regressions) == 1
+        finding = report.regressions[0]
+        assert finding.metric == "input pages"
+        assert (finding.baseline, finding.current) == (2, 3)
+        assert "Q01 uc=1" in finding.describe()
+        assert "+50.0%" in finding.describe()
+
+    def test_threshold_tolerates_small_increases(self):
+        current = make_dump()
+        current["temporal/100%"]["costs"]["Q07"]["1"] = [7, 2, 0, 8]  # +16.7%
+        assert not find_regressions(current, make_dump(), threshold=0.10).ok
+        assert find_regressions(current, make_dump(), threshold=0.20).ok
+
+    def test_row_count_change_fails_regardless_of_threshold(self):
+        current = make_dump()
+        current["temporal/100%"]["costs"]["Q07"]["1"] = [6, 2, 0, 9]
+        report = find_regressions(current, make_dump(), threshold=10.0)
+        assert not report.ok
+        assert report.regressions[0].metric == "rows"
+
+    def test_missing_cell_is_a_regression(self):
+        current = make_dump()
+        del current["temporal/100%"]["costs"]["Q07"]["1"]
+        report = find_regressions(current, make_dump())
+        assert not report.ok
+        assert report.regressions[0].current is None
+        assert "missing" in report.regressions[0].describe()
+
+    def test_new_coverage_in_current_passes(self):
+        current = make_dump()
+        current["temporal/100%"]["costs"]["Q99"] = {"0": [9, 9, 0, 9]}
+        assert find_regressions(current, make_dump()).ok
+
+    def test_cheaper_cells_are_improvements(self):
+        current = make_dump()
+        current["temporal/100%"]["costs"]["Q07"]["1"] = [5, 1, 0, 8]
+        report = find_regressions(current, make_dump())
+        assert report.ok
+        assert {f.metric for f in report.improvements} == {
+            "input pages",
+            "output pages",
+        }
+        assert "improved" in report.render()
+
+    def test_grown_sizes_are_gated(self):
+        current = make_dump()
+        current["temporal/100%"]["sizes"]["1"] = [9, 5]
+        report = find_regressions(current, make_dump())
+        assert not report.ok
+        assert report.regressions[0].metric == "total pages"
+        assert report.regressions[0].current == 14
+
+    def test_render_summarizes_counts(self):
+        rendered = find_regressions(make_dump(), make_dump()).render()
+        assert "0 regression(s)" in rendered
+        assert "8 gated cell(s)" in rendered
+
+
+class TestFindingDescribe:
+    def test_zero_baseline_omits_percentage(self):
+        finding = Finding("t", "Q01", 0, "output pages", 0, 2)
+        assert "%" not in finding.describe()
+        assert "0 -> 2" in finding.describe()
+
+
+class TestCli:
+    def write(self, tmp_path, name, dump):
+        path = tmp_path / name
+        path.write_text(json.dumps(dump), encoding="ascii")
+        return str(path)
+
+    def test_passing_gate_exits_zero(self, tmp_path, capsys):
+        current = self.write(tmp_path, "current.json", make_dump())
+        baseline = self.write(tmp_path, "baseline.json", make_dump())
+        assert main([current, "--baseline", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "gate PASSED" in out
+
+    def test_failing_gate_exits_nonzero(self, tmp_path, capsys):
+        inflated = copy.deepcopy(make_dump())
+        inflated["temporal/100%"]["costs"]["Q01"]["0"] = [6, 0, 0, 1]
+        current = self.write(tmp_path, "current.json", inflated)
+        baseline = self.write(tmp_path, "baseline.json", make_dump())
+        assert main([current, "--baseline", baseline]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "gate FAILED" in out
+
+    def test_threshold_flag_is_honored(self, tmp_path, capsys):
+        inflated = copy.deepcopy(make_dump())
+        inflated["temporal/100%"]["costs"]["Q01"]["0"] = [1, 0, 0, 1]
+        inflated["temporal/100%"]["costs"]["Q07"]["0"] = [5, 2, 0, 8]  # +25%
+        current = self.write(tmp_path, "current.json", inflated)
+        baseline = self.write(tmp_path, "baseline.json", make_dump())
+        assert main([current, "--baseline", baseline, "--threshold", "0.5"]) == 0
+        capsys.readouterr()
+
+    def test_committed_baseline_gates_itself(self, capsys):
+        import pathlib
+
+        baseline = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "baselines"
+            / "sweep_tiny.json"
+        )
+        if not baseline.exists():
+            pytest.skip("no committed baseline in this checkout")
+        assert main([str(baseline), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
