@@ -85,17 +85,23 @@ class _IndexFile:
                 FieldSpec.parse("tid", "i4"),
             ]
         )
-        file = pool.create_file(name, self._codec.record_size)
-        if structure is StructureKind.HEAP:
-            self._store = HeapFile(file, self._codec)
-        elif structure is StructureKind.HASH:
-            self._store = HashFile(file, self._codec, key_index=0)
-        else:
+        if structure not in (StructureKind.HEAP, StructureKind.HASH):
             raise AccessMethodError(
                 f"index structure must be heap or hash, not {structure}"
             )
+        self._pool = pool
+        self._name = name
         self._structure = structure
+        self._make_store()
         self._built = False
+
+    def _make_store(self) -> None:
+        """(Re)create the backing file; any previous pages are discarded."""
+        file = self._pool.create_file(self._name, self._codec.record_size)
+        if self._structure is StructureKind.HEAP:
+            self._store = HeapFile(file, self._codec)
+        else:
+            self._store = HashFile(file, self._codec, key_index=0)
 
     @property
     def structure(self) -> StructureKind:
@@ -110,6 +116,14 @@ class _IndexFile:
         return self._store.row_count
 
     def build(self, entries: "list[tuple]", fillfactor: int = 100) -> None:
+        """Bulk-load the index; rebuilding replaces the previous contents.
+
+        Maintenance rebuilds (physical deletion invalidates tids, as does
+        ``modify``) reuse this path, so a non-empty store is recreated
+        rather than rejected.
+        """
+        if self._store.page_count:
+            self._make_store()
         self._store.build(entries, fillfactor)
         self._built = True
 
@@ -215,6 +229,7 @@ class SecondaryIndex:
         2-level index they build the current and history indexes.
         """
         current = [(value, tid) for _, value, tid in current_entries]
+        self._entry_rids.clear()  # a rebuild invalidates every entry rid
         if self._history is not None:
             self._current.build(current, fillfactor)
             self._history.build(list(history_entries), fillfactor)

@@ -197,6 +197,13 @@ def main(argv=None) -> int:
         help="allowed fractional page-count increase per cell "
         "(0.05 = 5%%; default 0 = any increase fails)",
     )
+    parser.add_argument(
+        "--sim-corpus",
+        metavar="DIR",
+        help="also replay this sim corpus directory through the "
+        "differential harness; any engine-vs-oracle divergence fails "
+        "the gate like a cost regression does",
+    )
     args = parser.parse_args(argv)
 
     with open(args.current, encoding="ascii") as handle:
@@ -210,7 +217,20 @@ def main(argv=None) -> int:
         f"(threshold {args.threshold:.0%})"
     )
     print(report.render())
-    if report.ok:
+
+    diverged = 0
+    if args.sim_corpus is not None:
+        from repro.sim.corpus import replay_corpus
+
+        for path, replay in replay_corpus(args.sim_corpus):
+            if replay.divergence is None:
+                print(f"sim corpus {path.name}: ok")
+            else:
+                diverged += 1
+                print(f"sim corpus {path.name}: DIVERGED")
+                print(str(replay.divergence))
+
+    if report.ok and not diverged:
         print("gate PASSED")
         return 0
     print("gate FAILED")

@@ -230,7 +230,7 @@ class TemporalDatabase:
                 RelationKind.EVENT if kind == "event" else RelationKind.INTERVAL
             ),
         )
-        relation = StoredRelation(schema, self.pool)
+        relation = StoredRelation(schema, self.pool, clock=self.clock)
         self._relations[name] = relation
         self.catalog.record_create(schema)
         self._invalidate_plans()

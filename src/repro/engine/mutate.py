@@ -250,6 +250,19 @@ def apply_delete(
     db_type = schema.type
     if db_type is DatabaseType.STATIC:
         return _physical_delete(relation, targets)
+    if db_type is DatabaseType.HISTORICAL and relation.is_two_level:
+        # Historical deletes remove events and postactive facts outright.
+        # A two-level store cannot (slot reuse would corrupt version
+        # chains), so refuse up front -- before any in-place stamp -- to
+        # keep the statement all-or-nothing even without the undo log.
+        for _, row in targets:
+            if schema.kind is RelationKind.EVENT or (
+                row[schema.position(VALID_FROM)] >= now
+            ):
+                raise ExecutionError(
+                    f"{relation.name}: physical deletion is not supported "
+                    "on a two-level store"
+                )
     count = 0
     # Inserts and physical removals are deferred until every in-place
     # stamp has been applied: inserts can relocate records in sorted
@@ -341,28 +354,43 @@ def apply_replace(
     db_type = schema.type
     count = 0
     pending: "list[tuple]" = []
-    moves: "list[tuple]" = []  # static replaces that change the key
+    # Replaces that change the key attribute cannot rewrite the record in
+    # place on a keyed structure (the record would sit in the wrong bucket
+    # or sort position, invisible to keyed lookups): they relocate via a
+    # deferred delete + insert instead.  Each entry is
+    # ((rid, row), full_new_row, current?).
+    moves: "list[tuple]" = []
     key_position = relation.key_position
+    if relation.is_two_level and key_position is not None:
+        # A two-level store cannot physically delete from its primary
+        # store, so a key-changing replace has nowhere to move the record:
+        # refuse before mutating anything (statements must not half-apply
+        # when atomicity is off).
+        for rid, row in targets:
+            new_user = tuple(assigner(rid, row))
+            if (
+                key_position < len(new_user)
+                and new_user[key_position] != row[key_position]
+            ):
+                raise ExecutionError(
+                    f"{relation.name}: replace may not change the key of "
+                    "a two-level store"
+                )
     for rid, row in targets:
         if valid_for is not None:
             valid = valid_for(rid, row)
             valid.check_against(relation)
         new_user = tuple(assigner(rid, row))
         if db_type is DatabaseType.STATIC:
-            if (
-                key_position is not None
-                and new_user[key_position] != row[key_position]
-            ):
-                # Changing the key relocates the record: delete + insert,
-                # deferred so collected rids stay valid.
-                moves.append(((rid, row), new_user))
+            if _key_changed(relation, row, new_user):
+                moves.append(((rid, row), new_user, True))
             else:
                 _update_in_place(relation, rid, new_user)
             count += 1
             continue
         if db_type is DatabaseType.HISTORICAL:
             count += _replace_historical(
-                relation, rid, row, new_user, now, valid, pending
+                relation, rid, row, new_user, now, valid, pending, moves
             )
             continue
         if db_type is DatabaseType.ROLLBACK:
@@ -374,13 +402,24 @@ def apply_replace(
             relation, rid, row, new_user, now, valid, pending
         )
     if moves:
-        _physical_delete(relation, [target for target, _ in moves])
-        pending.extend((new_user, True) for _, new_user in moves)
+        _physical_delete(relation, [target for target, _, __ in moves])
+        pending.extend((new_row, current) for _, new_row, current in moves)
     _flush_inserts(relation, pending)
     return count
 
 
-def _replace_historical(relation, rid, row, new_user, now, valid, pending) -> int:
+def _key_changed(relation: StoredRelation, row: tuple, new_user: tuple) -> bool:
+    position = relation.key_position
+    return (
+        position is not None
+        and position < len(new_user)
+        and new_user[position] != row[position]
+    )
+
+
+def _replace_historical(
+    relation, rid, row, new_user, now, valid, pending, moves
+) -> int:
     schema = relation.schema
     if schema.kind is RelationKind.EVENT:
         # Correction semantics: rewrite the event in place, optionally
@@ -394,7 +433,11 @@ def _replace_historical(relation, rid, row, new_user, now, valid, pending) -> in
                 else row[schema.position(VALID_AT)]
             ),
         )
-        _update_in_place(relation, rid, new_row)
+        if _key_changed(relation, row, new_user):
+            moves.append(((rid, row), new_row, True))
+        else:
+            _update_in_place(relation, rid, new_row)
+            _index_new_version(relation, new_row, rid, current=True)
         return 1
     valid_from, valid_to = _default_new_validity(schema, row, now, valid)
     new_row = schema.new_version(
@@ -403,8 +446,11 @@ def _replace_historical(relation, rid, row, new_user, now, valid, pending) -> in
     if row[schema.position(VALID_FROM)] >= now:
         # Postactive fact: it never held, so correct it in place rather
         # than closing a validity period that never opened.
-        _update_in_place(relation, rid, new_row)
-        _index_new_version(relation, new_row, rid, current=True)
+        if _key_changed(relation, row, new_user):
+            moves.append(((rid, row), new_row, True))
+        else:
+            _update_in_place(relation, rid, new_row)
+            _index_new_version(relation, new_row, rid, current=True)
         return 1
     stamped = schema.with_attribute(row, VALID_TO, now)
     if relation.is_two_level:

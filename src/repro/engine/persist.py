@@ -464,7 +464,7 @@ def _restore_indexes(db, relation: StoredRelation, entry, root, files):
 def _restore_relation(db, entry, root, files) -> StoredRelation:
     """Restore one relation (storage, zone map, indexes) from *entry*."""
     schema = _schema_from_meta(entry["schema"])
-    relation = StoredRelation(schema, db.pool)
+    relation = StoredRelation(schema, db.pool, clock=db.clock)
     structure = StructureKind(entry["structure"])
     if structure is StructureKind.TWO_LEVEL:
         _restore_two_level(db, relation, entry, root, files)

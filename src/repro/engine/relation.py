@@ -48,10 +48,12 @@ class StoredRelation:
         schema: RelationSchema,
         pool: BufferPool,
         buffers: "int | None" = None,
+        clock=None,
     ):
         self.schema = schema
         self._pool = pool
         self._buffers = buffers
+        self._clock = clock
         self.structure = StructureKind.HEAP
         self.key_attribute: "str | None" = None
         self.fillfactor = 100
@@ -268,14 +270,27 @@ class StoredRelation:
         index.build(current_entries, history_entries, fillfactor)
 
     def _is_currentish(self, row: tuple) -> bool:
-        """Current for index-placement purposes (open-ended version)."""
+        """Current for placement purposes: could this version still be an
+        update target, or satisfy a current-data query, in the future?
+
+        Transaction-stamped versions are history forever.  On the valid
+        axis the cut is ``valid_to > now`` -- the clock only moves forward,
+        so a version whose validity already ended can never again overlap
+        "now" nor be updated, while a version valid into the future must
+        stay in the primary store (it is updatable and overlaps now).
+        Without a clock the conservative ``valid_to == forever`` rule
+        applies.
+        """
         schema = self.schema
         if schema.type.has_transaction_time and not (
             schema.is_current_transaction(row)
         ):
             return False
         if schema.type.has_valid_time and schema.has_attribute("valid_to"):
-            return row[schema.position("valid_to")] == 2**31 - 1
+            valid_to = row[schema.position("valid_to")]
+            if self._clock is not None:
+                return valid_to > self._clock.now()
+            return valid_to == 2**31 - 1
         return True
 
     # -- transaction-time zone map ------------------------------------------------

@@ -108,6 +108,23 @@ class Session:
         self._check_open()
         return self.db.explain(text, analyze=analyze)
 
+    # -- state inspection ------------------------------------------------------
+
+    def relation_names(self) -> "list[str]":
+        """Sorted names of the user relations currently in the catalog."""
+        self._check_open()
+        return self.db.relation_names()
+
+    def relation_rows(self, name: str) -> "list[tuple]":
+        """Every stored version of *name*, full width, in storage order.
+
+        This is the raw stored state -- implicit attributes included, no
+        transaction- or valid-time filtering -- which is what differential
+        harnesses (``repro.sim``) compare against an oracle's state.
+        """
+        self._check_open()
+        return self.db.relation(name).all_rows()
+
     # -- observability ---------------------------------------------------------
 
     @property

@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.sim``."""
+
+from repro.sim.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,866 @@
+"""Seeded TQuel workload generation.
+
+A workload is a deterministic sequence of statement ASTs over randomly
+generated schemas: ``create``/``range``/``append``/``delete``/``replace``/
+``retrieve`` (with ``valid``/``when``/``as of`` clauses, aggregates,
+multi-variable joins, ``into``, ``unique``, ``coalesced``), plus the DDL
+around them (``index``, ``vacuum``, ``destroy``).  Statements are valid by
+construction -- clause/type compatibility follows the relation's database
+type -- except for a small weighted fraction of *error probes*: statements
+built to be rejected, exercising the harness's "both sides must refuse"
+agreement.
+
+Determinism: the same ``(seed, db_type, ops, profile)`` produces the same
+statement list on every run and in every process -- the RNG is seeded with
+a string (hashed stably since Python 3.2) and nothing reads the wall
+clock.
+
+Two self-imposed restrictions keep workloads engine-order-independent
+(results must not depend on scan order, which varies across access
+methods):
+
+* ``replace`` assignments reference only the target variable and
+  constants (the engine evaluates them against the first qualifying join
+  combination, whose identity is scan-order-dependent);
+* ``valid`` clauses in update statements are built from temporal
+  constants.
+"""
+
+from __future__ import annotations
+
+import calendar
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.tquel import ast
+
+DB_TYPES = ("static", "rollback", "historical", "temporal")
+
+# 1980-03-01 00:00:00 UTC -- the benchmark data's epoch neighbourhood.
+DEFAULT_CLOCK_START = calendar.timegm((1980, 3, 1, 0, 0, 0, 0, 1, 0))
+DEFAULT_CLOCK_TICK = 3600
+
+_STRINGS = ("red", "blue", "green", "amber", "cyan", "onyx", "teal", "rust")
+
+# Statement-kind weights per grammar profile.
+PROFILES = {
+    "mixed": {
+        "retrieve": 34,
+        "append": 22,
+        "replace": 10,
+        "delete": 7,
+        "create": 3,
+        "destroy": 2,
+        "index": 3,
+        "vacuum": 3,
+        "range": 4,
+        "probe": 6,
+    },
+    "query": {
+        "retrieve": 60,
+        "append": 14,
+        "replace": 4,
+        "delete": 2,
+        "create": 2,
+        "destroy": 1,
+        "index": 4,
+        "vacuum": 2,
+        "range": 5,
+        "probe": 6,
+    },
+    "update": {
+        "retrieve": 14,
+        "append": 32,
+        "replace": 20,
+        "delete": 12,
+        "create": 4,
+        "destroy": 3,
+        "index": 2,
+        "vacuum": 4,
+        "range": 3,
+        "probe": 6,
+    },
+}
+
+
+@dataclass
+class Workload:
+    """One generated statement sequence plus the clock it assumes."""
+
+    seed: int
+    db_type: str
+    profile: str
+    ops: int
+    clock_start: int
+    clock_tick: int
+    statements: "list[object]" = field(default_factory=list)
+
+
+@dataclass
+class _Rel:
+    name: str
+    columns: "list[tuple[str, str]]"  # (attr, class) class in {i, s, t}
+    kind: "str | None"
+    persistent: bool
+    vars: "list[str]" = field(default_factory=list)
+    rows: int = 0  # rough stored-version estimate, for size control
+
+    @property
+    def has_valid(self) -> bool:
+        return self.kind is not None
+
+    def attrs(self, klass: "str | None" = None) -> "list[str]":
+        return [
+            name
+            for name, k in self.columns
+            if klass is None or k == klass
+        ]
+
+    def implicit(self) -> "list[str]":
+        names = []
+        if self.persistent:
+            names += ["transaction_start", "transaction_stop"]
+        if self.kind == "interval":
+            names += ["valid_from", "valid_to"]
+        elif self.kind == "event":
+            names += ["valid_at"]
+        return names
+
+
+def _iso(chronon: int) -> str:
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(chronon))
+
+
+class WorkloadGenerator:
+    """Builds one :class:`Workload` from a seed."""
+
+    def __init__(
+        self,
+        seed: int,
+        db_type: str,
+        ops: int = 200,
+        profile: str = "mixed",
+        clock_start: int = DEFAULT_CLOCK_START,
+        clock_tick: int = DEFAULT_CLOCK_TICK,
+    ):
+        if db_type not in DB_TYPES:
+            raise ValueError(f"unknown database type {db_type!r}")
+        if profile not in PROFILES:
+            raise ValueError(f"unknown profile {profile!r}")
+        self.rng = random.Random(f"repro.sim/{seed}/{db_type}/{ops}/{profile}")
+        self.seed = seed
+        self.db_type = db_type
+        self.ops = ops
+        self.profile = profile
+        self.clock_start = clock_start
+        self.clock_tick = clock_tick
+        self.persistent = db_type in ("rollback", "temporal")
+        self.timed = db_type in ("historical", "temporal")
+        self.rels: "dict[str, _Rel]" = {}
+        self.ranges: "dict[str, str]" = {}
+        self.next_rel = 0
+        self.next_var = 0
+        self.next_index = 0
+        self.next_into = 0
+        self.statements: "list[object]" = []
+
+    # -- small helpers -----------------------------------------------------
+
+    def _chronon(self) -> int:
+        """A palette chronon near the workload's clock window."""
+        hours = self.rng.randint(-24, self.ops + 48)
+        return self.clock_start + hours * 3600
+
+    def _temp_const(self, symbolic_ok: bool = True) -> ast.TempConst:
+        if symbolic_ok and self.rng.random() < 0.2:
+            return ast.TempConst(
+                self.rng.choice(("now", "forever", "beginning"))
+            )
+        return ast.TempConst(_iso(self._chronon()))
+
+    def _alive(self) -> "list[_Rel]":
+        return list(self.rels.values())
+
+    def _pick_rel(self) -> "_Rel | None":
+        alive = self._alive()
+        return self.rng.choice(alive) if alive else None
+
+    def _var_for(self, rel: _Rel) -> str:
+        """A range variable over *rel*, declaring one if necessary."""
+        if rel.vars and self.rng.random() < 0.85:
+            return self.rng.choice(rel.vars)
+        var = f"x{self.next_var}"
+        self.next_var += 1
+        self.statements.append(ast.RangeStmt(var=var, relation=rel.name))
+        rel.vars.append(var)
+        self.ranges[var] = rel.name
+        return var
+
+    # -- expression builders -----------------------------------------------
+
+    def _int_value(self, rel: _Rel, var: str, small: bool = True):
+        """An integer-valued scalar expression over *var*."""
+        roll = self.rng.random()
+        ints = rel.attrs("i")
+        if roll < 0.5 or not ints:
+            return ast.Const(self.rng.randint(0, 100))
+        attr = ast.Attr(var=var, name=self.rng.choice(ints))
+        if roll < 0.75:
+            return attr
+        # Bounded arithmetic: values stay far inside the i4 range even
+        # after hundreds of replace iterations.
+        op = self.rng.choice(("+", "-", "/"))
+        const = ast.Const(
+            self.rng.randint(1, 9) if op == "/" else self.rng.randint(0, 100)
+        )
+        return ast.BinOp(op=op, left=attr, right=const)
+
+    def _str_value(self):
+        return ast.Const(self.rng.choice(_STRINGS))
+
+    def _comparison(self, rels_vars: "list[tuple[_Rel, str]]"):
+        """One comparison conjunct over the given (relation, var) pairs."""
+        op = self.rng.choice(("=", "!=", "<", "<=", ">", ">="))
+        rel, var = self.rng.choice(rels_vars)
+        if self.rng.random() < 0.25 and rel.attrs("s"):
+            left = ast.Attr(var=var, name=self.rng.choice(rel.attrs("s")))
+            if self.rng.random() < 0.3:
+                rel2, var2 = self.rng.choice(rels_vars)
+                if rel2.attrs("s"):
+                    return ast.Compare(
+                        op=op,
+                        left=left,
+                        right=ast.Attr(
+                            var=var2, name=self.rng.choice(rel2.attrs("s"))
+                        ),
+                    )
+            return ast.Compare(op=op, left=left, right=self._str_value())
+        pool = rel.attrs("i") + (
+            rel.implicit() if self.rng.random() < 0.12 else []
+        ) + rel.attrs("t")
+        if not pool:
+            return ast.Compare(
+                op=op, left=ast.Const(1), right=ast.Const(1)
+            )
+        name = self.rng.choice(pool)
+        left = ast.Attr(var=var, name=name)
+        timeish = name not in {n for n in rel.attrs("i")}
+        if self.rng.random() < 0.4 and len(rels_vars) > 1:
+            rel2, var2 = self.rng.choice(rels_vars)
+            if rel2.attrs("i") and not timeish:
+                return ast.Compare(
+                    op=op,
+                    left=left,
+                    right=ast.Attr(
+                        var=var2, name=self.rng.choice(rel2.attrs("i"))
+                    ),
+                )
+        right = (
+            ast.Const(self._chronon())
+            if timeish
+            else self._int_value(rel, var)
+        )
+        return ast.Compare(op=op, left=left, right=right)
+
+    def _where(self, rels_vars):
+        conjuncts = [
+            self._comparison(rels_vars)
+            for _ in range(self.rng.randint(1, 3))
+        ]
+        if len(conjuncts) == 1:
+            node = conjuncts[0]
+        else:
+            op = "and" if self.rng.random() < 0.75 else "or"
+            node = ast.BoolOp(op=op, operands=tuple(conjuncts))
+        if self.rng.random() < 0.1:
+            node = ast.NotOp(operand=node)
+        return node
+
+    def _temporal_operand(self, valid_vars: "list[str]"):
+        roll = self.rng.random()
+        if roll < 0.45:
+            return ast.TempVar(var=self.rng.choice(valid_vars))
+        if roll < 0.7:
+            return self._temp_const()
+        if roll < 0.85:
+            return ast.TempEdge(
+                which=self.rng.choice(("start", "end")),
+                operand=ast.TempVar(var=self.rng.choice(valid_vars)),
+            )
+        return ast.TempBin(
+            op=self.rng.choice(("overlap", "extend")),
+            left=ast.TempVar(var=self.rng.choice(valid_vars)),
+            right=self._temp_const(),
+        )
+
+    def _when(self, valid_vars: "list[str]"):
+        predicates = []
+        for _ in range(self.rng.randint(1, 2)):
+            left = self._temporal_operand(valid_vars)
+            right = self._temporal_operand(valid_vars)
+            predicates.append(
+                ast.TempBin(
+                    op="overlap" if self.rng.random() < 0.7 else "precede",
+                    left=left,
+                    right=right,
+                )
+            )
+        if len(predicates) == 1:
+            node = predicates[0]
+        else:
+            node = ast.BoolOp(
+                op="and" if self.rng.random() < 0.8 else "or",
+                operands=tuple(predicates),
+            )
+        if self.rng.random() < 0.08:
+            node = ast.NotOp(operand=node)
+        return node
+
+    def _as_of(self) -> ast.AsOfClause:
+        t1 = self._chronon()
+        if self.rng.random() < 0.35:
+            t2 = t1 + self.rng.randint(0, 200) * 3600
+            return ast.AsOfClause(
+                at=ast.TempConst(_iso(t1)), through=ast.TempConst(_iso(t2))
+            )
+        if self.rng.random() < 0.25:
+            return ast.AsOfClause(at=ast.TempConst("now"))
+        return ast.AsOfClause(at=ast.TempConst(_iso(t1)))
+
+    def _valid_update(self, rel: _Rel) -> "ast.ValidClause | None":
+        """A constant valid clause matching *rel*'s shape."""
+        if rel.kind == "event":
+            return ast.ValidClause(at=self._temp_const(symbolic_ok=False))
+        t1 = self._chronon()
+        t2 = t1 + self.rng.randint(1, 400) * 3600
+        return ast.ValidClause(
+            from_=ast.TempConst(_iso(t1)),
+            to=(
+                ast.TempConst("forever")
+                if self.rng.random() < 0.3
+                else ast.TempConst(_iso(t2))
+            ),
+        )
+
+    # -- clause bundles ----------------------------------------------------
+
+    def _query_clauses(self, rels_vars):
+        """(where, when, as_of) for the participating variables."""
+        where = (
+            self._where(rels_vars) if self.rng.random() < 0.75 else None
+        )
+        valid_vars = [
+            var for rel, var in rels_vars if rel.has_valid
+        ]
+        when = (
+            self._when(valid_vars)
+            if valid_vars and self.rng.random() < 0.4
+            else None
+        )
+        any_tx = any(rel.persistent for rel, _ in rels_vars)
+        as_of = (
+            self._as_of() if any_tx and self.rng.random() < 0.3 else None
+        )
+        return where, when, as_of
+
+    # -- statements --------------------------------------------------------
+
+    def _emit_create(self) -> None:
+        name = f"r{self.next_rel}"
+        self.next_rel += 1
+        columns = [("id", "i4")]
+        for i in range(self.rng.randint(1, 3)):
+            if self.rng.random() < 0.6:
+                columns.append((f"a{i}", "i4"))
+            else:
+                columns.append((f"s{i}", "c12"))
+        kind = None
+        if self.timed:
+            kind = "event" if self.rng.random() < 0.25 else "interval"
+        self.statements.append(
+            ast.CreateStmt(
+                relation=name,
+                columns=tuple(columns),
+                persistent=self.persistent,
+                kind=kind,
+            )
+        )
+        rel = _Rel(
+            name=name,
+            columns=[
+                (col, "s" if text.startswith("c") else "i")
+                for col, text in columns
+            ],
+            kind=kind,
+            persistent=self.persistent,
+        )
+        self.rels[name] = rel
+        self._var_for(rel)
+
+    def _emit_append(self) -> None:
+        rel = self._pick_rel()
+        if rel is None or rel.rows > 260:
+            return self._emit_retrieve()
+        join_rel = None
+        if self.rng.random() < 0.2:
+            join_rel = self._pick_rel()
+            if join_rel is not None and (
+                join_rel.rows > 60 or join_rel.rows == 0
+            ):
+                join_rel = None
+        targets = []
+        for name, klass in rel.columns:
+            if self.rng.random() < 0.2 and name != "id":
+                continue  # unassigned: defaults to "" / 0
+            if klass == "s":
+                expr = self._str_value()
+            elif join_rel is not None and self.rng.random() < 0.5:
+                var = self._var_for(join_rel)
+                expr = self._int_value(join_rel, var)
+            else:
+                expr = ast.Const(self.rng.randint(0, 100))
+            targets.append(ast.TargetItem(name=name, expr=expr))
+        if not targets:
+            targets.append(
+                ast.TargetItem(name="id", expr=ast.Const(self.rng.randint(0, 100)))
+            )
+        where = when = as_of = None
+        if join_rel is not None:
+            var = join_rel.vars[-1] if join_rel.vars else self._var_for(join_rel)
+            where, when, as_of = self._query_clauses([(join_rel, var)])
+        valid = None
+        if rel.has_valid and self.rng.random() < 0.45:
+            valid = self._valid_update(rel)
+        self.statements.append(
+            ast.AppendStmt(
+                relation=rel.name,
+                targets=tuple(targets),
+                valid=valid,
+                where=where,
+                when=when,
+                as_of=as_of,
+            )
+        )
+        rel.rows += max(1, join_rel.rows if join_rel is not None else 1)
+
+    def _emit_delete(self) -> None:
+        rel = self._pick_rel()
+        if rel is None:
+            return self._emit_create()
+        var = self._var_for(rel)
+        rels_vars = [(rel, var)]
+        if self.rng.random() < 0.15:
+            other = self._pick_rel()
+            if other is not None and other.rows <= 80:
+                rels_vars.append((other, self._var_for(other)))
+        where, when, as_of = self._query_clauses(rels_vars)
+        self.statements.append(
+            ast.DeleteStmt(var=var, where=where, when=when, as_of=as_of)
+        )
+        rel.rows += 1 if (rel.persistent or rel.has_valid) else 0
+
+    def _emit_replace(self) -> None:
+        rel = self._pick_rel()
+        if rel is None:
+            return self._emit_create()
+        var = self._var_for(rel)
+        targets = []
+        names = self.rng.sample(
+            [n for n, _ in rel.columns],
+            k=min(len(rel.columns), self.rng.randint(1, 2)),
+        )
+        for name in names:
+            klass = dict(rel.columns)[name]
+            if klass == "s":
+                expr = self._str_value()
+            else:
+                # Only the target variable and constants: see module
+                # docstring (scan-order independence).
+                expr = self._int_value(rel, var)
+            targets.append(ast.TargetItem(name=name, expr=expr))
+        rels_vars = [(rel, var)]
+        if self.rng.random() < 0.12:
+            other = self._pick_rel()
+            if other is not None and other.rows <= 80:
+                rels_vars.append((other, self._var_for(other)))
+        where, when, as_of = self._query_clauses(rels_vars)
+        valid = None
+        if rel.has_valid and self.rng.random() < 0.3:
+            valid = self._valid_update(rel)
+        self.statements.append(
+            ast.ReplaceStmt(
+                var=var,
+                targets=tuple(targets),
+                valid=valid,
+                where=where,
+                when=when,
+                as_of=as_of,
+            )
+        )
+        rel.rows += 2 if (rel.persistent or rel.has_valid) else 0
+
+    def _retrieve_targets(self, rels_vars, named: bool):
+        targets = []
+        for i in range(self.rng.randint(1, 3)):
+            rel, var = self.rng.choice(rels_vars)
+            roll = self.rng.random()
+            if roll < 0.6:
+                pool = [n for n, _ in rel.columns]
+                if self.rng.random() < 0.15:
+                    pool = pool + rel.implicit()
+                expr = ast.Attr(var=var, name=self.rng.choice(pool))
+            elif roll < 0.8 and rel.attrs("i"):
+                expr = ast.BinOp(
+                    op=self.rng.choice(("+", "-", "*")),
+                    left=ast.Attr(
+                        var=var, name=self.rng.choice(rel.attrs("i"))
+                    ),
+                    right=ast.Const(self.rng.randint(1, 20)),
+                )
+            else:
+                expr = ast.Const(self.rng.randint(0, 100))
+            name = f"c{i}" if named or self.rng.random() < 0.3 else None
+            targets.append(ast.TargetItem(name=name, expr=expr))
+        return targets
+
+    def _emit_retrieve(self) -> None:
+        alive = self._alive()
+        if not alive:
+            return self._emit_create()
+        rel = self.rng.choice(alive)
+        rels_vars = [(rel, self._var_for(rel))]
+        if self.rng.random() < 0.3:
+            other = self.rng.choice(alive)
+            if rel.rows * max(other.rows, 1) <= 30000:
+                other_var = self._var_for(other)
+                if other_var != rels_vars[0][1]:
+                    rels_vars.append((other, other_var))
+        where, when, as_of = self._query_clauses(rels_vars)
+
+        if self.rng.random() < 0.18:
+            return self._emit_aggregate(rels_vars, where, when, as_of)
+
+        valid = None
+        any_valid = any(r.has_valid for r, _ in rels_vars)
+        if any_valid and self.rng.random() < 0.2:
+            if self.rng.random() < 0.4:
+                valid = ast.ValidClause(at=self._temp_const())
+            else:
+                valid = ast.ValidClause(
+                    from_=self._temp_const(), to=self._temp_const()
+                )
+        into = None
+        named = False
+        if self.rng.random() < 0.12:
+            into = f"t{self.next_into}"
+            self.next_into += 1
+            named = True
+        targets = self._retrieve_targets(rels_vars, named)
+        if into is not None:
+            # Into-relations only store plain attribute targets: copied
+            # column types round-trip exactly (arithmetic targets would
+            # store as f8 and come back as floats).
+            targets = [
+                item
+                for item in targets
+                if isinstance(item.expr, ast.Attr)
+            ]
+            if not targets:
+                targets = [
+                    ast.TargetItem(
+                        name="c0",
+                        expr=ast.Attr(var=rels_vars[0][1], name="id"),
+                    )
+                ]
+        unique = self.rng.random() < 0.12
+        interval_result = valid is not None and valid.at is None or (
+            valid is None and any_valid
+        )
+        coalesced = interval_result and self.rng.random() < 0.12
+        self.statements.append(
+            ast.RetrieveStmt(
+                targets=tuple(targets),
+                into=into,
+                unique=unique,
+                coalesced=coalesced,
+                valid=valid,
+                where=where,
+                when=when,
+                as_of=as_of,
+            )
+        )
+        if into is not None:
+            mode = None
+            if valid is not None:
+                mode = "event" if valid.at is not None else "interval"
+            elif any_valid:
+                mode = "interval"
+            columns = []
+            for item in targets:
+                owner = next(
+                    r for r, v in rels_vars if v == item.expr.var
+                )
+                klass = dict(owner.columns).get(item.expr.name, "t")
+                columns.append((item.name, klass))
+            self.rels[into] = _Rel(
+                name=into,
+                columns=columns,
+                kind=mode,
+                persistent=False,
+                rows=20,
+            )
+
+    def _emit_aggregate(self, rels_vars, where, when, as_of) -> None:
+        rel, var = self.rng.choice(rels_vars)
+        ints = rel.attrs("i")
+        if not ints:
+            # Into-relations can lack integer columns; any column keeps
+            # count() meaningful and sum() numeric for chronon classes.
+            ints = [name for name, _ in rel.columns]
+        operand = ast.Attr(var=var, name=self.rng.choice(ints))
+        if self.rng.random() < 0.55:
+            by = ()
+            funcs = ("count", "sum")
+        else:
+            by_rel, by_var = self.rng.choice(rels_vars)
+            pool = by_rel.attrs("i") + by_rel.attrs("s")
+            if not pool:
+                pool = [name for name, _ in by_rel.columns]
+            by = (ast.Attr(var=by_var, name=self.rng.choice(pool)),)
+            funcs = ("count", "sum", "avg", "min", "max")
+        aggregates = [
+            ast.TargetItem(
+                name=None,
+                expr=ast.Aggregate(
+                    func=self.rng.choice(funcs), operand=operand, by=by
+                ),
+            )
+            for _ in range(self.rng.randint(1, 2))
+        ]
+        plain = [ast.TargetItem(name=None, expr=expr) for expr in by]
+        targets = aggregates + plain
+        self.rng.shuffle(targets)
+        self.statements.append(
+            ast.RetrieveStmt(
+                targets=tuple(targets),
+                where=where,
+                when=when,
+                as_of=as_of,
+            )
+        )
+
+    def _emit_index(self) -> None:
+        rel = self._pick_rel()
+        if rel is None:
+            return self._emit_create()
+        name = f"ix{self.next_index}"
+        self.next_index += 1
+        attr = self.rng.choice([n for n, _ in rel.columns])
+        options = []
+        if self.rng.random() < 0.3:
+            options.append(("structure", self.rng.choice(("hash", "heap"))))
+        if self.rng.random() < 0.4 and (rel.persistent or rel.has_valid):
+            options.append(("levels", 2))
+        self.statements.append(
+            ast.IndexStmt(
+                relation=rel.name,
+                index_name=name,
+                attribute=attr,
+                options=tuple(options),
+            )
+        )
+
+    def _emit_vacuum(self) -> None:
+        rel = self._pick_rel()
+        if rel is None or not rel.persistent:
+            return self._emit_retrieve()
+        cutoff = (
+            ast.TempConst("beginning")
+            if self.rng.random() < 0.3
+            else ast.TempConst(_iso(self._chronon()))
+        )
+        self.statements.append(
+            ast.VacuumStmt(relation=rel.name, before=cutoff)
+        )
+
+    def _emit_destroy(self) -> None:
+        if len(self.rels) <= 1:
+            return self._emit_create()
+        rel = self._pick_rel()
+        self.statements.append(ast.DestroyStmt(relations=(rel.name,)))
+        del self.rels[rel.name]
+        self.ranges = {
+            var: name for var, name in self.ranges.items()
+            if name != rel.name
+        }
+        self._emit_create()
+
+    def _emit_range(self) -> None:
+        rel = self._pick_rel()
+        if rel is None:
+            return self._emit_create()
+        var = f"x{self.next_var}"
+        self.next_var += 1
+        self.statements.append(ast.RangeStmt(var=var, relation=rel.name))
+        rel.vars.append(var)
+        self.ranges[var] = rel.name
+
+    def _emit_probe(self) -> None:
+        """A statement built to be rejected -- by both sides."""
+        rel = self._pick_rel()
+        if rel is None:
+            return self._emit_create()
+        var = self._var_for(rel)
+        choices = ["unknown_attr", "unknown_range", "dup_create"]
+        if rel.attrs("s") and rel.attrs("i"):
+            choices.append("type_mix")
+        if not rel.has_valid:
+            choices += ["when_on_snapshot", "valid_on_snapshot"]
+        if not rel.persistent:
+            choices.append("asof_without_tx")
+        kind = self.rng.choice(choices)
+        if kind == "unknown_attr":
+            stmt = ast.RetrieveStmt(
+                targets=(
+                    ast.TargetItem(
+                        name=None, expr=ast.Attr(var=var, name="zz")
+                    ),
+                ),
+            )
+        elif kind == "unknown_range":
+            stmt = ast.RetrieveStmt(
+                targets=(
+                    ast.TargetItem(
+                        name=None, expr=ast.Attr(var="zv", name="id")
+                    ),
+                ),
+            )
+        elif kind == "dup_create":
+            stmt = ast.CreateStmt(
+                relation=rel.name, columns=(("id", "i4"),)
+            )
+        elif kind == "type_mix":
+            stmt = ast.RetrieveStmt(
+                targets=(
+                    ast.TargetItem(
+                        name=None, expr=ast.Attr(var=var, name="id")
+                    ),
+                ),
+                where=ast.Compare(
+                    op="=",
+                    left=ast.Attr(var=var, name=rel.attrs("s")[0]),
+                    right=ast.Const(1),
+                ),
+            )
+        elif kind == "when_on_snapshot":
+            stmt = ast.RetrieveStmt(
+                targets=(
+                    ast.TargetItem(
+                        name=None, expr=ast.Attr(var=var, name="id")
+                    ),
+                ),
+                when=ast.TempBin(
+                    op="overlap",
+                    left=ast.TempVar(var=var),
+                    right=ast.TempConst("now"),
+                ),
+            )
+        elif kind == "valid_on_snapshot":
+            stmt = ast.AppendStmt(
+                relation=rel.name,
+                targets=(
+                    ast.TargetItem(name="id", expr=ast.Const(1)),
+                ),
+                valid=ast.ValidClause(
+                    from_=ast.TempConst("beginning"),
+                    to=ast.TempConst("forever"),
+                ),
+            )
+        else:  # asof_without_tx
+            stmt = ast.RetrieveStmt(
+                targets=(
+                    ast.TargetItem(
+                        name=None, expr=ast.Attr(var=var, name="id")
+                    ),
+                ),
+                as_of=ast.AsOfClause(at=ast.TempConst("now")),
+            )
+        self.statements.append(stmt)
+
+    # -- driver ------------------------------------------------------------
+
+    def generate(self) -> Workload:
+        emitters = {
+            "retrieve": self._emit_retrieve,
+            "append": self._emit_append,
+            "replace": self._emit_replace,
+            "delete": self._emit_delete,
+            "create": self._emit_create,
+            "destroy": self._emit_destroy,
+            "index": self._emit_index,
+            "vacuum": self._emit_vacuum,
+            "range": self._emit_range,
+            "probe": self._emit_probe,
+        }
+        weights = PROFILES[self.profile]
+        kinds = list(weights)
+        totals = [weights[k] for k in kinds]
+        self._emit_create()
+        self._emit_create()
+        # Seed every relation with a few rows so early queries see data.
+        for rel in list(self.rels.values()):
+            for _ in range(3):
+                self._emit_seed_append(rel)
+        while len(self.statements) < self.ops:
+            kind = self.rng.choices(kinds, weights=totals, k=1)[0]
+            emitters[kind]()
+        return Workload(
+            seed=self.seed,
+            db_type=self.db_type,
+            profile=self.profile,
+            ops=self.ops,
+            clock_start=self.clock_start,
+            clock_tick=self.clock_tick,
+            statements=self.statements[: max(self.ops, 1)],
+        )
+
+    def _emit_seed_append(self, rel: _Rel) -> None:
+        targets = []
+        for name, klass in rel.columns:
+            expr = (
+                self._str_value()
+                if klass == "s"
+                else ast.Const(self.rng.randint(0, 100))
+            )
+            targets.append(ast.TargetItem(name=name, expr=expr))
+        valid = None
+        if rel.has_valid and self.rng.random() < 0.5:
+            valid = self._valid_update(rel)
+        self.statements.append(
+            ast.AppendStmt(
+                relation=rel.name, targets=tuple(targets), valid=valid
+            )
+        )
+        rel.rows += 1
+
+
+def generate_workload(
+    seed: int,
+    db_type: "str | None" = None,
+    ops: int = 200,
+    profile: str = "mixed",
+    clock_start: int = DEFAULT_CLOCK_START,
+    clock_tick: int = DEFAULT_CLOCK_TICK,
+) -> Workload:
+    """Generate the workload for *seed* (db type rotates by seed if None)."""
+    if db_type is None:
+        db_type = DB_TYPES[(seed - 1) % len(DB_TYPES)]
+    return WorkloadGenerator(
+        seed,
+        db_type,
+        ops=ops,
+        profile=profile,
+        clock_start=clock_start,
+        clock_tick=clock_tick,
+    ).generate()

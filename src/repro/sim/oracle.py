@@ -1,0 +1,1483 @@
+"""An independent in-memory oracle for TQuel's temporal semantics.
+
+The oracle is the reference half of the differential harness: it executes
+the same statements as :mod:`repro.engine` but is implemented directly from
+the paper's definitions (Ahn & Snodgrass, Section 4) with none of the
+engine's machinery -- no pages, no buffer pools, no access methods, no
+batch kernels.  A relation is a plain list of full-width version tuples;
+every query is a nested loop over those lists.  The only code shared with
+the engine is the language definition itself (:mod:`repro.tquel.ast`):
+temporal arithmetic, version semantics, visibility rules and even date
+parsing are reimplemented here from scratch, so a bug in the engine's
+implementation of the paper cannot cancel itself out in the comparison.
+
+Semantics implemented (the four database types of Figure 1):
+
+* **static** -- in-place update, physical deletion;
+* **rollback** -- ``append`` opens a version ``[now, forever)`` in
+  transaction time, ``delete`` stamps ``transaction_stop``, ``replace``
+  stamps the old version and inserts one new version; ``as of`` selects
+  the versions whose transaction period overlaps the as-of event;
+* **historical** -- the same scheme over ``valid_from``/``valid_to``
+  (or ``valid_at`` for event relations), with the ``valid`` clause
+  overriding the defaults; deleting a fact that never held removes it;
+* **temporal** -- both axes; a ``replace`` of a fact that has held
+  inserts *two* new versions (the closing version and the replacement),
+  per the paper.
+
+Errors are reported by raising :class:`OracleError`; the harness treats
+"both sides rejected the statement" as agreement, so the oracle mirrors
+the engine's semantic checks (unknown names, type mixing, clause/type
+compatibility) without caring about exact messages.
+"""
+
+from __future__ import annotations
+
+import calendar
+import re
+from dataclasses import dataclass, field
+
+from repro.tquel import ast
+
+FOREVER = 2**31 - 1
+BEGINNING = 0
+
+_STRING = "string"
+_NUMERIC = "numeric"
+
+_IMPLICIT = (
+    "transaction_start",
+    "transaction_stop",
+    "valid_from",
+    "valid_to",
+    "valid_at",
+)
+
+_SYSTEM_RELATIONS = ("relations", "attributes")
+
+_STRUCTURES = ("heap", "hash", "isam", "btree", "twolevel")
+
+
+class OracleError(Exception):
+    """The oracle rejected a statement (semantic or execution error)."""
+
+
+# -- chronons and periods --------------------------------------------------
+#
+# A period is a plain ``(start, stop)`` tuple, half-open, one-second
+# resolution; ``None`` denotes the empty period and propagates through
+# the operators exactly as TQuel prescribes.
+
+
+def _check_chronon(value: int) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise OracleError(f"chronon must be an int, got {value!r}")
+    if not BEGINNING <= value <= FOREVER:
+        raise OracleError(f"chronon {value} out of range")
+    return value
+
+
+def _event(at: int) -> "tuple[int, int]":
+    """The degenerate period holding the single chronon *at*.
+
+    The event "at forever" is pinned to the last representable chronon so
+    the half-open encoding stays well-formed.
+    """
+    _check_chronon(at)
+    if at == FOREVER:
+        return (FOREVER - 1, FOREVER)
+    return (at, at + 1)
+
+
+def _stored_period(start: int, stop: int) -> "tuple[int, int]":
+    """A stored ``[start, stop)`` pair read back as a period.
+
+    A version stamped out in the chronon it was created is degenerate in
+    storage; it reads as the event at its start.
+    """
+    if stop > start:
+        return (start, stop)
+    return _event(start)
+
+
+def _intersect(a, b):
+    start = max(a[0], b[0])
+    stop = min(a[1], b[1])
+    if stop <= start:
+        return None
+    return (start, stop)
+
+
+def _span(a, b):
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def _overlaps(a, b) -> bool:
+    return a[0] < b[1] and b[0] < a[1]
+
+
+def _precedes(a, b) -> bool:
+    # The last chronon of *a* is not after the first chronon of *b*.
+    return a[1] - 1 <= b[0]
+
+
+def _start_event(p):
+    return _event(p[0])
+
+
+def _end_event(p):
+    if p[1] == FOREVER:
+        return (FOREVER - 1, FOREVER)
+    return _event(p[1] - 1)
+
+
+# -- date parsing ----------------------------------------------------------
+
+_DATE_SLASH = re.compile(r"^(\d{1,2})/(\d{1,2})/(\d{2}|\d{4})$")
+_DATE_ISO = re.compile(r"^(\d{4})-(\d{1,2})-(\d{1,2})$")
+_YEAR = re.compile(r"^(\d{3,4})$")
+_TIME = re.compile(r"^(\d{1,2}):(\d{2})(?::(\d{2}))?$")
+
+
+def _date_seconds(year: int, month: int, day: int) -> int:
+    if not 1 <= month <= 12:
+        raise OracleError(f"month out of range: {year}-{month}-{day}")
+    if not 1 <= day <= calendar.monthrange(year, month)[1]:
+        raise OracleError(f"day out of range: {year}-{month}-{day}")
+    return calendar.timegm((year, month, day, 0, 0, 0, 0, 1, 0))
+
+
+def _parse_date(text: str) -> "int | None":
+    match = _DATE_SLASH.match(text)
+    if match:
+        month, day, year = (int(g) for g in match.groups())
+        if year < 100:
+            year += 1900
+        return _date_seconds(year, month, day)
+    match = _DATE_ISO.match(text)
+    if match:
+        year, month, day = (int(g) for g in match.groups())
+        return _date_seconds(year, month, day)
+    match = _YEAR.match(text)
+    if match:
+        return _date_seconds(int(match.group(1)), 1, 1)
+    return None
+
+
+def _parse_time(text: str) -> "int | None":
+    match = _TIME.match(text)
+    if not match:
+        return None
+    hour, minute, second = (int(g) if g else 0 for g in match.groups())
+    if hour > 23 or minute > 59 or second > 59:
+        raise OracleError(f"time of day out of range: {text!r}")
+    return hour * 3600 + minute * 60 + second
+
+
+def parse_chronon(text: str, now: "int | None" = None) -> int:
+    """Parse a temporal constant, independently of the engine's parser.
+
+    Supports the symbolic constants plus the ISO, ``M/D/YY`` and bare-year
+    forms the workload generator and the seed corpus use.
+    """
+    stripped = text.strip()
+    lowered = stripped.lower()
+    if lowered == "now":
+        if now is None:
+            raise OracleError('"now" needs a clock')
+        return now
+    if lowered == "forever":
+        return FOREVER
+    if lowered == "beginning":
+        return BEGINNING
+    for separator in (" ", "T"):
+        if separator in stripped:
+            left, _, right = stripped.partition(separator)
+            left, right = left.strip(), right.strip()
+            time_part = _parse_time(left)
+            date_part = _parse_date(right)
+            if time_part is not None and date_part is not None:
+                return _check_chronon(date_part + time_part)
+            date_part = _parse_date(left)
+            time_part = _parse_time(right)
+            if time_part is not None and date_part is not None:
+                return _check_chronon(date_part + time_part)
+    date_part = _parse_date(stripped)
+    if date_part is not None:
+        return _check_chronon(date_part)
+    raise OracleError(f"unrecognized date/time string: {text!r}")
+
+
+# -- relations -------------------------------------------------------------
+
+
+@dataclass
+class OracleRelation:
+    """One relation: a schema plus a flat list of version tuples.
+
+    A stored version is a tuple of the user values followed by the
+    implicit time attributes in the engine's layout: transaction
+    start/stop when the relation is persistent, then valid from/to (or
+    valid at) when it is timed.
+    """
+
+    name: str
+    user_columns: "list[tuple[str, str]]"  # (name, class) class in {i,f,s,t}
+    persistent: bool = False
+    kind: "str | None" = None  # None (snapshot) | "interval" | "event"
+    versions: "list[tuple]" = field(default_factory=list)
+    key: "str | None" = None
+    structure: str = "heap"
+    indexes: "dict[str, str]" = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.name or not self.name[0].isalpha():
+            raise OracleError(f"bad relation name {self.name!r}")
+        if not self.user_columns:
+            raise OracleError(f"{self.name}: a relation needs attributes")
+        names = [name for name, _ in self.user_columns]
+        if len(set(names)) != len(names):
+            raise OracleError(f"{self.name}: duplicate attribute")
+        for name in names:
+            if name in _IMPLICIT:
+                raise OracleError(
+                    f"{self.name}: {name!r} is a reserved attribute"
+                )
+        columns = list(names)
+        if self.persistent:
+            columns += ["transaction_start", "transaction_stop"]
+        if self.kind == "interval":
+            columns += ["valid_from", "valid_to"]
+        elif self.kind == "event":
+            columns += ["valid_at"]
+        self.columns = columns
+        self.positions = {name: i for i, name in enumerate(columns)}
+
+    # -- schema views ------------------------------------------------------
+
+    @property
+    def has_tx(self) -> bool:
+        return self.persistent
+
+    @property
+    def has_valid(self) -> bool:
+        return self.kind is not None
+
+    @property
+    def is_event(self) -> bool:
+        return self.kind == "event"
+
+    @property
+    def user_count(self) -> int:
+        return len(self.user_columns)
+
+    @property
+    def db_type(self) -> str:
+        if self.persistent and self.kind:
+            return "temporal"
+        if self.persistent:
+            return "rollback"
+        if self.kind:
+            return "historical"
+        return "static"
+
+    def class_of(self, attribute: str) -> str:
+        for name, klass in self.user_columns:
+            if name == attribute:
+                return _STRING if klass == "s" else _NUMERIC
+        if attribute in self.positions:
+            return _NUMERIC  # implicit time attributes
+        raise OracleError(f"{self.name} has no attribute {attribute!r}")
+
+    def int_column(self, attribute: str) -> bool:
+        for name, klass in self.user_columns:
+            if name == attribute:
+                return klass == "i"
+        return False
+
+    # -- temporal views of versions ----------------------------------------
+
+    def valid_period(self, row: tuple):
+        if self.kind == "event":
+            return _event(row[self.positions["valid_at"]])
+        if self.kind == "interval":
+            return _stored_period(
+                row[self.positions["valid_from"]],
+                row[self.positions["valid_to"]],
+            )
+        raise OracleError(f"{self.name} has no valid time")
+
+    def tx_bounds(self, row: tuple):
+        return (
+            row[self.positions["transaction_start"]],
+            row[self.positions["transaction_stop"]],
+        )
+
+    def is_current_transaction(self, row: tuple) -> bool:
+        return row[self.positions["transaction_stop"]] == FOREVER
+
+    def new_version(
+        self,
+        user_values: tuple,
+        now: int,
+        valid_from=None,
+        valid_to=None,
+        valid_at=None,
+    ) -> tuple:
+        row = list(user_values)
+        if self.persistent:
+            row += [now, FOREVER]
+        if self.kind == "event":
+            row.append(valid_at if valid_at is not None else now)
+        elif self.kind == "interval":
+            row.append(valid_from if valid_from is not None else now)
+            row.append(valid_to if valid_to is not None else FOREVER)
+        return tuple(row)
+
+    def with_attribute(self, row: tuple, attribute: str, value) -> tuple:
+        updated = list(row)
+        updated[self.positions[attribute]] = value
+        return tuple(updated)
+
+
+@dataclass
+class OracleResult:
+    """What one statement produced, in the engine's Result shape."""
+
+    kind: str
+    columns: "list[str] | None" = None
+    rows: "list[tuple] | None" = None
+    count: int = 0
+
+
+@dataclass(frozen=True)
+class _ValidSpec:
+    valid_from: "int | None" = None
+    valid_to: "int | None" = None
+    valid_at: "int | None" = None
+
+
+_NO_VALID = _ValidSpec()
+
+
+class Oracle:
+    """Executes TQuel statement ASTs over dict-of-list relations."""
+
+    def __init__(self, start: int = 315532800, tick: int = 1):
+        self.now = _check_chronon(start)
+        self.tick = tick
+        self.relations: "dict[str, OracleRelation]" = {}
+        self.ranges: "dict[str, str]" = {}
+
+    # -- public API --------------------------------------------------------
+
+    def execute(self, stmt) -> OracleResult:
+        """Run one statement AST; raises :class:`OracleError` on rejection.
+
+        The clock advances before every update statement -- even one that
+        subsequently fails -- mirroring the engine's logical clock.
+        """
+        if isinstance(
+            stmt, (ast.AppendStmt, ast.DeleteStmt, ast.ReplaceStmt,
+                   ast.CopyStmt)
+        ):
+            self.now = _check_chronon(self.now + self.tick)
+        if isinstance(stmt, ast.RangeStmt):
+            return self._run_range(stmt)
+        if isinstance(stmt, ast.CreateStmt):
+            return self._run_create(stmt)
+        if isinstance(stmt, ast.DestroyStmt):
+            return self._run_destroy(stmt)
+        if isinstance(stmt, ast.ModifyStmt):
+            return self._run_modify(stmt)
+        if isinstance(stmt, ast.IndexStmt):
+            return self._run_index(stmt)
+        if isinstance(stmt, ast.VacuumStmt):
+            return self._run_vacuum(stmt)
+        if isinstance(stmt, ast.RetrieveStmt):
+            return _Query(self, stmt).run_retrieve()
+        if isinstance(stmt, ast.AppendStmt):
+            return _Query(self, stmt).run_append()
+        if isinstance(stmt, ast.DeleteStmt):
+            return _Query(self, stmt).run_delete()
+        if isinstance(stmt, ast.ReplaceStmt):
+            return _Query(self, stmt).run_replace()
+        raise OracleError(f"oracle cannot execute {type(stmt).__name__}")
+
+    def relation_rows(self, name: str) -> "list[tuple]":
+        """Every stored version of *name* (the state-compare hook)."""
+        return list(self._user_relation(name).versions)
+
+    def relation_names(self) -> "list[str]":
+        return sorted(self.relations)
+
+    # -- DDL ---------------------------------------------------------------
+
+    def _user_relation(self, name: str) -> OracleRelation:
+        if name not in self.relations:
+            raise OracleError(f"relation {name!r} does not exist")
+        return self.relations[name]
+
+    def _run_range(self, stmt: ast.RangeStmt) -> OracleResult:
+        self._user_relation(stmt.relation)
+        self.ranges[stmt.var] = stmt.relation
+        return OracleResult(kind="range")
+
+    def _run_create(self, stmt: ast.CreateStmt) -> OracleResult:
+        if stmt.relation in self.relations or (
+            stmt.relation in _SYSTEM_RELATIONS
+        ):
+            raise OracleError(f"relation {stmt.relation!r} already exists")
+        columns = [
+            (name, _class_from_type(text)) for name, text in stmt.columns
+        ]
+        relation = OracleRelation(
+            stmt.relation,
+            columns,
+            persistent=stmt.persistent,
+            kind=stmt.kind,
+        )
+        self.relations[stmt.relation] = relation
+        return OracleResult(kind="create")
+
+    def _run_destroy(self, stmt: ast.DestroyStmt) -> OracleResult:
+        for name in stmt.relations:
+            self._user_relation(name)
+            del self.relations[name]
+            self.ranges = {
+                var: rel for var, rel in self.ranges.items() if rel != name
+            }
+        return OracleResult(kind="destroy")
+
+    def _run_modify(self, stmt: ast.ModifyStmt) -> OracleResult:
+        relation = self._user_relation(stmt.relation)
+        if stmt.structure not in _STRUCTURES:
+            raise OracleError(f"unknown structure {stmt.structure!r}")
+        if stmt.structure == "twolevel" and not (
+            relation.has_tx or relation.has_valid
+        ):
+            raise OracleError(
+                f"{stmt.relation}: a two-level store needs a versioned "
+                "relation"
+            )
+        options = dict(stmt.options)
+        if str(options.get("primary", "hash")) not in ("hash", "isam"):
+            raise OracleError("two-level primary store must be hash or isam")
+        if str(options.get("history", "simple")) not in (
+            "simple", "clustered"
+        ):
+            raise OracleError("history layout must be simple or clustered")
+        if stmt.structure != "heap" and stmt.key is None:
+            raise OracleError(f"modify to {stmt.structure} requires a key")
+        if stmt.key is not None and stmt.key not in relation.positions:
+            raise OracleError(
+                f"{stmt.relation} has no attribute {stmt.key!r}"
+            )
+        if stmt.structure == "btree" and relation.indexes:
+            raise OracleError(
+                f"{stmt.relation}: drop the secondary indexes before a "
+                "modify to btree"
+            )
+        # The engine rebuilds before rejecting unknown options, so the
+        # structure change survives an unknown-option error.
+        relation.structure = stmt.structure
+        relation.key = stmt.key
+        for option in options:
+            if option not in ("fillfactor", "primary", "history", "zonemap"):
+                raise OracleError(f"unknown modify option {option!r}")
+        return OracleResult(kind="modify")
+
+    def _run_index(self, stmt: ast.IndexStmt) -> OracleResult:
+        relation = self._user_relation(stmt.relation)
+        options = dict(stmt.options)
+        if str(options.get("structure", "hash")) not in ("heap", "hash"):
+            raise OracleError("index structure must be heap or hash")
+        if int(options.get("levels", 1)) not in (1, 2):
+            raise OracleError("index levels must be 1 or 2")
+        if stmt.index_name in relation.indexes:
+            raise OracleError(f"index {stmt.name!r} already exists")
+        if relation.structure == "btree":
+            raise OracleError(
+                f"{stmt.relation}: secondary indexes are not supported on "
+                "B-trees"
+            )
+        if stmt.attribute not in relation.positions:
+            raise OracleError(
+                f"{stmt.relation} has no attribute {stmt.attribute!r}"
+            )
+        # As with modify, the engine registers the index before rejecting
+        # unknown options.
+        relation.indexes[stmt.index_name] = stmt.attribute
+        for option in options:
+            if option not in ("structure", "levels", "fillfactor"):
+                raise OracleError(f"unknown index option {option!r}")
+        return OracleResult(kind="index")
+
+    def _run_vacuum(self, stmt: ast.VacuumStmt) -> OracleResult:
+        if not isinstance(stmt.before, ast.TempConst):
+            raise OracleError("vacuum's cutoff must be a temporal constant")
+        relation = self._user_relation(stmt.relation)
+        if not relation.has_tx:
+            raise OracleError(
+                f"{stmt.relation}: vacuum requires transaction time"
+            )
+        cutoff = parse_chronon(stmt.before.text, self.now)
+        stop = relation.positions["transaction_stop"]
+        kept = [row for row in relation.versions if row[stop] > cutoff]
+        removed = len(relation.versions) - len(kept)
+        relation.versions = kept
+        return OracleResult(kind="vacuum", count=removed)
+
+
+def _class_from_type(text: str) -> str:
+    """Map a ``create`` type string (``i4``, ``c12``, ``f8``) to a class."""
+    letter = text.strip().lower()[:1]
+    if letter not in ("i", "c", "f"):
+        raise OracleError(f"unknown attribute type {text!r}")
+    return "s" if letter == "c" else letter
+
+
+class _Query:
+    """One retrieve/append/delete/replace bound against the oracle."""
+
+    def __init__(self, oracle: Oracle, stmt):
+        self.oracle = oracle
+        self.stmt = stmt
+        self.vars: "dict[str, OracleRelation]" = {}
+        self.var_order: "list[str]" = []
+        self.bindings: "dict[str, tuple]" = {}
+        self.has_aggregates = False
+        if isinstance(stmt, (ast.DeleteStmt, ast.ReplaceStmt)):
+            self.default_var = stmt.var
+        else:
+            self.default_var = None
+
+    # -- binding and static checks (mirrors the analyzer's rules) ---------
+
+    def _declare(self, var: str) -> OracleRelation:
+        if var in self.vars:
+            return self.vars[var]
+        relation_name = self.oracle.ranges.get(var)
+        if relation_name is None:
+            raise OracleError(f"range variable {var!r} is not declared")
+        relation = self.oracle._user_relation(relation_name)
+        self.vars[var] = relation
+        self.var_order.append(var)
+        return relation
+
+    def _resolve_attr(self, node: ast.Attr) -> "tuple[str, OracleRelation]":
+        var = node.var if node.var is not None else self.default_var
+        if var is None:
+            raise OracleError(
+                f"attribute {node.name!r} must be qualified"
+            )
+        relation = self._declare(var)
+        if node.name not in relation.positions:
+            raise OracleError(
+                f"{relation.name} has no attribute {node.name!r}"
+            )
+        return var, relation
+
+    def _check_scalar(self, node, allow_aggregate: bool = False) -> str:
+        """Validate; returns the expression's class (numeric/string/bool)."""
+        if isinstance(node, ast.Aggregate):
+            if not allow_aggregate:
+                raise OracleError(
+                    f"{node.func}() is only allowed as a retrieve target"
+                )
+            inner = self._check_scalar(node.operand)
+            for by_expr in node.by:
+                self._check_scalar(by_expr)
+            self.has_aggregates = True
+            if node.func in ("sum", "avg") and inner != _NUMERIC:
+                raise OracleError(f"{node.func}() needs a numeric operand")
+            if node.func == "count":
+                return _NUMERIC
+            return inner
+        if isinstance(node, ast.Const):
+            return _STRING if isinstance(node.value, str) else _NUMERIC
+        if isinstance(node, ast.Param):
+            raise OracleError("the oracle does not support parameters")
+        if isinstance(node, ast.Attr):
+            _, relation = self._resolve_attr(node)
+            return relation.class_of(node.name)
+        if isinstance(node, ast.UnaryOp):
+            if self._check_scalar(node.operand) != _NUMERIC:
+                raise OracleError("unary minus needs a number")
+            return _NUMERIC
+        if isinstance(node, ast.BinOp):
+            left = self._check_scalar(node.left)
+            right = self._check_scalar(node.right)
+            if left != _NUMERIC or right != _NUMERIC:
+                raise OracleError(f"arithmetic {node.op!r} needs numbers")
+            return _NUMERIC
+        if isinstance(node, ast.Compare):
+            left = self._check_scalar(node.left)
+            right = self._check_scalar(node.right)
+            if left != right:
+                raise OracleError(
+                    f"comparison {node.op!r} mixes a string and a number"
+                )
+            return "bool"
+        if isinstance(node, ast.BoolOp):
+            for operand in node.operands:
+                if self._check_scalar(operand) != "bool":
+                    raise OracleError(f"{node.op!r} needs boolean operands")
+            return "bool"
+        if isinstance(node, ast.NotOp):
+            if self._check_scalar(node.operand) != "bool":
+                raise OracleError("'not' needs a boolean operand")
+            return "bool"
+        raise OracleError(f"unexpected expression node {node!r}")
+
+    def _check_temporal(self, node, as_operand: bool) -> None:
+        if isinstance(node, ast.TempConst):
+            parse_chronon(node.text, self.oracle.now)
+            return
+        if isinstance(node, ast.TempVar):
+            relation = self._declare(node.var)
+            if not relation.has_valid:
+                raise OracleError(
+                    f"{relation.name} has no valid time; {node.var!r} "
+                    "cannot be used temporally"
+                )
+            return
+        if isinstance(node, ast.TempEdge):
+            self._check_temporal(node.operand, as_operand=True)
+            return
+        if isinstance(node, ast.TempBin):
+            if node.op == "precede" and as_operand:
+                raise OracleError("'precede' cannot be a temporal operand")
+            self._check_temporal(node.left, as_operand=True)
+            self._check_temporal(node.right, as_operand=True)
+            return
+        raise OracleError(f"unexpected temporal node {node!r}")
+
+    def _check_when(self, node) -> None:
+        if isinstance(node, ast.BoolOp):
+            for operand in node.operands:
+                self._check_when(operand)
+            return
+        if isinstance(node, ast.NotOp):
+            self._check_when(node.operand)
+            return
+        if isinstance(node, ast.TempBin) and node.op in (
+            "overlap", "precede"
+        ):
+            self._check_temporal(node.left, as_operand=True)
+            self._check_temporal(node.right, as_operand=True)
+            return
+        raise OracleError(
+            "a when clause must combine 'overlap' or 'precede' predicates"
+        )
+
+    def _check_clauses(self) -> None:
+        stmt = self.stmt
+        where = getattr(stmt, "where", None)
+        if where is not None:
+            if self._check_scalar(where) != "bool":
+                raise OracleError("a where clause must be boolean")
+        when = getattr(stmt, "when", None)
+        if when is not None:
+            self._check_when(when)
+        valid = getattr(stmt, "valid", None)
+        if valid is not None:
+            for expr in (valid.at, valid.from_, valid.to):
+                if expr is not None:
+                    self._check_temporal(expr, as_operand=True)
+        as_of = getattr(stmt, "as_of", None)
+        if as_of is not None:
+            for expr in (as_of.at, as_of.through):
+                if expr is not None:
+                    if _mentions_var(expr):
+                        raise OracleError(
+                            "an as-of clause must be a temporal constant"
+                        )
+                    self._check_temporal(expr, as_operand=True)
+            if self.vars and not any(
+                relation.has_tx for relation in self.vars.values()
+            ):
+                raise OracleError(
+                    "an as-of clause requires transaction time"
+                )
+
+    def _check_valid_shape(self, relation: OracleRelation) -> None:
+        """Valid-clause shape against the written relation (updates)."""
+        valid = getattr(self.stmt, "valid", None)
+        if valid is None:
+            return
+        if not relation.has_valid:
+            raise OracleError(f"{relation.name} has no valid time")
+        if valid.at is not None and not relation.is_event:
+            raise OracleError(
+                f"{relation.name} is an interval relation; use "
+                "'valid from ... to ...'"
+            )
+        if valid.from_ is not None and relation.is_event:
+            raise OracleError(
+                f"{relation.name} is an event relation; use 'valid at'"
+            )
+
+    # -- evaluation --------------------------------------------------------
+
+    def _eval_scalar(self, node):
+        if isinstance(node, ast.Const):
+            return node.value
+        if isinstance(node, ast.Attr):
+            var = node.var if node.var is not None else self.default_var
+            relation = self.vars[var]
+            return self.bindings[var][relation.positions[node.name]]
+        if isinstance(node, ast.UnaryOp):
+            return -self._eval_scalar(node.operand)
+        if isinstance(node, ast.BinOp):
+            left = self._eval_scalar(node.left)
+            right = self._eval_scalar(node.right)
+            if node.op == "+":
+                return left + right
+            if node.op == "-":
+                return left - right
+            if node.op == "*":
+                return left * right
+            if right == 0:
+                raise OracleError("division by zero")
+            if isinstance(left, int) and isinstance(right, int):
+                quotient = abs(left) // abs(right)
+                return (
+                    quotient if (left >= 0) == (right >= 0) else -quotient
+                )
+            return left / right
+        if isinstance(node, ast.Compare):
+            left = self._eval_scalar(node.left)
+            right = self._eval_scalar(node.right)
+            return {
+                "=": left == right,
+                "!=": left != right,
+                "<": left < right,
+                "<=": left <= right,
+                ">": left > right,
+                ">=": left >= right,
+            }[node.op]
+        if isinstance(node, ast.BoolOp):
+            if node.op == "and":
+                return all(
+                    self._eval_scalar(operand) for operand in node.operands
+                )
+            return any(
+                self._eval_scalar(operand) for operand in node.operands
+            )
+        if isinstance(node, ast.NotOp):
+            return not self._eval_scalar(node.operand)
+        raise OracleError(f"cannot evaluate {node!r}")
+
+    def _eval_temporal(self, node):
+        """Evaluate to a ``(start, stop)`` period or ``None`` (empty)."""
+        if isinstance(node, ast.TempConst):
+            return _event(parse_chronon(node.text, self.oracle.now))
+        if isinstance(node, ast.TempVar):
+            relation = self.vars[node.var]
+            return relation.valid_period(self.bindings[node.var])
+        if isinstance(node, ast.TempEdge):
+            period = self._eval_temporal(node.operand)
+            if period is None:
+                return None
+            return (
+                _start_event(period)
+                if node.which == "start"
+                else _end_event(period)
+            )
+        if isinstance(node, ast.TempBin):
+            left = self._eval_temporal(node.left)
+            right = self._eval_temporal(node.right)
+            if node.op == "overlap":
+                if left is None or right is None:
+                    return None
+                return _intersect(left, right)
+            if node.op == "extend":
+                if left is None:
+                    return right
+                if right is None:
+                    return left
+                return _span(left, right)
+        raise OracleError(f"cannot evaluate temporal {node!r}")
+
+    def _eval_when(self, node) -> bool:
+        if isinstance(node, ast.BoolOp):
+            if node.op == "and":
+                return all(
+                    self._eval_when(operand) for operand in node.operands
+                )
+            return any(
+                self._eval_when(operand) for operand in node.operands
+            )
+        if isinstance(node, ast.NotOp):
+            return not self._eval_when(node.operand)
+        if isinstance(node, ast.TempBin) and node.op in (
+            "overlap", "precede"
+        ):
+            left = self._eval_temporal(node.left)
+            right = self._eval_temporal(node.right)
+            if left is None or right is None:
+                return False
+            if node.op == "overlap":
+                return _overlaps(left, right)
+            return _precedes(left, right)
+        raise OracleError(f"cannot evaluate when {node!r}")
+
+    def _qualifies(self) -> bool:
+        where = getattr(self.stmt, "where", None)
+        if where is not None and not self._eval_scalar(where):
+            return False
+        when = getattr(self.stmt, "when", None)
+        if when is not None and not self._eval_when(when):
+            return False
+        return True
+
+    # -- as-of visibility --------------------------------------------------
+
+    def _resolve_asof(self):
+        as_of = getattr(self.stmt, "as_of", None)
+        if as_of is None:
+            if any(relation.has_tx for relation in self.vars.values()):
+                return _event(self.oracle.now)
+            return None
+        at = self._eval_temporal(as_of.at)
+        if at is None:
+            raise OracleError("empty period in a constant temporal clause")
+        if as_of.through is None:
+            return at
+        through = self._eval_temporal(as_of.through)
+        if through is None:
+            raise OracleError("empty period in a constant temporal clause")
+        if through[1] <= at[0]:
+            raise OracleError("as-of: 'through' precedes the start event")
+        return (at[0], through[1])
+
+    def _candidates(self, var: str, asof):
+        """The versions of *var* visible under the as-of period."""
+        relation = self.vars[var]
+        rows = relation.versions
+        if asof is None or not relation.has_tx:
+            return list(enumerate(rows))
+        p_start, p_stop = asof
+        visible = []
+        for vid, row in enumerate(rows):
+            start, stop = relation.tx_bounds(row)
+            if stop <= start:
+                stop = start + 1  # degenerate: created and stamped at once
+            if start < p_stop and p_start < stop:
+                visible.append((vid, row))
+        return visible
+
+    def _join(self, order, asof, emit) -> None:
+        """Nested-loop join over *order*, calling *emit(vids)* per match.
+
+        The where/when qualification is evaluated only at full binding
+        depth, which is equivalent to the engine's pushed-down conjuncts.
+        """
+        candidates = {var: self._candidates(var, asof) for var in order}
+
+        def loop(depth, vids):
+            if depth == len(order):
+                if self._qualifies():
+                    emit(vids)
+                return
+            var = order[depth]
+            for vid, row in candidates[var]:
+                self.bindings[var] = row
+                loop(depth + 1, vids + (vid,))
+            self.bindings.pop(var, None)
+
+        loop(0, ())
+
+    # -- retrieve ----------------------------------------------------------
+
+    def _column_names(self) -> "list[str]":
+        names = []
+        for item in self.stmt.targets:
+            if item.name is not None:
+                name = item.name
+            elif isinstance(item.expr, ast.Attr):
+                name = item.expr.name
+            elif isinstance(item.expr, ast.Aggregate):
+                name = item.expr.func
+            else:
+                name = "expr"
+            if name in names:
+                counter = 2
+                while f"{name}{counter}" in names:
+                    counter += 1
+                name = f"{name}{counter}"
+            names.append(name)
+        return names
+
+    def _check_aggregate_shape(self) -> None:
+        aggregates = [
+            item.expr
+            for item in self.stmt.targets
+            if isinstance(item.expr, ast.Aggregate)
+        ]
+        plain = [
+            item.expr
+            for item in self.stmt.targets
+            if not isinstance(item.expr, ast.Aggregate)
+        ]
+        by_lists = {agg.by for agg in aggregates}
+        if len(by_lists) > 1:
+            raise OracleError("aggregates must share the same by-list")
+        by_list = by_lists.pop()
+        if not by_list:
+            if plain:
+                raise OracleError(
+                    "aggregate and non-aggregate targets cannot be mixed"
+                )
+            return
+        if set(plain) != set(by_list):
+            raise OracleError(
+                "plain targets must be exactly the grouping expressions"
+            )
+
+    def _result_valid_mode(self) -> str:
+        valid = getattr(self.stmt, "valid", None)
+        if valid is not None:
+            return "event" if valid.at is not None else "interval"
+        if any(relation.has_valid for relation in self.vars.values()):
+            return "interval"
+        return "none"
+
+    def _result_period(self):
+        """The emitted tuple's period, or ``None`` to drop the tuple."""
+        valid = getattr(self.stmt, "valid", None)
+        if valid is not None:
+            if valid.at is not None:
+                period = self._eval_temporal(valid.at)
+                return None if period is None else _start_event(period)
+            start = self._eval_temporal(valid.from_)
+            stop = self._eval_temporal(valid.to)
+            if start is None or stop is None:
+                return None
+            if stop[1] <= start[0]:
+                return None
+            return (start[0], stop[1])
+        period = None
+        for var in self.var_order:
+            relation = self.vars[var]
+            if not relation.has_valid:
+                continue
+            own = relation.valid_period(self.bindings[var])
+            period = own if period is None else _intersect(period, own)
+            if period is None:
+                return None
+        return period
+
+    def run_retrieve(self) -> OracleResult:
+        stmt = self.stmt
+        names = self._column_names()
+        for item in stmt.targets:
+            self._check_scalar(item.expr, allow_aggregate=True)
+        if self.has_aggregates:
+            self._check_aggregate_shape()
+            if stmt.valid is not None:
+                raise OracleError(
+                    "aggregates produce a snapshot result; the valid "
+                    "clause does not apply"
+                )
+        self._check_clauses()
+        if stmt.into is not None and (
+            stmt.into in self.oracle.relations
+            or stmt.into in _SYSTEM_RELATIONS
+        ):
+            raise OracleError(f"relation {stmt.into!r} already exists")
+        if not self.vars:
+            raise OracleError("retrieve needs at least one range variable")
+        asof = self._resolve_asof()
+
+        if self.has_aggregates:
+            return self._run_aggregates(names, asof)
+
+        valid_mode = self._result_valid_mode()
+        if not any(r.has_valid for r in self.vars.values()) and (
+            stmt.valid is None
+        ):
+            valid_mode = "none"
+        columns = list(names)
+        if valid_mode == "interval":
+            columns += ["valid_from", "valid_to"]
+        elif valid_mode == "event":
+            columns += ["valid_at"]
+
+        rows: "list[tuple]" = []
+
+        def emit(vids):
+            values = tuple(
+                self._eval_scalar(item.expr) for item in stmt.targets
+            )
+            if valid_mode == "none":
+                rows.append(values)
+                return
+            period = self._result_period()
+            if period is None:
+                return
+            if valid_mode == "interval":
+                rows.append(values + period)
+            else:
+                rows.append(values + (period[0],))
+
+        self._join(list(self.var_order), asof, emit)
+
+        if stmt.unique:
+            seen = set()
+            unique_rows = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    unique_rows.append(row)
+            rows = unique_rows
+
+        if stmt.coalesced:
+            if valid_mode != "interval":
+                raise OracleError(
+                    "'coalesced' needs an interval result (valid time)"
+                )
+            rows = _coalesce(rows, len(stmt.targets))
+
+        if stmt.into is not None:
+            self._store_into(stmt.into, names, rows, valid_mode)
+            return OracleResult(
+                kind="retrieve into", columns=columns, count=len(rows)
+            )
+        return OracleResult(
+            kind="retrieve", columns=columns, rows=rows, count=len(rows)
+        )
+
+    def _run_aggregates(self, names, asof) -> OracleResult:
+        stmt = self.stmt
+        by_list = next(
+            item.expr.by
+            for item in stmt.targets
+            if isinstance(item.expr, ast.Aggregate)
+        )
+        groups: "dict[tuple, list[list]]" = {}
+        agg_targets = [
+            item.expr
+            for item in stmt.targets
+            if isinstance(item.expr, ast.Aggregate)
+        ]
+
+        def emit(vids):
+            key = tuple(self._eval_scalar(expr) for expr in by_list)
+            states = groups.get(key)
+            if states is None:
+                states = [[] for _ in agg_targets]
+                groups[key] = states
+            for state, agg in zip(states, agg_targets):
+                state.append(self._eval_scalar(agg.operand))
+
+        self._join(list(self.var_order), asof, emit)
+
+        if not by_list and not groups:
+            groups[()] = [[] for _ in agg_targets]
+
+        rows = []
+        for key, states in groups.items():
+            row = []
+            slot = 0
+            for item in stmt.targets:
+                if isinstance(item.expr, ast.Aggregate):
+                    row.append(_fold(item.expr.func, states[slot]))
+                    slot += 1
+                else:
+                    row.append(key[list(by_list).index(item.expr)])
+            rows.append(tuple(row))
+
+        if stmt.into is not None:
+            self._store_into(stmt.into, names, rows, "none")
+            return OracleResult(
+                kind="retrieve into", columns=names, count=len(rows)
+            )
+        return OracleResult(
+            kind="retrieve", columns=names, rows=rows, count=len(rows)
+        )
+
+    def _store_into(self, name, names, rows, valid_mode) -> None:
+        columns = []
+        for column_name, item in zip(names, self.stmt.targets):
+            columns.append((column_name, self._target_class(item.expr)))
+        relation = OracleRelation(
+            name,
+            columns,
+            persistent=False,
+            kind=(
+                "interval"
+                if valid_mode == "interval"
+                else ("event" if valid_mode == "event" else None)
+            ),
+        )
+        relation.versions = [tuple(row) for row in rows]
+        self.oracle.relations[name] = relation
+
+    def _target_class(self, expr) -> str:
+        """The stored class of a target column (for into-relations)."""
+        if isinstance(expr, ast.Aggregate):
+            if expr.func == "count":
+                return "i"
+            if expr.func == "avg":
+                return "f"
+            inner = self._target_class(expr.operand)
+            if expr.func == "sum" and inner != "f":
+                return "i"
+            return inner
+        if isinstance(expr, ast.Attr):
+            var = expr.var if expr.var is not None else self.default_var
+            if var is None and len(self.var_order) == 1:
+                var = self.var_order[0]
+            relation = self.vars[var]
+            for column_name, klass in relation.user_columns:
+                if column_name == expr.name:
+                    return klass
+            return "t"  # implicit time attribute
+        if isinstance(expr, ast.Const):
+            if isinstance(expr.value, str):
+                return "s"
+            if isinstance(expr.value, float):
+                return "f"
+            return "i"
+        if isinstance(expr, ast.UnaryOp):
+            return self._target_class(expr.operand)
+        if isinstance(expr, ast.BinOp):
+            left = self._target_class(expr.left)
+            right = self._target_class(expr.right)
+            if "f" in (left, right) or expr.op == "/":
+                return "f"
+            return "i"
+        raise OracleError(
+            "target expressions must be attributes, constants or arithmetic"
+        )
+
+    # -- updates -----------------------------------------------------------
+
+    def _is_update_target(self, relation: OracleRelation, row) -> bool:
+        now = self.oracle.now
+        if relation.has_tx and not relation.is_current_transaction(row):
+            return False
+        if relation.has_valid and relation.kind == "interval":
+            if row[relation.positions["valid_to"]] <= now:
+                return False
+        return True
+
+    def _valid_spec(self) -> _ValidSpec:
+        valid = getattr(self.stmt, "valid", None)
+        if valid is None:
+            return _NO_VALID
+        if valid.at is not None:
+            period = self._eval_temporal(valid.at)
+            if period is None:
+                raise OracleError("empty 'valid at' period")
+            return _ValidSpec(valid_at=period[0])
+        start = self._eval_temporal(valid.from_)
+        stop = self._eval_temporal(valid.to)
+        if start is None or stop is None:
+            raise OracleError("empty period in valid clause")
+        if stop[1] <= start[0]:
+            raise OracleError("valid clause: 'to' precedes 'from'")
+        return _ValidSpec(valid_from=start[0], valid_to=stop[1])
+
+    def _collect_targets(self, target_var: str, asof):
+        """Matching versions of the update's target variable.
+
+        First match per version wins, in version order per outer
+        candidate order -- the engine's deferred-update collection.
+        Assignments and valid specs are evaluated at first match, while
+        the join bindings are still in scope.
+        """
+        order = [target_var] + [
+            var for var in self.var_order if var != target_var
+        ]
+        targets = self.stmt.targets if hasattr(self.stmt, "targets") else []
+        collected: "dict[int, tuple]" = {}
+
+        def emit(vids):
+            vid = vids[0]
+            if vid in collected:
+                return
+            relation = self.vars[target_var]
+            row = self.bindings[target_var]
+            new_user = list(row[: relation.user_count])
+            for item in targets:
+                value = self._eval_scalar(item.expr)
+                if isinstance(value, float) and relation.int_column(
+                    item.name
+                ):
+                    value = int(value)
+                new_user[relation.positions[item.name]] = value
+            collected[vid] = (row, tuple(new_user), self._valid_spec())
+
+        self._join(order, asof, emit)
+        return collected
+
+    def _check_update_targets(self, relation: OracleRelation) -> None:
+        for item in self.stmt.targets:
+            if item.name is None:
+                raise OracleError("append/replace targets must be named")
+            if item.name not in relation.positions:
+                raise OracleError(
+                    f"{relation.name} has no attribute {item.name!r}"
+                )
+            if item.name not in [n for n, _ in relation.user_columns]:
+                raise OracleError(
+                    f"{item.name!r} is an implicit time attribute"
+                )
+            kind = self._check_scalar(item.expr)
+            if kind != relation.class_of(item.name):
+                raise OracleError(
+                    f"type mismatch assigning to {item.name!r}"
+                )
+
+    def run_append(self) -> OracleResult:
+        stmt = self.stmt
+        relation = self.oracle._user_relation(stmt.relation)
+        self._check_update_targets(relation)
+        self._check_clauses()
+        self._check_valid_shape(relation)
+        asof = self._resolve_asof()
+
+        assigned = {item.name: item.expr for item in stmt.targets}
+        produced: "list[tuple]" = []
+
+        def emit(vids):
+            values = []
+            for name, klass in relation.user_columns:
+                if name in assigned:
+                    values.append(self._eval_scalar(assigned[name]))
+                else:
+                    values.append("" if klass == "s" else 0)
+            produced.append((tuple(values), self._valid_spec()))
+
+        if self.var_order:
+            self._join(list(self.var_order), asof, emit)
+        else:
+            emit(())
+
+        now = self.oracle.now
+        for values, spec in produced:
+            relation.versions.append(
+                relation.new_version(
+                    values,
+                    now,
+                    valid_from=spec.valid_from,
+                    valid_to=spec.valid_to,
+                    valid_at=spec.valid_at,
+                )
+            )
+        return OracleResult(kind="append", count=len(produced))
+
+    def run_delete(self) -> OracleResult:
+        stmt = self.stmt
+        relation = self._declare(stmt.var)
+        self._check_clauses()
+        asof = self._resolve_asof()
+        collected = self._collect_targets(stmt.var, asof)
+        now = self.oracle.now
+
+        targets = [
+            (vid, row)
+            for vid, (row, _, __) in sorted(collected.items())
+            if self._is_update_target(relation, row)
+        ]
+        removals: "set[int]" = set()
+        inserts: "list[tuple]" = []
+        db_type = relation.db_type
+        if db_type == "historical" and relation.structure == "twolevel":
+            # Mirror of the engine's fail-fast: a historical delete that
+            # would physically remove versions (events, or intervals not
+            # yet in effect) is refused on a two-level store before any
+            # mutation happens.
+            for _, row in targets:
+                if relation.is_event or (
+                    row[relation.positions["valid_from"]] >= now
+                ):
+                    raise OracleError(
+                        f"{relation.name}: physical deletion is not "
+                        "supported on a two-level store"
+                    )
+        count = 0
+        for vid, row in targets:
+            count += 1
+            if db_type == "static":
+                removals.add(vid)
+                continue
+            if db_type == "historical":
+                if relation.is_event or (
+                    row[relation.positions["valid_from"]] >= now
+                ):
+                    removals.add(vid)
+                    continue
+                relation.versions[vid] = relation.with_attribute(
+                    row, "valid_to", now
+                )
+                continue
+            stamped = relation.with_attribute(row, "transaction_stop", now)
+            relation.versions[vid] = stamped
+            if db_type == "temporal" and relation.kind == "interval":
+                if row[relation.positions["valid_from"]] < now:
+                    closing = relation.with_attribute(row, "valid_to", now)
+                    closing = relation.with_attribute(
+                        closing, "transaction_start", now
+                    )
+                    inserts.append(closing)
+        relation.versions = [
+            row
+            for vid, row in enumerate(relation.versions)
+            if vid not in removals
+        ] + inserts
+        return OracleResult(kind="delete", count=count)
+
+    def run_replace(self) -> OracleResult:
+        stmt = self.stmt
+        relation = self._declare(stmt.var)
+        self._check_update_targets(relation)
+        self._check_clauses()
+        self._check_valid_shape(relation)
+        asof = self._resolve_asof()
+        collected = self._collect_targets(stmt.var, asof)
+        now = self.oracle.now
+
+        targets = [
+            (vid, row, new_user, spec)
+            for vid, (row, new_user, spec) in sorted(collected.items())
+            if self._is_update_target(relation, row)
+        ]
+        if relation.structure == "twolevel" and relation.key is not None:
+            # Mirror of the engine's fail-fast: a two-level store cannot
+            # relocate a record whose key changes, so a key-changing
+            # replace is refused before any mutation.
+            user_names = [name for name, _ in relation.user_columns]
+            if relation.key in user_names:
+                kp = user_names.index(relation.key)
+                for _, row, new_user, _ in targets:
+                    if new_user[kp] != row[kp]:
+                        raise OracleError(
+                            f"{relation.name}: replace may not change the "
+                            "key of a two-level store"
+                        )
+        inserts: "list[tuple]" = []
+        db_type = relation.db_type
+        count = 0
+        for vid, row, new_user, spec in targets:
+            count += 1
+            if db_type == "static":
+                relation.versions[vid] = new_user
+                continue
+            if db_type == "historical":
+                if relation.is_event:
+                    valid_at = (
+                        spec.valid_at
+                        if spec.valid_at is not None
+                        else row[relation.positions["valid_at"]]
+                    )
+                    relation.versions[vid] = relation.new_version(
+                        new_user, now, valid_at=valid_at
+                    )
+                    continue
+                valid_from, valid_to = self._new_validity(
+                    relation, row, now, spec
+                )
+                new_row = relation.new_version(
+                    new_user, now, valid_from=valid_from, valid_to=valid_to
+                )
+                if row[relation.positions["valid_from"]] >= now:
+                    relation.versions[vid] = new_row
+                else:
+                    relation.versions[vid] = relation.with_attribute(
+                        row, "valid_to", now
+                    )
+                    inserts.append(new_row)
+                continue
+            stamped = relation.with_attribute(row, "transaction_stop", now)
+            relation.versions[vid] = stamped
+            if db_type == "rollback":
+                inserts.append(relation.new_version(new_user, now))
+                continue
+            # temporal
+            if relation.is_event:
+                valid_at = (
+                    spec.valid_at
+                    if spec.valid_at is not None
+                    else row[relation.positions["valid_at"]]
+                )
+                inserts.append(
+                    relation.new_version(new_user, now, valid_at=valid_at)
+                )
+                continue
+            valid_from, valid_to = self._new_validity(
+                relation, row, now, spec
+            )
+            new_row = relation.new_version(
+                new_user, now, valid_from=valid_from, valid_to=valid_to
+            )
+            if row[relation.positions["valid_from"]] < now:
+                closing = relation.with_attribute(row, "valid_to", now)
+                closing = relation.with_attribute(
+                    closing, "transaction_start", now
+                )
+                inserts.append(closing)
+            inserts.append(new_row)
+        relation.versions = relation.versions + inserts
+        return OracleResult(kind="replace", count=count)
+
+    @staticmethod
+    def _new_validity(relation, row, now, spec):
+        """(valid_from, valid_to) for a replacing version: the valid
+        clause wins; otherwise start at max(now, old start) and inherit
+        the old end."""
+        old_from = row[relation.positions["valid_from"]]
+        old_to = row[relation.positions["valid_to"]]
+        valid_from = (
+            spec.valid_from
+            if spec.valid_from is not None
+            else max(now, old_from)
+        )
+        valid_to = spec.valid_to if spec.valid_to is not None else old_to
+        return valid_from, valid_to
+
+
+def _fold(func: str, state: list):
+    if func == "count":
+        return len(state)
+    if func == "sum":
+        return sum(state) if state else 0
+    if not state:
+        raise OracleError(f"{func}() over an empty result")
+    if func == "avg":
+        return sum(state) / len(state)
+    return min(state) if func == "min" else max(state)
+
+
+def _coalesce(rows: "list[tuple]", value_width: int) -> "list[tuple]":
+    """Merge value-equivalent rows with meeting/overlapping periods."""
+    by_value: "dict[tuple, list[tuple[int, int]]]" = {}
+    for row in rows:
+        values = row[:value_width]
+        by_value.setdefault(values, []).append(
+            (row[value_width], row[value_width + 1])
+        )
+    coalesced = []
+    for values in sorted(by_value):
+        merged: "list[list[int]]" = []
+        for start, stop in sorted(by_value[values]):
+            if merged and start <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], stop)
+            else:
+                merged.append([start, stop])
+        for start, stop in merged:
+            coalesced.append(values + (start, stop))
+    return coalesced
+
+
+def _mentions_var(node) -> bool:
+    if isinstance(node, ast.TempVar):
+        return True
+    if isinstance(node, ast.TempEdge):
+        return _mentions_var(node.operand)
+    if isinstance(node, ast.TempBin):
+        return _mentions_var(node.left) or _mentions_var(node.right)
+    return False

@@ -1,0 +1,56 @@
+"""Greedy workload minimization (delta debugging).
+
+Given a diverging workload, repeatedly drop chunks of statements --
+halving the chunk size ddmin-style down to single statements -- keeping
+any candidate that still diverges under the same config.  Dropping a
+``create`` mid-sequence is fine: later statements over the vanished
+relation are refused by both sides, which the harness counts as
+agreement, so the divergence either survives on its own merits or the
+candidate is discarded.
+
+The search is deterministic: same workload, same config, same minimized
+result on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.sim.generator import Workload
+from repro.sim.harness import Config, RunReport, run_workload
+
+
+def shrink_workload(
+    workload: Workload,
+    config: Config,
+    runner=run_workload,
+) -> "tuple[Workload, RunReport]":
+    """Minimize *workload* while it keeps diverging under *config*.
+
+    Returns the minimized workload and its (still diverging) report.
+    Raises ``ValueError`` if the input does not diverge in the first
+    place.
+    """
+    stmts = list(workload.statements)
+    report = runner(replace(workload, statements=stmts), config)
+    if report.ok:
+        raise ValueError("workload does not diverge; nothing to shrink")
+
+    chunk = max(1, len(stmts) // 2)
+    while True:
+        index = 0
+        while index < len(stmts):
+            candidate = stmts[:index] + stmts[index + chunk :]
+            if candidate:
+                trial = runner(
+                    replace(workload, statements=candidate), config
+                )
+                if not trial.ok:
+                    stmts = candidate
+                    report = trial
+                    continue  # same index, next chunk now sits here
+            index += chunk
+        if chunk == 1:
+            break
+        chunk = max(1, chunk // 2)
+    return replace(workload, statements=stmts), report

@@ -69,6 +69,18 @@ def tokenize(text: str) -> "list[Token]":
                 end += 1
                 while end < length and text[end] in _DIGITS:
                     end += 1
+            # Scientific notation ("1e-05", "2.5E3"): accepted only when
+            # digits follow the exponent marker, so an identifier that
+            # merely starts with "e" never glues onto a number.
+            if end < length and text[end] in "eE":
+                marker = end + 1
+                if marker < length and text[marker] in "+-":
+                    marker += 1
+                if marker < length and text[marker] in _DIGITS:
+                    is_float = True
+                    end = marker + 1
+                    while end < length and text[end] in _DIGITS:
+                        end += 1
             literal = text[position:end]
             if is_float:
                 tokens.append(Token("float", float(literal), line, column))

@@ -179,3 +179,31 @@ class TestRoundTrip:
             first = parse_statement(query)
             second = parse_statement(unparse(first))
             assert first == second
+
+
+class TestScientificNotation:
+    """Regression: unparse renders small/large floats via ``repr``, which
+    uses scientific notation -- the lexer must accept it or unparsed text
+    stops being reparseable (found by the sim fuzzer's round-trip check).
+    """
+
+    def test_e_notation_reparses(self):
+        for text in ("1e-05", "2.5e3", "1E+20", "7e0"):
+            stmt = parse_statement(f"retrieve (x.a) where x.f = {text}")
+            assert parse_statement(unparse(stmt)) == stmt
+
+    def test_tiny_float_round_trips(self):
+        stmt = parse_statement("retrieve (x.a) where x.f = 0.00001")
+        rendered = unparse(stmt)
+        assert "e" in rendered  # repr picked scientific notation
+        assert parse_statement(rendered) == stmt
+
+    def test_identifier_after_number_is_not_an_exponent(self):
+        # "1 e5" must stay an int followed by an identifier (and so fail
+        # to parse), not fuse into the float 1e5.
+        import pytest
+
+        from repro.errors import TQuelError
+
+        with pytest.raises(TQuelError):
+            parse_statement("retrieve (x.a) where x.a = 1 e5")

@@ -1,0 +1,202 @@
+"""Invariants of the sim oracle's temporal semantics.
+
+The oracle (``repro.sim.oracle``) is the independent model the
+differential fuzzer diffs the engine against, so its own semantics need
+checks that do not involve the engine at all.  Generated workloads
+drive it alone and these properties are asserted over every statement:
+
+* **Append-only version counts** -- on a persistent (rollback/temporal)
+  relation no statement except ``vacuum`` or ``destroy`` ever removes a
+  stored version, and a successful ``append`` adds exactly the reported
+  number of versions.
+* **As-of monotonicity** -- the set of versions visible at a past
+  transaction time never changes as later statements execute (``vacuum``
+  may only shrink it).
+* **Temporal replace** -- replacing an in-effect interval fact inserts
+  exactly two new versions (the closing version and the replacement)
+  while stamping the original in place.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.generator import generate_workload
+from repro.sim.oracle import FOREVER, Oracle, OracleError
+from repro.tquel import ast
+from repro.tquel.parser import parse_statement
+
+
+def _counts(oracle: Oracle) -> "dict[str, int]":
+    return {
+        name: len(rel.versions)
+        for name, rel in oracle.relations.items()
+        if rel.persistent
+    }
+
+
+def _visible_at(oracle: Oracle, when: int) -> "dict[str, Counter]":
+    """Versions whose transaction period contains *when*, per relation.
+
+    The ``transaction_stop`` column is projected out: stamping it on a
+    current version is how supersession is *recorded*, and does not
+    change what an as-of query at *when* returns.
+    """
+    visible: "dict[str, Counter]" = {}
+    for name, rel in oracle.relations.items():
+        if not rel.persistent:
+            continue
+        start = rel.positions["transaction_start"]
+        stop = rel.positions["transaction_stop"]
+        visible[name] = Counter(
+            row[:stop] + row[stop + 1:]
+            for row in rel.versions
+            if row[start] <= when < row[stop]
+        )
+    return visible
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=1, max_value=500),
+    db_type=st.sampled_from(["rollback", "temporal"]),
+)
+def test_persistent_versions_are_append_only(seed, db_type):
+    workload = generate_workload(seed, db_type=db_type, ops=50)
+    oracle = Oracle(workload.clock_start, workload.clock_tick)
+    for stmt in workload.statements:
+        before = _counts(oracle)
+        try:
+            result = oracle.execute(stmt)
+        except OracleError:
+            continue
+        after = _counts(oracle)
+        prunes = isinstance(stmt, (ast.VacuumStmt, ast.DestroyStmt))
+        for name, count in before.items():
+            if name not in after:
+                assert prunes, f"{name} vanished under {type(stmt).__name__}"
+                continue
+            if prunes:
+                continue
+            assert after[name] >= count, (
+                f"{type(stmt).__name__} removed versions from {name}"
+            )
+        if isinstance(stmt, ast.AppendStmt) and stmt.relation in before:
+            added = after[stmt.relation] - before[stmt.relation]
+            assert added == result.count
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=1, max_value=500))
+def test_rollback_asof_is_immutable(seed):
+    workload = generate_workload(seed, db_type="rollback", ops=50)
+    oracle = Oracle(workload.clock_start, workload.clock_tick)
+    half = len(workload.statements) // 2
+    for stmt in workload.statements[:half]:
+        try:
+            oracle.execute(stmt)
+        except OracleError:
+            pass
+    checkpoint = oracle.now
+    frozen = _visible_at(oracle, checkpoint)
+    for stmt in workload.statements[half:]:
+        vacuumed = isinstance(stmt, (ast.VacuumStmt, ast.DestroyStmt))
+        try:
+            oracle.execute(stmt)
+        except OracleError:
+            continue
+        current = _visible_at(oracle, checkpoint)
+        for name, rows in list(frozen.items()):
+            if name not in current:
+                assert vacuumed or name not in oracle.relations
+                frozen.pop(name, None)
+                continue
+            if vacuumed:
+                assert all(
+                    current[name][key] <= count
+                    for key, count in rows.items()
+                ) and not (current[name] - rows), (
+                    f"vacuum grew the past of {name}"
+                )
+                frozen[name] = current[name]
+            else:
+                assert current[name] == rows, (
+                    f"{type(stmt).__name__} rewrote the past of {name}"
+                )
+
+
+@pytest.fixture
+def oracle():
+    return Oracle(start=320716800, tick=3600)
+
+
+def _run_all(oracle, texts):
+    for text in texts:
+        oracle.execute(parse_statement(text))
+
+
+def test_temporal_replace_inserts_exactly_two_versions(oracle):
+    _run_all(
+        oracle,
+        [
+            'create persistent interval r (id = i4, a = i4)',
+            'range of x is r',
+            # In effect: the validity period straddles the clock.
+            'append to r (id = 1, a = 10) '
+            'valid from "1980-03-01 00:30:00" to "1980-04-01"',
+        ],
+    )
+    rel = oracle.relations["r"]
+    assert len(rel.versions) == 1
+    (original,) = rel.versions
+    now_before = oracle.now
+    result = oracle.execute(parse_statement("replace x (a = 11)"))
+    assert result.count == 1
+    assert len(rel.versions) == 3
+
+    now = now_before + oracle.tick
+    stop = rel.positions["transaction_stop"]
+    start = rel.positions["transaction_start"]
+    vfrom = rel.positions["valid_from"]
+    vto = rel.positions["valid_to"]
+    a = rel.positions["a"]
+
+    stamped = [r for r in rel.versions if r[stop] == now]
+    inserted = [r for r in rel.versions if r[start] == now]
+    assert len(stamped) == 1 and len(inserted) == 2
+    # The stamped original keeps its values and validity.
+    assert stamped[0][:2] == original[:2]
+    assert (stamped[0][vfrom], stamped[0][vto]) == (
+        original[vfrom], original[vto],
+    )
+    # One insert closes the old fact's validity at now...
+    closing = [r for r in inserted if r[a] == 10]
+    assert len(closing) == 1 and closing[0][vto] == now
+    # ...the other carries the new values onward.
+    replacement = [r for r in inserted if r[a] == 11]
+    assert len(replacement) == 1
+    assert replacement[0][vfrom] == now
+    assert replacement[0][vto] == original[vto]
+    assert replacement[0][stop] == FOREVER
+
+
+def test_temporal_replace_of_postactive_fact_inserts_one_version(oracle):
+    _run_all(
+        oracle,
+        [
+            'create persistent interval r (id = i4, a = i4)',
+            'range of x is r',
+            # Postactive: validity entirely in the future.
+            'append to r (id = 1, a = 10) '
+            'valid from "1980-06-01" to "1980-07-01"',
+        ],
+    )
+    rel = oracle.relations["r"]
+    oracle.execute(parse_statement("replace x (a = 11)"))
+    # No closing version: the fact never held.
+    assert len(rel.versions) == 2
+    values = sorted(row[rel.positions["a"]] for row in rel.versions)
+    assert values == [10, 11]
