@@ -16,37 +16,37 @@ transaction time itself.  This example keeps account balances in a
 Run:  python examples/audit_rollback.py
 """
 
-from repro import Clock, TemporalDatabase, format_chronon, parse_temporal
+from repro import Clock, connect, format_chronon, parse_temporal
 
 
 def main() -> None:
     clock = Clock(start=parse_temporal("1980-03-01 09:00"), tick=3600)
-    db = TemporalDatabase("bank", clock=clock)
+    session = connect(name="bank", clock=clock)
 
-    db.execute("create persistent account (owner = c20, balance = i4)")
-    db.execute("range of a is account")
-    db.execute('append to account (owner = "lum", balance = 1000)')
-    db.execute('append to account (owner = "dadam", balance = 2500)')
+    session.execute("create persistent account (owner = c20, balance = i4)")
+    session.execute("range of a is account")
+    session.execute('append to account (owner = "lum", balance = 1000)')
+    session.execute('append to account (owner = "dadam", balance = 2500)')
 
     # 11:00: a deposit is keyed in wrong (250 recorded as 2500).
-    db.execute('replace a (balance = a.balance + 2500) where a.owner = "lum"')
+    session.execute('replace a (balance = a.balance + 2500) where a.owner = "lum"')
 
     # 13:00: the error is noticed and corrected.
-    db.execute('replace a (balance = 1250) where a.owner = "lum"')
+    session.execute('replace a (balance = 1250) where a.owner = "lum"')
 
     print("current balances:")
-    for row in db.execute('retrieve (a.owner, a.balance) as of "now"').rows:
+    for row in session.execute('retrieve (a.owner, a.balance) as of "now"').rows:
         print("  ", row)
 
     print("\nwhat did the database say at 11:30 (the erroneous state)?")
-    rows = db.execute(
+    rows = session.execute(
         'retrieve (a.owner, a.balance) as of "1980-03-01 11:30"'
     ).rows
     for row in rows:
         print("  ", row)
 
     print("\nfull audit trail for lum (every version ever stored):")
-    result = db.execute(
+    result = session.execute(
         "retrieve (a.balance, a.transaction_start, a.transaction_stop) "
         'where a.owner = "lum" as of "beginning" through "forever"'
     )
@@ -61,6 +61,7 @@ def main() -> None:
         "versions live\nin the relation itself, append-only (write-once "
         "optical disks would do)."
     )
+    session.close()
 
 
 if __name__ == "__main__":

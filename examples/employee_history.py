@@ -12,37 +12,37 @@ This example keeps a *historical* relation (valid time only) of salaries:
 Run:  python examples/employee_history.py
 """
 
-from repro import Clock, TemporalDatabase, parse_temporal, format_chronon
+from repro import Clock, connect, format_chronon, parse_temporal
 
 
 def main() -> None:
     clock = Clock(start=parse_temporal("1/1/82"), tick=0)
-    db = TemporalDatabase("payroll", clock=clock)
+    session = connect(name="payroll", clock=clock)
 
     # 'interval' (without 'persistent') => a historical relation.
-    db.execute("create interval salary (name = c20, monthly = i4)")
-    db.execute("range of s is salary")
+    session.execute("create interval salary (name = c20, monthly = i4)")
+    session.execute("range of s is salary")
 
     # Jane hired Jan 1982 at 2600/month.
-    db.execute('append to salary (name = "jane", monthly = 2600)')
+    session.execute('append to salary (name = "jane", monthly = 2600)')
 
     # A normal raise on 1 June 1982.
     clock.set(parse_temporal("6/1/82"))
-    db.execute('replace s (monthly = 2900) where s.name = "jane"')
+    session.execute('replace s (monthly = 2900) where s.name = "jane"')
 
     # In November, payroll discovers the June raise should have been 3000
     # starting 1 May -- a *retroactive* change, expressed with the valid
     # clause rather than by patching backups (the ad-hoc practice the
     # paper's introduction complains about).
     clock.set(parse_temporal("11/15/82"))
-    db.execute(
+    session.execute(
         'replace s (monthly = 3000) '
         'valid from "5/1/82" to "forever" '
         'where s.name = "jane"'
     )
 
     print("salary history for jane:")
-    result = db.execute('retrieve (s.monthly) where s.name = "jane"')
+    result = session.execute('retrieve (s.monthly) where s.name = "jane"')
     for monthly, valid_from, valid_to in sorted(result.rows, key=lambda r: r[1]):
         print(
             f"   {monthly:>5}/month   valid "
@@ -50,7 +50,7 @@ def main() -> None:
         )
 
     print("\nwhat was jane paid on 15 May 1982?")
-    result = db.execute(
+    result = session.execute(
         'retrieve (s.monthly) where s.name = "jane" when s overlap "5/15/82"'
     )
     print("  ", [row[0] for row in result.rows], "per month")
@@ -62,12 +62,13 @@ def main() -> None:
     )
 
     print("\nwho was earning more than 2800 at year end?")
-    result = db.execute(
+    result = session.execute(
         "retrieve (s.name, s.monthly) "
         'where s.monthly > 2800 when s overlap "12/31/82"'
     )
     for row in result.rows:
         print("  ", row[:2])
+    session.close()
 
 
 if __name__ == "__main__":

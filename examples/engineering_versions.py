@@ -17,7 +17,7 @@ keeps a *temporal* (bitemporal) relation of circuit-block designs:
 Run:  python examples/engineering_versions.py
 """
 
-from repro import Clock, TemporalDatabase, format_chronon, parse_temporal
+from repro import Clock, connect, format_chronon, parse_temporal
 
 
 def pages(result) -> str:
@@ -26,18 +26,18 @@ def pages(result) -> str:
 
 def main() -> None:
     clock = Clock(start=parse_temporal("1/5/81"), tick=3600)
-    db = TemporalDatabase("cad", clock=clock)
+    session = connect(name="cad", clock=clock)
 
-    db.execute(
+    session.execute(
         "create persistent interval design "
         "(block = c16, revision = i4, area = i4, author = c12)"
     )
-    db.execute("modify design to hash on block where fillfactor = 100")
-    db.execute("range of d is design")
+    session.execute("modify design to hash on block where fillfactor = 100")
+    session.execute("range of d is design")
 
     blocks = ["alu", "fpu", "cache", "decoder", "iommu", "noc"]
     for index, block in enumerate(blocks):
-        db.execute(
+        session.execute(
             f'append to design (block = "{block}", revision = 1, '
             f"area = {1000 + 37 * index}, author = \"ahn\")"
         )
@@ -46,7 +46,7 @@ def main() -> None:
     # relation stores two new versions -- the full change history).
     for round_number in range(2, 26):
         for block in blocks:
-            db.execute(
+            session.execute(
                 f"replace d (revision = {round_number}, "
                 f"area = d.area + {round_number}) "
                 f'where d.block = "{block}"'
@@ -54,13 +54,13 @@ def main() -> None:
 
     # A retroactive release: the alu rev that shipped is declared to have
     # been effective since the start of the quarter.
-    db.execute(
+    session.execute(
         'replace d (revision = 100) valid from "1/1/81" to "forever" '
         'where d.block = "alu"'
     )
 
     print("current designs:")
-    result = db.execute(
+    result = session.execute(
         'retrieve (d.block, d.revision, d.area) when d overlap "now"'
     )
     for row in sorted(result.rows):
@@ -70,7 +70,7 @@ def main() -> None:
     print("\nbitemporal audit: what revision did we believe was effective")
     print("on 10 Jan 1981, as of one hour after the project started?")
     asof = format_chronon(parse_temporal("1/5/81") + 7200)
-    result = db.execute(
+    result = session.execute(
         "retrieve (d.block, d.revision) "
         f'when d overlap "1/10/81" as of "{asof}"'
     )
@@ -78,15 +78,15 @@ def main() -> None:
         print("  ", row[:2])
 
     print("\nversion scan of the alu block on conventional hashing:")
-    before = db.execute('retrieve (d.block, d.revision) where d.block = "alu"')
+    before = session.execute('retrieve (d.block, d.revision) where d.block = "alu"')
     print(f"   {len(before.rows)} versions {pages(before)}")
 
     # -- Section 6: two-level store + secondary index ------------------------
-    db.execute(
+    session.execute(
         "modify design to twolevel on block where "
         'primary = "hash", history = "clustered"'
     )
-    db.execute(
+    session.execute(
         "index on design is design_area_idx (area) "
         "where structure = hash, levels = 2"
     )
@@ -94,22 +94,23 @@ def main() -> None:
     print("\nafter 'modify design to twolevel' (clustered history) and a")
     print("2-level hash index on area:")
 
-    result = db.execute(
+    result = session.execute(
         'retrieve (d.block, d.revision, d.area) when d overlap "now"'
     )
     print(f"   current designs:        {pages(result)}  (was {before.input_pages}+ on one block alone)")
 
-    after = db.execute('retrieve (d.block, d.revision) where d.block = "alu"')
+    after = session.execute('retrieve (d.block, d.revision) where d.block = "alu"')
     print(f"   alu version scan:       {pages(after)}  (clustered history)")
 
     current_area = next(
         row[2] for row in result.rows if row[0] == "alu"
     )
-    indexed = db.execute(
+    indexed = session.execute(
         f"retrieve (d.block) where d.area = {current_area} "
         'when d overlap "now"'
     )
     print(f"   lookup by area (index): {pages(indexed)}")
+    session.close()
 
 
 if __name__ == "__main__":

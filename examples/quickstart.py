@@ -6,46 +6,59 @@ the current state, a historical query (``when``), and a rollback query
 (``as of``).
 
 Run:  python examples/quickstart.py
+
+``repro.connect`` honors the ``REPRO_CONNECT`` environment variable, so
+the same script runs unchanged against a network server:
+``REPRO_CONNECT=tcp://127.0.0.1:7474 python examples/quickstart.py``
+(the clock argument then belongs to the server and is ignored here).
 """
 
-from repro import Clock, TemporalDatabase, format_chronon, parse_temporal
+from repro import Clock, connect, format_chronon, parse_temporal
 
 
 def main() -> None:
     # A deterministic logical clock: starts 1980-01-01, each mutating
     # statement advances it one day.
     clock = Clock(start=parse_temporal("1/1/80"), tick=86400)
-    db = TemporalDatabase("quickstart", clock=clock)
 
-    # 'persistent' adds transaction time, 'interval' adds valid time:
-    # together they make a temporal (bitemporal) relation.
-    db.execute("create persistent interval position (name = c20, title = c20)")
-    db.execute('append to position (name = "merrie", title = "engineer")')
-    db.execute('append to position (name = "tom", title = "manager")')
-    db.execute("range of p is position")
+    with connect(name="quickstart", clock=clock) as session:
+        # 'persistent' adds transaction time, 'interval' adds valid time:
+        # together they make a temporal (bitemporal) relation.
+        session.execute(
+            "create persistent interval position (name = c20, title = c20)"
+        )
+        session.execute(
+            'append to position (name = "merrie", title = "engineer")'
+        )
+        session.execute('append to position (name = "tom", title = "manager")')
+        session.execute("range of p is position")
 
-    # Time passes; merrie is promoted.
-    db.execute('replace p (title = "director") where p.name = "merrie"')
-
-    print("current state (when p overlap 'now'):")
-    result = db.execute('retrieve (p.name, p.title) when p overlap "now"')
-    for row in result.rows:
-        print("  ", row[:2])
-
-    print("\nfull history (valid periods of every fact):")
-    result = db.execute("retrieve (p.name, p.title)")
-    for name, title, valid_from, valid_to in result.rows:
-        print(
-            f"   {name:<8} {title:<10} valid "
-            f"[{format_chronon(valid_from)} .. {format_chronon(valid_to)})"
+        # Time passes; merrie is promoted.
+        session.execute(
+            'replace p (title = "director") where p.name = "merrie"'
         )
 
-    print("\nrollback: what did the database say on Jan 2 1980?")
-    result = db.execute('retrieve (p.name, p.title) as of "1/2/80"')
-    for row in result.rows:
-        print("  ", row[:2])
+        print("current state (when p overlap 'now'):")
+        result = session.execute(
+            'retrieve (p.name, p.title) when p overlap "now"'
+        )
+        for row in result.rows:
+            print("  ", row[:2])
 
-    print(f"\n(that query read {result.input_pages} page(s))")
+        print("\nfull history (valid periods of every fact):")
+        result = session.execute("retrieve (p.name, p.title)")
+        for name, title, valid_from, valid_to in result.rows:
+            print(
+                f"   {name:<8} {title:<10} valid "
+                f"[{format_chronon(valid_from)} .. {format_chronon(valid_to)})"
+            )
+
+        print("\nrollback: what did the database say on Jan 2 1980?")
+        result = session.execute('retrieve (p.name, p.title) as of "1/2/80"')
+        for row in result.rows:
+            print("  ", row[:2])
+
+        print(f"\n(that query read {result.input_pages} page(s))")
 
 
 if __name__ == "__main__":

@@ -6,36 +6,36 @@ Shows the analyst-facing extensions working together: grouped aggregates
 Run:  python examples/workforce_analytics.py
 """
 
-from repro import Clock, TemporalDatabase, format_chronon, parse_temporal
+from repro import Clock, connect, format_chronon, parse_temporal
 
 
 def main() -> None:
     clock = Clock(start=parse_temporal("1/2/84"), tick=3600)
-    db = TemporalDatabase("workforce", clock=clock)
-    db.execute(
+    session = connect(name="workforce", clock=clock)
+    session.execute(
         "create persistent interval staff "
         "(name = c12, dept = c8, monthly = i4)"
     )
-    db.execute("modify staff to hash on name")
-    db.execute("range of s is staff")
+    session.execute("modify staff to hash on name")
+    session.execute("range of s is staff")
 
     hires = [
         ("ahn", "cs", 2600), ("snodgrass", "cs", 3600),
         ("wong", "ee", 3100), ("kreps", "ee", 2500), ("held", "cs", 2900),
     ]
     for name, dept, monthly in hires:
-        db.execute(
+        session.execute(
             f'append to staff (name = "{name}", dept = "{dept}", '
             f"monthly = {monthly})"
         )
 
     # Six months later: raises for cs, one transfer.
     clock.set(parse_temporal("7/2/84"))
-    db.execute('replace s (monthly = s.monthly + 200) where s.dept = "cs"')
-    db.execute('replace s (dept = "cs") where s.name = "wong"')
+    session.execute('replace s (monthly = s.monthly + 200) where s.dept = "cs"')
+    session.execute('replace s (dept = "cs") where s.name = "wong"')
 
     print("headcount and payroll by department, today:")
-    result = db.execute(
+    result = session.execute(
         "retrieve (s.dept, n = count(s.name by s.dept), "
         "payroll = sum(s.monthly by s.dept)) "
         'when s overlap "now"'
@@ -45,14 +45,14 @@ def main() -> None:
 
     print("\ntrend: average cs salary at the start of each quarter:")
     for quarter in ("1/15/84", "4/1/84", "7/15/84"):
-        result = db.execute(
+        result = session.execute(
             "retrieve (m = avg(s.monthly)) "
             f'where s.dept = "cs" when s overlap "{quarter}"'
         )
         print(f"   {quarter:>8}: {result.rows[0][0]:8.2f}/month")
 
     print("\nwong's department history, coalesced:")
-    result = db.execute(
+    result = session.execute(
         'retrieve coalesced (s.dept) where s.name = "wong"'
     )
     for dept, valid_from, valid_to in sorted(result.rows, key=lambda r: r[1]):
@@ -63,11 +63,12 @@ def main() -> None:
 
     print("\nhow the analytics query executes (EXPLAIN):")
     print(
-        db.explain(
+        session.explain(
             'retrieve (s.dept, n = count(s.name by s.dept)) '
             'when s overlap "now"'
         )
     )
+    session.close()
 
 
 if __name__ == "__main__":

@@ -59,6 +59,12 @@ from repro.errors import (
     TQuelSemanticError,
     TQuelSyntaxError,
 )
+from repro.server import (
+    RemotePreparedStatement,
+    RemoteSession,
+    ReproServer,
+    ServerThread,
+)
 from repro.storage.iostats import IODelta, IOStats
 from repro.temporal import (
     BEGINNING,
@@ -90,10 +96,14 @@ __all__ = [
     "PreparedStatement",
     "RelationKind",
     "RelationSchema",
+    "RemotePreparedStatement",
+    "RemoteSession",
     "ReproError",
+    "ReproServer",
     "Resolution",
     "Result",
     "SecondaryIndex",
+    "ServerThread",
     "Session",
     "Span",
     "StructureKind",

@@ -1,0 +1,224 @@
+"""Multi-session concurrency primitives.
+
+The engine's append-only transaction-time versioning makes snapshot
+isolation nearly free: committed versions are never rewritten (updates
+only stamp ``transaction_stop`` and insert new versions), so a reader
+that pins a *watermark* -- the clock value when its statement starts --
+sees a consistent committed state no matter what writers do afterwards.
+What remains is physical safety, and this module supplies it:
+
+* :class:`RWLatch` / :class:`LatchTable` -- per-relation read/write
+  latches.  Retrieves hold shared latches on every relation they scan;
+  update statements hold the exclusive latch on each relation they touch;
+  DDL holds the database-wide catalog latch exclusively (every other
+  statement holds it shared).  Latches are held for one statement only --
+  they order physical page access, not transactions; version visibility
+  is the watermark's job.
+* :class:`SessionContext` -- the per-session state a statement executes
+  under: the session id (I/O attribution scope), the session's range
+  table, and the pinned watermark, if any.
+* :class:`GroupCommitter` -- coalesces concurrent checkpoint requests
+  into one journaled save: the first committer becomes the leader and
+  persists once on behalf of every session that asked while it waited.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class RWLatch:
+    """A readers/writer latch (shared or exclusive holders).
+
+    Writers are preferred: once a writer is waiting, new readers queue
+    behind it, so a stream of retrieves cannot starve an update.  The
+    latch is not reentrant -- one statement acquires each latch at most
+    once (the latch table deduplicates names before acquiring).
+    """
+
+    __slots__ = ("_cond", "_readers", "_writer", "_writers_waiting")
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_shared(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_shared(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_exclusive(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_exclusive(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+class LatchTable:
+    """The database's latches: one per relation plus the catalog latch.
+
+    ``statement(names, exclusive)`` returns a context manager that takes
+    the catalog latch (shared unless *ddl*) and then each named relation
+    latch in sorted order -- a global acquisition order, so two update
+    statements can never deadlock.  Latches for dropped relations are
+    retired lazily; acquiring a name creates its latch on first use.
+    """
+
+    def __init__(self):
+        self.catalog = RWLatch()
+        self._latches: "dict[str, RWLatch]" = {}
+        self._guard = threading.Lock()
+
+    def latch_for(self, name: str) -> RWLatch:
+        with self._guard:
+            latch = self._latches.get(name)
+            if latch is None:
+                latch = self._latches[name] = RWLatch()
+            return latch
+
+    def statement(self, names, exclusive: bool = False, ddl: bool = False):
+        return _StatementLatches(self, sorted(set(names)), exclusive, ddl)
+
+
+class _StatementLatches:
+    """Context manager holding one statement's latch set."""
+
+    __slots__ = ("_table", "_names", "_exclusive", "_ddl", "_held")
+
+    def __init__(self, table, names, exclusive, ddl):
+        self._table = table
+        self._names = names
+        self._exclusive = exclusive
+        self._ddl = ddl
+        self._held = []
+
+    def __enter__(self):
+        catalog = self._table.catalog
+        if self._ddl:
+            catalog.acquire_exclusive()
+        else:
+            catalog.acquire_shared()
+        self._held.append((catalog, self._ddl))
+        # DDL's exclusive catalog latch already excludes every other
+        # statement; per-relation latches would be redundant.
+        if not self._ddl:
+            for name in self._names:
+                latch = self._table.latch_for(name)
+                if self._exclusive:
+                    latch.acquire_exclusive()
+                else:
+                    latch.acquire_shared()
+                self._held.append((latch, self._exclusive))
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        while self._held:
+            latch, exclusive = self._held.pop()
+            if exclusive:
+                latch.release_exclusive()
+            else:
+                latch.release_shared()
+
+
+class SessionContext:
+    """Per-session execution state, installed while a statement runs.
+
+    * ``session_id`` labels the session's I/O in the shared meter
+      (:meth:`repro.storage.iostats.IOStats.scoped`);
+    * ``ranges`` is the range-variable table the analyzer binds against
+      (``None``: the database's shared table);
+    * ``watermark`` is the pinned transaction-time read point, or
+      ``None`` to read at the live clock.  While pinned the session is
+      read-only: update statements are refused rather than silently
+      stamped with a newer time than the session can see.
+    """
+
+    __slots__ = ("session_id", "ranges", "watermark")
+
+    def __init__(self, session_id: str, ranges: "dict | None" = None):
+        self.session_id = session_id
+        self.ranges = ranges
+        self.watermark = None
+
+    def __repr__(self) -> str:
+        pinned = (
+            f", pinned@{self.watermark}" if self.watermark is not None else ""
+        )
+        return f"SessionContext({self.session_id!r}{pinned})"
+
+
+class GroupCommitter:
+    """Coalesce concurrent checkpoint requests into one journaled save.
+
+    ``commit(save)`` runs *save* (a zero-argument callable performing the
+    journaled checkpoint) exactly once per *group*: the first session to
+    ask becomes the leader; sessions that ask while the leader is saving
+    join the next group and one of them leads it when the current save
+    finishes.  Every caller returns only after a save that covers its
+    request (its preceding writes were flushed by that save).
+    """
+
+    def __init__(self, metrics=None):
+        self._cond = threading.Condition()
+        self._saving = False
+        self._generation = 0  # completed groups
+        self._last_error: "BaseException | None" = None
+        self._metrics = metrics
+
+    def commit(self, save) -> int:
+        """Run (or piggyback on) a group save; returns the group number.
+
+        A save already in flight when the request arrives may have missed
+        this session's writes, so the request is satisfied only by a save
+        that *starts* afterwards (generation ``current + 2`` while one is
+        running, ``current + 1`` otherwise).
+        """
+        if self._metrics is not None:
+            self._metrics.inc("commit.requests")
+        with self._cond:
+            target = self._generation + (2 if self._saving else 1)
+            leader = False
+            while self._generation < target and not leader:
+                if self._saving:
+                    self._cond.wait()
+                else:
+                    self._saving = True
+                    leader = True
+            if not leader:
+                # Another session's save covered this request.
+                if self._last_error is not None:
+                    raise self._last_error
+                return self._generation
+        error = None
+        try:
+            save()
+        except BaseException as exc:  # propagate to every joiner
+            error = exc
+        with self._cond:
+            self._saving = False
+            self._generation += 1
+            self._last_error = error
+            if self._metrics is not None:
+                self._metrics.inc("commit.groups")
+            self._cond.notify_all()
+        if error is not None:
+            raise error
+        return target

@@ -19,8 +19,10 @@ page per user relation.
 
 from __future__ import annotations
 
+import itertools
+import threading
 from collections import OrderedDict
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 
 from repro.access.base import StructureKind
 from repro.access.secondary import IndexLevels
@@ -28,6 +30,7 @@ from repro.access.twolevel import HistoryLayout
 from repro.catalog.schema import DatabaseType, RelationKind, RelationSchema
 from repro.catalog.system import SystemCatalog
 from repro.engine import mutate
+from repro.engine.concurrency import GroupCommitter, LatchTable
 from repro.engine.relation import StoredRelation
 from repro.engine.result import Result
 from repro.engine.temporary import TemporaryFactory
@@ -176,6 +179,19 @@ class TemporalDatabase:
         self._plan_cache: "OrderedDict[str, _PlanEntry]" = OrderedDict()
         self._plan_cache_capacity = PLAN_CACHE_CAPACITY
         self._catalog_epoch = 0
+        # Multi-session concurrency (see repro.engine.concurrency):
+        # per-relation read/write latches plus the catalog latch order
+        # physical page access; the ambient SessionContext -- installed
+        # per thread while a Session runs a statement -- carries the
+        # session id (I/O attribution), range table and pinned watermark;
+        # the group committer coalesces concurrent checkpoint requests.
+        self.latches = LatchTable()
+        self._ambient = threading.local()
+        self._session_ids = itertools.count(1)
+        self._open_sessions: "set[str]" = set()
+        self._sessions_guard = threading.Lock()
+        self._group_committer = GroupCommitter(self.metrics)
+        self.checkpoint_dir = None
 
     # -- infrastructure the language layer uses ------------------------------
 
@@ -183,6 +199,75 @@ class TemporalDatabase:
     def stats(self):
         """The database-wide I/O meter."""
         return self.pool.stats
+
+    # -- session plumbing ------------------------------------------------------
+
+    @property
+    def session_context(self):
+        """The SessionContext installed on this thread, or None."""
+        return getattr(self._ambient, "ctx", None)
+
+    @contextmanager
+    def _session_scope(self, ctx):
+        """Install *ctx* as this thread's ambient session context."""
+        previous = getattr(self._ambient, "ctx", None)
+        self._ambient.ctx = ctx
+        try:
+            yield
+        finally:
+            self._ambient.ctx = previous
+
+    @property
+    def current_ranges(self) -> "dict[str, str]":
+        """The range-variable table statements bind against: the ambient
+        session's private table when it has one, else the shared table."""
+        ctx = self.session_context
+        if ctx is not None and ctx.ranges is not None:
+            return ctx.ranges
+        return self.ranges
+
+    def statement_now(self) -> Chronon:
+        """The transaction-time read point of the current statement.
+
+        The ambient session's pinned watermark when one is set, else the
+        live clock.  Pinning never affects the timestamps updates write
+        (pinned sessions are read-only), only the default as-of period.
+        """
+        ctx = self.session_context
+        if ctx is not None and ctx.watermark is not None:
+            return ctx.watermark
+        return self.clock.now()
+
+    def session(self, shared_ranges: bool = False):
+        """Open a new concurrent :class:`~repro.engine.session.Session`.
+
+        Each session gets a fresh id (I/O attribution scope) and, by
+        default, a private range-variable table, so concurrent sessions
+        can bind the same variable names to different relations.
+        """
+        from repro.engine.session import Session
+
+        return Session(self, shared_ranges=shared_ranges)
+
+    def group_commit(self, path=None) -> int:
+        """Checkpoint through the group committer; returns the group.
+
+        Concurrent callers are coalesced: one journaled save (under the
+        exclusive catalog latch, so no statement is mid-flight) covers
+        every session whose request preceded its start.
+        """
+        target = path if path is not None else self.checkpoint_dir
+        if target is None:
+            raise ExecutionError(
+                "no checkpoint directory: connect with a 'file:' URI or "
+                "pass group_commit(path)"
+            )
+
+        def _save():
+            with self.latches.statement((), ddl=True):
+                self.save(target)
+
+        return self._group_committer.commit(_save)
 
     def parse_temporal_text(self, text: str) -> Chronon:
         """Resolve a temporal string constant against this database's clock."""
@@ -370,6 +455,10 @@ class TemporalDatabase:
         self.ranges = {
             var: rel for var, rel in self.ranges.items() if rel != name
         }
+        ctx = self.session_context
+        if ctx is not None and ctx.ranges is not None:
+            for var in [v for v, rel in ctx.ranges.items() if rel == name]:
+                del ctx.ranges[var]
         self._invalidate_plans()
 
     def _require_user_relation(self, name: str) -> StoredRelation:
@@ -388,14 +477,14 @@ class TemporalDatabase:
         relation = self._require_user_relation(name)
         with self._atomic_scope():
             count = mutate.load_rows(relation, list(rows), self.clock.now())
-        self.pool.flush_all()
+        self.pool.flush_statement()
         return count
 
     def copy_out(self, name: str) -> "list[tuple]":
         """Programmatic ``copy ... into``: dump every stored version."""
         relation = self._require_user_relation(name)
         rows = relation.all_rows()
-        self.pool.flush_all()
+        self.pool.flush_statement()
         return rows
 
     def explain(self, text: str, analyze: bool = False) -> str:
@@ -495,12 +584,18 @@ class TemporalDatabase:
             )
         return entry
 
+    def _ranges_key(self) -> tuple:
+        """The visible range table as a hashable cache key (tiny)."""
+        return tuple(sorted(self.current_ranges.items()))
+
     def _analysis_for(self, entry: _PlanEntry, index: int, span=NULL_SPAN):
         """The (possibly cached) semantic analysis of one statement.
 
         Analysis binds relations and range variables, so a cached result
-        is valid only at the catalog epoch it was computed at.  Returns
-        ``None`` for statements that are not analyzed (DDL, copy, ...).
+        is valid only at the catalog epoch -- and under the range table --
+        it was computed at (sessions may hold private range tables).
+        Returns ``None`` for statements that are not analyzed (DDL,
+        copy, ...).
         """
         statement = entry.statements[index]
         if isinstance(statement, ast.RetrieveStmt):
@@ -511,13 +606,18 @@ class TemporalDatabase:
             analyze = self._analyzer.analyze_update
         else:
             return None
+        ranges_key = self._ranges_key()
         cached = entry.analyses[index]
-        if cached is not None and cached[0] == self._catalog_epoch:
+        if (
+            cached is not None
+            and cached[0] == self._catalog_epoch
+            and cached[1] == ranges_key
+        ):
             span.annotate(analysis="cached")
-            return cached[1]
+            return cached[2]
         with span.stage("semantics"):
             analysis = analyze(statement)
-        entry.analyses[index] = (self._catalog_epoch, analysis)
+        entry.analyses[index] = (self._catalog_epoch, ranges_key, analysis)
         return analysis
 
     def _run_entry(self, entry: _PlanEntry, span, params) -> "Result | list":
@@ -533,45 +633,100 @@ class TemporalDatabase:
 
     def _run(self, entry: _PlanEntry, index: int, span, params) -> Result:
         statement = entry.statements[index]
-        if isinstance(
+        ctx = self.session_context
+        scope = ctx.session_id if ctx is not None else None
+        is_query = isinstance(statement, ast.RetrieveStmt)
+        is_update = isinstance(
             statement,
             (ast.AppendStmt, ast.DeleteStmt, ast.ReplaceStmt, ast.CopyStmt),
+        )
+        if (
+            ctx is not None
+            and ctx.watermark is not None
+            and not (is_query or isinstance(statement, ast.RangeStmt))
         ):
+            raise ExecutionError(
+                "session is pinned (read-only snapshot): unpin before "
+                "running updates or DDL"
+            )
+        if is_update:
             self.clock.advance()
         self.recorder.record(
             "statement.start",
             level=observe_events.DEBUG,
             text=entry.text[:120],
         )
-        before = self.stats.checkpoint()
-        runner = self._planned_runner(entry, index, span, params)
+        # Latch order (global, deadlock-free): the catalog latch -- shared
+        # for queries and updates, exclusive for DDL -- then the statement's
+        # relation latches in sorted name order, shared for queries and
+        # exclusive for updates.  Analysis runs under the catalog latch
+        # (it binds against the catalog) and determines the relation set.
+        analyzed = is_query or isinstance(
+            statement, (ast.AppendStmt, ast.DeleteStmt, ast.ReplaceStmt)
+        )
+        ddl = not (is_query or is_update)
+        catalog_latch = self.latches.catalog
+        if ddl:
+            catalog_latch.acquire_exclusive()
+        else:
+            catalog_latch.acquire_shared()
+        held: "list" = []
         try:
-            with span.stage("execute"):
-                if isinstance(
-                    statement,
-                    (ast.AppendStmt, ast.DeleteStmt, ast.ReplaceStmt,
-                     ast.CopyStmt),
-                ):
-                    # Update statements are atomic: any failure inside the
-                    # runner rolls back every physical write before the
-                    # exception escapes.  The trailing flush stays outside the
-                    # scope -- once the runner returned, the statement's
-                    # effects are complete and a failure while flushing leaves
-                    # the post-state.
-                    with self._atomic_scope():
-                        result = runner()
+            analysis = None
+            if analyzed:
+                analysis = self._analysis_for(entry, index, span)
+                names = self._statement_relations(statement, analysis)
+                for name in sorted(names):
+                    latch = self.latches.latch_for(name)
+                    if is_update:
+                        latch.acquire_exclusive()
+                    else:
+                        latch.acquire_shared()
+                    held.append(latch)
+            elif isinstance(statement, ast.CopyStmt):
+                latch = self.latches.latch_for(statement.relation)
+                latch.acquire_exclusive()
+                held.append(latch)
+            with self.stats.scoped(scope):
+                before = self.stats.checkpoint(scope)
+                runner = self._planned_runner(
+                    entry, index, span, params, analysis
+                )
+                try:
+                    with span.stage("execute"):
+                        if is_update:
+                            # Update statements are atomic: any failure
+                            # inside the runner rolls back every physical
+                            # write before the exception escapes.  The
+                            # trailing flush stays outside the scope -- once
+                            # the runner returned, the statement's effects
+                            # are complete and a failure while flushing
+                            # leaves the post-state.
+                            with self._atomic_scope():
+                                result = runner()
+                        else:
+                            result = runner()
+                        self.pool.flush_statement()
+                except BaseException as error:
+                    self.recorder.record(
+                        "statement.error",
+                        level=observe_events.ERROR,
+                        text=entry.text[:120],
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                    raise
+                result.io = self.stats.delta(before, scope)
+        finally:
+            while held:
+                latch = held.pop()
+                if is_update or isinstance(statement, ast.CopyStmt):
+                    latch.release_exclusive()
                 else:
-                    result = runner()
-                self.pool.flush_all()
-        except BaseException as error:
-            self.recorder.record(
-                "statement.error",
-                level=observe_events.ERROR,
-                text=entry.text[:120],
-                error=f"{type(error).__name__}: {error}",
-            )
-            raise
-        result.io = self.stats.delta(before)
+                    latch.release_shared()
+            if ddl:
+                catalog_latch.release_exclusive()
+            else:
+                catalog_latch.release_shared()
         self.metrics.inc(f"statements.{result.kind}")
         self.metrics.observe("statement.input_pages", result.io.input_pages)
         self.metrics.observe("statement.output_pages", result.io.output_pages)
@@ -584,7 +739,19 @@ class TemporalDatabase:
         )
         return result
 
-    def _planned_runner(self, entry: _PlanEntry, index: int, span, params):
+    @staticmethod
+    def _statement_relations(statement, analysis) -> "set[str]":
+        """The relation names an analyzed statement reads or writes."""
+        names = {
+            info.relation.schema.name for info in analysis.vars.values()
+        }
+        if isinstance(statement, ast.AppendStmt):
+            names.add(statement.relation)
+        return names
+
+    def _planned_runner(
+        self, entry: _PlanEntry, index: int, span, params, analysis=None
+    ):
         """Resolve one statement to a zero-argument execution callable.
 
         Query and update statements are analyzed (span stage
@@ -598,7 +765,8 @@ class TemporalDatabase:
             (ast.RetrieveStmt, ast.AppendStmt, ast.DeleteStmt,
              ast.ReplaceStmt),
         ):
-            analysis = self._analysis_for(entry, index, span)
+            if analysis is None:
+                analysis = self._analysis_for(entry, index, span)
             with span.stage("plan"):
                 executor = Executor(self, analysis, params=params)
             if isinstance(statement, ast.RetrieveStmt):
@@ -613,7 +781,7 @@ class TemporalDatabase:
     def _dispatch(self, statement) -> Result:
         if isinstance(statement, ast.RangeStmt):
             self.relation(statement.relation)  # must exist
-            self.ranges[statement.var] = statement.relation
+            self.current_ranges[statement.var] = statement.relation
             self._invalidate_plans()
             return Result(
                 kind="range",

@@ -11,6 +11,8 @@ A temporary is always a heap; it lives for the duration of one statement.
 
 from __future__ import annotations
 
+import itertools
+
 from repro.access.heap import HeapFile
 from repro.storage.buffer import BufferPool
 from repro.storage.record import FieldSpec, RecordCodec
@@ -63,10 +65,11 @@ class TemporaryFactory:
 
     def __init__(self, pool: BufferPool):
         self._pool = pool
-        self._counter = 0
+        # itertools.count: atomic under the GIL, so concurrent statements
+        # detaching at the same time can never collide on a name.
+        self._ids = itertools.count(1)
 
     def create(self, fields: "list[FieldSpec]") -> TemporaryRelation:
-        self._counter += 1
         return TemporaryRelation(
-            self._pool, f"_temp{self._counter}", fields
+            self._pool, f"_temp{next(self._ids)}", fields
         )

@@ -120,22 +120,33 @@ def statement_scope(pool):
     On any exception the captured state is rolled back before the
     exception propagates; on success the log is simply discarded (there
     is nothing to redo -- pages were mutated in place).
+
+    The pre-image log is pool-global, so concurrent update statements
+    (already disjoint on data -- they hold exclusive relation latches)
+    take turns entering a scope via ``pool.undo_mutex``.
     """
-    log = UndoLog()
-    pool.begin_undo(log)
+    mutex = getattr(pool, "undo_mutex", None)
+    if mutex is not None:
+        mutex.acquire()
     try:
-        yield log
-    except BaseException as error:
-        pool.end_undo()
-        log.rollback()
-        recorder = getattr(pool, "recorder", None)
-        if recorder is not None:
-            recorder.record(
-                "undo.rollback",
-                level=_EVENT_WARNING,
-                files=log.touched_files,
-                error=f"{type(error).__name__}: {error}",
-            )
-        raise
-    else:
-        pool.end_undo()
+        log = UndoLog()
+        pool.begin_undo(log)
+        try:
+            yield log
+        except BaseException as error:
+            pool.end_undo()
+            log.rollback()
+            recorder = getattr(pool, "recorder", None)
+            if recorder is not None:
+                recorder.record(
+                    "undo.rollback",
+                    level=_EVENT_WARNING,
+                    files=log.touched_files,
+                    error=f"{type(error).__name__}: {error}",
+                )
+            raise
+        else:
+            pool.end_undo()
+    finally:
+        if mutex is not None:
+            mutex.release()

@@ -2,6 +2,13 @@
 monitor the prototype was driven from.
 
 Run with ``python -m repro.monitor`` (or the ``tquel-monitor`` script).
+The monitor speaks to a session from :func:`repro.connect`: by default a
+fresh in-memory database, or pass a connect target as the first argument
+(``python -m repro.monitor tcp://127.0.0.1:7474``, ``file:DIR``, or a
+name; the ``REPRO_CONNECT`` environment variable works too).  Over a
+remote (``tcp://``) session, engine-introspection meta-commands that
+need the in-process database are disabled and say so.
+
 Statements are plain TQuel; meta-commands start with a backslash:
 
 =============  ====================================================
@@ -46,10 +53,25 @@ from repro.temporal.format import Resolution, format_chronon
 
 
 class Monitor:
-    """A tiny REPL over one :class:`TemporalDatabase`."""
+    """A tiny REPL over one session (local or remote).
 
-    def __init__(self, db: "TemporalDatabase | None" = None, out=None):
-        self.db = db if db is not None else TemporalDatabase("monitor")
+    Constructed from a *session* (anything :func:`repro.connect`
+    returns) or, for embedding and tests, a *db*
+    (:class:`TemporalDatabase`), which is wrapped in a local session.
+    ``self.db`` is the in-process engine when there is one, ``None``
+    over the wire -- meta-commands that need it check first.
+    """
+
+    def __init__(self, db: "TemporalDatabase | None" = None, out=None,
+                 session=None):
+        if session is None:
+            from repro.engine.session import Session
+
+            session = Session(
+                db if db is not None else TemporalDatabase("monitor")
+            )
+        self.session = session
+        self.db = getattr(session, "db", None)
         self.out = out if out is not None else sys.stdout
         self.show_io = True
         self.show_timing = False
@@ -59,17 +81,41 @@ class Monitor:
     def _print(self, text: str = "") -> None:
         self.out.write(text + "\n")
 
+    def _local_db(self, command: str) -> "TemporalDatabase | None":
+        """The in-process engine, or None (with a message) when remote."""
+        if self.db is None:
+            self._print(
+                f"  \\{command} needs the in-process engine; not available "
+                "over a remote connection"
+            )
+            return None
+        return self.db
+
     # -- meta-commands -------------------------------------------------------
 
     def _meta(self, line: str) -> None:
         parts = line[1:].split()
         command = parts[0] if parts else "?"
+        # These inspect or mutate the in-process engine directly and are
+        # refused (with a hint) over a remote connection.
+        needs_engine = {
+            "check", "save", "restore", "clock", "metrics", "events",
+            "heatmap", "failpoints", "trace",
+        }
+        if command in needs_engine and self._local_db(command) is None:
+            return
         if command == "q":
             self._done = True
         elif command == "?":
             self._print(__doc__ or "")
         elif command == "d":
-            if len(parts) > 1:
+            if self.db is None:
+                if len(parts) > 1:
+                    self._local_db("d name")
+                    return
+                for name in self.session.relation_names():
+                    self._print(name)
+            elif len(parts) > 1:
                 relation = self.db.relation(parts[1])
                 self._print(relation.schema.describe())
                 self._print(
@@ -110,9 +156,7 @@ class Monitor:
             if len(parts) != 2:
                 self._print("usage: \\telemetry <directory>")
                 return
-            from repro.observe.export import export_telemetry
-
-            written = export_telemetry(self.db, parts[1])
+            written = self.session.export_telemetry(parts[1])
             for artifact, path in sorted(written.items()):
                 self._print(f"  wrote {artifact}: {path}")
         elif command == "failpoints":
@@ -178,6 +222,9 @@ class Monitor:
             except ReproError as error:
                 self._print(f"  error: {error}")
                 return
+            from repro.engine.session import Session
+
+            self.session = Session(self.db)
             self._print(f"  restored from {parts[1]}")
         else:
             self._print(f"unknown meta-command \\{command} (try \\?)")
@@ -384,7 +431,7 @@ class Monitor:
                 analyze = True
                 text = text[len("analyze "):].lstrip()
             try:
-                self._print(self.db.explain(text, analyze=analyze))
+                self._print(self.session.explain(text, analyze=analyze))
             except ReproError as error:
                 self._print(f"  error: {error}")
             return
@@ -395,7 +442,7 @@ class Monitor:
 
         started = time.perf_counter()
         try:
-            outcome = self.db.execute(stripped)
+            outcome = self.session.execute(stripped)
         except ReproError as error:
             self._print(f"  error: {error}")
             return
@@ -404,9 +451,10 @@ class Monitor:
             self._show_result(result)
         if self.show_timing:
             # With tracing on, the span tree's root is the statement's
-            # own execution time, excluding monitor overhead.
-            tracer = self.db.tracer
-            if tracer.enabled and tracer.last is not None:
+            # own execution time, excluding monitor overhead (local
+            # sessions only; over the wire, elapsed includes the trip).
+            tracer = getattr(self.session, "tracer", None)
+            if tracer is not None and tracer.enabled and tracer.last is not None:
                 elapsed = tracer.last.duration
             self._print(f"  Time: {elapsed * 1000.0:.3f} ms")
 
@@ -439,7 +487,16 @@ class Monitor:
 
 
 def main(argv=None) -> int:
-    Monitor().run()
+    import repro
+
+    args = sys.argv[1:] if argv is None else argv
+    target = args[0] if args else None
+    session = repro.connect(target, name="monitor")
+    monitor = Monitor(session=session)
+    try:
+        monitor.run()
+    finally:
+        session.close()
     return 0
 
 

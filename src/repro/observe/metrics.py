@@ -18,6 +18,8 @@ walk pages through the unmetered ``peek`` path for the same reason.
 
 from __future__ import annotations
 
+import threading
+
 
 class Counter:
     """A monotonically increasing integer."""
@@ -91,6 +93,10 @@ class MetricsRegistry:
         self._counters: "dict[str, Counter]" = {}
         self._histograms: "dict[str, Histogram]" = {}
         self._gauges: "dict[str, object]" = {}
+        # Recording is read-modify-write, so concurrent sessions sharing
+        # one registry serialize on a lock (contention is negligible next
+        # to statement execution; nothing here meters a page access).
+        self._lock = threading.Lock()
 
     # -- recording ---------------------------------------------------------
 
@@ -108,11 +114,13 @@ class MetricsRegistry:
 
     def inc(self, name: str, amount: int = 1) -> None:
         if self.enabled:
-            self.counter(name).inc(amount)
+            with self._lock:
+                self.counter(name).inc(amount)
 
     def observe(self, name: str, value) -> None:
         if self.enabled:
-            self.histogram(name).observe(value)
+            with self._lock:
+                self.histogram(name).observe(value)
 
     def gauge(self, name: str, value) -> None:
         if self.enabled:

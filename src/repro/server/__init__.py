@@ -1,0 +1,26 @@
+"""A network front end for the temporal DBMS.
+
+``repro.server`` exposes one :class:`~repro.engine.database.TemporalDatabase`
+to many clients over TCP:
+
+* :mod:`repro.server.protocol` -- the wire format: length-prefixed JSON
+  frames and the request/response vocabulary;
+* :mod:`repro.server.server` -- :class:`ReproServer`, the asyncio
+  acceptor: one engine session per connection, statement execution on
+  worker threads, session registry with limits and idle timeouts;
+* :mod:`repro.server.client` -- :class:`RemoteSession`, the blocking
+  client returned by ``repro.connect("tcp://host:port")``, presenting
+  the same Session/PreparedStatement/Result surface as a local session.
+
+Run a server from the command line with ``python -m repro.server``.
+"""
+
+from repro.server.client import RemotePreparedStatement, RemoteSession
+from repro.server.server import ReproServer, ServerThread
+
+__all__ = [
+    "RemotePreparedStatement",
+    "RemoteSession",
+    "ReproServer",
+    "ServerThread",
+]

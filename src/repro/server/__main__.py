@@ -1,0 +1,82 @@
+"""Command-line server: ``python -m repro.server``.
+
+Serves one temporal database over TCP until SIGTERM/SIGINT, then shuts
+down gracefully (sessions released, buffers flushed) and exits 0.
+
+    python -m repro.server --port 7474 --database file:/var/lib/tdb
+
+The ``--database`` argument takes the same local forms as
+``repro.connect``: a bare name for a fresh in-memory database or
+``file:DIR`` for a durable one.  The bound address is announced on
+stdout as ``listening on tcp://host:port`` (with ``--port 0`` the
+kernel picks the port, so scrape it from there).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+from repro.server.server import ReproServer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve a temporal database over the wire protocol.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7474,
+                        help="TCP port (0: ephemeral, announced on stdout)")
+    parser.add_argument(
+        "--database", default="tdb",
+        help="bare name (in-memory) or file:DIR (durable checkpoint)",
+    )
+    parser.add_argument("--token", default=None,
+                        help="require this token at hello")
+    parser.add_argument("--max-sessions", type=int, default=32)
+    parser.add_argument("--idle-timeout", type=float, default=None,
+                        help="close sessions idle for this many seconds")
+    return parser
+
+
+def _open_database(spec: str):
+    from repro.engine.session import _open_file_database
+    from repro.engine.database import TemporalDatabase
+
+    if spec.startswith("file:"):
+        return _open_file_database(spec[len("file:"):])
+    return TemporalDatabase(name=spec)
+
+
+async def _serve(args) -> None:
+    database = _open_database(args.database)
+    server = ReproServer(
+        database,
+        host=args.host,
+        port=args.port,
+        token=args.token,
+        max_sessions=args.max_sessions,
+        idle_timeout=args.idle_timeout,
+    )
+    await server.start()
+    print(f"listening on {server.url}", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stop.set)
+    await stop.wait()
+    print("shutting down", flush=True)
+    await server.stop()
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    asyncio.run(_serve(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,314 @@
+"""The blocking wire-protocol client: :class:`RemoteSession`.
+
+``repro.connect("tcp://host:port")`` returns a :class:`RemoteSession`,
+which presents the same surface as a local
+:class:`~repro.engine.session.Session` -- ``execute`` / ``executemany``
+/ ``prepare`` / ``explain`` / ``relation_names`` / ``relation_rows`` /
+``pin`` / ``snapshot`` / ``commit`` / ``io_totals`` / ``close``, context
+management included -- but every call is one request/response exchange
+with a :class:`~repro.server.server.ReproServer`.  Results come back as
+real :class:`~repro.engine.result.Result` objects, their ``io`` deltas
+rebuilt from the wire (per-session attribution happens server-side).
+
+Server-raised errors are re-raised locally as the matching class from
+:mod:`repro.errors` (by the class name carried in the error frame), so
+``except TQuelSyntaxError:`` works identically against a local or a
+remote session.
+
+Like a local session, a :class:`RemoteSession` belongs to one thread at
+a time; open one connection per thread for concurrency.
+"""
+
+from __future__ import annotations
+
+import socket
+from contextlib import contextmanager
+
+from repro import errors as _errors
+from repro.errors import ExecutionError
+from repro.server import protocol
+
+
+def _raise_remote(error: dict) -> None:
+    """Re-raise a server error frame as the matching local exception."""
+    name = error.get("type", "ExecutionError")
+    message = error.get("message", "remote error")
+    exc_class = getattr(_errors, name, None)
+    if exc_class is None and name == "ProtocolError":
+        exc_class = protocol.ProtocolError
+    if isinstance(exc_class, type) and issubclass(exc_class, BaseException):
+        raise exc_class(message)
+    raise ExecutionError(f"{name}: {message}")
+
+
+class RemotePreparedStatement:
+    """A statement compiled server-side, executed by handle."""
+
+    def __init__(self, session: "RemoteSession", text: str, handle: int):
+        self._session = session
+        self.text = text
+        self._handle = handle
+
+    def execute(self, params: "dict | None" = None):
+        """Run the prepared statement(s); Result or list of Results."""
+        reply = self._session._request(
+            {
+                "op": "execute_prepared",
+                "statement": self._handle,
+                "params": params,
+            }
+        )
+        return self._session._assemble_results(reply)
+
+    def executemany(self, param_sets) -> list:
+        """Run once per parameter set; the server-side plan is reused."""
+        return [self.execute(params) for params in param_sets]
+
+    def explain(self, analyze: bool = False) -> str:
+        """The plan narration (and measured span tree with *analyze*)."""
+        return self._session.explain(self.text, analyze=analyze)
+
+    def __repr__(self) -> str:
+        return f"RemotePreparedStatement({self.text!r})"
+
+
+class RemoteSession:
+    """One wire-protocol connection to a :class:`ReproServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        token: "str | None" = None,
+        timeout: "float | None" = None,
+    ):
+        self._sock = socket.create_connection(
+            (host, port), timeout=timeout if timeout is not None else 30.0
+        )
+        self._closed = False
+        self.session_id = None
+        self.server_info: dict = {}
+        self._watermark = None
+        try:
+            reply = self._request({"op": "hello", "token": token})
+        except BaseException:
+            self._sock.close()
+            self._closed = True
+            raise
+        self.server_info = {
+            key: reply[key]
+            for key in ("server", "version", "database")
+            if key in reply
+        }
+        self.session_id = reply.get("session")
+
+    @classmethod
+    def open(
+        cls,
+        url: str,
+        token: "str | None" = None,
+        timeout: "float | None" = None,
+    ) -> "RemoteSession":
+        """Connect to a ``tcp://host:port`` URL."""
+        spec = url[len("tcp://"):] if url.startswith("tcp://") else url
+        host, separator, port_text = spec.rpartition(":")
+        if not separator or not port_text.isdigit():
+            raise ExecutionError(
+                f"bad tcp URL {url!r}: expected tcp://host:port"
+            )
+        return cls(host or "127.0.0.1", int(port_text),
+                   token=token, timeout=timeout)
+
+    # -- request plumbing ----------------------------------------------------
+
+    def _request(self, message: dict) -> dict:
+        self._check_open()
+        try:
+            protocol.send_frame(self._sock, message)
+            reply = protocol.recv_frame(self._sock)
+        except (ConnectionError, socket.timeout, OSError) as error:
+            raise ExecutionError(f"server connection lost: {error}") from None
+        if reply is None:
+            raise ExecutionError("server closed the connection")
+        if not reply.get("ok", False):
+            _raise_remote(reply.get("error", {}))
+        return reply
+
+    def _assemble_results(self, reply: dict):
+        results = [
+            protocol.result_from_dict(data) for data in reply["results"]
+        ]
+        if reply.get("single", len(results) == 1):
+            return results[0]
+        return results
+
+    # -- statement execution -------------------------------------------------
+
+    def execute(self, text: str, params: "dict | None" = None):
+        """Run TQuel text; one Result, or a list for multi-statement input."""
+        reply = self._request(
+            {"op": "execute", "text": text, "params": params}
+        )
+        return self._assemble_results(reply)
+
+    def executemany(self, text: str, param_sets) -> list:
+        """Prepare *text* once server-side, execute it per parameter set."""
+        return self.prepare(text).executemany(param_sets)
+
+    def prepare(self, text: str) -> RemotePreparedStatement:
+        """Compile *text* server-side; execute it later by handle."""
+        reply = self._request({"op": "prepare", "text": text})
+        return RemotePreparedStatement(self, text, reply["statement"])
+
+    def stream(
+        self,
+        text: str,
+        params: "dict | None" = None,
+        page_rows: "int | None" = None,
+    ):
+        """Run one retrieve and fetch its rows page by page.
+
+        Returns the Result with the *first* page of rows loaded; iterate
+        the returned generator pair via :meth:`stream_pages` for the
+        rest.  Most callers want :meth:`execute`; ``stream`` bounds the
+        size of individual wire frames for very large results.
+        """
+        result, pages = self._stream(text, params, page_rows)
+        for page in pages:
+            result.rows.extend(page)
+        return result
+
+    def stream_pages(
+        self,
+        text: str,
+        params: "dict | None" = None,
+        page_rows: "int | None" = None,
+    ):
+        """Yield a retrieve's rows as successive page lists."""
+        result, pages = self._stream(text, params, page_rows)
+        if result.rows:
+            yield list(result.rows)
+        yield from pages
+
+    def _stream(self, text, params, page_rows):
+        request = {"op": "run", "text": text, "params": params}
+        if page_rows is not None:
+            request["page_rows"] = page_rows
+        reply = self._request(request)
+        result = protocol.result_from_dict(reply)
+        cursor = reply.get("cursor")
+        done = reply.get("done", True)
+
+        def pages():
+            remaining_cursor, finished = cursor, done
+            while not finished:
+                page_reply = self._request(
+                    {"op": "fetch", "cursor": remaining_cursor}
+                )
+                yield [tuple(row) for row in page_reply["rows"]]
+                finished = page_reply.get("done", True)
+
+        return result, pages()
+
+    def explain(self, text: str, analyze: bool = False) -> str:
+        """Plan narration for a retrieve (measured tree with *analyze*)."""
+        reply = self._request(
+            {"op": "explain", "text": text, "analyze": analyze}
+        )
+        return reply["text"]
+
+    # -- snapshot reads ------------------------------------------------------
+
+    def pin(self, at=None):
+        """Pin the session's transaction-time read point server-side."""
+        reply = self._request({"op": "pin", "at": at})
+        self._watermark = reply["watermark"]
+        return self._watermark
+
+    def unpin(self) -> None:
+        """Return to reading (and writing) at the live clock."""
+        self._request({"op": "unpin"})
+        self._watermark = None
+
+    @property
+    def pinned(self):
+        """The pinned watermark, or None (as last reported by the server)."""
+        return self._watermark
+
+    @contextmanager
+    def snapshot(self, at=None):
+        """``with session.snapshot(): ...`` -- pin for the block's duration."""
+        previous = self._watermark
+        self.pin(at)
+        try:
+            yield self
+        finally:
+            if previous is None:
+                self.unpin()
+            else:
+                self.pin(previous)
+
+    # -- durability ----------------------------------------------------------
+
+    def commit(self, path=None) -> int:
+        """Group-commit a checkpoint server-side; returns the group."""
+        reply = self._request({"op": "commit", "path": path})
+        return reply["group"]
+
+    # -- state inspection ----------------------------------------------------
+
+    def relation_names(self) -> "list[str]":
+        reply = self._request({"op": "relation_names"})
+        return reply["names"]
+
+    def relation_rows(self, name: str) -> "list[tuple]":
+        reply = self._request({"op": "relation_rows", "name": name})
+        return [tuple(row) for row in reply["rows"]]
+
+    def io_totals(self):
+        """This session's lifetime page I/O as measured by the server."""
+        from repro.storage.iostats import IODelta
+
+        reply = self._request({"op": "io_totals"})
+        return IODelta.from_dict(reply["io"])
+
+    def export_telemetry(self, path) -> "dict[str, str]":
+        """Write the engine's telemetry into *path* on the server host."""
+        reply = self._request({"op": "telemetry", "path": str(path)})
+        return reply["artifacts"]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Say goodbye (best-effort) and drop the connection.  Idempotent."""
+        if self._closed:
+            return
+        try:
+            protocol.send_frame(self._sock, {"op": "close"})
+            protocol.recv_frame(self._sock)
+        except (ConnectionError, socket.timeout, OSError,
+                protocol.ProtocolError):
+            pass
+        finally:
+            self._closed = True
+            self._sock.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecutionError("session is closed")
+
+    def __enter__(self) -> "RemoteSession":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        peer = self.server_info.get("database", "?")
+        return f"RemoteSession({peer!r}, {self.session_id}, {state})"

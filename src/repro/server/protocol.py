@@ -1,0 +1,170 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+Every message -- in either direction -- is one *frame*:
+
+* a 4-byte big-endian unsigned length ``N`` (at most :data:`MAX_FRAME`),
+* followed by ``N`` bytes of UTF-8 JSON encoding one object.
+
+Requests carry ``{"op": <name>, ...}``; responses carry ``{"ok": true,
+...}`` on success or ``{"ok": false, "error": {"type": <exception class
+name>, "message": <text>}}`` on failure.  The full op vocabulary and the
+session lifecycle are specified in ``docs/server.md``.
+
+The module supplies both the asyncio reader/writer pair the server uses
+and the blocking socket pair the client uses; both ends share the same
+encoder, so a frame is a frame regardless of transport.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro.errors import StorageError
+
+#: Upper bound on one frame's JSON payload (16 MiB).  Result streaming
+#: keeps ordinary frames far below this; the bound exists so a malformed
+#: or hostile length prefix cannot make either end allocate unboundedly.
+MAX_FRAME = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: Protocol version announced in the server's hello response.
+VERSION = 1
+
+
+class ProtocolError(StorageError):
+    """A malformed frame or an out-of-protocol message."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """One message as bytes: length prefix plus JSON payload."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse one frame's JSON payload into a message object."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must encode a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+# -- asyncio transport (server side) ----------------------------------------
+
+
+async def read_frame(reader) -> "dict | None":
+    """Read one frame from an ``asyncio.StreamReader``.
+
+    Returns ``None`` on a clean end-of-stream at a frame boundary;
+    raises :class:`ProtocolError` for oversized lengths or a stream cut
+    mid-frame, and ``asyncio.IncompleteReadError``-free semantics
+    otherwise.
+    """
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"frame length {length} exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    return decode_payload(payload)
+
+
+async def write_frame(writer, message: dict) -> None:
+    """Write one frame to an ``asyncio.StreamWriter`` and drain."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# -- blocking transport (client side) ---------------------------------------
+
+
+def _recv_exactly(sock: socket.socket, size: int) -> "bytes | None":
+    """Read exactly *size* bytes, or None on clean EOF before any byte."""
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == size:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> "dict | None":
+    """Read one frame from a blocking socket (None on clean EOF)."""
+    prefix = _recv_exactly(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"frame length {length} exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    payload = _recv_exactly(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    return decode_payload(payload)
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(message))
+
+
+# -- result marshalling ------------------------------------------------------
+
+
+def result_to_dict(result, rows: "list | None" = None) -> dict:
+    """A Result's wire form (rows passed separately when streaming)."""
+    return {
+        "kind": result.kind,
+        "columns": list(result.columns),
+        "rows": [list(row) for row in (result.rows if rows is None else rows)],
+        "count": result.count,
+        "message": result.message,
+        "io": result.io.as_dict() if result.io is not None else None,
+    }
+
+
+def result_from_dict(data: dict):
+    """Rebuild a Result from its wire form."""
+    from repro.engine.result import Result
+    from repro.storage.iostats import IODelta
+
+    return Result(
+        kind=data["kind"],
+        columns=list(data["columns"]),
+        rows=[tuple(row) for row in data["rows"]],
+        count=data["count"],
+        message=data.get("message", ""),
+        io=(
+            IODelta.from_dict(data["io"]) if data.get("io") is not None
+            else None
+        ),
+    )

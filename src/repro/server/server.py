@@ -1,0 +1,445 @@
+"""The asyncio TCP server: one engine, many wire-protocol sessions.
+
+:class:`ReproServer` accepts connections on a host/port, speaks the
+length-prefixed JSON protocol of :mod:`repro.server.protocol`, and maps
+each connection onto one engine session
+(:meth:`~repro.engine.database.TemporalDatabase.session` -- private
+range table, own I/O attribution scope).  Statements execute on worker
+threads (``asyncio.to_thread``), where the engine's per-relation latches
+and snapshot watermarks coordinate concurrent sessions; the event loop
+itself only frames, dispatches and streams.
+
+Operational guardrails:
+
+* ``max_sessions`` -- connections beyond the limit are refused at hello
+  with a clean error frame;
+* ``idle_timeout`` -- a connection with no request for that many seconds
+  is closed (its session released);
+* every connect, disconnect, refusal and timeout lands in the engine's
+  flight recorder, and per-session statement/IO counts land in the
+  metrics registry, so ``export_telemetry`` covers server activity too.
+
+:class:`ServerThread` runs a server on a background thread -- the shape
+tests and the CI smoke job use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.server import protocol
+
+
+class _Connection:
+    """Per-connection server state: the session, cursors, statements."""
+
+    __slots__ = ("session", "peer", "cursors", "statements", "next_id")
+
+    def __init__(self, session, peer):
+        self.session = session
+        self.peer = peer
+        self.cursors: "dict[int, tuple[list, int, int]]" = {}
+        self.statements: "dict[int, object]" = {}
+        self.next_id = 1
+
+    def allocate_id(self) -> int:
+        allocated = self.next_id
+        self.next_id += 1
+        return allocated
+
+
+class ReproServer:
+    """Serve one temporal database over TCP."""
+
+    def __init__(
+        self,
+        database,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        token: "str | None" = None,
+        max_sessions: int = 32,
+        idle_timeout: "float | None" = None,
+        page_rows: int = 256,
+    ):
+        self.db = database
+        self.host = host
+        self.port = port  # 0 until started when requesting an ephemeral port
+        self.token = token
+        self.max_sessions = max_sessions
+        self.idle_timeout = idle_timeout
+        self.page_rows = page_rows
+        self._server: "asyncio.AbstractServer | None" = None
+        self._connections: "set[_Connection]" = set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting (resolves an ephemeral port)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.db.recorder.record(
+            "server.start", host=self.host, port=self.port
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting, drop live connections, flush the engine."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for connection in list(self._connections):
+            self._release(connection)
+        self.db.pool.flush_all()
+        self.db.recorder.record("server.stop", port=self.port)
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``__main__`` entry point)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    @property
+    def url(self) -> str:
+        return f"tcp://{self.host}:{self.port}"
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self._connections)
+
+    # -- connection handling ------------------------------------------------
+
+    def _release(self, connection: _Connection) -> None:
+        if connection in self._connections:
+            self._connections.discard(connection)
+            io = connection.session.io_totals()
+            self.db.recorder.record(
+                "server.session_close",
+                session=connection.session.session_id,
+                peer=str(connection.peer),
+                input_pages=io.input_pages,
+                output_pages=io.output_pages,
+            )
+            connection.session.close()
+            self.db.metrics.gauge(
+                "server.active_sessions", len(self._connections)
+            )
+
+    async def _read_request(self, reader) -> "dict | None":
+        if self.idle_timeout is None:
+            return await protocol.read_frame(reader)
+        return await asyncio.wait_for(
+            protocol.read_frame(reader), timeout=self.idle_timeout
+        )
+
+    async def _handle(self, reader, writer) -> None:
+        peer = writer.get_extra_info("peername")
+        connection = None
+        try:
+            try:
+                hello = await self._read_request(reader)
+            except asyncio.TimeoutError:
+                return
+            if hello is None:
+                return
+            refusal = self._refuse_hello(hello)
+            if refusal is not None:
+                await protocol.write_frame(writer, _error_message(refusal))
+                return
+            session = self.db.session()
+            connection = _Connection(session, peer)
+            self._connections.add(connection)
+            self.db.metrics.inc("server.connections")
+            self.db.metrics.gauge(
+                "server.active_sessions", len(self._connections)
+            )
+            self.db.recorder.record(
+                "server.session_open",
+                session=session.session_id,
+                peer=str(peer),
+            )
+            await protocol.write_frame(
+                writer,
+                {
+                    "ok": True,
+                    "server": "repro",
+                    "version": protocol.VERSION,
+                    "session": session.session_id,
+                    "database": self.db.name,
+                },
+            )
+            await self._serve_session(connection, reader, writer)
+        except (
+            protocol.ProtocolError,
+            ConnectionError,
+            asyncio.IncompleteReadError,
+        ) as error:
+            # A malformed frame or a dead peer: the stream can no longer
+            # be trusted, so answer (best-effort) and hang up.
+            self.db.metrics.inc("server.protocol_errors")
+            self.db.recorder.record(
+                "server.protocol_error", peer=str(peer), error=str(error)
+            )
+            try:
+                await protocol.write_frame(writer, _error_message(error))
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            if connection is not None:
+                self._release(connection)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _refuse_hello(self, hello: dict) -> "Exception | None":
+        from repro.errors import ExecutionError
+
+        if hello.get("op") != "hello":
+            return protocol.ProtocolError(
+                f"expected hello, got {hello.get('op')!r}"
+            )
+        if self.token is not None and hello.get("token") != self.token:
+            self.db.metrics.inc("server.auth_failures")
+            return ExecutionError("authentication failed: bad token")
+        if len(self._connections) >= self.max_sessions:
+            self.db.metrics.inc("server.refused_full")
+            return ExecutionError(
+                f"server full: {self.max_sessions} sessions already open"
+            )
+        return None
+
+    async def _serve_session(self, connection, reader, writer) -> None:
+        while True:
+            try:
+                request = await self._read_request(reader)
+            except asyncio.TimeoutError:
+                self.db.metrics.inc("server.idle_timeouts")
+                self.db.recorder.record(
+                    "server.idle_timeout",
+                    session=connection.session.session_id,
+                )
+                await protocol.write_frame(
+                    writer,
+                    _error_message(
+                        protocol.ProtocolError(
+                            f"idle for more than {self.idle_timeout}s; "
+                            "closing session"
+                        )
+                    ),
+                )
+                return
+            if request is None:
+                return
+            op = request.get("op")
+            if op == "close":
+                await protocol.write_frame(writer, {"ok": True, "bye": True})
+                return
+            try:
+                response = await self._dispatch(connection, op, request)
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                response = _error_message(error)
+            await protocol.write_frame(writer, response)
+
+    # -- request dispatch ---------------------------------------------------
+
+    async def _dispatch(self, connection, op, request) -> dict:
+        session = connection.session
+        if op == "execute":
+            results = await asyncio.to_thread(
+                session.execute, request["text"], request.get("params")
+            )
+            single = not isinstance(results, list)
+            if single:
+                results = [results]
+            return {
+                "ok": True,
+                "single": single,
+                "results": [protocol.result_to_dict(r) for r in results],
+            }
+        if op == "prepare":
+            statement = await asyncio.to_thread(
+                session.prepare, request["text"]
+            )
+            handle = connection.allocate_id()
+            connection.statements[handle] = statement
+            return {"ok": True, "statement": handle}
+        if op == "execute_prepared":
+            statement = self._statement_for(connection, request)
+            results = await asyncio.to_thread(
+                statement.execute, request.get("params")
+            )
+            single = not isinstance(results, list)
+            if single:
+                results = [results]
+            return {
+                "ok": True,
+                "single": single,
+                "results": [protocol.result_to_dict(r) for r in results],
+            }
+        if op == "run":
+            return await self._run_streaming(connection, request)
+        if op == "fetch":
+            return self._fetch(connection, request)
+        if op == "explain":
+            text = await asyncio.to_thread(
+                session.explain,
+                request["text"],
+                bool(request.get("analyze", False)),
+            )
+            return {"ok": True, "text": text}
+        if op == "relation_names":
+            return {"ok": True, "names": session.relation_names()}
+        if op == "relation_rows":
+            rows = await asyncio.to_thread(
+                session.relation_rows, request["name"]
+            )
+            return {"ok": True, "rows": [list(row) for row in rows]}
+        if op == "pin":
+            watermark = session.pin(request.get("at"))
+            return {"ok": True, "watermark": watermark}
+        if op == "unpin":
+            session.unpin()
+            return {"ok": True}
+        if op == "commit":
+            group = await asyncio.to_thread(
+                session.commit, request.get("path")
+            )
+            return {"ok": True, "group": group}
+        if op == "io_totals":
+            return {"ok": True, "io": session.io_totals().as_dict()}
+        if op == "telemetry":
+            artifacts = await asyncio.to_thread(
+                session.export_telemetry, request["path"]
+            )
+            return {"ok": True, "artifacts": artifacts}
+        raise protocol.ProtocolError(f"unknown op {op!r}")
+
+    @staticmethod
+    def _statement_for(connection, request):
+        handle = request.get("statement")
+        statement = connection.statements.get(handle)
+        if statement is None:
+            raise protocol.ProtocolError(f"unknown statement handle {handle}")
+        return statement
+
+    async def _run_streaming(self, connection, request) -> dict:
+        """Execute one statement and stream its rows in pages.
+
+        The statement runs to completion on a worker thread (results are
+        materialized lists); streaming chunks the *transfer*, bounding
+        frame sizes, not the execution.
+        """
+        from repro.errors import ExecutionError
+
+        result = await asyncio.to_thread(
+            connection.session.execute,
+            request["text"],
+            request.get("params"),
+        )
+        if isinstance(result, list):
+            raise ExecutionError(
+                "run streams a single statement; use execute for scripts"
+            )
+        page_rows = int(request.get("page_rows") or self.page_rows)
+        page_rows = max(1, page_rows)
+        head = protocol.result_to_dict(result, rows=result.rows[:page_rows])
+        done = len(result.rows) <= page_rows
+        cursor = None
+        if not done:
+            cursor = connection.allocate_id()
+            connection.cursors[cursor] = (result.rows, page_rows, page_rows)
+        head.update({"ok": True, "cursor": cursor, "done": done})
+        return head
+
+    def _fetch(self, connection, request) -> dict:
+        handle = request.get("cursor")
+        state = connection.cursors.get(handle)
+        if state is None:
+            raise protocol.ProtocolError(f"unknown cursor {handle}")
+        rows, position, page_rows = state
+        page = rows[position:position + page_rows]
+        position += len(page)
+        done = position >= len(rows)
+        if done:
+            del connection.cursors[handle]
+        else:
+            connection.cursors[handle] = (rows, position, page_rows)
+        return {
+            "ok": True,
+            "rows": [list(row) for row in page],
+            "done": done,
+        }
+
+
+def _error_message(error: Exception) -> dict:
+    return {
+        "ok": False,
+        "error": {"type": type(error).__name__, "message": str(error)},
+    }
+
+
+class ServerThread:
+    """A :class:`ReproServer` on a background thread (tests, tools).
+
+    ``with ServerThread(db) as server: repro.connect(server.url)`` --
+    the constructor blocks until the port is bound; :meth:`stop` shuts
+    the loop down and joins the thread.
+    """
+
+    def __init__(self, database, **kwargs):
+        self.server = ReproServer(database, **kwargs)
+        self._started = threading.Event()
+        self._stop: "asyncio.Event | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._error: "BaseException | None" = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10)
+        if self._error is not None:
+            raise self._error
+        if not self._started.is_set():
+            raise RuntimeError("server thread failed to start in time")
+
+    def _run(self) -> None:
+        async def main():
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                await self.server.start()
+            except BaseException as error:
+                self._error = error
+                self._started.set()
+                return
+            self._started.set()
+            await self._stop.wait()
+            await self.server.stop()
+
+        asyncio.run(main())
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,87 @@
+"""End-to-end smoke driver for a running server (the CI job).
+
+    python -m repro.server.smoke tcp://127.0.0.1:7474 \\
+        [--corpus tests/corpus/sim/01-static-heap-keyprobe.tquel]
+
+Connects through ``repro.connect``, runs the README quickstart over the
+wire, optionally replays one sim-corpus workload statement by statement,
+checks per-session I/O attribution and telemetry export, and exits 0 on
+success (any failure raises and exits nonzero).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+
+
+def _corpus_statements(path: str) -> "list[str]":
+    statements = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line and not line.startswith("--"):
+                statements.append(line)
+    return statements
+
+
+def run_smoke(url: str, corpus: "str | None" = None) -> None:
+    import repro
+
+    with repro.connect(url) as session:
+        print(f"connected: {session!r}", flush=True)
+        # The README quickstart, over the wire.
+        session.execute(
+            "create persistent interval emp (name = c20, sal = i4)"
+        )
+        session.execute('append to emp (name = "ahn", sal = 30000)')
+        session.execute("range of e is emp")
+        query = session.prepare("retrieve (e.sal) where e.name = $name")
+        result = query.execute(params={"name": "ahn"})
+        # Temporal relations append valid-time attributes to target lists;
+        # only the user column matters here.
+        assert [row[0] for row in result.rows] == [30000], (
+            f"quickstart rows: {result.rows}"
+        )
+        assert result.input_pages >= 1, "no pages attributed to this session"
+
+        if corpus:
+            statements = _corpus_statements(corpus)
+            for text in statements:
+                session.execute(text)
+            print(f"corpus replayed: {len(statements)} statements", flush=True)
+
+        io = session.io_totals()
+        assert io.input_pages >= 1 and io.output_pages >= 1, io.as_dict()
+        with tempfile.TemporaryDirectory() as target:
+            artifacts = session.export_telemetry(target)
+            missing = [
+                name for name, path in artifacts.items()
+                if not os.path.exists(path)
+            ]
+            assert not missing, f"telemetry artifacts missing: {missing}"
+        print(
+            f"smoke ok: input_pages={io.input_pages} "
+            f"output_pages={io.output_pages}",
+            flush=True,
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.server.smoke")
+    parser.add_argument("url", nargs="?",
+                        default=os.environ.get("REPRO_CONNECT"),
+                        help="tcp://host:port (default: $REPRO_CONNECT)")
+    parser.add_argument("--corpus", default=None,
+                        help="a tests/corpus/sim/*.tquel file to replay")
+    args = parser.parse_args(argv)
+    if not args.url:
+        parser.error("no server URL (argument or REPRO_CONNECT)")
+    run_smoke(args.url, corpus=args.corpus)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ Accounting rules:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro import fault
@@ -60,6 +61,12 @@ class BufferedFile:
         self._metrics = None
         self._recorder = None
         self._heatmap = None
+        # Statement touch tracking (set by BufferPool.create_file): called
+        # whenever a page enters this file's pool, so end-of-statement
+        # flushing can cover exactly the files the statement touched
+        # instead of every file in the database -- a concurrent session's
+        # resident pages must not be evicted by someone else's statement.
+        self._on_touch = None
         stats.register(name, system=system)
 
     @property
@@ -116,6 +123,8 @@ class BufferedFile:
         """Fetch a page, counting a disk read unless it is resident."""
         if self._undo is not None:
             self._undo.note_page(self, page_id)
+        if self._on_touch is not None:
+            self._on_touch(self._name)
         if page_id in self._resident:
             if self._metrics is not None:
                 self._metrics.inc("buffer.hits")
@@ -134,6 +143,8 @@ class BufferedFile:
         """Allocate a fresh page; it enters the pool dirty (no read cost)."""
         if self._undo is not None:
             self._undo.note_allocate(self)
+        if self._on_touch is not None:
+            self._on_touch(self._name)
         page_id = self._file.allocate(record_size)
         self._evict_to(self._capacity - 1)
         self._resident[page_id] = True
@@ -227,6 +238,12 @@ class BufferPool:
         self._default_buffers = default_buffers
         self._files: "dict[str, BufferedFile]" = {}
         self._undo = None
+        # Files touched per attribution scope since the scope's last
+        # statement flush (see note_touch / flush_statement).
+        self._touched: "dict[object, set[str]]" = {}
+        # Update statements capture page pre-images through a pool-global
+        # undo log; concurrent writers must take turns with it.
+        self.undo_mutex = threading.Lock()
         self.metrics = None
         self.recorder = None
         self.heatmap = None
@@ -302,6 +319,7 @@ class BufferPool:
         buffered._metrics = self.metrics
         buffered._recorder = self.recorder
         buffered._heatmap = self.heatmap
+        buffered._on_touch = self.note_touch
         return buffered
 
     def drop_file(self, name: str) -> None:
@@ -313,7 +331,31 @@ class BufferPool:
             raise StorageError(f"no file for relation {name!r}")
         return self._files[name]
 
+    def note_touch(self, name: str) -> None:
+        """Record that the active scope brought a page of *name* into its
+        pool (called by the files themselves on read/allocate)."""
+        scope = self._stats.active_scope
+        self._touched.setdefault(scope, set()).add(name)
+
+    def flush_statement(self) -> None:
+        """Flush the files the active scope touched since its last flush.
+
+        Observably identical to :meth:`flush_all` for a single session --
+        a file can only hold resident pages if some statement touched it
+        since that file's last flush -- but under concurrent sessions it
+        leaves other sessions' resident pages alone, so their page
+        accounting is not perturbed by this session's statements.
+        """
+        touched = self._touched.pop(self._stats.active_scope, None)
+        if not touched:
+            return
+        for name in touched:
+            buffered = self._files.get(name)
+            if buffered is not None:
+                buffered.flush()
+
     def flush_all(self) -> None:
-        """Flush every file (end-of-statement bookkeeping)."""
+        """Flush every file (checkpointing, DDL, explicit barriers)."""
+        self._touched.clear()
         for buffered in self._files.values():
             buffered.flush()

@@ -12,10 +12,19 @@ Queries are measured with checkpoints::
     before = stats.checkpoint()
     ...run the query...
     delta = stats.delta(before)     # IODelta with user/system reads/writes
+
+Concurrent sessions share the meter but must not share each other's
+numbers, so the meter also attributes every access to a *scope* -- the
+session id of the statement running on the recording thread, installed
+with :meth:`scoped`.  ``checkpoint(scope)`` / ``delta(since, scope)``
+then measure one session's I/O alone, even while other sessions read and
+write the same files.  With no scope argument both methods keep their
+historical process-wide behaviour.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -74,14 +83,34 @@ class IODelta:
             },
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "IODelta":
+        """Rebuild a delta from :meth:`as_dict` output (wire transfer)."""
+        return cls(
+            user=IOCounters(**data["user"]),
+            system=IOCounters(**data["system"]),
+            by_relation={
+                name: IOCounters(**counters)
+                for name, counters in data.get("by_relation", {}).items()
+            },
+        )
+
+
+class _ScopeState(threading.local):
+    scope = None
+
 
 class IOStats:
-    """Mutable per-database I/O meter."""
+    """Mutable per-database I/O meter with per-scope attribution."""
 
     def __init__(self):
         self._reads: "dict[str, int]" = {}
         self._writes: "dict[str, int]" = {}
         self._system_names: "set[str]" = set()
+        # scope -> {name: count}; populated only while a scope is active.
+        self._scoped_reads: "dict[object, dict[str, int]]" = {}
+        self._scoped_writes: "dict[object, dict[str, int]]" = {}
+        self._local = _ScopeState()
 
     def register(self, name: str, system: bool = False) -> None:
         """Declare a relation so its class (user/system) is known."""
@@ -92,34 +121,67 @@ class IOStats:
         else:
             self._system_names.discard(name)
 
+    # -- scope attribution ---------------------------------------------------
+
+    @property
+    def active_scope(self):
+        """The scope accesses on this thread are attributed to (or None)."""
+        return self._local.scope
+
+    def scoped(self, scope):
+        """Context manager attributing this thread's accesses to *scope*.
+
+        Scopes nest by replacement: the innermost scope wins, and the
+        previous one is restored on exit.  ``scope=None`` is a no-op.
+        """
+        return _ScopeGuard(self._local, scope)
+
     def record_read(self, name: str) -> None:
         """Count one page read against relation *name*."""
         self._reads[name] = self._reads.get(name, 0) + 1
+        scope = self._local.scope
+        if scope is not None:
+            counters = self._scoped_reads.setdefault(scope, {})
+            counters[name] = counters.get(name, 0) + 1
 
     def record_write(self, name: str) -> None:
         """Count one page write against relation *name*."""
         self._writes[name] = self._writes.get(name, 0) + 1
+        scope = self._local.scope
+        if scope is not None:
+            counters = self._scoped_writes.setdefault(scope, {})
+            counters[name] = counters.get(name, 0) + 1
 
     def is_system(self, name: str) -> bool:
         """Whether *name* was registered as a system relation."""
         return name in self._system_names
 
-    def checkpoint(self) -> "dict[str, IOCounters]":
-        """Snapshot current counters (pass to :meth:`delta` later)."""
-        names = set(self._reads) | set(self._writes)
+    def _counter_maps(self, scope):
+        if scope is None:
+            return self._reads, self._writes
+        return (
+            self._scoped_reads.get(scope, {}),
+            self._scoped_writes.get(scope, {}),
+        )
+
+    def checkpoint(self, scope=None) -> "dict[str, IOCounters]":
+        """Snapshot current counters (pass to :meth:`delta` later).
+
+        With *scope*, snapshot only that scope's attributed counters.
+        """
+        reads, writes = self._counter_maps(scope)
+        names = set(reads) | set(writes)
         return {
-            name: IOCounters(
-                self._reads.get(name, 0), self._writes.get(name, 0)
-            )
+            name: IOCounters(reads.get(name, 0), writes.get(name, 0))
             for name in names
         }
 
-    def delta(self, since: "dict[str, IOCounters]") -> IODelta:
+    def delta(self, since: "dict[str, IOCounters]", scope=None) -> IODelta:
         """I/O performed since the *since* checkpoint."""
         user = IOCounters()
         system = IOCounters()
         by_relation: "dict[str, IOCounters]" = {}
-        for name, now in self.checkpoint().items():
+        for name, now in self.checkpoint(scope).items():
             before = since.get(name, IOCounters())
             diff = now - before
             if diff.reads == 0 and diff.writes == 0:
@@ -131,9 +193,17 @@ class IOStats:
                 user = user + diff
         return IODelta(user=user, system=system, by_relation=by_relation)
 
-    def totals(self) -> IODelta:
-        """Lifetime I/O (delta from an empty checkpoint)."""
-        return self.delta({})
+    def totals(self, scope=None) -> IODelta:
+        """Lifetime I/O (delta from an empty checkpoint).
+
+        With *scope*, the lifetime I/O attributed to that scope alone.
+        """
+        return self.delta({}, scope)
+
+    def drop_scope(self, scope) -> None:
+        """Forget a closed session's attributed counters."""
+        self._scoped_reads.pop(scope, None)
+        self._scoped_writes.pop(scope, None)
 
     def reset(self) -> None:
         """Zero all counters (relation registrations are kept)."""
@@ -141,3 +211,23 @@ class IOStats:
             self._reads[name] = 0
         for name in self._writes:
             self._writes[name] = 0
+        self._scoped_reads.clear()
+        self._scoped_writes.clear()
+
+
+class _ScopeGuard:
+    __slots__ = ("_local", "_scope", "_previous")
+
+    def __init__(self, local, scope):
+        self._local = local
+        self._scope = scope
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = self._local.scope
+        if self._scope is not None:
+            self._local.scope = self._scope
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._local.scope = self._previous

@@ -113,7 +113,7 @@ class Executor:
         if analysis.as_of is None:
             if not any_tx:
                 return None
-            return Period.event(self._db.clock.now())
+            return Period.event(self._db.statement_now())
         at = self._eval_const_temporal(analysis.as_of.at)
         if analysis.as_of.through is None:
             return at
@@ -797,7 +797,7 @@ class Executor:
         ]
         now = self._db.clock.now()
         count = mutate.apply_delete(relation, targets, now)
-        self._db.pool.flush_all()
+        self._db.pool.flush_statement()
         return Result(kind="delete", count=count)
 
     def run_replace(self) -> Result:
@@ -841,7 +841,7 @@ class Executor:
             now,
             valid_for=lambda rid, row: valid_specs[rid],
         )
-        self._db.pool.flush_all()
+        self._db.pool.flush_statement()
         return Result(kind="replace", count=count)
 
     def run_append(self) -> Result:
@@ -886,7 +886,7 @@ class Executor:
             count += mutate.apply_append(
                 relation, [user_values], now, valid_spec
             )
-        self._db.pool.flush_all()
+        self._db.pool.flush_statement()
         return Result(kind="append", count=count)
 
     def _valid_spec_fns(self, layouts, var):

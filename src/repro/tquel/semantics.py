@@ -104,7 +104,7 @@ class Analyzer:
     def _declare(self, analysis: Analysis, var: str) -> VarInfo:
         if var in analysis.vars:
             return analysis.vars[var]
-        relation_name = self._db.ranges.get(var)
+        relation_name = self._db.current_ranges.get(var)
         if relation_name is None:
             raise TQuelSemanticError(
                 f"range variable {var!r} is not declared (use "

@@ -1,0 +1,215 @@
+"""Concurrent sessions on one engine: the acceptance workload.
+
+Eight sessions on a shared TemporalDatabase run a mixed read/write
+workload from real threads.  The invariants:
+
+* zero isolation violations -- a pinned reader's view never changes,
+  and every unpinned retrieve sees a prefix-consistent committed state
+  (row counts only ever grow for append-only relations);
+* per-session I/O attribution -- sessions that touch disjoint relations
+  report disjoint ``by_relation`` maps;
+* group commit coalesces concurrent ``commit()`` calls into fewer
+  checkpoint saves than requests.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro
+from repro import Clock, TemporalDatabase, parse_temporal
+from repro.errors import ExecutionError
+
+SESSIONS = 8
+ROUNDS = 12
+
+
+def _database():
+    return TemporalDatabase(
+        "mixed", clock=Clock(start=parse_temporal("1/1/80"), tick=60)
+    )
+
+
+def test_eight_session_mixed_workload(tmp_path):
+    db = _database()
+    setup = db.session()
+    for n in range(SESSIONS):
+        setup.execute(f"create persistent interval load{n} (v = i4)")
+        setup.execute(f"append to load{n} (v = 0)")
+    setup.close()
+
+    barrier = threading.Barrier(SESSIONS)
+    failures = []
+
+    def worker(n):
+        session = db.session()
+        try:
+            session.execute(f"range of x is load{n}")
+            # Everyone also reads a neighbour's relation.
+            other = (n + 1) % SESSIONS
+            session.execute(f"range of y is load{other}")
+            barrier.wait(timeout=30)
+            last_seen = 0
+            for round_no in range(ROUNDS):
+                if n % 2 == 0:
+                    # Writers append to their own relation, then verify
+                    # their writes are visible to themselves.
+                    session.execute(
+                        f"append to load{n} (v = {round_no + 1})"
+                    )
+                rows = session.execute("retrieve (x.v)").rows
+                count = len(rows)
+                if count < last_seen:
+                    failures.append(
+                        f"session {n}: row count went backwards "
+                        f"({last_seen} -> {count})"
+                    )
+                last_seen = count
+                # A pinned snapshot must be frozen while neighbours write.
+                with session.snapshot():
+                    first = len(session.execute("retrieve (y.v)").rows)
+                    second = len(session.execute("retrieve (y.v)").rows)
+                    if first != second:
+                        failures.append(
+                            f"session {n}: pinned view moved "
+                            f"({first} -> {second})"
+                        )
+            if n % 2 == 0 and last_seen != ROUNDS + 1:
+                failures.append(
+                    f"session {n}: lost own writes "
+                    f"(saw {last_seen}, wrote {ROUNDS + 1})"
+                )
+            totals = session.io_totals()
+            if totals.input_pages <= 0:
+                failures.append(f"session {n}: no attributed I/O")
+            artifacts = session.export_telemetry(
+                tmp_path / f"telemetry-{n}"
+            )
+            if not artifacts:
+                failures.append(f"session {n}: telemetry export empty")
+        except Exception as exc:  # pragma: no cover - surfaced below
+            failures.append(f"session {n}: {type(exc).__name__}: {exc}")
+        finally:
+            session.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(n,)) for n in range(SESSIONS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not failures, "\n".join(failures)
+    assert not db._open_sessions
+
+    # Final state: each writer relation holds its 13 committed rows.
+    check = db.session()
+    for n in range(0, SESSIONS, 2):
+        check.execute(f"range of z is load{n}")
+        assert len(check.execute("retrieve (z.v)").rows) == ROUNDS + 1
+    check.close()
+
+
+def test_io_attribution_is_disjoint_across_sessions():
+    db = _database()
+    setup = db.session()
+    setup.execute("create persistent alpha (v = i4)")
+    setup.execute("create persistent beta (v = i4)")
+    for n in range(50):
+        setup.execute(f"append to alpha (v = {n})")
+        setup.execute(f"append to beta (v = {n})")
+    setup.close()
+
+    results = {}
+
+    def reader(name, relation):
+        session = db.session()
+        session.execute(f"range of r is {relation}")
+        for _ in range(5):
+            session.execute("retrieve (r.v)")
+        results[name] = session.io_totals().by_relation
+        session.close()
+
+    threads = [
+        threading.Thread(target=reader, args=("a", "alpha")),
+        threading.Thread(target=reader, args=("b", "beta")),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+
+    user_relations_a = {
+        rel for rel in results["a"] if not rel.startswith("relation")
+    }
+    user_relations_b = {
+        rel for rel in results["b"] if not rel.startswith("relation")
+    }
+    assert "alpha" in user_relations_a and "beta" not in user_relations_a
+    assert "beta" in user_relations_b and "alpha" not in user_relations_b
+
+
+def test_group_commit_coalesces_concurrent_saves(tmp_path):
+    db = _database()
+    db.checkpoint_dir = str(tmp_path / "ckpt")
+    setup = db.session()
+    setup.execute("create persistent emp (v = i4)")
+    setup.execute("append to emp (v = 1)")
+    setup.close()
+
+    generations = []
+    barrier = threading.Barrier(SESSIONS)
+
+    def committer():
+        session = db.session()
+        barrier.wait(timeout=30)
+        generations.append(session.commit())
+        session.close()
+
+    threads = [
+        threading.Thread(target=committer) for _ in range(SESSIONS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+
+    assert len(generations) == SESSIONS
+    # Coalescing: far fewer checkpoint saves than commit() calls, yet
+    # every caller observed a generation at or past its request.
+    assert max(generations) < SESSIONS
+    restored = TemporalDatabase.load(tmp_path / "ckpt")
+    assert restored.relation("emp").row_count == 1
+
+
+def test_pinned_session_refuses_writes():
+    db = _database()
+    session = db.session()
+    session.execute("create emp (v = i4)")
+    session.execute("append to emp (v = 1)")
+    session.pin()
+    with pytest.raises(ExecutionError, match="pinned"):
+        session.execute("append to emp (v = 2)")
+    with pytest.raises(ExecutionError, match="pinned"):
+        session.execute("create other (v = i4)")
+    session.unpin()
+    session.execute("append to emp (v = 2)")
+    session.close()
+
+
+def test_sessions_have_private_range_tables():
+    db = _database()
+    session_a = db.session()
+    session_b = db.session()
+    session_a.execute("create emp (v = i4)")
+    session_a.execute("append to emp (v = 1)")
+    session_a.execute("range of e is emp")
+    # B never declared e; A's private range table must not leak.
+    with pytest.raises(Exception):
+        session_b.execute("retrieve (e.v)")
+    session_b.execute("range of e is emp")
+    assert len(session_b.execute("retrieve (e.v)").rows) == 1
+    session_a.close()
+    session_b.close()

@@ -1,0 +1,216 @@
+"""The asyncio server: result shapes, protocol abuse, limits, lifecycle.
+
+Every Result shape crosses the wire through an in-process server
+(ServerThread); malformed frames and abrupt disconnects must leave the
+server serving; session limits, idle timeouts and authentication are
+exercised end to end.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+
+import pytest
+
+import repro
+from repro.engine.database import TemporalDatabase
+from repro.errors import ExecutionError, TQuelSyntaxError
+from repro.server import ServerThread, protocol
+
+
+@pytest.fixture
+def server():
+    with ServerThread(TemporalDatabase("served")) as thread:
+        yield thread
+
+
+@pytest.fixture
+def session(server):
+    with repro.connect(server.url) as connected:
+        yield connected
+
+
+def _load(session):
+    session.execute("create emp (name = c20, sal = i4)")
+    for n in range(8):
+        session.execute(f'append to emp (name = "e{n}", sal = {n * 100})')
+    session.execute("range of e is emp")
+
+
+# -- result shapes -----------------------------------------------------------
+
+
+def test_empty_result_over_the_wire(session):
+    _load(session)
+    result = session.execute("retrieve (e.name) where e.sal > 99999")
+    assert result.rows == []
+    assert result.columns == ["name"]
+    assert result.io is not None
+
+
+def test_message_only_result_over_the_wire(session):
+    _load(session)
+    result = session.execute("range of x is emp")
+    assert result.rows == []
+    assert result.kind == "range"
+
+
+def test_count_result_over_the_wire(session):
+    _load(session)
+    result = session.execute("delete e where e.sal < 300")
+    assert result.kind == "delete"
+    assert result.count == 3
+
+
+def test_error_result_over_the_wire(session):
+    with pytest.raises(TQuelSyntaxError):
+        session.execute("this is not tquel")
+    # The connection survives an error response.
+    _load(session)
+    assert len(session.execute("retrieve (e.name)")) == 8
+
+
+def test_multi_page_stream(session):
+    _load(session)
+    pages = list(session.stream_pages("retrieve (e.name)", page_rows=3))
+    assert [len(page) for page in pages] == [3, 3, 2]
+    assert sorted(row[0] for page in pages for row in page) == sorted(
+        f"e{n}" for n in range(8)
+    )
+    # stream() reassembles the full result.
+    assert len(session.stream("retrieve (e.name)", page_rows=3)) == 8
+
+
+def test_stream_refuses_scripts(session):
+    _load(session)
+    with pytest.raises(ExecutionError):
+        session.stream("retrieve (e.name)\nretrieve (e.sal)")
+
+
+def test_prepared_statement_over_the_wire(session):
+    _load(session)
+    probe = session.prepare("retrieve (e.name) where e.sal = $sal")
+    assert probe.execute(params={"sal": 300}).rows == [("e3",)]
+    assert [len(r) for r in probe.executemany(
+        [{"sal": 0}, {"sal": 1}]
+    )] == [1, 0]
+
+
+# -- protocol abuse ----------------------------------------------------------
+
+
+def _raw_connect(server):
+    sock = socket.create_connection(("127.0.0.1", server.port), timeout=5)
+    protocol.send_frame(sock, {"op": "hello", "token": None})
+    reply = protocol.recv_frame(sock)
+    assert reply["ok"]
+    return sock
+
+
+def test_malformed_frame_gets_error_then_close(server):
+    sock = _raw_connect(server)
+    sock.sendall(struct.pack(">I", 12) + b"not json!!!!")
+    reply = protocol.recv_frame(sock)
+    assert reply["ok"] is False
+    assert reply["error"]["type"] == "ProtocolError"
+    # The server hangs up after a protocol error...
+    assert protocol.recv_frame(sock) is None
+    sock.close()
+    # ...but keeps serving new connections.
+    with repro.connect(server.url) as fresh:
+        assert fresh.relation_names() == []
+
+
+def test_oversized_length_prefix_is_refused(server):
+    sock = _raw_connect(server)
+    sock.sendall(struct.pack(">I", protocol.MAX_FRAME + 1))
+    reply = protocol.recv_frame(sock)
+    assert reply["ok"] is False
+    assert reply["error"]["type"] == "ProtocolError"
+    sock.close()
+
+
+def test_unknown_op_is_an_error_response(server):
+    sock = _raw_connect(server)
+    protocol.send_frame(sock, {"op": "frobnicate"})
+    reply = protocol.recv_frame(sock)
+    assert reply["ok"] is False
+    sock.close()
+
+
+def test_abrupt_disconnect_releases_the_session(server):
+    sock = _raw_connect(server)
+    protocol.send_frame(
+        sock, {"op": "execute", "text": "create t (a = i4)", "params": None}
+    )
+    assert protocol.recv_frame(sock)["ok"]
+    # Hang up mid-session, no goodbye.
+    sock.close()
+    deadline = time.monotonic() + 5
+    while server.server.active_sessions and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert server.server.active_sessions == 0
+    with repro.connect(server.url) as fresh:
+        assert fresh.relation_names() == ["t"]
+
+
+def test_non_hello_first_frame_is_refused(server):
+    sock = socket.create_connection(("127.0.0.1", server.port), timeout=5)
+    protocol.send_frame(sock, {"op": "execute", "text": "retrieve (1)"})
+    reply = protocol.recv_frame(sock)
+    assert reply["ok"] is False
+    sock.close()
+
+
+# -- limits, auth, lifecycle -------------------------------------------------
+
+
+def test_max_sessions_refuses_the_overflow():
+    with ServerThread(TemporalDatabase("small"), max_sessions=1) as server:
+        first = repro.connect(server.url)
+        with pytest.raises(ExecutionError, match="server full"):
+            repro.connect(server.url)
+        first.close()
+        deadline = time.monotonic() + 5
+        while server.server.active_sessions and time.monotonic() < deadline:
+            time.sleep(0.05)
+        # A slot freed: connecting works again.
+        with repro.connect(server.url) as second:
+            assert second.relation_names() == []
+
+
+def test_auth_token_gates_hello():
+    with ServerThread(TemporalDatabase("locked"), token="sesame") as server:
+        with pytest.raises(ExecutionError, match="authentication failed"):
+            repro.connect(server.url)
+        with pytest.raises(ExecutionError, match="authentication failed"):
+            repro.connect(server.url, token="wrong")
+        with repro.connect(server.url, token="sesame") as session:
+            assert session.relation_names() == []
+
+
+def test_idle_timeout_closes_the_session():
+    with ServerThread(
+        TemporalDatabase("sleepy"), idle_timeout=0.3
+    ) as server:
+        session = repro.connect(server.url)
+        try:
+            deadline = time.monotonic() + 5
+            while (
+                server.server.active_sessions
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            assert server.server.active_sessions == 0
+        finally:
+            session.close()
+
+
+def test_server_telemetry_reaches_the_recorder(server, session):
+    _load(session)
+    kinds = [event.kind for event in server.server.db.recorder.dump()]
+    assert "server.start" in kinds
+    assert "server.session_open" in kinds
+    assert server.server.db.metrics.counter_value("server.connections") >= 1

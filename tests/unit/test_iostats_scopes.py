@@ -1,0 +1,135 @@
+"""Per-scope I/O attribution in the shared meter.
+
+Two concurrent sessions share one IOStats, but each must see exactly its
+own page reads and writes (the paper's metric is per-statement, and a
+session's statement must not absorb a neighbour's I/O).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.storage.buffer import BufferPool
+from repro.storage.iostats import IOCounters, IODelta, IOStats
+
+
+def test_scoped_counters_are_disjoint():
+    stats = IOStats()
+    stats.register("a")
+    stats.register("b")
+    with stats.scoped("s1"):
+        stats.record_read("a")
+        stats.record_read("a")
+        stats.record_write("a")
+    with stats.scoped("s2"):
+        stats.record_read("b")
+    assert stats.totals("s1").by_relation == {"a": IOCounters(2, 1)}
+    assert stats.totals("s2").by_relation == {"b": IOCounters(1, 0)}
+    # The global (scope-less) view still aggregates everything.
+    assert stats.totals().by_relation == {
+        "a": IOCounters(2, 1),
+        "b": IOCounters(1, 0),
+    }
+
+
+def test_checkpoint_delta_with_scope():
+    stats = IOStats()
+    stats.register("rel")
+    with stats.scoped("s1"):
+        stats.record_read("rel")
+        before = stats.checkpoint("s1")
+        stats.record_read("rel")
+        stats.record_write("rel")
+    delta = stats.delta(before, "s1")
+    assert delta.user == IOCounters(1, 1)
+
+
+def test_unscoped_recording_stays_global_only():
+    stats = IOStats()
+    stats.register("rel")
+    stats.record_read("rel")
+    assert stats.totals().user.reads == 1
+    assert stats.totals("ghost").user.reads == 0
+
+
+def test_scopes_nest_by_replacement():
+    stats = IOStats()
+    stats.register("rel")
+    with stats.scoped("outer"):
+        with stats.scoped("inner"):
+            stats.record_read("rel")
+        stats.record_write("rel")
+    assert stats.totals("inner").user == IOCounters(1, 0)
+    assert stats.totals("outer").user == IOCounters(0, 1)
+
+
+def test_scoped_none_is_a_noop():
+    stats = IOStats()
+    stats.register("rel")
+    with stats.scoped("s1"):
+        with stats.scoped(None):
+            stats.record_read("rel")
+    assert stats.totals("s1").user.reads == 1
+
+
+def test_scope_is_thread_local():
+    stats = IOStats()
+    stats.register("rel")
+    seen = {}
+
+    def worker(scope):
+        with stats.scoped(scope):
+            for _ in range(5):
+                stats.record_read("rel")
+            seen[scope] = stats.totals(scope).user.reads
+
+    threads = [
+        threading.Thread(target=worker, args=(f"s{n}",)) for n in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert seen == {f"s{n}": 5 for n in range(4)}
+    assert stats.totals().user.reads == 20
+
+
+def test_drop_scope_forgets_attribution():
+    stats = IOStats()
+    stats.register("rel")
+    with stats.scoped("s1"):
+        stats.record_read("rel")
+    stats.drop_scope("s1")
+    assert stats.totals("s1").user.reads == 0
+    assert stats.totals().user.reads == 1
+
+
+def test_iodelta_wire_roundtrip():
+    delta = IODelta(
+        user=IOCounters(3, 2),
+        system=IOCounters(1, 0),
+        by_relation={"emp": IOCounters(3, 2), "relations": IOCounters(1, 0)},
+    )
+    assert IODelta.from_dict(delta.as_dict()) == delta
+
+
+def test_flush_statement_only_touches_own_scope():
+    stats = IOStats()
+    pool = BufferPool(stats=stats)
+    file_a = pool.create_file("a", 16)
+    file_b = pool.create_file("b", 16)
+    with stats.scoped("s1"):
+        page_id, _ = file_a.allocate()
+        file_a.mark_dirty(page_id)
+    with stats.scoped("s2"):
+        page_id, _ = file_b.allocate()
+        file_b.mark_dirty(page_id)
+    with stats.scoped("s1"):
+        pool.flush_statement()
+    # s1's dirty page was written out; s2's page is still resident.
+    assert stats.totals("s1").user.writes == 1
+    assert stats.totals("s2").user.writes == 0
+    assert file_b.is_resident(0)
+    with stats.scoped("s2"):
+        pool.flush_statement()
+    assert stats.totals("s2").user.writes == 1

@@ -1,0 +1,126 @@
+"""The wire format: framing, limits, and result marshalling."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.engine.result import Result
+from repro.server import protocol
+from repro.storage.iostats import IOCounters, IODelta
+
+
+def test_frame_roundtrip():
+    message = {"op": "execute", "text": "retrieve (e.id)", "params": None}
+    frame = protocol.encode_frame(message)
+    length = struct.unpack(">I", frame[:4])[0]
+    assert length == len(frame) - 4
+    assert protocol.decode_payload(frame[4:]) == message
+
+
+def test_frame_rejects_oversized_payload():
+    big = {"rows": "x" * (protocol.MAX_FRAME + 1)}
+    with pytest.raises(protocol.ProtocolError):
+        protocol.encode_frame(big)
+
+
+def test_decode_rejects_non_object_payload():
+    with pytest.raises(protocol.ProtocolError):
+        protocol.decode_payload(b"[1, 2, 3]")
+
+
+def test_decode_rejects_undecodable_bytes():
+    with pytest.raises(protocol.ProtocolError):
+        protocol.decode_payload(b"\xff\xfe not json")
+
+
+def test_result_roundtrip_with_io():
+    result = Result(
+        kind="retrieve",
+        columns=["id", "amount"],
+        rows=[(1, 50), (2, 60)],
+        count=2,
+        io=IODelta(
+            user=IOCounters(3, 0),
+            system=IOCounters(1, 0),
+            by_relation={"emp": IOCounters(3, 0)},
+        ),
+    )
+    over_wire = protocol.decode_payload(
+        protocol.encode_frame(protocol.result_to_dict(result))[4:]
+    )
+    rebuilt = protocol.result_from_dict(over_wire)
+    assert rebuilt.kind == "retrieve"
+    assert rebuilt.columns == ["id", "amount"]
+    assert rebuilt.rows == [(1, 50), (2, 60)]
+    assert rebuilt.count == 2
+    assert rebuilt.io == result.io
+    assert rebuilt.input_pages == 3
+
+
+def test_result_roundtrip_without_io():
+    result = Result(kind="range", message="range of e is emp")
+    rebuilt = protocol.result_from_dict(protocol.result_to_dict(result))
+    assert rebuilt.io is None
+    assert rebuilt.input_pages == 0
+    assert rebuilt.message == "range of e is emp"
+
+
+def test_result_to_dict_with_explicit_rows_page():
+    result = Result(kind="retrieve", columns=["id"], rows=[(1,), (2,), (3,)])
+    page = protocol.result_to_dict(result, rows=result.rows[:2])
+    assert page["rows"] == [[1], [2]]
+
+
+def test_blocking_transport_roundtrip():
+    import socket
+    import threading
+
+    server_sock = socket.socket()
+    server_sock.bind(("127.0.0.1", 0))
+    server_sock.listen(1)
+    port = server_sock.getsockname()[1]
+    received = {}
+
+    def serve():
+        conn, _ = server_sock.accept()
+        received["message"] = protocol.recv_frame(conn)
+        protocol.send_frame(conn, {"ok": True})
+        assert protocol.recv_frame(conn) is None  # clean EOF
+        conn.close()
+
+    thread = threading.Thread(target=serve)
+    thread.start()
+    client = socket.create_connection(("127.0.0.1", port), timeout=5)
+    protocol.send_frame(client, {"op": "hello"})
+    assert protocol.recv_frame(client) == {"ok": True}
+    client.close()
+    thread.join(timeout=5)
+    server_sock.close()
+    assert received["message"] == {"op": "hello"}
+
+
+def test_blocking_recv_mid_frame_cut_raises():
+    import socket
+    import threading
+
+    server_sock = socket.socket()
+    server_sock.bind(("127.0.0.1", 0))
+    server_sock.listen(1)
+    port = server_sock.getsockname()[1]
+
+    def serve():
+        conn, _ = server_sock.accept()
+        # A length prefix promising 100 bytes, then hang up after 3.
+        conn.sendall(struct.pack(">I", 100) + b"abc")
+        conn.close()
+
+    thread = threading.Thread(target=serve)
+    thread.start()
+    client = socket.create_connection(("127.0.0.1", port), timeout=5)
+    with pytest.raises(protocol.ProtocolError):
+        protocol.recv_frame(client)
+    client.close()
+    thread.join(timeout=5)
+    server_sock.close()
