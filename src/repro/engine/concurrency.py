@@ -3,7 +3,8 @@
 The engine's append-only transaction-time versioning makes snapshot
 isolation nearly free: committed versions are never rewritten (updates
 only stamp ``transaction_stop`` and insert new versions), so a reader
-that pins a *watermark* -- the clock value when its statement starts --
+that pins a *watermark* -- the clock's stable point, the newest time
+every writer at or before has completed (:meth:`Clock.stable`) --
 sees a consistent committed state no matter what writers do afterwards.
 What remains is physical safety, and this module supplies it:
 
@@ -176,11 +177,17 @@ class GroupCommitter:
     request (its preceding writes were flushed by that save).
     """
 
+    # Completed-group outcomes kept for joiners that have not woken yet.
+    _OUTCOME_HISTORY = 64
+
     def __init__(self, metrics=None):
         self._cond = threading.Condition()
         self._saving = False
         self._generation = 0  # completed groups
-        self._last_error: "BaseException | None" = None
+        # generation -> the error its save raised (None: success), so a
+        # joiner reads the outcome of *its* covering group even if later
+        # groups complete before it wakes.
+        self._outcomes: "dict[int, BaseException | None]" = {}
         self._metrics = metrics
 
     def commit(self, save) -> int:
@@ -203,10 +210,12 @@ class GroupCommitter:
                     self._saving = True
                     leader = True
             if not leader:
-                # Another session's save covered this request.
-                if self._last_error is not None:
-                    raise self._last_error
-                return self._generation
+                # Another session's save covered this request; its
+                # outcome -- not the latest group's -- decides ours.
+                error = self._outcomes.get(target)
+                if error is not None:
+                    raise error
+                return target
         error = None
         try:
             save()
@@ -215,7 +224,10 @@ class GroupCommitter:
         with self._cond:
             self._saving = False
             self._generation += 1
-            self._last_error = error
+            self._outcomes[self._generation] = error
+            self._outcomes.pop(
+                self._generation - self._OUTCOME_HISTORY, None
+            )
             if self._metrics is not None:
                 self._metrics.inc("commit.groups")
             self._cond.notify_all()

@@ -227,12 +227,20 @@ class TemporalDatabase:
         return self.ranges
 
     def statement_now(self) -> Chronon:
-        """The transaction-time read point of the current statement.
+        """The one instant the current statement executes at.
 
-        The ambient session's pinned watermark when one is set, else the
-        live clock.  Pinning never affects the timestamps updates write
-        (pinned sessions are read-only), only the default as-of period.
+        Inside :meth:`_run` this is the statement's timestamp, fixed
+        once under the statement's latches: for updates the stamp
+        atomically allocated by ``clock.begin_statement()`` (so every
+        write of the statement carries it), for queries the pinned
+        watermark or the clock's stable point.  Outside a statement it
+        falls back to the watermark or the live clock.  Pinning never
+        affects the timestamps updates write (pinned sessions are
+        read-only), only the default as-of period.
         """
+        stamp = getattr(self._ambient, "statement_time", None)
+        if stamp is not None:
+            return stamp
         ctx = self.session_context
         if ctx is not None and ctx.watermark is not None:
             return ctx.watermark
@@ -476,7 +484,7 @@ class TemporalDatabase:
         """
         relation = self._require_user_relation(name)
         with self._atomic_scope():
-            count = mutate.load_rows(relation, list(rows), self.clock.now())
+            count = mutate.load_rows(relation, list(rows), self.statement_now())
         self.pool.flush_statement()
         return count
 
@@ -649,8 +657,6 @@ class TemporalDatabase:
                 "session is pinned (read-only snapshot): unpin before "
                 "running updates or DDL"
             )
-        if is_update:
-            self.clock.advance()
         self.recorder.record(
             "statement.start",
             level=observe_events.DEBUG,
@@ -671,6 +677,8 @@ class TemporalDatabase:
         else:
             catalog_latch.acquire_shared()
         held: "list" = []
+        stamp = None
+        previous_time = getattr(self._ambient, "statement_time", None)
         try:
             analysis = None
             if analyzed:
@@ -687,6 +695,22 @@ class TemporalDatabase:
                 latch = self.latches.latch_for(statement.relation)
                 latch.acquire_exclusive()
                 held.append(latch)
+            # The statement's timestamp, fixed exactly once and only now
+            # that the latches are held.  Updates atomically advance the
+            # clock and hold their stamp in flight until the finally
+            # block, so no concurrent statement can share it and no
+            # pin() can capture a watermark covering these writes before
+            # they complete.  Queries read at the pinned watermark, or
+            # at the clock's stable point (newest fully-committed time).
+            if is_update:
+                stamp = self.clock.begin_statement()
+                self._ambient.statement_time = stamp
+            elif is_query:
+                self._ambient.statement_time = (
+                    ctx.watermark
+                    if ctx is not None and ctx.watermark is not None
+                    else self.clock.stable()
+                )
             with self.stats.scoped(scope):
                 before = self.stats.checkpoint(scope)
                 runner = self._planned_runner(
@@ -717,6 +741,16 @@ class TemporalDatabase:
                     raise
                 result.io = self.stats.delta(before, scope)
         finally:
+            self._ambient.statement_time = previous_time
+            if stamp is not None:
+                self.clock.end_statement(stamp)
+            elif is_update:
+                # An update refused before its stamp was allocated
+                # (analysis failure, say) still consumes its tick: the
+                # clock counts update *attempts*, so the timestamps of
+                # later statements do not depend on whether an earlier
+                # one was accepted.  Nothing is written at this chronon.
+                self.clock.advance()
             while held:
                 latch = held.pop()
                 if is_update or isinstance(statement, ast.CopyStmt):
@@ -860,7 +894,7 @@ class TemporalDatabase:
                     rows.append(
                         self._parse_copy_line(schema, line, line_number)
                     )
-            count = mutate.load_rows(relation, rows, self.clock.now())
+            count = mutate.load_rows(relation, rows, self.statement_now())
             return Result(kind="copy", count=count)
         with open(statement.path, "w", encoding="ascii") as handle:
             count = 0

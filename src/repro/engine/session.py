@@ -174,15 +174,17 @@ class Session:
         """Pin the session's transaction-time read point (snapshot reads).
 
         Every subsequent retrieve runs ``as of`` the pinned watermark --
-        *at* (a chronon or temporal string), default the clock's current
-        value -- so the session sees exactly the committed state at that
-        moment no matter what concurrent writers do.  While pinned the
-        session is read-only: updates and DDL raise
+        *at* (a chronon or temporal string), default the clock's *stable*
+        point: the newest time every writer at or before has completed,
+        so the watermark can never cover a write still in flight -- and
+        the session sees exactly the committed state at that moment no
+        matter what concurrent writers do.  While pinned the session is
+        read-only: updates and DDL raise
         :class:`~repro.errors.ExecutionError`.  Returns the watermark.
         """
         self._check_open()
         if at is None:
-            watermark = self.db.clock.now()
+            watermark = self.db.clock.stable()
         elif isinstance(at, str):
             watermark = self.db.parse_temporal_text(at)
         else:

@@ -39,6 +39,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-sessions", type=int, default=32)
     parser.add_argument("--idle-timeout", type=float, default=None,
                         help="close sessions idle for this many seconds")
+    parser.add_argument(
+        "--telemetry-dir", default=None,
+        help="directory remote telemetry exports are confined to "
+             "(omitted: the telemetry op is disabled)",
+    )
     return parser
 
 
@@ -60,6 +65,7 @@ async def _serve(args) -> None:
         token=args.token,
         max_sessions=args.max_sessions,
         idle_timeout=args.idle_timeout,
+        telemetry_dir=args.telemetry_dir,
     )
     await server.start()
     print(f"listening on {server.url}", flush=True)

@@ -251,8 +251,19 @@ class RemoteSession:
     # -- durability ----------------------------------------------------------
 
     def commit(self, path=None) -> int:
-        """Group-commit a checkpoint server-side; returns the group."""
-        reply = self._request({"op": "commit", "path": path})
+        """Group-commit a checkpoint server-side; returns the group.
+
+        The checkpoint lands in the server's configured checkpoint
+        directory; a remote client cannot choose server-side filesystem
+        locations, so any non-None *path* is refused locally.
+        """
+        if path is not None:
+            raise ExecutionError(
+                "remote sessions commit to the server's configured "
+                "checkpoint directory; commit(path) is not supported "
+                "over the wire"
+            )
+        reply = self._request({"op": "commit"})
         return reply["group"]
 
     # -- state inspection ----------------------------------------------------
@@ -272,9 +283,17 @@ class RemoteSession:
         reply = self._request({"op": "io_totals"})
         return IODelta.from_dict(reply["io"])
 
-    def export_telemetry(self, path) -> "dict[str, str]":
-        """Write the engine's telemetry into *path* on the server host."""
-        reply = self._request({"op": "telemetry", "path": str(path)})
+    def export_telemetry(self, path=None) -> "dict[str, str]":
+        """Export the engine's telemetry on the server host.
+
+        The server confines exports to its operator-configured telemetry
+        directory (one subdirectory per session) and returns the
+        server-side artifact paths; *path* is accepted for Session
+        interface compatibility but ignored -- a remote client cannot
+        choose server-side locations.  Servers started without a
+        telemetry directory refuse the export.
+        """
+        reply = self._request({"op": "telemetry"})
         return reply["artifacts"]
 
     # -- lifecycle -----------------------------------------------------------

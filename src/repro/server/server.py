@@ -26,8 +26,10 @@ tests and the CI smoke job use.
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 
+from repro.errors import ExecutionError
 from repro.server import protocol
 
 
@@ -61,6 +63,7 @@ class ReproServer:
         max_sessions: int = 32,
         idle_timeout: "float | None" = None,
         page_rows: int = 256,
+        telemetry_dir: "str | None" = None,
     ):
         self.db = database
         self.host = host
@@ -69,6 +72,10 @@ class ReproServer:
         self.max_sessions = max_sessions
         self.idle_timeout = idle_timeout
         self.page_rows = page_rows
+        # Clients never choose server-side filesystem locations: commits
+        # go to the engine's configured checkpoint_dir, and telemetry
+        # exports are confined to this directory (disabled when None).
+        self.telemetry_dir = telemetry_dir
         self._server: "asyncio.AbstractServer | None" = None
         self._connections: "set[_Connection]" = set()
 
@@ -197,8 +204,6 @@ class ReproServer:
                 pass
 
     def _refuse_hello(self, hello: dict) -> "Exception | None":
-        from repro.errors import ExecutionError
-
         if hello.get("op") != "hello":
             return protocol.ProtocolError(
                 f"expected hello, got {hello.get('op')!r}"
@@ -308,15 +313,35 @@ class ReproServer:
             session.unpin()
             return {"ok": True}
         if op == "commit":
-            group = await asyncio.to_thread(
-                session.commit, request.get("path")
-            )
+            # The request must not steer where the server writes: commits
+            # go to the engine's configured checkpoint directory only.
+            if request.get("path") is not None:
+                raise ExecutionError(
+                    "commit: client-supplied checkpoint paths are not "
+                    "accepted; the server commits to its configured "
+                    "checkpoint directory"
+                )
+            group = await asyncio.to_thread(session.commit)
             return {"ok": True, "group": group}
         if op == "io_totals":
             return {"ok": True, "io": session.io_totals().as_dict()}
         if op == "telemetry":
+            if request.get("path") is not None:
+                raise ExecutionError(
+                    "telemetry: client-supplied export paths are not "
+                    "accepted; the server exports into its configured "
+                    "telemetry directory"
+                )
+            if self.telemetry_dir is None:
+                raise ExecutionError(
+                    "telemetry export is disabled on this server "
+                    "(start it with a telemetry directory to enable)"
+                )
+            target = os.path.join(
+                self.telemetry_dir, str(session.session_id)
+            )
             artifacts = await asyncio.to_thread(
-                session.export_telemetry, request["path"]
+                session.export_telemetry, target
             )
             return {"ok": True, "artifacts": artifacts}
         raise protocol.ProtocolError(f"unknown op {op!r}")
@@ -336,8 +361,6 @@ class ReproServer:
         materialized lists); streaming chunks the *transfer*, bounding
         frame sizes, not the execution.
         """
-        from repro.errors import ExecutionError
-
         result = await asyncio.to_thread(
             connection.session.execute,
             request["text"],

@@ -6,7 +6,10 @@
 Connects through ``repro.connect``, runs the README quickstart over the
 wire, optionally replays one sim-corpus workload statement by statement,
 checks per-session I/O attribution and telemetry export, and exits 0 on
-success (any failure raises and exits nonzero).
+success (any failure raises and exits nonzero).  The target server must
+be started with ``--telemetry-dir`` (remote telemetry export is
+otherwise disabled) and is expected to share this host's filesystem so
+the exported artifacts can be verified.
 """
 
 from __future__ import annotations
@@ -14,7 +17,6 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import tempfile
 
 
 def _corpus_statements(path: str) -> "list[str]":
@@ -55,13 +57,16 @@ def run_smoke(url: str, corpus: "str | None" = None) -> None:
 
         io = session.io_totals()
         assert io.input_pages >= 1 and io.output_pages >= 1, io.as_dict()
-        with tempfile.TemporaryDirectory() as target:
-            artifacts = session.export_telemetry(target)
-            missing = [
-                name for name, path in artifacts.items()
-                if not os.path.exists(path)
-            ]
-            assert not missing, f"telemetry artifacts missing: {missing}"
+        # The server confines exports to its own telemetry directory and
+        # returns server-side paths; the smoke run shares the host, so
+        # the artifacts are checkable here.
+        artifacts = session.export_telemetry()
+        assert artifacts, "telemetry export returned no artifacts"
+        missing = [
+            name for name, path in artifacts.items()
+            if not os.path.exists(path)
+        ]
+        assert not missing, f"telemetry artifacts missing: {missing}"
         print(
             f"smoke ok: input_pages={io.input_pages} "
             f"output_pages={io.output_pages}",

@@ -111,15 +111,20 @@ class IOStats:
         self._scoped_reads: "dict[object, dict[str, int]]" = {}
         self._scoped_writes: "dict[object, dict[str, int]]" = {}
         self._local = _ScopeState()
+        # Counter updates are read-modify-write; concurrent readers of
+        # one relation hold only shared latches, so the meter needs its
+        # own lock to keep process-wide totals exact.
+        self._guard = threading.Lock()
 
     def register(self, name: str, system: bool = False) -> None:
         """Declare a relation so its class (user/system) is known."""
-        self._reads.setdefault(name, 0)
-        self._writes.setdefault(name, 0)
-        if system:
-            self._system_names.add(name)
-        else:
-            self._system_names.discard(name)
+        with self._guard:
+            self._reads.setdefault(name, 0)
+            self._writes.setdefault(name, 0)
+            if system:
+                self._system_names.add(name)
+            else:
+                self._system_names.discard(name)
 
     # -- scope attribution ---------------------------------------------------
 
@@ -138,19 +143,21 @@ class IOStats:
 
     def record_read(self, name: str) -> None:
         """Count one page read against relation *name*."""
-        self._reads[name] = self._reads.get(name, 0) + 1
         scope = self._local.scope
-        if scope is not None:
-            counters = self._scoped_reads.setdefault(scope, {})
-            counters[name] = counters.get(name, 0) + 1
+        with self._guard:
+            self._reads[name] = self._reads.get(name, 0) + 1
+            if scope is not None:
+                counters = self._scoped_reads.setdefault(scope, {})
+                counters[name] = counters.get(name, 0) + 1
 
     def record_write(self, name: str) -> None:
         """Count one page write against relation *name*."""
-        self._writes[name] = self._writes.get(name, 0) + 1
         scope = self._local.scope
-        if scope is not None:
-            counters = self._scoped_writes.setdefault(scope, {})
-            counters[name] = counters.get(name, 0) + 1
+        with self._guard:
+            self._writes[name] = self._writes.get(name, 0) + 1
+            if scope is not None:
+                counters = self._scoped_writes.setdefault(scope, {})
+                counters[name] = counters.get(name, 0) + 1
 
     def is_system(self, name: str) -> bool:
         """Whether *name* was registered as a system relation."""
@@ -169,12 +176,13 @@ class IOStats:
 
         With *scope*, snapshot only that scope's attributed counters.
         """
-        reads, writes = self._counter_maps(scope)
-        names = set(reads) | set(writes)
-        return {
-            name: IOCounters(reads.get(name, 0), writes.get(name, 0))
-            for name in names
-        }
+        with self._guard:
+            reads, writes = self._counter_maps(scope)
+            names = set(reads) | set(writes)
+            return {
+                name: IOCounters(reads.get(name, 0), writes.get(name, 0))
+                for name in names
+            }
 
     def delta(self, since: "dict[str, IOCounters]", scope=None) -> IODelta:
         """I/O performed since the *since* checkpoint."""
@@ -202,17 +210,19 @@ class IOStats:
 
     def drop_scope(self, scope) -> None:
         """Forget a closed session's attributed counters."""
-        self._scoped_reads.pop(scope, None)
-        self._scoped_writes.pop(scope, None)
+        with self._guard:
+            self._scoped_reads.pop(scope, None)
+            self._scoped_writes.pop(scope, None)
 
     def reset(self) -> None:
         """Zero all counters (relation registrations are kept)."""
-        for name in self._reads:
-            self._reads[name] = 0
-        for name in self._writes:
-            self._writes[name] = 0
-        self._scoped_reads.clear()
-        self._scoped_writes.clear()
+        with self._guard:
+            for name in self._reads:
+                self._reads[name] = 0
+            for name in self._writes:
+                self._writes[name] = 0
+            self._scoped_reads.clear()
+            self._scoped_writes.clear()
 
 
 class _ScopeGuard:

@@ -20,6 +20,8 @@ runs are reproducible.
 
 from __future__ import annotations
 
+import threading
+
 from repro.errors import ChrononRangeError
 
 Chronon = int
@@ -72,6 +74,15 @@ class Clock:
     :meth:`advance` is called.  :meth:`now` reads the clock without
     advancing it, so all tuples touched by one statement get one timestamp,
     as in the paper's prototype where a statement executes at one instant.
+
+    The clock is shared by every session of a database, so all state
+    changes happen under one lock.  Update statements allocate their
+    timestamp with :meth:`begin_statement` / :meth:`end_statement`, which
+    advance-and-read atomically (two concurrent statements can never
+    stamp the same time) and track the stamp as in-flight until the
+    statement's writes are complete; :meth:`stable` is the newest time
+    no in-flight writer can stamp at or before -- the watermark snapshot
+    readers pin.
     """
 
     def __init__(self, start: Chronon = 315532800, tick: int = 1):
@@ -81,6 +92,10 @@ class Clock:
         if tick < 0:
             raise ChrononRangeError(f"tick must be non-negative, got {tick}")
         self._tick = tick
+        self._lock = threading.Lock()
+        # Timestamps of statements whose writes are still in flight
+        # (a list, not a set: with tick=0 stamps can repeat).
+        self._in_flight: "list[Chronon]" = []
 
     @property
     def tick(self) -> int:
@@ -89,25 +104,61 @@ class Clock:
 
     def now(self) -> Chronon:
         """Current time; does not advance the clock."""
-        return self._now
+        with self._lock:
+            return self._now
 
     def advance(self, seconds: "int | None" = None) -> Chronon:
         """Advance by *seconds* (default: the configured tick); return now."""
         step = self._tick if seconds is None else seconds
         if step < 0:
             raise ChrononRangeError(f"cannot advance by {step} seconds")
-        self._now = check_chronon(self._now + step)
-        return self._now
+        with self._lock:
+            self._now = check_chronon(self._now + step)
+            return self._now
+
+    def begin_statement(self) -> Chronon:
+        """Atomically advance and claim the new time for one statement.
+
+        The returned stamp is registered as in-flight -- excluded from
+        :meth:`stable` -- until :meth:`end_statement` releases it, so a
+        snapshot reader can never pin a watermark that covers a write
+        still being made.
+        """
+        with self._lock:
+            self._now = check_chronon(self._now + self._tick)
+            self._in_flight.append(self._now)
+            return self._now
+
+    def end_statement(self, stamp: Chronon) -> None:
+        """Release a stamp claimed by :meth:`begin_statement`."""
+        with self._lock:
+            self._in_flight.remove(stamp)
+
+    def stable(self) -> Chronon:
+        """The newest time all writers at or before have completed.
+
+        With writers in flight this is one chronon before the oldest
+        in-flight stamp (stamps are allocated in increasing order, so
+        everything at or before that point is committed); otherwise it is
+        simply :meth:`now`.  This is the correct pin watermark: a
+        snapshot at ``stable()`` is a prefix-consistent committed state
+        that can never grow a row mid-snapshot.
+        """
+        with self._lock:
+            if self._in_flight:
+                return check_chronon(min(self._in_flight) - 1)
+            return self._now
 
     def set(self, value: "int | str") -> Chronon:
         """Jump the clock to *value* (must not move backwards)."""
         target = as_chronon(value, clock=self)
-        if target < self._now:
-            raise ChrononRangeError(
-                f"clock cannot move backwards ({target} < {self._now})"
-            )
-        self._now = target
-        return self._now
+        with self._lock:
+            if target < self._now:
+                raise ChrononRangeError(
+                    f"clock cannot move backwards ({target} < {self._now})"
+                )
+            self._now = target
+            return self._now
 
     def __repr__(self) -> str:
         from repro.temporal.format import format_chronon

@@ -138,6 +138,10 @@ class Executor:
         Section 6's structures may skip history data.
         """
         schema = source.relation.schema
+        # Deliberately the *live* clock, not statement_now(): skipping
+        # history is only sound when the as-of point is the newest time
+        # that exists -- a session pinned at an older watermark has
+        # asof == statement_now() yet must still scan history.
         now = self._db.clock.now()
         if schema.type.has_transaction_time:
             if self._asof_period is None or not (
@@ -161,6 +165,8 @@ class Executor:
         has_var = any(
             isinstance(op, ast.TempVar) and op.var == var for op in operands
         )
+        # The live clock: "now" constants in statement text are parsed
+        # against it, so the comparison must use the same value.
         now = self._db.clock.now()
         has_now = any(
             isinstance(op, ast.TempConst)
@@ -740,7 +746,7 @@ class Executor:
         relation = self._db.create_relation(
             name, [(f.name, f.type_text) for f in fields], kind=timed
         )
-        mutate.load_rows(relation, rows, self._db.clock.now())
+        mutate.load_rows(relation, rows, self._db.statement_now())
         relation.storage.file.flush()
         return len(rows)
 
@@ -795,7 +801,7 @@ class Executor:
         targets = [
             (rid, row) for rid, row, _ in self._collect_targets(stmt.var)
         ]
-        now = self._db.clock.now()
+        now = self._db.statement_now()
         count = mutate.apply_delete(relation, targets, now)
         self._db.pool.flush_statement()
         return Result(kind="delete", count=count)
@@ -833,7 +839,7 @@ class Executor:
             valid_specs[rid] = valid_fns(row)
             self._bindings.clear()
 
-        now = self._db.clock.now()
+        now = self._db.statement_now()
         count = mutate.apply_replace(
             relation,
             [(rid, row) for rid, row, _ in collected],
@@ -880,7 +886,7 @@ class Executor:
         else:
             emit()
 
-        now = self._db.clock.now()
+        now = self._db.statement_now()
         count = 0
         for user_values, valid_spec in produced:
             count += mutate.apply_append(

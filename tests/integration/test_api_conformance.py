@@ -55,7 +55,10 @@ def make_session(backing, tmp_path):
         else:
             if server is None:
                 database = TemporalDatabase("conformance")
-                server = ServerThread(database)
+                server = ServerThread(
+                    database,
+                    telemetry_dir=str(tmp_path / "server-telemetry"),
+                )
             session = repro.connect(server.url)
         sessions.append(session)
         return session

@@ -184,6 +184,127 @@ def test_group_commit_coalesces_concurrent_saves(tmp_path):
     assert restored.relation("emp").row_count == 1
 
 
+def test_concurrent_update_statements_stamp_distinct_times():
+    """Two statements must never share a transaction timestamp.
+
+    Writers on *different* relations hold disjoint latches, so only the
+    clock itself orders their stamps: each update statement allocates
+    its timestamp atomically (clock.begin_statement) under its latches.
+    A shared stamp would let one statement's ``transaction_start`` equal
+    another's ``transaction_stop`` -- a zero-width, never-visible
+    version that silently erases history.
+    """
+    db = _database()
+    setup = db.session()
+    for n in range(4):
+        setup.execute(f"create persistent stamped{n} (v = i4)")
+    setup.close()
+
+    barrier = threading.Barrier(4)
+    failures = []
+
+    def writer(n):
+        session = db.session()
+        try:
+            barrier.wait(timeout=30)
+            for round_no in range(20):
+                session.execute(f"append to stamped{n} (v = {round_no})")
+        except Exception as exc:  # pragma: no cover - surfaced below
+            failures.append(f"writer {n}: {type(exc).__name__}: {exc}")
+        finally:
+            session.close()
+
+    threads = [
+        threading.Thread(target=writer, args=(n,)) for n in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not failures, "\n".join(failures)
+
+    check = db.session()
+    stamps = []
+    for n in range(4):
+        position = db.relation(f"stamped{n}").schema.position(
+            "transaction_start"
+        )
+        stamps.extend(
+            row[position] for row in check.relation_rows(f"stamped{n}")
+        )
+    check.close()
+    assert len(stamps) == 4 * 20
+    assert len(set(stamps)) == len(stamps), (
+        "concurrent statements shared a transaction timestamp"
+    )
+
+
+def test_pinned_view_is_frozen_against_a_racing_writer():
+    """pin() must never capture a watermark covering an in-flight write.
+
+    The reader pins while a writer hammers the same relation; under a
+    single pin, two retrieves must agree (a row appearing between them
+    means the watermark covered a write that was still uncommitted at
+    pin time), and successive snapshots must never lose rows.
+    """
+    db = _database()
+    setup = db.session()
+    setup.execute("create persistent hot (v = i4)")
+    setup.execute("append to hot (v = 0)")
+    setup.close()
+
+    stop = threading.Event()
+    failures = []
+
+    def writer():
+        session = db.session()
+        session.execute("range of w is hot")
+        try:
+            n = 1
+            while not stop.is_set() and n <= 300:
+                session.execute(f"append to hot (v = {n})")
+                n += 1
+        except Exception as exc:  # pragma: no cover - surfaced below
+            failures.append(f"writer: {type(exc).__name__}: {exc}")
+        finally:
+            session.close()
+
+    def reader():
+        session = db.session()
+        session.execute("range of r is hot")
+        try:
+            last = 0
+            for _ in range(80):
+                session.pin()
+                first = len(session.execute("retrieve (r.v)").rows)
+                second = len(session.execute("retrieve (r.v)").rows)
+                session.unpin()
+                if first != second:
+                    failures.append(
+                        f"pinned view moved ({first} -> {second})"
+                    )
+                if first < last:
+                    failures.append(
+                        f"snapshot went backwards ({last} -> {first})"
+                    )
+                last = first
+        except Exception as exc:  # pragma: no cover - surfaced below
+            failures.append(f"reader: {type(exc).__name__}: {exc}")
+        finally:
+            stop.set()
+            session.close()
+
+    threads = [
+        threading.Thread(target=writer),
+        threading.Thread(target=reader),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not failures, "\n".join(failures)
+
+
 def test_pinned_session_refuses_writes():
     db = _database()
     session = db.session()

@@ -214,3 +214,61 @@ def test_server_telemetry_reaches_the_recorder(server, session):
     assert "server.start" in kinds
     assert "server.session_open" in kinds
     assert server.server.db.metrics.counter_value("server.connections") >= 1
+
+
+# -- server-side paths are operator-controlled -------------------------------
+
+
+def test_client_supplied_commit_path_is_refused(server, tmp_path):
+    # The wire op rejects any path field -- a client must not steer
+    # where the server writes checkpoints.
+    sock = _raw_connect(server)
+    protocol.send_frame(
+        sock, {"op": "commit", "path": str(tmp_path / "evil")}
+    )
+    reply = protocol.recv_frame(sock)
+    assert reply["ok"] is False
+    assert "checkpoint" in reply["error"]["message"]
+    sock.close()
+    assert not (tmp_path / "evil").exists()
+
+
+def test_remote_commit_with_path_is_refused_client_side(session, tmp_path):
+    with pytest.raises(ExecutionError, match="not supported over the wire"):
+        session.commit(str(tmp_path / "elsewhere"))
+
+
+def test_telemetry_disabled_without_a_server_directory(session):
+    # The fixture server has no telemetry_dir: the op must be refused.
+    with pytest.raises(ExecutionError, match="telemetry export is disabled"):
+        session.export_telemetry()
+
+
+def test_telemetry_confined_to_the_server_directory(tmp_path):
+    import os
+
+    telemetry_dir = tmp_path / "server-telemetry"
+    with ServerThread(
+        TemporalDatabase("telemetered"), telemetry_dir=str(telemetry_dir)
+    ) as server:
+        with repro.connect(server.url) as session:
+            _load(session)
+            # A client-supplied path is ignored locally and refused on
+            # the wire; exports land under the operator's directory.
+            artifacts = session.export_telemetry(tmp_path / "client-choice")
+            assert artifacts
+            for path in artifacts.values():
+                assert os.path.realpath(path).startswith(
+                    os.path.realpath(str(telemetry_dir))
+                )
+                assert os.path.exists(path)
+            assert not (tmp_path / "client-choice").exists()
+
+            sock = _raw_connect(server)
+            protocol.send_frame(
+                sock, {"op": "telemetry", "path": str(tmp_path / "evil")}
+            )
+            reply = protocol.recv_frame(sock)
+            assert reply["ok"] is False
+            sock.close()
+            assert not (tmp_path / "evil").exists()

@@ -112,3 +112,53 @@ class TestClock:
 
     def test_repr_is_readable(self):
         assert "Clock(" in repr(Clock(start=315532800))
+
+
+class TestStatementStamps:
+    def test_begin_statement_advances_and_claims(self):
+        clock = Clock(start=100, tick=10)
+        stamp = clock.begin_statement()
+        assert stamp == 110
+        assert clock.now() == 110
+        clock.end_statement(stamp)
+
+    def test_stable_equals_now_with_no_writers_in_flight(self):
+        clock = Clock(start=100)
+        assert clock.stable() == 100
+        stamp = clock.begin_statement()
+        clock.end_statement(stamp)
+        assert clock.stable() == clock.now() == 101
+
+    def test_stable_excludes_in_flight_stamps(self):
+        clock = Clock(start=100, tick=1)
+        first = clock.begin_statement()   # 101, in flight
+        second = clock.begin_statement()  # 102, in flight
+        assert clock.stable() == first - 1 == 100
+        # Out-of-order completion: the oldest in-flight stamp governs.
+        clock.end_statement(second)
+        assert clock.stable() == first - 1 == 100
+        clock.end_statement(first)
+        assert clock.stable() == 102
+
+    def test_concurrent_allocations_are_distinct(self):
+        import threading
+
+        clock = Clock(start=0, tick=1)
+        stamps = []
+        guard = threading.Lock()
+
+        def worker():
+            for _ in range(200):
+                stamp = clock.begin_statement()
+                with guard:
+                    stamps.append(stamp)
+                clock.end_statement(stamp)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(stamps) == 8 * 200
+        assert len(set(stamps)) == len(stamps), "duplicate statement stamps"
+        assert clock.now() == 8 * 200

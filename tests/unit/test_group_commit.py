@@ -1,0 +1,82 @@
+"""GroupCommitter: leadership, coalescing, per-group outcomes.
+
+A commit() caller's fate is decided by the save that *covers* its
+request, not by whichever save finished most recently: every member of
+a failed group sees that group's error, and a later group's success or
+failure never leaks across group boundaries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.concurrency import GroupCommitter
+
+
+def test_serial_commits_increment_the_generation():
+    calls = []
+    committer = GroupCommitter()
+    assert committer.commit(lambda: calls.append(1)) == 1
+    assert committer.commit(lambda: calls.append(2)) == 2
+    assert calls == [1, 2]
+
+
+def test_leader_save_error_propagates_to_the_leader():
+    committer = GroupCommitter()
+
+    def fail():
+        raise RuntimeError("disk full")
+
+    with pytest.raises(RuntimeError, match="disk full"):
+        committer.commit(fail)
+    # The failed group still completed; the next one is independent.
+    assert committer.commit(lambda: None) == 2
+
+
+def test_every_member_of_a_failed_group_sees_its_error():
+    committer = GroupCommitter()
+    started = threading.Event()
+    release = threading.Event()
+
+    def slow_ok():
+        started.set()
+        release.wait(timeout=30)
+
+    first_result = []
+    leader = threading.Thread(
+        target=lambda: first_result.append(committer.commit(slow_ok))
+    )
+    leader.start()
+    assert started.wait(timeout=30)
+
+    # Sessions asking while a save is in flight form the next group;
+    # that group's save fails, and every one of them must see it --
+    # even if further groups complete before they check.
+    outcomes = []
+
+    def fail():
+        raise RuntimeError("disk full")
+
+    def member():
+        try:
+            outcomes.append(("ok", committer.commit(fail)))
+        except RuntimeError as exc:
+            outcomes.append(("error", str(exc)))
+
+    members = [threading.Thread(target=member) for _ in range(2)]
+    for thread in members:
+        thread.start()
+    time.sleep(0.2)  # let the members reach their wait
+    release.set()
+    leader.join(timeout=30)
+    for thread in members:
+        thread.join(timeout=30)
+
+    assert first_result == [1]
+    assert [kind for kind, _ in outcomes] == ["error", "error"], outcomes
+    assert all(message == "disk full" for _, message in outcomes)
+    # A later group succeeds regardless of the failed one before it.
+    assert committer.commit(lambda: None) > 2
