@@ -34,11 +34,11 @@ import hashlib
 import json
 import os
 import pathlib
-import traceback
 from dataclasses import dataclass, field
 
 from repro import fault
 from repro.access.base import StructureKind
+from repro.exec import ExecutorService, call_guarded
 from repro.bench.evolve import evolve_uniform
 from repro.bench.queries import ALL_QUERY_IDS, benchmark_queries
 from repro.bench.workload import (
@@ -327,22 +327,26 @@ def _disk_store(config: WorkloadConfig, max_update_count: int, result) -> None:
         pass  # caching is best-effort; the sweep result is still returned
 
 
-def _sweep_worker(payload) -> tuple:
-    """Pool worker: run one configuration's sweep, return its dict form.
+def _run_sweep(payload) -> dict:
+    """Run one configuration's sweep, returning its dict form.
 
     Module-level (picklable) and dict-valued so results transport across
     the process boundary without pickling BenchmarkResult internals.
-    Returns ``("ok", dict)`` or ``("error", traceback text)``: a crashed
-    worker must not poison the whole sweep, so exceptions travel back as
-    data and the parent decides whether to retry.
     """
     config, max_update_count = payload
-    try:
-        fault.point("bench.worker")
-        run = BenchmarkRun(config, max_update_count=max_update_count)
-        return ("ok", run.run().to_dict())
-    except BaseException:
-        return ("error", traceback.format_exc())
+    fault.point("bench.worker")
+    run = BenchmarkRun(config, max_update_count=max_update_count)
+    return run.run().to_dict()
+
+
+def _sweep_worker(payload) -> tuple:
+    """Pool worker: guarded sweep, ``("ok", dict)`` or ``("error", tb)``.
+
+    A crashed worker must not poison the whole sweep, so exceptions
+    travel back as data (:func:`repro.exec.call_guarded`) and the parent
+    decides whether to retry.
+    """
+    return call_guarded(_run_sweep, payload)
 
 
 class BenchWorkerError(RuntimeError):
@@ -388,36 +392,40 @@ def run_suite(
         else:
             pending.append(config)
     if pending and jobs > 1:
-        import multiprocessing
-
         payloads = [(config, max_update_count) for config in pending]
-        with multiprocessing.Pool(min(jobs, len(pending))) as pool:
-            for config, (status, data) in zip(
-                pending, pool.imap(_sweep_worker, payloads)
-            ):
-                if status == "error":
-                    # One retry, inline: a transient failure (an injected
-                    # fault, a killed worker) should not lose the whole
-                    # sweep.  The retry runs in this process and bypasses
-                    # the worker failpoint, so a deterministic fault armed
-                    # at the worker does not simply re-fire.
-                    try:
-                        run = BenchmarkRun(
-                            config, max_update_count=max_update_count
-                        )
-                        result = run.run()
-                    except Exception as exc:
-                        raise BenchWorkerError(
-                            config, f"{data}\nretry failed: {exc!r}"
-                        ) from exc
-                else:
-                    result = result_from_dict(data)
-                    result.config = config
-                results[config.label] = result
-                if cache:
-                    _disk_store(config, max_update_count, result)
-                if progress is not None:
-                    progress(config, max_update_count)
+
+        def recover(payload, label, detail):
+            # One retry, inline: a transient failure (an injected fault,
+            # a killed worker) should not lose the whole sweep.  The
+            # retry runs in this process and bypasses the worker
+            # failpoint, so a deterministic fault armed at the worker
+            # does not simply re-fire.
+            config, count = payload
+            try:
+                run = BenchmarkRun(config, max_update_count=count)
+                return run.run().to_dict()
+            except Exception as exc:
+                raise BenchWorkerError(
+                    config, f"{detail}\nretry failed: {exc!r}"
+                ) from exc
+
+        with ExecutorService(
+            jobs=min(jobs, len(pending)), mode="process"
+        ) as service:
+            sweeps = service.map(
+                _run_sweep,
+                payloads,
+                labels=[config.label for config in pending],
+                on_error=recover,
+            )
+        for config, data in zip(pending, sweeps):
+            result = result_from_dict(data)
+            result.config = config
+            results[config.label] = result
+            if cache:
+                _disk_store(config, max_update_count, result)
+            if progress is not None:
+                progress(config, max_update_count)
     else:
         for config in pending:
             run = BenchmarkRun(config, max_update_count=max_update_count)

@@ -13,7 +13,9 @@ harness.
 * ``relations``: one tuple per relation -- name, database type, interval or
   event, storage structure, key attribute, fillfactor;
 * ``attributes``: one tuple per attribute (implicit ones included) -- owning
-  relation, name, position, type.
+  relation, name, position, type;
+* ``partitions``: one tuple per partitioned relation -- method, partition
+  attribute, partition count, scatter-gather mode.
 
 The in-memory schema objects remain authoritative for execution; the system
 relations mirror them so that catalog contents are themselves queryable
@@ -45,6 +47,14 @@ ATTRIBUTES_SCHEMA = [
     ("implicit", "i1"),
 ]
 
+PARTITIONS_SCHEMA = [
+    ("relname", "c32"),
+    ("method", "c10"),
+    ("attname", "c32"),
+    ("parts", "i4"),
+    ("parallel", "c10"),
+]
+
 
 def _make_schema(name: str, columns) -> RelationSchema:
     return RelationSchema(
@@ -55,12 +65,13 @@ def _make_schema(name: str, columns) -> RelationSchema:
 
 
 class SystemCatalog:
-    """The ``relations`` and ``attributes`` system relations."""
+    """The ``relations``, ``attributes`` and ``partitions`` relations."""
 
     def __init__(self, pool: BufferPool):
         self._pool = pool
         self.relations_schema = _make_schema("relations", RELATIONS_SCHEMA)
         self.attributes_schema = _make_schema("attributes", ATTRIBUTES_SCHEMA)
+        self.partitions_schema = _make_schema("partitions", PARTITIONS_SCHEMA)
         self._relations = HeapFile(
             pool.create_file(
                 "relations",
@@ -79,8 +90,18 @@ class SystemCatalog:
             self.attributes_schema.codec,
         )
         self._attributes.build([])
+        self._partitions = HeapFile(
+            pool.create_file(
+                "partitions",
+                self.partitions_schema.record_size,
+                system=True,
+            ),
+            self.partitions_schema.codec,
+        )
+        self._partitions.build([])
         # Row addresses for in-place catalog maintenance.
         self._relation_rids: "dict[str, tuple]" = {}
+        self._partition_rids: "dict[str, tuple]" = {}
 
     @property
     def relations(self) -> HeapFile:
@@ -91,6 +112,11 @@ class SystemCatalog:
     def attributes(self) -> HeapFile:
         """The ``attributes`` system relation (for catalog queries)."""
         return self._attributes
+
+    @property
+    def partitions(self) -> HeapFile:
+        """The ``partitions`` system relation (for catalog queries)."""
+        return self._partitions
 
     def record_create(self, schema: RelationSchema) -> None:
         """Catalog a freshly created relation (default heap structure)."""
@@ -131,6 +157,37 @@ class SystemCatalog:
             rid, (row[0], row[1], row[2], structure, key_attribute, fillfactor)
         )
 
+    def record_partition(
+        self,
+        name: str,
+        method: str,
+        attribute: str,
+        count: int,
+        parallel: str,
+    ) -> None:
+        """Catalog (or refresh) a relation's partitioning."""
+        if name not in self._relation_rids:
+            raise CatalogError(f"{name!r} is not cataloged")
+        rid = self._partition_rids.get(name)
+        row = (name, method, attribute, count, parallel)
+        if rid is None:
+            self._partition_rids[name] = self._partitions.insert(row)
+        else:
+            self._partitions.update(rid, row)
+
+    def record_unpartition(self, name: str) -> None:
+        """Drop a relation's partitioning record (blanked in place)."""
+        rid = self._partition_rids.pop(name, None)
+        if rid is not None:
+            self._partitions.update(rid, ("", "", "", 0, ""))
+
+    def partition_for(self, name: str) -> "tuple | None":
+        """The live partitioning row for *name*, if any."""
+        rid = self._partition_rids.get(name)
+        if rid is None:
+            return None
+        return self._partitions.read_rid(rid)
+
     def record_destroy(self, name: str) -> None:
         """Remove a relation from the catalog.
 
@@ -141,6 +198,7 @@ class SystemCatalog:
         if rid is None:
             raise CatalogError(f"{name!r} is not cataloged")
         self._relations.update(rid, ("", "", "", "", "", 0))
+        self.record_unpartition(name)
 
     def cataloged_names(self) -> "list[str]":
         """Names of cataloged (non-destroyed) relations."""

@@ -150,14 +150,22 @@ class SessionContext:
       ``None`` to read at the live clock.  While pinned the session is
       read-only: update statements are refused rather than silently
       stamped with a newer time than the session can see.
+    * ``last_write`` is the stamp of the session's most recent update
+      statement.  Unpinned queries read at ``max(clock.stable(),
+      last_write)``: the stable point alone can lag the session's own
+      committed writes while an unrelated writer holds an older stamp
+      in flight, and a session must always see what it wrote.  Reading
+      past ``stable()`` is safe here because the query's shared latches
+      exclude in-flight writers on every relation it actually reads.
     """
 
-    __slots__ = ("session_id", "ranges", "watermark")
+    __slots__ = ("session_id", "ranges", "watermark", "last_write")
 
     def __init__(self, session_id: str, ranges: "dict | None" = None):
         self.session_id = session_id
         self.ranges = ranges
         self.watermark = None
+        self.last_write = None
 
     def __repr__(self) -> str:
         pinned = (

@@ -31,6 +31,7 @@ from repro.catalog.schema import DatabaseType, RelationKind, RelationSchema
 from repro.catalog.system import SystemCatalog
 from repro.engine import mutate
 from repro.engine.concurrency import GroupCommitter, LatchTable
+from repro.engine.partition import PartitionedRelation
 from repro.engine.relation import StoredRelation
 from repro.engine.result import Result
 from repro.engine.temporary import TemporaryFactory
@@ -296,6 +297,10 @@ class TemporalDatabase:
             return _SystemRelationAdapter(
                 self.catalog.attributes_schema, self.catalog.attributes
             )
+        if name == "partitions":
+            return _SystemRelationAdapter(
+                self.catalog.partitions_schema, self.catalog.partitions
+            )
         raise UnknownRelationError(f"relation {name!r} does not exist")
 
     def relation_names(self) -> "list[str]":
@@ -311,7 +316,11 @@ class TemporalDatabase:
         kind: "str | None" = None,
     ) -> StoredRelation:
         """``create``: define a relation; its type follows the keywords."""
-        if name in self._relations or name in ("relations", "attributes"):
+        if name in self._relations or name in (
+            "relations",
+            "attributes",
+            "partitions",
+        ):
             raise DuplicateRelationError(f"relation {name!r} already exists")
         fields = [FieldSpec.parse(col, text) for col, text in columns]
         db_type = DatabaseType.from_flags(persistent, kind is not None)
@@ -409,6 +418,110 @@ class TemporalDatabase:
         self._invalidate_plans()
         return index
 
+    def partition_relation(
+        self,
+        name: str,
+        method: str,
+        attribute: str,
+        count: int,
+        parallel: str = "serial",
+        bounds: "str | list | None" = None,
+    ):
+        """``partition``: spread a relation over N routed stores.
+
+        The existing tuples are read out (metered, like a ``modify``),
+        routed and bulk-loaded into per-partition stores that keep the
+        relation's current structure, key and fillfactor.  ``count = 1``
+        collapses a partitioned relation back to a single store.
+        """
+        relation = self._require_user_relation(name)
+        count = int(count)
+        if count < 1:
+            raise CatalogError(f"{name}: partition count must be >= 1")
+        if relation.indexes:
+            raise CatalogError(
+                f"{name}: drop the secondary indexes before partitioning "
+                "(a tid cannot address N stores)"
+            )
+        if relation.is_two_level or relation.structure in (
+            StructureKind.TWO_LEVEL,
+            StructureKind.BTREE,
+        ):
+            raise CatalogError(
+                f"{name}: partitioning supports heap, hash and isam "
+                "structures; modify the relation first"
+            )
+        bound_values = None
+        if bounds is not None and not (
+            isinstance(bounds, str) and not bounds.strip()
+        ):
+            bound_values = self._parse_partition_bounds(
+                relation.schema, attribute, bounds
+            )
+        rows = relation.all_rows()
+        structure = relation.structure
+        key = relation.key_attribute
+        fillfactor = relation.fillfactor
+        zoned = relation.zone_map is not None
+        if isinstance(relation, PartitionedRelation):
+            relation.release()
+            for child_name in relation.file_names():
+                self.pool.drop_file(child_name)
+        else:
+            self.pool.drop_file(name)
+        if count == 1:
+            replacement = StoredRelation(
+                relation.schema, self.pool, clock=self.clock
+            )
+            replacement.rebuild(
+                structure, key_attribute=key, fillfactor=fillfactor,
+                rows=rows,
+            )
+            if zoned:
+                replacement.zone_map = replacement.zone_map_from_pages()
+            self._relations[name] = replacement
+            self.catalog.record_unpartition(name)
+        else:
+            facade = PartitionedRelation(
+                relation.schema,
+                self.pool,
+                clock=self.clock,
+                method=method,
+                attribute=attribute,
+                count=count,
+                bounds=bound_values,
+                parallel=parallel,
+                metrics=self.metrics,
+            )
+            facade.rebuild(
+                structure, key_attribute=key, fillfactor=fillfactor,
+                rows=rows,
+            )
+            if zoned:
+                for child in facade.children:
+                    child.zone_map = child.zone_map_from_pages()
+            self._relations[name] = facade
+            self.catalog.record_partition(
+                name, method, attribute, count, parallel
+            )
+        self.pool.flush_all()
+        self._invalidate_plans()
+        return self._relations[name]
+
+    def _parse_partition_bounds(self, schema, attribute: str, bounds):
+        """Range-partition cut values, typed by the partition attribute."""
+        if isinstance(bounds, (list, tuple)):
+            return list(bounds)
+        spec = schema.field_for(attribute)
+        parts = [p.strip() for p in str(bounds).split(",") if p.strip()]
+        if spec.type is AttributeType.CHAR:
+            return parts
+        if spec.type is AttributeType.TIME:
+            return [self.parse_temporal_text(p) for p in parts]
+        if spec.type in (AttributeType.F4, AttributeType.F8):
+            return [float(p) for p in parts]
+        return [int(p) for p in parts]
+
     def vacuum_relation(self, name: str, before: "Chronon | str") -> int:
         """``vacuum``: physically discard versions superseded before a
         cutoff, rebuilding the relation's structure without them.
@@ -455,6 +568,10 @@ class TemporalDatabase:
         relation = self._require_user_relation(name)
         for index_name in list(relation.indexes):
             relation.drop_index(index_name)
+        if isinstance(relation, PartitionedRelation):
+            relation.release()
+            for child_name in relation.file_names():
+                self.pool.drop_file(child_name)
         self.pool.drop_file(name)
         self.pool.drop_file(f"{name}.primary")
         self.pool.drop_file(f"{name}.history")
@@ -701,16 +818,25 @@ class TemporalDatabase:
             # block, so no concurrent statement can share it and no
             # pin() can capture a watermark covering these writes before
             # they complete.  Queries read at the pinned watermark, or
-            # at the clock's stable point (newest fully-committed time).
+            # at the clock's stable point (newest fully-committed time)
+            # -- raised to the session's own last write stamp, which
+            # stable() can lag while an unrelated writer holds an older
+            # stamp in flight; the query's shared latches exclude
+            # in-flight writers on every relation it reads, so the
+            # higher read point is still prefix-consistent.
             if is_update:
                 stamp = self.clock.begin_statement()
                 self._ambient.statement_time = stamp
+                if ctx is not None:
+                    ctx.last_write = stamp
             elif is_query:
-                self._ambient.statement_time = (
-                    ctx.watermark
-                    if ctx is not None and ctx.watermark is not None
-                    else self.clock.stable()
-                )
+                if ctx is not None and ctx.watermark is not None:
+                    read_at = ctx.watermark
+                else:
+                    read_at = self.clock.stable()
+                    if ctx is not None and ctx.last_write is not None:
+                        read_at = max(read_at, ctx.last_write)
+                self._ambient.statement_time = read_at
             with self.stats.scoped(scope):
                 before = self.stats.checkpoint(scope)
                 runner = self._planned_runner(
@@ -860,6 +986,23 @@ class TemporalDatabase:
                     f"unknown index options: {sorted(options)}"
                 )
             return Result(kind="index", message=statement.index_name)
+        if isinstance(statement, ast.PartitionStmt):
+            options = dict(statement.options)
+            parallel = str(options.pop("parallel", "serial"))
+            bounds = options.pop("bounds", None)
+            if options:
+                raise TQuelSemanticError(
+                    f"unknown partition options: {sorted(options)}"
+                )
+            self.partition_relation(
+                statement.relation,
+                statement.method,
+                statement.attribute,
+                statement.count,
+                parallel=parallel,
+                bounds=bounds,
+            )
+            return Result(kind="partition", message=statement.relation)
         if isinstance(statement, ast.DestroyStmt):
             for name in statement.relations:
                 self.destroy_relation(name)

@@ -58,6 +58,7 @@ from repro.access.isam import IsamFile
 from repro.access.secondary import IndexLevels, SecondaryIndex
 from repro.access.twolevel import HistoryLayout, TwoLevelStore
 from repro.catalog.schema import DatabaseType, RelationKind, RelationSchema
+from repro.engine.partition import PartitionedRelation
 from repro.engine.relation import StoredRelation
 from repro.errors import ReproError, StorageError
 from repro.storage.record import FieldSpec
@@ -206,6 +207,8 @@ def _load_file(buffered, path: pathlib.Path, expected: "dict | None") -> None:
 
 
 def _relation_files(relation: StoredRelation) -> "list[str]":
+    if getattr(relation, "is_partitioned", False):
+        return list(relation.file_names())
     if relation.is_two_level:
         files = [f"{relation.name}.primary", f"{relation.name}.history"]
     else:
@@ -294,6 +297,14 @@ def save(db, path) -> None:
                 for index in relation.indexes.values()
             ],
         }
+        if getattr(relation, "is_partitioned", False):
+            entry["partition"] = {
+                "method": relation.partition_method,
+                "attribute": relation.partition_attribute,
+                "count": relation.partition_count,
+                "bounds": relation.partition_bounds,
+                "parallel": relation.parallel,
+            }
         relations.append(entry)
         for file_name in _relation_files(relation):
             files[file_name] = _dump_file(
@@ -461,8 +472,54 @@ def _restore_indexes(db, relation: StoredRelation, entry, root, files):
         relation.indexes[index.name] = index
 
 
+def _restore_partitioned(db, entry, root, files) -> PartitionedRelation:
+    """Restore a partitioned relation: facade, children, pruning bounds."""
+    schema = _schema_from_meta(entry["schema"])
+    part = entry["partition"]
+    relation = PartitionedRelation(
+        schema,
+        db.pool,
+        clock=db.clock,
+        method=part["method"],
+        attribute=part["attribute"],
+        count=int(part["count"]),
+        bounds=part["bounds"],
+        parallel=part["parallel"],
+        metrics=getattr(db, "metrics", None),
+    )
+    structure = StructureKind(entry["structure"])
+    key = entry["key_attribute"] or None
+    fillfactor = int(entry["fillfactor"])
+    store_meta = entry["storage"]
+    for child, child_meta in zip(relation.children, store_meta["children"]):
+        child_entry = {
+            "structure": entry["structure"],
+            "key_attribute": entry["key_attribute"],
+            "storage": child_meta,
+        }
+        _restore_conventional(db, child, child_entry, root, files)
+        child.structure = structure
+        child.key_attribute = key
+        child.fillfactor = fillfactor
+    relation.structure = structure
+    relation.key_attribute = key
+    relation.fillfactor = fillfactor
+    relation.tx_min = [
+        None if value is None else int(value)
+        for value in store_meta["tx_min"]
+    ]
+    if entry.get("zone_map") is not None:
+        relation.zone_map = {
+            (int(key_pair[0]), int(key_pair[1])): int(start)
+            for key_pair, start in entry["zone_map"]
+        }
+    return relation
+
+
 def _restore_relation(db, entry, root, files) -> StoredRelation:
     """Restore one relation (storage, zone map, indexes) from *entry*."""
+    if entry.get("partition") is not None:
+        return _restore_partitioned(db, entry, root, files)
     schema = _schema_from_meta(entry["schema"])
     relation = StoredRelation(schema, db.pool, clock=db.clock)
     structure = StructureKind(entry["structure"])
@@ -485,6 +542,9 @@ def _drop_relation_files(db, entry) -> None:
     """Forget pool files of a relation whose restore failed (salvage)."""
     name = entry.get("schema", {}).get("name", "")
     candidates = [name, f"{name}.primary", f"{name}.history"]
+    partition = entry.get("partition") or {}
+    for pid in range(int(partition.get("count", 0) or 0)):
+        candidates.append(f"{name}#{pid}")
     for index_entry in entry.get("indexes", []):
         index_name = index_entry.get("name", "")
         candidates.extend(
@@ -603,10 +663,18 @@ def load(path, database_class=None, salvage: bool = False):
             relation.key_attribute or "",
             relation.fillfactor,
         )
+        if getattr(relation, "is_partitioned", False):
+            db.catalog.record_partition(
+                schema.name,
+                relation.partition_method,
+                relation.partition_attribute,
+                relation.partition_count,
+                relation.parallel,
+            )
 
     for var, relation_name in manifest.get("ranges", {}).items():
         if relation_name in db._relations or relation_name in (
-            "relations", "attributes",
+            "relations", "attributes", "partitions",
         ):
             db.ranges[var] = relation_name
     db.pool.flush_all()

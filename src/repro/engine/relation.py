@@ -186,7 +186,12 @@ class StoredRelation:
             if self.is_two_level or structure is StructureKind.BTREE:
                 self.zone_map = None
             else:
-                self.enable_zone_map()
+                # The map is maintained incrementally: rebuilt here from
+                # the pages just written (unmetered peeks -- the tuples
+                # were all in memory a moment ago) and kept current by
+                # :meth:`note_insert` on every later append.  Only an
+                # explicit enable pays a metered build scan.
+                self.zone_map = self.zone_map_from_pages()
 
     def _split_by_currency(self, rows) -> "tuple[list, list]":
         """Partition versions into (current, history) for a two-level load.
@@ -319,6 +324,27 @@ class StoredRelation:
             if page_id not in zone_map or start < zone_map[page_id]:
                 zone_map[page_id] = start
         self.zone_map = zone_map
+
+    def zone_map_from_pages(self) -> "dict[int, int]":
+        """Zone-map contents recomputed through unmetered peeks.
+
+        Used where the tuples are already known to be in memory (a
+        rebuild that just wrote them, a partition bulk load), so charging
+        a second metered scan would double-count the paper's metric.
+        """
+        position = self.schema.position("transaction_start")
+        codec = self.schema.codec
+        file = self._storage.file
+        zone_map: "dict[int, int]" = {}
+        for page_id in range(file.page_count):
+            page = file.peek(page_id)
+            if page.record_size != codec.record_size:
+                continue  # ISAM directory pages hold keys, not records
+            for row in codec.decode_page(page):
+                start = row[position]
+                if page_id not in zone_map or start < zone_map[page_id]:
+                    zone_map[page_id] = start
+        return zone_map
 
     def disable_zone_map(self) -> None:
         self.zone_map = None

@@ -1,0 +1,16 @@
+"""General scatter-gather executor service.
+
+Factored out of the benchmark runner's hardened worker pool so any
+subsystem -- partitioned scans, sweeps, the sim harness -- can fan work
+out with the same guarantees: ordered result merge, per-task error
+capture as data (the ok/error-tuple pattern), and an inline retry hook
+that runs in the coordinating process.
+"""
+
+from repro.exec.service import (
+    ExecutorService,
+    TaskError,
+    call_guarded,
+)
+
+__all__ = ["ExecutorService", "TaskError", "call_guarded"]

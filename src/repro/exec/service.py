@@ -1,0 +1,158 @@
+"""The executor service: serial, threaded, or process scatter-gather.
+
+One idiom, three dispatch modes:
+
+* ``serial`` -- run tasks inline, in order.  The degenerate case every
+  other mode must match result-for-result.
+* ``thread`` -- fan tasks across a thread pool.  Right for small fan-out
+  over in-memory state (partition scans share the coordinator's buffer
+  pool and I/O meter; each task installs its own meter scope).
+* ``process`` -- fan tasks across a ``multiprocessing`` pool.  Right for
+  CPU-bound work: each worker escapes the GIL, at the price of pickling
+  the task function and its payload both ways.
+
+Every task runs under :func:`call_guarded`, so a crash travels back as
+``("error", traceback text)`` instead of poisoning the pool -- the
+coordinator decides per task whether to retry inline (``on_error``) or
+raise :class:`TaskError`.  Results always merge in submission order,
+whatever order workers finish in.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+
+
+def call_guarded(fn, item) -> tuple:
+    """Run one task, capturing any crash as data.
+
+    Returns ``("ok", fn(item))`` or ``("error", traceback text)``.
+    Exceptions must not escape a pool worker (they would poison the
+    whole gather), so they are rendered to text here, where the frames
+    still exist, and re-raised -- or retried -- by the coordinator.
+    """
+    try:
+        return ("ok", fn(item))
+    except BaseException:
+        return ("error", traceback.format_exc())
+
+
+def _process_entry(payload) -> tuple:
+    """Module-level pool entry point (picklable): guarded dispatch."""
+    fn, item = payload
+    return call_guarded(fn, item)
+
+
+class TaskError(RuntimeError):
+    """A task failed and no ``on_error`` hook recovered it."""
+
+    def __init__(self, label, detail: str):
+        super().__init__(f"executor task {label!r} failed:\n{detail}")
+        self.label = label
+        self.detail = detail
+
+
+class ExecutorService:
+    """Scatter tasks, gather ordered results.
+
+    ``jobs`` bounds worker parallelism; ``mode`` picks the dispatch
+    strategy (default: ``"serial"`` for one job, ``"process"``
+    otherwise).  A process pool is created lazily on first use and kept
+    for the service's lifetime -- close the service (or use it as a
+    context manager) to reap workers.  In process mode the task function
+    must be module-level (picklable), and on fork-based platforms
+    workers inherit the coordinator's module state as of pool creation.
+    """
+
+    MODES = ("serial", "thread", "process")
+
+    def __init__(self, jobs: int = 1, mode: "str | None" = None):
+        if mode is None:
+            mode = "serial" if jobs <= 1 else "process"
+        if mode not in self.MODES:
+            raise ValueError(
+                f"unknown executor mode {mode!r}; expected one of {self.MODES}"
+            )
+        self.jobs = max(1, int(jobs))
+        self.mode = mode if self.jobs > 1 else "serial"
+        self._pool = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Reap the process pool, if one was created."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ExecutorService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _process_pool(self):
+        if self._pool is None:
+            import multiprocessing
+
+            self._pool = multiprocessing.Pool(self.jobs)
+        return self._pool
+
+    def _dispatch(self, fn, items) -> "list[tuple]":
+        """Run every task, returning (status, data) pairs in item order."""
+        if self.mode == "process" and len(items) > 1:
+            pool = self._process_pool()
+            payloads = [(fn, item) for item in items]
+            return list(pool.imap(_process_entry, payloads))
+        if self.mode == "thread" and len(items) > 1:
+            outcomes: "list[tuple | None]" = [None] * len(items)
+
+            def run_slice(start: int) -> None:
+                for index in range(start, len(items), workers):
+                    outcomes[index] = call_guarded(fn, items[index])
+
+            workers = min(self.jobs, len(items))
+            threads = [
+                threading.Thread(target=run_slice, args=(start,))
+                for start in range(workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return outcomes
+        return [call_guarded(fn, item) for item in items]
+
+    def map(self, fn, items, labels=None, on_error=None) -> list:
+        """Run ``fn`` over ``items``; return results in item order.
+
+        ``labels`` (parallel to ``items``) names tasks in errors.  When
+        a task comes back ``("error", detail)``, ``on_error(item, label,
+        detail)`` -- running in the coordinating process -- may return a
+        recovery result or raise its own error; without the hook the
+        service raises :class:`TaskError`.  The inline-retry idiom::
+
+            def on_error(item, label, detail):
+                try:
+                    return fn(item)          # retry once, inline
+                except Exception as exc:
+                    raise TaskError(label, f"{detail}\\nretry: {exc!r}")
+        """
+        items = list(items)
+        if labels is None:
+            labels = list(range(len(items)))
+        results = []
+        for item, label, (status, data) in zip(
+            items, labels, self._dispatch(fn, items)
+        ):
+            if status == "ok":
+                results.append(data)
+            elif on_error is not None:
+                results.append(on_error(item, label, data))
+            else:
+                raise TaskError(label, data)
+        return results

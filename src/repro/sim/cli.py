@@ -27,6 +27,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro.sim.generator import DB_TYPES, PROFILES, generate_workload
 from repro.sim.harness import CONFIG_MATRIX, QUICK_MATRIX, run_seed, run_workload
+from repro.sim.load import LOAD_PROFILES, run_load
 
 
 def _parse_seeds(text: str) -> "list[int]":
@@ -99,6 +100,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink",
         action="store_true",
         help="report divergences without minimizing them",
+    )
+    parser.add_argument(
+        "--load",
+        choices=sorted(LOAD_PROFILES),
+        default=None,
+        metavar="PROFILE",
+        help="run a deterministic load profile instead of fuzzing "
+        "(append, read or mixed; honors --ops, --skew and --seed)",
+    )
+    parser.add_argument(
+        "--skew",
+        type=float,
+        default=0.0,
+        help="key skew for --load: 0 = uniform, 1 = strongly zipfian",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=256,
+        help="initial rows seeded before a --load run",
     )
     return parser
 
@@ -209,9 +230,37 @@ def _replay(args, out) -> int:
     return 1 if failures else 0
 
 
+def _run_load_profile(args, out) -> int:
+    from repro.engine.database import TemporalDatabase
+
+    seed = args.seed[0] if args.seed else 0
+    db = TemporalDatabase(name="simload")
+    summary = run_load(
+        db,
+        profile=args.load,
+        ops=args.ops,
+        seed=seed,
+        skew=args.skew,
+        initial_rows=args.rows,
+    )
+    mix = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(summary["counts"].items())
+    )
+    print(
+        f"load {summary['profile']} seed {summary['seed']} "
+        f"skew {summary['skew']:g}: {summary['ops']} ops ({mix}), "
+        f"{summary['rows_returned']} rows returned, "
+        f"{summary['final_keys']} keys",
+        file=out,
+    )
+    return 0
+
+
 def main(argv=None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    if args.load is not None:
+        return _run_load_profile(args, out)
     if args.corpus is None and args.seed is None:
         args.seed = list(range(1, 9))
     status = 0

@@ -1,0 +1,152 @@
+"""Deterministic load generation: the scale benchmark's traffic source.
+
+Where the fuzzer (:mod:`repro.sim.generator`) explores the grammar, the
+load generator replays a *profile* -- a fixed mix of appends, point
+reads, scans, aggregates, replaces and deletes -- against one relation,
+with a seeded RNG and an optional Zipf-like key skew.  The same seed
+always produces the same statement stream, so partitioned and
+unpartitioned runs (or serial and scattered runs) of one profile are
+directly comparable row-for-row and page-for-page.
+
+Used two ways:
+
+* ``python -m repro.sim --load mixed --ops 500 --skew 0.8 --seed 3``
+  runs a profile against a fresh database and prints the op mix and
+  outcome (a smoke workload, also handy over ``tcp://`` sessions);
+* :mod:`repro.bench.scale` seeds its relations with
+  :func:`generate_rows` / :func:`seed_database` and drives its measured
+  queries off :func:`pick_key`.
+"""
+
+from __future__ import annotations
+
+import random
+
+# The load relation: a temporal (persistent interval) relation so that
+# both transaction-time pruning and valid-time defaulting are exercised.
+LOAD_RELATION = "load"
+LOAD_CREATE = (
+    f"create persistent interval {LOAD_RELATION} "
+    "(key = i4, grp = c8, val = i4)"
+)
+LOAD_RANGE = f"range of l is {LOAD_RELATION}"
+
+# Statement mixes, in weights.  "append" grows the relation, "point" is
+# a key-equality retrieve, "scan" a selective range retrieve, "agg" an
+# ungrouped aggregate (the partition kernel's fast path), "replace" and
+# "delete" are keyed updates.
+LOAD_PROFILES = {
+    "append": {"append": 1.0},
+    "read": {"point": 0.5, "scan": 0.3, "agg": 0.2},
+    "mixed": {
+        "append": 0.3,
+        "point": 0.25,
+        "scan": 0.15,
+        "agg": 0.1,
+        "replace": 0.15,
+        "delete": 0.05,
+    },
+}
+
+
+def pick_key(rng: random.Random, space: int, skew: float) -> int:
+    """A key in ``[0, space)``; *skew* > 0 biases toward low keys.
+
+    ``skew = 0`` is uniform.  Larger values concentrate the mass like a
+    Zipf distribution (at 1.0 roughly half the picks land in the lowest
+    ~6% of the key space), modelling the hot-key traffic a hash
+    partitioning must absorb.
+    """
+    if space <= 0:
+        return 0
+    u = rng.random()
+    if skew > 0:
+        u = u ** (1.0 + 3.0 * skew)
+    return min(space - 1, int(u * space))
+
+
+def generate_rows(count: int, seed: int = 0) -> "list[tuple]":
+    """*count* user-width rows for the load relation, keys ``0..count-1``."""
+    rng = random.Random(seed)
+    return [
+        (key, f"g{rng.randrange(16):x}", rng.randrange(1_000_000))
+        for key in range(count)
+    ]
+
+
+def seed_database(db, count: int, seed: int = 0) -> int:
+    """Create the load relation and bulk-load *count* generated rows."""
+    db.execute(LOAD_CREATE)
+    db.execute(LOAD_RANGE)
+    return db.copy_in(LOAD_RELATION, generate_rows(count, seed))
+
+
+def _statement(kind: str, rng: random.Random, space: int, skew: float) -> str:
+    key = pick_key(rng, max(space, 1), skew)
+    if kind == "append":
+        return (
+            f"append to {LOAD_RELATION} (key = {space}, "
+            f'grp = "g{rng.randrange(16):x}", '
+            f"val = {rng.randrange(1_000_000)})"
+        )
+    if kind == "point":
+        return f"retrieve (l.val) where l.key = {key}"
+    if kind == "scan":
+        width = max(1, space // 20)
+        return (
+            f"retrieve (l.key, l.val) where l.key >= {key} "
+            f"and l.key < {key + width}"
+        )
+    if kind == "agg":
+        return (
+            "retrieve (c = count(l.key), s = sum(l.val)) "
+            f"where l.key >= {key}"
+        )
+    if kind == "replace":
+        return f"replace l (val = {rng.randrange(1_000_000)}) where l.key = {key}"
+    if kind == "delete":
+        return f"delete l where l.key = {key}"
+    raise ValueError(f"unknown load op {kind!r}")
+
+
+def run_load(
+    db,
+    profile: str = "mixed",
+    ops: int = 200,
+    seed: int = 0,
+    skew: float = 0.0,
+    initial_rows: int = 256,
+) -> dict:
+    """Run one load profile; returns per-op counts and totals.
+
+    The database gets the load relation created and seeded first (unless
+    it already exists); every operation then goes through
+    ``db.execute`` with plain statement text, so any connection exposing
+    the one-statement surface (including ``tcp://`` sessions) works.
+    """
+    weights = LOAD_PROFILES[profile]
+    if LOAD_RELATION not in getattr(db, "relation_names", lambda: [])():
+        seed_database(db, initial_rows, seed)
+    else:
+        db.execute(LOAD_RANGE)
+    rng = random.Random((seed << 8) ^ 0x10AD)
+    kinds = sorted(weights)
+    space = initial_rows
+    counts = {kind: 0 for kind in kinds}
+    rows_out = 0
+    for _ in range(ops):
+        kind = rng.choices(kinds, weights=[weights[k] for k in kinds])[0]
+        result = db.execute(_statement(kind, rng, space, skew))
+        if kind == "append":
+            space += 1
+        counts[kind] += 1
+        rows_out += len(getattr(result, "rows", None) or ())
+    return {
+        "profile": profile,
+        "ops": ops,
+        "seed": seed,
+        "skew": skew,
+        "counts": counts,
+        "rows_returned": rows_out,
+        "final_keys": space,
+    }

@@ -208,6 +208,59 @@ class IOStats:
         """
         return self.delta({}, scope)
 
+    def export_scope(self, scope=None) -> dict:
+        """Serialize a scope's counters for transfer across processes.
+
+        A process-pool worker meters its partition I/O on its own
+        :class:`IOStats` (page files shipped to the worker are invisible
+        to the coordinator's meter), then ships this JSON-safe snapshot
+        back.  ``scope=None`` exports the worker's process-wide counters
+        -- the usual case, since a worker runs exactly one task.
+        Zero-count registrations are dropped: merging the export must
+        add precisely the I/O that happened, nothing else.
+        """
+        with self._guard:
+            reads, writes = self._counter_maps(scope)
+            return {
+                "reads": {
+                    name: count
+                    for name, count in sorted(reads.items())
+                    if count
+                },
+                "writes": {
+                    name: count
+                    for name, count in sorted(writes.items())
+                    if count
+                },
+                "system": sorted(
+                    self._system_names
+                    & (set(reads) | set(writes))
+                ),
+            }
+
+    def merge_scope(self, scope, exported: dict) -> None:
+        """Fold a worker's :meth:`export_scope` snapshot into this meter.
+
+        Counts are added to the process-wide totals and, when *scope* is
+        not ``None``, to that scope's attributed counters -- exactly as
+        if the pages had been touched on a thread running under
+        ``scoped(scope)``.  Merging is commutative and deterministic:
+        names are applied in sorted order and only by addition, so any
+        arrival order of worker results yields identical totals.
+        """
+        with self._guard:
+            for name in exported.get("system", ()):
+                self._system_names.add(name)
+            for kind, totals, scoped in (
+                ("reads", self._reads, self._scoped_reads),
+                ("writes", self._writes, self._scoped_writes),
+            ):
+                for name, count in sorted(exported.get(kind, {}).items()):
+                    totals[name] = totals.get(name, 0) + count
+                    if scope is not None:
+                        counters = scoped.setdefault(scope, {})
+                        counters[name] = counters.get(name, 0) + count
+
     def drop_scope(self, scope) -> None:
         """Forget a closed session's attributed counters."""
         with self._guard:

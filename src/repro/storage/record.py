@@ -153,6 +153,11 @@ class RecordCodec:
         """Width in bytes of one encoded record."""
         return self._struct.size
 
+    @property
+    def struct_format(self) -> str:
+        """The precompiled ``struct`` format (scan kernels recompile it)."""
+        return self._struct.format
+
     def check_value(self, field: FieldSpec, value):
         """Validate and coerce *value* for *field*; returns the coerced value.
 

@@ -266,3 +266,20 @@ class IndexStmt:
     index_name: str
     attribute: str
     options: "tuple[tuple[str, object], ...]" = field(default=())
+
+
+@dataclass(frozen=True)
+class PartitionStmt:
+    """``partition R by hash|range on attr into N [where opt = v, ...]``.
+
+    ``into 1`` collapses the relation back to a single store.  Options:
+    ``parallel`` (``"serial"``/``"thread"``/``"process"``) picks the
+    scatter-gather mode, ``bounds`` (a comma-separated string) gives the
+    N-1 cut values of a range partitioning.
+    """
+
+    relation: str
+    method: str  # "hash" | "range"
+    attribute: str
+    count: int
+    options: "tuple[tuple[str, object], ...]" = field(default=())

@@ -45,6 +45,23 @@ def _access_description(executor: Executor, var: str, bound: set) -> str:
         and source.layout.tx is not None
     ):
         suffix = " [zone map prunes post-as-of pages]"
+    if getattr(relation, "is_partitioned", False):
+        pruned = ""
+        if executor._asof_period is not None and source.layout.tx is not None:
+            survivors = len(
+                relation.survivors(
+                    executor._asof_period.stop - 1, count=False
+                )
+            )
+            if survivors < relation.partition_count:
+                pruned = (
+                    f", {relation.partition_count - survivors} pruned by"
+                    " as-of bounds"
+                )
+        suffix += (
+            f" [{relation.partition_count} {relation.partition_method}"
+            f" partitions, {relation.parallel} gather{pruned}]"
+        )
     for position, _ in executor._find_key_equality(var, bound):
         if relation.can_key_lookup(position):
             attribute = relation.schema.fields[position].name

@@ -41,7 +41,8 @@ from repro.catalog.schema import IMPLICIT_ATTRIBUTES
 from repro.engine import mutate
 from repro.engine.result import Result
 from repro.errors import ExecutionError, TQuelSemanticError
-from repro.storage.record import FieldSpec
+from repro.exec.scan import compile_page_fold, merge_partials
+from repro.storage.record import AttributeType, FieldSpec
 from repro.temporal.interval import Period
 from repro.tquel import ast
 from repro.tquel.compile import (
@@ -473,6 +474,24 @@ class Executor:
             for _, expr, __ in targets
             if isinstance(expr, ast.Aggregate)
         )
+        if not by_list:
+            kernel = self._kernel_aggregate(order)
+            if kernel is not None:
+                for temp in self._temps:
+                    temp.drop()
+                rows = [tuple(kernel)]
+                stmt = analysis.statement
+                if stmt.into is not None:
+                    count = self._store_into(
+                        stmt.into, columns, rows, "none"
+                    )
+                    return Result(
+                        kind="retrieve into", count=count, columns=columns
+                    )
+                return Result(
+                    kind="retrieve", columns=columns, rows=rows, count=1
+                )
+
         group_fns = [
             compile_scalar(expr, None, layouts, self._bindings)
             for expr in by_list
@@ -527,6 +546,149 @@ class Executor:
         return Result(
             kind="retrieve", columns=columns, rows=rows, count=len(rows)
         )
+
+    # Integer-valued attribute types whose sums are order-independent
+    # (float accumulation order differs between serial and scattered
+    # folds, so sum/avg over floats stay on the interpreter).
+    _KERNEL_SUM_TYPES = (
+        AttributeType.I1,
+        AttributeType.I2,
+        AttributeType.I4,
+        AttributeType.TIME,
+    )
+    _FLIPPED_OPS = {
+        "=": "=",
+        "!=": "!=",
+        "<": ">",
+        "<=": ">=",
+        ">": "<",
+        ">=": "<=",
+    }
+
+    def _kernel_aggregate(self, order) -> "list | None":
+        """Push an ungrouped aggregate to the partition scan kernel.
+
+        When the single variable ranges over a process-parallel
+        partitioned relation and every target and conjunct translates to
+        the kernel's position-level specs, the whole fold runs as a
+        scatter-gather over raw page images -- same rows, same page
+        accounting, no per-row interpretation.  Returns the final target
+        values, or None when the statement must run on the interpreter.
+        """
+        if len(order) != 1 or not self._batch:
+            return None
+        var = order[0]
+        source = self._sources[var]
+        if source.temp is not None:
+            return None
+        relation = source.relation
+        if not getattr(relation, "is_partitioned", False):
+            return None
+        if not relation.kernel_eligible():
+            return None
+        for position, _ in self._find_key_equality(var, set()):
+            # Only bail when the interpreter would actually take a keyed
+            # path instead of this full scan.
+            if (
+                relation.can_key_lookup(position)
+                or relation.index_for(position) is not None
+            ):
+                return None
+        layout = source.layout
+        schema = relation.schema
+        aggs = []
+        for _, expr, __ in self._analysis.targets:
+            if not isinstance(expr, ast.Aggregate):
+                return None
+            operand = expr.operand
+            if not (isinstance(operand, ast.Attr) and operand.var == var):
+                return None
+            position = layout.positions.get(operand.name)
+            if position is None:
+                return None
+            attr_type = schema.fields[position].type
+            if expr.func in ("sum", "avg"):
+                if attr_type not in self._KERNEL_SUM_TYPES:
+                    return None
+            elif expr.func in ("min", "max"):
+                if not (
+                    attr_type.is_numeric or attr_type is AttributeType.TIME
+                ):
+                    return None
+            aggs.append((expr.func, position))
+        filters = []
+        for conjunct in self._conjuncts:
+            if conjunct.is_temporal or not conjunct.vars <= {var}:
+                return None
+            spec = self._kernel_filter_spec(conjunct.expr, var, layout)
+            if spec is None:
+                return None
+            filters.append(spec)
+        asof_max = None
+        if self._asof_period is not None and layout.tx is not None:
+            tx_start, tx_stop = layout.tx
+            filters.append(
+                (
+                    "asof",
+                    tx_start,
+                    tx_stop,
+                    self._asof_period.start,
+                    self._asof_period.stop,
+                )
+            )
+            asof_max = self._asof_period.stop - 1
+        try:
+            compile_page_fold(filters, aggs)  # validate before scattering
+        except ValueError:
+            return None
+        metrics = getattr(self._db, "metrics", None)
+        if metrics is not None:
+            metrics.inc("partition.kernel_pushdown")
+        results = relation.partition_aggregate(filters, aggs, asof_max)
+        merged = merge_partials(aggs, results)
+        return [
+            self._finish_partial(func, partial)
+            for (func, _), partial in zip(aggs, merged)
+        ]
+
+    def _kernel_filter_spec(self, node, var: str, layout) -> "tuple | None":
+        """Translate one conjunct into a kernel ``cmp`` spec, if possible."""
+        if not isinstance(node, ast.Compare):
+            return None
+        for attr_side, const_side, op in (
+            (node.left, node.right, node.op),
+            (node.right, node.left, self._FLIPPED_OPS.get(node.op)),
+        ):
+            if op is None:
+                continue
+            if not (
+                isinstance(attr_side, ast.Attr) and attr_side.var == var
+            ):
+                continue
+            if not isinstance(const_side, ast.Const):
+                return None
+            position = layout.positions.get(attr_side.name)
+            if position is None:
+                return None
+            return ("cmp", position, op, const_side.value)
+        return None
+
+    @staticmethod
+    def _finish_partial(func: str, partial):
+        """Turn a merged kernel partial into the aggregate's final value,
+        with :func:`_fold_aggregate`'s empty-result semantics."""
+        if func == "count":
+            return partial if partial is not None else 0
+        if func == "sum":
+            return partial if partial is not None else 0
+        if func == "avg":
+            if partial is None or not partial[1]:
+                raise ExecutionError("avg() over an empty result")
+            total, count = partial
+            return total / count
+        if partial is None:
+            raise ExecutionError(f"{func}() over an empty result")
+        return partial
 
     def _build_plan(self, order: "list[str]") -> list:
         """Per-depth (variable, row source, filter) triples, compiled once.

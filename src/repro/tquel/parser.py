@@ -47,6 +47,7 @@ from repro.tquel.ast import (
     ModifyStmt,
     NotOp,
     Param,
+    PartitionStmt,
     RangeStmt,
     ReplaceStmt,
     RetrieveStmt,
@@ -127,6 +128,7 @@ class _Parser:
             "destroy": self._destroy,
             "index": self._index,
             "vacuum": self._vacuum,
+            "partition": self._partition,
         }.get(token.type)
         if handler is None:
             self._error(f"expected a statement, found {token.value!r}")
@@ -250,6 +252,34 @@ class _Parser:
             relation=relation,
             index_name=index_name,
             attribute=attribute,
+            options=options,
+        )
+
+    def _partition(self):
+        self._expect("partition", "to start a partition statement")
+        relation = self._expect(
+            "ident", "as the relation to partition"
+        ).value
+        self._expect("by", "after the relation name")
+        # "range" lexes as a keyword token; both spellings are methods.
+        token = self._peek()
+        if token.type in ("ident", "range"):
+            self._next()
+            method = token.value
+        else:
+            self._error("expected a partition method (hash or range)")
+        self._expect("on", "after the partition method")
+        attribute = self._expect(
+            "ident", "as the partition attribute"
+        ).value
+        self._expect("into", "after the partition attribute")
+        count = self._expect("int", "as the partition count").value
+        options = self._options() if self._accept("where") else ()
+        return PartitionStmt(
+            relation=relation,
+            method=method,
+            attribute=attribute,
+            count=count,
             options=options,
         )
 

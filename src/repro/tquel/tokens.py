@@ -33,6 +33,7 @@ KEYWORDS = frozenset(
         "on",
         "or",
         "overlap",
+        "partition",
         "persistent",
         "precede",
         "range",
@@ -60,6 +61,7 @@ STATEMENT_KEYWORDS = frozenset(
         "destroy",
         "index",
         "modify",
+        "partition",
         "range",
         "replace",
         "retrieve",

@@ -182,4 +182,10 @@ def unparse(stmt) -> str:
             f"index on {stmt.relation} is {stmt.index_name} "
             f"({stmt.attribute})" + _options(stmt.options)
         )
+    if isinstance(stmt, ast.PartitionStmt):
+        return (
+            f"partition {stmt.relation} by {stmt.method} "
+            f"on {stmt.attribute} into {stmt.count}"
+            + _options(stmt.options)
+        )
     raise TQuelError(f"cannot unparse statement {stmt!r}")

@@ -59,6 +59,18 @@ def build_db():
     return db
 
 
+def build_partitioned_db():
+    """The same workload hash-partitioned three ways (heap children, no
+    secondary index: partitioning refuses indexed relations)."""
+    db = make_db()
+    db.execute("create persistent interval r (id = i4, v = i4, pad = c96)")
+    db.execute("range of x is r")
+    for i in range(1, 13):
+        db.execute(f'append to r (id = {i}, v = {i * 10}, pad = "p")')
+    db.execute("partition r by hash on id into 3")
+    return db
+
+
 def fingerprint(db) -> dict:
     """Byte images of every non-temporary page file, by file name.
 
@@ -159,6 +171,40 @@ class TestStatementCrashMatrix:
         assert check_database(db) == []
 
 
+class TestPartitionedStatementRollback:
+    @pytest.mark.parametrize("point", STATEMENT_POINTS)
+    def test_mid_statement_fault_rolls_back_exactly(self, point):
+        """A fault inside a statement over a partitioned relation leaves
+        every child partition at the pre- or post-statement image."""
+        statement = STATEMENTS[1]
+        post_db = build_partitioned_db()
+        post_db.execute(STATEMENTS[0])
+        post_db.execute(statement)
+        post = fingerprint(post_db)
+        fired = False
+        for hit in range(1, MAX_HITS + 1):
+            db = build_partitioned_db()
+            db.execute(STATEMENTS[0])
+            pre = fingerprint(db)
+            fault.arm(point, at_hit=hit)
+            try:
+                db.execute(statement)
+            except FaultInjected:
+                fired = True
+                state = fingerprint(db)
+                assert state == pre or state == post, (
+                    f"{point} at hit {hit}: partitioned state is neither "
+                    "the pre- nor the post-statement image"
+                )
+            else:
+                fault.reset()
+                assert fingerprint(db) == post
+                break
+            finally:
+                fault.reset()
+        assert fired, f"{point}: never hit on the partitioned relation"
+
+
 class TestCheckpointCrashMatrix:
     @pytest.mark.parametrize("point", CHECKPOINT_POINTS)
     def test_every_hit_recovers_a_complete_checkpoint(self, point, tmp_path):
@@ -197,6 +243,49 @@ class TestCheckpointCrashMatrix:
                     if leftover.exists():
                         shutil.rmtree(leftover)
         assert completed, f"{point}: save never completed"
+
+    @pytest.mark.parametrize("point", CHECKPOINT_POINTS)
+    def test_partitioned_checkpoint_recovers_exactly(self, point, tmp_path):
+        """The checkpoint matrix again, over a hash-partitioned relation:
+        a fault at any checkpoint failpoint must leave the previous or
+        the new checkpoint -- with every child partition file intact."""
+        target = tmp_path / "pckpt"
+        completed = False
+        for hit in range(1, MAX_HITS + 1):
+            db = build_partitioned_db()
+            db.save(target)
+            old_state = checkpoint_fingerprint(db)
+            for text in STATEMENTS:
+                db.execute(text)
+            new_state = checkpoint_fingerprint(db)
+            fault.arm(point, at_hit=hit)
+            try:
+                db.save(target)
+            except FaultInjected:
+                persist.recover_checkpoint(target)
+                restored = persist.load(target)
+                assert restored.relation("r").is_partitioned
+                state = checkpoint_fingerprint(restored)
+                assert state == old_state or state == new_state, (
+                    f"{point} at hit {hit}: recovered partitioned "
+                    "checkpoint is neither the previous nor the new one"
+                )
+            else:
+                fault.reset()
+                assert persist.recover_checkpoint(target) == "clean"
+                restored = persist.load(target)
+                assert restored.relation("r").is_partitioned
+                assert checkpoint_fingerprint(restored) == new_state
+                completed = True
+                break
+            finally:
+                fault.reset()
+                import shutil
+
+                for leftover in (target, *persist._journal_paths(target)[1:]):
+                    if leftover.exists():
+                        shutil.rmtree(leftover)
+        assert completed, f"{point}: partitioned save never completed"
 
     def test_first_save_crash_leaves_recoverable_journal(self, tmp_path):
         # No previous checkpoint: a crash between the renames must still

@@ -1,0 +1,109 @@
+"""The executor service: ordered gather, error capture, retry hook."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.exec import ExecutorService, TaskError, call_guarded
+from repro.exec.service import _process_entry
+
+
+def _square(n):
+    return n * n
+
+
+def _crash_on_three(n):
+    if n == 3:
+        raise ValueError("three is right out")
+    return n
+
+
+def test_call_guarded_ok_and_error():
+    assert call_guarded(_square, 4) == ("ok", 16)
+    status, detail = call_guarded(_crash_on_three, 3)
+    assert status == "error"
+    assert "three is right out" in detail
+
+
+def test_process_entry_is_picklable():
+    import pickle
+
+    payload = pickle.loads(pickle.dumps((_square, 5)))
+    assert _process_entry(payload) == ("ok", 25)
+
+
+@pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+def test_modes_agree_and_preserve_order(mode):
+    with ExecutorService(jobs=4, mode=mode) as service:
+        assert service.map(_square, range(10)) == [
+            n * n for n in range(10)
+        ]
+
+
+def test_jobs_one_collapses_to_serial():
+    service = ExecutorService(jobs=1, mode="process")
+    assert service.mode == "serial"
+    assert service._pool is None
+    assert service.map(_square, [3]) == [9]
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="unknown executor mode"):
+        ExecutorService(jobs=2, mode="fibers")
+
+
+def test_error_without_hook_raises_task_error():
+    with ExecutorService(jobs=2, mode="thread") as service:
+        with pytest.raises(TaskError) as excinfo:
+            service.map(_crash_on_three, [1, 2, 3], labels=["a", "b", "c"])
+    assert excinfo.value.label == "c"
+    assert "three is right out" in excinfo.value.detail
+
+
+def test_on_error_hook_recovers_inline():
+    recovered = []
+
+    def on_error(item, label, detail):
+        recovered.append((item, label))
+        return -item
+
+    with ExecutorService(jobs=2, mode="thread") as service:
+        results = service.map(
+            _crash_on_three, [1, 3, 5], labels=["a", "b", "c"],
+            on_error=on_error,
+        )
+    assert results == [1, -3, 5]
+    assert recovered == [(3, "b")]
+
+
+def test_thread_mode_runs_tasks_on_worker_threads():
+    seen = set()
+
+    def record(_):
+        seen.add(threading.current_thread().name)
+        return True
+
+    with ExecutorService(jobs=4, mode="thread") as service:
+        service.map(record, range(8))
+    assert threading.current_thread().name not in seen
+
+
+def test_process_mode_crosses_process_boundary():
+    with ExecutorService(jobs=2, mode="process") as service:
+        pids = service.map(_pid, range(4))
+    assert os.getpid() not in pids
+
+
+def _pid(_):
+    return os.getpid()
+
+
+def test_process_pool_persists_across_maps():
+    with ExecutorService(jobs=2, mode="process") as service:
+        first = set(service.map(_pid, range(4)))
+        second = set(service.map(_pid, range(4)))
+        assert first & second  # same workers served both rounds
+    assert service._pool is None  # close() reaped them

@@ -104,6 +104,91 @@ def test_drop_scope_forgets_attribution():
     assert stats.totals().user.reads == 1
 
 
+def test_export_scope_is_json_safe_and_drops_zero_counts():
+    stats = IOStats()
+    stats.register("emp")
+    stats.register("relations", system=True)
+    stats.register("untouched")
+    with stats.scoped("w"):
+        stats.record_read("emp")
+        stats.record_read("emp")
+        stats.record_write("emp")
+        stats.record_read("relations")
+    exported = stats.export_scope("w")
+    assert exported == {
+        "reads": {"emp": 2, "relations": 1},
+        "writes": {"emp": 1},
+        "system": ["relations"],
+    }
+    # Registered-but-untouched relations never appear in the export.
+    assert "untouched" not in exported["reads"]
+
+
+def test_export_scope_none_exports_process_wide_counters():
+    stats = IOStats()
+    stats.register("emp")
+    stats.record_read("emp")
+    assert stats.export_scope() == {
+        "reads": {"emp": 1},
+        "writes": {},
+        "system": [],
+    }
+
+
+def test_merge_scope_adds_into_global_and_scoped_totals():
+    worker = IOStats()
+    worker.register("emp")
+    worker.register("relations", system=True)
+    worker.record_read("emp")
+    worker.record_read("emp")
+    worker.record_write("emp")
+    worker.record_read("relations")
+
+    coordinator = IOStats()
+    coordinator.register("emp")
+    with coordinator.scoped("s1"):
+        coordinator.record_read("emp")
+    coordinator.merge_scope("s1", worker.export_scope())
+
+    totals = coordinator.totals("s1")
+    assert totals.user == IOCounters(3, 1)
+    assert totals.system == IOCounters(1, 0)
+    assert coordinator.totals().user == IOCounters(3, 1)
+    # The worker's system classification travelled with the export.
+    assert coordinator.is_system("relations")
+
+
+def test_merge_scope_is_order_independent():
+    exports = []
+    for reads in (3, 5, 7):
+        worker = IOStats()
+        worker.register("emp")
+        for _ in range(reads):
+            worker.record_read("emp")
+        exports.append(worker.export_scope())
+
+    forward = IOStats()
+    backward = IOStats()
+    for exported in exports:
+        forward.merge_scope("s", exported)
+    for exported in reversed(exports):
+        backward.merge_scope("s", exported)
+    assert forward.totals("s") == backward.totals("s")
+    assert forward.totals("s").user.reads == 15
+
+
+def test_merge_scope_survives_pickling_the_export():
+    import pickle
+
+    worker = IOStats()
+    worker.register("emp")
+    worker.record_read("emp")
+    exported = pickle.loads(pickle.dumps(worker.export_scope()))
+    coordinator = IOStats()
+    coordinator.merge_scope("s1", exported)
+    assert coordinator.totals("s1").user.reads == 1
+
+
 def test_iodelta_wire_roundtrip():
     delta = IODelta(
         user=IOCounters(3, 2),
