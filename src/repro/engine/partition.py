@@ -42,6 +42,7 @@ counts land in the metrics registry (``partition.pruned`` /
 
 from __future__ import annotations
 
+import os
 import zlib
 from bisect import bisect_right
 from typing import Iterator
@@ -55,6 +56,14 @@ from repro.exec import ExecutorService
 from repro.exec.scan import scan_partition_pages
 
 PARALLEL_MODES = ("serial", "thread", "process")
+
+#: Per-task stall deadline (seconds) for process-pool gathers; 0 in the
+#: environment (the default) means no deadline.  A partition slice that
+#: outlives it is treated as a worker fault: retried on a fresh pool,
+#: then run serially (see :class:`repro.exec.ExecutorService`).
+_GATHER_TIMEOUT = (
+    float(os.environ.get("REPRO_GATHER_TIMEOUT", "0")) or None
+)
 
 
 def route_hash(value, count: int) -> int:
@@ -559,9 +568,11 @@ class PartitionedRelation:
                 )
 
         service = self._thread_service()
-        for batches in service.map(
+        gathered = service.map(
             collect, survivors, labels=[f"{self.name}#{p}" for p in survivors]
-        ):
+        )
+        self._note_gather(service)
+        for batches in gathered:
             yield from batches
 
     def lookup_batches(
@@ -588,7 +599,8 @@ class PartitionedRelation:
         service = self._services.get("thread")
         if service is None:
             service = ExecutorService(
-                jobs=self.partition_count, mode="thread"
+                jobs=self.partition_count, mode="thread",
+                metrics=self._metrics,
             )
             self._services["thread"] = service
         return service
@@ -597,10 +609,25 @@ class PartitionedRelation:
         service = self._services.get("process")
         if service is None:
             service = ExecutorService(
-                jobs=self.partition_count, mode="process"
+                jobs=self.partition_count, mode="process",
+                task_timeout=_GATHER_TIMEOUT, metrics=self._metrics,
             )
             self._services["process"] = service
         return service
+
+    def _note_gather(self, service: ExecutorService) -> None:
+        """Surface a degraded (serial-fallback) gather after a map."""
+        if service.last_map_degraded and self._metrics is not None:
+            self._metrics.inc("partition.degraded")
+
+    @property
+    def gather_degraded(self) -> bool:
+        """Whether any gather since creation fell back to serial
+        (worker deaths or stalls exhausted the pool retries); EXPLAIN
+        flags it on the relation's scan line."""
+        return any(
+            service.degraded for service in self._services.values()
+        )
 
     def release(self) -> None:
         """Reap pool workers (on destroy/unpartition/close)."""
@@ -676,6 +703,7 @@ class PartitionedRelation:
             payloads,
             labels=[f"{self.name}#{pid}" for pid in survivors],
         )
+        self._note_gather(service)
         stats = self._pool.stats
         scope = stats.active_scope
         for result in results:

@@ -364,6 +364,7 @@ def connect(
     name: "str | None" = None,
     token: "str | None" = None,
     timeout: "float | None" = None,
+    retries: int = 0,
 ):
     """Open a session on a local, durable, or remote temporal database.
 
@@ -382,9 +383,11 @@ def connect(
     *database* supplies an existing engine instead (overrides *target*).
     *clock* and *buffers_per_relation* configure a locally created
     engine; they are ignored for ``tcp://`` targets (the server's engine
-    was configured at server start).  *token* and *timeout* apply only
-    to ``tcp://`` targets: the server's authentication token and the
-    socket timeout in seconds.
+    was configured at server start).  *token*, *timeout* and *retries* apply
+    only to ``tcp://`` targets: the server's authentication token, the
+    per-operation socket timeout in seconds, and how many times a lost
+    connection is re-dialed and the request resent (safe for writes:
+    the server dedupes retried statements; see ``docs/server.md``).
     """
     if database is not None:
         return Session(database)
@@ -393,7 +396,9 @@ def connect(
     if target.startswith("tcp://"):
         from repro.server.client import RemoteSession
 
-        return RemoteSession.open(target, token=token, timeout=timeout)
+        return RemoteSession.open(
+            target, token=token, timeout=timeout, retries=retries
+        )
     if target.startswith("file:"):
         db = _open_file_database(
             target[len("file:"):],

@@ -84,6 +84,35 @@ class ExecutionError(ReproError):
     """Runtime errors while executing a query plan."""
 
 
+class ConnectionLost(ExecutionError):
+    """The wire connection to a server died mid-conversation.
+
+    Carries the ``op`` of the request that was in flight when the
+    transport failed, so retry logic (and error messages) can name what
+    was lost.  This is the *retry trigger*: every transport-level
+    failure a :class:`~repro.server.client.RemoteSession` sees -- reset,
+    timeout, EOF, torn frame -- is normalized to this one class.
+    """
+
+    def __init__(self, message: str, op: str = ""):
+        super().__init__(message)
+        self.op = op
+
+
+class ServerOverloaded(ExecutionError):
+    """The server refused a statement for lack of execution capacity.
+
+    Carries ``retry_after`` -- the server's hint, in seconds, for when
+    to try again.  Raised instead of queueing unboundedly when the
+    in-flight statement limit is reached; an obedient client backs off
+    and retries, so overload sheds load instead of stacking it.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.05):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class FaultInjected(ReproError):
     """A :mod:`repro.fault` failpoint fired (crash-safety testing only).
 

@@ -61,6 +61,7 @@ __all__ = [
     "point",
     "reset",
     "set_counting",
+    "should_fire",
 ]
 
 #: The failpoint catalogue.  Sites outside this tuple refuse to arm, so a
@@ -77,7 +78,21 @@ POINTS = (
     "checkpoint.swap",    # between the two directory renames of the swap
     # benchmark layer
     "bench.worker",       # a sweep worker subprocess begins a configuration
+    # network layer (behavioural: sites consult should_fire())
+    "net.frame_drop",     # a response frame is dropped, connection reset
+    "net.partial_write",  # a response frame is cut mid-write, then reset
+    "net.delay",          # a response frame is delayed past client timeouts
+    "net.conn_reset",     # the client's socket dies before a request sends
+    # executor layer (behavioural, fired inside pool workers)
+    "exec.worker_kill",   # a pool worker dies abruptly mid-task
+    "exec.worker_stall",  # a pool worker stalls past the task deadline
 )
+
+#: Seconds a fired ``net.delay`` / ``exec.worker_stall`` site sleeps.
+#: Overridable via the environment for tests that need the delay to
+#: outlast (or stay under) a configured timeout.
+DELAY_SECONDS = float(os.environ.get("REPRO_FAULT_DELAY", "0.5"))
+STALL_SECONDS = float(os.environ.get("REPRO_FAULT_STALL", "30.0"))
 
 _ENABLED = False          # fast-path guard: any arming or counting active
 _COUNTING = False         # count hits even with nothing armed
@@ -126,6 +141,23 @@ def point(name: str) -> None:
         # module must stay importable before the observe package).
         _RECORDER.record("fault.fire", level=40, name=name, hit=hits)
     raise FaultInjected(f"failpoint {name!r} fired (hit {hits})", name=name, hit=hits)
+
+
+def should_fire(name: str) -> bool:
+    """Like :func:`point`, but *reports* the fire instead of raising.
+
+    Behavioural failpoints -- dropping a network frame, killing a pool
+    worker -- cannot simply raise: the fault is an *action* the site
+    itself must perform (close the transport, ``os._exit``).  Such
+    sites call ``if fault.should_fire("net.frame_drop"): ...`` and enact
+    the failure mode themselves.  Hit/fire accounting, metrics
+    mirroring and recorder events are identical to :func:`point`.
+    """
+    try:
+        point(name)
+    except FaultInjected:
+        return True
+    return False
 
 
 def arm(name: str, at_hit: int = 1, times: int = 1) -> None:

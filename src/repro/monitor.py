@@ -275,6 +275,23 @@ class Monitor:
                 f"  buffer hit rate: {hits / (hits + misses):.1%} "
                 f"({hits} hit(s), {misses} miss(es))"
             )
+        resilience = {
+            short: self.db.metrics.counter_value(counter)
+            for short, counter in (
+                ("retries", "client.retries"),
+                ("reconnects", "server.reconnects"),
+                ("dedup hits", "server.dedup_hits"),
+                ("overloads", "server.overloaded"),
+                ("worker failures", "exec.worker_failures"),
+                ("degraded gathers", "exec.degraded"),
+            )
+        }
+        if any(resilience.values()):
+            summary = ", ".join(
+                f"{value} {short}"
+                for short, value in resilience.items() if value
+            )
+            self._print(f"  fault tolerance: {summary}")
 
     def _events_command(self, args: "list[str]") -> None:
         recorder = self.db.recorder

@@ -1,0 +1,389 @@
+"""Deterministic chaos testing: the mixed workload under injected faults.
+
+Each *cell* of the chaos matrix arms exactly one failpoint
+(:mod:`repro.fault`) at a deterministic hit and replays a seeded
+:mod:`repro.sim` workload through a real server/client pair --
+:class:`~repro.server.server.ServerThread` plus a retrying
+:class:`~repro.server.client.RemoteSession` -- while the independent sim
+:class:`~repro.sim.oracle.Oracle` executes the same statements with no
+network at all.  The cell passes when:
+
+* every statement completes (the client's retry ladder absorbed the
+  fault) with both sides agreeing statement-by-statement on refusals;
+* the final stored state matches the oracle **exactly** -- no committed
+  statement lost (a dropped reply retried into execution) and none
+  double-applied (the server's seq dedupe refused the re-run);
+* the armed failpoint actually fired (a cell that never injects proves
+  nothing and is reported as such).
+
+Network cells (``net.*``) fire in the wire layer; executor cells
+(``exec.*``) fire inside process-pool workers during a partitioned
+process gather, and additionally assert the degraded-mode flag reaches
+EXPLAIN.  Everything is deterministic: same seed, same hit, same
+outcome -- a failing cell is a bug report, not a flake.
+
+CLI (also the CI ``chaos-smoke`` job)::
+
+    python -m repro.server.chaos --seeds 11 23 --ops 24 \
+        --artifact-dir /tmp/chaos-artifacts
+
+A failing cell writes its full transcript (statements, fault
+configuration, divergence detail) into the artifact directory so the
+cell can be replayed exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+
+from repro import fault
+from repro.engine.database import TemporalDatabase
+from repro.errors import ConnectionLost, ReproError, ServerOverloaded
+from repro.server.client import RemoteSession
+from repro.server.server import ServerThread
+from repro.sim.generator import generate_workload
+from repro.sim.harness import _canon_rows
+from repro.sim.oracle import Oracle, OracleError
+from repro.temporal.chronon import Clock
+from repro.tquel.unparse import unparse
+
+#: The network failpoints every matrix covers.
+NET_POINTS = (
+    "net.frame_drop",
+    "net.partial_write",
+    "net.delay",
+    "net.conn_reset",
+)
+
+#: The executor failpoints (fired inside pool workers).
+EXEC_POINTS = ("exec.worker_kill", "exec.worker_stall")
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One matrix cell: a failpoint armed at a hit, under a seed."""
+
+    failpoint: str
+    seed: int
+    at_hit: int = 1
+    times: int = 2
+
+
+@dataclass
+class CellReport:
+    """What one cell did, and whether the guarantees held."""
+
+    cell: ChaosCell
+    ok: bool = True
+    detail: str = ""
+    statements_run: int = 0
+    fires: int = 0
+    retries: int = 0
+    reconnects: int = 0
+    dedup_hits: int = 0
+    script: "list[str]" = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "failpoint": self.cell.failpoint,
+            "seed": self.cell.seed,
+            "at_hit": self.cell.at_hit,
+            "times": self.cell.times,
+            "ok": self.ok,
+            "detail": self.detail,
+            "statements_run": self.statements_run,
+            "fires": self.fires,
+            "retries": self.retries,
+            "reconnects": self.reconnects,
+            "dedup_hits": self.dedup_hits,
+            "script": self.script,
+        }
+
+
+def default_matrix(
+    seeds=(11,), at_hits=(2, 9), times: int = 2
+) -> "list[ChaosCell]":
+    """The standard matrix: every net point x seed x firing position,
+    plus one cell per executor point and seed."""
+    cells = []
+    for seed in seeds:
+        for point in NET_POINTS:
+            for at_hit in at_hits:
+                cells.append(ChaosCell(point, seed, at_hit, times))
+        for point in EXEC_POINTS:
+            cells.append(ChaosCell(point, seed, at_hit=1, times=16))
+    return cells
+
+
+# -- network cells -----------------------------------------------------------
+
+
+def run_net_cell(cell: ChaosCell, ops: int = 24) -> CellReport:
+    """Replay the seeded mixed workload with *cell*'s net point armed."""
+    report = CellReport(cell)
+    workload = generate_workload(cell.seed, db_type="temporal", ops=ops)
+    db = TemporalDatabase(
+        "chaos",
+        clock=Clock(start=workload.clock_start, tick=workload.clock_tick),
+    )
+    oracle = Oracle(start=workload.clock_start, tick=workload.clock_tick)
+    # net.delay must outlast the client's per-op deadline to actually
+    # break anything; shrink both so the cell runs in test time.
+    timeout = 0.25 if cell.failpoint == "net.delay" else 5.0
+    saved_delay = fault.DELAY_SECONDS
+    fault.DELAY_SECONDS = 1.0
+    server = ServerThread(db)
+    remote = None
+    try:
+        remote = RemoteSession.open(
+            server.url,
+            timeout=timeout,
+            retries=8,
+            backoff_base=0.01,
+            backoff_cap=0.1,
+            retry_seed=cell.seed,
+            metrics=db.metrics,
+        )
+        # Armed only now: the initial hello is part of the fixture, the
+        # workload is the experiment.
+        fault.arm(cell.failpoint, at_hit=cell.at_hit, times=cell.times)
+        for stmt in workload.statements:
+            text = unparse(stmt)
+            report.script.append(text)
+            engine_error = oracle_error = None
+            try:
+                result = remote.execute(text)
+            except (ConnectionLost, ServerOverloaded) as error:
+                report.ok = False
+                report.detail = (
+                    f"statement {report.statements_run} not absorbed: "
+                    f"{type(error).__name__}: {error}"
+                )
+                return report
+            except ReproError as error:
+                engine_error, result = error, None
+            try:
+                oracle_result = oracle.execute(stmt)
+            except OracleError as error:
+                oracle_error, oracle_result = error, None
+            report.statements_run += 1
+            if (engine_error is None) != (oracle_error is None):
+                report.ok = False
+                report.detail = (
+                    f"statement {report.statements_run - 1} refusal "
+                    f"mismatch: engine {engine_error!r}, oracle "
+                    f"{oracle_error!r} for {text!r}"
+                )
+                return report
+            if (
+                result is not None
+                and not isinstance(result, list)
+                and oracle_result is not None
+                and result.count != oracle_result.count
+            ):
+                report.ok = False
+                report.detail = (
+                    f"statement {report.statements_run - 1} count: "
+                    f"engine {result.count} != oracle "
+                    f"{oracle_result.count} for {text!r}"
+                )
+                return report
+        detail = _compare_final_state(remote, oracle)
+        if detail is not None:
+            report.ok = False
+            report.detail = detail
+        return report
+    finally:
+        _finish_report(report, db, remote)
+        fault.disarm(cell.failpoint)
+        fault.DELAY_SECONDS = saved_delay
+        if remote is not None:
+            remote.close()
+        server.stop()
+
+
+def _compare_final_state(remote, oracle) -> "str | None":
+    """The oracle's view vs the stored state, version for version."""
+    engine_names = remote.relation_names()
+    oracle_names = oracle.relation_names()
+    if engine_names != oracle_names:
+        return (
+            f"relations: engine {engine_names!r} != oracle {oracle_names!r}"
+        )
+    for name in engine_names:
+        mine = _canon_rows(remote.relation_rows(name))
+        theirs = _canon_rows(oracle.relation_rows(name))
+        if mine != theirs:
+            lost = [row for row in theirs if row not in mine][:3]
+            doubled = [row for row in mine if row not in theirs][:3]
+            return (
+                f"state of {name!r}: {len(mine)} stored vs "
+                f"{len(theirs)} oracle versions; lost {lost!r}, "
+                f"extra {doubled!r}"
+            )
+    return None
+
+
+def _finish_report(report, db, remote) -> None:
+    hits, fires = fault.counts().get(report.cell.failpoint, (0, 0))
+    if report.cell.failpoint in EXEC_POINTS:
+        # Executor points fire inside forked pool workers, where the
+        # coordinator's hit counters never see them; the pool-level
+        # failure count is the evidence the fault actually landed.
+        fires = int(db.metrics.counter_value("exec.worker_failures"))
+    report.fires = fires
+    report.dedup_hits = int(db.metrics.counter_value("server.dedup_hits"))
+    if remote is not None:
+        report.retries = remote.retry_stats["retries"]
+        report.reconnects = remote.retry_stats["reconnects"]
+
+
+# -- executor cells ----------------------------------------------------------
+
+
+def run_exec_cell(cell: ChaosCell, rows: int = 32) -> CellReport:
+    """A partitioned process gather with *cell*'s worker fault armed.
+
+    The aggregate must still answer correctly (retry on a fresh pool,
+    then serial fallback), and -- because ``times`` is high enough to
+    exhaust every pool attempt -- the degraded flag must surface in
+    EXPLAIN.
+    """
+    from repro.engine import partition as partition_mod
+
+    report = CellReport(cell)
+    db = TemporalDatabase("chaos-exec")
+    saved_stall = fault.STALL_SECONDS
+    saved_deadline = partition_mod._GATHER_TIMEOUT
+    fault.STALL_SECONDS = 5.0
+    partition_mod._GATHER_TIMEOUT = 0.5
+    server = ServerThread(db)
+    remote = None
+    try:
+        remote = RemoteSession.open(
+            server.url, retries=4, backoff_base=0.01,
+            retry_seed=cell.seed, metrics=db.metrics,
+        )
+        script = [
+            "create r (id = i4, v = i4)",
+            "range of x is r",
+            *(
+                f"append to r (id = {i}, v = {(i * 7 + cell.seed) % 100})"
+                for i in range(rows)
+            ),
+            'partition r by hash on id into 4 where parallel = "process"',
+        ]
+        for text in script:
+            report.script.append(text)
+            remote.execute(text)
+            report.statements_run += 1
+        expected = sum((i * 7 + cell.seed) % 100 for i in range(rows))
+        fault.arm(cell.failpoint, at_hit=cell.at_hit, times=cell.times)
+        query = "retrieve (total = sum(x.v))"
+        report.script.append(query)
+        result = remote.execute(query)
+        report.statements_run += 1
+        if result.rows != [(expected,)]:
+            report.ok = False
+            report.detail = (
+                f"aggregate under {cell.failpoint}: got {result.rows!r}, "
+                f"expected {[(expected,)]!r}"
+            )
+            return report
+        fault.disarm(cell.failpoint)
+        plan = remote.explain(query)
+        if "degraded to serial" not in plan:
+            report.ok = False
+            report.detail = (
+                "degraded gather not surfaced in EXPLAIN:\n" + plan
+            )
+        return report
+    finally:
+        _finish_report(report, db, remote)
+        fault.disarm(cell.failpoint)
+        fault.STALL_SECONDS = saved_stall
+        partition_mod._GATHER_TIMEOUT = saved_deadline
+        if remote is not None:
+            remote.close()
+        server.stop()
+
+
+# -- the matrix --------------------------------------------------------------
+
+
+def run_cell(cell: ChaosCell, ops: int = 24) -> CellReport:
+    if cell.failpoint in EXEC_POINTS:
+        return run_exec_cell(cell)
+    return run_net_cell(cell, ops=ops)
+
+
+def run_matrix(
+    cells: "list[ChaosCell]", ops: int = 24
+) -> "list[CellReport]":
+    """Run every cell (faults fully reset between cells)."""
+    reports = []
+    for cell in cells:
+        fault.reset()
+        try:
+            reports.append(run_cell(cell, ops=ops))
+        finally:
+            fault.reset()
+    return reports
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="replay the seeded chaos matrix against the sim oracle"
+    )
+    parser.add_argument("--seeds", type=int, nargs="+", default=[11])
+    parser.add_argument("--ops", type=int, default=24)
+    parser.add_argument(
+        "--artifact-dir", default=None,
+        help="write failing cells' transcripts here",
+    )
+    args = parser.parse_args(argv)
+    reports = run_matrix(
+        default_matrix(seeds=tuple(args.seeds)), ops=args.ops
+    )
+    failures = [report for report in reports if not report.ok]
+    silent = [
+        report for report in reports
+        if report.ok and report.fires == 0
+    ]
+    for report in reports:
+        cell = report.cell
+        status = "ok" if report.ok else "FAIL"
+        if report.ok and report.fires == 0:
+            status = "ok (never fired)"
+        print(
+            f"  {cell.failpoint:<18} seed={cell.seed:<3} "
+            f"at_hit={cell.at_hit:<3} {status}  "
+            f"fires={report.fires} retries={report.retries} "
+            f"reconnects={report.reconnects} dedup={report.dedup_hits}"
+        )
+        if not report.ok:
+            print(f"    {report.detail}")
+    if failures and args.artifact_dir:
+        os.makedirs(args.artifact_dir, exist_ok=True)
+        for index, report in enumerate(failures):
+            path = os.path.join(
+                args.artifact_dir,
+                f"chaos-{report.cell.failpoint.replace('.', '-')}"
+                f"-seed{report.cell.seed}-hit{report.cell.at_hit}.json",
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(report.as_dict(), handle, indent=2)
+            print(f"  transcript: {path}")
+    print(
+        f"{len(reports) - len(failures)}/{len(reports)} cells passed"
+        + (f" ({len(silent)} never fired)" if silent else "")
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,18 +15,42 @@ Server-raised errors are re-raised locally as the matching class from
 ``except TQuelSyntaxError:`` works identically against a local or a
 remote session.
 
+Fault tolerance (``docs/server.md``, "Fault tolerance"):
+
+* every transport failure -- reset, timeout, EOF, torn frame -- is
+  normalized to one :class:`~repro.errors.ConnectionLost` carrying the
+  op that was in flight; per-op deadlines come from ``timeout``;
+* with ``retries > 0`` a lost connection is re-dialed under capped
+  exponential backoff with deterministic jitter (``retry_seed``), the
+  session context is replayed (range declarations, the pinned
+  watermark), and the request is resent;
+* retried requests are safe: the client announces a stable ``client``
+  id at hello and stamps mutating requests with a sequence number the
+  server dedupes, so a statement whose *reply* was lost is answered
+  from the server's cache instead of executing twice (at-most-once);
+* :class:`~repro.errors.ServerOverloaded` refusals are retried after
+  the server's ``retry_after`` hint;
+* every retry, reconnect and backoff second lands in ``retry_stats``
+  (and, when a metrics registry is passed, in ``client.*`` counters).
+
 Like a local session, a :class:`RemoteSession` belongs to one thread at
 a time; open one connection per thread for concurrency.
 """
 
 from __future__ import annotations
 
+import random
+import re
 import socket
+import time
+import uuid
 from contextlib import contextmanager
 
 from repro import errors as _errors
-from repro.errors import ExecutionError
+from repro.errors import ConnectionLost, ExecutionError, ServerOverloaded
 from repro.server import protocol
+
+_RANGE_OF = re.compile(r"^\s*range\s+of\s+(\w+)\s+is\b", re.IGNORECASE)
 
 
 def _raise_remote(error: dict) -> None:
@@ -37,28 +61,59 @@ def _raise_remote(error: dict) -> None:
     if exc_class is None and name == "ProtocolError":
         exc_class = protocol.ProtocolError
     if isinstance(exc_class, type) and issubclass(exc_class, BaseException):
+        if issubclass(exc_class, ServerOverloaded):
+            raise exc_class(
+                message, retry_after=float(error.get("retry_after", 0.05))
+            )
         raise exc_class(message)
     raise ExecutionError(f"{name}: {message}")
 
 
 class RemotePreparedStatement:
-    """A statement compiled server-side, executed by handle."""
+    """A statement compiled server-side, executed by handle.
 
-    def __init__(self, session: "RemoteSession", text: str, handle: int):
+    Handles are connection-scoped on the server, so a reconnect
+    invalidates them; the statement re-prepares itself transparently
+    (the session's ``_epoch`` advances on every reconnect).
+    """
+
+    def __init__(self, session: "RemoteSession", text: str, handle: int,
+                 epoch: int):
         self._session = session
         self.text = text
         self._handle = handle
+        self._epoch = epoch
+
+    def _ensure_handle(self) -> int:
+        if self._epoch != self._session._epoch:
+            reply = self._session._request(
+                {"op": "prepare", "text": self.text}
+            )
+            self._handle = reply["statement"]
+            self._epoch = self._session._epoch
+        return self._handle
 
     def execute(self, params: "dict | None" = None):
         """Run the prepared statement(s); Result or list of Results."""
-        reply = self._session._request(
-            {
-                "op": "execute_prepared",
-                "statement": self._handle,
-                "params": params,
-            }
-        )
-        return self._session._assemble_results(reply)
+        for attempt in range(2):
+            handle = self._ensure_handle()
+            try:
+                reply = self._session._call(
+                    "execute_prepared",
+                    dedupe=True,
+                    statement=handle,
+                    params=params,
+                )
+            except protocol.ProtocolError as error:
+                # A reconnect raced past the epoch check: the handle is
+                # stale and the statement never ran (had it run, the
+                # seq dedupe would have answered from cache instead).
+                # Re-prepare once and resend under a fresh seq.
+                if attempt or "unknown statement handle" not in str(error):
+                    raise
+                self._epoch = self._session._epoch - 1
+                continue
+            return self._session._assemble_results(reply)
 
     def executemany(self, param_sets) -> list:
         """Run once per parameter set; the server-side plan is reused."""
@@ -81,26 +136,42 @@ class RemoteSession:
         port: int,
         token: "str | None" = None,
         timeout: "float | None" = None,
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        retry_seed: int = 0,
+        metrics=None,
     ):
-        self._sock = socket.create_connection(
-            (host, port), timeout=timeout if timeout is not None else 30.0
-        )
+        self._host = host
+        self._port = port
+        self._token = token
+        self._op_timeout = timeout if timeout is not None else 30.0
+        self._retries = max(0, int(retries))
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._rng = random.Random(retry_seed)
+        self._metrics = metrics
+        self._client_id = uuid.uuid4().hex
+        self._seq = 0
+        self._epoch = 0  # bumped on reconnect; prepared handles re-check
+        self._ranges: "dict[str, str]" = {}  # replayed after reconnect
         self._closed = False
         self.session_id = None
         self.server_info: dict = {}
         self._watermark = None
+        #: Resilience counters: retries, reconnects, overloads, and the
+        #: total seconds slept in backoff.
+        self.retry_stats = {
+            "retries": 0,
+            "reconnects": 0,
+            "overloads": 0,
+            "backoff_seconds": 0.0,
+        }
         try:
-            reply = self._request({"op": "hello", "token": token})
+            self._dial()
         except BaseException:
-            self._sock.close()
             self._closed = True
             raise
-        self.server_info = {
-            key: reply[key]
-            for key in ("server", "version", "database")
-            if key in reply
-        }
-        self.session_id = reply.get("session")
 
     @classmethod
     def open(
@@ -108,6 +179,7 @@ class RemoteSession:
         url: str,
         token: "str | None" = None,
         timeout: "float | None" = None,
+        **kwargs,
     ) -> "RemoteSession":
         """Connect to a ``tcp://host:port`` URL."""
         spec = url[len("tcp://"):] if url.startswith("tcp://") else url
@@ -117,22 +189,149 @@ class RemoteSession:
                 f"bad tcp URL {url!r}: expected tcp://host:port"
             )
         return cls(host or "127.0.0.1", int(port_text),
-                   token=token, timeout=timeout)
+                   token=token, timeout=timeout, **kwargs)
 
     # -- request plumbing ----------------------------------------------------
 
-    def _request(self, message: dict) -> dict:
-        self._check_open()
+    def _count(self, name: str, amount=1) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(name, amount)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _dial(self) -> None:
+        """Open the socket and say hello (initial connect and redials)."""
         try:
-            protocol.send_frame(self._sock, message)
-            reply = protocol.recv_frame(self._sock)
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._op_timeout
+            )
+        except OSError as error:
+            raise ConnectionLost(
+                f"connect to {self._host}:{self._port} failed: {error}",
+                op="hello",
+            ) from None
+        self._sock = sock
+        try:
+            reply = self._exchange(
+                {
+                    "op": "hello",
+                    "token": self._token,
+                    "client": self._client_id,
+                }
+            )
+        except BaseException:
+            sock.close()
+            raise
+        self.server_info = {
+            key: reply[key]
+            for key in ("server", "version", "database")
+            if key in reply
+        }
+        self.session_id = reply.get("session")
+
+    def _exchange(self, message: dict) -> dict:
+        """One request/response round trip; transport faults normalize
+        to :class:`ConnectionLost` naming the op in flight."""
+        op = message.get("op", "?")
+        sock = self._sock
+        try:
+            sock.settimeout(self._op_timeout)
+            protocol.send_frame(sock, message)
+            reply = protocol.recv_frame(sock)
+        except protocol.ProtocolError as error:
+            raise ConnectionLost(
+                f"stream broke during {op!r}: {error}", op=op
+            ) from None
         except (ConnectionError, socket.timeout, OSError) as error:
-            raise ExecutionError(f"server connection lost: {error}") from None
+            raise ConnectionLost(
+                f"connection lost during {op!r}: {error}", op=op
+            ) from None
         if reply is None:
-            raise ExecutionError("server closed the connection")
+            raise ConnectionLost(
+                f"server closed the connection during {op!r}", op=op
+            )
         if not reply.get("ok", False):
             _raise_remote(reply.get("error", {}))
         return reply
+
+    def _reconnect(self) -> None:
+        """Re-dial and rebuild the session context server-side.
+
+        The new engine session starts blank, so the client replays what
+        it promised to carry: every recorded range declaration, then the
+        pinned watermark (re-pinned at the same chronon, so a snapshot
+        in progress resumes reading the same state).
+        """
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._dial()
+        self._epoch += 1
+        self.retry_stats["reconnects"] += 1
+        self._count("client.reconnects")
+        # Replayed requests carry NO seq: range declarations and re-pins
+        # are idempotent, and stamping them would overwrite the server's
+        # dedupe cache entry for the request we are about to retry.
+        for text in self._ranges.values():
+            self._exchange(
+                {"op": "execute", "text": text, "params": None}
+            )
+        if self._watermark is not None:
+            self._exchange({"op": "pin", "at": self._watermark})
+
+    def _backoff(self, attempt: int) -> None:
+        """Sleep the capped exponential delay with deterministic jitter."""
+        delay = min(
+            self._backoff_cap, self._backoff_base * (2 ** (attempt - 1))
+        )
+        delay *= 0.5 + self._rng.random()  # jitter in [0.5x, 1.5x)
+        self.retry_stats["retries"] += 1
+        self.retry_stats["backoff_seconds"] += delay
+        self._count("client.retries")
+        time.sleep(delay)
+
+    def _request(self, message: dict) -> dict:
+        """Send one request, retrying through connection loss/overload.
+
+        With ``retries == 0`` (the default) any :class:`ConnectionLost`
+        propagates immediately.  Otherwise the client backs off, redials
+        and resends -- the same message object, so a seq-stamped request
+        keeps its seq and the server's dedupe answers retries of work
+        that already ran.
+        """
+        self._check_open()
+        attempt = 0
+        while True:
+            try:
+                return self._exchange(message)
+            except ServerOverloaded as full:
+                attempt += 1
+                if attempt > self._retries:
+                    raise
+                self.retry_stats["overloads"] += 1
+                self._count("client.overloads")
+                time.sleep(max(0.0, full.retry_after))
+            except ConnectionLost:
+                attempt += 1
+                if attempt > self._retries:
+                    raise
+                self._backoff(attempt)
+                try:
+                    self._reconnect()
+                except ConnectionLost:
+                    # Redial failed; the next loop iteration fails fast
+                    # on the dead socket and consumes another attempt.
+                    continue
+
+    def _call(self, op: str, dedupe: bool = False, **fields) -> dict:
+        """Build and send one request; ``dedupe`` stamps a fresh seq."""
+        message = {"op": op, **fields}
+        if dedupe:
+            message["seq"] = self._next_seq()
+        return self._request(message)
 
     def _assemble_results(self, reply: dict):
         results = [
@@ -142,13 +341,46 @@ class RemoteSession:
             return results[0]
         return results
 
+    @staticmethod
+    def _range_key(text: str) -> "str | None":
+        """The range variable when *text* is one range declaration.
+
+        Recorded *before* the request goes out: if the declaration's
+        own reply is lost, the reconnect must already know to replay it
+        (the retried request dedupes, so the declaration on the old
+        session would otherwise be gone for good).  Only a single
+        stand-alone range statement qualifies -- replaying a script
+        with updates in it would re-run the updates.
+        """
+        if not _RANGE_OF.match(text):
+            return None
+        from repro.tquel import ast
+        from repro.tquel.parser import parse
+
+        try:
+            statements = parse(text)
+        except Exception:
+            return None
+        if len(statements) == 1 and isinstance(statements[0], ast.RangeStmt):
+            return statements[0].var.lower()
+        return None
+
     # -- statement execution -------------------------------------------------
 
     def execute(self, text: str, params: "dict | None" = None):
         """Run TQuel text; one Result, or a list for multi-statement input."""
-        reply = self._request(
-            {"op": "execute", "text": text, "params": params}
-        )
+        key = self._range_key(text)
+        if key is not None:
+            self._ranges[key] = text
+        try:
+            reply = self._call(
+                "execute", dedupe=True, text=text, params=params
+            )
+        except BaseException:
+            # A refused declaration must not be replayed on reconnects.
+            if key is not None:
+                self._ranges.pop(key, None)
+            raise
         return self._assemble_results(reply)
 
     def executemany(self, text: str, param_sets) -> list:
@@ -158,7 +390,9 @@ class RemoteSession:
     def prepare(self, text: str) -> RemotePreparedStatement:
         """Compile *text* server-side; execute it later by handle."""
         reply = self._request({"op": "prepare", "text": text})
-        return RemotePreparedStatement(self, text, reply["statement"])
+        return RemotePreparedStatement(
+            self, text, reply["statement"], self._epoch
+        )
 
     def stream(
         self,
@@ -184,17 +418,24 @@ class RemoteSession:
         params: "dict | None" = None,
         page_rows: "int | None" = None,
     ):
-        """Yield a retrieve's rows as successive page lists."""
+        """Yield a retrieve's rows as successive page lists.
+
+        Server-side cursors belong to the *client*, not the connection:
+        with retries enabled a stream survives a mid-iteration
+        connection drop and resumes at the next undelivered page
+        (fetches are seq-deduped, so a page whose reply was lost is
+        re-delivered, never skipped).
+        """
         result, pages = self._stream(text, params, page_rows)
         if result.rows:
             yield list(result.rows)
         yield from pages
 
     def _stream(self, text, params, page_rows):
-        request = {"op": "run", "text": text, "params": params}
+        fields = {"text": text, "params": params}
         if page_rows is not None:
-            request["page_rows"] = page_rows
-        reply = self._request(request)
+            fields["page_rows"] = page_rows
+        reply = self._call("run", dedupe=True, **fields)
         result = protocol.result_from_dict(reply)
         cursor = reply.get("cursor")
         done = reply.get("done", True)
@@ -202,8 +443,8 @@ class RemoteSession:
         def pages():
             remaining_cursor, finished = cursor, done
             while not finished:
-                page_reply = self._request(
-                    {"op": "fetch", "cursor": remaining_cursor}
+                page_reply = self._call(
+                    "fetch", dedupe=True, cursor=remaining_cursor
                 )
                 yield [tuple(row) for row in page_reply["rows"]]
                 finished = page_reply.get("done", True)
@@ -221,13 +462,13 @@ class RemoteSession:
 
     def pin(self, at=None):
         """Pin the session's transaction-time read point server-side."""
-        reply = self._request({"op": "pin", "at": at})
+        reply = self._call("pin", dedupe=True, at=at)
         self._watermark = reply["watermark"]
         return self._watermark
 
     def unpin(self) -> None:
         """Return to reading (and writing) at the live clock."""
-        self._request({"op": "unpin"})
+        self._call("unpin", dedupe=True)
         self._watermark = None
 
     @property
@@ -263,10 +504,19 @@ class RemoteSession:
                 "checkpoint directory; commit(path) is not supported "
                 "over the wire"
             )
-        reply = self._request({"op": "commit"})
+        reply = self._call("commit", dedupe=True)
         return reply["group"]
 
     # -- state inspection ----------------------------------------------------
+
+    def ping(self) -> dict:
+        """Heartbeat: keeps server-side client state warm, reports load."""
+        reply = self._request({"op": "ping"})
+        return {
+            key: reply[key]
+            for key in ("inflight", "sessions", "clients")
+            if key in reply
+        }
 
     def relation_names(self) -> "list[str]":
         reply = self._request({"op": "relation_names"})
@@ -277,7 +527,12 @@ class RemoteSession:
         return [tuple(row) for row in reply["rows"]]
 
     def io_totals(self):
-        """This session's lifetime page I/O as measured by the server."""
+        """This session's lifetime page I/O as measured by the server.
+
+        After a reconnect this restarts from the *new* engine session's
+        scope; retries trade exact lifetime I/O attribution for
+        availability.
+        """
         from repro.storage.iostats import IODelta
 
         reply = self._request({"op": "io_totals"})

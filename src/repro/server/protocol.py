@@ -21,6 +21,7 @@ import json
 import socket
 import struct
 
+from repro import fault
 from repro.errors import StorageError
 
 #: Upper bound on one frame's JSON payload (16 MiB).  Result streaming
@@ -92,9 +93,46 @@ async def read_frame(reader) -> "dict | None":
     return decode_payload(payload)
 
 
+def _abort_writer(writer) -> None:
+    """Kill the transport without a FIN handshake (fault injection)."""
+    transport = getattr(writer, "transport", None)
+    if transport is not None and hasattr(transport, "abort"):
+        transport.abort()
+    else:
+        writer.close()
+
+
 async def write_frame(writer, message: dict) -> None:
-    """Write one frame to an ``asyncio.StreamWriter`` and drain."""
-    writer.write(encode_frame(message))
+    """Write one frame to an ``asyncio.StreamWriter`` and drain.
+
+    Three deterministic network failpoints live here -- the server's
+    only write path -- so the chaos harness can lose, tear or delay any
+    response frame (:mod:`repro.fault`):
+
+    * ``net.delay`` stalls the write for ``fault.DELAY_SECONDS``
+      (drives client-side per-op timeouts);
+    * ``net.frame_drop`` drops the frame entirely and aborts the
+      connection (a reply lost in flight);
+    * ``net.partial_write`` sends only a prefix of the frame, then
+      aborts (a reply torn mid-frame).
+    """
+    data = encode_frame(message)
+    if fault.should_fire("net.delay"):
+        import asyncio
+
+        await asyncio.sleep(fault.DELAY_SECONDS)
+    if fault.should_fire("net.frame_drop"):
+        _abort_writer(writer)
+        return
+    if fault.should_fire("net.partial_write"):
+        writer.write(data[: max(1, len(data) // 2)])
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        _abort_writer(writer)
+        return
+    writer.write(data)
     await writer.drain()
 
 
@@ -133,8 +171,21 @@ def recv_frame(sock: socket.socket) -> "dict | None":
 
 
 def send_frame(sock: socket.socket, message: dict) -> None:
-    """Write one frame to a blocking socket."""
-    sock.sendall(encode_frame(message))
+    """Write one frame to a blocking socket.
+
+    The ``net.conn_reset`` failpoint fires here, before the request ever
+    leaves the client: the socket dies and the send raises, modelling a
+    connection reset with the request *not yet received* server-side.
+    """
+    data = encode_frame(message)
+    if fault.should_fire("net.conn_reset"):
+        try:
+            sock.close()
+        finally:
+            raise ConnectionResetError(
+                "connection reset by failpoint net.conn_reset"
+            )
+    sock.sendall(data)
 
 
 # -- result marshalling ------------------------------------------------------

@@ -12,12 +12,32 @@ itself only frames, dispatches and streams.
 Operational guardrails:
 
 * ``max_sessions`` -- connections beyond the limit are refused at hello
-  with a clean error frame;
+  with a clean error frame; ``accept_backlog`` bounds the kernel accept
+  queue behind them;
+* ``max_inflight`` -- statements beyond the in-flight limit are refused
+  with a structured :class:`~repro.errors.ServerOverloaded` frame
+  carrying a retry-after hint, so overload sheds load instead of
+  stacking worker threads;
 * ``idle_timeout`` -- a connection with no request for that many seconds
   is closed (its session released);
 * every connect, disconnect, refusal and timeout lands in the engine's
   flight recorder, and per-session statement/IO counts land in the
   metrics registry, so ``export_telemetry`` covers server activity too.
+
+Fault tolerance (``docs/server.md``, "Fault tolerance"):
+
+* a client that announces a stable ``client`` id at hello gets a
+  :class:`_ClientState` that *survives reconnects*: open cursors keep
+  their positions, and an at-most-once dedupe cache keyed by the
+  client's request ``seq`` lets a retried statement return its cached
+  reply instead of executing twice;
+* ``ping`` is the heartbeat op; client state idle past ``client_ttl``
+  (no live connection, no recent request) is reaped -- with its cursors
+  -- on later connects and pings, so a vanished client leaks nothing
+  forever;
+* :meth:`stop` is a graceful shutdown: it stops accepting, drains
+  in-flight statements (bounded by ``drain_timeout``), runs a final
+  group commit when the engine has a checkpoint directory, then closes.
 
 :class:`ServerThread` runs a server on a background thread -- the shape
 tests and the CI smoke job use.
@@ -28,27 +48,62 @@ from __future__ import annotations
 import asyncio
 import os
 import threading
+import time
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, ServerOverloaded
 from repro.server import protocol
 
+#: Default seconds of inactivity after which a disconnected client's
+#: surviving state (cursors, dedupe cache) is reaped.
+CLIENT_TTL = 300.0
 
-class _Connection:
-    """Per-connection server state: the session, cursors, statements."""
 
-    __slots__ = ("session", "peer", "cursors", "statements", "next_id")
+class _ClientState:
+    """Per-client state that *survives reconnects*.
 
-    def __init__(self, session, peer):
-        self.session = session
-        self.peer = peer
+    Keyed by the stable ``client`` id the client announces at hello.
+    Cursors live here (not on the connection) so a client that loses its
+    connection mid-stream can reconnect and keep fetching; ``last_seq``
+    / ``last_reply`` are the at-most-once dedupe cache -- the client is
+    strictly sequential, so one cached reply is enough to answer any
+    retry of the most recent request without re-executing it.
+    """
+
+    __slots__ = (
+        "client_id", "cursors", "next_id",
+        "last_seq", "last_reply", "last_seen", "attached",
+    )
+
+    def __init__(self, client_id):
+        self.client_id = client_id
         self.cursors: "dict[int, tuple[list, int, int]]" = {}
-        self.statements: "dict[int, object]" = {}
         self.next_id = 1
+        self.last_seq = None
+        self.last_reply: "dict | None" = None
+        self.last_seen = time.monotonic()
+        self.attached = 0  # live connections bound to this state
 
     def allocate_id(self) -> int:
         allocated = self.next_id
         self.next_id += 1
         return allocated
+
+
+class _Connection:
+    """Per-connection server state: the engine session and statements.
+
+    Prepared statements stay connection-scoped (they are bound to the
+    connection's engine session); everything re-usable across a
+    reconnect lives on ``client`` (a :class:`_ClientState`).
+    """
+
+    __slots__ = ("session", "peer", "client", "statements")
+
+    def __init__(self, session, peer, client: _ClientState):
+        self.session = session
+        self.peer = peer
+        self.client = client
+        self.statements: "dict[int, object]" = {}
 
 
 class ReproServer:
@@ -64,6 +119,10 @@ class ReproServer:
         idle_timeout: "float | None" = None,
         page_rows: int = 256,
         telemetry_dir: "str | None" = None,
+        max_inflight: "int | None" = None,
+        retry_after: float = 0.05,
+        accept_backlog: int = 64,
+        client_ttl: float = CLIENT_TTL,
     ):
         self.db = database
         self.host = host
@@ -76,31 +135,59 @@ class ReproServer:
         # go to the engine's configured checkpoint_dir, and telemetry
         # exports are confined to this directory (disabled when None).
         self.telemetry_dir = telemetry_dir
+        self.max_inflight = max_inflight
+        self.retry_after = retry_after
+        self.accept_backlog = accept_backlog
+        self.client_ttl = client_ttl
         self._server: "asyncio.AbstractServer | None" = None
         self._connections: "set[_Connection]" = set()
+        self._clients: "dict[str, _ClientState]" = {}
+        self._inflight = 0  # statements on worker threads (loop-confined)
 
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self) -> None:
         """Bind and start accepting (resolves an ephemeral port)."""
         self._server = await asyncio.start_server(
-            self._handle, self.host, self.port
+            self._handle, self.host, self.port,
+            backlog=self.accept_backlog,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self.db.recorder.record(
             "server.start", host=self.host, port=self.port
         )
 
-    async def stop(self) -> None:
-        """Stop accepting, drop live connections, flush the engine."""
+    async def stop(self, drain_timeout: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting, drain, commit, close.
+
+        In-flight statements get up to *drain_timeout* seconds to
+        finish; then, when the engine has a checkpoint directory, a
+        final group commit makes their effects durable before the
+        server lets go of its connections.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + drain_timeout
+        while self._inflight > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        drained = self._inflight == 0
+        if self.db.checkpoint_dir is not None:
+            try:
+                await asyncio.to_thread(self.db.group_commit)
+            except Exception as error:
+                self.db.recorder.record(
+                    "server.final_commit_failed", error=str(error)
+                )
         for connection in list(self._connections):
             self._release(connection)
+        self._clients.clear()
         self.db.pool.flush_all()
-        self.db.recorder.record("server.stop", port=self.port)
+        self.db.recorder.record(
+            "server.stop", port=self.port, drained=drained
+        )
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the ``__main__`` entry point)."""
@@ -117,11 +204,61 @@ class ReproServer:
     def active_sessions(self) -> int:
         return len(self._connections)
 
+    @property
+    def known_clients(self) -> int:
+        """Client states currently held (connected or awaiting reap)."""
+        return len(self._clients)
+
+    # -- client state -------------------------------------------------------
+
+    def _client_for(self, hello: dict) -> _ClientState:
+        """Bind (or create) the client state this hello names.
+
+        Anonymous hellos (no ``client`` id) get a private state that
+        dies with the connection; named clients get a registered state
+        that survives reconnects until reaped.
+        """
+        client_id = hello.get("client")
+        if not client_id:
+            return _ClientState(None)
+        state = self._clients.get(client_id)
+        if state is None:
+            state = _ClientState(client_id)
+            self._clients[client_id] = state
+        else:
+            self.db.metrics.inc("server.reconnects")
+            self.db.recorder.record(
+                "server.reconnect", client=client_id,
+                cursors=len(state.cursors),
+            )
+        state.last_seen = time.monotonic()
+        return state
+
+    def _reap_clients(self) -> None:
+        """Drop client state (and its cursors) idle past ``client_ttl``."""
+        now = time.monotonic()
+        for client_id, state in list(self._clients.items()):
+            if state.attached:
+                continue
+            if now - state.last_seen <= self.client_ttl:
+                continue
+            del self._clients[client_id]
+            self.db.metrics.inc("server.clients_reaped")
+            self.db.recorder.record(
+                "server.client_reaped", client=client_id,
+                cursors=len(state.cursors),
+                idle=round(now - state.last_seen, 3),
+            )
+
     # -- connection handling ------------------------------------------------
 
     def _release(self, connection: _Connection) -> None:
         if connection in self._connections:
             self._connections.discard(connection)
+            connection.client.attached -= 1
+            if connection.client.client_id is None:
+                # Anonymous state dies with its only connection.
+                connection.client.cursors.clear()
             io = connection.session.io_totals()
             self.db.recorder.record(
                 "server.session_close",
@@ -156,8 +293,11 @@ class ReproServer:
             if refusal is not None:
                 await protocol.write_frame(writer, _error_message(refusal))
                 return
+            self._reap_clients()
             session = self.db.session()
-            connection = _Connection(session, peer)
+            client = self._client_for(hello)
+            client.attached += 1
+            connection = _Connection(session, peer, client)
             self._connections.add(connection)
             self.db.metrics.inc("server.connections")
             self.db.metrics.gauge(
@@ -167,6 +307,7 @@ class ReproServer:
                 "server.session_open",
                 session=session.session_id,
                 peer=str(peer),
+                client=client.client_id,
             )
             await protocol.write_frame(
                 writer,
@@ -179,6 +320,12 @@ class ReproServer:
                 },
             )
             await self._serve_session(connection, reader, writer)
+        except asyncio.CancelledError:
+            # Loop teardown cancelled this handler mid-request (say, a
+            # fault-delayed write during stop()).  Finish quietly: the
+            # finally clause releases the session, and asyncio's stream
+            # machinery mishandles handler tasks that end cancelled.
+            return
         except (
             protocol.ProtocolError,
             ConnectionError,
@@ -219,6 +366,7 @@ class ReproServer:
         return None
 
     async def _serve_session(self, connection, reader, writer) -> None:
+        client = connection.client
         while True:
             try:
                 request = await self._read_request(reader)
@@ -240,24 +388,76 @@ class ReproServer:
                 return
             if request is None:
                 return
+            client.last_seen = time.monotonic()
             op = request.get("op")
             if op == "close":
                 await protocol.write_frame(writer, {"ok": True, "bye": True})
                 return
+            seq = request.get("seq")
+            if seq is not None and seq == client.last_seq:
+                # A retry of the request we just answered: the reply
+                # frame was lost, not the work.  Return the cached
+                # reply; never execute the statement a second time.
+                self.db.metrics.inc("server.dedup_hits")
+                self.db.recorder.record(
+                    "server.dedup_hit", client=client.client_id,
+                    seq=seq, op=op,
+                )
+                await protocol.write_frame(writer, client.last_reply)
+                continue
             try:
                 response = await self._dispatch(connection, op, request)
             except asyncio.CancelledError:
                 raise
+            except ServerOverloaded as error:
+                # Refused before execution: do not consume the seq, so
+                # the client's backed-off retry executes normally.
+                await protocol.write_frame(writer, _error_message(error))
+                continue
             except Exception as error:
                 response = _error_message(error)
+            if seq is not None:
+                # Cache errors too: a failed update still consumed a
+                # clock tick server-side, so its retry must not re-run.
+                client.last_seq = seq
+                client.last_reply = response
             await protocol.write_frame(writer, response)
 
     # -- request dispatch ---------------------------------------------------
 
+    async def _to_worker(self, fn, *args):
+        """Run a statement on a worker thread, under admission control.
+
+        ``max_inflight`` bounds the statements executing concurrently;
+        one past the limit is refused with :class:`ServerOverloaded`
+        (carrying the configured ``retry_after`` hint) instead of
+        queueing another worker thread.
+        """
+        if (
+            self.max_inflight is not None
+            and self._inflight >= self.max_inflight
+        ):
+            self.db.metrics.inc("server.overloaded")
+            self.db.recorder.record(
+                "server.overloaded", inflight=self._inflight,
+                limit=self.max_inflight,
+            )
+            raise ServerOverloaded(
+                f"server overloaded: {self._inflight} statements in "
+                f"flight (limit {self.max_inflight}); retry after "
+                f"{self.retry_after}s",
+                retry_after=self.retry_after,
+            )
+        self._inflight += 1
+        try:
+            return await asyncio.to_thread(fn, *args)
+        finally:
+            self._inflight -= 1
+
     async def _dispatch(self, connection, op, request) -> dict:
         session = connection.session
         if op == "execute":
-            results = await asyncio.to_thread(
+            results = await self._to_worker(
                 session.execute, request["text"], request.get("params")
             )
             single = not isinstance(results, list)
@@ -269,15 +469,15 @@ class ReproServer:
                 "results": [protocol.result_to_dict(r) for r in results],
             }
         if op == "prepare":
-            statement = await asyncio.to_thread(
+            statement = await self._to_worker(
                 session.prepare, request["text"]
             )
-            handle = connection.allocate_id()
+            handle = connection.client.allocate_id()
             connection.statements[handle] = statement
             return {"ok": True, "statement": handle}
         if op == "execute_prepared":
             statement = self._statement_for(connection, request)
-            results = await asyncio.to_thread(
+            results = await self._to_worker(
                 statement.execute, request.get("params")
             )
             single = not isinstance(results, list)
@@ -293,7 +493,7 @@ class ReproServer:
         if op == "fetch":
             return self._fetch(connection, request)
         if op == "explain":
-            text = await asyncio.to_thread(
+            text = await self._to_worker(
                 session.explain,
                 request["text"],
                 bool(request.get("analyze", False)),
@@ -302,7 +502,7 @@ class ReproServer:
         if op == "relation_names":
             return {"ok": True, "names": session.relation_names()}
         if op == "relation_rows":
-            rows = await asyncio.to_thread(
+            rows = await self._to_worker(
                 session.relation_rows, request["name"]
             )
             return {"ok": True, "rows": [list(row) for row in rows]}
@@ -312,6 +512,18 @@ class ReproServer:
         if op == "unpin":
             session.unpin()
             return {"ok": True}
+        if op == "ping":
+            # The heartbeat: refreshes last_seen (done in the serve
+            # loop for every op) and reports load, so an idle client
+            # keeps its state alive and learns the server is there.
+            self._reap_clients()
+            return {
+                "ok": True,
+                "pong": True,
+                "inflight": self._inflight,
+                "sessions": len(self._connections),
+                "clients": len(self._clients),
+            }
         if op == "commit":
             # The request must not steer where the server writes: commits
             # go to the engine's configured checkpoint directory only.
@@ -321,7 +533,7 @@ class ReproServer:
                     "accepted; the server commits to its configured "
                     "checkpoint directory"
                 )
-            group = await asyncio.to_thread(session.commit)
+            group = await self._to_worker(session.commit)
             return {"ok": True, "group": group}
         if op == "io_totals":
             return {"ok": True, "io": session.io_totals().as_dict()}
@@ -340,7 +552,7 @@ class ReproServer:
             target = os.path.join(
                 self.telemetry_dir, str(session.session_id)
             )
-            artifacts = await asyncio.to_thread(
+            artifacts = await self._to_worker(
                 session.export_telemetry, target
             )
             return {"ok": True, "artifacts": artifacts}
@@ -359,9 +571,10 @@ class ReproServer:
 
         The statement runs to completion on a worker thread (results are
         materialized lists); streaming chunks the *transfer*, bounding
-        frame sizes, not the execution.
+        frame sizes, not the execution.  Cursors live on the client
+        state, so a stream survives its connection.
         """
-        result = await asyncio.to_thread(
+        result = await self._to_worker(
             connection.session.execute,
             request["text"],
             request.get("params"),
@@ -376,14 +589,16 @@ class ReproServer:
         done = len(result.rows) <= page_rows
         cursor = None
         if not done:
-            cursor = connection.allocate_id()
-            connection.cursors[cursor] = (result.rows, page_rows, page_rows)
+            client = connection.client
+            cursor = client.allocate_id()
+            client.cursors[cursor] = (result.rows, page_rows, page_rows)
         head.update({"ok": True, "cursor": cursor, "done": done})
         return head
 
     def _fetch(self, connection, request) -> dict:
+        client = connection.client
         handle = request.get("cursor")
-        state = connection.cursors.get(handle)
+        state = client.cursors.get(handle)
         if state is None:
             raise protocol.ProtocolError(f"unknown cursor {handle}")
         rows, position, page_rows = state
@@ -391,9 +606,9 @@ class ReproServer:
         position += len(page)
         done = position >= len(rows)
         if done:
-            del connection.cursors[handle]
+            del client.cursors[handle]
         else:
-            connection.cursors[handle] = (rows, position, page_rows)
+            client.cursors[handle] = (rows, position, page_rows)
         return {
             "ok": True,
             "rows": [list(row) for row in page],
@@ -402,10 +617,11 @@ class ReproServer:
 
 
 def _error_message(error: Exception) -> dict:
-    return {
-        "ok": False,
-        "error": {"type": type(error).__name__, "message": str(error)},
-    }
+    payload = {"type": type(error).__name__, "message": str(error)}
+    retry_after = getattr(error, "retry_after", None)
+    if retry_after is not None:
+        payload["retry_after"] = retry_after
+    return {"ok": False, "error": payload}
 
 
 class ServerThread:

@@ -58,9 +58,14 @@ def _access_description(executor: Executor, var: str, bound: set) -> str:
                     f", {relation.partition_count - survivors} pruned by"
                     " as-of bounds"
                 )
+        degraded = (
+            ", degraded to serial"
+            if getattr(relation, "gather_degraded", False)
+            else ""
+        )
         suffix += (
             f" [{relation.partition_count} {relation.partition_method}"
-            f" partitions, {relation.parallel} gather{pruned}]"
+            f" partitions, {relation.parallel} gather{pruned}{degraded}]"
         )
     for position, _ in executor._find_key_equality(var, bound):
         if relation.can_key_lookup(position):

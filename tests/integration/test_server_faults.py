@@ -1,0 +1,267 @@
+"""Server/client fault tolerance: retries, dedupe, overload, reaping.
+
+Each test arms one deterministic failpoint (or configures one limit)
+and drives a real ServerThread + RemoteSession pair through it.  The
+wider seeded matrix lives in ``test_chaos.py``; these tests pin the
+individual mechanisms -- at-most-once writes, cursor survival, overload
+shedding, idle-client reaping, graceful drain -- one by one.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro
+from repro import fault
+from repro.engine import persist
+from repro.engine.database import TemporalDatabase
+from repro.errors import ConnectionLost, ServerOverloaded
+from repro.server import ServerThread
+from repro.server.client import RemoteSession
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    fault.reset()
+    yield
+    fault.reset()
+
+
+def _retrying(server, **kwargs):
+    kwargs.setdefault("retries", 6)
+    kwargs.setdefault("backoff_base", 0.01)
+    kwargs.setdefault("backoff_cap", 0.05)
+    return RemoteSession.open(server.url, **kwargs)
+
+
+def _seed(session, rows=6):
+    session.execute("create emp (name = c20, sal = i4)")
+    session.execute("range of e is emp")
+    for n in range(rows):
+        session.execute(f'append to emp (name = "e{n}", sal = {n * 100})')
+
+
+class TestConnectionLost:
+    def test_transport_failures_unify_to_connection_lost(self):
+        with ServerThread(TemporalDatabase("t")) as server:
+            session = repro.connect(server.url)
+            _seed(session, rows=2)
+            fault.arm("net.conn_reset")
+            with pytest.raises(ConnectionLost) as excinfo:
+                session.relation_names()
+            assert excinfo.value.op == "relation_names"
+            session.close()
+
+    def test_reply_loss_without_retries_raises_with_op(self):
+        with ServerThread(TemporalDatabase("t")) as server:
+            session = repro.connect(server.url)
+            _seed(session, rows=2)
+            fault.arm("net.frame_drop")
+            with pytest.raises(ConnectionLost) as excinfo:
+                session.execute("retrieve (e.name)")
+            assert excinfo.value.op == "execute"
+            session.close()
+
+
+class TestAtMostOnceWrites:
+    def test_lost_reply_retries_without_reapplying_the_write(self):
+        db = TemporalDatabase("t")
+        with ServerThread(db) as server:
+            session = _retrying(server)
+            _seed(session, rows=2)
+            # The append executes server-side; only its reply is lost.
+            fault.arm("net.frame_drop")
+            result = session.execute('append to emp (name = "x", sal = 1)')
+            assert result.count == 1
+            rows = session.execute("retrieve (e.name)").rows
+            assert sorted(r[0].strip() for r in rows) == ["e0", "e1", "x"]
+            assert session.retry_stats["retries"] == 1
+            assert session.retry_stats["reconnects"] == 1
+            assert db.metrics.counter_value("server.dedup_hits") == 1
+            assert db.metrics.counter_value("server.reconnects") == 1
+            session.close()
+
+    def test_unsent_request_retries_and_executes_once(self):
+        db = TemporalDatabase("t")
+        with ServerThread(db) as server:
+            session = _retrying(server)
+            _seed(session, rows=2)
+            # The socket dies before the request leaves the client: the
+            # retry is the first time the server sees the statement.
+            fault.arm("net.conn_reset")
+            result = session.execute('append to emp (name = "y", sal = 2)')
+            assert result.count == 1
+            assert len(session.execute("retrieve (e.name)").rows) == 3
+            assert db.metrics.counter_value("server.dedup_hits") == 0
+            session.close()
+
+    def test_ranges_and_pin_replay_across_reconnect(self):
+        with ServerThread(TemporalDatabase("t")) as server:
+            session = _retrying(server)
+            _seed(session, rows=3)
+            watermark = session.pin()
+            fault.arm("net.frame_drop")
+            # Retried on a fresh connection: the range table and the
+            # pinned watermark must have been rebuilt server-side.
+            rows = session.execute("retrieve (e.name)").rows
+            assert len(rows) == 3
+            assert session.pinned == watermark
+            session.unpin()
+            session.execute('append to emp (name = "late", sal = 9)')
+            assert len(session.execute("retrieve (e.name)").rows) == 4
+            session.close()
+
+    def test_prepared_statement_reprepares_after_reconnect(self):
+        with ServerThread(TemporalDatabase("t")) as server:
+            session = _retrying(server)
+            _seed(session, rows=2)
+            statement = session.prepare("retrieve (e.sal) where e.sal >= 0")
+            assert len(statement.execute().rows) == 2
+            fault.arm("net.frame_drop")
+            assert len(statement.execute().rows) == 2
+            # And again on the new connection's fresh handle.
+            assert len(statement.execute().rows) == 2
+            session.close()
+
+
+class TestStreamDrop:
+    def _streaming_session(self, server, **kwargs):
+        session = _retrying(server, **kwargs)
+        _seed(session, rows=6)
+        return session
+
+    def test_drop_mid_stream_without_retries_raises(self):
+        with ServerThread(TemporalDatabase("t")) as server:
+            session = self._streaming_session(server, retries=0)
+            pages = session.stream_pages("retrieve (e.name)", page_rows=2)
+            first = next(pages)
+            assert len(first) == 2
+            fault.arm("net.frame_drop")  # the next fetch reply is lost
+            with pytest.raises(ConnectionLost) as excinfo:
+                next(pages)
+            assert excinfo.value.op == "fetch"
+            session.close()
+
+    def test_drop_mid_stream_with_retries_resumes_exactly(self):
+        with ServerThread(TemporalDatabase("t")) as server:
+            session = self._streaming_session(server)
+            gathered = []
+            pages = session.stream_pages("retrieve (e.sal)", page_rows=2)
+            gathered.extend(next(pages))
+            fault.arm("net.frame_drop")
+            for page in pages:
+                gathered.extend(page)
+            # Every row exactly once: the lost page was re-delivered
+            # from the cursor (seq dedupe), not skipped or repeated.
+            assert sorted(r[0] for r in gathered) == [
+                n * 100 for n in range(6)
+            ]
+            assert session.retry_stats["reconnects"] == 1
+            session.close()
+
+    def test_abandoned_cursor_is_reaped_after_ttl(self):
+        db = TemporalDatabase("t")
+        with ServerThread(db, client_ttl=0.05) as server:
+            session = self._streaming_session(server, retries=0)
+            pages = session.stream_pages("retrieve (e.name)", page_rows=2)
+            next(pages)
+            fault.arm("net.frame_drop")
+            with pytest.raises(ConnectionLost):
+                next(pages)
+            # The client vanishes without closing; its server-side
+            # cursor waits for it...
+            assert server.server.known_clients == 1
+            time.sleep(0.1)
+            # ...until the TTL passes and any later connect reaps it.
+            probe = repro.connect(server.url)
+            probe.ping()
+            assert server.server.known_clients == 1  # probe only
+            assert db.metrics.counter_value("server.clients_reaped") == 1
+            probe.close()
+
+
+class TestOverload:
+    def test_overload_refusal_carries_retry_after(self):
+        db = TemporalDatabase("t")
+        with ServerThread(db, max_inflight=0, retry_after=0.25) as server:
+            session = repro.connect(server.url)
+            with pytest.raises(ServerOverloaded) as excinfo:
+                session.execute("create r (id = i4)")
+            assert excinfo.value.retry_after == 0.25
+            assert db.metrics.counter_value("server.overloaded") >= 1
+            session.close()
+
+    def test_retrying_client_backs_off_then_gives_up(self):
+        with ServerThread(
+            TemporalDatabase("t"), max_inflight=0, retry_after=0.01
+        ) as server:
+            session = _retrying(server, retries=2)
+            with pytest.raises(ServerOverloaded):
+                session.execute("create r (id = i4)")
+            assert session.retry_stats["overloads"] == 2
+            session.close()
+
+    def test_generous_limit_never_refuses_a_serial_client(self):
+        with ServerThread(TemporalDatabase("t"), max_inflight=4) as server:
+            session = repro.connect(server.url)
+            _seed(session)
+            assert len(session.execute("retrieve (e.name)").rows) == 6
+            session.close()
+
+
+class TestHeartbeatAndShutdown:
+    def test_ping_reports_load(self):
+        with ServerThread(TemporalDatabase("t")) as server:
+            session = repro.connect(server.url)
+            pong = session.ping()
+            assert pong["sessions"] == 1
+            assert pong["inflight"] == 0
+            session.close()
+
+    def test_graceful_stop_drains_through_group_commit(self, tmp_path):
+        db = TemporalDatabase("durable")
+        db.checkpoint_dir = str(tmp_path / "ckpt")
+        server = ServerThread(db)
+        session = repro.connect(server.url)
+        _seed(session, rows=4)
+        session.close()
+        # No explicit commit: the drain's final group commit must make
+        # the appended rows durable on its own.
+        server.stop()
+        reloaded = persist.load(str(tmp_path / "ckpt"))
+        check = repro.connect(database=reloaded)
+        check.execute("range of e is emp")
+        assert len(check.execute("retrieve (e.name)").rows) == 4
+
+
+class TestExecutorOverWire:
+    def test_worker_kill_degrades_and_flags_explain(self):
+        from repro.engine import partition as partition_mod
+
+        db = TemporalDatabase("t")
+        saved = partition_mod._GATHER_TIMEOUT
+        partition_mod._GATHER_TIMEOUT = 0.5
+        try:
+            with ServerThread(db) as server:
+                session = repro.connect(server.url)
+                session.execute("create r (id = i4, v = i4)")
+                session.execute("range of x is r")
+                for i in range(16):
+                    session.execute(f"append to r (id = {i}, v = {i})")
+                session.execute(
+                    'partition r by hash on id into 4 '
+                    'where parallel = "process"'
+                )
+                fault.arm("exec.worker_kill", times=16)
+                result = session.execute("retrieve (total = sum(x.v))")
+                assert result.rows == [(sum(range(16)),)]
+                fault.disarm()
+                plan = session.explain("retrieve (total = sum(x.v))")
+                assert "degraded to serial" in plan
+                assert db.metrics.counter_value("exec.degraded") == 1
+                assert db.metrics.counter_value("partition.degraded") == 1
+                session.close()
+        finally:
+            partition_mod._GATHER_TIMEOUT = saved

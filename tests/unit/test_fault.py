@@ -41,10 +41,22 @@ class TestArming:
         used = set()
         for path in root.rglob("*.py"):
             for name in re.findall(
-                r"fault\.point\(\"([a-z._]+)\"\)", path.read_text()
+                r"fault\.(?:point|should_fire)\(\"([a-z._]+)\"\)",
+                path.read_text(),
             ):
                 used.add(name)
         assert used == set(fault.POINTS)
+
+    def test_should_fire_reports_instead_of_raising(self):
+        fault.arm("net.frame_drop", at_hit=2)
+        assert fault.should_fire("net.frame_drop") is False
+        assert fault.should_fire("net.frame_drop") is True
+        # One-shot arming: consumed after the fire (and with nothing
+        # armed the disabled fast path stops counting hits, as at
+        # fault.point sites).
+        assert fault.should_fire("net.frame_drop") is False
+        hits, fires = fault.counts()["net.frame_drop"]
+        assert (hits, fires) == (2, 1)
 
 
 class TestFiring:
