@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 from repro.bench.runner import BenchmarkResult
 from repro.catalog.schema import DatabaseType
+from repro.observe.stats import growth_rate_for
 
 
 @dataclass(frozen=True)
@@ -51,13 +52,13 @@ class CostModel:
 
 
 def expected_growth_rate(db_type: DatabaseType, loading: int) -> "float | None":
-    """The paper's law: loading factor, doubled for temporal databases."""
-    if db_type is DatabaseType.STATIC:
-        return None
-    factor = loading / 100.0
-    if db_type is DatabaseType.TEMPORAL:
-        return 2.0 * factor
-    return factor
+    """The paper's law: loading factor, doubled for temporal databases.
+
+    Delegates to :func:`repro.observe.stats.growth_rate_for`, which the
+    runtime query-statistics store also predicts with -- the benchmark
+    and the stats store apply one shared law.
+    """
+    return growth_rate_for(db_type.value, loading)
 
 
 def fit(result: BenchmarkResult, query_id: str) -> "CostModel | None":

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import OrderedDict
 from contextlib import contextmanager, nullcontext
 
@@ -48,6 +49,12 @@ from repro.observe.events import FlightRecorder
 from repro.observe.heatmap import PageHeatmap
 from repro.observe.metrics import MetricsRegistry
 from repro.observe.span import NULL_SPAN
+from repro.observe.stats import (
+    QueryStatsStore,
+    SlowQueryLog,
+    fingerprint as statement_fingerprint,
+    growth_rate_for,
+)
 from repro.observe.trace import Tracer
 from repro.storage.buffer import BufferPool
 from repro.storage.record import AttributeType, FieldSpec
@@ -73,7 +80,7 @@ class _PlanEntry:
     DDL or range-table change bumps the epoch and forces re-analysis.
     """
 
-    __slots__ = ("text", "statements", "analyses")
+    __slots__ = ("text", "statements", "analyses", "_fingerprints")
 
     def __init__(self, text: str, statements: list):
         self.text = text
@@ -81,6 +88,20 @@ class _PlanEntry:
         self.analyses: "list[tuple[int, object] | None]" = (
             [None] * len(statements)
         )
+        self._fingerprints: "list[str] | None" = None
+
+    def fingerprint(self, index: int) -> str:
+        """The stats-store key for statement *index* (cached with the
+        plan, so a fingerprint is computed once per distinct text)."""
+        if self._fingerprints is None:
+            base = statement_fingerprint(self.text)
+            if len(self.statements) == 1:
+                self._fingerprints = [base]
+            else:
+                self._fingerprints = [
+                    f"{base}#{i}" for i in range(len(self.statements))
+                ]
+        return self._fingerprints[index]
 
 _STRUCTURES = {
     "heap": StructureKind.HEAP,
@@ -176,6 +197,23 @@ class TemporalDatabase:
             recorder=self.recorder,
             heatmap=self.heatmap,
         )
+        # Query statistics (pg_stat_statements-style) and the slow-query
+        # log; both are unmetered pure-Python aggregation over numbers
+        # the pipeline already computed.  ``_update_counts`` tracks the
+        # paper's n -- update statements applied per relation -- feeding
+        # the store's Fig. 9 predicted-page model.
+        self.query_stats = QueryStatsStore()
+        self.slowlog = SlowQueryLog()
+        self._update_counts: "dict[str, int]" = {}
+        # Fault-tolerance counters are pre-registered at zero so the
+        # Prometheus export always exposes the series, not only after
+        # the first failure.
+        for counter in (
+            "exec.degraded",
+            "exec.worker_failures",
+            "partition.degraded",
+        ):
+            self.metrics.counter(counter)
         # Prepared-statement/plan cache: text -> _PlanEntry (LRU).
         self._plan_cache: "OrderedDict[str, _PlanEntry]" = OrderedDict()
         self._plan_cache_capacity = PLAN_CACHE_CAPACITY
@@ -492,6 +530,9 @@ class TemporalDatabase:
                 bounds=bound_values,
                 parallel=parallel,
                 metrics=self.metrics,
+                tracer=self.tracer,
+                recorder=self.recorder,
+                heatmap=self.heatmap,
             )
             facade.rebuild(
                 structure, key_attribute=key, fillfactor=fillfactor,
@@ -645,7 +686,12 @@ class TemporalDatabase:
 
     # -- statement execution ---------------------------------------------------------
 
-    def execute(self, text: str, params: "dict | None" = None):
+    def execute(
+        self,
+        text: str,
+        params: "dict | None" = None,
+        trace_context: "dict | None" = None,
+    ):
         """Parse and run TQuel; one Result, or a list for multi-statement
         input.
 
@@ -654,10 +700,32 @@ class TemporalDatabase:
         500})``.  Compilation (lex, parse, semantic analysis) is cached
         per statement text, so re-executing the same text -- with the same
         or different parameters -- skips straight to execution.
+
+        *trace_context* is a remote caller's ``{"trace_id": ...,
+        "span_id": ...}``; when present the statement is traced into the
+        caller's trace regardless of the local tracer setting and the
+        finished span is retrievable with
+        ``tracer.take_adopted(trace_id)``.
         """
-        with self.tracer.statement(text) as span:
-            entry = self._plan_entry(text, span)
-            return self._run_entry(entry, span, params)
+        with self.trace_scope():
+            with self.tracer.statement(text, context=trace_context) as span:
+                cached = text in self._plan_cache
+                entry = self._plan_entry(text, span)
+                return self._run_entry(
+                    entry, span, params, plan_cache_hit=cached
+                )
+
+    def trace_scope(self):
+        """Forced-tracing scope while the slow-query log is armed.
+
+        A statement only reveals itself as slow after it finishes, so
+        the full span tree the log captures must already exist; arming
+        the log (``REPRO_SLOW_QUERY_MS``) therefore bypasses the
+        sampling knob the way ``EXPLAIN ANALYZE`` does.
+        """
+        if self.slowlog.enabled:
+            return self.tracer.force()
+        return nullcontext()
 
     def prepare(self, text: str):
         """Compile *text* into a reusable :class:`PreparedStatement`.
@@ -745,18 +813,28 @@ class TemporalDatabase:
         entry.analyses[index] = (self._catalog_epoch, ranges_key, analysis)
         return analysis
 
-    def _run_entry(self, entry: _PlanEntry, span, params) -> "Result | list":
+    def _run_entry(
+        self, entry: _PlanEntry, span, params, plan_cache_hit: bool = False
+    ) -> "Result | list":
         if not entry.statements:
             raise ExecutionError("no statement to execute")
         results = [
-            self._run(entry, index, span, params)
+            self._run(entry, index, span, params, plan_cache_hit)
             for index in range(len(entry.statements))
         ]
         if len(results) == 1:
             return results[0]
         return results
 
-    def _run(self, entry: _PlanEntry, index: int, span, params) -> Result:
+    def _run(
+        self,
+        entry: _PlanEntry,
+        index: int,
+        span,
+        params,
+        plan_cache_hit: bool = False,
+    ) -> Result:
+        started = time.perf_counter()
         statement = entry.statements[index]
         ctx = self.session_context
         scope = ctx.session_id if ctx is not None else None
@@ -795,12 +873,15 @@ class TemporalDatabase:
             catalog_latch.acquire_shared()
         held: "list" = []
         stamp = None
+        statement_names: "set[str]" = set()
         previous_time = getattr(self._ambient, "statement_time", None)
+        degraded_before = self.metrics.counter_value("exec.degraded")
         try:
             analysis = None
             if analyzed:
                 analysis = self._analysis_for(entry, index, span)
                 names = self._statement_relations(statement, analysis)
+                statement_names = names
                 for name in sorted(names):
                     latch = self.latches.latch_for(name)
                     if is_update:
@@ -864,6 +945,9 @@ class TemporalDatabase:
                         text=entry.text[:120],
                         error=f"{type(error).__name__}: {error}",
                     )
+                    self.query_stats.record_error(
+                        entry.fingerprint(index), entry.text
+                    )
                     raise
                 result.io = self.stats.delta(before, scope)
         finally:
@@ -897,7 +981,130 @@ class TemporalDatabase:
             output_pages=result.io.output_pages,
             rows=len(result.rows),
         )
+        # Update statements advance the per-relation update count -- the
+        # paper's n, which the stats store's Fig. 9 model predicts with.
+        if isinstance(
+            statement, (ast.AppendStmt, ast.DeleteStmt, ast.ReplaceStmt)
+        ):
+            for name in statement_names:
+                self._update_counts[name] = (
+                    self._update_counts.get(name, 0) + 1
+                )
+        elapsed = time.perf_counter() - started
+        degraded = (
+            self.metrics.counter_value("exec.degraded") > degraded_before
+        )
+        self._record_statement_stats(
+            entry, index, statement, result, span, elapsed,
+            plan_cache_hit, degraded,
+        )
         return result
+
+    def _record_statement_stats(
+        self, entry, index, statement, result, span, elapsed,
+        plan_cache_hit, degraded,
+    ) -> None:
+        """Fold one finished statement into the query-statistics store
+        (and the slow-query log past its threshold).
+
+        Pure-Python aggregation over the Result's already-metered I/O --
+        recording never touches a page, preserving observe neutrality.
+        """
+        io = result.io
+        update_count = growth = None
+        if isinstance(statement, ast.RetrieveStmt) and io.input_pages > 0:
+            update_count, growth = self._prediction_inputs(io)
+        fp = entry.fingerprint(index)
+        predicted = self.query_stats.record(
+            fp,
+            text=entry.text,
+            kind=result.kind,
+            elapsed=elapsed,
+            rows=len(result.rows),
+            input_pages=io.input_pages,
+            output_pages=io.output_pages,
+            pages_by_method=self._pages_by_method(io),
+            plan_cache_hit=plan_cache_hit,
+            degraded=degraded,
+            update_count=update_count,
+            growth_rate=growth,
+        )
+        if predicted is not None and span.enabled:
+            span.annotate(
+                predicted_pages=round(predicted, 2),
+                actual_pages=io.input_pages,
+            )
+        if self.slowlog.should_log(elapsed):
+            trace = None
+            if span.enabled:
+                trace = span.as_dict()
+                # The root span is still open (it finishes when the
+                # statement context exits); stamp the measured elapsed
+                # time so the logged tree is complete.
+                trace["duration_ms"] = elapsed * 1000.0
+            plan = None
+            if isinstance(statement, ast.RetrieveStmt):
+                try:
+                    plan = self.explain(entry.text)
+                except Exception:
+                    plan = None
+            self.slowlog.record(
+                text=entry.text,
+                fingerprint=fp,
+                kind=result.kind,
+                elapsed_ms=elapsed * 1000.0,
+                rows=len(result.rows),
+                input_pages=io.input_pages,
+                output_pages=io.output_pages,
+                io=io.as_dict(),
+                trace=trace,
+                plan=plan,
+            )
+
+    def _relation_base(self, name: str) -> str:
+        """Strip partition (``#N``) and file-role (``.primary``, ...)
+        suffixes from a metered file name."""
+        return name.split("#", 1)[0].split(".", 1)[0]
+
+    def _pages_by_method(self, io) -> "dict[str, int]":
+        """Group a delta's page reads by the relation's access method."""
+        pages: "dict[str, int]" = {}
+        for name, counters in io.by_relation.items():
+            if counters.reads <= 0:
+                continue
+            relation = self._relations.get(self._relation_base(name))
+            if relation is not None:
+                method = relation.structure.value
+            elif name in ("relations", "attributes", "partitions"):
+                method = "system"
+            else:
+                method = "temporary"
+            pages[method] = pages.get(method, 0) + counters.reads
+        return pages
+
+    def _prediction_inputs(self, io):
+        """(update count n, growth rate g) for a query's Fig. 9 model.
+
+        *n* sums the update statements applied to the user relations the
+        query read; *g* follows the paper's law for the dominant (most
+        pages read) relation's type and loading factor.
+        """
+        read_bases: "dict[str, int]" = {}
+        for name, counters in io.by_relation.items():
+            if counters.reads <= 0:
+                continue
+            base = self._relation_base(name)
+            if base in self._relations:
+                read_bases[base] = read_bases.get(base, 0) + counters.reads
+        if not read_bases:
+            return None, None
+        n = sum(self._update_counts.get(base, 0) for base in read_bases)
+        primary = max(read_bases.items(), key=lambda item: item[1])[0]
+        relation = self._relations[primary]
+        growth = growth_rate_for(
+            relation.schema.type.value, relation.fillfactor
+        )
+        return n, growth
 
     @staticmethod
     def _statement_relations(statement, analysis) -> "set[str]":

@@ -43,6 +43,7 @@ counts land in the metrics registry (``partition.pruned`` /
 from __future__ import annotations
 
 import os
+import time
 import zlib
 from bisect import bisect_right
 from typing import Iterator
@@ -54,6 +55,7 @@ from repro.engine.relation import StoredRelation
 from repro.errors import CatalogError, ExecutionError, SchemaError
 from repro.exec import ExecutorService
 from repro.exec.scan import scan_partition_pages
+from repro.storage.iostats import IODelta
 
 PARALLEL_MODES = ("serial", "thread", "process")
 
@@ -225,6 +227,9 @@ class PartitionedRelation:
         bounds: "list | None" = None,
         parallel: str = "serial",
         metrics=None,
+        tracer=None,
+        recorder=None,
+        heatmap=None,
     ):
         if method not in ("hash", "range"):
             raise CatalogError(
@@ -272,6 +277,15 @@ class PartitionedRelation:
         self.partition_bounds = list(bounds) if bounds else None
         self.parallel = parallel
         self._metrics = metrics
+        # Coordinator-side observers (all optional): the tracer supplies
+        # the active statement span that gathered worker spans graft
+        # onto; worker flight-recorder events replay into the recorder;
+        # kernel page visits are mirrored into the heatmap (the kernel
+        # peeks pages unmetered, so the buffer-pool observer never sees
+        # them).
+        self._tracer = tracer
+        self._recorder = recorder
+        self._heatmap = heatmap
         self._route_position = schema.position(attribute)
         self.structure = StructureKind.HEAP
         self.key_attribute: "str | None" = None
@@ -560,19 +574,63 @@ class PartitionedRelation:
         # yielded strictly in partition order.
         stats = self._pool.stats
         scope = stats.active_scope
+        tracer = self._tracer
+        root = tracer.active_span if tracer is not None else None
+        traced = root is not None and root.trace_id is not None
 
-        def collect(pid: int) -> "list[list[tuple]]":
+        def collect(pid: int) -> "tuple[list[list[tuple]], dict | None]":
+            child = self.children[pid]
+            started = time.perf_counter()
             with stats.scoped(scope):
-                return list(
-                    self.children[pid].scan_batches(current_only, asof_max)
-                )
+                batches = list(child.scan_batches(current_only, asof_max))
+            if not traced:
+                return batches, None
+            from repro.observe.span import new_span_id
+
+            duration = time.perf_counter() - started
+            # Thread workers share the coordinator process, so the span
+            # is built in as_dict form here (same shape the process
+            # kernel ships back) and grafted after the gather.
+            meta = {
+                "name": "worker",
+                "started": started,
+                "duration_ms": duration * 1000.0,
+                "trace_id": root.trace_id,
+                "span_id": new_span_id(),
+                "parent_id": root.span_id,
+                "attributes": {
+                    "lane": "worker",
+                    "pid": os.getpid(),
+                    "partition": child.name,
+                    "batches": len(batches),
+                    "kernel": "scan_batches",
+                },
+                "children": [],
+            }
+            return batches, meta
 
         service = self._thread_service()
         gathered = service.map(
             collect, survivors, labels=[f"{self.name}#{p}" for p in survivors]
         )
         self._note_gather(service)
-        for batches in gathered:
+        if traced:
+            from repro.observe.span import Span
+
+            recorder = self._recorder
+            for _, meta in gathered:
+                if meta is None:
+                    continue
+                root.adopt(Span.from_dict(meta))
+                if recorder is not None:
+                    attributes = meta["attributes"]
+                    recorder.record(
+                        "exec.partition_scan",
+                        partition=attributes["partition"],
+                        worker_pid=attributes["pid"],
+                        batches=attributes["batches"],
+                    )
+        for batches, _ in gathered:
             yield from batches
 
     def lookup_batches(
@@ -666,6 +724,16 @@ class PartitionedRelation:
         """
         survivors = self.survivors(asof_max)
         codec = self.schema.codec
+        tracer = self._tracer
+        root = tracer.active_span if tracer is not None else None
+        trace_context = None
+        if root is not None and root.trace_id is not None:
+            trace_context = {
+                "trace_id": root.trace_id,
+                "span_id": root.span_id,
+            }
+        heatmap = self._heatmap
+        heat = heatmap is not None and heatmap.enabled
         payloads = []
         for pid in survivors:
             child = self.children[pid]
@@ -681,6 +749,12 @@ class PartitionedRelation:
                 # including empty ones (an empty hash bucket is still a
                 # page access); only non-empty pages are worth shipping.
                 visited += 1
+                if heat:
+                    # The kernel reads pages through the unmetered peek
+                    # path, invisible to the buffer-pool observers;
+                    # mirror the visit so heatmaps reconcile with the
+                    # merged IOStats.
+                    heatmap.record_read(child.name, page_id)
                 page = file.peek(page_id)
                 if page.count:
                     pages.append(page.to_bytes())
@@ -695,6 +769,7 @@ class PartitionedRelation:
                     "visited": visited,
                     "filters": filters,
                     "aggs": aggs,
+                    "trace": trace_context,
                 }
             )
         service = self._process_service()
@@ -708,7 +783,33 @@ class PartitionedRelation:
         scope = stats.active_scope
         for result in results:
             stats.merge_scope(scope, result["io"])
+        self._gather_observability(results, root)
         return results
+
+    def _gather_observability(self, results: "list[dict]", root) -> None:
+        """Merge worker-side spans and events into coordinator state.
+
+        Worker spans (when a trace context was scattered) graft onto the
+        active statement span; worker flight-recorder events replay into
+        the coordinator's ring, so ``\\telemetry`` sees process-kernel
+        work that would otherwise be dropped with the worker.
+        """
+        recorder = self._recorder
+        for result in results:
+            span_data = result.get("span")
+            if root is not None and span_data:
+                from repro.observe.span import Span
+
+                worker = Span.from_dict(span_data)
+                if worker.io is None:
+                    worker.io = IODelta.from_scope_export(result["io"])
+                root.adopt(worker)
+            if recorder is not None:
+                for event in result.get("events", ()):
+                    recorder.record(
+                        str(event.get("kind", "exec.worker")),
+                        **(event.get("data") or {}),
+                    )
 
     def __repr__(self) -> str:
         return (

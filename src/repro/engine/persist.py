@@ -319,6 +319,13 @@ def save(db, path) -> None:
         "files": files,
         "relations": relations,
     }
+    query_stats = getattr(db, "query_stats", None)
+    if query_stats is not None and len(query_stats):
+        # Statistics ride along so a restored database keeps its
+        # per-fingerprint history (pg_stat_statements survives restarts
+        # the same way).  Absent on older checkpoints -- load() treats
+        # the key as optional.
+        manifest["querystats"] = query_stats.snapshot()
     # The manifest is written and fsynced last: its presence marks the
     # journal directory complete (its checksums then prove the rest).
     with open(tmp / MANIFEST, "w", encoding="ascii") as handle:
@@ -486,6 +493,9 @@ def _restore_partitioned(db, entry, root, files) -> PartitionedRelation:
         bounds=part["bounds"],
         parallel=part["parallel"],
         metrics=getattr(db, "metrics", None),
+        tracer=getattr(db, "tracer", None),
+        recorder=getattr(db, "recorder", None),
+        heatmap=getattr(db, "heatmap", None),
     )
     structure = StructureKind(entry["structure"])
     key = entry["key_attribute"] or None
@@ -679,6 +689,9 @@ def load(path, database_class=None, salvage: bool = False):
             db.ranges[var] = relation_name
     db.pool.flush_all()
     db.stats.reset()
+    query_stats = getattr(db, "query_stats", None)
+    if query_stats is not None and manifest.get("querystats"):
+        query_stats.restore(manifest["querystats"])
     if salvage:
         db.salvage_report = report
     recorder = getattr(db, "recorder", None)

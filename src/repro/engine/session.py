@@ -84,14 +84,24 @@ class PreparedStatement:
 
         return nullcontext()
 
-    def execute(self, params: "dict | None" = None):
+    def execute(
+        self,
+        params: "dict | None" = None,
+        trace_context: "dict | None" = None,
+    ):
         """Run the prepared statement(s); Result or list of Results."""
         db = self._db
         db.metrics.inc("plancache.prepared_executions")
-        with self._scope():
-            with db.tracer.statement(self.text) as span:
+        with self._scope(), db.trace_scope():
+            with db.tracer.statement(
+                self.text, context=trace_context
+            ) as span:
                 span.annotate(prepared=True)
-                return db._run_entry(self._entry, span, params)
+                # The compilation is pinned on this object -- every
+                # execution is by definition a plan-cache hit.
+                return db._run_entry(
+                    self._entry, span, params, plan_cache_hit=True
+                )
 
     def executemany(self, param_sets) -> list:
         """Run once per parameter set; the compiled plan is reused."""
@@ -145,11 +155,23 @@ class Session:
 
     # -- statement execution -------------------------------------------------
 
-    def execute(self, text: str, params: "dict | None" = None):
-        """Run TQuel text; one Result, or a list for multi-statement input."""
+    def execute(
+        self,
+        text: str,
+        params: "dict | None" = None,
+        trace_context: "dict | None" = None,
+    ):
+        """Run TQuel text; one Result, or a list for multi-statement input.
+
+        *trace_context* joins the statement to a remote caller's trace
+        (see :meth:`TemporalDatabase.execute`); the server passes the
+        context it received on the wire through here.
+        """
         self._check_open()
         with self.db._session_scope(self._ctx):
-            return self.db.execute(text, params=params)
+            return self.db.execute(
+                text, params=params, trace_context=trace_context
+            )
 
     def executemany(self, text: str, param_sets) -> list:
         """Prepare *text* once, execute it per parameter set."""
@@ -268,6 +290,21 @@ class Session:
     def last_trace(self):
         """The most recent statement's span tree (None if tracing is off)."""
         return self.db.tracer.last
+
+    def query_stats(self, n: "int | None" = 10) -> dict:
+        """The query-statistics store's top-*n* snapshot (JSON-safe).
+
+        The same shape travels over the wire for remote sessions, so
+        the monitor's ``\\stats`` renders identically on every
+        transport.
+        """
+        self._check_open()
+        return self.db.query_stats.snapshot(n)
+
+    def slow_queries(self, n: "int | None" = None) -> "list[dict]":
+        """The slow-query log's most recent *n* entries."""
+        self._check_open()
+        return self.db.slowlog.dump(n)
 
     def io_totals(self):
         """This session's lifetime page I/O, as an

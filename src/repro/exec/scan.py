@@ -36,7 +36,9 @@ the partition contributed no qualifying rows).
 
 from __future__ import annotations
 
+import os
 import struct
+import time
 
 _PAGE_HEADER_SIZE = 6
 _CHAR_OPS = ("==", "!=", "<", "<=", ">", ">=")
@@ -148,7 +150,16 @@ def scan_partition_pages(payload: dict) -> dict:
     Returns ``{"rows": qualifying count, "partials": [...], "io":
     export}`` where ``io`` has the :meth:`IOStats.export_scope` shape,
     charging one read per page the serial scan would have visited.
+
+    When the coordinator scattered a trace context (``payload["trace"]``
+    holding the statement's trace and span ids), the result also carries
+    ``"span"`` -- this worker's own span in ``Span.as_dict`` form, timed
+    with the shared CLOCK_MONOTONIC ``perf_counter`` so the coordinator
+    can graft it into the merged trace tree -- and ``"events"``, the
+    worker-side flight-recorder events replayed into the coordinator's
+    ring on gather.
     """
+    started = time.perf_counter()
     record = struct.Struct(payload["format"])
     size = payload["record_size"]
     fold = compile_page_fold(payload["filters"], payload["aggs"])
@@ -165,7 +176,7 @@ def scan_partition_pages(payload: dict) -> dict:
             partials[index] = _merge_partial(
                 func, partials[index], updates[index]
             )
-    return {
+    result = {
         "rows": rows,
         "partials": partials,
         "io": {
@@ -176,3 +187,38 @@ def scan_partition_pages(payload: dict) -> dict:
             "system": [],
         },
     }
+    context = payload.get("trace")
+    if context is not None:
+        from repro.observe.span import new_span_id
+
+        duration = time.perf_counter() - started
+        result["span"] = {
+            "name": "worker",
+            "started": started,
+            "duration_ms": duration * 1000.0,
+            "trace_id": context.get("trace_id"),
+            "span_id": new_span_id(),
+            "parent_id": context.get("span_id"),
+            "attributes": {
+                "lane": "worker",
+                "pid": os.getpid(),
+                "partition": payload["name"],
+                "pages_shipped": len(payload["pages"]),
+                "pages_visited": payload["visited"],
+                "rows": rows,
+                "kernel": "page_fold",
+            },
+            "children": [],
+        }
+        result["events"] = [
+            {
+                "kind": "exec.partition_scan",
+                "data": {
+                    "partition": payload["name"],
+                    "worker_pid": os.getpid(),
+                    "pages": payload["visited"],
+                    "rows": rows,
+                },
+            }
+        ]
+    return result

@@ -22,7 +22,13 @@ Statements are plain TQuel; meta-commands start with a backslash:
 ``\\save dir``  checkpoint the database; ``\\restore dir`` loads one
 ``\\io``        toggle per-statement I/O reporting
 ``\\timing``    toggle per-statement wall-time reporting
-``\\trace``     toggle statement tracing (``on``/``off``/``last``)
+``\\trace``     toggle statement tracing (``on``/``off``/``last``);
+               over ``tcp://`` the client-lane tracer merges the
+               server's and workers' spans into one trace tree
+``\\stats``     top query-statistics entries by accumulated latency
+               (``\\stats 5`` shows 5); works over every transport
+``\\slowlog``   show the slow-query log (``\\slowlog 5``; ``clear``
+               empties it; enable with ``REPRO_SLOW_QUERY_MS``)
 ``\\metrics``   show engine metrics and the buffer-pool hit rate
                (``reset`` clears metrics and trace history; ``storage``
                refreshes page/overflow-chain gauges first)
@@ -98,9 +104,12 @@ class Monitor:
         command = parts[0] if parts else "?"
         # These inspect or mutate the in-process engine directly and are
         # refused (with a hint) over a remote connection.
+        # \trace and \stats work over every transport: remote sessions
+        # carry their own client-lane tracer, and \stats renders the
+        # snapshot the stats wire op ships back.
         needs_engine = {
             "check", "save", "restore", "clock", "metrics", "events",
-            "heatmap", "failpoints", "trace",
+            "heatmap", "failpoints", "slowlog",
         }
         if command in needs_engine and self._local_db(command) is None:
             return
@@ -146,6 +155,10 @@ class Monitor:
             )
         elif command == "trace":
             self._trace_command(parts[1:])
+        elif command == "stats":
+            self._stats_command(parts[1:])
+        elif command == "slowlog":
+            self._slowlog_command(parts[1:])
         elif command == "metrics":
             self._metrics_command(parts[1:])
         elif command == "events":
@@ -230,7 +243,14 @@ class Monitor:
             self._print(f"unknown meta-command \\{command} (try \\?)")
 
     def _trace_command(self, args: "list[str]") -> None:
-        tracer = self.db.tracer
+        # Every transport exposes a tracer: the engine's for local
+        # sessions, the client-lane tracer (which scatters trace
+        # context over the wire and grafts the server/worker spans
+        # back) for remote ones.
+        tracer = getattr(self.session, "tracer", None)
+        if tracer is None:
+            self._print("  this session has no tracer")
+            return
         mode = args[0] if args else ("off" if tracer.enabled else "on")
         if mode == "on":
             tracer.enable()
@@ -246,6 +266,40 @@ class Monitor:
                     self._print("  " + line)
         else:
             self._print("usage: \\trace [on|off|last]")
+
+    def _stats_command(self, args: "list[str]") -> None:
+        from repro.observe.stats import QueryStatsStore
+
+        n = 10
+        if args:
+            try:
+                n = int(args[0])
+            except ValueError:
+                self._print("usage: \\stats [n]")
+                return
+        # Both transports return the same snapshot shape (local
+        # sessions from the engine store, remote ones over the stats
+        # wire op); rebuilding a store renders them identically.
+        store = QueryStatsStore()
+        store.restore(self.session.query_stats(n))
+        for line in store.render(n).split("\n"):
+            self._print("  " + line)
+
+    def _slowlog_command(self, args: "list[str]") -> None:
+        slowlog = self.db.slowlog
+        if args and args[0] == "clear":
+            slowlog.clear()
+            self._print("slow-query log cleared")
+            return
+        n = 10
+        if args:
+            try:
+                n = int(args[0])
+            except ValueError:
+                self._print("usage: \\slowlog [n|clear]")
+                return
+        for line in slowlog.render(n).split("\n"):
+            self._print("  " + line)
 
     def _metrics_command(self, args: "list[str]") -> None:
         if args and args[0] == "reset":

@@ -8,7 +8,13 @@ This package generalizes that visibility into first-class instrumentation:
   and per-relation page I/O deltas for one executed statement;
 * :mod:`repro.observe.trace` -- the tracer a database owns; when enabled
   it wraps every statement in a span tree (lex, parse, semantics, plan,
-  execute);
+  execute), stamps trace/span ids for cross-process propagation, and
+  adopts remote callers' trace contexts so client, server and pool
+  workers merge into one trace tree;
+* :mod:`repro.observe.stats` -- the query-statistics store: normalized
+  statement fingerprints with call counts, latency distribution,
+  per-access-method page counts and the paper's Section-5.3 *predicted*
+  page reads next to the measured ones, plus the slow-query log;
 * :mod:`repro.observe.metrics` -- counters, histograms and gauges
   (statements by kind, pages read per statement, buffer-pool hits and
   misses, detachments per query, overflow-chain lengths);
@@ -52,7 +58,15 @@ from repro.observe.metrics import (
     overflow_chain_lengths,
     record_structure_metrics,
 )
-from repro.observe.span import NULL_SPAN, Span
+from repro.observe.span import NULL_SPAN, Span, new_span_id, new_trace_id
+from repro.observe.stats import (
+    QueryStats,
+    QueryStatsStore,
+    SlowQueryLog,
+    fingerprint,
+    growth_rate_for,
+    stats_prometheus_text,
+)
 from repro.observe.trace import Tracer
 
 __all__ = [
@@ -67,13 +81,21 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "PageHeatmap",
+    "QueryStats",
+    "QueryStatsStore",
+    "SlowQueryLog",
     "Span",
     "Tracer",
     "chrome_trace",
     "events_jsonl",
     "export_telemetry",
+    "fingerprint",
+    "growth_rate_for",
+    "new_span_id",
+    "new_trace_id",
     "overflow_chain_lengths",
     "prometheus_text",
     "record_structure_metrics",
     "render_strip",
+    "stats_prometheus_text",
 ]

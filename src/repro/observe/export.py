@@ -35,11 +35,23 @@ __all__ = [
 
 # -- Chrome trace ------------------------------------------------------------
 
+#: Distributed-trace lanes: spans carrying a ``lane`` attribute (set by
+#: the client, server and pool workers on the trace-propagation path)
+#: render as separate Chrome-trace *processes*, so a merged trace shows
+#: client / server / worker rows stacked in one timeline.  Spans with no
+#: lane inherit their parent's (top-level default: the engine lane).
+_LANE_PIDS = {"engine": 1, "client": 2, "server": 3, "worker": 4}
 
-def _span_events(span, base: float, pid: int, tid: int, out: list) -> None:
+
+def _span_events(span, base: float, pid: int, tid: int, out: list,
+                 used: set) -> None:
     started = getattr(span, "started", None)
     if started is None:
         return
+    lane = span.attributes.get("lane")
+    if lane in _LANE_PIDS:
+        pid = _LANE_PIDS[lane]
+    used.add(pid)
     args = {
         key: value
         for key, value in span.attributes.items()
@@ -47,6 +59,10 @@ def _span_events(span, base: float, pid: int, tid: int, out: list) -> None:
     }
     if span.io is not None:
         args["io"] = span.io.as_dict()
+    for trace_key in ("trace_id", "span_id", "parent_id"):
+        value = getattr(span, trace_key, None)
+        if value is not None:
+            args[trace_key] = value
     out.append(
         {
             "name": span.name,
@@ -60,7 +76,7 @@ def _span_events(span, base: float, pid: int, tid: int, out: list) -> None:
         }
     )
     for child in span.children:
-        _span_events(child, base, pid, tid, out)
+        _span_events(child, base, pid, tid, out, used)
 
 
 def chrome_trace(spans) -> dict:
@@ -68,16 +84,30 @@ def chrome_trace(spans) -> dict:
 
     Each root span becomes its own thread row so concurrent statement
     histories stay readable; children nest by timestamp containment.
+    Spans annotated with a ``lane`` (client/server/worker) land in
+    separate named processes -- a distributed statement renders as one
+    timeline with a row per lane.
     """
     roots = [
         span for span in spans if getattr(span, "started", None) is not None
     ]
     base = min((span.started for span in roots), default=0.0)
     events: "list[dict]" = []
+    used: "set[int]" = set()
     for tid, span in enumerate(roots, start=1):
-        _span_events(span, base, 1, tid, events)
+        _span_events(span, base, _LANE_PIDS["engine"], tid, events, used)
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": f"repro:{lane}"},
+        }
+        for lane, pid in sorted(_LANE_PIDS.items(), key=lambda kv: kv[1])
+        if pid in used
+    ]
     return {
-        "traceEvents": events,
+        "traceEvents": metadata + events,
         "displayTimeUnit": "ms",
         "otherData": {"source": "repro.observe"},
     }
@@ -140,16 +170,22 @@ METRICS_PROM_FILE = "metrics.prom"
 METRICS_JSON_FILE = "metrics.json"
 EVENTS_FILE = "events.jsonl"
 HEATMAP_FILE = "heatmap.json"
+STATS_JSON_FILE = "stats.json"
+STATS_PROM_FILE = "stats.prom"
+SLOWLOG_FILE = "slowlog.jsonl"
 
 
 def export_telemetry(db, directory) -> "dict[str, str]":
     """Write every telemetry artifact of *db* into *directory*.
 
-    Produces ``trace.json`` (Chrome trace of the tracer's span history),
-    ``metrics.prom`` and ``metrics.json`` (the registry, in Prometheus
-    text and raw JSON form), ``events.jsonl`` (the flight recorder) and
-    -- when the heatmap is enabled and populated -- ``heatmap.json``.
-    Returns ``{artifact: path}`` for what was written.
+    Produces ``trace.json`` (Chrome trace of the tracer's span history,
+    lane-aware), ``metrics.prom`` and ``metrics.json`` (the registry,
+    in Prometheus text and raw JSON form), ``events.jsonl`` (the flight
+    recorder), ``stats.json`` and ``stats.prom`` (the query-statistics
+    store, when populated), ``slowlog.jsonl`` (the slow-query log, when
+    populated) and -- when the heatmap is enabled and populated --
+    ``heatmap.json``.  Returns ``{artifact: path}`` for what was
+    written.
     """
     root = pathlib.Path(directory)
     root.mkdir(parents=True, exist_ok=True)
@@ -172,6 +208,26 @@ def export_telemetry(db, directory) -> "dict[str, str]":
     events_path = root / EVENTS_FILE
     events_path.write_text(events_jsonl(db.recorder), encoding="ascii")
     written["events"] = str(events_path)
+
+    stats = getattr(db, "query_stats", None)
+    if stats is not None and len(stats):
+        from repro.observe.stats import stats_prometheus_text
+
+        stats_path = root / STATS_JSON_FILE
+        with open(stats_path, "w", encoding="ascii") as handle:
+            json.dump(stats.snapshot(), handle, indent=1, sort_keys=True)
+        written["stats"] = str(stats_path)
+        stats_prom_path = root / STATS_PROM_FILE
+        stats_prom_path.write_text(
+            stats_prometheus_text(stats), encoding="ascii"
+        )
+        written["stats_prom"] = str(stats_prom_path)
+
+    slowlog = getattr(db, "slowlog", None)
+    if slowlog is not None and slowlog.dump():
+        slowlog_path = root / SLOWLOG_FILE
+        slowlog_path.write_text(slowlog.jsonl(), encoding="ascii")
+        written["slowlog"] = str(slowlog_path)
 
     heatmap = getattr(db, "heatmap", None)
     if heatmap is not None and heatmap.files():

@@ -16,8 +16,39 @@ execution pipeline carries no conditionals when tracing is off.
 
 from __future__ import annotations
 
+import itertools
+import os
+import random
 import time
-from contextlib import contextmanager
+
+# Span ids are unique per process (counter) and across processes (pid
+# salt); trace ids are minted once per statement at the outermost hop.
+_SPAN_COUNTER = itertools.count(1)
+
+# Trace ids only need to collide never, not be unpredictable: a PRNG
+# seeded once from the OS keeps 64-bit draws unique across processes
+# without paying a urandom syscall per traced statement.
+_TRACE_ID_RNG = random.Random(int.from_bytes(os.urandom(16), "little"))
+_PID_PREFIX = f"{os.getpid():x}."
+
+
+def _reseed_after_fork() -> None:
+    # A forked worker would replay the parent's draws and pid salt.
+    global _PID_PREFIX
+    _TRACE_ID_RNG.seed(int.from_bytes(os.urandom(16), "little"))
+    _PID_PREFIX = f"{os.getpid():x}."
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reseed_after_fork)
+
+
+def new_trace_id() -> str:
+    return f"{_TRACE_ID_RNG.getrandbits(64):016x}"
+
+
+def new_span_id() -> str:
+    return f"{_PID_PREFIX}{next(_SPAN_COUNTER):x}"
 
 
 def _format_ms(seconds: float) -> str:
@@ -45,6 +76,9 @@ class Span:
         "duration",
         "io",
         "started",
+        "trace_id",
+        "span_id",
+        "parent_id",
         "_stats",
         "_before",
     )
@@ -58,6 +92,11 @@ class Span:
         # perf_counter at start(); the Chrome-trace export orders and
         # offsets spans by it.  None until the span has been started.
         self.started = None
+        # Trace identity: None until stamped by the tracer (root spans)
+        # or by stage()/adopt() (children inherit the trace id).
+        self.trace_id = None
+        self.span_id = None
+        self.parent_id = None
         self._stats = stats
         self._before = None
 
@@ -66,28 +105,50 @@ class Span:
         return True
 
     def start(self) -> "Span":
-        self._before = (
-            self._stats.checkpoint() if self._stats is not None else None
-        )
+        stats = self._stats
+        if stats is not None:
+            # Inside a traced statement the meter keeps a touch log, so
+            # the delta walks only relations this span accessed; spans
+            # opened outside one fall back to full snapshots.
+            mark = stats.touch_mark()
+            if mark is not None:
+                self._before = (True, mark)
+            else:
+                self._before = (False, stats.snapshot())
         self.started = time.perf_counter()
         return self
 
     def finish(self) -> "Span":
         self.duration = time.perf_counter() - self.started
-        if self._before is not None:
-            self.io = self._stats.delta(self._before)
+        before = self._before
+        if before is not None:
+            if before[0]:
+                self.io = self._stats.delta_touched(before[1])
+            else:
+                self.io = self._stats.delta_since(before[1])
         return self
 
-    @contextmanager
-    def stage(self, name: str, **attributes):
+    def stage(self, name: str, **attributes) -> "_StageGuard":
         """Open a child span covering the ``with`` body."""
         child = Span(name, self._stats, attributes)
-        child.start()
-        try:
-            yield child
-        finally:
-            child.finish()
-            self.children.append(child)
+        if self.trace_id is not None:
+            child.trace_id = self.trace_id
+            child.parent_id = self.span_id
+            child.span_id = new_span_id()
+        return _StageGuard(self, child)
+
+    def adopt(self, child: "Span") -> "Span":
+        """Graft an already-finished span (e.g. rebuilt from the wire).
+
+        The child keeps its own span id -- it was stamped in the process
+        that measured it -- but is re-parented under this span so the
+        merged tree renders and exports as one trace.
+        """
+        if self.trace_id is not None and child.trace_id is None:
+            child.trace_id = self.trace_id
+        child.parent_id = self.span_id
+        self.children.append(child)
+        return child
 
     def annotate(self, **attributes) -> None:
         """Attach key/value attributes to this span."""
@@ -104,16 +165,47 @@ class Span:
         return None
 
     def as_dict(self) -> dict:
-        """JSON-safe form for programmatic consumption."""
+        """JSON-safe form for programmatic consumption (and the wire).
+
+        Round-trips through :meth:`from_dict`: a server-side span tree
+        is shipped to the client in this form and rebuilt there.
+        ``started`` is ``time.perf_counter`` (CLOCK_MONOTONIC), so on a
+        single machine client, server and worker spans share a timeline
+        in the Chrome-trace export.
+        """
         data = {
             "name": self.name,
             "duration_ms": self.duration * 1000.0,
             "attributes": dict(self.attributes),
             "children": [child.as_dict() for child in self.children],
         }
+        if self.started is not None:
+            data["started"] = self.started
+        if self.trace_id is not None:
+            data["trace_id"] = self.trace_id
+            data["span_id"] = self.span_id
+            if self.parent_id is not None:
+                data["parent_id"] = self.parent_id
         if self.io is not None:
             data["io"] = self.io.as_dict()
         return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a finished span tree from its :meth:`as_dict` form."""
+        from repro.storage.iostats import IODelta
+
+        span = cls(str(data.get("name", "")), None, data.get("attributes"))
+        span.duration = float(data.get("duration_ms", 0.0)) / 1000.0
+        span.started = data.get("started")
+        span.trace_id = data.get("trace_id")
+        span.span_id = data.get("span_id")
+        span.parent_id = data.get("parent_id")
+        if data.get("io") is not None:
+            span.io = IODelta.from_dict(data["io"])
+        for child in data.get("children", ()):
+            span.children.append(cls.from_dict(child))
+        return span
 
     def _label(self) -> str:
         extras = []
@@ -151,6 +243,28 @@ class Span:
         )
 
 
+class _StageGuard:
+    """Hand-rolled context manager for :meth:`Span.stage`.
+
+    Stages open on every pipeline step of every traced statement; a
+    plain object with ``__enter__``/``__exit__`` skips the generator
+    machinery a ``@contextmanager`` would spin up per call.
+    """
+
+    __slots__ = ("_parent", "_child")
+
+    def __init__(self, parent: Span, child: Span):
+        self._parent = parent
+        self._child = child
+
+    def __enter__(self) -> Span:
+        return self._child.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._child.finish()
+        self._parent.children.append(self._child)
+
+
 class _NullSpan:
     """Shared no-op span: the disabled tracer's entire footprint."""
 
@@ -160,6 +274,9 @@ class _NullSpan:
     duration = 0.0
     io = None
     started = None
+    trace_id = None
+    span_id = None
+    parent_id = None
     children: "list[Span]" = []
     attributes: dict = {}
 
@@ -173,12 +290,14 @@ class _NullSpan:
     def finish(self):
         return self
 
-    @contextmanager
     def stage(self, name: str, **attributes):
-        yield self
+        return _NULL_STAGE
 
     def annotate(self, **attributes) -> None:
         pass
+
+    def adopt(self, child):
+        return child
 
     def find(self, name: str):
         return None
@@ -193,4 +312,17 @@ class _NullSpan:
         return "NullSpan()"
 
 
+class _NullStage:
+    """Reusable no-op ``with`` target for :meth:`_NullSpan.stage`."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
 NULL_SPAN = _NullSpan()
+_NULL_STAGE = _NullStage()

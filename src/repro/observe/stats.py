@@ -1,0 +1,535 @@
+"""Query statistics: per-fingerprint aggregates and a slow-query log.
+
+The paper's whole method is comparing *predicted* page reads from the
+Section-5.3 analytical model against *measured* ones (Fig. 9).  This
+module turns that comparison into a runtime subsystem, in the style of
+``pg_stat_statements``:
+
+* :func:`fingerprint` normalizes statement text to a literal-free form
+  (integers, floats, strings and ``$name`` parameters all collapse to
+  ``?``), so ``retrieve (e.seq) where e.id = 7`` and ``... = $id`` with
+  any binding share one statistics row;
+* :class:`QueryStatsStore` keeps per-fingerprint aggregates -- calls,
+  errors, total/mean/p95/max latency, rows, pages read per access
+  method, plan-cache hits, degraded executions -- plus **predicted vs
+  actual page reads**: the first execution of a fingerprint is taken as
+  the model's baseline and later executions are predicted with the
+  paper's growth law ``cost(n) = cost(n0) * (1 + g*n) / (1 + g*n0)``,
+  where *n* counts update statements applied to the touched relations
+  and *g* is :func:`growth_rate_for` (the Fig. 9 result: the loading
+  factor, doubled for temporal databases);
+* :class:`SlowQueryLog` retains the full entry -- text, latency, I/O,
+  and the merged trace tree when tracing was on -- for statements
+  slower than a configurable threshold (``REPRO_SLOW_QUERY_MS``).
+
+Everything here is pure-Python arithmetic over numbers the engine
+already computed; recording a statement never issues a metered page
+access, preserving the observe layer's neutrality invariant.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from collections import OrderedDict, deque
+
+__all__ = [
+    "QueryStats",
+    "QueryStatsStore",
+    "SlowQueryLog",
+    "fingerprint",
+    "growth_rate_for",
+    "stats_prometheus_text",
+]
+
+LATENCY_WINDOW = 128
+STORE_CAPACITY = 512
+SLOWLOG_CAPACITY = 64
+SLOW_THRESHOLD_ENV = "REPRO_SLOW_QUERY_MS"
+
+# Token kinds that carry a literal or binding: all collapse to "?" so a
+# fingerprint identifies the statement *shape*, not its constants.
+_VALUE_KINDS = frozenset(("int", "float", "string", "param"))
+
+
+def fingerprint(text: str) -> str:
+    """The normalized form of *text*: literals and parameters stripped.
+
+    Lexes with the real TQuel lexer, so whitespace, comments and case
+    differences vanish too.  Unlexable text falls back to a trimmed,
+    lowered copy -- still a stable key, just not normalized.
+    """
+    from repro.tquel.lexer import tokenize
+
+    try:
+        tokens = tokenize(text)
+    except Exception:
+        return " ".join(text.lower().split())
+    parts = []
+    for token in tokens:
+        if token.type == "eof":
+            break
+        if token.type in _VALUE_KINDS:
+            parts.append("?")
+        else:
+            parts.append(str(token.value))
+    return " ".join(parts)
+
+
+def growth_rate_for(type_name: str, loading: int) -> "float | None":
+    """The paper's Fig. 9 law as a function of the relation's metadata.
+
+    Returns ``None`` for static relations (no versions accumulate, so
+    cost does not grow), the loading factor (``fillfactor / 100``) for
+    rollback and historical relations, and twice the loading factor for
+    temporal relations.  ``repro.bench.costmodel.expected_growth_rate``
+    delegates here -- one source of truth for the law the benchmark
+    validates and the statistics store predicts with.
+    """
+    if type_name == "static":
+        return None
+    factor = loading / 100.0
+    if type_name == "temporal":
+        return 2.0 * factor
+    return factor
+
+
+def _digest(fp: str) -> str:
+    return hashlib.md5(fp.encode("utf-8")).hexdigest()[:12]
+
+
+class QueryStats:
+    """Aggregates for one statement fingerprint."""
+
+    __slots__ = (
+        "fingerprint",
+        "example",
+        "kind",
+        "calls",
+        "errors",
+        "total_s",
+        "max_s",
+        "rows",
+        "input_pages",
+        "output_pages",
+        "pages_by_method",
+        "plan_cache_hits",
+        "retries",
+        "degraded",
+        "latencies",
+        "baseline_updates",
+        "baseline_pages",
+        "growth_rate",
+        "predicted_pages",
+        "actual_pages",
+        "last_predicted",
+        "last_actual",
+    )
+
+    def __init__(self, fp: str):
+        self.fingerprint = fp
+        self.example = ""
+        self.kind = ""
+        self.calls = 0
+        self.errors = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+        self.rows = 0
+        self.input_pages = 0
+        self.output_pages = 0
+        self.pages_by_method: "dict[str, int]" = {}
+        self.plan_cache_hits = 0
+        self.retries = 0
+        self.degraded = 0
+        self.latencies: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
+        # Predicted-vs-actual state: the first metered execution anchors
+        # the model (update count n0, measured pages cost0, growth rate g
+        # of the dominant relation); later executions at update count n
+        # are predicted as cost0 * (1 + g*n) / (1 + g*n0).
+        self.baseline_updates = None
+        self.baseline_pages = None
+        self.growth_rate = None
+        self.predicted_pages = 0.0
+        self.actual_pages = 0
+        self.last_predicted = None
+        self.last_actual = None
+
+    @property
+    def mean_ms(self) -> float:
+        return (self.total_s / self.calls * 1000.0) if self.calls else 0.0
+
+    @property
+    def p95_ms(self) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        return ordered[int(0.95 * (len(ordered) - 1))] * 1000.0
+
+    @property
+    def prediction_ratio(self) -> "float | None":
+        """Accumulated predicted / actual page reads (1.0 = perfect)."""
+        if self.actual_pages <= 0 or self.predicted_pages <= 0:
+            return None
+        return self.predicted_pages / self.actual_pages
+
+    def predict(self, update_count: int) -> "float | None":
+        """Model prediction of input pages at *update_count*."""
+        if self.baseline_pages is None:
+            return None
+        if self.growth_rate is None:
+            return float(self.baseline_pages)
+        n0 = self.baseline_updates
+        g = self.growth_rate
+        return self.baseline_pages * (1 + g * update_count) / (1 + g * n0)
+
+    def as_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "digest": _digest(self.fingerprint),
+            "example": self.example,
+            "kind": self.kind,
+            "calls": self.calls,
+            "errors": self.errors,
+            "total_ms": self.total_s * 1000.0,
+            "mean_ms": self.mean_ms,
+            "p95_ms": self.p95_ms,
+            "max_ms": self.max_s * 1000.0,
+            "rows": self.rows,
+            "input_pages": self.input_pages,
+            "output_pages": self.output_pages,
+            "pages_by_method": dict(sorted(self.pages_by_method.items())),
+            "plan_cache_hits": self.plan_cache_hits,
+            "retries": self.retries,
+            "degraded": self.degraded,
+            "latencies": list(self.latencies),
+            "baseline_updates": self.baseline_updates,
+            "baseline_pages": self.baseline_pages,
+            "growth_rate": self.growth_rate,
+            "predicted_pages": self.predicted_pages,
+            "actual_pages": self.actual_pages,
+            "last_predicted": self.last_predicted,
+            "last_actual": self.last_actual,
+            "prediction_ratio": self.prediction_ratio,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryStats":
+        entry = cls(str(data.get("fingerprint", "")))
+        entry.example = str(data.get("example", ""))
+        entry.kind = str(data.get("kind", ""))
+        entry.calls = int(data.get("calls", 0))
+        entry.errors = int(data.get("errors", 0))
+        entry.total_s = float(data.get("total_ms", 0.0)) / 1000.0
+        entry.max_s = float(data.get("max_ms", 0.0)) / 1000.0
+        entry.rows = int(data.get("rows", 0))
+        entry.input_pages = int(data.get("input_pages", 0))
+        entry.output_pages = int(data.get("output_pages", 0))
+        entry.pages_by_method = {
+            str(key): int(value)
+            for key, value in (data.get("pages_by_method") or {}).items()
+        }
+        entry.plan_cache_hits = int(data.get("plan_cache_hits", 0))
+        entry.retries = int(data.get("retries", 0))
+        entry.degraded = int(data.get("degraded", 0))
+        entry.latencies.extend(
+            float(value) for value in data.get("latencies") or ()
+        )
+        entry.baseline_updates = data.get("baseline_updates")
+        entry.baseline_pages = data.get("baseline_pages")
+        entry.growth_rate = data.get("growth_rate")
+        entry.predicted_pages = float(data.get("predicted_pages", 0.0))
+        entry.actual_pages = int(data.get("actual_pages", 0))
+        entry.last_predicted = data.get("last_predicted")
+        entry.last_actual = data.get("last_actual")
+        return entry
+
+
+class QueryStatsStore:
+    """Bounded per-fingerprint statement statistics (LRU on overflow)."""
+
+    def __init__(self, capacity: int = STORE_CAPACITY):
+        self._entries: "OrderedDict[str, QueryStats]" = OrderedDict()
+        self._capacity = capacity
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _entry(self, fp: str) -> QueryStats:
+        entry = self._entries.get(fp)
+        if entry is None:
+            entry = QueryStats(fp)
+            self._entries[fp] = entry
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(fp)
+        return entry
+
+    def record(
+        self,
+        fp: str,
+        *,
+        text: str = "",
+        kind: str = "",
+        elapsed: float = 0.0,
+        rows: int = 0,
+        input_pages: int = 0,
+        output_pages: int = 0,
+        pages_by_method: "dict[str, int] | None" = None,
+        plan_cache_hit: bool = False,
+        degraded: bool = False,
+        update_count: "int | None" = None,
+        growth_rate: "float | None" = None,
+    ) -> "float | None":
+        """Fold one successful execution into the fingerprint's entry.
+
+        Returns the model's predicted input pages for this execution
+        (``None`` before a baseline exists or for unmetered statements).
+        """
+        with self._lock:
+            entry = self._entry(fp)
+            if not entry.example:
+                entry.example = text[:200]
+            if kind:
+                entry.kind = kind
+            entry.calls += 1
+            entry.total_s += elapsed
+            entry.max_s = max(entry.max_s, elapsed)
+            entry.latencies.append(elapsed)
+            entry.rows += rows
+            entry.input_pages += input_pages
+            entry.output_pages += output_pages
+            for method, pages in (pages_by_method or {}).items():
+                entry.pages_by_method[method] = (
+                    entry.pages_by_method.get(method, 0) + pages
+                )
+            if plan_cache_hit:
+                entry.plan_cache_hits += 1
+            if degraded:
+                entry.degraded += 1
+            predicted = None
+            if update_count is not None and input_pages > 0:
+                if entry.baseline_pages is None:
+                    entry.baseline_updates = update_count
+                    entry.baseline_pages = input_pages
+                    entry.growth_rate = growth_rate
+                predicted = entry.predict(update_count)
+                if predicted is not None:
+                    entry.predicted_pages += predicted
+                    entry.actual_pages += input_pages
+                    entry.last_predicted = predicted
+                    entry.last_actual = input_pages
+            return predicted
+
+    def record_error(self, fp: str, text: str = "") -> None:
+        with self._lock:
+            entry = self._entry(fp)
+            if not entry.example:
+                entry.example = text[:200]
+            entry.errors += 1
+
+    def record_retry(self, fp: str, count: int = 1) -> None:
+        with self._lock:
+            self._entry(fp).retries += count
+
+    def get(self, fp: str) -> "QueryStats | None":
+        with self._lock:
+            return self._entries.get(fp)
+
+    def top(self, n: "int | None" = 10) -> "list[QueryStats]":
+        """The *n* entries with the most accumulated latency."""
+        with self._lock:
+            entries = sorted(
+                self._entries.values(),
+                key=lambda entry: entry.total_s,
+                reverse=True,
+            )
+        return entries if n is None else entries[:n]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def snapshot(self, n: "int | None" = None) -> dict:
+        """JSON-safe dump, most-expensive first (checkpoint + wire form)."""
+        return {
+            "entries": [entry.as_dict() for entry in self.top(n)],
+        }
+
+    def restore(self, data: "dict | None") -> None:
+        """Load a :meth:`snapshot`, replacing current contents."""
+        with self._lock:
+            self._entries.clear()
+            for raw in (data or {}).get("entries", ()):
+                entry = QueryStats.from_dict(raw)
+                if entry.fingerprint:
+                    self._entries[entry.fingerprint] = entry
+
+    def render(self, n: "int | None" = 10) -> str:
+        """A compact table, one fingerprint per row."""
+        entries = self.top(n)
+        if not entries:
+            return "no statements recorded"
+        lines = [
+            f"{'calls':>6}  {'mean ms':>8}  {'p95 ms':>8}  {'max ms':>8}  "
+            f"{'rows':>8}  {'pages':>7}  {'pred/act':>8}  statement"
+        ]
+        for entry in entries:
+            ratio = entry.prediction_ratio
+            ratio_text = f"{ratio:8.2f}" if ratio is not None else f"{'-':>8}"
+            text = entry.fingerprint
+            if len(text) > 48:
+                text = text[:45] + "..."
+            lines.append(
+                f"{entry.calls:>6}  {entry.mean_ms:8.3f}  "
+                f"{entry.p95_ms:8.3f}  {entry.max_s * 1000.0:8.3f}  "
+                f"{entry.rows:>8}  {entry.input_pages:>7}  "
+                f"{ratio_text}  {text}"
+            )
+        return "\n".join(lines)
+
+
+def stats_prometheus_text(store: QueryStatsStore) -> str:
+    """The store in the Prometheus text format, labelled by digest.
+
+    Fingerprints are exposed through a short stable digest label (full
+    text as ``# fingerprint`` comments above the series), so the label
+    set stays bounded and escaping-free.
+    """
+    entries = store.top(None)
+    if not entries:
+        return ""
+    lines = []
+    for entry in entries:
+        lines.append(f"# fingerprint {_digest(entry.fingerprint)} {entry.fingerprint}")
+    series = [
+        ("repro_query_calls_total", "counter", lambda e: e.calls),
+        ("repro_query_errors_total", "counter", lambda e: e.errors),
+        ("repro_query_rows_total", "counter", lambda e: e.rows),
+        (
+            "repro_query_seconds_total",
+            "counter",
+            lambda e: e.total_s,
+        ),
+        (
+            "repro_query_input_pages_total",
+            "counter",
+            lambda e: e.input_pages,
+        ),
+        (
+            "repro_query_output_pages_total",
+            "counter",
+            lambda e: e.output_pages,
+        ),
+        (
+            "repro_query_predicted_pages_total",
+            "counter",
+            lambda e: e.predicted_pages,
+        ),
+        (
+            "repro_query_actual_pages_total",
+            "counter",
+            lambda e: e.actual_pages,
+        ),
+    ]
+    for metric, kind, getter in series:
+        lines.append(f"# TYPE {metric} {kind}")
+        for entry in entries:
+            lines.append(
+                f'{metric}{{query="{_digest(entry.fingerprint)}"}} {getter(entry)}'
+            )
+    method_lines = []
+    for entry in entries:
+        digest = _digest(entry.fingerprint)
+        for method, pages in sorted(entry.pages_by_method.items()):
+            method_lines.append(
+                f'repro_query_method_pages_total{{query="{digest}"'
+                f',method="{method}"}} {pages}'
+            )
+    if method_lines:
+        lines.append("# TYPE repro_query_method_pages_total counter")
+        lines.extend(method_lines)
+    return "\n".join(lines) + "\n"
+
+
+class SlowQueryLog:
+    """Bounded ring of statements slower than a threshold.
+
+    Disabled by default (``threshold_ms`` is ``None``); enable with the
+    ``REPRO_SLOW_QUERY_MS`` environment variable or by assigning
+    ``db.slowlog.threshold_ms``.  Each entry keeps the statement text,
+    fingerprint, latency, I/O accounting and -- when tracing was on --
+    the merged span tree, which is exactly what EXPLAIN ANALYZE renders.
+    """
+
+    def __init__(
+        self,
+        threshold_ms: "float | None" = None,
+        capacity: int = SLOWLOG_CAPACITY,
+    ):
+        if threshold_ms is None:
+            raw = os.environ.get(SLOW_THRESHOLD_ENV)
+            if raw:
+                try:
+                    threshold_ms = float(raw)
+                except ValueError:
+                    threshold_ms = None
+        self.threshold_ms = threshold_ms
+        self._entries: "deque[dict]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms is not None
+
+    def should_log(self, elapsed: float) -> bool:
+        return (
+            self.threshold_ms is not None
+            and elapsed * 1000.0 >= self.threshold_ms
+        )
+
+    def record(self, **entry) -> None:
+        with self._lock:
+            self._seq += 1
+            self._entries.append({"seq": self._seq, "at": time.time(), **entry})
+
+    def dump(self, n: "int | None" = None) -> "list[dict]":
+        with self._lock:
+            entries = list(self._entries)
+        return entries if n is None else entries[-n:]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def jsonl(self) -> str:
+        return "".join(
+            json.dumps(entry, sort_keys=True, default=str) + "\n"
+            for entry in self.dump()
+        )
+
+    def render(self, n: "int | None" = 10) -> str:
+        entries = self.dump(n)
+        if not entries:
+            if self.threshold_ms is None:
+                return "slow-query log disabled (set REPRO_SLOW_QUERY_MS)"
+            return f"no statements over {self.threshold_ms:g} ms"
+        lines = []
+        for entry in entries:
+            lines.append(
+                f"#{entry['seq']}  {entry.get('elapsed_ms', 0.0):.3f} ms  "
+                f"{entry.get('input_pages', 0)} pages  "
+                f"{entry.get('text', '')[:80]}"
+            )
+            trace = entry.get("trace")
+            if trace:
+                from repro.observe.span import Span
+
+                lines.append(Span.from_dict(trace).render(prefix="    "))
+        return "\n".join(lines)

@@ -10,22 +10,65 @@ callable receives every finished root span.
 When disabled (the default), :meth:`statement` yields the shared
 :data:`~repro.observe.span.NULL_SPAN` -- one attribute check per
 statement, no timing, no checkpoints.
+
+Distributed tracing: every traced statement is stamped with a trace id
+and span id.  A remote caller forwards its context as ``{"trace_id":
+..., "span_id": ...}``; :meth:`statement` *adopts* such a context --
+tracing is forced on for that statement regardless of the local enabled
+flag, the root span joins the caller's trace, and the finished span is
+parked in a bounded map for :meth:`take_adopted` so the server can ship
+it back with the reply (reading ``last`` would race across concurrent
+sessions).
+
+Sampling: ``REPRO_TRACE_SAMPLE`` (or the ``sample`` attribute) keeps a
+fraction of statements when tracing is enabled.  The sampler is a seeded
+PRNG consumed once per statement, so a fixed workload makes identical
+keep/drop decisions run after run -- chaos and sim runs stay
+reproducible with tracing on.  Adopted contexts bypass sampling: the
+caller already decided to trace.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import os
+import random
+import threading
+from collections import OrderedDict, deque
 from contextlib import contextmanager
 
-from repro.observe.span import NULL_SPAN, Span
+from repro.observe.span import NULL_SPAN, Span, new_span_id, new_trace_id
 
 HISTORY_LIMIT = 64
+ADOPTED_LIMIT = 64
+SAMPLE_ENV = "REPRO_TRACE_SAMPLE"
+SAMPLE_SEED_ENV = "REPRO_TRACE_SEED"
+
+
+def _sample_from_env() -> float:
+    raw = os.environ.get(SAMPLE_ENV)
+    if raw is None:
+        return 1.0
+    try:
+        value = float(raw)
+    except ValueError:
+        return 1.0
+    return min(1.0, max(0.0, value))
+
+
+class _ActiveState(threading.local):
+    span = None
 
 
 class Tracer:
     """Wraps statements in span trees when enabled."""
 
-    def __init__(self, stats, enabled: bool = False, history: int = HISTORY_LIMIT):
+    def __init__(
+        self,
+        stats,
+        enabled: bool = False,
+        history: int = HISTORY_LIMIT,
+        sample: "float | None" = None,
+    ):
         if history < 1:
             raise ValueError(f"need a history of at least 1, got {history}")
         self._stats = stats
@@ -33,11 +76,26 @@ class Tracer:
         self.last: "Span | None" = None
         self.history: "deque[Span]" = deque(maxlen=history)
         self.sink = None  # callable(Span) or None
+        self.sample = _sample_from_env() if sample is None else sample
+        self._sampler = random.Random(
+            int(os.environ.get(SAMPLE_SEED_ENV, "0") or "0")
+        )
+        self._active = _ActiveState()
+        # trace_id -> finished root span, for contexts adopted from a
+        # remote caller; bounded so abandoned traces cannot accumulate.
+        self._adopted: "OrderedDict[str, Span]" = OrderedDict()
+        self._adopted_lock = threading.Lock()
+        self._forced = 0
 
     @property
     def history_limit(self) -> int:
         """How many finished root spans the history retains."""
         return self.history.maxlen
+
+    @property
+    def active_span(self) -> "Span | None":
+        """The root span of the statement running on this thread."""
+        return self._active.span
 
     def enable(self) -> None:
         self.enabled = True
@@ -54,30 +112,114 @@ class Tracer:
         """
         self.last = None
         self.history.clear()
+        with self._adopted_lock:
+            self._adopted.clear()
+
+    def _sampled(self) -> bool:
+        """One deterministic keep/drop decision (consumes the PRNG)."""
+        if self.sample >= 1.0:
+            return True
+        if self.sample <= 0.0:
+            return False
+        return self._sampler.random() < self.sample
+
+    def take_adopted(self, trace_id: str) -> "Span | None":
+        """Pop the finished root span recorded under *trace_id*."""
+        with self._adopted_lock:
+            return self._adopted.pop(trace_id, None)
 
     @contextmanager
     def force(self):
-        """Temporarily enable tracing (EXPLAIN ANALYZE uses this)."""
+        """Temporarily enable tracing (EXPLAIN ANALYZE uses this).
+
+        Forced statements bypass sampling: EXPLAIN ANALYZE asked for a
+        measurement, so it must get one.
+        """
         previous = self.enabled
         self.enabled = True
+        self._forced += 1
         try:
             yield self
         finally:
+            self._forced -= 1
             self.enabled = previous
 
-    @contextmanager
-    def statement(self, text: str):
-        """Open the root span for one statement (NULL_SPAN when off)."""
-        if not self.enabled:
-            yield NULL_SPAN
-            return
+    def statement(self, text: str, context: "dict | None" = None):
+        """Open the root span for one statement (NULL_SPAN when off).
+
+        *context* is a remote caller's ``{"trace_id": ..., "span_id":
+        ...}``; adopting it forces the span on, joins the caller's
+        trace, and parks the finished span for :meth:`take_adopted`.
+        Returns a single-use context manager; the disabled/sampled-out
+        path shares one no-op guard so untraced statements pay only
+        this call.
+        """
+        if context is None and (
+            not self.enabled or (self._forced == 0 and not self._sampled())
+        ):
+            return _NULL_STATEMENT
         span = Span("statement", self._stats, {"text": text})
+        if context is not None:
+            span.trace_id = str(context.get("trace_id") or new_trace_id())
+            span.parent_id = context.get("span_id")
+        else:
+            span.trace_id = new_trace_id()
+        span.span_id = new_span_id()
+        return _StatementGuard(self, span, context)
+
+
+class _StatementGuard:
+    """Hand-rolled context manager for one traced statement.
+
+    Opens on every traced statement, so it avoids the generator
+    machinery a ``@contextmanager`` would allocate per call.
+    """
+
+    __slots__ = ("_tracer", "_span", "_context", "_previous")
+
+    def __init__(self, tracer: Tracer, span: Span, context: "dict | None"):
+        self._tracer = tracer
+        self._span = span
+        self._context = context
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = self._span
+        if tracer._stats is not None:
+            tracer._stats.touch_begin()
         span.start()
-        try:
-            yield span
-        finally:
-            span.finish()
-            self.last = span
-            self.history.append(span)
-            if self.sink is not None:
-                self.sink(span)
+        self._previous = tracer._active.span
+        tracer._active.span = span
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        span = self._span
+        tracer._active.span = self._previous
+        span.finish()
+        if tracer._stats is not None:
+            tracer._stats.touch_end()
+        tracer.last = span
+        tracer.history.append(span)
+        if self._context is not None:
+            with tracer._adopted_lock:
+                tracer._adopted[span.trace_id] = span
+                while len(tracer._adopted) > ADOPTED_LIMIT:
+                    tracer._adopted.popitem(last=False)
+        if tracer.sink is not None:
+            tracer.sink(span)
+
+
+class _NullStatement:
+    """Shared no-op guard for disabled or sampled-out statements."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_STATEMENT = _NullStatement()

@@ -48,6 +48,9 @@ from contextlib import contextmanager
 
 from repro import errors as _errors
 from repro.errors import ConnectionLost, ExecutionError, ServerOverloaded
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.span import Span
+from repro.observe.trace import Tracer
 from repro.server import protocol
 
 _RANGE_OF = re.compile(r"^\s*range\s+of\s+(\w+)\s+is\b", re.IGNORECASE)
@@ -97,22 +100,27 @@ class RemotePreparedStatement:
         """Run the prepared statement(s); Result or list of Results."""
         for attempt in range(2):
             handle = self._ensure_handle()
-            try:
-                reply = self._session._call(
-                    "execute_prepared",
-                    dedupe=True,
-                    statement=handle,
-                    params=params,
+            with self._session.tracer.statement(self.text) as span:
+                fields = self._session._trace_fields(
+                    span, {"statement": handle, "params": params}
                 )
-            except protocol.ProtocolError as error:
-                # A reconnect raced past the epoch check: the handle is
-                # stale and the statement never ran (had it run, the
-                # seq dedupe would have answered from cache instead).
-                # Re-prepare once and resend under a fresh seq.
-                if attempt or "unknown statement handle" not in str(error):
-                    raise
-                self._epoch = self._session._epoch - 1
-                continue
+                try:
+                    reply = self._session._call(
+                        "execute_prepared", dedupe=True, **fields
+                    )
+                except protocol.ProtocolError as error:
+                    # A reconnect raced past the epoch check: the handle
+                    # is stale and the statement never ran (had it run,
+                    # the seq dedupe would have answered from cache
+                    # instead).  Re-prepare once, resend under a fresh
+                    # seq.
+                    if attempt or (
+                        "unknown statement handle" not in str(error)
+                    ):
+                        raise
+                    self._epoch = self._session._epoch - 1
+                    continue
+                self._session._graft_trace(span, reply)
             return self._session._assemble_results(reply)
 
     def executemany(self, param_sets) -> list:
@@ -150,7 +158,19 @@ class RemoteSession:
         self._backoff_base = backoff_base
         self._backoff_cap = backoff_cap
         self._rng = random.Random(retry_seed)
-        self._metrics = metrics
+        # Resilience counters always have a home: callers that pass no
+        # registry still get ``client.*`` counters (pre-registered at 0
+        # so the Prometheus export shows them before the first retry).
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        for counter in ("client.retries", "client.reconnects",
+                        "client.overloads"):
+            self._metrics.counter(counter)
+        #: The client-lane statement tracer.  Disabled by default; with
+        #: ``session.tracer.enable()`` every execute opens a client span,
+        #: scatters its trace context over the wire, and grafts the
+        #: server's span tree (worker spans included) back under it --
+        #: ``session.last_trace()`` then holds one merged trace tree.
+        self.tracer = Tracer(None)
         self._client_id = uuid.uuid4().hex
         self._seq = 0
         self._epoch = 0  # bumped on reconnect; prepared handles re-check
@@ -367,20 +387,48 @@ class RemoteSession:
 
     # -- statement execution -------------------------------------------------
 
+    def _trace_fields(self, span, fields: dict) -> dict:
+        """Stamp the client span's trace context into a request."""
+        if span.enabled:
+            span.attributes["lane"] = "client"
+            fields["trace"] = {
+                "trace_id": span.trace_id, "span_id": span.span_id,
+            }
+        return fields
+
+    def _graft_trace(self, span, reply: dict) -> None:
+        """Adopt the server's span tree under the client span."""
+        data = reply.get("trace") if span.enabled else None
+        if data:
+            span.adopt(Span.from_dict(data))
+
+    def last_trace(self) -> "Span | None":
+        """The most recent client-lane span tree (``tracer.enable()`` first).
+
+        With tracing on, the tree holds the client span at the root, the
+        server's statement span grafted under it, and -- for parallel
+        scatter/gather statements -- one span per pool worker, all
+        sharing the client's trace id.
+        """
+        return self.tracer.last
+
     def execute(self, text: str, params: "dict | None" = None):
         """Run TQuel text; one Result, or a list for multi-statement input."""
         key = self._range_key(text)
         if key is not None:
             self._ranges[key] = text
-        try:
-            reply = self._call(
-                "execute", dedupe=True, text=text, params=params
+        with self.tracer.statement(text) as span:
+            fields = self._trace_fields(
+                span, {"text": text, "params": params}
             )
-        except BaseException:
-            # A refused declaration must not be replayed on reconnects.
-            if key is not None:
-                self._ranges.pop(key, None)
-            raise
+            try:
+                reply = self._call("execute", dedupe=True, **fields)
+            except BaseException:
+                # A refused declaration must not be replayed on reconnects.
+                if key is not None:
+                    self._ranges.pop(key, None)
+                raise
+            self._graft_trace(span, reply)
         return self._assemble_results(reply)
 
     def executemany(self, text: str, param_sets) -> list:
@@ -435,7 +483,10 @@ class RemoteSession:
         fields = {"text": text, "params": params}
         if page_rows is not None:
             fields["page_rows"] = page_rows
-        reply = self._call("run", dedupe=True, **fields)
+        with self.tracer.statement(text) as span:
+            self._trace_fields(span, fields)
+            reply = self._call("run", dedupe=True, **fields)
+            self._graft_trace(span, reply)
         result = protocol.result_from_dict(reply)
         cursor = reply.get("cursor")
         done = reply.get("done", True)
@@ -537,6 +588,34 @@ class RemoteSession:
 
         reply = self._request({"op": "io_totals"})
         return IODelta.from_dict(reply["io"])
+
+    def query_stats(self, n: int = 10) -> dict:
+        """Top-*n* query statistics from the server's stats store.
+
+        Same snapshot shape as :meth:`Session.query_stats` locally, so
+        the monitor's ``\\stats`` renders identically on every
+        transport.
+        """
+        reply = self._request({"op": "stats", "n": n})
+        return reply["stats"]
+
+    @property
+    def metrics(self):
+        """The client-side metrics registry (``client.*`` counters)."""
+        return self._metrics
+
+    def prometheus_text(self) -> str:
+        """Client-side resilience counters in Prometheus text format.
+
+        The ``retry_stats`` dict is mirrored into gauges at export time,
+        so retries/reconnects/overloads/backoff-seconds appear alongside
+        the ``client.*`` counters even when no registry was passed in.
+        """
+        from repro.observe.export import prometheus_text as _render
+
+        for key, value in self.retry_stats.items():
+            self._metrics.gauge(f"client.retry_stats.{key}", value)
+        return _render(self._metrics)
 
     def export_telemetry(self, path=None) -> "dict[str, str]":
         """Export the engine's telemetry on the server host.

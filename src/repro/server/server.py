@@ -454,20 +454,43 @@ class ReproServer:
         finally:
             self._inflight -= 1
 
+    def _attach_trace(self, reply: dict, trace_context) -> None:
+        """Ship the server-side span tree back with a traced reply.
+
+        When the client scattered a trace context, the engine tracer
+        parked the finished statement span under its trace id
+        (:meth:`Tracer.take_adopted`); the client grafts it -- server
+        statement span, worker spans and all -- under its own client
+        span, producing one merged trace tree.
+        """
+        if not trace_context:
+            return
+        trace_id = trace_context.get("trace_id")
+        if not trace_id:
+            return
+        span = self.db.tracer.take_adopted(str(trace_id))
+        if span is not None:
+            span.attributes.setdefault("lane", "server")
+            reply["trace"] = span.as_dict()
+
     async def _dispatch(self, connection, op, request) -> dict:
         session = connection.session
+        trace_context = request.get("trace")
         if op == "execute":
             results = await self._to_worker(
-                session.execute, request["text"], request.get("params")
+                session.execute, request["text"], request.get("params"),
+                trace_context,
             )
             single = not isinstance(results, list)
             if single:
                 results = [results]
-            return {
+            reply = {
                 "ok": True,
                 "single": single,
                 "results": [protocol.result_to_dict(r) for r in results],
             }
+            self._attach_trace(reply, trace_context)
+            return reply
         if op == "prepare":
             statement = await self._to_worker(
                 session.prepare, request["text"]
@@ -478,16 +501,18 @@ class ReproServer:
         if op == "execute_prepared":
             statement = self._statement_for(connection, request)
             results = await self._to_worker(
-                statement.execute, request.get("params")
+                statement.execute, request.get("params"), trace_context
             )
             single = not isinstance(results, list)
             if single:
                 results = [results]
-            return {
+            reply = {
                 "ok": True,
                 "single": single,
                 "results": [protocol.result_to_dict(r) for r in results],
             }
+            self._attach_trace(reply, trace_context)
+            return reply
         if op == "run":
             return await self._run_streaming(connection, request)
         if op == "fetch":
@@ -537,6 +562,12 @@ class ReproServer:
             return {"ok": True, "group": group}
         if op == "io_totals":
             return {"ok": True, "io": session.io_totals().as_dict()}
+        if op == "stats":
+            # The query-statistics store is engine-global (fingerprints
+            # aggregate across sessions); the snapshot is the same shape
+            # Session.query_stats returns locally.
+            n = int(request.get("n") or 10)
+            return {"ok": True, "stats": session.query_stats(n)}
         if op == "telemetry":
             if request.get("path") is not None:
                 raise ExecutionError(
@@ -574,10 +605,12 @@ class ReproServer:
         frame sizes, not the execution.  Cursors live on the client
         state, so a stream survives its connection.
         """
+        trace_context = request.get("trace")
         result = await self._to_worker(
             connection.session.execute,
             request["text"],
             request.get("params"),
+            trace_context,
         )
         if isinstance(result, list):
             raise ExecutionError(
@@ -593,6 +626,7 @@ class ReproServer:
             cursor = client.allocate_id()
             client.cursors[cursor] = (result.rows, page_rows, page_rows)
         head.update({"ok": True, "cursor": cursor, "done": done})
+        self._attach_trace(head, trace_context)
         return head
 
     def _fetch(self, connection, request) -> dict:

@@ -95,6 +95,34 @@ class IODelta:
             },
         )
 
+    @classmethod
+    def from_scope_export(cls, exported: dict) -> "IODelta":
+        """Build a delta from an :meth:`IOStats.export_scope` snapshot.
+
+        Workers ship their metered I/O in export_scope form; the trace
+        layer rebuilds it as an :class:`IODelta` so worker spans carry
+        the same per-relation accounting as coordinator spans.
+        """
+        reads = exported.get("reads", {})
+        writes = exported.get("writes", {})
+        system_names = set(exported.get("system", ()))
+        by_relation: "dict[str, IOCounters]" = {}
+        user = system = IOCounters()
+        for name in sorted(set(reads) | set(writes)):
+            counters = IOCounters(reads.get(name, 0), writes.get(name, 0))
+            by_relation[name] = counters
+            if name in system_names:
+                system = system + counters
+            else:
+                user = user + counters
+        return cls(user=user, system=system, by_relation=by_relation)
+
+
+# Shared zero delta for the (very common) nothing-happened case.
+# IODelta is frozen and consumers only read it, so one instance serves.
+_ZERO_IO = IOCounters()
+_EMPTY_DELTA = IODelta(user=_ZERO_IO, system=_ZERO_IO)
+
 
 class _ScopeState(threading.local):
     scope = None
@@ -110,6 +138,21 @@ class IOStats:
         # scope -> {name: count}; populated only while a scope is active.
         self._scoped_reads: "dict[object, dict[str, int]]" = {}
         self._scoped_writes: "dict[object, dict[str, int]]" = {}
+        # Every counter update bumps _version; snapshot() memoizes its
+        # last copy against it, so the span tree's frequent snapshots
+        # (one per pipeline stage) are shared-tuple reads unless pages
+        # were actually touched in between.
+        self._version = 0
+        self._snap: "tuple[int, dict, dict] | None" = None
+        self._snap_version = -1
+        # Touch log: while a traced statement runs (touch_begin), every
+        # *switch* of accessed relation appends (name, reads-before,
+        # writes-before).  A run of accesses to one relation -- the
+        # shape of every scan -- costs a single entry, so span deltas
+        # walk the relations a span touched, not every registered name.
+        self._touch_log: "list[tuple[str, int, int]] | None" = None
+        self._touch_refs = 0
+        self._touch_last: "str | None" = None
         self._local = _ScopeState()
         # Counter updates are read-modify-write; concurrent readers of
         # one relation hold only shared latches, so the meter needs its
@@ -121,6 +164,7 @@ class IOStats:
         with self._guard:
             self._reads.setdefault(name, 0)
             self._writes.setdefault(name, 0)
+            self._version += 1
             if system:
                 self._system_names.add(name)
             else:
@@ -145,7 +189,18 @@ class IOStats:
         """Count one page read against relation *name*."""
         scope = self._local.scope
         with self._guard:
-            self._reads[name] = self._reads.get(name, 0) + 1
+            count = self._reads.get(name, 0) + 1
+            self._reads[name] = count
+            self._version += 1
+            # Identity-first: the hot path re-reads the same interned
+            # relation name; a rare equal-but-distinct string merely
+            # appends a duplicate entry, which delta_touched's
+            # first-seen rule ignores.
+            if self._touch_log is not None and name is not self._touch_last:
+                self._touch_log.append(
+                    (name, count - 1, self._writes.get(name, 0))
+                )
+                self._touch_last = name
             if scope is not None:
                 counters = self._scoped_reads.setdefault(scope, {})
                 counters[name] = counters.get(name, 0) + 1
@@ -154,7 +209,14 @@ class IOStats:
         """Count one page write against relation *name*."""
         scope = self._local.scope
         with self._guard:
-            self._writes[name] = self._writes.get(name, 0) + 1
+            count = self._writes.get(name, 0) + 1
+            self._writes[name] = count
+            self._version += 1
+            if self._touch_log is not None and name is not self._touch_last:
+                self._touch_log.append(
+                    (name, self._reads.get(name, 0), count - 1)
+                )
+                self._touch_last = name
             if scope is not None:
                 counters = self._scoped_writes.setdefault(scope, {})
                 counters[name] = counters.get(name, 0) + 1
@@ -183,6 +245,166 @@ class IOStats:
                 name: IOCounters(reads.get(name, 0), writes.get(name, 0))
                 for name in names
             }
+
+    def touch_begin(self) -> None:
+        """Start (or join) touch-log accounting for a traced statement.
+
+        Nestable and shared across threads: the log stays alive until
+        every :meth:`touch_end` arrived, so concurrent traced
+        statements observe process-wide I/O -- the same semantics
+        checkpoints give.
+        """
+        with self._guard:
+            self._touch_refs += 1
+            if self._touch_log is None:
+                self._touch_log = []
+                self._touch_last = None
+
+    def touch_end(self) -> None:
+        """Leave touch-log accounting; drops the log on the last exit."""
+        with self._guard:
+            self._touch_refs -= 1
+            if self._touch_refs <= 0:
+                self._touch_refs = 0
+                self._touch_log = None
+                self._touch_last = None
+
+    def touch_mark(self) -> "int | None":
+        """Current touch-log position, or None when the log is off.
+
+        Resets the run-length memory so the first access after the
+        mark always logs its before-counts, whatever came before it.
+        Lock-free: list length and attribute stores are GIL-atomic,
+        and a lost run-length reset merely costs a duplicate log entry
+        (which :meth:`delta_touched`'s first-seen rule ignores).
+        """
+        log = self._touch_log
+        if log is None:
+            return None
+        self._touch_last = None
+        return len(log)
+
+    def delta_touched(self, mark: int) -> IODelta:
+        """I/O performed since :meth:`touch_mark` position *mark*.
+
+        The span-tree fast path: walks only the relations touched
+        since the mark (one log entry per switch of relation), diffing
+        their logged before-counts against the live counters.
+        Lock-free by design -- every read here is GIL-atomic, and the
+        result carries checkpoint semantics (process-wide I/O as of
+        roughly now), which concurrent recorders cannot corrupt, only
+        advance.
+        """
+        log = self._touch_log
+        if log is None or len(log) <= mark:
+            return _EMPTY_DELTA
+        entries = log[mark:]
+        reads_map = self._reads
+        writes_map = self._writes
+        if len(entries) == 1:
+            # The overwhelmingly common shape: a span touched one
+            # relation (or one unbroken run of them).
+            name, reads_before, writes_before = entries[0]
+            reads = reads_map.get(name, 0) - reads_before
+            writes = writes_map.get(name, 0) - writes_before
+            if reads == 0 and writes == 0:
+                return _EMPTY_DELTA
+            counters = IOCounters(reads, writes)
+            if name in self._system_names:
+                return IODelta(
+                    user=_ZERO_IO,
+                    system=counters,
+                    by_relation={name: counters},
+                )
+            return IODelta(
+                user=counters,
+                system=_ZERO_IO,
+                by_relation={name: counters},
+            )
+        first_touch: "dict[str, tuple[int, int]]" = {}
+        for name, reads_before, writes_before in entries:
+            if name not in first_touch:
+                first_touch[name] = (reads_before, writes_before)
+        user_reads = user_writes = system_reads = system_writes = 0
+        by_relation: "dict[str, IOCounters]" = {}
+        for name, (reads_before, writes_before) in first_touch.items():
+            reads = reads_map.get(name, 0) - reads_before
+            writes = writes_map.get(name, 0) - writes_before
+            if reads == 0 and writes == 0:
+                continue
+            by_relation[name] = IOCounters(reads, writes)
+            if name in self._system_names:
+                system_reads += reads
+                system_writes += writes
+            else:
+                user_reads += reads
+                user_writes += writes
+        if not by_relation:
+            return _EMPTY_DELTA
+        return IODelta(
+            user=IOCounters(user_reads, user_writes),
+            system=IOCounters(system_reads, system_writes),
+            by_relation=by_relation,
+        )
+
+    def snapshot(self, scope=None) -> "tuple[int, dict, dict]":
+        """Raw ``(version, reads, writes)`` view of the counters.
+
+        The cheap sibling of :meth:`checkpoint` for hot callers that
+        snapshot far more often than they diff: a span tree opens one
+        snapshot per pipeline stage.  The copy is memoized against the
+        meter's version counter, so consecutive snapshots with no page
+        access in between share one tuple -- the common case for lex,
+        parse and plan stages on a warm cache.  Treat the returned
+        dicts as immutable; pass the tuple to :meth:`delta_since`.
+        """
+        with self._guard:
+            if scope is None:
+                if self._snap_version != self._version:
+                    self._snap = (
+                        self._version, dict(self._reads), dict(self._writes)
+                    )
+                    self._snap_version = self._version
+                return self._snap
+            reads, writes = self._counter_maps(scope)
+            return self._version, dict(reads), dict(writes)
+
+    def delta_since(self, since: "tuple[int, dict, dict]",
+                    scope=None) -> IODelta:
+        """I/O performed since a :meth:`snapshot` (raw counterpart of
+        :meth:`delta`)."""
+        version, before_reads, before_writes = since
+        with self._guard:
+            # Most pipeline stages (lex, parse, plan on a warm cache)
+            # touch no pages at all; one integer compare skips the
+            # copies and the scan.  The version also moves on writes
+            # to *other* scopes, so scoped deltas fall through to the
+            # dict comparison -- the fast path stays exact.
+            if scope is None and version == self._version:
+                return _EMPTY_DELTA
+            reads, writes = self._counter_maps(scope)
+            if reads == before_reads and writes == before_writes:
+                return _EMPTY_DELTA
+            now_reads, now_writes = dict(reads), dict(writes)
+        user_reads = user_writes = system_reads = system_writes = 0
+        by_relation: "dict[str, IOCounters]" = {}
+        for name in now_reads.keys() | now_writes.keys():
+            reads = now_reads.get(name, 0) - before_reads.get(name, 0)
+            writes = now_writes.get(name, 0) - before_writes.get(name, 0)
+            if reads == 0 and writes == 0:
+                continue
+            by_relation[name] = IOCounters(reads, writes)
+            if name in self._system_names:
+                system_reads += reads
+                system_writes += writes
+            else:
+                user_reads += reads
+                user_writes += writes
+        return IODelta(
+            user=IOCounters(user_reads, user_writes),
+            system=IOCounters(system_reads, system_writes),
+            by_relation=by_relation,
+        )
 
     def delta(self, since: "dict[str, IOCounters]", scope=None) -> IODelta:
         """I/O performed since the *since* checkpoint."""
@@ -249,6 +471,7 @@ class IOStats:
         arrival order of worker results yields identical totals.
         """
         with self._guard:
+            self._version += 1
             for name in exported.get("system", ()):
                 self._system_names.add(name)
             for kind, totals, scoped in (
@@ -270,6 +493,7 @@ class IOStats:
     def reset(self) -> None:
         """Zero all counters (relation registrations are kept)."""
         with self._guard:
+            self._version += 1
             for name in self._reads:
                 self._reads[name] = 0
             for name in self._writes:

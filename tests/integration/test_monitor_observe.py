@@ -1,0 +1,206 @@
+"""Monitor observability meta-commands over every transport.
+
+``\\stats`` and ``\\trace`` work on local in-memory sessions, durable
+``file:`` sessions, and remote ``tcp://`` sessions alike; commands that
+inspect the in-process engine (``\\metrics``, ``\\slowlog``) refuse
+politely over the wire.  The stats rows key on fingerprints, so the
+same statement shape -- whatever its literal values or ``$name``
+bindings -- accumulates into one row.
+"""
+
+from __future__ import annotations
+
+import io
+
+import repro
+from repro.engine.database import TemporalDatabase
+from repro.monitor import Monitor
+from repro.observe.stats import SlowQueryLog, fingerprint
+from repro.server.server import ServerThread
+
+SETUP = [
+    "create emp (name = c10, sal = i4)",
+    'append to emp (name = "ahn", sal = 30000)',
+    'append to emp (name = "snodgrass", sal = 42000)',
+    "range of e is emp",
+]
+
+QUERY_FP = fingerprint('retrieve (e.sal) where e.name = "ahn"')
+
+
+def make_monitor(session=None, db=None):
+    out = io.StringIO()
+    return Monitor(session=session, db=db, out=out), out
+
+
+def run_setup(monitor):
+    for statement in SETUP:
+        monitor.handle(statement)
+
+
+class TestStatsCommand:
+    def test_local_session_renders_the_store(self):
+        monitor, out = make_monitor(db=TemporalDatabase("t"))
+        run_setup(monitor)
+        monitor.handle('retrieve (e.sal) where e.name = "ahn"')
+        monitor.handle("\\stats")
+        text = out.getvalue()
+        assert "pred/act" in text
+        assert QUERY_FP[:40] in text
+
+    def test_file_transport(self, tmp_path):
+        with repro.connect(f"file:{tmp_path / 'db'}") as session:
+            monitor, out = make_monitor(session=session)
+            run_setup(monitor)
+            monitor.handle('retrieve (e.sal) where e.name = "ahn"')
+            monitor.handle("\\stats 5")
+        assert QUERY_FP[:40] in out.getvalue()
+
+    def test_tcp_transport(self):
+        db = TemporalDatabase("t")
+        with ServerThread(db) as server:
+            with repro.connect(server.url) as session:
+                monitor, out = make_monitor(session=session)
+                run_setup(monitor)
+                monitor.handle('retrieve (e.sal) where e.name = "ahn"')
+                monitor.handle("\\stats")
+        text = out.getvalue()
+        assert "needs the in-process engine" not in text
+        assert QUERY_FP[:40] in text
+
+    def test_fingerprint_stable_across_literals_and_bindings(self):
+        db = TemporalDatabase("t")
+        monitor, out = make_monitor(db=db)
+        run_setup(monitor)
+        # Two literal values and a $name binding: one statement shape.
+        monitor.handle('retrieve (e.sal) where e.name = "ahn"')
+        monitor.handle('retrieve (e.sal) where e.name = "snodgrass"')
+        query = monitor.session.prepare(
+            "retrieve (e.sal) where e.name = $name"
+        )
+        query.execute(params={"name": "ahn"})
+        entry = db.query_stats.get(QUERY_FP)
+        assert entry is not None
+        assert entry.calls == 3
+        assert entry.plan_cache_hits >= 1
+        monitor.handle("\\stats")
+        # Exactly one stats row carries this shape.
+        rows = [
+            line for line in out.getvalue().splitlines()
+            if QUERY_FP[:40] in line
+        ]
+        assert len(rows) == 1
+
+    def test_bad_count_prints_usage(self):
+        monitor, out = make_monitor(db=TemporalDatabase("t"))
+        monitor.handle("\\stats many")
+        assert "usage: \\stats [n]" in out.getvalue()
+
+
+class TestTraceCommand:
+    def test_local_toggle_and_last(self):
+        monitor, out = make_monitor(db=TemporalDatabase("t"))
+        run_setup(monitor)
+        monitor.handle("\\trace on")
+        monitor.handle("retrieve (e.sal)")
+        monitor.handle("\\trace last")
+        monitor.handle("\\trace off")
+        text = out.getvalue()
+        assert "tracing on" in text
+        assert "statement" in text
+        assert "tracing off" in text
+
+    def test_tcp_last_merges_server_spans(self):
+        db = TemporalDatabase("t")
+        with ServerThread(db) as server:
+            with repro.connect(server.url) as session:
+                monitor, out = make_monitor(session=session)
+                run_setup(monitor)
+                monitor.handle("\\trace on")
+                monitor.handle("retrieve (e.sal)")
+                monitor.handle("\\trace last")
+        text = out.getvalue()
+        assert "lane=client" in text
+        assert "lane=server" in text
+
+    def test_no_trace_yet_hints(self):
+        monitor, out = make_monitor(db=TemporalDatabase("t"))
+        monitor.handle("\\trace on")
+        monitor.handle("\\trace last")
+        assert "no traced statement yet" in out.getvalue()
+
+    def test_bad_mode_prints_usage(self):
+        monitor, out = make_monitor(db=TemporalDatabase("t"))
+        monitor.handle("\\trace sideways")
+        assert "usage: \\trace [on|off|last]" in out.getvalue()
+
+
+class TestMetricsCommand:
+    def test_local_renders_counters(self):
+        monitor, out = make_monitor(db=TemporalDatabase("t"))
+        run_setup(monitor)
+        monitor.handle("retrieve (e.sal)")
+        monitor.handle("\\metrics")
+        assert "statements" in out.getvalue()
+
+    def test_refused_over_tcp(self):
+        db = TemporalDatabase("t")
+        with ServerThread(db) as server:
+            with repro.connect(server.url) as session:
+                monitor, out = make_monitor(session=session)
+                monitor.handle("\\metrics")
+        assert "needs the in-process engine" in out.getvalue()
+
+
+class TestSlowlogCommand:
+    def test_local_shows_and_clears(self):
+        db = TemporalDatabase("t")
+        db.slowlog = SlowQueryLog(threshold_ms=0.0)
+        monitor, out = make_monitor(db=db)
+        run_setup(monitor)
+        monitor.handle('retrieve (e.sal) where e.name = "ahn"')
+        monitor.handle("\\slowlog")
+        text = out.getvalue()
+        assert 'retrieve (e.sal) where e.name = "ahn"' in text
+        monitor.handle("\\slowlog clear")
+        assert db.slowlog.dump() == []
+
+    def test_refused_over_tcp(self):
+        db = TemporalDatabase("t")
+        with ServerThread(db) as server:
+            with repro.connect(server.url) as session:
+                monitor, out = make_monitor(session=session)
+                monitor.handle("\\slowlog")
+        assert "needs the in-process engine" in out.getvalue()
+
+
+class TestTelemetryCommand:
+    def test_local_exports_artifacts(self, tmp_path):
+        monitor, out = make_monitor(db=TemporalDatabase("t"))
+        run_setup(monitor)
+        monitor.handle("\\trace on")
+        monitor.handle("retrieve (e.sal)")
+        monitor.handle(f"\\telemetry {tmp_path / 'telemetry'}")
+        text = out.getvalue()
+        assert "wrote trace:" in text
+        assert "wrote stats:" in text
+        assert (tmp_path / "telemetry" / "stats.json").exists()
+
+    def test_tcp_without_server_dir_reports_error(self):
+        db = TemporalDatabase("t")
+        with ServerThread(db) as server:
+            with repro.connect(server.url) as session:
+                monitor, out = make_monitor(session=session)
+                run_setup(monitor)
+                try:
+                    monitor.handle("\\telemetry anywhere")
+                except repro.ReproError:
+                    return  # refused: no operator-configured directory
+        # If the monitor caught it itself, it must have printed the
+        # refusal rather than claiming success.
+        assert "wrote" not in out.getvalue()
+
+    def test_usage_without_directory(self):
+        monitor, out = make_monitor(db=TemporalDatabase("t"))
+        monitor.handle("\\telemetry")
+        assert "usage: \\telemetry <directory>" in out.getvalue()

@@ -32,7 +32,9 @@ def finished_span(text="retrieve (e.name)"):
 class TestChromeTrace:
     def test_complete_events_with_nesting(self):
         trace = chrome_trace([finished_span()])
-        events = trace["traceEvents"]
+        metadata = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in metadata] == ["repro:engine"]
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
         assert [event["name"] for event in events] == [
             "statement",
             "lex",
@@ -63,7 +65,11 @@ class TestChromeTrace:
     def test_timestamps_relative_to_earliest_root(self):
         spans = [finished_span("a"), finished_span("b")]
         trace = chrome_trace(spans)
-        first = min(event["ts"] for event in trace["traceEvents"])
+        first = min(
+            event["ts"]
+            for event in trace["traceEvents"]
+            if event["ph"] == "X"
+        )
         assert first == 0.0
 
     def test_unstarted_and_empty_spans_are_skipped(self):
@@ -141,6 +147,8 @@ class TestExportTelemetry:
             "metrics_json",
             "events",
             "heatmap",
+            "stats",
+            "stats_prom",
         }
         trace = json.loads((tmp_path / "telemetry" / "trace.json").read_text())
         statements = [

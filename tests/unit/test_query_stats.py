@@ -1,0 +1,202 @@
+"""Unit tests for the query-statistics store (repro.observe.stats)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observe.stats import (
+    QueryStats,
+    QueryStatsStore,
+    SlowQueryLog,
+    fingerprint,
+    growth_rate_for,
+    stats_prometheus_text,
+)
+
+
+class TestFingerprint:
+    def test_literals_are_stripped(self):
+        a = fingerprint('append to emp (name = "ahn", sal = 30000)')
+        b = fingerprint('append to emp (name = "snodgrass", sal = 42)')
+        assert a == b
+        assert '"ahn"' not in a and "30000" not in a
+
+    def test_parameters_and_literals_normalize_identically(self):
+        bound = fingerprint("retrieve (e.sal) where e.name = $name")
+        literal = fingerprint('retrieve (e.sal) where e.name = "ahn"')
+        assert bound == literal
+
+    def test_whitespace_and_case_insensitive(self):
+        a = fingerprint("RETRIEVE   (e.sal)\n  where e.id = 7")
+        b = fingerprint("retrieve (e.sal) where e.id = 9")
+        assert a == b
+
+    def test_different_shapes_stay_distinct(self):
+        assert fingerprint("retrieve (e.sal)") != fingerprint(
+            "retrieve (e.name)"
+        )
+
+    def test_unlexable_text_falls_back_to_normalized_text(self):
+        fp = fingerprint("retrieve (e.sal) where e.name = \x01")
+        assert fp  # still a stable, non-empty key
+        assert fp == fingerprint("retrieve (e.sal)  WHERE e.name = \x01")
+
+
+class TestGrowthRateFor:
+    def test_static_has_no_growth(self):
+        assert growth_rate_for("static", 100) is None
+
+    def test_rollback_and_historical_equal_loading(self):
+        assert growth_rate_for("rollback", 100) == pytest.approx(1.0)
+        assert growth_rate_for("historical", 50) == pytest.approx(0.5)
+
+    def test_temporal_doubles_the_loading_factor(self):
+        assert growth_rate_for("temporal", 100) == pytest.approx(2.0)
+        assert growth_rate_for("temporal", 50) == pytest.approx(1.0)
+
+    def test_matches_bench_cost_model(self):
+        from repro.bench.costmodel import expected_growth_rate
+        from repro.catalog.schema import DatabaseType
+
+        for db_type in DatabaseType:
+            for loading in (50, 100):
+                assert expected_growth_rate(db_type, loading) == (
+                    growth_rate_for(db_type.value, loading)
+                )
+
+
+class TestQueryStatsStore:
+    def test_record_aggregates_per_fingerprint(self):
+        store = QueryStatsStore()
+        fp = fingerprint("retrieve (e.sal)")
+        store.record(fp, text="retrieve (e.sal)", kind="retrieve",
+                     elapsed=0.002, rows=3, input_pages=2)
+        store.record(fp, text="retrieve (e.sal)", kind="retrieve",
+                     elapsed=0.004, rows=3, input_pages=2,
+                     plan_cache_hit=True)
+        entry = store.get(fp)
+        assert entry.calls == 2
+        assert entry.rows == 6
+        assert entry.input_pages == 4
+        assert entry.plan_cache_hits == 1
+        assert entry.mean_ms == pytest.approx(3.0, rel=0.01)
+        assert entry.max_s == pytest.approx(0.004)
+
+    def test_prediction_anchors_on_first_metered_execution(self):
+        store = QueryStatsStore()
+        fp = "q"
+        # Baseline: 10 pages at update count 0, growth rate 1.0.  The
+        # anchoring execution predicts itself exactly by construction.
+        predicted = store.record(fp, elapsed=0.001, input_pages=10,
+                                 update_count=0, growth_rate=1.0)
+        assert predicted == pytest.approx(10.0)
+        # Second execution at update count 2: 10 * (1 + 1*2) = 30.
+        predicted = store.record(fp, elapsed=0.001, input_pages=30,
+                                 update_count=2, growth_rate=1.0)
+        assert predicted == pytest.approx(30.0)
+        entry = store.get(fp)
+        assert entry.prediction_ratio == pytest.approx(1.0)
+
+    def test_static_prediction_is_flat(self):
+        store = QueryStatsStore()
+        store.record("q", elapsed=0.001, input_pages=5,
+                     update_count=0, growth_rate=None)
+        predicted = store.record("q", elapsed=0.001, input_pages=5,
+                                 update_count=9, growth_rate=None)
+        assert predicted == pytest.approx(5.0)
+
+    def test_errors_and_retries_accumulate(self):
+        store = QueryStatsStore()
+        store.record_error("q", text="boom")
+        store.record_retry("q", 2)
+        entry = store.get("q")
+        assert entry.errors == 1
+        assert entry.retries == 2
+
+    def test_top_orders_by_total_latency(self):
+        store = QueryStatsStore()
+        store.record("cheap", elapsed=0.001)
+        store.record("dear", elapsed=0.5)
+        assert [e.fingerprint for e in store.top(2)] == ["dear", "cheap"]
+
+    def test_snapshot_restore_round_trip(self):
+        store = QueryStatsStore()
+        store.record("q", text="retrieve (e.sal)", kind="retrieve",
+                     elapsed=0.003, rows=1, input_pages=4,
+                     pages_by_method={"hash": 4},
+                     update_count=0, growth_rate=1.0)
+        snapshot = store.snapshot()
+        json.dumps(snapshot)  # wire/checkpoint safe
+        clone = QueryStatsStore()
+        clone.restore(snapshot)
+        entry = clone.get("q")
+        assert entry.calls == 1
+        assert entry.pages_by_method == {"hash": 4}
+        assert entry.baseline_pages == 4
+
+    def test_capacity_evicts_least_recently_recorded(self):
+        store = QueryStatsStore(capacity=2)
+        store.record("a", elapsed=0.1)
+        store.record("b", elapsed=0.1)
+        store.record("c", elapsed=0.1)
+        assert store.get("a") is None
+        assert store.get("b") is not None and store.get("c") is not None
+
+    def test_render_mentions_prediction_column(self):
+        store = QueryStatsStore()
+        store.record("q", elapsed=0.001, input_pages=3,
+                     update_count=0, growth_rate=1.0)
+        store.record("q", elapsed=0.001, input_pages=3,
+                     update_count=0, growth_rate=1.0)
+        assert "pred/act" in store.render()
+        assert "1.00" in store.render()
+
+    def test_prometheus_text_labels_by_digest(self):
+        store = QueryStatsStore()
+        store.record("retrieve ( e . sal )", elapsed=0.002, rows=1,
+                     input_pages=2, pages_by_method={"isam": 2})
+        text = stats_prometheus_text(store)
+        assert "repro_query_calls_total" in text
+        assert 'method="isam"' in text
+        assert "query=" in text
+
+
+class TestQueryStatsEntry:
+    def test_from_dict_tolerates_missing_fields(self):
+        entry = QueryStats.from_dict({"fingerprint": "q"})
+        assert entry.calls == 0
+        assert entry.prediction_ratio is None
+
+
+class TestSlowQueryLog:
+    def test_disabled_by_default(self):
+        log = SlowQueryLog()
+        assert not log.enabled
+        assert not log.should_log(10.0)
+
+    def test_threshold_gates_logging(self):
+        log = SlowQueryLog(threshold_ms=5.0)
+        assert log.enabled
+        assert not log.should_log(0.004)
+        assert log.should_log(0.006)
+
+    def test_capacity_bounds_entries(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=2)
+        for i in range(4):
+            log.record(text=f"q{i}", elapsed_ms=float(i))
+        texts = [entry["text"] for entry in log.dump()]
+        assert texts == ["q2", "q3"]
+
+    def test_jsonl_is_one_object_per_line(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record(text="q", elapsed_ms=1.0, input_pages=3)
+        lines = log.jsonl().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["input_pages"] == 3
+
+    def test_env_threshold(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "2.5")
+        log = SlowQueryLog()
+        assert log.threshold_ms == pytest.approx(2.5)

@@ -1,0 +1,192 @@
+"""Unit tests for trace-context propagation primitives.
+
+Covers span trace/span-id stamping, ``Span.from_dict`` rebuilding,
+remote-context adoption in the tracer, the deterministic sampler behind
+``REPRO_TRACE_SAMPLE``, and ``IODelta.from_scope_export``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observe.span import Span, new_span_id, new_trace_id
+from repro.observe.trace import Tracer
+from repro.storage.iostats import IODelta, IOStats
+
+
+def stats_with(*names):
+    stats = IOStats()
+    for name in names:
+        stats.register(name)
+    return stats
+
+
+class TestSpanIds:
+    def test_trace_and_span_ids_are_unique(self):
+        assert new_trace_id() != new_trace_id()
+        assert new_span_id() != new_span_id()
+
+    def test_stage_children_inherit_the_trace(self):
+        span = Span("statement", stats_with("r"), {})
+        span.trace_id = new_trace_id()
+        span.span_id = new_span_id()
+        span.start()
+        with span.stage("execute") as child:
+            pass
+        span.finish()
+        assert child.trace_id == span.trace_id
+        assert child.parent_id == span.span_id
+        assert child.span_id not in (None, span.span_id)
+
+    def test_untraced_statements_carry_no_ids(self):
+        span = Span("statement", stats_with("r"), {})
+        span.start()
+        with span.stage("execute") as child:
+            pass
+        span.finish()
+        assert span.trace_id is None and child.trace_id is None
+        assert "trace_id" not in span.as_dict()
+
+    def test_adopt_reparents_a_foreign_span(self):
+        root = Span("statement", stats_with("r"), {})
+        root.trace_id = new_trace_id()
+        root.span_id = new_span_id()
+        root.start()
+        worker = Span("worker", None, {"lane": "worker"})
+        worker.trace_id = root.trace_id
+        worker.span_id = new_span_id()
+        adopted = root.adopt(worker)
+        root.finish()
+        assert adopted in root.children
+        assert adopted.parent_id == root.span_id
+
+    def test_from_dict_round_trips_ids_io_and_children(self):
+        stats = stats_with("r")
+        span = Span("statement", stats, {"text": "retrieve (x.id)"})
+        span.trace_id = new_trace_id()
+        span.span_id = new_span_id()
+        span.start()
+        with span.stage("execute"):
+            stats.record_read("r")
+        span.finish()
+        clone = Span.from_dict(span.as_dict())
+        assert clone.trace_id == span.trace_id
+        assert clone.span_id == span.span_id
+        assert clone.duration == pytest.approx(span.duration)
+        assert [c.name for c in clone.children] == ["execute"]
+        assert clone.io.input_pages == span.io.input_pages
+        # The rebuilt tree renders like the original.
+        assert clone.render().splitlines()[0].startswith("statement")
+
+
+class TestTracerContextAdoption:
+    def test_context_forces_tracing_on_a_disabled_tracer(self):
+        tracer = Tracer(None)  # disabled
+        context = {"trace_id": "cafe0123", "span_id": "1.2"}
+        with tracer.statement("retrieve (x.id)", context=context) as span:
+            assert span.enabled
+            assert span.trace_id == "cafe0123"
+            assert span.parent_id == "1.2"
+        adopted = tracer.take_adopted("cafe0123")
+        assert adopted is span
+        # take_adopted pops: a second take finds nothing.
+        assert tracer.take_adopted("cafe0123") is None
+
+    def test_local_statements_get_fresh_trace_ids(self):
+        tracer = Tracer(None)
+        tracer.enable()
+        with tracer.statement("a") as first:
+            pass
+        with tracer.statement("b") as second:
+            pass
+        assert first.trace_id and second.trace_id
+        assert first.trace_id != second.trace_id
+        # Local statements are not parked for remote pickup.
+        assert tracer.take_adopted(first.trace_id) is None
+
+    def test_active_span_is_visible_during_execution(self):
+        tracer = Tracer(None)
+        tracer.enable()
+        assert tracer.active_span is None
+        with tracer.statement("a") as span:
+            assert tracer.active_span is span
+        assert tracer.active_span is None
+
+    def test_adopted_buffer_is_bounded(self):
+        tracer = Tracer(None)
+        for i in range(100):
+            with tracer.statement("q", context={"trace_id": f"t{i}",
+                                                "span_id": "1.1"}):
+                pass
+        assert tracer.take_adopted("t0") is None  # evicted
+        assert tracer.take_adopted("t99") is not None
+
+
+class TestSampling:
+    def test_sample_zero_disables_tracing(self):
+        tracer = Tracer(None, enabled=True, sample=0.0)
+        with tracer.statement("q") as span:
+            assert not span.enabled
+
+    def test_sample_one_traces_everything(self):
+        tracer = Tracer(None, enabled=True, sample=1.0)
+        for _ in range(5):
+            with tracer.statement("q") as span:
+                assert span.enabled
+
+    def test_sampling_is_deterministic_given_the_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SEED", "7")
+
+        def decisions():
+            tracer = Tracer(None, enabled=True, sample=0.5)
+            out = []
+            for _ in range(20):
+                with tracer.statement("q") as span:
+                    out.append(span.enabled)
+            return out
+
+        first, second = decisions(), decisions()
+        assert first == second
+        assert True in first and False in first
+
+    def test_env_knob_is_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "7.5")
+        assert Tracer(None).sample == 1.0
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "-1")
+        assert Tracer(None).sample == 0.0
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "bogus")
+        assert Tracer(None).sample == 1.0
+
+    def test_force_bypasses_sampling(self):
+        tracer = Tracer(None, enabled=True, sample=0.0)
+        with tracer.force():
+            with tracer.statement("explain analyze target") as span:
+                assert span.enabled
+
+    def test_remote_context_bypasses_sampling(self):
+        tracer = Tracer(None, enabled=True, sample=0.0)
+        context = {"trace_id": "abcd", "span_id": "1.1"}
+        with tracer.statement("q", context=context) as span:
+            assert span.enabled
+
+
+class TestIODeltaFromScopeExport:
+    def test_rebuilds_user_and_system_totals(self):
+        delta = IODelta.from_scope_export(
+            {
+                "reads": {"r#0": 3, "relations": 1},
+                "writes": {"r#0": 1},
+                "system": ["relations"],
+            }
+        )
+        assert delta.input_pages == 3
+        assert delta.output_pages == 1
+        assert delta.system.reads == 1
+        by_name = delta.as_dict()["by_relation"]
+        assert by_name["r#0"] == {"reads": 3, "writes": 1}
+
+    def test_empty_export(self):
+        delta = IODelta.from_scope_export(
+            {"reads": {}, "writes": {}, "system": []}
+        )
+        assert delta.input_pages == 0 and delta.output_pages == 0
