@@ -157,6 +157,20 @@ class _IndexFile:
         self._built = bool(meta["built"])
         self._store.restore_meta(meta["store"])
 
+    def probe_pages(self) -> float:
+        """Index pages one equality search reads (unmetered estimate).
+
+        A heap index is scanned whole; a hash index reads one bucket
+        chain.  Feeds the planner's cost model.
+        """
+        if not self._built or not self.page_count:
+            return 0.0
+        if self._structure is StructureKind.HASH:
+            return max(
+                1.0, self.page_count / max(1, self._store.buckets)
+            )
+        return float(self.page_count)
+
     def search(self, key) -> "Iterator[int]":
         """Yield tids whose entry key equals *key* (metered index reads)."""
         if not self._built:
@@ -214,6 +228,13 @@ class SecondaryIndex:
         total = self._current.entry_count
         if self._history is not None:
             total += self._history.entry_count
+        return total
+
+    def search_pages(self) -> float:
+        """Index pages one equality search reads (both levels)."""
+        total = self._current.probe_pages()
+        if self._history is not None:
+            total += self._history.probe_pages()
         return total
 
     def build(

@@ -157,6 +157,7 @@ class TemporalDatabase:
         buffers_per_relation: int = 1,
         batch_execution: "bool | None" = None,
         atomic_statements: bool = True,
+        optimizer: "bool | None" = None,
     ):
         self.name = name
         self.clock = clock if clock is not None else Clock()
@@ -177,6 +178,21 @@ class TemporalDatabase:
 
             batch_execution = interpreter.DEFAULT_BATCH_EXECUTION
         self.batch_execution = bool(batch_execution)
+        # The cost-based optimizer (repro.engine.planner): per statement
+        # variable the planner prices every feasible access path with the
+        # paper's Fig. 9 law and picks the cheapest.  ``False`` restores
+        # the fixed keyed-probe/index/scan strategy -- the differential
+        # tests compare the two.  ``None`` defers to the planner module's
+        # default (overridable with REPRO_OPTIMIZER, so subprocess
+        # benchmark workers inherit the choice).
+        if optimizer is None:
+            from repro.engine import planner as planner_module
+
+            optimizer = planner_module.DEFAULT_OPTIMIZER
+        self.optimizer_enabled = bool(optimizer)
+        from repro.engine.planner import Planner
+
+        self.planner = Planner(self)
         self.pool = BufferPool(default_buffers=buffers_per_relation)
         self.catalog = SystemCatalog(self.pool)
         self.temporaries = TemporaryFactory(self.pool)
@@ -218,6 +234,11 @@ class TemporalDatabase:
         self._plan_cache: "OrderedDict[str, _PlanEntry]" = OrderedDict()
         self._plan_cache_capacity = PLAN_CACHE_CAPACITY
         self._catalog_epoch = 0
+        # Statistics epoch: bumped whenever catalog statistics move
+        # enough to invalidate planner decisions (DDL, bulk load,
+        # vacuum).  Part of every plan key, so a bump means no stale
+        # plan is ever served; persisted in checkpoint manifests.
+        self._stats_epoch = 0
         # Multi-session concurrency (see repro.engine.concurrency):
         # per-relation read/write latches plus the catalog latch order
         # physical page access; the ambient SessionContext -- installed
@@ -602,6 +623,7 @@ class TemporalDatabase:
                 rows=kept,
             )
             self.pool.flush_all()
+            self.bump_stats_epoch()
         return removed
 
     def destroy_relation(self, name: str) -> None:
@@ -644,6 +666,9 @@ class TemporalDatabase:
         with self._atomic_scope():
             count = mutate.load_rows(relation, list(rows), self.statement_now())
         self.pool.flush_statement()
+        # A bulk load moves tuple counts wholesale; expire cached
+        # planner decisions so the next execution re-prices its paths.
+        self.bump_stats_epoch()
         return count
 
     def copy_out(self, name: str) -> "list[tuple]":
@@ -753,6 +778,46 @@ class TemporalDatabase:
     def _invalidate_plans(self) -> None:
         """DDL or range-table change: cached semantic analyses are stale."""
         self._catalog_epoch += 1
+        # DDL moves catalog statistics too (structures rebuilt, indexes
+        # added, partitions created), so planner decisions expire with
+        # the analyses.
+        self.bump_stats_epoch()
+
+    @property
+    def stats_epoch(self) -> int:
+        """The catalog-statistics epoch planner decisions are keyed on."""
+        return self._stats_epoch
+
+    def bump_stats_epoch(self) -> None:
+        """Catalog statistics moved: expire cached planner decisions."""
+        self._stats_epoch += 1
+
+    def relation_stats(self, name: str) -> dict:
+        """The catalog statistics the planner feeds the Fig. 9 model.
+
+        Unmetered structure metadata: logical page/row volumes, the
+        update count (the paper's *n*), fillfactor, access method,
+        indexes, and -- for partitioned relations -- partition count and
+        per-partition transaction-time lower bounds.
+        """
+        relation = self._require_user_relation(name)
+        stats = {
+            "structure": relation.structure.value,
+            "pages": relation.page_count,
+            "rows": relation.row_count,
+            "updates": self._update_counts.get(name, 0),
+            "fillfactor": relation.fillfactor,
+            "key": relation.key_attribute,
+            "indexes": sorted(relation.indexes),
+            "stats_epoch": self._stats_epoch,
+        }
+        if getattr(relation, "is_partitioned", False):
+            stats["partitions"] = relation.partition_count
+            stats["parallel"] = relation.parallel
+            stats["tx_min"] = list(relation.tx_min)
+        if getattr(relation, "is_two_level", False):
+            stats["tuples"] = relation.storage.primary.row_count
+        return stats
 
     def _plan_entry(self, text: str, span=NULL_SPAN) -> _PlanEntry:
         """The plan-cache entry for *text*, lexing and parsing on a miss."""
@@ -1135,7 +1200,19 @@ class TemporalDatabase:
             if analysis is None:
                 analysis = self._analysis_for(entry, index, span)
             with span.stage("plan"):
-                executor = Executor(self, analysis, params=params)
+                # The plan cache keys on (fingerprint, range table,
+                # catalog epoch, stats epoch): the planner's cached
+                # access-path decisions expire whenever DDL or bulk
+                # loads move the statistics they priced.
+                plan_key = (
+                    entry.fingerprint(index),
+                    self._ranges_key(),
+                    self._catalog_epoch,
+                    self._stats_epoch,
+                )
+                executor = Executor(
+                    self, analysis, params=params, plan_key=plan_key
+                )
             if isinstance(statement, ast.RetrieveStmt):
                 return executor.run_retrieve
             if isinstance(statement, ast.AppendStmt):

@@ -558,10 +558,17 @@ class PartitionedRelation:
         self,
         current_only: bool = False,
         asof_max: "int | None" = None,
+        gather: "str | None" = None,
     ) -> "Iterator[list[tuple]]":
-        """Pruned scan yielding per-page row batches, in partition order."""
+        """Pruned scan yielding per-page row batches, in partition order.
+
+        *gather* overrides the relation's configured mode for this scan
+        only -- the planner forces ``"serial"`` when the surviving
+        partitions hold too few pages for fan-out to pay off.
+        """
         survivors = self.survivors(asof_max)
-        if self.parallel == "serial" or len(survivors) < 2:
+        mode = gather if gather is not None else self.parallel
+        if mode == "serial" or len(survivors) < 2:
             for pid in survivors:
                 yield from self.children[pid].scan_batches(
                     current_only, asof_max

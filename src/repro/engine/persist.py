@@ -326,6 +326,20 @@ def save(db, path) -> None:
         # the same way).  Absent on older checkpoints -- load() treats
         # the key as optional.
         manifest["querystats"] = query_stats.snapshot()
+    update_counts = getattr(db, "_update_counts", None)
+    if update_counts is not None:
+        # Optimizer statistics ride along too: the Fig. 9 cost model's
+        # update counts and the epoch that invalidates cached plans.
+        # Absent on older checkpoints -- load() treats the key as
+        # optional.
+        manifest["catalogstats"] = {
+            "stats_epoch": getattr(db, "_stats_epoch", 0),
+            "update_counts": {
+                name: count
+                for name, count in sorted(update_counts.items())
+                if count
+            },
+        }
     # The manifest is written and fsynced last: its presence marks the
     # journal directory complete (its checksums then prove the rest).
     with open(tmp / MANIFEST, "w", encoding="ascii") as handle:
@@ -692,6 +706,12 @@ def load(path, database_class=None, salvage: bool = False):
     query_stats = getattr(db, "query_stats", None)
     if query_stats is not None and manifest.get("querystats"):
         query_stats.restore(manifest["querystats"])
+    catalog_stats = manifest.get("catalogstats")
+    if catalog_stats and hasattr(db, "_update_counts"):
+        db._update_counts.clear()
+        for name, count in catalog_stats.get("update_counts", {}).items():
+            db._update_counts[name] = int(count)
+        db._stats_epoch = int(catalog_stats.get("stats_epoch", 0))
     if salvage:
         db.salvage_report = report
     recorder = getattr(db, "recorder", None)

@@ -29,6 +29,10 @@ Statements are plain TQuel; meta-commands start with a backslash:
                (``\\stats 5`` shows 5); works over every transport
 ``\\slowlog``   show the slow-query log (``\\slowlog 5``; ``clear``
                empties it; enable with ``REPRO_SLOW_QUERY_MS``)
+``\\planner``   cost-based optimizer state: stats epoch, decision-cache
+               size and counters (``on``/``off`` toggles the optimizer;
+               ``\\planner emp`` shows the catalog statistics the cost
+               model sees for one relation)
 ``\\metrics``   show engine metrics and the buffer-pool hit rate
                (``reset`` clears metrics and trace history; ``storage``
                refreshes page/overflow-chain gauges first)
@@ -109,7 +113,7 @@ class Monitor:
         # snapshot the stats wire op ships back.
         needs_engine = {
             "check", "save", "restore", "clock", "metrics", "events",
-            "heatmap", "failpoints", "slowlog",
+            "heatmap", "failpoints", "slowlog", "planner",
         }
         if command in needs_engine and self._local_db(command) is None:
             return
@@ -159,6 +163,8 @@ class Monitor:
             self._stats_command(parts[1:])
         elif command == "slowlog":
             self._slowlog_command(parts[1:])
+        elif command == "planner":
+            self._planner_command(parts[1:])
         elif command == "metrics":
             self._metrics_command(parts[1:])
         elif command == "events":
@@ -300,6 +306,34 @@ class Monitor:
                 return
         for line in slowlog.render(n).split("\n"):
             self._print("  " + line)
+
+    def _planner_command(self, args: "list[str]") -> None:
+        db = self.db
+        if args and args[0] in ("on", "off"):
+            db.optimizer_enabled = args[0] == "on"
+            db.planner.clear()
+            self._print(f"optimizer {args[0]}")
+            return
+        if args:
+            # \planner name: the catalog statistics the cost model sees.
+            name = args[0]
+            try:
+                stats = db.relation_stats(name)
+            except ReproError as error:
+                self._print(f"  {error}")
+                return
+            for key in sorted(stats):
+                self._print(f"  {key}: {stats[key]}")
+            return
+        state = "on" if db.optimizer_enabled else "off"
+        self._print(f"  optimizer: {state}")
+        self._print(f"  stats epoch: {db.stats_epoch}")
+        self._print(f"  cached decisions: {db.planner.cached_decisions}")
+        for counter in ("planner.decisions", "planner.cache_hits",
+                        "planner.cache_misses"):
+            value = db.metrics.counter_value(counter)
+            if value:
+                self._print(f"  {counter}: {value}")
 
     def _metrics_command(self, args: "list[str]") -> None:
         if args and args[0] == "reset":

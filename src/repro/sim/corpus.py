@@ -13,6 +13,7 @@ replay needs:
     -- structure: btree
     -- batch: on
     -- atomic: off
+    -- optimizer: on
 
     create persistent interval r0 (id = i4, a0 = i4)
     modify r0 to btree on id
@@ -53,6 +54,7 @@ def write_case(path, report: RunReport) -> Path:
         f"-- structure: {config.structure}",
         f"-- batch: {'on' if config.batch else 'off'}",
         f"-- atomic: {'on' if config.atomic else 'off'}",
+        f"-- optimizer: {'on' if config.optimizer else 'off'}",
     ]
     if report.divergence is not None:
         lines.append(f"-- diverges: {report.divergence.kind}")
@@ -91,6 +93,7 @@ def read_case(path) -> "tuple[Workload, Config, dict]":
         structure=meta.get("structure", "heap"),
         batch=_FLAGS.get(meta.get("batch", "on"), True),
         atomic=_FLAGS.get(meta.get("atomic", "on"), True),
+        optimizer=_FLAGS.get(meta.get("optimizer", "on"), True),
     )
     return workload, config, meta
 

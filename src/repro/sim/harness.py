@@ -51,13 +51,17 @@ class Config:
     structure: str = "heap"
     batch: bool = True
     atomic: bool = True
+    optimizer: bool = True
 
     @property
     def label(self) -> str:
+        # The optimizer segment only appears when the default is
+        # overridden, so pre-optimizer labels stay stable.
+        suffix = "" if self.optimizer else "/optimizer=off"
         return (
             f"{self.structure}/"
             f"batch={'on' if self.batch else 'off'}/"
-            f"atomic={'on' if self.atomic else 'off'}"
+            f"atomic={'on' if self.atomic else 'off'}{suffix}"
         )
 
 
@@ -235,6 +239,7 @@ def run_workload(
             clock=Clock(start=workload.clock_start, tick=workload.clock_tick),
             batch_execution=config.batch,
             atomic_statements=config.atomic,
+            optimizer=config.optimizer,
         )
     )
     oracle = Oracle(start=workload.clock_start, tick=workload.clock_tick)

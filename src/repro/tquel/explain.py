@@ -11,7 +11,11 @@ narration for any retrieve:
 * the tuple-substitution order;
 * each loop depth's access path -- keyed (hash/ISAM), secondary index, or
   sequential scan -- and whether enhanced structures serve it from
-  current data only.
+  current data only;
+* with the cost-based optimizer on, a ``cost:`` section pricing the
+  chosen path and every rejected alternative in predicted page reads
+  (the Fig. 9 model over catalog statistics), and -- under ANALYZE --
+  predicted versus actually-metered pages.
 
 The plan is derived with the executor's own decision procedures, so what
 EXPLAIN prints is what execution does; nothing is read or written.
@@ -31,7 +35,36 @@ class _PlannedTemporary:
     """Sentinel marking a variable as detached during dry planning."""
 
 
-def _access_description(executor: Executor, var: str, bound: set) -> str:
+def _partition_suffix(executor, relation, source, gather=None) -> str:
+    pruned = ""
+    if executor._asof_period is not None and source.layout.tx is not None:
+        survivors = len(
+            relation.survivors(executor._asof_period.stop - 1, count=False)
+        )
+        if survivors < relation.partition_count:
+            pruned = (
+                f", {relation.partition_count - survivors} pruned by"
+                " as-of bounds"
+            )
+    degraded = (
+        ", degraded to serial"
+        if getattr(relation, "gather_degraded", False)
+        else ""
+    )
+    mode = relation.parallel
+    planned = ""
+    if gather is not None and gather != mode:
+        mode = gather
+        planned = " (planner override)"
+    return (
+        f" [{relation.partition_count} {relation.partition_method}"
+        f" partitions, {mode} gather{planned}{pruned}{degraded}]"
+    )
+
+
+def _access_description(
+    executor: Executor, var: str, bound: set, choice=None
+) -> str:
     source = executor._sources[var]
     if source.temp is not None:
         return f"scan temporary({var})"
@@ -46,49 +79,74 @@ def _access_description(executor: Executor, var: str, bound: set) -> str:
     ):
         suffix = " [zone map prunes post-as-of pages]"
     if getattr(relation, "is_partitioned", False):
-        pruned = ""
-        if executor._asof_period is not None and source.layout.tx is not None:
-            survivors = len(
-                relation.survivors(
-                    executor._asof_period.stop - 1, count=False
-                )
-            )
-            if survivors < relation.partition_count:
-                pruned = (
-                    f", {relation.partition_count - survivors} pruned by"
-                    " as-of bounds"
-                )
-        degraded = (
-            ", degraded to serial"
-            if getattr(relation, "gather_degraded", False)
-            else ""
+        suffix += _partition_suffix(
+            executor, relation, source,
+            gather=choice.gather if choice is not None else None,
         )
-        suffix += (
-            f" [{relation.partition_count} {relation.partition_method}"
-            f" partitions, {relation.parallel} gather{pruned}{degraded}]"
+    keyed_position = None
+    if choice is not None:
+        # The planner decided; render the path it actually chose.
+        if choice.kind == "keyed":
+            keyed_position = choice.position
+        elif choice.kind == "index":
+            index = relation.index_for(choice.position)
+            if index is not None:
+                return _index_description(index, source)
+            keyed_position = None
+        else:
+            return f"sequential scan{suffix}"
+    else:
+        for position, _ in executor._find_key_equality(var, bound):
+            if relation.can_key_lookup(position):
+                keyed_position = position
+                break
+    if keyed_position is not None:
+        attribute = relation.schema.fields[keyed_position].name
+        structure = (
+            relation.storage.primary.kind.value
+            if getattr(relation, "is_two_level", False)
+            else relation.structure.value
         )
-    for position, _ in executor._find_key_equality(var, bound):
-        if relation.can_key_lookup(position):
-            attribute = relation.schema.fields[position].name
-            structure = (
-                relation.storage.primary.kind.value
-                if getattr(relation, "is_two_level", False)
-                else relation.structure.value
-            )
-            return f"keyed {structure} access on {attribute}{suffix}"
-    for position, _ in executor._find_key_equality(var, bound):
-        index = relation.index_for(position)
-        if index is not None:
-            levels = (
-                "current index only"
-                if source.current_only and index.levels.value == 2
-                else f"{index.levels.value}-level"
-            )
-            return (
-                f"secondary index {index.name} "
-                f"({index.structure.value}, {levels})"
-            )
+        return f"keyed {structure} access on {attribute}{suffix}"
+    if choice is None:
+        for position, _ in executor._find_key_equality(var, bound):
+            index = relation.index_for(position)
+            if index is not None:
+                return _index_description(index, source)
     return f"sequential scan{suffix}"
+
+
+def _index_description(index, source) -> str:
+    levels = (
+        "current index only"
+        if source.current_only and index.levels.value == 2
+        else f"{index.levels.value}-level"
+    )
+    return (
+        f"secondary index {index.name} "
+        f"({index.structure.value}, {levels})"
+    )
+
+
+def _cost_lines(choices) -> "list[str]":
+    """Render the planner's decisions: chosen path first, then every
+    rejected alternative, each with its Fig. 9 predicted page reads."""
+    lines = ["  cost:"]
+    for var, choice in choices:
+        chosen = choice.chosen
+        if chosen is None:
+            lines.append(f"    {var}: {choice.kind} (not priced)")
+            continue
+        lines.append(
+            f"    {var}: chosen {chosen.description}, predicted "
+            f"{chosen.predicted:.1f} page read(s)"
+        )
+        for alternative in choice.rejected:
+            lines.append(
+                f"    {var}: rejected {alternative.description}, "
+                f"predicted {alternative.predicted:.1f} page read(s)"
+            )
+    return lines
 
 
 def explain(db, text: str, analyze: bool = False) -> str:
@@ -119,6 +177,14 @@ def explain(db, text: str, analyze: bool = False) -> str:
                 f"{format_chronon(period.stop - 1)}"
             )
 
+    choices: "list[tuple[str, object]]" = []
+
+    def choose(var, bound):
+        choice = executor.access_choice(var, bound)
+        if choice is not None:
+            choices.append((var, choice))
+        return choice
+
     order = list(analysis.var_order)
     if len(order) > 1:
         for var in order:
@@ -129,7 +195,9 @@ def explain(db, text: str, analyze: bool = False) -> str:
                     for conjunct in executor._conjuncts
                     if conjunct.vars == frozenset((var,))
                 ]
-                how = _access_description(executor, var, set())
+                how = _access_description(
+                    executor, var, set(), choose(var, set())
+                )
                 lines.append(
                     f"  detach {var} "
                     f"({source.relation.schema.name}) into a temporary "
@@ -152,7 +220,9 @@ def explain(db, text: str, analyze: bool = False) -> str:
         if isinstance(source_temp, _PlannedTemporary):
             how = "scan"
         else:
-            how = _access_description(executor, var, bound)
+            how = _access_description(
+                executor, var, bound, choose(var, bound)
+            )
         lines.append(
             f"  {label} depth {depth}: {var} ({relation_name}) via {how}"
         )
@@ -171,12 +241,22 @@ def explain(db, text: str, analyze: bool = False) -> str:
         lines.append("  deduplicate result rows")
     if statement.into is not None:
         lines.append(f"  store result into {statement.into}")
+    if getattr(db, "optimizer_enabled", False):
+        if choices:
+            lines.extend(_cost_lines(choices))
+    else:
+        lines.append("  cost: optimizer off (fixed access-path strategy)")
     if analyze:
-        lines.extend(_measured_lines(db, text))
+        predicted = None
+        if len(analysis.vars) == 1 and len(choices) == 1:
+            chosen = choices[0][1].chosen
+            if chosen is not None:
+                predicted = chosen.predicted
+        lines.extend(_measured_lines(db, text, predicted))
     return "\n".join(lines)
 
 
-def _measured_lines(db, text: str) -> "list[str]":
+def _measured_lines(db, text: str, predicted: "float | None" = None):
     """Execute *text* under the tracer; render the measured span tree."""
     with db.tracer.force():
         result = db.execute(text)
@@ -188,4 +268,10 @@ def _measured_lines(db, text: str) -> "list[str]":
         f"{result.input_pages} page(s), output {result.output_pages} "
         f"page(s)"
     )
+    if predicted is not None and predicted > 0:
+        ratio = result.input_pages / predicted
+        lines.append(
+            f"  cost model: predicted {predicted:.1f} page read(s), "
+            f"actual {result.input_pages} (ratio {ratio:.2f})"
+        )
     return lines

@@ -77,7 +77,10 @@ class _VarSource:
 class Executor:
     """Executes one analyzed statement against a database."""
 
-    def __init__(self, database, analysis: Analysis, params: "dict | None" = None):
+    def __init__(
+        self, database, analysis: Analysis, params: "dict | None" = None,
+        plan_key: "tuple | None" = None,
+    ):
         self._db = database
         self._analysis = analysis
         self._bindings: "dict[str, tuple]" = {}
@@ -91,6 +94,19 @@ class Executor:
         self._consumed: "set[int]" = set()
         self._batch = bool(
             getattr(database, "batch_execution", DEFAULT_BATCH_EXECUTION)
+        )
+        # Cost-based access-path selection (repro.engine.planner): when
+        # the database runs with the optimizer on, _candidates defers the
+        # keyed/index/scan decision to the planner; plan_key (statement
+        # fingerprint + range table + catalog/stats epochs) keys its
+        # decision cache.  None leaves the fixed strategy in place.
+        self._plan_key = plan_key
+        planner = getattr(database, "planner", None)
+        self._planner = (
+            planner
+            if planner is not None
+            and getattr(database, "optimizer_enabled", False)
+            else None
         )
         self._asof_period = self._resolve_asof()
         for name, info in analysis.vars.items():
@@ -257,6 +273,74 @@ class Executor:
                 )
                 yield position, value_fn
 
+    def _scan_asof_max(self, var: str) -> "int | None":
+        """Upper as-of bound a sequential scan may prune against (zone
+        maps, partition tx_min), or None without one."""
+        source = self._sources[var]
+        if (
+            self._asof_period is not None
+            and source.layout.tx is not None
+        ):
+            return self._asof_period.stop - 1
+        return None
+
+    def access_choice(self, var: str, bound: "set[str]"):
+        """The planner's decision for *var*, or None when the optimizer
+        is off or the variable reads a temporary (always scanned)."""
+        if self._planner is None or self._sources[var].temp is not None:
+            return None
+        return self._planner.choose(self, var, bound, self._plan_key)
+
+    def _planned_source(self, choice, var: str, bound: "set[str]",
+                        batch: bool):
+        """Build the row source the planner chose.
+
+        Key-equality value closures are re-resolved here (decisions are
+        cached across executions; closures are not).  Falls through to a
+        sequential scan, the always-feasible path.
+        """
+        source = self._sources[var]
+        relation = source.relation
+        current_only = source.current_only
+        if choice.kind == "keyed":
+            for position, value_fn in self._find_key_equality(var, bound):
+                if position != choice.position:
+                    continue
+                if batch:
+                    return lambda vf=value_fn: relation.lookup_batches(
+                        vf(None), current_only=current_only
+                    )
+                return lambda vf=value_fn: _lookup_with_rids(
+                    relation, vf(None), current_only
+                )
+        elif choice.kind == "index":
+            for position, value_fn in self._find_key_equality(var, bound):
+                if position != choice.position:
+                    continue
+                index = relation.index_for(position)
+                if index is None or index.name != choice.index_name:
+                    continue
+                if batch:
+                    return lambda idx=index, vf=value_fn: _index_batches(
+                        relation, idx, vf(None), current_only
+                    )
+                return lambda idx=index, vf=value_fn: _index_with_rids(
+                    relation, idx, vf(None), current_only
+                )
+        asof_max = self._scan_asof_max(var)
+        if batch:
+            if choice.gather is not None and getattr(
+                relation, "is_partitioned", False
+            ):
+                return lambda: relation.scan_batches(
+                    current_only=current_only, asof_max=asof_max,
+                    gather=choice.gather,
+                )
+            return lambda: relation.scan_batches(
+                current_only=current_only, asof_max=asof_max
+            )
+        return lambda: _scan_with_rids(relation, current_only, asof_max)
+
     def _candidates(self, var: str, bound: "set[str]"):
         """Build the row source for *var*: a zero-argument callable yielding
         ``(rid, row)`` pairs, re-evaluated for each outer binding."""
@@ -264,6 +348,9 @@ class Executor:
         if source.temp is not None:
             temp = source.temp
             return lambda: _with_rids(temp.scan())
+        choice = self.access_choice(var, bound)
+        if choice is not None:
+            return self._planned_source(choice, var, bound, batch=False)
         relation = source.relation
         current_only = source.current_only
         # 1. keyed access on the primary structure
@@ -281,12 +368,7 @@ class Executor:
                 )
         # 3. sequential scan (a zone map may skip pages recorded after
         # the as-of event)
-        asof_max = None
-        if (
-            self._asof_period is not None
-            and source.layout.tx is not None
-        ):
-            asof_max = self._asof_period.stop - 1
+        asof_max = self._scan_asof_max(var)
         return lambda: _scan_with_rids(relation, current_only, asof_max)
 
     def _batch_candidates(self, var: str, bound: "set[str]"):
@@ -302,6 +384,9 @@ class Executor:
         if source.temp is not None:
             temp = source.temp
             return lambda: temp.scan_batches()
+        choice = self.access_choice(var, bound)
+        if choice is not None:
+            return self._planned_source(choice, var, bound, batch=True)
         relation = source.relation
         current_only = source.current_only
         # 1. keyed access on the primary structure
@@ -318,12 +403,7 @@ class Executor:
                     relation, idx, vf(None), current_only
                 )
         # 3. sequential scan (zone map applies as in _candidates)
-        asof_max = None
-        if (
-            self._asof_period is not None
-            and source.layout.tx is not None
-        ):
-            asof_max = self._asof_period.stop - 1
+        asof_max = self._scan_asof_max(var)
         return lambda: relation.scan_batches(
             current_only=current_only, asof_max=asof_max
         )

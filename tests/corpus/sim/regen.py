@@ -351,12 +351,119 @@ CASES = [
     ),
 ]
 
+# (name, db_type, structure, batch, atomic, optimizer, statements) --
+# cases that exercise the cost-based optimizer's decisions (or pin the
+# fixed strategy with optimizer off) on workloads where the two differ.
+OPTIMIZER_CASES = [
+    (
+        "13-static-hash-optoff",
+        "static",
+        "hash",
+        True,
+        True,
+        False,
+        [
+            'create hrel (id = i4, seq = i4, amount = i4)',
+            'modify hrel to hash on id',
+            'index on hrel is ixam (amount)',
+            'range of h is hrel',
+            'append to hrel (id = 1, seq = 10, amount = 50)',
+            'append to hrel (id = 2, seq = 20, amount = 60)',
+            'append to hrel (id = 3, seq = 30, amount = 60)',
+            # Fixed strategy: key probe then index probe, never a scan.
+            'retrieve (h.id, h.seq) where h.id = 2',
+            'retrieve (h.id, h.seq) where h.amount = 60',
+            'delete h where h.id = 3',
+            'retrieve (h.id, h.seq) where h.amount = 60',
+        ],
+    ),
+    (
+        "14-temporal-isam-optscan",
+        "temporal",
+        "isam",
+        True,
+        True,
+        True,
+        [
+            'create persistent interval hrel (id = i4, seq = i4, '
+            'amount = i4)',
+            'modify hrel to isam on id',
+            'range of h is hrel',
+            'append to hrel (id = 1, seq = 10, amount = 2) '
+            'valid from "1980-03-01 00:10:00" to "1980-03-05"',
+            'append to hrel (id = 2, seq = 20, amount = 3) '
+            'valid from "1980-03-02" to "1980-03-08"',
+            # One data page: the optimizer prefers the scan over the
+            # two-page ISAM directory descent the fixed strategy takes.
+            'retrieve (h.id, h.seq) where h.id = 1',
+            'replace h (seq = 12) where h.id = 2',
+            'retrieve (h.id, h.seq) where h.id = 2',
+            'retrieve (h.id, h.seq) as of "1980-03-01 03:30:00"',
+        ],
+    ),
+    (
+        "15-historical-hash-optindex",
+        "historical",
+        "hash",
+        False,
+        True,
+        True,
+        [
+            'create interval hrel (id = i4, seq = i4, amount = i4)',
+            'modify hrel to hash on id',
+            'index on hrel is ixam (amount) where structure = "hash", '
+            'levels = 2',
+            'range of h is hrel',
+            'append to hrel (id = 1, seq = 10, amount = 50) '
+            'valid from "1980-03-01" to "1980-03-20"',
+            'append to hrel (id = 2, seq = 20, amount = 50) '
+            'valid from "1980-03-02" to "1980-03-03"',
+            'append to hrel (id = 3, seq = 30, amount = 60) '
+            'valid from "1980-03-10" to "1980-03-12"',
+            # Priced choice between the two-level secondary index and a
+            # scan, current and all-versions.
+            'retrieve (h.id, h.seq) where h.amount = 50 '
+            'when h overlap "now"',
+            'retrieve (h.id, h.seq) where h.amount = 50',
+            'retrieve (h.id, h.seq) where h.id = 3',
+        ],
+    ),
+    (
+        "16-rollback-twolevel-optoff",
+        "rollback",
+        "twolevel",
+        True,
+        False,
+        False,
+        [
+            'create persistent hrel (id = i4, seq = i4, amount = i4)',
+            'create persistent irel (id = i4, seq = i4, amount = i4)',
+            'modify hrel to twolevel on id',
+            'modify irel to twolevel on id where primary = "isam"',
+            'range of h is hrel',
+            'range of i is irel',
+            'append to hrel (id = 1, seq = 10, amount = 2)',
+            'append to hrel (id = 2, seq = 20, amount = 1)',
+            'append to irel (id = 1, seq = 11, amount = 2)',
+            # Fixed two-level currency behavior under optimizer off.
+            'retrieve (h.id, i.id, i.amount) where h.id = i.amount '
+            'as of "now"',
+            'retrieve (h.id, h.seq) where h.id = 2 as of "now"',
+            'retrieve (h.id, h.seq) as of "1980-03-01 03:30:00"',
+        ],
+    ),
+]
+
 
 def build() -> int:
     failures = 0
-    for number, (name, db_type, structure, batch, atomic, texts) in (
-        enumerate(CASES, start=1)
-    ):
+    cases = [
+        (name, db_type, structure, batch, atomic, True, texts)
+        for name, db_type, structure, batch, atomic, texts in CASES
+    ] + OPTIMIZER_CASES
+    for number, (
+        name, db_type, structure, batch, atomic, optimizer, texts
+    ) in enumerate(cases, start=1):
         workload = Workload(
             seed=number,
             db_type=db_type,
@@ -366,7 +473,10 @@ def build() -> int:
             clock_tick=DEFAULT_CLOCK_TICK,
             statements=[parse_statement(text) for text in texts],
         )
-        config = Config(structure=structure, batch=batch, atomic=atomic)
+        config = Config(
+            structure=structure, batch=batch, atomic=atomic,
+            optimizer=optimizer,
+        )
         report = run_workload(workload, config, inject_modifies=False)
         if report.divergence is not None:
             print(f"{name}: DIVERGES\n{report.divergence}")
